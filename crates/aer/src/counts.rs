@@ -1,0 +1,289 @@
+//! Measurement outcome histograms.
+//!
+//! [`Counts`] is the result type of shot-based execution — the analogue of
+//! the `job.result().get_counts()` dictionary the paper's user walkthrough
+//! plots as a histogram.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of classical measurement outcomes.
+///
+/// Keys are classical-register values; bit `c` of a key is classical bit
+/// `c` (so the rendered bitstring has clbit 0 rightmost, matching Qiskit's
+/// convention).
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aer::counts::Counts;
+///
+/// let mut counts = Counts::new(2);
+/// counts.record(0b00);
+/// counts.record(0b11);
+/// counts.record(0b11);
+/// assert_eq!(counts.get("11"), 2);
+/// assert_eq!(counts.total(), 3);
+/// assert!((counts.probability(0b11) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    num_clbits: usize,
+    histogram: BTreeMap<u64, usize>,
+}
+
+impl Counts {
+    /// Creates an empty histogram over `num_clbits` classical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clbits > 64`.
+    pub fn new(num_clbits: usize) -> Self {
+        assert!(num_clbits <= 64, "at most 64 classical bits supported");
+        Self { num_clbits, histogram: BTreeMap::new() }
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Records one observation of `outcome`.
+    pub fn record(&mut self, outcome: u64) {
+        *self.histogram.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Records `n` observations of `outcome`.
+    pub fn record_n(&mut self, outcome: u64, n: usize) {
+        if n > 0 {
+            *self.histogram.entry(outcome).or_insert(0) += n;
+        }
+    }
+
+    /// Total number of recorded shots.
+    pub fn total(&self) -> usize {
+        self.histogram.values().sum()
+    }
+
+    /// Count for a numeric outcome.
+    pub fn get_value(&self, outcome: u64) -> usize {
+        self.histogram.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Count for a bitstring outcome such as `"0110"` (clbit 0 rightmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a valid binary string.
+    pub fn get(&self, bits: &str) -> usize {
+        let value = u64::from_str_radix(bits, 2).expect("binary outcome string");
+        self.get_value(value)
+    }
+
+    /// Empirical probability of an outcome (0 when no shots recorded).
+    pub fn probability(&self, outcome: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get_value(outcome) as f64 / total as f64
+        }
+    }
+
+    /// The most frequent outcome, or `None` when empty. Ties break toward
+    /// the smaller value.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.histogram
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&k, _)| k)
+    }
+
+    /// Renders an outcome as a bitstring of the histogram's width.
+    pub fn to_bitstring(&self, outcome: u64) -> String {
+        format!("{:0width$b}", outcome, width = self.num_clbits.max(1))
+    }
+
+    /// Iterates over `(outcome, count)` pairs in ascending outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.histogram.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn len(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Returns `true` when no shots have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.histogram.is_empty()
+    }
+
+    /// Marginalizes onto a subset of classical bits (`keep[i]` becomes bit
+    /// `i` of the new outcomes).
+    pub fn marginal(&self, keep: &[usize]) -> Counts {
+        let mut out = Counts::new(keep.len());
+        for (&outcome, &count) in &self.histogram {
+            let mut reduced = 0u64;
+            for (i, &c) in keep.iter().enumerate() {
+                if (outcome >> c) & 1 == 1 {
+                    reduced |= 1 << i;
+                }
+            }
+            out.record_n(reduced, count);
+        }
+        out
+    }
+
+    /// Expectation of a ±1 observable that is the parity of the given
+    /// classical bits — the standard estimator for Pauli-Z strings.
+    pub fn parity_expectation(&self, bits: &[usize]) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0i64;
+        for (&outcome, &count) in &self.histogram {
+            let parity = bits.iter().map(|&b| (outcome >> b) & 1).sum::<u64>() % 2;
+            acc += if parity == 0 { count as i64 } else { -(count as i64) };
+        }
+        acc as f64 / total as f64
+    }
+
+    /// Hellinger fidelity against another histogram — used by the noise
+    /// benchmarks to quantify how much noise degrades results.
+    pub fn hellinger_fidelity(&self, other: &Counts) -> f64 {
+        let (ta, tb) = (self.total() as f64, other.total() as f64);
+        if ta == 0.0 || tb == 0.0 {
+            return 0.0;
+        }
+        let mut bc = 0.0; // Bhattacharyya coefficient
+        for (&outcome, &count) in &self.histogram {
+            let pa = count as f64 / ta;
+            let pb = other.get_value(outcome) as f64 / tb;
+            bc += (pa * pb).sqrt();
+        }
+        bc * bc
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (outcome, count)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "\"{}\": {}", self.to_bitstring(outcome), count)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u64> for Counts {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut max_bits = 1;
+        let items: Vec<u64> = iter.into_iter().collect();
+        for &v in &items {
+            max_bits = max_bits.max(64 - v.leading_zeros() as usize);
+        }
+        let mut counts = Counts::new(max_bits);
+        for v in items {
+            counts.record(v);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        let mut c = Counts::new(3);
+        c.record_n(0b000, 10);
+        c.record_n(0b101, 30);
+        c.record_n(0b111, 20);
+        c
+    }
+
+    #[test]
+    fn recording_and_totals() {
+        let c = sample();
+        assert_eq!(c.total(), 60);
+        assert_eq!(c.get_value(0b101), 30);
+        assert_eq!(c.get("101"), 30);
+        assert_eq!(c.get_value(0b010), 0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn probabilities_and_mode() {
+        let c = sample();
+        assert!((c.probability(0b101) - 0.5).abs() < 1e-12);
+        assert_eq!(c.most_frequent(), Some(0b101));
+        assert_eq!(Counts::new(1).most_frequent(), None);
+    }
+
+    #[test]
+    fn bitstring_rendering() {
+        let c = sample();
+        assert_eq!(c.to_bitstring(0b101), "101");
+        assert_eq!(c.to_bitstring(0), "000");
+        assert_eq!(c.to_string(), "{\"000\": 10, \"101\": 30, \"111\": 20}");
+    }
+
+    #[test]
+    fn marginalization() {
+        let c = sample();
+        // Keep bit 2 and bit 0 (new bit order: [2 -> 0, 0 -> 1]).
+        let m = c.marginal(&[2, 0]);
+        assert_eq!(m.num_clbits(), 2);
+        // 000 -> 00 (10), 101 -> bit2=1->bit0, bit0=1->bit1: 11 (30),
+        // 111 -> 11 (20)
+        assert_eq!(m.get_value(0b00), 10);
+        assert_eq!(m.get_value(0b11), 50);
+    }
+
+    #[test]
+    fn parity_expectation_of_z() {
+        let mut c = Counts::new(1);
+        c.record_n(0, 75);
+        c.record_n(1, 25);
+        assert!((c.parity_expectation(&[0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_expectation_multi_bit() {
+        let c = sample();
+        // Bits 0 and 2: 000 parity 0 (+10), 101 parity 0 (+30), 111 parity 0
+        // (+20) -> expectation 1.
+        assert!((c.parity_expectation(&[0, 2]) - 1.0).abs() < 1e-12);
+        // Bits 1: 000 -> +, 101 -> +, 111 -> -: (10+30-20)/60 = 1/3
+        assert!((c.parity_expectation(&[1]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_fidelity_bounds() {
+        let c = sample();
+        assert!((c.hellinger_fidelity(&c) - 1.0).abs() < 1e-12);
+        let mut other = Counts::new(3);
+        other.record_n(0b010, 5);
+        assert_eq!(c.hellinger_fidelity(&other), 0.0);
+        assert_eq!(c.hellinger_fidelity(&Counts::new(3)), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Counts = vec![0b1u64, 0b1, 0b0].into_iter().collect();
+        assert_eq!(c.get_value(1), 2);
+        assert_eq!(c.get_value(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_clbits_panics() {
+        let _ = Counts::new(65);
+    }
+}

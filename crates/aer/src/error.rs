@@ -1,0 +1,78 @@
+//! Error types for the aer crate.
+
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AerError {
+    /// Circuit is too wide for dense simulation.
+    TooManyQubits {
+        /// Requested width.
+        requested: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// The circuit contains an instruction this simulator cannot execute.
+    UnsupportedInstruction {
+        /// Instruction name.
+        name: String,
+        /// Which simulator rejected it.
+        simulator: &'static str,
+    },
+    /// More classical bits than the counts representation supports.
+    TooManyClbits {
+        /// Requested classical width.
+        requested: usize,
+    },
+    /// An error bubbled up from circuit handling in terra.
+    Terra(qukit_terra::error::TerraError),
+}
+
+impl fmt::Display for AerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AerError::TooManyQubits { requested, max } => {
+                write!(f, "circuit with {requested} qubits exceeds the {max}-qubit dense limit")
+            }
+            AerError::UnsupportedInstruction { name, simulator } => {
+                write!(f, "instruction '{name}' is not supported by the {simulator}")
+            }
+            AerError::TooManyClbits { requested } => {
+                write!(f, "{requested} classical bits exceed the 64-bit counts limit")
+            }
+            AerError::Terra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AerError::Terra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qukit_terra::error::TerraError> for AerError {
+    fn from(e: qukit_terra::error::TerraError) -> Self {
+        AerError::Terra(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AerError::TooManyQubits { requested: 40, max: 30 };
+        assert!(e.to_string().contains("40"));
+        let terra = qukit_terra::error::TerraError::Transpile { msg: "x".into() };
+        let wrapped = AerError::from(terra);
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

@@ -1,0 +1,479 @@
+//! The circuit simulators.
+//!
+//! * [`QasmSimulator`] — shot-based execution with measurement, reset,
+//!   classical conditionals and (optionally) a [`NoiseModel`]; the
+//!   workhorse corresponding to Qiskit Aer's `qasm_simulator` used in the
+//!   paper's walkthrough (`Aer.get_backend('qasm_simulator')`).
+//! * [`StatevectorSimulator`] — exact final-state computation for unitary
+//!   circuits.
+//! * [`UnitarySimulator`] — full-unitary extraction for verification.
+
+use crate::counts::Counts;
+use crate::error::{AerError, Result};
+use crate::noise::NoiseModel;
+use crate::statevector::Statevector;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::instruction::Operation;
+use qukit_terra::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_QUBITS: usize = 30;
+
+/// Shot-based simulator with optional noise injection.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aer::simulator::QasmSimulator;
+/// use qukit_terra::circuit::QuantumCircuit;
+///
+/// # fn main() -> Result<(), qukit_aer::error::AerError> {
+/// let mut bell = QuantumCircuit::with_size(2, 2);
+/// bell.h(0).unwrap();
+/// bell.cx(0, 1).unwrap();
+/// bell.measure(0, 0).unwrap();
+/// bell.measure(1, 1).unwrap();
+///
+/// let counts = QasmSimulator::new().with_seed(7).run(&bell, 1000)?;
+/// assert_eq!(counts.total(), 1000);
+/// assert_eq!(counts.get("01") + counts.get("10"), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QasmSimulator {
+    noise: Option<NoiseModel>,
+    seed: Option<u64>,
+}
+
+impl QasmSimulator {
+    /// Creates an ideal (noiseless) simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a noise model (builder style).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Fixes the RNG seed for reproducible sampling (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The attached noise model, if any.
+    pub fn noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
+    }
+
+    /// Executes `shots` repetitions of `circuit` and histograms the
+    /// classical outcomes.
+    ///
+    /// When the circuit is measurement-terminal (no reset, no conditional,
+    /// all measurements after the last gate) and the simulator is
+    /// noiseless, the state is evolved once and sampled `shots` times;
+    /// otherwise each shot is an independent trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit is too wide or uses more than 64
+    /// classical bits.
+    pub fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(AerError::TooManyQubits {
+                requested: circuit.num_qubits(),
+                max: MAX_QUBITS,
+            });
+        }
+        if circuit.num_clbits() > 64 {
+            return Err(AerError::TooManyClbits { requested: circuit.num_clbits() });
+        }
+        let mut rng = match self.seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => StdRng::from_entropy(),
+        };
+        let ideal = self.noise.as_ref().map_or(true, NoiseModel::is_ideal);
+        if ideal && is_measurement_terminal(circuit) {
+            self.run_sampled(circuit, shots, &mut rng)
+        } else {
+            let mut counts = Counts::new(circuit.num_clbits());
+            for _ in 0..shots {
+                let outcome = self.run_trajectory(circuit, &mut rng)?;
+                counts.record(outcome);
+            }
+            Ok(counts)
+        }
+    }
+
+    /// Fast path: evolve once, sample the terminal distribution.
+    fn run_sampled(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Counts> {
+        let mut state = Statevector::new(circuit.num_qubits());
+        let mut measures: Vec<(usize, usize)> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(g) => state.apply_gate(*g, &inst.qubits),
+                Operation::Measure => measures.push((inst.qubits[0], inst.clbits[0])),
+                Operation::Barrier => {}
+                Operation::Reset => unreachable!("terminal circuits have no reset"),
+            }
+        }
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let basis = state.sample(rng);
+            let mut outcome = 0u64;
+            for &(q, c) in &measures {
+                if (basis >> q) & 1 == 1 {
+                    outcome |= 1 << c;
+                }
+            }
+            counts.record(outcome);
+        }
+        Ok(counts)
+    }
+
+    /// Full trajectory: one shot with mid-circuit measurement, reset,
+    /// conditionals and stochastic noise.
+    fn run_trajectory(&self, circuit: &QuantumCircuit, rng: &mut StdRng) -> Result<u64> {
+        let mut state = Statevector::new(circuit.num_qubits());
+        let mut creg = 0u64;
+        let readout = self.noise.as_ref().and_then(|n| n.readout_error());
+        for inst in circuit.instructions() {
+            if let Some(cond) = &inst.condition {
+                let mut value = 0u64;
+                for (i, &c) in cond.clbits.iter().enumerate() {
+                    if (creg >> c) & 1 == 1 {
+                        value |= 1 << i;
+                    }
+                }
+                if value != cond.value {
+                    continue;
+                }
+            }
+            match &inst.op {
+                Operation::Gate(g) => {
+                    state.apply_gate(*g, &inst.qubits);
+                    if let Some(noise) = &self.noise {
+                        if let Some(error) = noise.error_for(g.name(), &inst.qubits) {
+                            if error.num_qubits() == inst.qubits.len() {
+                                error.apply_stochastic(&mut state, &inst.qubits, rng);
+                            }
+                        }
+                    }
+                }
+                Operation::Measure => {
+                    let mut bit = state.measure(inst.qubits[0], rng);
+                    if let Some(readout) = readout {
+                        bit = readout.apply(bit, rng);
+                    }
+                    if bit {
+                        creg |= 1 << inst.clbits[0];
+                    } else {
+                        creg &= !(1 << inst.clbits[0]);
+                    }
+                }
+                Operation::Reset => state.reset(inst.qubits[0], rng),
+                Operation::Barrier => {}
+            }
+        }
+        Ok(creg)
+    }
+}
+
+/// Returns `true` when all measurements come after the last gate and the
+/// circuit has no reset or conditional instructions.
+fn is_measurement_terminal(circuit: &QuantumCircuit) -> bool {
+    let mut seen_measure = false;
+    for inst in circuit.instructions() {
+        if inst.condition.is_some() {
+            return false;
+        }
+        match inst.op {
+            Operation::Measure => seen_measure = true,
+            Operation::Reset => return false,
+            Operation::Gate(_) if seen_measure => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Exact statevector simulator for unitary circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aer::simulator::StatevectorSimulator;
+/// use qukit_terra::circuit::QuantumCircuit;
+///
+/// # fn main() -> Result<(), qukit_aer::error::AerError> {
+/// let mut ghz = QuantumCircuit::new(3);
+/// ghz.h(0).unwrap();
+/// ghz.cx(0, 1).unwrap();
+/// ghz.cx(1, 2).unwrap();
+/// let state = StatevectorSimulator::new().run(&ghz)?;
+/// assert!((state.amplitude(0).norm_sqr() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatevectorSimulator;
+
+impl StatevectorSimulator {
+    /// Creates the simulator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the exact final state of a unitary circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AerError::UnsupportedInstruction`] for measurement, reset
+    /// or conditioned gates, and [`AerError::TooManyQubits`] for circuits
+    /// beyond the dense limit.
+    pub fn run(&self, circuit: &QuantumCircuit) -> Result<Statevector> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(AerError::TooManyQubits {
+                requested: circuit.num_qubits(),
+                max: MAX_QUBITS,
+            });
+        }
+        let mut state = Statevector::new(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(g) if inst.condition.is_none() => {
+                    state.apply_gate(*g, &inst.qubits);
+                }
+                Operation::Barrier => {}
+                other => {
+                    return Err(AerError::UnsupportedInstruction {
+                        name: other.name().to_owned(),
+                        simulator: "statevector simulator",
+                    })
+                }
+            }
+        }
+        state.apply_global_phase(circuit.global_phase());
+        Ok(state)
+    }
+}
+
+/// Full-unitary simulator (exponentially expensive; for verification).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitarySimulator;
+
+impl UnitarySimulator {
+    /// Creates the simulator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the circuit's unitary matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StatevectorSimulator::run`], with a tighter
+    /// width limit (the matrix is `4^n` entries).
+    pub fn run(&self, circuit: &QuantumCircuit) -> Result<Matrix> {
+        if circuit.num_qubits() > 13 {
+            return Err(AerError::TooManyQubits { requested: circuit.num_qubits(), max: 13 });
+        }
+        for inst in circuit.instructions() {
+            let supported = matches!(inst.op, Operation::Gate(_) | Operation::Barrier)
+                && inst.condition.is_none();
+            if !supported {
+                return Err(AerError::UnsupportedInstruction {
+                    name: inst.op.name().to_owned(),
+                    simulator: "unitary simulator",
+                });
+            }
+        }
+        qukit_terra::reference::unitary(circuit).map_err(AerError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{NoiseModel, QuantumError, ReadoutError};
+    use qukit_terra::gate::Gate;
+
+    fn bell_measured() -> QuantumCircuit {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        circ
+    }
+
+    #[test]
+    fn bell_counts_are_correlated_and_balanced() {
+        let counts = QasmSimulator::new().with_seed(1).run(&bell_measured(), 4000).unwrap();
+        assert_eq!(counts.total(), 4000);
+        assert_eq!(counts.get("01"), 0);
+        assert_eq!(counts.get("10"), 0);
+        let p00 = counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = QasmSimulator::new().with_seed(9).run(&bell_measured(), 100).unwrap();
+        let b = QasmSimulator::new().with_seed(9).run(&bell_measured(), 100).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unmeasured_qubits_report_zero() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        circ.x(0).unwrap();
+        circ.x(1).unwrap();
+        circ.measure(1, 0).unwrap();
+        let counts = QasmSimulator::new().with_seed(2).run(&circ, 50).unwrap();
+        assert_eq!(counts.get_value(1), 50);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_forces_trajectories() {
+        // Measure then apply a conditional X: deterministic teleport-like
+        // correction.
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.x(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.append_conditional(Gate::X, &[1], "c", 1).unwrap();
+        circ.measure(1, 1).unwrap();
+        let counts = QasmSimulator::new().with_seed(3).run(&circ, 200).unwrap();
+        assert_eq!(counts.get_value(0b11), 200);
+    }
+
+    #[test]
+    fn conditional_not_taken_when_register_differs() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.measure(0, 0).unwrap(); // always 0
+        circ.append_conditional(Gate::X, &[1], "c", 1).unwrap();
+        circ.measure(1, 1).unwrap();
+        let counts = QasmSimulator::new().with_seed(4).run(&circ, 100).unwrap();
+        assert_eq!(counts.get_value(0b00), 100);
+    }
+
+    #[test]
+    fn reset_clears_qubit_state() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.reset(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        let counts = QasmSimulator::new().with_seed(5).run(&circ, 300).unwrap();
+        assert_eq!(counts.get_value(0), 300);
+    }
+
+    #[test]
+    fn depolarizing_noise_degrades_ghz() {
+        let mut ghz = QuantumCircuit::with_size(3, 3);
+        ghz.h(0).unwrap();
+        ghz.cx(0, 1).unwrap();
+        ghz.cx(1, 2).unwrap();
+        ghz.measure(0, 0).unwrap();
+        ghz.measure(1, 1).unwrap();
+        ghz.measure(2, 2).unwrap();
+
+        let ideal = QasmSimulator::new().with_seed(6).run(&ghz, 2000).unwrap();
+        let noisy = QasmSimulator::new()
+            .with_seed(6)
+            .with_noise(NoiseModel::depolarizing(0.01, 0.05, 0.0))
+            .run(&ghz, 2000)
+            .unwrap();
+        let ideal_success = ideal.probability(0b000) + ideal.probability(0b111);
+        let noisy_success = noisy.probability(0b000) + noisy.probability(0b111);
+        assert!(ideal_success > 0.99);
+        assert!(noisy_success < ideal_success - 0.02, "noise must visibly degrade results");
+        assert!(noisy_success > 0.5, "but not destroy them at these rates");
+    }
+
+    #[test]
+    fn readout_error_flips_deterministic_outcome() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        let mut noise = NoiseModel::new();
+        noise.set_readout_error(ReadoutError::symmetric(0.2));
+        let counts = QasmSimulator::new().with_seed(7).with_noise(noise).run(&circ, 3000).unwrap();
+        let flip_rate = counts.probability(1);
+        assert!((flip_rate - 0.2).abs() < 0.03, "flip rate {flip_rate}");
+    }
+
+    #[test]
+    fn local_noise_only_affects_its_qubits() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.id(0).unwrap();
+        circ.id(1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        let mut noise = NoiseModel::new();
+        // 100% bit flip attached to id on qubit 1 only.
+        noise.add_local_error("id", vec![1], QuantumError::bit_flip(1.0));
+        let counts = QasmSimulator::new().with_seed(8).with_noise(noise).run(&circ, 100).unwrap();
+        assert_eq!(counts.get_value(0b10), 100);
+    }
+
+    #[test]
+    fn statevector_simulator_matches_reference() {
+        let circ = qukit_terra::circuit::fig1_circuit();
+        let state = StatevectorSimulator::new().run(&circ).unwrap();
+        let reference = qukit_terra::reference::statevector(&circ).unwrap();
+        for (a, b) in state.amplitudes().iter().zip(&reference) {
+            assert!(a.approx_eq(*b));
+        }
+    }
+
+    #[test]
+    fn statevector_simulator_rejects_measurement() {
+        let err = StatevectorSimulator::new().run(&bell_measured()).unwrap_err();
+        assert!(matches!(err, AerError::UnsupportedInstruction { .. }));
+        assert!(err.to_string().contains("measure"));
+    }
+
+    #[test]
+    fn unitary_simulator_produces_unitary() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let u = UnitarySimulator::new().run(&circ).unwrap();
+        assert!(u.is_unitary());
+        assert_eq!(u.rows(), 4);
+    }
+
+    #[test]
+    fn terminal_detection() {
+        assert!(is_measurement_terminal(&bell_measured()));
+        let mut mid = QuantumCircuit::with_size(1, 1);
+        mid.measure(0, 0).unwrap();
+        mid.h(0).unwrap();
+        assert!(!is_measurement_terminal(&mid));
+        let mut with_reset = QuantumCircuit::with_size(1, 1);
+        with_reset.reset(0).unwrap();
+        assert!(!is_measurement_terminal(&with_reset));
+    }
+
+    #[test]
+    fn width_limits_are_enforced() {
+        let circ = QuantumCircuit::new(31);
+        assert!(matches!(
+            QasmSimulator::new().run(&circ, 1),
+            Err(AerError::TooManyQubits { .. })
+        ));
+        let circ14 = QuantumCircuit::new(14);
+        assert!(matches!(
+            UnitarySimulator::new().run(&circ14),
+            Err(AerError::TooManyQubits { .. })
+        ));
+    }
+}

@@ -1,0 +1,578 @@
+//! Stabilizer (CHP) simulation.
+//!
+//! The third simulation engine of the Aer layer: Clifford circuits are
+//! simulated in `O(n²)` per gate/measurement on the Aaronson-Gottesman
+//! tableau (Phys. Rev. A 70, 052328), scaling to *thousands* of qubits
+//! where the dense statevector stops at ~30 — the classic example of the
+//! "set of simulators and emulators" the paper's Aer section describes,
+//! each with its own sweet spot.
+//!
+//! The tableau stores the destabilizer and stabilizer generators of the
+//! state as bit-packed Pauli strings with sign bits; measurement follows
+//! the standard three-case update with `rowsum` phase arithmetic.
+
+use crate::counts::Counts;
+use crate::error::{AerError, Result};
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::gate::Gate;
+use qukit_terra::instruction::Operation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stabilizer state over `n` qubits as an Aaronson-Gottesman tableau.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aer::stabilizer::StabilizerState;
+/// use qukit_terra::gate::Gate;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut state = StabilizerState::new(2);
+/// state.apply_gate(Gate::H, &[0]).unwrap();
+/// state.apply_gate(Gate::CX, &[0, 1]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let a = state.measure(0, &mut rng);
+/// let b = state.measure(1, &mut rng);
+/// assert_eq!(a, b, "Bell pair is perfectly correlated");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilizerState {
+    num_qubits: usize,
+    words: usize,
+    /// `2n + 1` rows (destabilizers, stabilizers, scratch); each row is
+    /// `x`-bits then `z`-bits, `words` u64 words each.
+    x: Vec<u64>,
+    z: Vec<u64>,
+    /// Sign bit per row (0 → +1, 1 → −1).
+    r: Vec<u8>,
+}
+
+impl StabilizerState {
+    /// The all-zeros state `|0…0⟩` (stabilizers `Z_i`, destabilizers
+    /// `X_i`).
+    pub fn new(num_qubits: usize) -> Self {
+        let words = num_qubits.div_ceil(64);
+        let rows = 2 * num_qubits + 1;
+        let mut state = Self {
+            num_qubits,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![0; rows],
+        };
+        for i in 0..num_qubits {
+            state.set_x(i, i, true); // destabilizer i = X_i
+            state.set_z(num_qubits + i, i, true); // stabilizer i = Z_i
+        }
+        state
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, value: bool) {
+        let idx = row * self.words + q / 64;
+        let mask = 1u64 << (q % 64);
+        if value {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, value: bool) {
+        let idx = row * self.words + q / 64;
+        let mask = 1u64 << (q % 64);
+        if value {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    /// Applies a Clifford gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AerError::UnsupportedInstruction`] for non-Clifford gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range operands.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<()> {
+        for &q in qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        match gate {
+            Gate::I => {}
+            Gate::H => self.h(qubits[0]),
+            Gate::S => self.s(qubits[0]),
+            Gate::Sdg => {
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+            }
+            Gate::X => {
+                // X = H S S H, but direct sign flip is O(n): X flips rows
+                // with Z on q.
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::Z => {
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+            }
+            Gate::Y => {
+                // Y ∝ S X S†.
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::Sx => {
+                // √X = H S H.
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::Sxdg => {
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => {
+                self.h(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.h(qubits[1]);
+            }
+            Gate::CY => {
+                self.s(qubits[1]);
+                self.s(qubits[1]);
+                self.s(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.s(qubits[1]);
+            }
+            Gate::Swap => {
+                self.cx(qubits[0], qubits[1]);
+                self.cx(qubits[1], qubits[0]);
+                self.cx(qubits[0], qubits[1]);
+            }
+            other => {
+                return Err(AerError::UnsupportedInstruction {
+                    name: other.name().to_owned(),
+                    simulator: "stabilizer simulator",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn h(&mut self, q: usize) {
+        let rows = 2 * self.num_qubits;
+        for row in 0..rows {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] ^= 1;
+            }
+            self.set_x(row, q, zv);
+            self.set_z(row, q, xv);
+        }
+    }
+
+    fn s(&mut self, q: usize) {
+        let rows = 2 * self.num_qubits;
+        for row in 0..rows {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] ^= 1;
+            }
+            self.set_z(row, q, xv ^ zv);
+        }
+    }
+
+    fn cx(&mut self, control: usize, target: usize) {
+        assert_ne!(control, target, "control equals target");
+        let rows = 2 * self.num_qubits;
+        for row in 0..rows {
+            let xc = self.get_x(row, control);
+            let zc = self.get_z(row, control);
+            let xt = self.get_x(row, target);
+            let zt = self.get_z(row, target);
+            if xc && zt && (xt == zc) {
+                self.r[row] ^= 1;
+            }
+            self.set_x(row, target, xt ^ xc);
+            self.set_z(row, control, zc ^ zt);
+        }
+    }
+
+    /// `rowsum(h, i)`: row `h` ← row `h` · row `i` with exact phase
+    /// tracking (the `g` function of Aaronson-Gottesman).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * self.r[h] as i32 + 2 * self.r[i] as i32;
+        for q in 0..self.num_qubits {
+            let x1 = self.get_x(i, q) as i32;
+            let z1 = self.get_z(i, q) as i32;
+            let x2 = self.get_x(h, q) as i32;
+            let z2 = self.get_z(h, q) as i32;
+            // g(x1,z1,x2,z2): exponent of i when multiplying Paulis.
+            let g = match (x1, z1) {
+                (0, 0) => 0,
+                (1, 1) => z2 - x2,
+                (1, 0) => z2 * (2 * x2 - 1),
+                (0, 1) => x2 * (1 - 2 * z2),
+                _ => unreachable!(),
+            };
+            phase += g;
+        }
+        debug_assert_eq!(phase.rem_euclid(2), 0, "rowsum phase must be real");
+        self.r[h] = if phase.rem_euclid(4) == 0 { 0 } else { 1 };
+        for w in 0..self.words {
+            self.x[h * self.words + w] ^= self.x[i * self.words + w];
+            self.z[h * self.words + w] ^= self.z[i * self.words + w];
+        }
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        for w in 0..self.words {
+            self.x[row * self.words + w] = 0;
+            self.z[row * self.words + w] = 0;
+        }
+        self.r[row] = 0;
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        for w in 0..self.words {
+            self.x[dst * self.words + w] = self.x[src * self.words + w];
+            self.z[dst * self.words + w] = self.z[src * self.words + w];
+        }
+        self.r[dst] = self.r[src];
+    }
+
+    /// Returns the deterministic Z-measurement outcome of qubit `q`, or
+    /// `None` if the outcome is random.
+    pub fn deterministic_outcome(&mut self, q: usize) -> Option<bool> {
+        let n = self.num_qubits;
+        if (n..2 * n).any(|row| self.get_x(row, q)) {
+            return None;
+        }
+        // Deterministic: accumulate into the scratch row.
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        for i in 0..n {
+            if self.get_x(i, q) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        Some(self.r[scratch] == 1)
+    }
+
+    /// Projectively measures qubit `q` in the Z basis, collapsing the
+    /// state.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let n = self.num_qubits;
+        // Find a stabilizer anti-commuting with Z_q.
+        let pivot = (n..2 * n).find(|&row| self.get_x(row, q));
+        match pivot {
+            Some(p) => {
+                // Random outcome. The destabilizer paired with the pivot
+                // (row p−n) anticommutes with it and is overwritten below,
+                // so it is skipped rather than multiplied.
+                for row in 0..2 * n {
+                    if row != p && row != p - n && self.get_x(row, q) {
+                        self.rowsum(row, p);
+                    }
+                }
+                self.copy_row(p - n, p);
+                self.clear_row(p);
+                let outcome = rng.gen::<bool>();
+                self.set_z(p, q, true);
+                self.r[p] = u8::from(outcome);
+                outcome
+            }
+            None => self
+                .deterministic_outcome(q)
+                .expect("no anti-commuting stabilizer implies determinism"),
+        }
+    }
+
+    /// The expectation of `Z_q`: ±1 when deterministic, 0 when random.
+    pub fn expectation_z(&mut self, q: usize) -> f64 {
+        match self.deterministic_outcome(q) {
+            Some(true) => -1.0,
+            Some(false) => 1.0,
+            None => 0.0,
+        }
+    }
+}
+
+/// Shot-based Clifford-circuit simulator on the stabilizer tableau.
+#[derive(Debug, Clone, Default)]
+pub struct StabilizerSimulator {
+    seed: Option<u64>,
+}
+
+impl StabilizerSimulator {
+    /// Creates the simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Executes `shots` repetitions of a Clifford circuit (gates,
+    /// measurements, resets, barriers, conditionals).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-Clifford gates or more than 64 classical
+    /// bits.
+    pub fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        if circuit.num_clbits() > 64 {
+            return Err(AerError::TooManyClbits { requested: circuit.num_clbits() });
+        }
+        let mut rng = match self.seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => StdRng::from_entropy(),
+        };
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            counts.record(self.run_shot(circuit, &mut rng)?);
+        }
+        Ok(counts)
+    }
+
+    fn run_shot(&self, circuit: &QuantumCircuit, rng: &mut StdRng) -> Result<u64> {
+        let mut state = StabilizerState::new(circuit.num_qubits());
+        let mut creg = 0u64;
+        for inst in circuit.instructions() {
+            if let Some(cond) = &inst.condition {
+                let mut value = 0u64;
+                for (i, &c) in cond.clbits.iter().enumerate() {
+                    if (creg >> c) & 1 == 1 {
+                        value |= 1 << i;
+                    }
+                }
+                if value != cond.value {
+                    continue;
+                }
+            }
+            match &inst.op {
+                Operation::Gate(g) => state.apply_gate(*g, &inst.qubits)?,
+                Operation::Measure => {
+                    let bit = state.measure(inst.qubits[0], rng);
+                    if bit {
+                        creg |= 1 << inst.clbits[0];
+                    } else {
+                        creg &= !(1 << inst.clbits[0]);
+                    }
+                }
+                Operation::Reset => {
+                    if state.measure(inst.qubits[0], rng) {
+                        state.apply_gate(Gate::X, &[inst.qubits[0]])?;
+                    }
+                }
+                Operation::Barrier => {}
+            }
+        }
+        Ok(creg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::QasmSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clifford_gates() -> Vec<Gate> {
+        vec![Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::Sx]
+    }
+
+    #[test]
+    fn zero_state_measures_zero() {
+        let mut state = StabilizerState::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..3 {
+            assert!(!state.measure(q, &mut rng));
+            assert_eq!(state.expectation_z(q), 1.0);
+        }
+    }
+
+    #[test]
+    fn x_flips_deterministically() {
+        let mut state = StabilizerState::new(2);
+        state.apply_gate(Gate::X, &[1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!state.measure(0, &mut rng));
+        assert!(state.measure(1, &mut rng));
+        assert_eq!(state.expectation_z(1), -1.0);
+    }
+
+    #[test]
+    fn plus_state_is_random_then_sticky() {
+        let mut outcomes = [0usize; 2];
+        for seed in 0..40u64 {
+            let mut state = StabilizerState::new(1);
+            state.apply_gate(Gate::H, &[0]).unwrap();
+            assert_eq!(state.expectation_z(0), 0.0, "pre-measurement Z is random");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let first = state.measure(0, &mut rng);
+            outcomes[usize::from(first)] += 1;
+            // Repeated measurement must repeat.
+            assert_eq!(state.measure(0, &mut rng), first);
+        }
+        assert!(outcomes[0] > 5 && outcomes[1] > 5, "both outcomes occur: {outcomes:?}");
+    }
+
+    #[test]
+    fn bell_and_ghz_correlations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut state = StabilizerState::new(3);
+            state.apply_gate(Gate::H, &[0]).unwrap();
+            state.apply_gate(Gate::CX, &[0, 1]).unwrap();
+            state.apply_gate(Gate::CX, &[1, 2]).unwrap();
+            let a = state.measure(0, &mut rng);
+            assert_eq!(state.measure(1, &mut rng), a);
+            assert_eq!(state.measure(2, &mut rng), a);
+        }
+    }
+
+    #[test]
+    fn matches_statevector_simulator_on_random_clifford_circuits() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..6 {
+            let n = 4;
+            let mut circ = QuantumCircuit::with_size(n, n);
+            for _ in 0..25 {
+                if rng.gen_bool(0.3) {
+                    let a = rng.gen_range(0..n);
+                    let mut b = rng.gen_range(0..n);
+                    while b == a {
+                        b = rng.gen_range(0..n);
+                    }
+                    circ.cx(a, b).unwrap();
+                } else {
+                    let g = clifford_gates()[rng.gen_range(0..7)];
+                    circ.append(g, &[rng.gen_range(0..n)]).unwrap();
+                }
+            }
+            for q in 0..n {
+                circ.measure(q, q).unwrap();
+            }
+            let shots = 4000;
+            let dense = QasmSimulator::new().with_seed(trial).run(&circ, shots).unwrap();
+            let tableau = StabilizerSimulator::new()
+                .with_seed(trial)
+                .run(&circ, shots)
+                .unwrap();
+            let fidelity = dense.hellinger_fidelity(&tableau);
+            assert!(fidelity > 0.99, "trial {trial}: fidelity {fidelity}");
+        }
+    }
+
+    #[test]
+    fn scales_to_hundreds_of_qubits() {
+        // GHZ-200: far beyond any dense simulator.
+        let n = 200;
+        let mut circ = QuantumCircuit::with_size(n, n);
+        circ.h(0).unwrap();
+        for q in 1..n {
+            circ.cx(q - 1, q).unwrap();
+        }
+        for q in 0..n {
+            circ.measure(q, q).unwrap();
+        }
+        let err = StabilizerSimulator::new().with_seed(1).run(&circ, 10);
+        // 200 clbits exceed the 64-bit Counts; measure only 3 spread-out
+        // qubits instead.
+        assert!(err.is_err(), "collapsing 200 clbits into u64 must be rejected");
+        let mut circ = QuantumCircuit::with_size(n, 3);
+        circ.h(0).unwrap();
+        for q in 1..n {
+            circ.cx(q - 1, q).unwrap();
+        }
+        circ.measure(0, 0).unwrap();
+        circ.measure(n / 2, 1).unwrap();
+        circ.measure(n - 1, 2).unwrap();
+        let counts = StabilizerSimulator::new().with_seed(1).run(&circ, 200).unwrap();
+        assert_eq!(counts.get_value(0) + counts.get_value(0b111), 200);
+        assert!(counts.get_value(0) > 50 && counts.get_value(0b111) > 50);
+    }
+
+    #[test]
+    fn non_clifford_gate_is_rejected() {
+        let mut state = StabilizerState::new(1);
+        let err = state.apply_gate(Gate::T, &[0]).unwrap_err();
+        assert!(err.to_string().contains("stabilizer"));
+    }
+
+    #[test]
+    fn conditionals_and_reset_work() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.x(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.append_conditional(Gate::X, &[1], "c", 1).unwrap();
+        circ.reset(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        let counts = StabilizerSimulator::new().with_seed(3).run(&circ, 100).unwrap();
+        // q0 reset to 0, q1 flipped by the conditional.
+        assert_eq!(counts.get_value(0b10), 100);
+    }
+
+    #[test]
+    fn cz_and_swap_tableau_updates() {
+        // CZ|++⟩ measured in X basis after H's: reproduces the CZ truth
+        // table through H-conjugation into CX behaviour.
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.x(0).unwrap();
+        circ.h(1).unwrap();
+        circ.cz(0, 1).unwrap();
+        circ.h(1).unwrap(); // net effect: CX(0,1)
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        let counts = StabilizerSimulator::new().with_seed(4).run(&circ, 100).unwrap();
+        assert_eq!(counts.get_value(0b11), 100);
+
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.x(0).unwrap();
+        circ.swap(0, 1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        let counts = StabilizerSimulator::new().with_seed(5).run(&circ, 50).unwrap();
+        assert_eq!(counts.get_value(0b10), 50);
+    }
+}

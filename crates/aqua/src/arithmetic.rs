@@ -1,0 +1,337 @@
+//! Quantum arithmetic circuits.
+//!
+//! The ripple-carry adder of Cuccaro et al. (quant-ph/0410184): computes
+//! `b ← a + b` in place using a single ancilla — a staple of the circuit
+//! libraries the design-automation community optimizes, and a deep,
+//! Toffoli-heavy workload for the transpiler benchmarks.
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+
+/// Appends the MAJ (majority) block on `(c, b, a)`.
+fn maj(circ: &mut QuantumCircuit, c: usize, b: usize, a: usize) -> Result<()> {
+    circ.cx(a, b)?;
+    circ.cx(a, c)?;
+    circ.ccx(c, b, a)?;
+    Ok(())
+}
+
+/// Appends the UMA (unmajority-and-add) block on `(c, b, a)`.
+fn uma(circ: &mut QuantumCircuit, c: usize, b: usize, a: usize) -> Result<()> {
+    circ.ccx(c, b, a)?;
+    circ.cx(a, c)?;
+    circ.cx(c, b)?;
+    Ok(())
+}
+
+/// Qubit layout of an `n`-bit Cuccaro adder.
+///
+/// Total width `2n + 2`: carry-in ancilla at 0, interleaved `a`/`b`
+/// registers, carry-out at the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderLayout {
+    /// Bit width of each operand.
+    pub bits: usize,
+}
+
+impl AdderLayout {
+    /// Creates the layout.
+    pub fn new(bits: usize) -> Self {
+        Self { bits }
+    }
+
+    /// Total qubits: `2·bits + 2`.
+    pub fn num_qubits(&self) -> usize {
+        2 * self.bits + 2
+    }
+
+    /// Qubit holding bit `i` of operand `a`.
+    pub fn a(&self, i: usize) -> usize {
+        2 * i + 2
+    }
+
+    /// Qubit holding bit `i` of operand `b` (the in-place sum output).
+    pub fn b(&self, i: usize) -> usize {
+        2 * i + 1
+    }
+
+    /// The carry-in ancilla.
+    pub fn carry_in(&self) -> usize {
+        0
+    }
+
+    /// The carry-out qubit.
+    pub fn carry_out(&self) -> usize {
+        self.num_qubits() - 1
+    }
+}
+
+/// Appends the Cuccaro ripple-carry adder to `circ`: computes
+/// `b ← a + b (mod 2^n)` with the overflow bit in the carry-out qubit.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors (the circuit must be at least
+/// `layout.num_qubits()` wide).
+pub fn append_cuccaro_adder(circ: &mut QuantumCircuit, layout: AdderLayout) -> Result<()> {
+    let n = layout.bits;
+    if n == 0 {
+        return Ok(());
+    }
+    // Forward MAJ ladder.
+    maj(circ, layout.carry_in(), layout.b(0), layout.a(0))?;
+    for i in 1..n {
+        maj(circ, layout.a(i - 1), layout.b(i), layout.a(i))?;
+    }
+    // Copy the high carry out.
+    circ.cx(layout.a(n - 1), layout.carry_out())?;
+    // Backward UMA ladder.
+    for i in (1..n).rev() {
+        uma(circ, layout.a(i - 1), layout.b(i), layout.a(i))?;
+    }
+    uma(circ, layout.carry_in(), layout.b(0), layout.a(0))?;
+    Ok(())
+}
+
+/// Builds a complete adder demonstration circuit: loads classical values
+/// `a` and `b`, adds, and measures the sum (including carry) into the
+/// classical register.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+///
+/// # Panics
+///
+/// Panics if the operands do not fit in `bits`.
+pub fn adder_circuit(bits: usize, a: u64, b: u64) -> Result<QuantumCircuit> {
+    assert!((a as u128) < (1u128 << bits), "a does not fit in {bits} bits");
+    assert!((b as u128) < (1u128 << bits), "b does not fit in {bits} bits");
+    let layout = AdderLayout::new(bits);
+    let mut circ = QuantumCircuit::with_size(layout.num_qubits(), bits + 1);
+    circ.set_name(format!("adder_{bits}"));
+    for i in 0..bits {
+        if (a >> i) & 1 == 1 {
+            circ.x(layout.a(i))?;
+        }
+        if (b >> i) & 1 == 1 {
+            circ.x(layout.b(i))?;
+        }
+    }
+    append_cuccaro_adder(&mut circ, layout)?;
+    for i in 0..bits {
+        circ.measure(layout.b(i), i)?;
+    }
+    circ.measure(layout.carry_out(), bits)?;
+    Ok(circ)
+}
+
+/// Executes the adder circuit and returns the measured sum (with carry).
+///
+/// # Errors
+///
+/// Propagates circuit and simulation errors.
+pub fn run_adder(bits: usize, a: u64, b: u64) -> Result<u64> {
+    let circ = adder_circuit(bits, a, b)?;
+    let counts = qukit_aer::simulator::QasmSimulator::new()
+        .with_seed(1)
+        .run(&circ, 1)
+        .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+    Ok(counts.most_frequent().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry() {
+        let l = AdderLayout::new(3);
+        assert_eq!(l.num_qubits(), 8);
+        assert_eq!(l.carry_in(), 0);
+        assert_eq!(l.carry_out(), 7);
+        assert_eq!(l.a(0), 2);
+        assert_eq!(l.b(0), 1);
+        assert_eq!(l.a(2), 6);
+        assert_eq!(l.b(2), 5);
+    }
+
+    #[test]
+    fn exhaustive_two_bit_addition() {
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let sum = run_adder(2, a, b).unwrap();
+                assert_eq!(sum, a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_spot_checks() {
+        for (a, b) in [(0u64, 0u64), (7, 7), (5, 3), (6, 1), (4, 4)] {
+            let sum = run_adder(3, a, b).unwrap();
+            assert_eq!(sum, a + b, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn adder_preserves_operand_a() {
+        // a must be restored by the UMA ladder: measure the a register too.
+        let layout = AdderLayout::new(3);
+        let mut circ = QuantumCircuit::with_size(layout.num_qubits(), 3);
+        for i in 0..3 {
+            if (5 >> i) & 1 == 1 {
+                circ.x(layout.a(i)).unwrap();
+            }
+            if (6 >> i) & 1 == 1 {
+                circ.x(layout.b(i)).unwrap();
+            }
+        }
+        append_cuccaro_adder(&mut circ, layout).unwrap();
+        for i in 0..3 {
+            circ.measure(layout.a(i), i).unwrap();
+        }
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(2)
+            .run(&circ, 1)
+            .unwrap();
+        assert_eq!(counts.most_frequent(), Some(5), "operand a must survive");
+    }
+
+    #[test]
+    fn adder_works_on_superpositions() {
+        // Put a0 into |+⟩: the sum register becomes entangled with it.
+        let layout = AdderLayout::new(2);
+        let mut circ = QuantumCircuit::with_size(layout.num_qubits(), 3);
+        circ.h(layout.a(0)).unwrap(); // a ∈ {0, 1}
+        circ.x(layout.b(0)).unwrap(); // b = 1
+        append_cuccaro_adder(&mut circ, layout).unwrap();
+        for i in 0..2 {
+            circ.measure(layout.b(i), i).unwrap();
+        }
+        circ.measure(layout.carry_out(), 2).unwrap();
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(3)
+            .run(&circ, 600)
+            .unwrap();
+        // Outcomes: 1 (a=0) or 2 (a=1), roughly balanced.
+        assert_eq!(counts.get_value(1) + counts.get_value(2), 600);
+        assert!(counts.get_value(1) > 200);
+        assert!(counts.get_value(2) > 200);
+    }
+
+    #[test]
+    fn toffoli_count_scales_linearly() {
+        let circ = adder_circuit(4, 0, 0).unwrap();
+        assert_eq!(circ.count_ops()["ccx"], 8, "2 Toffolis per bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_operand_panics() {
+        let _ = adder_circuit(2, 4, 0);
+    }
+}
+
+/// Appends the Draper QFT adder: adds the classical constant `value` into
+/// the `bits`-wide register starting at qubit `offset`, modulo `2^bits`,
+/// using only phase rotations inside a QFT frame (no ancillas, no carries).
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+pub fn append_draper_add_constant(
+    circ: &mut QuantumCircuit,
+    offset: usize,
+    bits: usize,
+    value: u64,
+) -> Result<()> {
+    let qubits: Vec<usize> = (offset..offset + bits).collect();
+    crate::circuits::append_qft(circ, &qubits)?;
+    // In the Fourier frame, adding `value` is a phase `2π·value·2^j / 2^bits`
+    // on the qubit carrying weight 2^j of the transformed register. After
+    // our QFT (with its final bit reversal), qubit j carries the phase
+    // gradient of output bit j.
+    for (j, &q) in qubits.iter().enumerate() {
+        let angle = std::f64::consts::TAU * (value as f64) * (1u64 << j) as f64
+            / (1u64 << bits) as f64;
+        let angle = angle % std::f64::consts::TAU;
+        if angle.abs() > 1e-12 {
+            circ.p(angle, q)?;
+        }
+    }
+    crate::circuits::append_iqft(circ, &qubits)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod draper_tests {
+    use super::*;
+
+    fn run_draper(bits: usize, start: u64, add: u64) -> u64 {
+        let mut circ = QuantumCircuit::with_size(bits, bits);
+        for i in 0..bits {
+            if (start >> i) & 1 == 1 {
+                circ.x(i).unwrap();
+            }
+        }
+        append_draper_add_constant(&mut circ, 0, bits, add).unwrap();
+        for i in 0..bits {
+            circ.measure(i, i).unwrap();
+        }
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(1)
+            .run(&circ, 1)
+            .unwrap();
+        counts.most_frequent().unwrap_or(0)
+    }
+
+    #[test]
+    fn adds_constants_mod_2n() {
+        for (bits, start, add) in [
+            (3usize, 0u64, 5u64),
+            (3, 3, 4),
+            (3, 7, 1), // wraps to 0
+            (3, 6, 7), // wraps to 5
+            (4, 9, 9), // wraps to 2
+            (2, 1, 2),
+        ] {
+            let result = run_draper(bits, start, add);
+            let expected = (start + add) % (1 << bits);
+            assert_eq!(result, expected, "{start} + {add} mod 2^{bits}");
+        }
+    }
+
+    #[test]
+    fn adding_zero_is_identity() {
+        for start in 0..8u64 {
+            assert_eq!(run_draper(3, start, 0), start);
+        }
+    }
+
+    #[test]
+    fn works_on_superposed_registers() {
+        // |+⟩ on bit 0 (values 0 and 1), add 3: outcomes 3 and 4 only.
+        let mut circ = QuantumCircuit::with_size(3, 3);
+        circ.h(0).unwrap();
+        append_draper_add_constant(&mut circ, 0, 3, 3).unwrap();
+        for i in 0..3 {
+            circ.measure(i, i).unwrap();
+        }
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(2)
+            .run(&circ, 600)
+            .unwrap();
+        assert_eq!(counts.get_value(3) + counts.get_value(4), 600);
+        assert!(counts.get_value(3) > 200 && counts.get_value(4) > 200);
+    }
+
+    #[test]
+    fn agrees_with_cuccaro_adder() {
+        for (a, b) in [(2u64, 5u64), (7, 6), (0, 3)] {
+            let cuccaro = run_adder(3, a, b).unwrap() % 8; // drop the carry
+            let draper = run_draper(3, b, a);
+            assert_eq!(cuccaro, draper, "{a} + {b}");
+        }
+    }
+}

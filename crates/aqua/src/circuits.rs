@@ -1,0 +1,337 @@
+//! Reusable circuit-construction blocks.
+//!
+//! The building blocks the application algorithms are assembled from:
+//! GHZ/Bell preparation, the quantum Fourier transform, and
+//! multi-controlled phase/X gates (decomposed recursively to the standard
+//! gate set without ancilla qubits).
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+use std::f64::consts::PI;
+
+/// Builds an `n`-qubit GHZ state preparation circuit
+/// (`H` on qubit 0, then a CNOT chain).
+///
+/// # Examples
+///
+/// ```
+/// let ghz = qukit_aqua::circuits::ghz_circuit(4);
+/// assert_eq!(ghz.count_ops()["cx"], 3);
+/// ```
+pub fn ghz_circuit(n: usize) -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(n);
+    circ.set_name(format!("ghz_{n}"));
+    if n == 0 {
+        return circ;
+    }
+    circ.h(0).expect("qubit 0 exists");
+    for q in 1..n {
+        circ.cx(q - 1, q).expect("valid chain");
+    }
+    circ
+}
+
+/// Builds a Bell-pair circuit (`(|00⟩ + |11⟩)/√2`).
+pub fn bell_circuit() -> QuantumCircuit {
+    let mut circ = ghz_circuit(2);
+    circ.set_name("bell");
+    circ
+}
+
+/// Builds a uniform-superposition circuit (`H` on every qubit).
+pub fn superposition_circuit(n: usize) -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(n);
+    circ.set_name(format!("superposition_{n}"));
+    for q in 0..n {
+        circ.h(q).expect("valid qubit");
+    }
+    circ
+}
+
+/// Appends the quantum Fourier transform on the given qubits
+/// (with the final bit-reversal swaps).
+///
+/// Convention: maps `|x⟩ → (1/√N) Σ_y e^{2πi·xy/N}|y⟩` with qubit
+/// `qubits[0]` the least significant bit of `x`.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from the circuit.
+pub fn append_qft(circ: &mut QuantumCircuit, qubits: &[usize]) -> Result<()> {
+    let n = qubits.len();
+    // Process from the most significant qubit downwards.
+    for i in (0..n).rev() {
+        circ.h(qubits[i])?;
+        for j in (0..i).rev() {
+            let angle = PI / ((1 << (i - j)) as f64);
+            circ.cp(angle, qubits[j], qubits[i])?;
+        }
+    }
+    for i in 0..n / 2 {
+        circ.swap(qubits[i], qubits[n - 1 - i])?;
+    }
+    Ok(())
+}
+
+/// Appends the inverse QFT on the given qubits.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from the circuit.
+pub fn append_iqft(circ: &mut QuantumCircuit, qubits: &[usize]) -> Result<()> {
+    let n = qubits.len();
+    for i in 0..n / 2 {
+        circ.swap(qubits[i], qubits[n - 1 - i])?;
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let angle = -PI / ((1 << (i - j)) as f64);
+            circ.cp(angle, qubits[j], qubits[i])?;
+        }
+        circ.h(qubits[i])?;
+    }
+    Ok(())
+}
+
+/// Builds the full `n`-qubit QFT as a standalone circuit.
+pub fn qft_circuit(n: usize) -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(n);
+    circ.set_name(format!("qft_{n}"));
+    let qubits: Vec<usize> = (0..n).collect();
+    append_qft(&mut circ, &qubits).expect("indices valid by construction");
+    circ
+}
+
+/// Appends a multi-controlled phase gate `diag(1, …, 1, e^{iλ})` that
+/// applies the phase only when *all* of `controls ∪ {target}` are `|1⟩`.
+///
+/// Recursive ancilla-free decomposition; gate count grows exponentially in
+/// the control count, which is acceptable for the ≤6-control oracles used
+/// by the algorithm library.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from the circuit.
+pub fn append_mcp(
+    circ: &mut QuantumCircuit,
+    lambda: f64,
+    controls: &[usize],
+    target: usize,
+) -> Result<()> {
+    match controls {
+        [] => {
+            circ.p(lambda, target)?;
+        }
+        [c] => {
+            circ.cp(lambda, *c, target)?;
+        }
+        [rest @ .., last] => {
+            circ.cp(lambda / 2.0, *last, target)?;
+            append_mcx(circ, rest, *last)?;
+            circ.cp(-lambda / 2.0, *last, target)?;
+            append_mcx(circ, rest, *last)?;
+            append_mcp(circ, lambda / 2.0, rest, target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Appends a multi-controlled X (Toffoli generalization) without ancillas.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from the circuit.
+pub fn append_mcx(circ: &mut QuantumCircuit, controls: &[usize], target: usize) -> Result<()> {
+    match controls {
+        [] => {
+            circ.x(target)?;
+        }
+        [c] => {
+            circ.cx(*c, target)?;
+        }
+        [c0, c1] => {
+            circ.ccx(*c0, *c1, target)?;
+        }
+        _ => {
+            circ.h(target)?;
+            append_mcp(circ, PI, controls, target)?;
+            circ.h(target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Appends a multi-controlled Z (phase flip of `|1…1⟩` over
+/// `qubits`).
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from the circuit. Requires at
+/// least one qubit.
+pub fn append_mcz(circ: &mut QuantumCircuit, qubits: &[usize]) -> Result<()> {
+    let (target, controls) = qubits.split_last().expect("mcz needs at least one qubit");
+    append_mcp(circ, PI, controls, *target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::complex::Complex;
+    use qukit_terra::matrix::Matrix;
+    use qukit_terra::reference;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn ghz_produces_cat_state() {
+        let state = reference::statevector(&ghz_circuit(5)).unwrap();
+        assert!((state[0].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((state[31].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_edge_cases() {
+        assert_eq!(ghz_circuit(0).size(), 0);
+        let one = ghz_circuit(1);
+        assert_eq!(one.count_ops()["h"], 1);
+        assert!(!one.count_ops().contains_key("cx"));
+    }
+
+    #[test]
+    fn superposition_is_uniform() {
+        let state = reference::statevector(&superposition_circuit(3)).unwrap();
+        for amp in &state {
+            assert!((amp.norm_sqr() - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        let n = 3;
+        let dim = 1usize << n;
+        let u = reference::unitary(&qft_circuit(n)).unwrap();
+        // DFT matrix: F[y][x] = ω^{xy} / √N with ω = e^{2πi/N}.
+        let mut dft = Matrix::zeros(dim, dim);
+        let scale = 1.0 / (dim as f64).sqrt();
+        for y in 0..dim {
+            for x in 0..dim {
+                dft[(y, x)] = Complex::cis(TAU * (x * y) as f64 / dim as f64).scale(scale);
+            }
+        }
+        assert!(u.approx_eq_eps(&dft, 1e-9), "QFT is not the DFT");
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        let n = 4;
+        let mut circ = qft_circuit(n);
+        let qubits: Vec<usize> = (0..n).collect();
+        append_iqft(&mut circ, &qubits).unwrap();
+        let u = reference::unitary(&circ).unwrap();
+        assert!(u.phase_equal_to(&Matrix::identity(1 << n)).is_some());
+    }
+
+    #[test]
+    fn mcx_truth_table() {
+        for num_controls in 0..=4usize {
+            let n = num_controls + 1;
+            let mut circ = QuantumCircuit::new(n);
+            let controls: Vec<usize> = (0..num_controls).collect();
+            append_mcx(&mut circ, &controls, num_controls).unwrap();
+            let u = reference::unitary(&circ).unwrap();
+            // Expected: X on target iff all controls set.
+            let dim = 1usize << n;
+            let mut expected = Matrix::identity(dim);
+            let all_controls = (1usize << num_controls) - 1;
+            let a = all_controls; // target 0
+            let b = all_controls | (1 << num_controls); // target 1
+            expected[(a, a)] = Complex::ZERO;
+            expected[(b, b)] = Complex::ZERO;
+            expected[(a, b)] = Complex::ONE;
+            expected[(b, a)] = Complex::ONE;
+            assert!(
+                u.phase_equal_to(&expected).is_some(),
+                "mcx with {num_controls} controls wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn mcz_flips_only_all_ones() {
+        for n in 1..=4usize {
+            let mut circ = QuantumCircuit::new(n);
+            let qubits: Vec<usize> = (0..n).collect();
+            append_mcz(&mut circ, &qubits).unwrap();
+            let u = reference::unitary(&circ).unwrap();
+            let dim = 1usize << n;
+            let mut expected = Matrix::identity(dim);
+            expected[(dim - 1, dim - 1)] = -Complex::ONE;
+            assert!(u.phase_equal_to(&expected).is_some(), "mcz on {n} qubits wrong");
+        }
+    }
+
+    #[test]
+    fn mcp_applies_phase_conditionally() {
+        let lambda = 0.9;
+        let mut circ = QuantumCircuit::new(3);
+        append_mcp(&mut circ, lambda, &[0, 1], 2).unwrap();
+        let u = reference::unitary(&circ).unwrap();
+        let mut expected = Matrix::identity(8);
+        expected[(7, 7)] = Complex::cis(lambda);
+        assert!(u.phase_equal_to(&expected).is_some());
+    }
+}
+
+/// Builds an `n`-qubit W-state preparation circuit
+/// (`(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n`) by amplitude peeling with
+/// controlled-Ry rotations.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn w_state_circuit(n: usize) -> QuantumCircuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut circ = QuantumCircuit::new(n);
+    circ.set_name(format!("w_{n}"));
+    circ.x(0).expect("qubit 0 exists");
+    for i in 0..n - 1 {
+        let theta = 2.0 * (1.0 / ((n - i) as f64).sqrt()).acos();
+        circ.append(qukit_terra::gate::Gate::Cry(theta), &[i, i + 1])
+            .expect("valid pair");
+        circ.cx(i + 1, i).expect("valid pair");
+    }
+    circ
+}
+
+#[cfg(test)]
+mod w_state_tests {
+    use super::*;
+    use qukit_terra::reference;
+
+    #[test]
+    fn w_state_amplitudes_are_uniform_single_excitations() {
+        for n in [1usize, 2, 3, 4, 5] {
+            let state = reference::statevector(&w_state_circuit(n)).unwrap();
+            let expected = 1.0 / (n as f64).sqrt();
+            for (idx, amp) in state.iter().enumerate() {
+                if idx.count_ones() == 1 {
+                    assert!(
+                        (amp.norm() - expected).abs() < 1e-9,
+                        "n={n} idx={idx:b}: {amp}"
+                    );
+                } else {
+                    assert!(amp.is_approx_zero(), "n={n} idx={idx:b} should be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w_state_dd_stays_small() {
+        // W states are structured: the DD grows linearly, like GHZ.
+        let n = 10;
+        let state = qukit_dd::simulator::DdSimulator::new()
+            .run(&w_state_circuit(n))
+            .unwrap();
+        assert!(state.node_count() <= 3 * n, "nodes {}", state.node_count());
+    }
+}

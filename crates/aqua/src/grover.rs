@@ -1,0 +1,194 @@
+//! Grover's search algorithm.
+//!
+//! One of the canonical "quadratic speedup" applications the paper's
+//! introduction motivates. The implementation builds phase oracles for
+//! arbitrary sets of marked bitstrings and the standard diffusion operator,
+//! entirely from the toolchain's gate set.
+
+use crate::circuits::{append_mcz, superposition_circuit};
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+use std::f64::consts::FRAC_PI_4;
+
+/// Appends a phase oracle flipping the sign of each `marked` basis state.
+///
+/// Each marked state costs one multi-controlled Z conjugated by X gates on
+/// the zero-bits.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+///
+/// # Panics
+///
+/// Panics if a marked value does not fit in the circuit width.
+pub fn append_phase_oracle(circ: &mut QuantumCircuit, marked: &[u64]) -> Result<()> {
+    let n = circ.num_qubits();
+    for &m in marked {
+        assert!(
+            (m as u128) < (1u128 << n),
+            "marked state {m} does not fit in {n} qubits"
+        );
+        let zero_bits: Vec<usize> = (0..n).filter(|&q| (m >> q) & 1 == 0).collect();
+        for &q in &zero_bits {
+            circ.x(q)?;
+        }
+        let all: Vec<usize> = (0..n).collect();
+        append_mcz(circ, &all)?;
+        for &q in &zero_bits {
+            circ.x(q)?;
+        }
+    }
+    Ok(())
+}
+
+/// Appends the Grover diffusion operator (inversion about the mean).
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+pub fn append_diffusion(circ: &mut QuantumCircuit) -> Result<()> {
+    let n = circ.num_qubits();
+    let all: Vec<usize> = (0..n).collect();
+    for &q in &all {
+        circ.h(q)?;
+    }
+    for &q in &all {
+        circ.x(q)?;
+    }
+    append_mcz(circ, &all)?;
+    for &q in &all {
+        circ.x(q)?;
+    }
+    for &q in &all {
+        circ.h(q)?;
+    }
+    Ok(())
+}
+
+/// The optimal Grover iteration count for `num_marked` of `2^n` states:
+/// `round(π/4 · √(N/M) - 1/2)`, at least 1.
+pub fn optimal_iterations(n: usize, num_marked: usize) -> usize {
+    assert!(num_marked > 0, "at least one marked state required");
+    let ratio = ((1usize << n) as f64 / num_marked as f64).sqrt();
+    ((FRAC_PI_4 * ratio - 0.5).round() as isize).max(1) as usize
+}
+
+/// Builds the full Grover search circuit for the marked states, using the
+/// optimal iteration count (or an explicit one).
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+pub fn grover_circuit(n: usize, marked: &[u64], iterations: Option<usize>) -> Result<QuantumCircuit> {
+    let mut circ = superposition_circuit(n);
+    circ.set_name(format!("grover_{n}"));
+    let iterations = iterations.unwrap_or_else(|| optimal_iterations(n, marked.len()));
+    for _ in 0..iterations {
+        append_phase_oracle(&mut circ, marked)?;
+        append_diffusion(&mut circ)?;
+    }
+    Ok(circ)
+}
+
+/// The exact success probability of measuring one of the `marked` states
+/// after running `circuit` (via statevector simulation).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn success_probability(circuit: &QuantumCircuit, marked: &[u64]) -> Result<f64> {
+    let state = qukit_terra::reference::statevector(circuit)?;
+    Ok(marked
+        .iter()
+        .map(|&m| state[m as usize].norm_sqr())
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_marked_state_is_amplified() {
+        let n = 4;
+        let marked = [0b1011u64];
+        let circ = grover_circuit(n, &marked, None).unwrap();
+        let p = success_probability(&circ, &marked).unwrap();
+        assert!(p > 0.9, "success probability {p}");
+    }
+
+    #[test]
+    fn three_qubit_search_hits_hard() {
+        // N=8, M=1: 2 iterations give ~94.5%.
+        let circ = grover_circuit(3, &[6], None).unwrap();
+        let p = success_probability(&circ, &[6]).unwrap();
+        assert!((p - 0.945).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn multiple_marked_states() {
+        let n = 4;
+        let marked = [3u64, 12u64];
+        let circ = grover_circuit(n, &marked, None).unwrap();
+        let p = success_probability(&circ, &marked).unwrap();
+        assert!(p > 0.9, "success probability {p}");
+    }
+
+    #[test]
+    fn oracle_only_flips_marked_amplitudes() {
+        let n = 3;
+        let mut circ = superposition_circuit(n);
+        append_phase_oracle(&mut circ, &[5]).unwrap();
+        let state = qukit_terra::reference::statevector(&circ).unwrap();
+        let amp = 1.0 / (8.0f64).sqrt();
+        for (idx, a) in state.iter().enumerate() {
+            let expected = if idx == 5 { -amp } else { amp };
+            assert!(
+                (a.re - expected).abs() < 1e-9 && a.im.abs() < 1e-9,
+                "amplitude {idx}: {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_counts() {
+        assert_eq!(optimal_iterations(2, 1), 1);
+        assert_eq!(optimal_iterations(3, 1), 2);
+        assert_eq!(optimal_iterations(4, 1), 3);
+        assert_eq!(optimal_iterations(10, 1), 25);
+        assert_eq!(optimal_iterations(4, 4), 1);
+    }
+
+    #[test]
+    fn over_rotation_reduces_success() {
+        // Running twice the optimal iterations overshoots.
+        let n = 4;
+        let marked = [7u64];
+        let optimal = grover_circuit(n, &marked, None).unwrap();
+        let over = grover_circuit(n, &marked, Some(2 * optimal_iterations(n, 1))).unwrap();
+        let p_opt = success_probability(&optimal, &marked).unwrap();
+        let p_over = success_probability(&over, &marked).unwrap();
+        assert!(p_opt > p_over, "over-rotation must hurt: {p_opt} vs {p_over}");
+    }
+
+    #[test]
+    fn sampled_execution_finds_the_needle() {
+        let n = 3;
+        let marked = [2u64];
+        let mut circ = grover_circuit(n, &marked, None).unwrap();
+        circ.measure_all();
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(13)
+            .run(&circ, 500)
+            .unwrap();
+        assert_eq!(counts.most_frequent(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_marked_state_panics() {
+        let mut circ = QuantumCircuit::new(2);
+        let _ = append_phase_oracle(&mut circ, &[9]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # qukit-aqua
+//!
+//! Application-level quantum algorithms for the **qukit** toolchain — the
+//! analogue of Qiskit's Aqua element in the DATE 2019 paper: "high-level
+//! quantum algorithms for a multitude of applications", exposing
+//! push-button interfaces that construct the underlying circuits from
+//! problem descriptions.
+//!
+//! * [`operator`] — Pauli-string observables, the H2 molecular Hamiltonian
+//!   and transverse-field Ising chains;
+//! * [`vqe`] — the Variational Quantum Eigensolver (the algorithm the
+//!   paper highlights as "at the basis of many of Aqua's applications");
+//! * [`qaoa`] — QAOA for MaxCut;
+//! * [`grover`] — Grover search with oracle and diffusion builders;
+//! * [`oracle_algorithms`] — Deutsch-Jozsa and Bernstein-Vazirani;
+//! * [`phase_estimation`] — quantum phase estimation;
+//! * [`teleportation`] — teleportation with conditioned corrections;
+//! * [`circuits`] — QFT, GHZ and multi-controlled gate builders;
+//! * [`optimizers`] — Nelder-Mead and SPSA classical optimizers;
+//! * [`linalg`] — exact Hermitian eigenvalues for classical references.
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_aqua::operator::h2_hamiltonian;
+//! use qukit_aqua::optimizers::NelderMead;
+//! use qukit_aqua::vqe::{HardwareEfficientAnsatz, Vqe};
+//!
+//! # fn main() -> Result<(), qukit_terra::error::TerraError> {
+//! let h2 = h2_hamiltonian();
+//! let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+//! let result = vqe.run(&NelderMead::new(), &[0.1; 8])?;
+//! assert!((result.energy - h2.min_eigenvalue()).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arithmetic;
+pub mod circuits;
+pub mod counting;
+pub mod evolution;
+pub mod grover;
+pub mod linalg;
+pub mod measurement;
+pub mod operator;
+pub mod optimizers;
+pub mod oracle_algorithms;
+pub mod phase_estimation;
+pub mod qaoa;
+pub mod simon;
+pub mod state_preparation;
+pub mod teleportation;
+pub mod vqe;
+
+pub use operator::{PauliOperator, PauliTerm};
+pub use optimizers::{NelderMead, Optimizer, Spsa};
+pub use qaoa::{Graph, Qaoa};
+pub use vqe::{HardwareEfficientAnsatz, Vqe};

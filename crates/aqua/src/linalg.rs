@@ -1,0 +1,240 @@
+//! Small dense linear-algebra routines for Hermitian operators.
+//!
+//! Exact references for the variational algorithms: extremal eigenvalues
+//! of Hamiltonian matrices via shifted power iteration with deflation.
+//! Dimensions stay small (`≤ 2^10`), so simplicity beats sophistication.
+
+use qukit_terra::complex::Complex;
+use qukit_terra::matrix::Matrix;
+
+/// An upper bound on the spectral radius via the Gershgorin circle theorem.
+pub fn gershgorin_bound(m: &Matrix) -> f64 {
+    let mut bound = 0.0f64;
+    for i in 0..m.rows() {
+        let mut radius = 0.0;
+        for j in 0..m.cols() {
+            if i != j {
+                radius += m[(i, j)].norm();
+            }
+        }
+        bound = bound.max(m[(i, i)].norm() + radius);
+    }
+    bound
+}
+
+/// The largest eigenvalue of a Hermitian matrix (power iteration).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn max_eigenvalue_hermitian(m: &Matrix) -> f64 {
+    assert!(m.is_square(), "eigenvalue of a non-square matrix");
+    // Shift to make the target eigenvalue the one of largest magnitude:
+    // A + cI has spectrum shifted by +c; with c = gershgorin bound all
+    // eigenvalues are >= 0 and the max is dominant.
+    let c = gershgorin_bound(m) + 1.0;
+    let shifted = m.add(&Matrix::identity(m.rows()).scale(Complex::from_real(c)));
+    dominant_eigenvalue(&shifted) - c
+}
+
+/// The smallest eigenvalue of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn min_eigenvalue_hermitian(m: &Matrix) -> f64 {
+    -max_eigenvalue_hermitian(&m.scale(Complex::from_real(-1.0)))
+}
+
+/// Power iteration for the dominant (largest-magnitude, here largest
+/// positive) eigenvalue of a positive semidefinite Hermitian matrix.
+fn dominant_eigenvalue(m: &Matrix) -> f64 {
+    let n = m.rows();
+    // Deterministic pseudo-random start vector (no RNG dependency here).
+    let mut v: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1, 0.3 / (i + 1) as f64))
+        .collect();
+    qukit_terra::matrix::normalize(&mut v);
+    let mut eigenvalue = 0.0;
+    for _ in 0..10_000 {
+        let mut next = m.matvec(&v);
+        let norm = qukit_terra::matrix::normalize(&mut next);
+        let delta = (norm - eigenvalue).abs();
+        eigenvalue = norm;
+        v = next;
+        if delta < 1e-12 * (1.0 + eigenvalue) {
+            break;
+        }
+    }
+    // Rayleigh quotient for the final estimate (more accurate than the
+    // norm when convergence is slow).
+    let mv = m.matvec(&v);
+    qukit_terra::matrix::inner_product(&v, &mv).re
+}
+
+/// All eigenvalues of a small Hermitian matrix by repeated deflation
+/// (ascending order). Intended for dimensions up to ~64.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn eigenvalues_hermitian(m: &Matrix) -> Vec<f64> {
+    assert!(m.is_square(), "eigenvalues of a non-square matrix");
+    let n = m.rows();
+    // Shift to positive definite, then repeatedly extract the dominant
+    // eigenpair and deflate: A' = A - λ v v†.
+    let c = gershgorin_bound(m) + 1.0;
+    let mut work = m.add(&Matrix::identity(n).scale(Complex::from_real(c)));
+    let mut values = Vec::with_capacity(n);
+    let mut found: Vec<Vec<Complex>> = Vec::with_capacity(n);
+    for round in 0..n {
+        let (lambda, v) = dominant_eigenpair(&work, &found, round as u64);
+        values.push(lambda - c);
+        // Deflate.
+        for i in 0..n {
+            for j in 0..n {
+                let update = v[i] * v[j].conj() * lambda;
+                work[(i, j)] -= update;
+            }
+        }
+        found.push(v);
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite eigenvalues"));
+    values
+}
+
+/// Projects out previously found eigenvectors (Gram-Schmidt step).
+fn orthogonalize(v: &mut [Complex], found: &[Vec<Complex>]) {
+    for f in found {
+        let overlap = qukit_terra::matrix::inner_product(f, v);
+        for (vi, fi) in v.iter_mut().zip(f) {
+            *vi -= overlap * *fi;
+        }
+    }
+}
+
+/// Power iteration for the dominant eigenpair, kept orthogonal to the
+/// already-extracted eigenvectors. A fixed start vector could be exactly
+/// orthogonal to the remaining dominant eigenspace (this happens
+/// systematically for degenerate spectra after deflation), so the start is
+/// salted per deflation round.
+fn dominant_eigenpair(m: &Matrix, found: &[Vec<Complex>], salt: u64) -> (f64, Vec<Complex>) {
+    let n = m.rows();
+    let s = salt as f64 + 1.0;
+    let mut v: Vec<Complex> = (0..n)
+        .map(|i| {
+            Complex::new(
+                1.0 + (i as f64 * 0.7 + s * 1.9).sin(),
+                (i as f64 * 1.3 + s * 0.41).cos(),
+            )
+        })
+        .collect();
+    orthogonalize(&mut v, found);
+    qukit_terra::matrix::normalize(&mut v);
+    for _ in 0..20_000 {
+        let mut next = m.matvec(&v);
+        orthogonalize(&mut next, found);
+        let norm = qukit_terra::matrix::normalize(&mut next);
+        let diff: f64 = next
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
+        v = next;
+        if norm <= 1e-12 {
+            break;
+        }
+        if diff < 1e-24 {
+            break;
+        }
+    }
+    let mv = m.matvec(&v);
+    let lambda = qukit_terra::matrix::inner_product(&v, &mv).re;
+    (lambda, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::complex::c64;
+
+    fn diag(values: &[f64]) -> Matrix {
+        let n = values.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = c64(v, 0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn extremal_eigenvalues_of_diagonal() {
+        let m = diag(&[3.0, -5.0, 1.0, 2.0]);
+        assert!((max_eigenvalue_hermitian(&m) - 3.0).abs() < 1e-8);
+        assert!((min_eigenvalue_hermitian(&m) + 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_of_pauli_x() {
+        let x = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
+        );
+        let values = eigenvalues_hermitian(&x);
+        assert!((values[0] + 1.0).abs() < 1e-8);
+        assert!((values[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_with_complex_entries() {
+        // Pauli Y: eigenvalues ±1.
+        let y = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
+        );
+        let values = eigenvalues_hermitian(&y);
+        assert!((values[0] + 1.0).abs() < 1e-8);
+        assert!((values[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_spectrum() {
+        let m = diag(&[2.0, 2.0, -1.0]);
+        let values = eigenvalues_hermitian(&m);
+        assert!((values[0] + 1.0).abs() < 1e-6);
+        assert!((values[1] - 2.0).abs() < 1e-6);
+        assert!((values[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gershgorin_bounds_spectrum() {
+        let m = diag(&[3.0, -4.0]);
+        assert!(gershgorin_bound(&m) >= 4.0);
+    }
+
+    #[test]
+    fn full_spectrum_sums_to_trace() {
+        // Random-ish Hermitian 4x4.
+        let mut m = Matrix::zeros(4, 4);
+        let entries = [
+            (0, 0, 1.0, 0.0),
+            (1, 1, -2.0, 0.0),
+            (2, 2, 0.5, 0.0),
+            (3, 3, 3.0, 0.0),
+            (0, 1, 0.3, 0.1),
+            (0, 2, -0.2, 0.4),
+            (1, 3, 0.7, -0.6),
+        ];
+        for &(i, j, re, im) in &entries {
+            m[(i, j)] = c64(re, im);
+            if i != j {
+                m[(j, i)] = c64(re, -im);
+            }
+        }
+        let values = eigenvalues_hermitian(&m);
+        let sum: f64 = values.iter().sum();
+        assert!((sum - m.trace().re).abs() < 1e-6, "sum {sum} vs trace {}", m.trace().re);
+    }
+}

@@ -1,0 +1,307 @@
+//! Pauli-operator observables.
+//!
+//! Hamiltonians for the application-level algorithms (VQE, QAOA) are
+//! expressed as real-weighted sums of Pauli strings — the form in which
+//! quantum chemistry and optimization problems reach the quantum computer.
+
+use qukit_aer::statevector::Statevector;
+use qukit_terra::complex::Complex;
+use qukit_terra::matrix::Matrix;
+use std::fmt;
+
+/// A single Pauli string (one `I`/`X`/`Y`/`Z` per qubit) with a real
+/// coefficient.
+///
+/// Character `i` of the label acts on qubit `i` (little-endian, consistent
+/// with the rest of the toolchain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliTerm {
+    /// Coefficient of the term.
+    pub coefficient: f64,
+    /// The Pauli label, e.g. `"XXIZ"`.
+    pub label: String,
+}
+
+impl PauliTerm {
+    /// Creates a term, validating the label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label contains characters other than `IXYZ`.
+    pub fn new(coefficient: f64, label: impl Into<String>) -> Self {
+        let label = label.into();
+        assert!(
+            label.chars().all(|c| matches!(c, 'I' | 'X' | 'Y' | 'Z')),
+            "invalid Pauli label '{label}'"
+        );
+        Self { coefficient, label }
+    }
+
+    /// Number of qubits the term spans.
+    pub fn num_qubits(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Qubits on which the term acts non-trivially.
+    pub fn support(&self) -> Vec<usize> {
+        self.label
+            .chars()
+            .enumerate()
+            .filter(|(_, c)| *c != 'I')
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// The dense matrix of the (unweighted) Pauli string.
+    pub fn matrix(&self) -> Matrix {
+        let mut acc = Matrix::identity(1);
+        // Little-endian: qubit 0 is the rightmost tensor factor, so build
+        // left-to-right as P_{n-1} ⊗ … ⊗ P_0 by prepending.
+        for c in self.label.chars() {
+            let p = pauli_matrix(c);
+            acc = p.kron(&acc);
+        }
+        acc
+    }
+}
+
+fn pauli_matrix(c: char) -> Matrix {
+    let o = Complex::ZERO;
+    let l = Complex::ONE;
+    let i = Complex::I;
+    match c {
+        'I' => Matrix::identity(2),
+        'X' => Matrix::from_vec(2, 2, vec![o, l, l, o]),
+        'Y' => Matrix::from_vec(2, 2, vec![o, -i, i, o]),
+        'Z' => Matrix::from_vec(2, 2, vec![l, o, o, -l]),
+        other => panic!("invalid Pauli character '{other}'"),
+    }
+}
+
+/// A Hermitian observable as a sum of weighted Pauli strings.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aqua::operator::PauliOperator;
+///
+/// // H = 0.5·Z₀ + 0.5·Z₁  (label char i acts on qubit i)
+/// let h = PauliOperator::from_terms(&[(0.5, "ZI"), (0.5, "IZ")]);
+/// assert_eq!(h.num_qubits(), 2);
+/// // Exact spectrum of this operator is {-1, 0, 0, 1}.
+/// assert!((h.min_eigenvalue() + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PauliOperator {
+    terms: Vec<PauliTerm>,
+}
+
+impl PauliOperator {
+    /// Creates an operator from `(coefficient, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid labels or inconsistent lengths.
+    pub fn from_terms(terms: &[(f64, &str)]) -> Self {
+        let built: Vec<PauliTerm> =
+            terms.iter().map(|&(c, l)| PauliTerm::new(c, l)).collect();
+        if let Some(first) = built.first() {
+            let n = first.num_qubits();
+            assert!(
+                built.iter().all(|t| t.num_qubits() == n),
+                "all Pauli labels must have the same length"
+            );
+        }
+        Self { terms: built }
+    }
+
+    /// The terms of the operator.
+    pub fn terms(&self) -> &[PauliTerm] {
+        &self.terms
+    }
+
+    /// Number of qubits (0 for the empty operator).
+    pub fn num_qubits(&self) -> usize {
+        self.terms.first().map_or(0, PauliTerm::num_qubits)
+    }
+
+    /// Adds a term in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label length differs from existing terms.
+    pub fn add_term(&mut self, coefficient: f64, label: impl Into<String>) {
+        let term = PauliTerm::new(coefficient, label);
+        if let Some(first) = self.terms.first() {
+            assert_eq!(term.num_qubits(), first.num_qubits(), "label length mismatch");
+        }
+        self.terms.push(term);
+    }
+
+    /// Exact expectation value `⟨ψ|H|ψ⟩` on a statevector.
+    pub fn expectation(&self, state: &Statevector) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.coefficient * state.expectation_pauli(&t.label))
+            .sum()
+    }
+
+    /// The dense matrix of the operator (exponential; small systems).
+    pub fn to_matrix(&self) -> Matrix {
+        let dim = 1usize << self.num_qubits();
+        let mut acc = Matrix::zeros(dim, dim);
+        for t in &self.terms {
+            acc = acc.add(&t.matrix().scale(Complex::from_real(t.coefficient)));
+        }
+        acc
+    }
+
+    /// The exact smallest eigenvalue, by shifted power iteration on the
+    /// dense matrix — the classical reference VQE is compared against.
+    ///
+    /// # Panics
+    ///
+    /// Panics for operators wider than 10 qubits (dense diagonalization).
+    pub fn min_eigenvalue(&self) -> f64 {
+        assert!(self.num_qubits() <= 10, "exact eigenvalue limited to 10 qubits");
+        crate::linalg::min_eigenvalue_hermitian(&self.to_matrix())
+    }
+}
+
+impl fmt::Display for PauliOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " {} ", if t.coefficient >= 0.0 { "+" } else { "-" })?;
+                write!(f, "{}·{}", t.coefficient.abs(), t.label)?;
+            } else {
+                write!(f, "{}·{}", t.coefficient, t.label)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The 2-qubit H2 molecular Hamiltonian at the equilibrium bond distance
+/// (0.735 Å, STO-3G basis, parity mapping) — the flagship VQE benchmark
+/// named in the paper's Aqua discussion (the Kandala et al. Nature 2017
+/// hardware-efficient VQE [15]).
+///
+/// Its exact ground-state energy is ≈ -1.85727503 Hartree.
+pub fn h2_hamiltonian() -> PauliOperator {
+    PauliOperator::from_terms(&[
+        (-1.052373245772859, "II"),
+        (0.39793742484318045, "ZI"),
+        (-0.39793742484318045, "IZ"),
+        (-0.01128010425623538, "ZZ"),
+        (0.18093119978423156, "XX"),
+    ])
+}
+
+/// A transverse-field Ising chain
+/// `H = -J Σ Z_i Z_{i+1} - h Σ X_i` on `n` qubits — the scalable many-body
+/// benchmark used for the VQE parameter sweeps.
+pub fn transverse_field_ising(n: usize, coupling: f64, field: f64) -> PauliOperator {
+    let mut op = PauliOperator::default();
+    let label_with = |positions: &[(usize, char)]| -> String {
+        let mut chars = vec!['I'; n];
+        for &(q, c) in positions {
+            chars[q] = c;
+        }
+        chars.into_iter().collect()
+    };
+    for i in 0..n.saturating_sub(1) {
+        op.add_term(-coupling, label_with(&[(i, 'Z'), (i + 1, 'Z')]));
+    }
+    for i in 0..n {
+        op.add_term(-field, label_with(&[(i, 'X')]));
+    }
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::gate::Gate;
+
+    #[test]
+    fn term_validation_and_support() {
+        let t = PauliTerm::new(0.5, "XIZ");
+        assert_eq!(t.num_qubits(), 3);
+        assert_eq!(t.support(), vec![0, 2]);
+        assert!(std::panic::catch_unwind(|| PauliTerm::new(1.0, "XQ")).is_err());
+    }
+
+    #[test]
+    fn term_matrix_is_hermitian_and_unitary() {
+        for label in ["X", "Y", "Z", "XY", "ZZ", "XIZ"] {
+            let m = PauliTerm::new(1.0, label).matrix();
+            assert!(m.is_hermitian(), "{label}");
+            assert!(m.is_unitary(), "{label}");
+        }
+    }
+
+    #[test]
+    fn term_matrix_ordering_is_little_endian() {
+        // "XI" means X on qubit 0: must equal I ⊗ X (qubit 1 ⊗ qubit 0).
+        let m = PauliTerm::new(1.0, "XI").matrix();
+        let expected = Matrix::identity(2).kron(&pauli_matrix('X'));
+        assert!(m.approx_eq(&expected));
+    }
+
+    #[test]
+    fn operator_expectation_matches_dense() {
+        let op = PauliOperator::from_terms(&[(0.3, "XZ"), (-0.7, "YY"), (0.1, "II")]);
+        let mut state = Statevector::new(2);
+        state.apply_gate(Gate::H, &[0]);
+        state.apply_gate(Gate::T, &[0]);
+        state.apply_gate(Gate::CX, &[0, 1]);
+        let fast = op.expectation(&state);
+        // Dense reference: <ψ|M|ψ>.
+        let m = op.to_matrix();
+        let mv = m.matvec(state.amplitudes());
+        let dense = qukit_terra::matrix::inner_product(state.amplitudes(), &mv).re;
+        assert!((fast - dense).abs() < 1e-10, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn h2_ground_energy_matches_literature() {
+        let h2 = h2_hamiltonian();
+        let e = h2.min_eigenvalue();
+        assert!((e - (-1.85727503)).abs() < 1e-5, "H2 energy {e}");
+    }
+
+    #[test]
+    fn ising_chain_term_count() {
+        let op = transverse_field_ising(5, 1.0, 0.5);
+        assert_eq!(op.terms().len(), 4 + 5);
+        assert_eq!(op.num_qubits(), 5);
+        // Ferromagnetic ground state at h=0: energy -(n-1)·J.
+        let classical = transverse_field_ising(4, 1.0, 0.0);
+        assert!((classical.min_eigenvalue() + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn operator_to_matrix_is_hermitian() {
+        let op = h2_hamiltonian();
+        assert!(op.to_matrix().is_hermitian());
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let mut op = PauliOperator::from_terms(&[(1.0, "XX")]);
+        assert!(std::panic::catch_unwind(move || op.add_term(1.0, "X")).is_err());
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let op = PauliOperator::from_terms(&[(0.5, "XX"), (-0.25, "ZZ")]);
+        let text = op.to_string();
+        assert!(text.contains("XX"));
+        assert!(text.contains('-'));
+        assert_eq!(PauliOperator::default().to_string(), "0");
+    }
+}

@@ -1,0 +1,272 @@
+//! Classical optimizers for variational quantum algorithms.
+//!
+//! Hybrid conventional-quantum algorithms like VQE (Section III "Aqua")
+//! loop a classical optimizer around a quantum expectation evaluation.
+//! Two complementary optimizers are provided:
+//!
+//! * [`NelderMead`] — derivative-free simplex search, robust on exact
+//!   (noise-free) objectives;
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation, the
+//!   standard choice for shot-noise objectives on hardware.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationResult {
+    /// Optimal parameters found.
+    pub parameters: Vec<f64>,
+    /// Objective value at the optimum.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// A minimizer of `f: R^n → R`.
+pub trait Optimizer {
+    /// Minimizes `objective` starting from `initial`.
+    fn minimize(
+        &self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        initial: &[f64],
+    ) -> OptimizationResult;
+}
+
+/// Derivative-free Nelder-Mead simplex minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMead {
+    /// Maximum objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the simplex value spread.
+    pub tolerance: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self { max_evaluations: 2000, tolerance: 1e-9, initial_step: 0.5 }
+    }
+}
+
+impl NelderMead {
+    /// Creates the optimizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(
+        &self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        initial: &[f64],
+    ) -> OptimizationResult {
+        let n = initial.len();
+        let mut evals = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            objective(x)
+        };
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let f0 = eval(initial, &mut evals);
+        simplex.push((initial.to_vec(), f0));
+        for i in 0..n {
+            let mut p = initial.to_vec();
+            p[i] += self.initial_step;
+            let fp = eval(&p, &mut evals);
+            simplex.push((p, fp));
+        }
+        let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+        while evals < self.max_evaluations {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (p, _) in &simplex[..n] {
+                for (c, &v) in centroid.iter_mut().zip(p) {
+                    *c += v / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(&c, &w)| c + alpha * (c - w))
+                .collect();
+            let f_reflect = eval(&reflect, &mut evals);
+            if f_reflect < simplex[0].1 {
+                // Expand.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(&c, &r)| c + gamma * (r - c))
+                    .collect();
+                let f_expand = eval(&expand, &mut evals);
+                simplex[n] = if f_expand < f_reflect {
+                    (expand, f_expand)
+                } else {
+                    (reflect, f_reflect)
+                };
+            } else if f_reflect < simplex[n - 1].1 {
+                simplex[n] = (reflect, f_reflect);
+            } else {
+                // Contract.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst.0)
+                    .map(|(&c, &w)| c + rho * (w - c))
+                    .collect();
+                let f_contract = eval(&contract, &mut evals);
+                if f_contract < worst.1 {
+                    simplex[n] = (contract, f_contract);
+                } else {
+                    // Shrink towards the best vertex.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let shrunk: Vec<f64> = best
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(&b, &p)| b + sigma * (p - b))
+                            .collect();
+                        let f_shrunk = eval(&shrunk, &mut evals);
+                        *entry = (shrunk, f_shrunk);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        OptimizationResult {
+            parameters: simplex[0].0.clone(),
+            value: simplex[0].1,
+            evaluations: evals,
+        }
+    }
+}
+
+/// Simultaneous-perturbation stochastic approximation.
+///
+/// Estimates the gradient from two objective evaluations per iteration
+/// regardless of dimension, tolerating substantial evaluation noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spsa {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Initial step size `a`.
+    pub a: f64,
+    /// Initial perturbation size `c`.
+    pub c: f64,
+    /// RNG seed for the perturbation directions.
+    pub seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Self { iterations: 200, a: 0.2, c: 0.1, seed: 42 }
+    }
+}
+
+impl Spsa {
+    /// Creates the optimizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Optimizer for Spsa {
+    fn minimize(
+        &self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        initial: &[f64],
+    ) -> OptimizationResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = initial.len();
+        let mut x = initial.to_vec();
+        let mut evals = 0usize;
+        // Standard gain schedules (Spall 1998).
+        let big_a = 0.1 * self.iterations as f64;
+        let (alpha, gamma) = (0.602, 0.101);
+        for k in 0..self.iterations {
+            let ak = self.a / (k as f64 + 1.0 + big_a).powf(alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(gamma);
+            let delta: Vec<f64> =
+                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let plus: Vec<f64> = x.iter().zip(&delta).map(|(&v, &d)| v + ck * d).collect();
+            let minus: Vec<f64> = x.iter().zip(&delta).map(|(&v, &d)| v - ck * d).collect();
+            let f_plus = objective(&plus);
+            let f_minus = objective(&minus);
+            evals += 2;
+            let scale = (f_plus - f_minus) / (2.0 * ck);
+            for (xi, &d) in x.iter_mut().zip(&delta) {
+                *xi -= ak * scale / d;
+            }
+        }
+        let value = objective(&x);
+        evals += 1;
+        OptimizationResult { parameters: x, value, evaluations: evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> f64 {
+        (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2) + 0.5
+    }
+
+    #[test]
+    fn nelder_mead_finds_quadratic_minimum() {
+        let mut f = |x: &[f64]| quadratic(x);
+        let result = NelderMead::new().minimize(&mut f, &[0.0, 0.0]);
+        assert!((result.parameters[0] - 3.0).abs() < 1e-4);
+        assert!((result.parameters[1] + 1.0).abs() < 1e-4);
+        assert!((result.value - 0.5).abs() < 1e-6);
+        assert!(result.evaluations <= 2000);
+    }
+
+    #[test]
+    fn nelder_mead_on_rosenbrock() {
+        let mut f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opt = NelderMead { max_evaluations: 5000, ..NelderMead::new() };
+        let result = opt.minimize(&mut f, &[-1.2, 1.0]);
+        assert!(result.value < 1e-5, "rosenbrock value {}", result.value);
+    }
+
+    #[test]
+    fn nelder_mead_respects_budget() {
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            x[0] * x[0]
+        };
+        let opt = NelderMead { max_evaluations: 50, ..NelderMead::new() };
+        let result = opt.minimize(&mut f, &[10.0]);
+        assert!(count <= 55, "evaluations {count}"); // small overshoot in final iteration
+        assert_eq!(result.evaluations, count);
+    }
+
+    #[test]
+    fn spsa_minimizes_noisy_quadratic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f = |x: &[f64]| quadratic(x) + 0.01 * (rng.gen::<f64>() - 0.5);
+        let opt = Spsa { iterations: 400, ..Spsa::new() };
+        let result = opt.minimize(&mut f, &[0.0, 0.0]);
+        assert!((result.parameters[0] - 3.0).abs() < 0.2, "{:?}", result.parameters);
+        assert!((result.parameters[1] + 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn spsa_evaluation_count() {
+        let mut f = |x: &[f64]| x[0].powi(2);
+        let opt = Spsa { iterations: 10, ..Spsa::new() };
+        let result = opt.minimize(&mut f, &[1.0]);
+        assert_eq!(result.evaluations, 21);
+    }
+}

@@ -1,0 +1,166 @@
+//! Deutsch-Jozsa and Bernstein-Vazirani.
+//!
+//! The two textbook oracle-separation algorithms — minimal end-to-end
+//! demonstrations of quantum parallelism (the concept Section II-A of the
+//! paper introduces), each deciding with a single oracle query what
+//! classically takes many.
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+
+/// The hidden function given to Deutsch-Jozsa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = bit` for all inputs.
+    Constant(bool),
+    /// `f(x) = parity(x & mask)` with a nonzero mask — balanced.
+    BalancedParity(u64),
+}
+
+/// Builds the Deutsch-Jozsa circuit over `n` input qubits plus one ancilla
+/// (qubit `n`), measuring the input register into classical bits `0..n`.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+///
+/// # Panics
+///
+/// Panics if a balanced mask is zero or does not fit in `n` bits.
+pub fn deutsch_jozsa_circuit(n: usize, oracle: &DjOracle) -> Result<QuantumCircuit> {
+    let mut circ = QuantumCircuit::with_size(n + 1, n);
+    circ.set_name(format!("deutsch_jozsa_{n}"));
+    // Ancilla in |−⟩.
+    circ.x(n)?;
+    circ.h(n)?;
+    for q in 0..n {
+        circ.h(q)?;
+    }
+    // Oracle: |x⟩|y⟩ → |x⟩|y ⊕ f(x)⟩.
+    match oracle {
+        DjOracle::Constant(true) => {
+            circ.x(n)?;
+        }
+        DjOracle::Constant(false) => {}
+        DjOracle::BalancedParity(mask) => {
+            assert!(*mask != 0, "a zero mask is constant, not balanced");
+            assert!(
+                (*mask as u128) < (1u128 << n),
+                "mask does not fit in {n} input qubits"
+            );
+            for q in 0..n {
+                if (mask >> q) & 1 == 1 {
+                    circ.cx(q, n)?;
+                }
+            }
+        }
+    }
+    for q in 0..n {
+        circ.h(q)?;
+    }
+    for q in 0..n {
+        circ.measure(q, q)?;
+    }
+    Ok(circ)
+}
+
+/// Interprets Deutsch-Jozsa counts: all-zeros ⇒ constant.
+pub fn deutsch_jozsa_is_constant(counts: &qukit_aer::counts::Counts) -> bool {
+    counts.most_frequent() == Some(0)
+}
+
+/// Builds the Bernstein-Vazirani circuit recovering the hidden bitstring
+/// `secret` in a single query.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+///
+/// # Panics
+///
+/// Panics if `secret` does not fit in `n` bits.
+pub fn bernstein_vazirani_circuit(n: usize, secret: u64) -> Result<QuantumCircuit> {
+    assert!((secret as u128) < (1u128 << n), "secret does not fit in {n} qubits");
+    let mut circ = QuantumCircuit::with_size(n + 1, n);
+    circ.set_name(format!("bernstein_vazirani_{n}"));
+    circ.x(n)?;
+    circ.h(n)?;
+    for q in 0..n {
+        circ.h(q)?;
+    }
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            circ.cx(q, n)?;
+        }
+    }
+    for q in 0..n {
+        circ.h(q)?;
+    }
+    for q in 0..n {
+        circ.measure(q, q)?;
+    }
+    Ok(circ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_aer::simulator::QasmSimulator;
+
+    fn run(circ: &QuantumCircuit) -> qukit_aer::counts::Counts {
+        QasmSimulator::new().with_seed(4).run(circ, 256).unwrap()
+    }
+
+    #[test]
+    fn constant_oracles_report_constant() {
+        for bit in [false, true] {
+            let circ = deutsch_jozsa_circuit(4, &DjOracle::Constant(bit)).unwrap();
+            let counts = run(&circ);
+            assert_eq!(counts.get_value(0), 256, "constant({bit}) must yield |0…0⟩");
+            assert!(deutsch_jozsa_is_constant(&counts));
+        }
+    }
+
+    #[test]
+    fn balanced_oracles_report_balanced() {
+        for mask in [0b1u64, 0b1010, 0b1111] {
+            let circ = deutsch_jozsa_circuit(4, &DjOracle::BalancedParity(mask)).unwrap();
+            let counts = run(&circ);
+            assert_eq!(counts.get_value(0), 0, "balanced({mask:b}) must never yield 0");
+            assert!(!deutsch_jozsa_is_constant(&counts));
+            // For a parity oracle the outcome is deterministic: the mask.
+            assert_eq!(counts.get_value(mask), 256);
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret_in_one_query() {
+        for secret in [0u64, 1, 0b1011, 0b11111] {
+            let circ = bernstein_vazirani_circuit(5, secret).unwrap();
+            let counts = run(&circ);
+            assert_eq!(
+                counts.get_value(secret),
+                256,
+                "secret {secret:b} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn bv_oracle_query_count_is_one_layer_of_cx() {
+        let circ = bernstein_vazirani_circuit(6, 0b101010).unwrap();
+        assert_eq!(circ.count_ops()["cx"], 3, "one CX per set secret bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_secret_panics() {
+        let _ = bernstein_vazirani_circuit(2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant, not balanced")]
+    fn zero_mask_panics() {
+        let _ = deutsch_jozsa_circuit(3, &DjOracle::BalancedParity(0));
+    }
+}

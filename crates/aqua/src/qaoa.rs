@@ -1,0 +1,293 @@
+//! QAOA for MaxCut.
+//!
+//! The second flagship hybrid algorithm of the Aqua layer: the Quantum
+//! Approximate Optimization Algorithm applied to MaxCut, with the cost
+//! Hamiltonian built from graph edges and the standard alternating
+//! cost/mixer ansatz.
+
+use crate::operator::PauliOperator;
+use crate::optimizers::Optimizer;
+use qukit_aer::simulator::{QasmSimulator, StatevectorSimulator};
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+
+/// An undirected weighted graph for MaxCut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_vertices: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Creates a graph; edges are `(u, v, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or self-loops.
+    pub fn new(num_vertices: usize, edges: &[(usize, usize, f64)]) -> Self {
+        for &(u, v, _) in edges {
+            assert!(u < num_vertices && v < num_vertices, "edge out of range");
+            assert_ne!(u, v, "self-loops are not allowed");
+        }
+        Self { num_vertices, edges: edges.to_vec() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// The cut value of an assignment (bit `v` of `assignment` = side of
+    /// vertex `v`).
+    pub fn cut_value(&self, assignment: u64) -> f64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| ((assignment >> u) ^ (assignment >> v)) & 1 == 1)
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    /// Exhaustive maximum cut (exponential; small graphs).
+    pub fn max_cut_brute_force(&self) -> (u64, f64) {
+        let mut best = (0u64, f64::NEG_INFINITY);
+        for assignment in 0..(1u64 << self.num_vertices) {
+            let value = self.cut_value(assignment);
+            if value > best.1 {
+                best = (assignment, value);
+            }
+        }
+        best
+    }
+
+    /// The MaxCut cost Hamiltonian
+    /// `C = Σ w/2 (1 - Z_u Z_v)`, returned with the sign flipped so that
+    /// *minimizing* the operator maximizes the cut.
+    pub fn cost_hamiltonian(&self) -> PauliOperator {
+        let mut op = PauliOperator::default();
+        let n = self.num_vertices;
+        for &(u, v, w) in &self.edges {
+            let mut label = vec!['I'; n];
+            label[u] = 'Z';
+            label[v] = 'Z';
+            // -w/2 (1 - Z Z) = -w/2 + w/2 ZZ
+            op.add_term(w / 2.0, label.into_iter().collect::<String>());
+            op.add_term(-w / 2.0, "I".repeat(n));
+        }
+        op
+    }
+}
+
+/// The QAOA ansatz: `p` alternating cost/mixer layers on a uniform
+/// superposition. Parameters: `[γ_1..γ_p, β_1..β_p]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qaoa<'a> {
+    graph: &'a Graph,
+    layers: usize,
+}
+
+/// Outcome of a QAOA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaResult {
+    /// Best sampled assignment.
+    pub assignment: u64,
+    /// Its cut value.
+    pub cut_value: f64,
+    /// Optimal variational parameters `[γ…, β…]`.
+    pub parameters: Vec<f64>,
+    /// Approximation ratio vs the brute-force optimum.
+    pub approximation_ratio: f64,
+}
+
+impl<'a> Qaoa<'a> {
+    /// Creates a QAOA instance with `layers` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layers == 0`.
+    pub fn new(graph: &'a Graph, layers: usize) -> Self {
+        assert!(layers > 0, "QAOA needs at least one layer");
+        Self { graph, layers }
+    }
+
+    /// Number of variational parameters (`2p`).
+    pub fn num_parameters(&self) -> usize {
+        2 * self.layers
+    }
+
+    /// Builds the bound QAOA circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong parameter count.
+    pub fn circuit(&self, parameters: &[f64]) -> Result<QuantumCircuit> {
+        assert_eq!(parameters.len(), self.num_parameters(), "expected 2p parameters");
+        let n = self.graph.num_vertices();
+        let (gammas, betas) = parameters.split_at(self.layers);
+        let mut circ = QuantumCircuit::new(n);
+        circ.set_name(format!("qaoa_p{}", self.layers));
+        for q in 0..n {
+            circ.h(q)?;
+        }
+        for layer in 0..self.layers {
+            // Cost layer: e^{-iγ w Z_u Z_v / ...} per edge via Rzz.
+            for &(u, v, w) in self.graph.edges() {
+                circ.append(qukit_terra::gate::Gate::Rzz(gammas[layer] * w), &[u, v])?;
+            }
+            // Mixer layer.
+            for q in 0..n {
+                circ.rx(2.0 * betas[layer], q)?;
+            }
+        }
+        Ok(circ)
+    }
+
+    /// Exact expectation of the (negated-cut) cost Hamiltonian for the
+    /// given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn expectation(&self, parameters: &[f64]) -> Result<f64> {
+        let circ = self.circuit(parameters)?;
+        let state = StatevectorSimulator::new()
+            .run(&circ)
+            .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+        Ok(self.graph.cost_hamiltonian().expectation(&state))
+    }
+
+    /// Runs the full hybrid loop: optimize parameters, then sample the best
+    /// assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn run(
+        &self,
+        optimizer: &dyn Optimizer,
+        initial: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Result<QaoaResult> {
+        let mut failure = None;
+        let mut objective = |params: &[f64]| -> f64 {
+            match self.expectation(params) {
+                Ok(v) => v,
+                Err(e) => {
+                    failure = Some(e);
+                    f64::INFINITY
+                }
+            }
+        };
+        let opt = optimizer.minimize(&mut objective, initial);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        // Sample the optimized circuit; pick the best observed cut.
+        let mut circ = self.circuit(&opt.parameters)?;
+        circ.measure_all();
+        let counts = QasmSimulator::new()
+            .with_seed(seed)
+            .run(&circ, shots)
+            .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+        let mut best = (0u64, f64::NEG_INFINITY);
+        for (outcome, _) in counts.iter() {
+            let value = self.graph.cut_value(outcome);
+            if value > best.1 {
+                best = (outcome, value);
+            }
+        }
+        let (_, optimum) = self.graph.max_cut_brute_force();
+        Ok(QaoaResult {
+            assignment: best.0,
+            cut_value: best.1,
+            parameters: opt.parameters,
+            approximation_ratio: if optimum > 0.0 { best.1 / optimum } else { 1.0 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizers::NelderMead;
+
+    fn square_graph() -> Graph {
+        Graph::new(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+    }
+
+    #[test]
+    fn cut_values_and_brute_force() {
+        let g = square_graph();
+        assert_eq!(g.cut_value(0b0101), 4.0);
+        assert_eq!(g.cut_value(0b0011), 2.0);
+        assert_eq!(g.cut_value(0), 0.0);
+        let (best, value) = g.max_cut_brute_force();
+        assert_eq!(value, 4.0);
+        assert!(best == 0b0101 || best == 0b1010);
+    }
+
+    #[test]
+    fn cost_hamiltonian_reproduces_negative_cut_on_basis_states() {
+        let g = square_graph();
+        let h = g.cost_hamiltonian();
+        let m = h.to_matrix();
+        // Diagonal entry for basis state |x⟩ must be -cut(x).
+        for x in 0..16usize {
+            let diag = m.get(x, x).unwrap().re;
+            assert!(
+                (diag + g.cut_value(x as u64)).abs() < 1e-12,
+                "state {x:04b}: {diag} vs cut {}",
+                g.cut_value(x as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn qaoa_finds_square_maxcut() {
+        let g = square_graph();
+        let qaoa = Qaoa::new(&g, 2);
+        let optimizer = NelderMead { max_evaluations: 800, ..NelderMead::new() };
+        let result = qaoa.run(&optimizer, &[0.4, 0.4, 0.4, 0.4], 512, 3).unwrap();
+        assert_eq!(result.cut_value, 4.0, "must find the perfect cut");
+        assert!((result.approximation_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qaoa_on_weighted_triangle() {
+        let g = Graph::new(3, &[(0, 1, 2.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let (_, optimum) = g.max_cut_brute_force();
+        assert_eq!(optimum, 3.0); // separate vertex 0 or 1
+        let qaoa = Qaoa::new(&g, 2);
+        let optimizer = NelderMead { max_evaluations: 800, ..NelderMead::new() };
+        let result = qaoa.run(&optimizer, &[0.3, 0.5, 0.2, 0.6], 512, 5).unwrap();
+        assert!(result.approximation_ratio > 0.99, "ratio {}", result.approximation_ratio);
+    }
+
+    #[test]
+    fn deeper_ansatz_does_not_hurt_expectation() {
+        let g = square_graph();
+        let q1 = Qaoa::new(&g, 1);
+        let optimizer = NelderMead { max_evaluations: 600, ..NelderMead::new() };
+        let mut obj1 = |p: &[f64]| q1.expectation(p).unwrap();
+        let e1 = optimizer.minimize(&mut obj1, &[0.4, 0.4]).value;
+        let q2 = Qaoa::new(&g, 2);
+        let mut obj2 = |p: &[f64]| q2.expectation(p).unwrap();
+        let e2 = optimizer.minimize(&mut obj2, &[0.4, 0.4, 0.4, 0.4]).value;
+        assert!(e2 <= e1 + 1e-6, "p=2 ({e2}) must reach at least p=1 ({e1})");
+    }
+
+    #[test]
+    fn graph_validation() {
+        assert!(std::panic::catch_unwind(|| Graph::new(2, &[(0, 5, 1.0)])).is_err());
+        assert!(std::panic::catch_unwind(|| Graph::new(2, &[(1, 1, 1.0)])).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Quantum teleportation.
+//!
+//! The canonical demonstration of entanglement + classical communication,
+//! exercising the toolchain's mid-circuit measurement and classically
+//! conditioned corrections (OpenQASM `if`).
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+use qukit_terra::gate::Gate;
+
+/// Builds the 3-qubit teleportation circuit.
+///
+/// Qubit 0 holds the message state (prepared by `prepare`), qubits 1-2 the
+/// Bell pair. After Bell measurement of qubits 0-1 into classical
+/// registers `m0`/`m1` and conditioned X/Z corrections, qubit 2 holds the
+/// message; it is measured into register `out`.
+///
+/// # Errors
+///
+/// Propagates operand-validation errors from circuit construction.
+pub fn teleport_circuit(prepare: &[(Gate, usize)]) -> Result<QuantumCircuit> {
+    let mut circ = QuantumCircuit::empty();
+    circ.set_name("teleport");
+    circ.add_qreg("q", 3)?;
+    circ.add_creg("m0", 1)?;
+    circ.add_creg("m1", 1)?;
+    circ.add_creg("out", 1)?;
+    // Message preparation on qubit 0.
+    for &(gate, q) in prepare {
+        assert_eq!(q, 0, "message preparation must act on qubit 0");
+        circ.append(gate, &[0])?;
+    }
+    // Bell pair between 1 and 2.
+    circ.h(1)?;
+    circ.cx(1, 2)?;
+    // Bell measurement of 0 and 1.
+    circ.cx(0, 1)?;
+    circ.h(0)?;
+    circ.measure(0, 0)?; // m0
+    circ.measure(1, 1)?; // m1
+    // Conditioned corrections on qubit 2.
+    circ.append_conditional(Gate::X, &[2], "m1", 1)?;
+    circ.append_conditional(Gate::Z, &[2], "m0", 1)?;
+    // Read out the teleported state.
+    circ.measure(2, 2)?; // out
+    Ok(circ)
+}
+
+/// Probability that the teleported qubit measures `1`, estimated with the
+/// shot-based simulator.
+///
+/// # Errors
+///
+/// Returns simulator errors as terra transpile errors for a uniform error
+/// type.
+pub fn teleported_one_probability(
+    prepare: &[(Gate, usize)],
+    shots: usize,
+    seed: u64,
+) -> Result<f64> {
+    let circ = teleport_circuit(prepare)?;
+    let counts = qukit_aer::simulator::QasmSimulator::new()
+        .with_seed(seed)
+        .run(&circ, shots)
+        .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+    // Classical bit 2 is the output register.
+    let ones: usize = counts
+        .iter()
+        .filter(|(outcome, _)| (outcome >> 2) & 1 == 1)
+        .map(|(_, c)| c)
+        .sum();
+    Ok(ones as f64 / shots as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teleporting_zero_and_one_is_deterministic() {
+        let p = teleported_one_probability(&[], 400, 1).unwrap();
+        assert_eq!(p, 0.0, "teleported |0⟩ must read 0");
+        let p = teleported_one_probability(&[(Gate::X, 0)], 400, 2).unwrap();
+        assert_eq!(p, 1.0, "teleported |1⟩ must read 1");
+    }
+
+    #[test]
+    fn teleporting_plus_state_is_balanced() {
+        let p = teleported_one_probability(&[(Gate::H, 0)], 4000, 3).unwrap();
+        assert!((p - 0.5).abs() < 0.05, "teleported |+⟩ probability {p}");
+    }
+
+    #[test]
+    fn teleporting_rotated_state_preserves_statistics() {
+        // Ry(θ)|0⟩ has P(1) = sin²(θ/2).
+        let theta = 1.1f64;
+        let p = teleported_one_probability(&[(Gate::Ry(theta), 0)], 6000, 4).unwrap();
+        let expected = (theta / 2.0).sin().powi(2);
+        assert!((p - expected).abs() < 0.03, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn corrections_are_actually_needed() {
+        // Without the conditioned corrections the output is random for |1⟩.
+        let mut circ = QuantumCircuit::empty();
+        circ.add_qreg("q", 3).unwrap();
+        circ.add_creg("m0", 1).unwrap();
+        circ.add_creg("m1", 1).unwrap();
+        circ.add_creg("out", 1).unwrap();
+        circ.x(0).unwrap();
+        circ.h(1).unwrap();
+        circ.cx(1, 2).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        circ.measure(2, 2).unwrap();
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(5)
+            .run(&circ, 2000)
+            .unwrap();
+        let ones: usize = counts
+            .iter()
+            .filter(|(outcome, _)| (outcome >> 2) & 1 == 1)
+            .map(|(_, c)| c)
+            .sum();
+        let p = ones as f64 / 2000.0;
+        assert!((p - 0.5).abs() < 0.05, "uncorrected output must be random, got {p}");
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let circ = teleport_circuit(&[]).unwrap();
+        assert_eq!(circ.num_qubits(), 3);
+        assert_eq!(circ.num_clbits(), 3);
+        assert_eq!(circ.count_ops()["measure"], 3);
+        let conditioned = circ
+            .instructions()
+            .iter()
+            .filter(|i| i.condition.is_some())
+            .count();
+        assert_eq!(conditioned, 2);
+    }
+}

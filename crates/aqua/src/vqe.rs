@@ -1,0 +1,327 @@
+//! The Variational Quantum Eigensolver.
+//!
+//! The paper singles VQE out as the algorithm "at the basis of many of
+//! Aqua's applications" [15]: a hardware-efficient parameterized ansatz is
+//! executed on the quantum backend while a conventional optimizer tunes
+//! the parameters to minimize the energy `⟨ψ(θ)|H|ψ(θ)⟩` — the archetypal
+//! conventional-quantum hybrid algorithm.
+
+use crate::operator::PauliOperator;
+use crate::optimizers::{OptimizationResult, Optimizer};
+use qukit_aer::simulator::StatevectorSimulator;
+use qukit_aer::statevector::Statevector;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::Result;
+
+/// The hardware-efficient ansatz of Kandala et al. (Nature 2017): layers
+/// of single-qubit `Ry`/`Rz` rotations interleaved with a linear CX
+/// entangler, finishing with a final rotation layer.
+///
+/// Parameter count: `2 · n · (layers + 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareEfficientAnsatz {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of entangling layers.
+    pub layers: usize,
+}
+
+impl HardwareEfficientAnsatz {
+    /// Creates an ansatz description.
+    pub fn new(num_qubits: usize, layers: usize) -> Self {
+        Self { num_qubits, layers }
+    }
+
+    /// Number of free parameters.
+    pub fn num_parameters(&self) -> usize {
+        2 * self.num_qubits * (self.layers + 1)
+    }
+
+    /// Builds the bound circuit for a parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parameters.len() != self.num_parameters()`.
+    pub fn circuit(&self, parameters: &[f64]) -> Result<QuantumCircuit> {
+        assert_eq!(
+            parameters.len(),
+            self.num_parameters(),
+            "expected {} parameters",
+            self.num_parameters()
+        );
+        let mut circ = QuantumCircuit::new(self.num_qubits);
+        circ.set_name("hardware_efficient_ansatz");
+        let mut idx = 0;
+        let rotation_layer = |circ: &mut QuantumCircuit, idx: &mut usize| -> Result<()> {
+            for q in 0..self.num_qubits {
+                circ.ry(parameters[*idx], q)?;
+                circ.rz(parameters[*idx + 1], q)?;
+                *idx += 2;
+            }
+            Ok(())
+        };
+        rotation_layer(&mut circ, &mut idx)?;
+        for _ in 0..self.layers {
+            for q in 0..self.num_qubits.saturating_sub(1) {
+                circ.cx(q, q + 1)?;
+            }
+            rotation_layer(&mut circ, &mut idx)?;
+        }
+        Ok(circ)
+    }
+}
+
+/// VQE driver: ansatz + Hamiltonian + optimizer.
+#[derive(Debug)]
+pub struct Vqe<'a> {
+    hamiltonian: &'a PauliOperator,
+    ansatz: HardwareEfficientAnsatz,
+}
+
+/// Outcome of a VQE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeResult {
+    /// The minimized energy.
+    pub energy: f64,
+    /// The optimal ansatz parameters.
+    pub parameters: Vec<f64>,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+impl<'a> Vqe<'a> {
+    /// Creates a VQE instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ansatz and Hamiltonian widths differ.
+    pub fn new(hamiltonian: &'a PauliOperator, ansatz: HardwareEfficientAnsatz) -> Self {
+        assert_eq!(
+            hamiltonian.num_qubits(),
+            ansatz.num_qubits,
+            "ansatz and Hamiltonian widths differ"
+        );
+        Self { hamiltonian, ansatz }
+    }
+
+    /// The exact energy for a given parameter vector (statevector
+    /// expectation — the "clean simulator" evaluation mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit or simulation errors.
+    pub fn energy(&self, parameters: &[f64]) -> Result<f64> {
+        let circ = self.ansatz.circuit(parameters)?;
+        let state: Statevector = StatevectorSimulator::new()
+            .run(&circ)
+            .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+        Ok(self.hamiltonian.expectation(&state))
+    }
+
+    /// Shot-based energy estimate (the hardware-realistic evaluation mode):
+    /// measures each qubit-wise-commuting term group with `shots` samples,
+    /// optionally under a noise model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit or simulation errors.
+    pub fn sampled_energy(
+        &self,
+        parameters: &[f64],
+        shots: usize,
+        seed: u64,
+        noise: Option<&qukit_aer::noise::NoiseModel>,
+    ) -> Result<f64> {
+        let circ = self.ansatz.circuit(parameters)?;
+        crate::measurement::estimate_expectation(self.hamiltonian, &circ, shots, seed, noise)
+    }
+
+    /// Runs the hybrid loop on the *sampled* objective — the full
+    /// conventional-quantum loop as it runs against hardware, with shot
+    /// noise. SPSA-style optimizers are recommended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn run_sampled(
+        &self,
+        optimizer: &dyn Optimizer,
+        initial: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Result<VqeResult> {
+        let mut failure: Option<qukit_terra::error::TerraError> = None;
+        let mut evaluation = 0u64;
+        let mut objective = |params: &[f64]| -> f64 {
+            evaluation += 1;
+            match self.sampled_energy(params, shots, seed.wrapping_add(evaluation), None) {
+                Ok(e) => e,
+                Err(e) => {
+                    failure = Some(e);
+                    f64::INFINITY
+                }
+            }
+        };
+        let OptimizationResult { parameters, value: _, evaluations } =
+            optimizer.minimize(&mut objective, initial);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        // Re-evaluate the final point exactly for an unbiased report.
+        let energy = self.energy(&parameters)?;
+        Ok(VqeResult { energy, parameters, evaluations })
+    }
+
+    /// Runs the hybrid loop with the given optimizer and starting point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (surfaced as panics inside the
+    /// optimizer closure would otherwise be lost; evaluation errors abort
+    /// with the first parameter set that failed).
+    pub fn run(&self, optimizer: &dyn Optimizer, initial: &[f64]) -> Result<VqeResult> {
+        let mut failure: Option<qukit_terra::error::TerraError> = None;
+        let mut objective = |params: &[f64]| -> f64 {
+            match self.energy(params) {
+                Ok(e) => e,
+                Err(e) => {
+                    failure = Some(e);
+                    f64::INFINITY
+                }
+            }
+        };
+        let OptimizationResult { parameters, value, evaluations } =
+            optimizer.minimize(&mut objective, initial);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(VqeResult { energy: value, parameters, evaluations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{h2_hamiltonian, transverse_field_ising, PauliOperator};
+    use crate::optimizers::{NelderMead, Spsa};
+
+    #[test]
+    fn ansatz_parameter_count_and_structure() {
+        let ansatz = HardwareEfficientAnsatz::new(3, 2);
+        assert_eq!(ansatz.num_parameters(), 18);
+        let circ = ansatz.circuit(&vec![0.1; 18]).unwrap();
+        assert_eq!(circ.count_ops()["cx"], 4);
+        assert_eq!(circ.count_ops()["ry"], 9);
+        assert_eq!(circ.count_ops()["rz"], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 parameters")]
+    fn wrong_parameter_count_panics() {
+        let ansatz = HardwareEfficientAnsatz::new(1, 1);
+        let _ = ansatz.circuit(&[0.0]);
+    }
+
+    #[test]
+    fn zero_parameters_give_zero_state_energy() {
+        // All-zero parameters leave |00⟩; H2 expectation there is the sum of
+        // the diagonal terms' values on |00⟩.
+        let h2 = h2_hamiltonian();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        let e = vqe.energy(&vec![0.0; 8]).unwrap();
+        // ⟨00|H|00⟩ = -1.0524 + 0.3979 - 0.3979 - 0.0113 = -1.0636
+        assert!((e - (-1.06365)).abs() < 1e-3, "energy {e}");
+    }
+
+    #[test]
+    fn vqe_reaches_h2_ground_state() {
+        let h2 = h2_hamiltonian();
+        let exact = h2.min_eigenvalue();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        let optimizer = NelderMead { max_evaluations: 4000, ..NelderMead::new() };
+        let initial = vec![0.1; 8];
+        let result = vqe.run(&optimizer, &initial).unwrap();
+        assert!(
+            (result.energy - exact).abs() < 1e-3,
+            "VQE {} vs exact {exact}",
+            result.energy
+        );
+    }
+
+    #[test]
+    fn vqe_with_spsa_approaches_ground_state() {
+        let h2 = h2_hamiltonian();
+        let exact = h2.min_eigenvalue();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        let optimizer = Spsa { iterations: 1000, a: 1.0, c: 0.2, seed: 11 };
+        let result = vqe.run(&optimizer, &vec![0.2; 8]).unwrap();
+        assert!(
+            (result.energy - exact).abs() < 0.05,
+            "SPSA VQE {} vs exact {exact}",
+            result.energy
+        );
+    }
+
+    #[test]
+    fn vqe_on_ising_chain() {
+        let ising = transverse_field_ising(3, 1.0, 0.7);
+        let exact = ising.min_eigenvalue();
+        let vqe = Vqe::new(&ising, HardwareEfficientAnsatz::new(3, 2));
+        let optimizer = NelderMead { max_evaluations: 6000, ..NelderMead::new() };
+        let result = vqe.run(&optimizer, &vec![0.3; 18]).unwrap();
+        assert!(
+            (result.energy - exact).abs() < 0.02,
+            "Ising VQE {} vs exact {exact}",
+            result.energy
+        );
+    }
+
+    #[test]
+    fn energy_is_above_ground_state_always() {
+        // Variational principle: any parameters give E >= E0.
+        let h2 = h2_hamiltonian();
+        let exact = h2.min_eigenvalue();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        for seed in 0..5 {
+            let params: Vec<f64> =
+                (0..8).map(|i| ((seed * 8 + i) as f64 * 0.77).sin() * 2.0).collect();
+            let e = vqe.energy(&params).unwrap();
+            assert!(e >= exact - 1e-9, "variational bound violated: {e} < {exact}");
+        }
+    }
+
+    #[test]
+    fn sampled_vqe_approaches_ground_state() {
+        let h2 = h2_hamiltonian();
+        let exact = h2.min_eigenvalue();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        let optimizer = Spsa { iterations: 150, a: 1.0, c: 0.3, seed: 5 };
+        let result = vqe.run_sampled(&optimizer, &vec![0.2; 8], 512, 77).unwrap();
+        assert!(
+            (result.energy - exact).abs() < 0.1,
+            "sampled VQE {} vs exact {exact}",
+            result.energy
+        );
+    }
+
+    #[test]
+    fn sampled_energy_tracks_exact_energy() {
+        let h2 = h2_hamiltonian();
+        let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
+        let params = vec![0.3, -0.2, 0.7, 0.1, -0.4, 0.5, 0.2, -0.1];
+        let exact = vqe.energy(&params).unwrap();
+        let sampled = vqe.sampled_energy(&params, 20_000, 3, None).unwrap();
+        assert!((sampled - exact).abs() < 0.03, "{sampled} vs {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn width_mismatch_panics() {
+        let op = PauliOperator::from_terms(&[(1.0, "ZZZ")]);
+        let _ = Vqe::new(&op, HardwareEfficientAnsatz::new(2, 1));
+    }
+}

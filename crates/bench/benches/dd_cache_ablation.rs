@@ -1,0 +1,56 @@
+//! Ablation: decision-diagram compute-table caching.
+//!
+//! DESIGN.md calls out the DD operation caches as a design choice; this
+//! ablation measures simulation with the compute tables enabled vs
+//! disabled (unique tables stay on — they define canonicity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qukit::dd::simulator::DdSimulator;
+use qukit_bench::{entangler, ghz, qft};
+use std::time::{Duration, Instant};
+
+fn report() {
+    println!("=== Ablation: DD compute-table caching ===\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10}",
+        "circuit", "cached (µs)", "uncached (µs)", "speedup"
+    );
+    let workloads = vec![
+        ("ghz_16".to_owned(), ghz(16)),
+        ("qft_8".to_owned(), qft(8)),
+        ("entangler_10x3".to_owned(), entangler(10, 3)),
+    ];
+    for (name, circ) in &workloads {
+        let t0 = Instant::now();
+        let cached_state = DdSimulator::new().run(circ).expect("simulable");
+        let cached = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        let uncached_state = DdSimulator::new().without_cache().run(circ).expect("simulable");
+        let uncached = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(
+            cached_state.node_count(),
+            uncached_state.node_count(),
+            "caching must not change the result"
+        );
+        println!("{name:<18} {cached:>14.1} {uncached:>14.1} {:>10.2}x", uncached / cached);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("dd_cache");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for (name, circ) in [("qft_7", qft(7)), ("entangler_8x3", entangler(8, 3))] {
+        group.bench_with_input(BenchmarkId::new("cached", name), &circ, |b, circ| {
+            b.iter(|| DdSimulator::new().run(std::hint::black_box(circ)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", name), &circ, |b, circ| {
+            b.iter(|| DdSimulator::new().without_cache().run(std::hint::black_box(circ)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 1 — OpenQASM description of a quantum circuit.
+//!
+//! Regenerates both panels of the paper's Fig. 1 (the OpenQASM listing and
+//! the circuit diagram), verifies the parse→emit round trip is exact, and
+//! benchmarks the OpenQASM front end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qukit::terra::circuit::fig1_circuit;
+use qukit::terra::{draw, qasm};
+use std::time::Duration;
+
+const FIG1_QASM: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+h q[1];
+cx q[1],q[2];
+t q[0];
+cx q[2],q[0];
+cx q[0],q[1];
+"#;
+
+fn report() {
+    println!("=== Fig. 1 reproduction ===");
+    let circ = fig1_circuit();
+    let emitted = qasm::emit(&circ);
+    println!("(a) OpenQASM code:\n{emitted}");
+    println!("(b) Circuit diagram:\n{}", draw::draw(&circ));
+    let parsed = qasm::parse(FIG1_QASM).expect("paper listing parses");
+    println!(
+        "round trip exact: listing == emitted: {}, parsed == built: {}",
+        emitted == FIG1_QASM,
+        parsed.instructions() == circ.instructions()
+    );
+    println!(
+        "metrics: {} gates ({} CNOTs), depth {}",
+        circ.num_gates(),
+        circ.count_ops()["cx"],
+        circ.depth()
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("fig1_qasm");
+    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group.bench_function("parse", |b| b.iter(|| qasm::parse(std::hint::black_box(FIG1_QASM))));
+    let circ = fig1_circuit();
+    group.bench_function("emit", |b| b.iter(|| qasm::emit(std::hint::black_box(&circ))));
+    group.bench_function("draw", |b| b.iter(|| draw::draw(std::hint::black_box(&circ))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Fig. 3 — matrix vs decision diagram of a quantum computation.
+//!
+//! Regenerates the paper's Fig. 3 comparison: the explicit `2^n × 2^n`
+//! matrix of a computation against its decision diagram. Reports entry
+//! counts vs node counts across circuit families and sweeps `n` to exhibit
+//! the exponential-vs-linear gap, then benchmarks DD construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qukit::dd::simulator::DdSimulator;
+use qukit_bench::{entangler, ghz, qft, random_circuit};
+use std::time::Duration;
+
+fn report() {
+    println!("=== Fig. 3 reproduction: dense matrix vs decision diagram ===\n");
+    println!("Circuit unitaries (matrix DD):");
+    println!(
+        "{:<18} {:>3} {:>16} {:>12} {:>12}",
+        "circuit", "n", "dense entries", "dd nodes", "ratio"
+    );
+    let mut rows: Vec<(String, usize)> = Vec::new();
+    for n in [3usize, 6, 9, 12] {
+        rows.push((format!("ghz_{n}"), n));
+    }
+    for n in [3usize, 5, 7] {
+        rows.push((format!("qft_{n}"), n));
+    }
+    for (name, n) in rows {
+        let circ = if name.starts_with("ghz") { ghz(n) } else { qft(n) };
+        let (package, edge) = DdSimulator::new().build_unitary(&circ).expect("unitary");
+        let dense: u128 = 1u128 << (2 * n);
+        let nodes = package.matrix_nodes(edge);
+        println!(
+            "{:<18} {:>3} {:>16} {:>12} {:>12.1}",
+            name,
+            n,
+            dense,
+            nodes,
+            dense as f64 / nodes as f64
+        );
+    }
+
+    println!("\nFinal states (vector DD):");
+    println!(
+        "{:<18} {:>3} {:>16} {:>12} {:>12}",
+        "circuit", "n", "dense amps", "dd nodes", "ratio"
+    );
+    for n in [8usize, 12, 16, 20] {
+        let state = DdSimulator::new().run(&ghz(n)).expect("simulable");
+        println!(
+            "{:<18} {:>3} {:>16} {:>12} {:>12.1}",
+            format!("ghz_{n}"),
+            n,
+            1u64 << n,
+            state.node_count(),
+            (1u64 << n) as f64 / state.node_count() as f64
+        );
+    }
+    for n in [6usize, 10] {
+        let state = DdSimulator::new().run(&entangler(n, 2)).expect("simulable");
+        println!(
+            "{:<18} {:>3} {:>16} {:>12} {:>12.1}",
+            format!("entangler_{n}x2"),
+            n,
+            1u64 << n,
+            state.node_count(),
+            (1u64 << n) as f64 / state.node_count() as f64
+        );
+    }
+    // Random circuits: the DD degenerates toward dense size (the paper's
+    // caveat that DDs help on *structured* functions).
+    for n in [6usize, 8] {
+        let state = DdSimulator::new().run(&random_circuit(n, 60, 7)).expect("simulable");
+        println!(
+            "{:<18} {:>3} {:>16} {:>12} {:>12.1}",
+            format!("random_{n}x60"),
+            n,
+            1u64 << n,
+            state.node_count(),
+            (1u64 << n) as f64 / state.node_count() as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("fig3_dd_build");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    for n in [6usize, 10, 14] {
+        let circ = ghz(n);
+        group.bench_with_input(BenchmarkId::new("ghz_unitary_dd", n), &circ, |b, circ| {
+            b.iter(|| DdSimulator::new().build_unitary(std::hint::black_box(circ)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Section III (Aer) claim — noise deteriorates algorithm results.
+//!
+//! Sweeps the depolarizing error rate and reports GHZ success probability
+//! and Grover peak probability — the "run on noisy simulators in order to
+//! analyze to what extent realistic noise levels deteriorate the results"
+//! workflow. Benchmarks the trajectory simulator against the exact
+//! density-matrix simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qukit::aer::density::DensityMatrixSimulator;
+use qukit::aer::noise::NoiseModel;
+use qukit::aer::simulator::QasmSimulator;
+use qukit::QuantumCircuit;
+use std::time::Duration;
+
+fn ghz_measured(n: usize) -> QuantumCircuit {
+    let mut circ = qukit_bench::ghz(n);
+    circ.measure_all();
+    circ
+}
+
+fn report() {
+    println!("=== §III (Aer) reproduction: noise sweeps ===\n");
+    let shots = 4000;
+    println!("GHZ-4 success probability vs CX depolarizing rate:");
+    println!("{:>8} {:>10}", "p(cx)", "success");
+    let ghz = ghz_measured(4);
+    for p in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let noise = NoiseModel::depolarizing(p / 10.0, p, 0.0);
+        let counts = QasmSimulator::new()
+            .with_seed(1)
+            .with_noise(noise)
+            .run(&ghz, shots)
+            .expect("simulable");
+        let success = counts.probability(0) + counts.probability(0b1111);
+        println!("{p:>8.3} {success:>10.4}");
+    }
+
+    println!("\nGrover-3 peak probability vs error rate:");
+    println!("{:>8} {:>10} {:>10}", "p(cx)", "P(marked)", "argmax ok");
+    let mut grover = qukit::aqua::grover::grover_circuit(3, &[5], None).expect("builds");
+    grover.measure_all();
+    for p in [0.0, 0.01, 0.02, 0.05, 0.1] {
+        let noise = NoiseModel::depolarizing(p / 10.0, p, 0.0);
+        let counts = QasmSimulator::new()
+            .with_seed(2)
+            .with_noise(noise)
+            .run(&grover, shots)
+            .expect("simulable");
+        println!(
+            "{p:>8.3} {:>10.4} {:>10}",
+            counts.probability(5),
+            counts.most_frequent() == Some(5)
+        );
+    }
+
+    println!("\nTrajectory sampling vs exact density matrix (Bell, p=0.05):");
+    let mut bell = QuantumCircuit::new(2);
+    bell.h(0).expect("valid");
+    bell.cx(0, 1).expect("valid");
+    let noise = NoiseModel::depolarizing(0.005, 0.05, 0.0);
+    let rho = DensityMatrixSimulator::new().with_noise(noise.clone()).run(&bell).expect("runs");
+    let mut measured = bell.clone();
+    measured.measure_all();
+    let counts = QasmSimulator::new()
+        .with_seed(3)
+        .with_noise(noise)
+        .run(&measured, 20_000)
+        .expect("simulable");
+    println!("{:>8} {:>12} {:>12}", "state", "exact", "sampled");
+    for i in 0..4usize {
+        println!(
+            "{:>8} {:>12.4} {:>12.4}",
+            format!("{i:02b}"),
+            rho.probabilities()[i],
+            counts.probability(i as u64)
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("noise_sweep");
+    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    let ghz = ghz_measured(4);
+    for p in [0.0f64, 0.05] {
+        let noise = NoiseModel::depolarizing(p / 10.0, p, 0.0);
+        group.bench_with_input(
+            BenchmarkId::new("ghz4_1000shots", format!("p{p}")),
+            &noise,
+            |b, noise| {
+                b.iter(|| {
+                    QasmSimulator::new()
+                        .with_seed(1)
+                        .with_noise(noise.clone())
+                        .run(std::hint::black_box(&ghz), 1000)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    let mut bell = QuantumCircuit::new(2);
+    bell.h(0).unwrap();
+    bell.cx(0, 1).unwrap();
+    let noise = NoiseModel::depolarizing(0.005, 0.05, 0.0);
+    group.bench_function("bell_density_matrix_exact", |b| {
+        b.iter(|| {
+            DensityMatrixSimulator::new()
+                .with_noise(noise.clone())
+                .run(std::hint::black_box(&bell))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

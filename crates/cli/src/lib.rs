@@ -1,0 +1,516 @@
+//! # qukit-cli
+//!
+//! The command-line driver of the **qukit** toolchain — the shell
+//! equivalent of the paper's Section IV Python walkthrough:
+//!
+//! ```text
+//! qukit backends                         # list available backends
+//! qukit stats    circuit.qasm            # gate counts / depth / width
+//! qukit draw     circuit.qasm            # ASCII diagram (Fig. 1b style)
+//! qukit run      circuit.qasm --backend ibmqx4 --shots 1024 --seed 7
+//! qukit transpile circuit.qasm --device ibmqx4 --mapper astar --opt 3 --emit
+//! ```
+//!
+//! All command logic lives in [`run_cli`] so it is directly testable.
+
+use qukit::execute::execute;
+use qukit::provider::Provider;
+use qukit::terra::coupling::CouplingMap;
+use qukit::terra::transpiler::{transpile, MapperKind, TranspileOptions};
+use qukit::terra::{draw, qasm};
+use std::fmt;
+use std::io::Write;
+
+/// CLI errors: usage problems or failures from the toolchain.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command/flag, missing argument).
+    Usage(String),
+    /// File could not be read.
+    Io(std::io::Error),
+    /// Toolchain failure.
+    Qukit(qukit::error::QukitError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Qukit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<qukit::error::QukitError> for CliError {
+    fn from(e: qukit::error::QukitError) -> Self {
+        CliError::Qukit(e)
+    }
+}
+
+impl From<qukit::terra::error::TerraError> for CliError {
+    fn from(e: qukit::terra::error::TerraError) -> Self {
+        CliError::Qukit(qukit::error::QukitError::Terra(e))
+    }
+}
+
+const USAGE: &str = "usage:
+  qukit backends
+  qukit stats <file.qasm>
+  qukit draw <file.qasm>
+  qukit run <file.qasm> [--backend NAME] [--shots N] [--seed N]
+  qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
+                  [--mapper basic|lookahead|astar] [--opt 0..3] [--emit]
+  qukit equiv <a.qasm> <b.qasm>
+
+coupling KIND is one of line, ring, full, or grid:RxC";
+
+/// Runs the CLI with the given arguments, writing output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad usage, unreadable files, or toolchain
+/// failures.
+pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let mut args = args.iter();
+    let command = args
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".to_owned()))?;
+    let rest: Vec<&String> = args.collect();
+    match command.as_str() {
+        "backends" => cmd_backends(out),
+        "stats" => cmd_stats(&rest, out),
+        "draw" => cmd_draw(&rest, out),
+        "run" => cmd_run(&rest, out),
+        "transpile" => cmd_transpile(&rest, out),
+        "equiv" => cmd_equiv(&rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn load_circuit(rest: &[&String]) -> Result<qukit::QuantumCircuit, CliError> {
+    let path = rest
+        .first()
+        .ok_or_else(|| CliError::Usage("missing <file.qasm> argument".to_owned()))?;
+    let source = std::fs::read_to_string(path.as_str())?;
+    Ok(qasm::parse(&source)?)
+}
+
+fn flag_value<'a>(rest: &'a [&String], name: &str) -> Result<Option<&'a str>, CliError> {
+    for (i, arg) in rest.iter().enumerate() {
+        if arg.as_str() == name {
+            return rest
+                .get(i + 1)
+                .map(|v| Some(v.as_str()))
+                .ok_or_else(|| CliError::Usage(format!("flag {name} needs a value")));
+        }
+    }
+    Ok(None)
+}
+
+fn flag_present(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, CliError> {
+    value
+        .parse::<T>()
+        .map_err(|_| CliError::Usage(format!("invalid {what} '{value}'")))
+}
+
+fn cmd_backends(out: &mut impl Write) -> Result<(), CliError> {
+    let provider = Provider::with_defaults();
+    writeln!(out, "{:<16} {:>7} {:>9}", "name", "qubits", "coupling")?;
+    for name in provider.backend_names() {
+        let backend = provider.get_backend(name)?;
+        writeln!(
+            out,
+            "{:<16} {:>7} {:>9}",
+            backend.name(),
+            backend.num_qubits(),
+            if backend.coupling_map().is_some() { "yes" } else { "all" }
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let circ = load_circuit(rest)?;
+    writeln!(
+        out,
+        "{}: {} qubits, {} clbits, {} instructions, depth {}",
+        circ.name(),
+        circ.num_qubits(),
+        circ.num_clbits(),
+        circ.size(),
+        circ.depth()
+    )?;
+    for (name, count) in circ.count_ops() {
+        writeln!(out, "  {name:<10} {count}")?;
+    }
+    Ok(())
+}
+
+fn cmd_draw(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let circ = load_circuit(rest)?;
+    write!(out, "{}", draw::draw(&circ))?;
+    Ok(())
+}
+
+fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let circ = load_circuit(rest)?;
+    let backend_name = flag_value(rest, "--backend")?.unwrap_or("qasm_simulator");
+    let shots: usize = match flag_value(rest, "--shots")? {
+        Some(v) => parse_number(v, "shot count")?,
+        None => 1024,
+    };
+    let provider = build_provider(flag_value(rest, "--seed")?)?;
+    let backend = provider.get_backend(backend_name)?;
+    let counts = execute(&circ, backend, shots)?;
+    writeln!(out, "backend: {backend_name}, shots: {shots}")?;
+    let total = counts.total() as f64;
+    for (outcome, count) in counts.iter() {
+        writeln!(
+            out,
+            "  {} {:>8} ({:.3})",
+            counts.to_bitstring(outcome),
+            count,
+            count as f64 / total
+        )?;
+    }
+    Ok(())
+}
+
+/// Builds a provider, threading an optional seed into the seedable
+/// backends.
+fn build_provider(seed: Option<&str>) -> Result<Provider, CliError> {
+    let mut provider = Provider::new();
+    match seed {
+        Some(v) => {
+            let seed: u64 = parse_number(v, "seed")?;
+            provider.register(Box::new(
+                qukit::backend::QasmSimulatorBackend::new().with_seed(seed),
+            ));
+            provider.register(Box::new(
+                qukit::backend::DdSimulatorBackend::new().with_seed(seed),
+            ));
+            provider.register(Box::new(qukit::backend::FakeDevice::ibmqx2().with_seed(seed)));
+            provider.register(Box::new(qukit::backend::FakeDevice::ibmqx4().with_seed(seed)));
+            provider.register(Box::new(qukit::backend::FakeDevice::ibmqx5().with_seed(seed)));
+        }
+        None => {
+            provider = Provider::with_defaults();
+        }
+    }
+    Ok(provider)
+}
+
+fn parse_coupling(spec: &str) -> Result<CouplingMap, CliError> {
+    let (kind, size) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::Usage(format!("coupling spec '{spec}' must be KIND:N")))?;
+    match kind {
+        "line" => Ok(CouplingMap::line(parse_number(size, "size")?)),
+        "ring" => Ok(CouplingMap::ring(parse_number(size, "size")?)),
+        "full" => Ok(CouplingMap::full(parse_number(size, "size")?)),
+        "grid" => {
+            let (r, c) = size
+                .split_once('x')
+                .ok_or_else(|| CliError::Usage(format!("grid spec '{size}' must be RxC")))?;
+            Ok(CouplingMap::grid(parse_number(r, "rows")?, parse_number(c, "cols")?))
+        }
+        other => Err(CliError::Usage(format!("unknown coupling kind '{other}'"))),
+    }
+}
+
+fn device_coupling(name: &str) -> Result<CouplingMap, CliError> {
+    match name {
+        "ibmqx2" => Ok(CouplingMap::ibm_qx2()),
+        "ibmqx3" => Ok(CouplingMap::ibm_qx3()),
+        "ibmqx4" => Ok(CouplingMap::ibm_qx4()),
+        "ibmqx5" => Ok(CouplingMap::ibm_qx5()),
+        other => Err(CliError::Usage(format!("unknown device '{other}'"))),
+    }
+}
+
+fn cmd_transpile(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let circ = load_circuit(rest)?;
+    let coupling = match (flag_value(rest, "--device")?, flag_value(rest, "--coupling")?) {
+        (Some(device), None) => Some(device_coupling(device)?),
+        (None, Some(spec)) => Some(parse_coupling(spec)?),
+        (None, None) => None,
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--device and --coupling are mutually exclusive".to_owned(),
+            ))
+        }
+    };
+    let mapper = match flag_value(rest, "--mapper")?.unwrap_or("lookahead") {
+        "basic" => MapperKind::Basic,
+        "lookahead" => MapperKind::Lookahead,
+        "astar" => MapperKind::AStar,
+        other => return Err(CliError::Usage(format!("unknown mapper '{other}'"))),
+    };
+    let optimization_level: u8 = match flag_value(rest, "--opt")? {
+        Some(v) => parse_number(v, "optimization level")?,
+        None => 1,
+    };
+    let options = TranspileOptions {
+        coupling_map: coupling,
+        mapper,
+        optimization_level,
+        ..TranspileOptions::default()
+    };
+    let result = transpile(&circ, &options)?;
+    writeln!(
+        out,
+        "in:  {} gates, depth {}",
+        circ.num_gates(),
+        circ.depth()
+    )?;
+    writeln!(
+        out,
+        "out: {} gates, depth {}, swaps inserted {}",
+        result.circuit.num_gates(),
+        result.circuit.depth(),
+        result.num_swaps
+    )?;
+    writeln!(out, "initial layout: {:?}", result.initial_layout)?;
+    writeln!(out, "final layout:   {:?}", result.final_layout)?;
+    if flag_present(rest, "--emit") {
+        writeln!(out, "---")?;
+        write!(out, "{}", qasm::emit(&result.circuit))?;
+    }
+    Ok(())
+}
+
+fn cmd_equiv(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    if rest.len() < 2 {
+        return Err(CliError::Usage("equiv needs two .qasm files".to_owned()));
+    }
+    let a = qasm::parse(&std::fs::read_to_string(rest[0].as_str())?)?;
+    let b = qasm::parse(&std::fs::read_to_string(rest[1].as_str())?)?;
+    if a.num_qubits() != b.num_qubits() {
+        writeln!(out, "NOT equivalent: widths differ ({} vs {})", a.num_qubits(), b.num_qubits())?;
+        return Ok(());
+    }
+    let verdict = qukit::dd::verify::check_equivalence(&a, &b)
+        .map_err(|e| CliError::Qukit(qukit::error::QukitError::Dd(e)))?;
+    match verdict {
+        qukit::dd::verify::Equivalence::Equivalent => writeln!(out, "equivalent")?,
+        qukit::dd::verify::Equivalence::EquivalentUpToPhase(phase) => {
+            writeln!(out, "equivalent up to global phase {phase:+.6} rad")?
+        }
+        qukit::dd::verify::Equivalence::NotEquivalent => writeln!(out, "NOT equivalent")?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_ok(list: &[&str]) -> String {
+        let mut out = Vec::new();
+        run_cli(&args(list), &mut out).expect("cli must succeed");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    fn run_err(list: &[&str]) -> CliError {
+        let mut out = Vec::new();
+        run_cli(&args(list), &mut out).expect_err("cli must fail")
+    }
+
+    fn write_bell() -> tempfile::TempQasm {
+        tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+             h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n",
+        )
+    }
+
+    /// Minimal self-cleaning temp file helper (no external crates).
+    mod tempfile {
+        pub struct TempQasm {
+            pub path: std::path::PathBuf,
+        }
+        impl TempQasm {
+            pub fn new(contents: &str) -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "qukit_cli_test_{}_{}.qasm",
+                    std::process::id(),
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .expect("clock")
+                        .as_nanos()
+                ));
+                std::fs::write(&path, contents).expect("write temp qasm");
+                Self { path }
+            }
+            pub fn as_str(&self) -> &str {
+                self.path.to_str().expect("utf8 path")
+            }
+        }
+        impl Drop for TempQasm {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_lists_defaults() {
+        let text = run_ok(&["backends"]);
+        for name in ["qasm_simulator", "dd_simulator", "ibmqx2", "ibmqx4", "ibmqx5"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn stats_reports_counts_and_depth() {
+        let file = write_bell();
+        let text = run_ok(&["stats", file.as_str()]);
+        assert!(text.contains("2 qubits"));
+        assert!(text.contains("h "));
+        assert!(text.contains("measure"));
+    }
+
+    #[test]
+    fn draw_renders_wires() {
+        let file = write_bell();
+        let text = run_ok(&["draw", file.as_str()]);
+        assert!(text.contains("[H]"));
+        assert!(text.contains("q0:"));
+    }
+
+    #[test]
+    fn run_produces_correlated_bell_counts() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "run",
+            file.as_str(),
+            "--backend",
+            "qasm_simulator",
+            "--shots",
+            "200",
+            "--seed",
+            "5",
+        ]);
+        assert!(text.contains("shots: 200"));
+        assert!(text.contains("00"));
+        assert!(!text.contains(" 01 "), "bell must not produce 01:\n{text}");
+    }
+
+    #[test]
+    fn run_on_fake_device() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "run",
+            file.as_str(),
+            "--backend",
+            "ibmqx4",
+            "--shots",
+            "100",
+            "--seed",
+            "1",
+        ]);
+        assert!(text.contains("backend: ibmqx4"));
+    }
+
+    #[test]
+    fn transpile_to_device_and_emit() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "transpile",
+            file.as_str(),
+            "--device",
+            "ibmqx4",
+            "--mapper",
+            "astar",
+            "--opt",
+            "3",
+            "--emit",
+        ]);
+        assert!(text.contains("swaps inserted"));
+        assert!(text.contains("OPENQASM 2.0;"));
+    }
+
+    #[test]
+    fn transpile_with_synthetic_coupling() {
+        let file = write_bell();
+        let text = run_ok(&["transpile", file.as_str(), "--coupling", "line:4"]);
+        assert!(text.contains("out:"));
+        let text = run_ok(&["transpile", file.as_str(), "--coupling", "grid:2x2"]);
+        assert!(text.contains("out:"));
+    }
+
+    #[test]
+    fn equiv_detects_rewrites_and_differences() {
+        let a = write_bell();
+        // Same circuit with a cancelled H pair in the middle (no
+        // measurement: equivalence checking needs unitary circuits).
+        let u = tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        );
+        let v = tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\nh q[1];\nh q[1];\ncx q[0],q[1];\n",
+        );
+        let w = tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[1],q[0];\n",
+        );
+        let text = run_ok(&["equiv", u.as_str(), v.as_str()]);
+        assert!(text.contains("equivalent"), "{text}");
+        let text = run_ok(&["equiv", u.as_str(), w.as_str()]);
+        assert!(text.contains("NOT equivalent"), "{text}");
+        let _ = a;
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(run_err(&[]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["stats"]), CliError::Usage(_)));
+        let file = write_bell();
+        assert!(matches!(
+            run_err(&["transpile", file.as_str(), "--mapper", "magic"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["transpile", file.as_str(), "--coupling", "torus:4"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["run", file.as_str(), "--shots"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            run_err(&["stats", "/nonexistent/file.qasm"]),
+            CliError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_ok(&["help"]);
+        assert!(text.contains("usage:"));
+    }
+}

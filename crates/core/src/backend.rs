@@ -1,0 +1,598 @@
+//! Execution backends.
+//!
+//! A [`Backend`] is anything a circuit can be submitted to — exactly the
+//! role `Aer.get_backend('qasm_simulator')` and `IBMQ.get_backend('ibmqx4')`
+//! play in the paper's user walkthrough. Real hardware is not reachable
+//! from this reproduction, so the QX devices are provided as *fake
+//! backends*: simulated executions that enforce the real devices' coupling
+//! constraints and elementary gate set and attach a representative noise
+//! model (see DESIGN.md, "Hardware substitution").
+
+use crate::error::{QukitError, Result};
+use qukit_aer::counts::Counts;
+use qukit_aer::noise::NoiseModel;
+use qukit_aer::simulator::QasmSimulator;
+use qukit_dd::simulator::DdSimulator;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::coupling::CouplingMap;
+use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
+
+/// A target that can execute circuits and return measurement histograms.
+pub trait Backend {
+    /// The backend name (`"qasm_simulator"`, `"ibmqx4"`, …).
+    fn name(&self) -> &str;
+
+    /// Maximum number of qubits.
+    fn num_qubits(&self) -> usize;
+
+    /// The device coupling map, or `None` for all-to-all simulators.
+    fn coupling_map(&self) -> Option<&CouplingMap> {
+        None
+    }
+
+    /// Executes `shots` repetitions of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit does not fit the backend or
+    /// simulation fails.
+    fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts>;
+}
+
+/// The ideal shot-based simulator backend (`qasm_simulator`).
+#[derive(Debug, Clone, Default)]
+pub struct QasmSimulatorBackend {
+    seed: Option<u64>,
+}
+
+impl QasmSimulatorBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the sampling seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+impl Backend for QasmSimulatorBackend {
+    fn name(&self) -> &str {
+        "qasm_simulator"
+    }
+
+    fn num_qubits(&self) -> usize {
+        30
+    }
+
+    fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        let mut sim = QasmSimulator::new();
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        sim.run(circuit, shots).map_err(QukitError::from)
+    }
+}
+
+/// A decision-diagram simulator backend (the JKU add-on of the paper's
+/// Section V-C): unitary circuits only, sampling from the compressed state.
+#[derive(Debug, Clone, Default)]
+pub struct DdSimulatorBackend {
+    seed: u64,
+}
+
+impl DdSimulatorBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the sampling seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Backend for DdSimulatorBackend {
+    fn name(&self) -> &str {
+        "dd_simulator"
+    }
+
+    fn num_qubits(&self) -> usize {
+        64
+    }
+
+    fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        // Strip terminal measurements: the DD simulator samples all qubits
+        // directly from the final state.
+        let mut unitary_part = circuit.clone();
+        unitary_part.clear();
+        unitary_part.add_global_phase(circuit.global_phase());
+        let mut measured: Vec<(usize, usize)> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                qukit_terra::instruction::Operation::Measure => {
+                    measured.push((inst.qubits[0], inst.clbits[0]));
+                }
+                _ => {
+                    unitary_part.push(inst.clone())?;
+                }
+            }
+        }
+        let state = DdSimulator::new().run(&unitary_part)?;
+        let all_qubit_counts = state.sample_counts(shots, self.seed);
+        if measured.is_empty() {
+            return Ok(all_qubit_counts);
+        }
+        // Remap qubit outcomes to classical bits.
+        let mut counts = Counts::new(circuit.num_clbits());
+        for (outcome, n) in all_qubit_counts.iter() {
+            let mut mapped = 0u64;
+            for &(q, c) in &measured {
+                if (outcome >> q) & 1 == 1 {
+                    mapped |= 1 << c;
+                }
+            }
+            counts.record_n(mapped, n);
+        }
+        Ok(counts)
+    }
+}
+
+/// The stabilizer-tableau backend: Clifford circuits only, but scaling to
+/// hundreds of qubits (`O(n²)` per gate instead of `O(2^n)`).
+#[derive(Debug, Clone, Default)]
+pub struct StabilizerBackend {
+    seed: Option<u64>,
+}
+
+impl StabilizerBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the sampling seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+impl Backend for StabilizerBackend {
+    fn name(&self) -> &str {
+        "stabilizer_simulator"
+    }
+
+    fn num_qubits(&self) -> usize {
+        4096
+    }
+
+    fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        let mut sim = qukit_aer::stabilizer::StabilizerSimulator::new();
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        sim.run(circuit, shots).map_err(QukitError::from)
+    }
+}
+
+/// A simulated IBM QX-style device: enforces a coupling map and elementary
+/// basis, injects a noise model, and transpiles incoming circuits
+/// automatically (the paper's "execution on a real quantum device" step,
+/// with the hardware replaced by its faithful constraints + noise).
+#[derive(Debug, Clone)]
+pub struct FakeDevice {
+    name: String,
+    coupling: CouplingMap,
+    noise: NoiseModel,
+    seed: Option<u64>,
+    mapper: MapperKind,
+    layout: qukit_terra::transpiler::InitialLayout,
+}
+
+impl FakeDevice {
+    /// Creates a fake device from a coupling map and noise model.
+    pub fn new(name: impl Into<String>, coupling: CouplingMap, noise: NoiseModel) -> Self {
+        Self {
+            name: name.into(),
+            coupling,
+            noise,
+            seed: None,
+            mapper: MapperKind::Lookahead,
+            layout: qukit_terra::transpiler::InitialLayout::Trivial,
+        }
+    }
+
+    /// Installs calibration data: replaces the noise model with the
+    /// calibration's per-location errors and switches automatic
+    /// transpilation to the noise-aware layout.
+    pub fn with_calibration(mut self, calibration: &DeviceCalibration) -> Self {
+        self.noise = calibration.noise_model();
+        self.layout = calibration.layout_strategy();
+        self
+    }
+
+    /// The 5-qubit `ibmqx2` device with representative error rates.
+    pub fn ibmqx2() -> Self {
+        Self::new("ibmqx2", CouplingMap::ibm_qx2(), Self::default_noise())
+    }
+
+    /// The 5-qubit `ibmqx4` device (the paper's Fig. 2 topology).
+    pub fn ibmqx4() -> Self {
+        Self::new("ibmqx4", CouplingMap::ibm_qx4(), Self::default_noise())
+    }
+
+    /// The 16-qubit `ibmqx5` device.
+    pub fn ibmqx5() -> Self {
+        Self::new("ibmqx5", CouplingMap::ibm_qx5(), Self::default_noise())
+    }
+
+    /// Representative early-transmon error rates: 1q 0.1%, CX 2%,
+    /// readout 3%.
+    fn default_noise() -> NoiseModel {
+        NoiseModel::depolarizing(0.001, 0.02, 0.03)
+    }
+
+    /// Fixes the simulation seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the routing algorithm used by automatic transpilation.
+    pub fn with_mapper(mut self, mapper: MapperKind) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// Replaces the noise model (e.g. `NoiseModel::new()` for a noiseless
+    /// constraint-only device).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The device noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Transpiles a circuit for this device (decompose → map → direction
+    /// fix → optimize → U/CX basis).
+    ///
+    /// # Errors
+    ///
+    /// Returns transpilation errors (e.g. circuit wider than the device).
+    pub fn transpile(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+        let options = TranspileOptions {
+            coupling_map: Some(self.coupling.clone()),
+            mapper: self.mapper,
+            optimization_level: 2,
+            basis_u: true,
+            initial_layout: self.layout.clone(),
+        };
+        Ok(transpile(circuit, &options)?.circuit)
+    }
+}
+
+impl Backend for FakeDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.coupling.num_qubits()
+    }
+
+    fn coupling_map(&self) -> Option<&CouplingMap> {
+        Some(&self.coupling)
+    }
+
+    fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts> {
+        // Transpile unless the circuit already satisfies the constraints.
+        let prepared;
+        let to_run = if satisfies_coupling(circuit, &self.coupling)
+            && circuit.num_qubits() == self.coupling.num_qubits()
+        {
+            circuit
+        } else {
+            prepared = self.transpile(circuit)?;
+            &prepared
+        };
+        // Idle physical qubits contribute nothing to the dynamics — drop
+        // them before simulating so a small circuit on a large device does
+        // not pay the full 2^device cost. Per-location noise entries are
+        // relabeled along with the qubits.
+        let (compacted, remap) = compact_idle_qubits(to_run)?;
+        let noise = self.noise.remapped(|q| remap.get(q).copied().flatten());
+        let mut sim = QasmSimulator::new().with_noise(noise);
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        sim.run(&compacted, shots).map_err(QukitError::from)
+    }
+}
+
+/// Rewrites a circuit onto only the qubits it actually touches (barriers
+/// excluded from the usage analysis and restricted to surviving qubits).
+/// Classical bits are preserved unchanged, so counts are unaffected.
+/// Returns the compacted circuit and the old→new qubit table.
+fn compact_idle_qubits(circuit: &QuantumCircuit) -> Result<(QuantumCircuit, Vec<Option<usize>>)> {
+    use qukit_terra::instruction::Operation;
+    let mut used = vec![false; circuit.num_qubits()];
+    for inst in circuit.instructions() {
+        if matches!(inst.op, Operation::Barrier) {
+            continue;
+        }
+        for &q in &inst.qubits {
+            used[q] = true;
+        }
+    }
+    let remap: Vec<Option<usize>> = {
+        let mut next = 0usize;
+        used.iter()
+            .map(|&u| {
+                if u {
+                    let idx = next;
+                    next += 1;
+                    Some(idx)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let num_used = remap.iter().flatten().count();
+    if num_used == circuit.num_qubits() {
+        return Ok((circuit.clone(), remap));
+    }
+    let mut out = QuantumCircuit::empty();
+    out.set_name(format!("{}_compact", circuit.name()));
+    out.add_qreg("q", num_used.max(1))?;
+    for creg in circuit.cregs() {
+        out.add_creg(creg.name(), creg.len())?;
+    }
+    out.add_global_phase(circuit.global_phase());
+    for inst in circuit.instructions() {
+        let mut rewritten = inst.clone();
+        if matches!(inst.op, Operation::Barrier) {
+            rewritten.qubits = inst
+                .qubits
+                .iter()
+                .filter_map(|&q| remap[q])
+                .collect();
+            if rewritten.qubits.is_empty() {
+                continue;
+            }
+        } else {
+            rewritten.qubits = inst
+                .qubits
+                .iter()
+                .map(|&q| remap[q].expect("used qubit has a slot"))
+                .collect();
+        }
+        out.push(rewritten)?;
+    }
+    Ok((out, remap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> QuantumCircuit {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        circ
+    }
+
+    #[test]
+    fn qasm_backend_runs_bell() {
+        let backend = QasmSimulatorBackend::new().with_seed(1);
+        let counts = backend.run(&bell(), 500).unwrap();
+        assert_eq!(counts.total(), 500);
+        assert_eq!(counts.get("01") + counts.get("10"), 0);
+        assert_eq!(backend.name(), "qasm_simulator");
+        assert!(backend.coupling_map().is_none());
+    }
+
+    #[test]
+    fn dd_backend_matches_qasm_backend_statistics() {
+        let counts = DdSimulatorBackend::new().with_seed(2).run(&bell(), 2000).unwrap();
+        assert_eq!(counts.total(), 2000);
+        let p00 = counts.probability(0);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 {p00}");
+        assert_eq!(counts.get("01") + counts.get("10"), 0);
+    }
+
+    #[test]
+    fn dd_backend_without_measurements_samples_all_qubits() {
+        let mut ghz = QuantumCircuit::new(3);
+        ghz.h(0).unwrap();
+        ghz.cx(0, 1).unwrap();
+        ghz.cx(1, 2).unwrap();
+        let counts = DdSimulatorBackend::new().with_seed(3).run(&ghz, 400).unwrap();
+        assert_eq!(counts.get_value(0) + counts.get_value(0b111), 400);
+    }
+
+    #[test]
+    fn stabilizer_backend_runs_clifford_circuits() {
+        let backend = StabilizerBackend::new().with_seed(8);
+        assert_eq!(backend.name(), "stabilizer_simulator");
+        let counts = backend.run(&bell(), 300).unwrap();
+        assert_eq!(counts.get("01") + counts.get("10"), 0);
+        // Non-Clifford circuits are rejected.
+        let mut t_circ = QuantumCircuit::with_size(1, 1);
+        t_circ.t(0).unwrap();
+        t_circ.measure(0, 0).unwrap();
+        assert!(backend.run(&t_circ, 1).is_err());
+    }
+
+    #[test]
+    fn fake_qx4_transpiles_and_runs() {
+        let device = FakeDevice::ibmqx4().with_seed(4);
+        assert_eq!(device.num_qubits(), 5);
+        assert!(device.coupling_map().is_some());
+        let counts = device.run(&bell(), 1000).unwrap();
+        assert_eq!(counts.total(), 1000);
+        // Noise leaks some weight into 01/10, but correlation dominates.
+        let correlated = counts.probability(0b00) + counts.probability(0b11);
+        assert!(correlated > 0.85, "correlated mass {correlated}");
+    }
+
+    #[test]
+    fn fake_device_transpile_respects_constraints() {
+        let device = FakeDevice::ibmqx4();
+        let circ = qukit_terra::circuit::fig1_circuit();
+        let mapped = device.transpile(&circ).unwrap();
+        assert!(satisfies_coupling(&mapped, device.coupling_map().unwrap()));
+        for inst in mapped.instructions() {
+            if let Some(g) = inst.as_gate() {
+                assert!(
+                    matches!(g, qukit_terra::gate::Gate::U(..) | qukit_terra::gate::Gate::CX),
+                    "non-elementary {g:?} left"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_fake_device_is_exact() {
+        let device = FakeDevice::ibmqx4()
+            .with_noise(NoiseModel::new())
+            .with_seed(5);
+        let counts = device.run(&bell(), 600).unwrap();
+        assert_eq!(counts.get("01") + counts.get("10"), 0);
+    }
+
+    #[test]
+    fn calibration_aware_device_avoids_bad_edges() {
+        // QX4 with a disastrous (2,1) edge: a 2-qubit circuit must be
+        // placed elsewhere, giving visibly better Bell statistics than a
+        // trivially-placed device would.
+        let calibration = DeviceCalibration::uniform(&CouplingMap::ibm_qx4(), 0.01, 0.0, 1.0)
+            .with_cx_error((2, 1), 0.5)
+            .with_cx_error((1, 0), 0.5);
+        let calibrated = FakeDevice::ibmqx4().with_calibration(&calibration).with_seed(7);
+        let trivial = FakeDevice::ibmqx4()
+            .with_noise(calibration.noise_model())
+            .with_seed(7);
+        // Logical q0-q1 trivially land on physical Q0-Q1 (the bad edge).
+        let counts_cal = calibrated.run(&bell(), 3000).unwrap();
+        let counts_triv = trivial.run(&bell(), 3000).unwrap();
+        let success = |c: &qukit_aer::counts::Counts| c.probability(0) + c.probability(0b11);
+        assert!(
+            success(&counts_cal) > success(&counts_triv) + 0.05,
+            "calibrated {:.3} must beat trivial {:.3}",
+            success(&counts_cal),
+            success(&counts_triv)
+        );
+        assert!(success(&counts_cal) > 0.97, "good edges are nearly clean");
+    }
+
+    #[test]
+    fn calibration_noise_model_is_local() {
+        let calibration = DeviceCalibration::uniform(&CouplingMap::line(3), 0.02, 0.001, 0.98);
+        let noise = calibration.noise_model();
+        assert!(noise.error_for("cx", &[0, 1]).is_some());
+        assert!(noise.error_for("cx", &[0, 2]).is_none(), "uncalibrated pair has no entry");
+        assert!(noise.error_for("u", &[2]).is_some());
+        assert!(noise.readout_error().is_some());
+    }
+
+    #[test]
+    fn too_wide_circuit_is_rejected() {
+        let device = FakeDevice::ibmqx4();
+        let circ = QuantumCircuit::new(6);
+        assert!(device.run(&circ, 1).is_err());
+    }
+}
+
+/// Per-device calibration data, as published for real IBM Q devices: CX
+/// error per directed edge, single-qubit error and readout fidelity per
+/// qubit. Drives both the noise model of a [`FakeDevice`] and the
+/// noise-aware layout of its transpiler.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceCalibration {
+    /// `((control, target), error)` per calibrated CX edge.
+    pub cx_error: Vec<((usize, usize), f64)>,
+    /// Per-qubit single-qubit gate error.
+    pub single_qubit_error: Vec<f64>,
+    /// Per-qubit readout assignment fidelity.
+    pub readout_fidelity: Vec<f64>,
+}
+
+impl DeviceCalibration {
+    /// A uniform calibration over a coupling map.
+    pub fn uniform(map: &CouplingMap, cx_error: f64, sq_error: f64, readout: f64) -> Self {
+        Self {
+            cx_error: map.edges().map(|e| (e, cx_error)).collect(),
+            single_qubit_error: vec![sq_error; map.num_qubits()],
+            readout_fidelity: vec![readout; map.num_qubits()],
+        }
+    }
+
+    /// Overrides the error of one CX edge (builder style).
+    pub fn with_cx_error(mut self, edge: (usize, usize), error: f64) -> Self {
+        if let Some(entry) = self.cx_error.iter_mut().find(|(e, _)| *e == edge) {
+            entry.1 = error;
+        } else {
+            self.cx_error.push((edge, error));
+        }
+        self
+    }
+
+    /// Builds the per-location noise model implied by the calibration.
+    pub fn noise_model(&self) -> NoiseModel {
+        let mut noise = NoiseModel::new();
+        for (q, &e) in self.single_qubit_error.iter().enumerate() {
+            if e > 0.0 {
+                let channel = qukit_aer::noise::QuantumError::depolarizing(e, 1);
+                for name in ["u", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "p", "sx", "sxdg", "id"] {
+                    noise.add_local_error(name, vec![q], channel.clone());
+                }
+            }
+        }
+        for &((c, t), e) in &self.cx_error {
+            if e > 0.0 {
+                noise.add_local_error(
+                    "cx",
+                    vec![c, t],
+                    qukit_aer::noise::QuantumError::depolarizing(e, 2),
+                );
+            }
+        }
+        // Readout: the NoiseModel supports a single global readout error;
+        // use the worst qubit as the conservative device-wide figure.
+        if let Some(worst) = self
+            .readout_fidelity
+            .iter()
+            .copied()
+            .fold(None::<f64>, |acc, f| Some(acc.map_or(f, |a| a.min(f))))
+        {
+            if worst < 1.0 {
+                noise.set_readout_error(qukit_aer::noise::ReadoutError::symmetric(1.0 - worst));
+            }
+        }
+        noise
+    }
+
+    /// The layout strategy implied by the calibration.
+    pub fn layout_strategy(&self) -> qukit_terra::transpiler::InitialLayout {
+        qukit_terra::transpiler::InitialLayout::NoiseAware {
+            edge_fidelity: self
+                .cx_error
+                .iter()
+                .map(|&((a, b), e)| ((a, b), (1.0 - e).clamp(0.0, 1.0)))
+                .collect(),
+            qubit_fidelity: self.readout_fidelity.clone(),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The unified toolchain error type.
+
+use std::fmt;
+
+/// Any error produced by the end-to-end pipeline.
+#[derive(Debug)]
+pub enum QukitError {
+    /// Circuit construction, OpenQASM or transpilation error.
+    Terra(qukit_terra::error::TerraError),
+    /// Simulator error.
+    Aer(qukit_aer::error::AerError),
+    /// Decision-diagram simulator error.
+    Dd(qukit_dd::simulator::DdError),
+    /// Backend-level error (unknown backend, capability mismatch).
+    Backend {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for QukitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QukitError::Terra(e) => write!(f, "{e}"),
+            QukitError::Aer(e) => write!(f, "{e}"),
+            QukitError::Dd(e) => write!(f, "{e}"),
+            QukitError::Backend { msg } => write!(f, "backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QukitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QukitError::Terra(e) => Some(e),
+            QukitError::Aer(e) => Some(e),
+            QukitError::Dd(e) => Some(e),
+            QukitError::Backend { .. } => None,
+        }
+    }
+}
+
+impl From<qukit_terra::error::TerraError> for QukitError {
+    fn from(e: qukit_terra::error::TerraError) -> Self {
+        QukitError::Terra(e)
+    }
+}
+
+impl From<qukit_aer::error::AerError> for QukitError {
+    fn from(e: qukit_aer::error::AerError) -> Self {
+        QukitError::Aer(e)
+    }
+}
+
+impl From<qukit_dd::simulator::DdError> for QukitError {
+    fn from(e: qukit_dd::simulator::DdError) -> Self {
+        QukitError::Dd(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QukitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let terra = qukit_terra::error::TerraError::Transpile { msg: "boom".into() };
+        let e: QukitError = terra.into();
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let b = QukitError::Backend { msg: "no such backend".into() };
+        assert!(b.to_string().contains("no such backend"));
+        assert!(std::error::Error::source(&b).is_none());
+    }
+}

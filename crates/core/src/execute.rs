@@ -1,0 +1,98 @@
+//! The one-call execution pipeline.
+//!
+//! `execute(&circuit, &backend, shots)` is the toolchain's equivalent of
+//! the paper's `execute(measured_circ, backend=...)`: it adds terminal
+//! measurements if the caller forgot them, lets the backend transpile as
+//! needed, and returns the counts histogram.
+
+use crate::backend::Backend;
+use crate::error::Result;
+use qukit_aer::counts::Counts;
+use qukit_terra::circuit::QuantumCircuit;
+
+/// Executes a circuit on a backend, measuring all qubits if the circuit
+/// contains no measurement.
+///
+/// # Errors
+///
+/// Propagates backend errors (width, unsupported instructions, …).
+///
+/// # Examples
+///
+/// ```
+/// use qukit::backend::QasmSimulatorBackend;
+/// use qukit::execute::execute;
+/// use qukit_terra::circuit::QuantumCircuit;
+///
+/// # fn main() -> Result<(), qukit::error::QukitError> {
+/// let mut bell = QuantumCircuit::new(2);
+/// bell.h(0).unwrap();
+/// bell.cx(0, 1).unwrap();
+/// let counts = execute(&bell, &QasmSimulatorBackend::new().with_seed(1), 100)?;
+/// assert_eq!(counts.total(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(circuit: &QuantumCircuit, backend: &dyn Backend, shots: usize) -> Result<Counts> {
+    if circuit.has_measurements() {
+        backend.run(circuit, shots)
+    } else {
+        let mut measured = circuit.clone();
+        measured.measure_all();
+        backend.run(&measured, shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DdSimulatorBackend, FakeDevice, QasmSimulatorBackend};
+
+    fn ghz() -> QuantumCircuit {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.cx(1, 2).unwrap();
+        circ
+    }
+
+    #[test]
+    fn auto_measurement_is_added() {
+        let counts = execute(&ghz(), &QasmSimulatorBackend::new().with_seed(1), 400).unwrap();
+        assert_eq!(counts.total(), 400);
+        assert_eq!(counts.num_clbits(), 3);
+        assert_eq!(counts.get_value(0) + counts.get_value(0b111), 400);
+    }
+
+    #[test]
+    fn existing_measurements_are_respected() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        circ.x(1).unwrap();
+        circ.measure(1, 0).unwrap();
+        let counts = execute(&circ, &QasmSimulatorBackend::new().with_seed(2), 100).unwrap();
+        assert_eq!(counts.num_clbits(), 1);
+        assert_eq!(counts.get_value(1), 100);
+    }
+
+    #[test]
+    fn same_circuit_all_three_backend_kinds() {
+        let circ = ghz();
+        let qasm = execute(&circ, &QasmSimulatorBackend::new().with_seed(3), 1500).unwrap();
+        let dd = execute(&circ, &DdSimulatorBackend::new().with_seed(3), 1500).unwrap();
+        let device = execute(
+            &circ,
+            &FakeDevice::ibmqx4()
+                .with_noise(qukit_aer::noise::NoiseModel::new())
+                .with_seed(3),
+            1500,
+        )
+        .unwrap();
+        for counts in [&qasm, &dd, &device] {
+            let p = counts.probability(0) + counts.probability(0b111);
+            assert!(p > 0.999, "GHZ mass {p}");
+        }
+        // The noiseless device must agree with the ideal simulator closely.
+        let f = qasm.hellinger_fidelity(&dd);
+        assert!(f > 0.99, "fidelity {f}");
+    }
+}

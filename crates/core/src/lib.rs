@@ -1,0 +1,68 @@
+//! # qukit
+//!
+//! A Rust reproduction of IBM's Qiskit tool chain as described in
+//! *"IBM's Qiskit Tool Chain: Working with and Developing for Real Quantum
+//! Computers"* (Wille, Van Meter, Naveh — DATE 2019). The stack mirrors
+//! the paper's four elements:
+//!
+//! | paper element | crate | contents |
+//! |---|---|---|
+//! | Terra | [`qukit_terra`] | circuit IR, OpenQASM 2.0, coupling maps, transpiler |
+//! | Aer | [`qukit_aer`] | statevector / unitary / density-matrix simulators, noise |
+//! | Aqua | [`qukit_aqua`] | VQE, QAOA, Grover, QFT, QPE, teleportation, … |
+//! | Ignis | [`qukit_ignis`] | randomized benchmarking, tomography, mitigation |
+//!
+//! plus [`qukit_dd`], the decision-diagram simulator the paper showcases
+//! as the flagship community contribution (Section V-A / Fig. 3).
+//!
+//! This crate is the user-facing facade: [`backend`]s (simulators and
+//! *fake devices* reproducing the IBM QX coupling constraints and noise),
+//! the [`provider`] registry, and the one-call [`execute`] pipeline — the
+//! same workflow as the paper's Section IV walkthrough.
+//!
+//! # Examples
+//!
+//! The paper's user-perspective flow, end to end:
+//!
+//! ```
+//! use qukit::execute::execute;
+//! use qukit::provider::Provider;
+//! use qukit_terra::circuit::QuantumCircuit;
+//!
+//! # fn main() -> Result<(), qukit::error::QukitError> {
+//! // Build a circuit (or qasm::parse an OpenQASM 2.0 listing).
+//! let mut circ = QuantumCircuit::new(2);
+//! circ.h(0).unwrap();
+//! circ.cx(0, 1).unwrap();
+//!
+//! // Simulate first, then "run on the device".
+//! let provider = Provider::with_defaults();
+//! let sim_counts = execute(&circ, provider.get_backend("qasm_simulator")?, 1024)?;
+//! let dev_counts = execute(&circ, provider.get_backend("ibmqx4")?, 1024)?;
+//! assert_eq!(sim_counts.total(), dev_counts.total());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+pub mod error;
+pub mod execute;
+pub mod provider;
+
+pub use backend::{Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
+pub use error::QukitError;
+pub use execute::execute;
+pub use provider::Provider;
+
+// Re-export the component crates under their element names.
+pub use qukit_aer as aer;
+pub use qukit_aqua as aqua;
+pub use qukit_dd as dd;
+pub use qukit_ignis as ignis;
+pub use qukit_terra as terra;
+
+// Convenience re-exports of the most-used types.
+pub use qukit_aer::counts::Counts;
+pub use qukit_terra::circuit::QuantumCircuit;
+pub use qukit_terra::coupling::CouplingMap;
+pub use qukit_terra::gate::Gate;

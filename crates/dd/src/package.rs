@@ -1,0 +1,1112 @@
+//! The QMDD package: nodes, unique tables, compute tables.
+//!
+//! This implements the decision-diagram representation the paper showcases
+//! in Section V-A (Fig. 3): quantum states and operators are stored as
+//! directed acyclic graphs with complex edge weights. Recursively splitting
+//! a `2^n × 2^n` matrix into four `2^(n-1) × 2^(n-1)` submatrices (or a
+//! state vector into two halves) and *sharing structurally equivalent
+//! submatrices that differ only by a complex factor* yields representations
+//! that are often exponentially more compact than the explicit arrays —
+//! the basis of the DD simulator of Zulehner & Wille (TCAD'18) that was
+//! integrated into Qiskit as the JKU provider.
+//!
+//! Canonicity is maintained by (a) weight normalization on node creation
+//! (the maximum-magnitude child weight is factored out, following the
+//! accuracy-oriented normalization of [38]) and (b) hash-consing through a
+//! unique table with a canonicalizing complex-number table.
+
+use qukit_terra::complex::Complex;
+use std::collections::HashMap;
+
+/// Index of a node in the package's node arena.
+pub type NodeId = u32;
+/// Index of a canonical complex weight in the package's weight table.
+pub type WeightId = u32;
+
+/// The terminal node (level 0).
+pub const TERMINAL: NodeId = 0;
+/// The canonical weight 0.
+pub const W_ZERO: WeightId = 0;
+/// The canonical weight 1.
+pub const W_ONE: WeightId = 1;
+
+/// A weighted edge: the unit of sharing in the DD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Target node.
+    pub node: NodeId,
+    /// Canonical complex weight multiplying everything below.
+    pub weight: WeightId,
+}
+
+impl Edge {
+    /// The zero edge (weight 0 into the terminal).
+    pub const ZERO: Edge = Edge { node: TERMINAL, weight: W_ZERO };
+    /// The one edge (weight 1 into the terminal).
+    pub const ONE: Edge = Edge { node: TERMINAL, weight: W_ONE };
+
+    /// Returns `true` for the zero edge.
+    pub fn is_zero(self) -> bool {
+        self.weight == W_ZERO
+    }
+
+    /// Returns `true` when the edge points at the terminal node.
+    pub fn is_terminal(self) -> bool {
+        self.node == TERMINAL
+    }
+}
+
+/// A vector-DD node: splits a state on one qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct VNode {
+    level: u16,
+    succ: [Edge; 2],
+}
+
+/// A matrix-DD node: splits an operator on one qubit
+/// (`succ[row_bit * 2 + col_bit]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MNode {
+    level: u16,
+    succ: [Edge; 4],
+}
+
+/// Tolerance for identifying complex weights (see the complex table).
+const WEIGHT_TOLERANCE: f64 = 1e-10;
+
+/// The decision-diagram package: arenas, unique tables and operation
+/// caches. All edges returned by one package are only meaningful within it.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_dd::package::DdPackage;
+///
+/// let mut dd = DdPackage::new(3);
+/// let zero = dd.zero_state();
+/// assert_eq!(dd.vector_nodes(zero), 3);
+/// assert!(dd.amplitude(zero, 0).is_approx_one());
+/// ```
+#[derive(Debug)]
+pub struct DdPackage {
+    num_qubits: usize,
+    weights: Vec<Complex>,
+    weight_lookup: HashMap<(i64, i64), WeightId>,
+    vnodes: Vec<VNode>,
+    vunique: HashMap<VNode, NodeId>,
+    mnodes: Vec<MNode>,
+    munique: HashMap<MNode, NodeId>,
+    add_cache: HashMap<(Edge, Edge), Edge>,
+    mv_cache: HashMap<(Edge, Edge), Edge>,
+    mm_cache: HashMap<(Edge, Edge), Edge>,
+    cache_enabled: bool,
+}
+
+impl DdPackage {
+    /// Creates a package for up to `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds `u16::MAX - 1` levels.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits < u16::MAX as usize, "too many qubits");
+        let mut package = Self {
+            num_qubits,
+            weights: Vec::new(),
+            weight_lookup: HashMap::new(),
+            // Index 0 is a placeholder for the shared terminal in both
+            // arenas; level 0 and zero successors, never dereferenced.
+            vnodes: vec![VNode { level: 0, succ: [Edge::ZERO; 2] }],
+            vunique: HashMap::new(),
+            mnodes: vec![MNode { level: 0, succ: [Edge::ZERO; 4] }],
+            munique: HashMap::new(),
+            add_cache: HashMap::new(),
+            mv_cache: HashMap::new(),
+            mm_cache: HashMap::new(),
+            cache_enabled: true,
+        };
+        let zero = package.intern_weight(Complex::ZERO);
+        let one = package.intern_weight(Complex::ONE);
+        debug_assert_eq!(zero, W_ZERO);
+        debug_assert_eq!(one, W_ONE);
+        package
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Disables the operation caches (for the ablation benchmark measuring
+    /// how much compute-table caching matters).
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.add_cache.clear();
+            self.mv_cache.clear();
+            self.mm_cache.clear();
+        }
+    }
+
+    /// Resolves a weight id to its complex value.
+    pub fn weight(&self, id: WeightId) -> Complex {
+        self.weights[id as usize]
+    }
+
+    /// Interns a complex value, returning the canonical id of a value
+    /// within [`WEIGHT_TOLERANCE`].
+    pub fn intern_weight(&mut self, value: Complex) -> WeightId {
+        // Snap tiny components to exactly zero for stability.
+        let re = if value.re.abs() < WEIGHT_TOLERANCE { 0.0 } else { value.re };
+        let im = if value.im.abs() < WEIGHT_TOLERANCE { 0.0 } else { value.im };
+        let value = Complex::new(re, im);
+        let key_of = |re: f64, im: f64| {
+            ((re / WEIGHT_TOLERANCE).round() as i64, (im / WEIGHT_TOLERANCE).round() as i64)
+        };
+        let (kr, ki) = key_of(re, im);
+        // Check the home bucket and the 8 neighbours (values straddling a
+        // bucket boundary must still unify).
+        for dr in -1..=1 {
+            for di in -1..=1 {
+                if let Some(&id) = self.weight_lookup.get(&(kr + dr, ki + di)) {
+                    if self.weights[id as usize].approx_eq_eps(value, WEIGHT_TOLERANCE) {
+                        return id;
+                    }
+                }
+            }
+        }
+        let id = self.weights.len() as WeightId;
+        self.weights.push(value);
+        self.weight_lookup.insert((kr, ki), id);
+        id
+    }
+
+    fn mul_weights(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        if a == W_ZERO || b == W_ZERO {
+            return W_ZERO;
+        }
+        if a == W_ONE {
+            return b;
+        }
+        if b == W_ONE {
+            return a;
+        }
+        let product = self.weight(a) * self.weight(b);
+        self.intern_weight(product)
+    }
+
+    fn add_weights(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        if a == W_ZERO {
+            return b;
+        }
+        if b == W_ZERO {
+            return a;
+        }
+        let sum = self.weight(a) + self.weight(b);
+        self.intern_weight(sum)
+    }
+
+    // --- Vector nodes ------------------------------------------------------
+
+    /// Creates (or reuses) a normalized vector node at `level` with the two
+    /// successor edges, returning the normalized edge into it.
+    ///
+    /// Normalization: the child weight of largest magnitude is factored out
+    /// into the returned edge; a node whose children are both zero
+    /// collapses to the zero edge.
+    pub fn make_vnode(&mut self, level: u16, succ: [Edge; 2]) -> Edge {
+        debug_assert!(level >= 1, "vector nodes live at level >= 1");
+        if succ[0].is_zero() && succ[1].is_zero() {
+            return Edge::ZERO;
+        }
+        let w0 = self.weight(succ[0].weight);
+        let w1 = self.weight(succ[1].weight);
+        let (norm_idx, norm) =
+            if w0.norm_sqr() >= w1.norm_sqr() { (0, w0) } else { (1, w1) };
+        let inv = norm.recip();
+        let mut normalized = [Edge::ZERO; 2];
+        for (i, edge) in succ.iter().enumerate() {
+            if edge.is_zero() {
+                normalized[i] = Edge::ZERO;
+            } else if i == norm_idx {
+                normalized[i] = Edge { node: edge.node, weight: W_ONE };
+            } else {
+                let w = self.weight(edge.weight) * inv;
+                let wid = self.intern_weight(w);
+                normalized[i] =
+                    if wid == W_ZERO { Edge::ZERO } else { Edge { node: edge.node, weight: wid } };
+            }
+        }
+        let node = VNode { level, succ: normalized };
+        let id = match self.vunique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = self.vnodes.len() as NodeId;
+                self.vnodes.push(node);
+                self.vunique.insert(node, id);
+                id
+            }
+        };
+        let top = self.intern_weight(norm);
+        Edge { node: id, weight: top }
+    }
+
+    fn vnode(&self, id: NodeId) -> &VNode {
+        &self.vnodes[id as usize]
+    }
+
+    /// Level of a vector edge's node (0 for terminal).
+    pub fn vector_level(&self, edge: Edge) -> u16 {
+        self.vnode(edge.node).level
+    }
+
+    /// Level of a vector node by id (0 for terminal).
+    pub fn vector_level_of(&self, node: NodeId) -> u16 {
+        self.vnode(node).level
+    }
+
+    /// Raw successor edge of a vector node (parent weight *not* folded in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the terminal.
+    pub fn vector_child(&self, node: NodeId, bit: usize) -> Edge {
+        assert_ne!(node, TERMINAL, "terminal has no successors");
+        self.vnode(node).succ[bit]
+    }
+
+    /// The successor of a vector edge along `bit`, with weights multiplied
+    /// through.
+    pub fn vector_successor(&mut self, edge: Edge, bit: usize) -> Edge {
+        let child = self.vnode(edge.node).succ[bit];
+        let weight = self.mul_weights(edge.weight, child.weight);
+        if weight == W_ZERO {
+            Edge::ZERO
+        } else {
+            Edge { node: child.node, weight }
+        }
+    }
+
+    /// The basis state `|0…0⟩` as a vector DD.
+    pub fn zero_state(&mut self) -> Edge {
+        self.basis_state(0)
+    }
+
+    /// An arbitrary computational basis state as a vector DD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn basis_state(&mut self, index: usize) -> Edge {
+        assert!(index < (1usize << self.num_qubits), "basis index out of range");
+        let mut edge = Edge::ONE;
+        for level in 1..=self.num_qubits as u16 {
+            let bit = (index >> (level - 1)) & 1;
+            let mut succ = [Edge::ZERO; 2];
+            succ[bit] = edge;
+            edge = self.make_vnode(level, succ);
+        }
+        edge
+    }
+
+    /// The amplitude `⟨index|ψ⟩` of a vector DD.
+    pub fn amplitude(&self, edge: Edge, index: usize) -> Complex {
+        let mut acc = self.weight(edge.weight);
+        let mut node = edge.node;
+        while node != TERMINAL {
+            let vn = self.vnode(node);
+            let bit = (index >> (vn.level - 1)) & 1;
+            let child = vn.succ[bit];
+            acc *= self.weight(child.weight);
+            if acc.is_approx_zero() {
+                return Complex::ZERO;
+            }
+            node = child.node;
+        }
+        acc
+    }
+
+    /// Materializes the full `2^n` amplitude vector (exponential; for tests
+    /// and small benchmarks).
+    pub fn to_statevector(&self, edge: Edge) -> Vec<Complex> {
+        let dim = 1usize << self.num_qubits;
+        let mut out = vec![Complex::ZERO; dim];
+        self.fill_amplitudes(edge, self.num_qubits as u16, 0, self.weight(edge.weight), &mut out);
+        out
+    }
+
+    fn fill_amplitudes(
+        &self,
+        edge: Edge,
+        level: u16,
+        prefix: usize,
+        acc: Complex,
+        out: &mut [Complex],
+    ) {
+        if acc.is_approx_zero() {
+            return;
+        }
+        if edge.node == TERMINAL {
+            // All remaining levels are skipped only when level == 0;
+            // a terminal edge above level 0 cannot happen for normalized
+            // state DDs built through make_vnode/basis_state.
+            debug_assert_eq!(level, 0, "terminal edge above level 0");
+            out[prefix] = acc;
+            return;
+        }
+        let vn = self.vnode(edge.node);
+        for bit in 0..2 {
+            let child = vn.succ[bit];
+            if child.is_zero() {
+                continue;
+            }
+            let next = acc * self.weight(child.weight);
+            self.fill_amplitudes(
+                child,
+                vn.level - 1,
+                prefix | (bit << (vn.level - 1)),
+                next,
+                out,
+            );
+        }
+    }
+
+    /// Number of distinct nodes reachable from a vector edge (excluding the
+    /// terminal) — the size metric of the Fig. 3 comparison.
+    pub fn vector_nodes(&self, edge: Edge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![edge.node];
+        while let Some(node) = stack.pop() {
+            if node == TERMINAL || !seen.insert(node) {
+                continue;
+            }
+            for child in self.vnode(node).succ {
+                stack.push(child.node);
+            }
+        }
+        seen.len()
+    }
+
+    /// Squared norm `⟨ψ|ψ⟩` of a vector DD.
+    pub fn vector_norm_sqr(&self, edge: Edge) -> f64 {
+        let mut cache: HashMap<NodeId, f64> = HashMap::new();
+        let body = self.node_norm_sqr(edge.node, &mut cache);
+        self.weight(edge.weight).norm_sqr() * body
+    }
+
+    fn node_norm_sqr(&self, node: NodeId, cache: &mut HashMap<NodeId, f64>) -> f64 {
+        if node == TERMINAL {
+            return 1.0;
+        }
+        if let Some(&v) = cache.get(&node) {
+            return v;
+        }
+        let vn = self.vnode(node);
+        let mut total = 0.0;
+        for child in vn.succ {
+            if !child.is_zero() {
+                total += self.weight(child.weight).norm_sqr()
+                    * self.node_norm_sqr(child.node, cache);
+            }
+        }
+        cache.insert(node, total);
+        total
+    }
+
+    // --- Vector addition ----------------------------------------------------
+
+    /// Adds two vector DDs.
+    pub fn add_vectors(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let key = if (a.node, a.weight) <= (b.node, b.weight) { (a, b) } else { (b, a) };
+        if self.cache_enabled {
+            if let Some(&hit) = self.add_cache.get(&key) {
+                return hit;
+            }
+        }
+        let result = if a.node == TERMINAL && b.node == TERMINAL {
+            let w = self.add_weights(a.weight, b.weight);
+            if w == W_ZERO {
+                Edge::ZERO
+            } else {
+                Edge { node: TERMINAL, weight: w }
+            }
+        } else {
+            let level = self.vector_level(a).max(self.vector_level(b));
+            let mut succ = [Edge::ZERO; 2];
+            for (bit, slot) in succ.iter_mut().enumerate() {
+                let ac = self.descend_vector(a, level, bit);
+                let bc = self.descend_vector(b, level, bit);
+                *slot = self.add_vectors(ac, bc);
+            }
+            self.make_vnode(level, succ)
+        };
+        if self.cache_enabled {
+            self.add_cache.insert(key, result);
+        }
+        result
+    }
+
+    /// Child of `edge` along `bit` if its node is at `level`, otherwise the
+    /// edge itself (implicit don't-care expansion for skipped levels).
+    fn descend_vector(&mut self, edge: Edge, level: u16, bit: usize) -> Edge {
+        if edge.node != TERMINAL && self.vector_level(edge) == level {
+            self.vector_successor(edge, bit)
+        } else {
+            // Node skipped at this level: for state DDs built by this
+            // package levels are never skipped, but addition interim
+            // results can be sub-normalized; treat as same value on both
+            // branches (don't-care) — only correct for terminal edges,
+            // which is the only skip case reachable here.
+            edge
+        }
+    }
+
+    // --- Matrix nodes ---------------------------------------------------------
+
+    /// Creates (or reuses) a normalized matrix node.
+    pub fn make_mnode(&mut self, level: u16, succ: [Edge; 4]) -> Edge {
+        debug_assert!(level >= 1, "matrix nodes live at level >= 1");
+        if succ.iter().all(|e| e.is_zero()) {
+            return Edge::ZERO;
+        }
+        // Factor out the max-magnitude child weight.
+        let mut norm_idx = 0;
+        let mut best = -1.0f64;
+        for (i, edge) in succ.iter().enumerate() {
+            let mag = self.weight(edge.weight).norm_sqr();
+            if mag > best {
+                best = mag;
+                norm_idx = i;
+            }
+        }
+        let norm = self.weight(succ[norm_idx].weight);
+        let inv = norm.recip();
+        let mut normalized = [Edge::ZERO; 4];
+        for (i, edge) in succ.iter().enumerate() {
+            if edge.is_zero() {
+                normalized[i] = Edge::ZERO;
+            } else if i == norm_idx {
+                normalized[i] = Edge { node: edge.node, weight: W_ONE };
+            } else {
+                let w = self.weight(edge.weight) * inv;
+                let wid = self.intern_weight(w);
+                normalized[i] =
+                    if wid == W_ZERO { Edge::ZERO } else { Edge { node: edge.node, weight: wid } };
+            }
+        }
+        let node = MNode { level, succ: normalized };
+        let id = match self.munique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = self.mnodes.len() as NodeId;
+                self.mnodes.push(node);
+                self.munique.insert(node, id);
+                id
+            }
+        };
+        let top = self.intern_weight(norm);
+        Edge { node: id, weight: top }
+    }
+
+    fn mnode(&self, id: NodeId) -> &MNode {
+        &self.mnodes[id as usize]
+    }
+
+    /// Level of a matrix edge's node (0 for terminal).
+    pub fn matrix_level(&self, edge: Edge) -> u16 {
+        self.mnode(edge.node).level
+    }
+
+    /// Number of distinct matrix nodes reachable from an edge.
+    pub fn matrix_nodes(&self, edge: Edge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![edge.node];
+        while let Some(node) = stack.pop() {
+            if node == TERMINAL || !seen.insert(node) {
+                continue;
+            }
+            for child in self.mnode(node).succ {
+                stack.push(child.node);
+            }
+        }
+        seen.len()
+    }
+
+    /// The identity matrix DD over all qubits.
+    pub fn identity(&mut self) -> Edge {
+        let mut edge = Edge::ONE;
+        for level in 1..=self.num_qubits as u16 {
+            edge = self.make_mnode(level, [edge, Edge::ZERO, Edge::ZERO, edge]);
+        }
+        edge
+    }
+
+    /// Builds the matrix DD of a `k`-qubit gate applied to `qubits`
+    /// (little-endian operand convention matching
+    /// [`qukit_terra::gate::Gate::matrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand count and matrix dimension disagree or operands
+    /// repeat / exceed the register.
+    pub fn gate_matrix(&mut self, matrix: &qukit_terra::matrix::Matrix, qubits: &[usize]) -> Edge {
+        let k = qubits.len();
+        assert_eq!(matrix.rows(), 1 << k, "matrix dimension mismatch");
+        for &q in qubits {
+            assert!(q < self.num_qubits, "operand qubit {q} out of range");
+        }
+        let mut memo: HashMap<(u16, usize, usize), Edge> = HashMap::new();
+        self.build_gate(matrix, qubits, self.num_qubits as u16, 0, 0, &mut memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_gate(
+        &mut self,
+        matrix: &qukit_terra::matrix::Matrix,
+        qubits: &[usize],
+        level: u16,
+        row_acc: usize,
+        col_acc: usize,
+        memo: &mut HashMap<(u16, usize, usize), Edge>,
+    ) -> Edge {
+        if level == 0 {
+            let value = matrix[(row_acc, col_acc)];
+            let w = self.intern_weight(value);
+            return if w == W_ZERO { Edge::ZERO } else { Edge { node: TERMINAL, weight: w } };
+        }
+        if let Some(&hit) = memo.get(&(level, row_acc, col_acc)) {
+            return hit;
+        }
+        let q = (level - 1) as usize;
+        let result = if let Some(pos) = qubits.iter().position(|&x| x == q) {
+            let mut succ = [Edge::ZERO; 4];
+            for r in 0..2 {
+                for c in 0..2 {
+                    let child = self.build_gate(
+                        matrix,
+                        qubits,
+                        level - 1,
+                        row_acc | (r << pos),
+                        col_acc | (c << pos),
+                        memo,
+                    );
+                    succ[r * 2 + c] = child;
+                }
+            }
+            self.make_mnode(level, succ)
+        } else {
+            let below = self.build_gate(matrix, qubits, level - 1, row_acc, col_acc, memo);
+            self.make_mnode(level, [below, Edge::ZERO, Edge::ZERO, below])
+        };
+        memo.insert((level, row_acc, col_acc), result);
+        result
+    }
+
+    // --- Matrix-vector and matrix-matrix multiplication -------------------------
+
+    /// Applies a matrix DD to a vector DD: `|ψ'⟩ = M|ψ⟩`.
+    ///
+    /// This is the core simulation step — "simulating a quantum circuit
+    /// conceptually boils down to a sequence of matrix-vector
+    /// multiplications" (paper, Section V-A), except both operands stay in
+    /// their compressed DD form throughout.
+    pub fn multiply_mv(&mut self, m: Edge, v: Edge) -> Edge {
+        if m.is_zero() || v.is_zero() {
+            return Edge::ZERO;
+        }
+        if m.node == TERMINAL && v.node == TERMINAL {
+            let w = self.mul_weights(m.weight, v.weight);
+            return if w == W_ZERO { Edge::ZERO } else { Edge { node: TERMINAL, weight: w } };
+        }
+        // Factor the top weights out so cache entries are weight-normalized.
+        let (m_body, v_body) =
+            (Edge { node: m.node, weight: W_ONE }, Edge { node: v.node, weight: W_ONE });
+        let outer = self.mul_weights(m.weight, v.weight);
+        if outer == W_ZERO {
+            return Edge::ZERO;
+        }
+        let key = (m_body, v_body);
+        let body_result = if self.cache_enabled && self.mv_cache.contains_key(&key) {
+            self.mv_cache[&key]
+        } else {
+            let level = self.matrix_level(m).max(self.vector_level(v));
+            let mut succ = [Edge::ZERO; 2];
+            for (r, slot) in succ.iter_mut().enumerate() {
+                let mut acc = Edge::ZERO;
+                for c in 0..2 {
+                    let m_child = self.descend_matrix(m_body, level, r, c);
+                    let v_child = self.descend_vector_strict(v_body, level, c);
+                    let prod = self.multiply_mv(m_child, v_child);
+                    acc = self.add_vectors(acc, prod);
+                }
+                *slot = acc;
+            }
+            let result = self.make_vnode(level, succ);
+            if self.cache_enabled {
+                self.mv_cache.insert(key, result);
+            }
+            result
+        };
+        let weight = self.mul_weights(outer, body_result.weight);
+        if weight == W_ZERO {
+            Edge::ZERO
+        } else {
+            Edge { node: body_result.node, weight }
+        }
+    }
+
+    /// Multiplies two matrix DDs: `A·B`.
+    pub fn multiply_mm(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() || b.is_zero() {
+            return Edge::ZERO;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            let w = self.mul_weights(a.weight, b.weight);
+            return if w == W_ZERO { Edge::ZERO } else { Edge { node: TERMINAL, weight: w } };
+        }
+        let (a_body, b_body) =
+            (Edge { node: a.node, weight: W_ONE }, Edge { node: b.node, weight: W_ONE });
+        let outer = self.mul_weights(a.weight, b.weight);
+        if outer == W_ZERO {
+            return Edge::ZERO;
+        }
+        let key = (a_body, b_body);
+        let body_result = if self.cache_enabled && self.mm_cache.contains_key(&key) {
+            self.mm_cache[&key]
+        } else {
+            let level = self.matrix_level(a).max(self.matrix_level(b));
+            let mut succ = [Edge::ZERO; 4];
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut acc = Edge::ZERO;
+                    for k in 0..2 {
+                        let a_child = self.descend_matrix(a_body, level, r, k);
+                        let b_child = self.descend_matrix(b_body, level, k, c);
+                        let prod = self.multiply_mm(a_child, b_child);
+                        acc = self.add_matrices(acc, prod);
+                    }
+                    succ[r * 2 + c] = acc;
+                }
+            }
+            let result = self.make_mnode(level, succ);
+            if self.cache_enabled {
+                self.mm_cache.insert(key, result);
+            }
+            result
+        };
+        let weight = self.mul_weights(outer, body_result.weight);
+        if weight == W_ZERO {
+            Edge::ZERO
+        } else {
+            Edge { node: body_result.node, weight }
+        }
+    }
+
+    /// Adds two matrix DDs.
+    pub fn add_matrices(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            let w = self.add_weights(a.weight, b.weight);
+            return if w == W_ZERO { Edge::ZERO } else { Edge { node: TERMINAL, weight: w } };
+        }
+        let level = self.matrix_level(a).max(self.matrix_level(b));
+        let mut succ = [Edge::ZERO; 4];
+        for r in 0..2 {
+            for c in 0..2 {
+                let ac = self.descend_matrix(a, level, r, c);
+                let bc = self.descend_matrix(b, level, r, c);
+                succ[r * 2 + c] = self.add_matrices(ac, bc);
+            }
+        }
+        self.make_vnode_checked_m(level, succ)
+    }
+
+    fn make_vnode_checked_m(&mut self, level: u16, succ: [Edge; 4]) -> Edge {
+        self.make_mnode(level, succ)
+    }
+
+    fn descend_matrix(&mut self, edge: Edge, level: u16, r: usize, c: usize) -> Edge {
+        if edge.node != TERMINAL && self.matrix_level(edge) == level {
+            let child = self.mnode(edge.node).succ[r * 2 + c];
+            let weight = self.mul_weights(edge.weight, child.weight);
+            if weight == W_ZERO {
+                Edge::ZERO
+            } else {
+                Edge { node: child.node, weight }
+            }
+        } else if r == c {
+            // Skipped level acts as identity.
+            edge
+        } else {
+            Edge::ZERO
+        }
+    }
+
+    fn descend_vector_strict(&mut self, edge: Edge, level: u16, bit: usize) -> Edge {
+        if edge.node != TERMINAL && self.vector_level(edge) == level {
+            self.vector_successor(edge, bit)
+        } else {
+            // For fully-expanded state DDs this cannot happen except at the
+            // terminal, where the value is shared by both branches.
+            edge
+        }
+    }
+
+    /// Materializes a matrix DD as a dense matrix (exponential; tests
+    /// and the Fig. 3 reproduction only).
+    pub fn to_matrix(&self, edge: Edge) -> qukit_terra::matrix::Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut out = qukit_terra::matrix::Matrix::zeros(dim, dim);
+        self.fill_matrix(edge, self.num_qubits as u16, 0, 0, self.weight(edge.weight), &mut out);
+        out
+    }
+
+    fn fill_matrix(
+        &self,
+        edge: Edge,
+        level: u16,
+        row: usize,
+        col: usize,
+        acc: Complex,
+        out: &mut qukit_terra::matrix::Matrix,
+    ) {
+        if acc.is_approx_zero() {
+            return;
+        }
+        if level == 0 {
+            out[(row, col)] = acc;
+            return;
+        }
+        if edge.node == TERMINAL || self.matrix_level(edge) != level {
+            // Skipped level: identity expansion.
+            for b in 0..2 {
+                self.fill_matrix(
+                    edge,
+                    level - 1,
+                    row | (b << (level - 1)),
+                    col | (b << (level - 1)),
+                    acc,
+                    out,
+                );
+            }
+            return;
+        }
+        let mn = self.mnode(edge.node);
+        for r in 0..2 {
+            for c in 0..2 {
+                let child = mn.succ[r * 2 + c];
+                if child.is_zero() {
+                    continue;
+                }
+                self.fill_matrix(
+                    child,
+                    level - 1,
+                    row | (r << (level - 1)),
+                    col | (c << (level - 1)),
+                    acc * self.weight(child.weight),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Inner product `⟨a|b⟩` of two vector DDs, computed on the compressed
+    /// representation with memoization (never materializing amplitudes).
+    pub fn inner_product(&mut self, a: Edge, b: Edge) -> Complex {
+        let mut cache: HashMap<(NodeId, NodeId), Complex> = HashMap::new();
+        let top = self.weight(a.weight).conj() * self.weight(b.weight);
+        if top.is_approx_zero() {
+            return Complex::ZERO;
+        }
+        top * self.inner_product_body(a.node, b.node, &mut cache)
+    }
+
+    fn inner_product_body(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cache: &mut HashMap<(NodeId, NodeId), Complex>,
+    ) -> Complex {
+        if a == TERMINAL && b == TERMINAL {
+            return Complex::ONE;
+        }
+        if let Some(&hit) = cache.get(&(a, b)) {
+            return hit;
+        }
+        // State DDs built by this package never skip levels, so the two
+        // nodes are at the same level here.
+        let mut acc = Complex::ZERO;
+        for bit in 0..2 {
+            let ca = self.vector_child(a, bit);
+            let cb = self.vector_child(b, bit);
+            if ca.is_zero() || cb.is_zero() {
+                continue;
+            }
+            let w = self.weight(ca.weight).conj() * self.weight(cb.weight);
+            if w.is_approx_zero() {
+                continue;
+            }
+            acc += w * self.inner_product_body(ca.node, cb.node, cache);
+        }
+        cache.insert((a, b), acc);
+        acc
+    }
+
+    /// Fidelity `|⟨a|b⟩|²` between two vector DDs.
+    pub fn fidelity(&mut self, a: Edge, b: Edge) -> f64 {
+        self.inner_product(a, b).norm_sqr()
+    }
+
+    /// Total allocated nodes (vector + matrix) — a memory telemetry metric.
+    pub fn allocated_nodes(&self) -> usize {
+        self.vnodes.len() + self.mnodes.len() - 2
+    }
+
+    /// Clears the operation caches (unique tables are kept).
+    pub fn clear_caches(&mut self) {
+        self.add_cache.clear();
+        self.mv_cache.clear();
+        self.mm_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::complex::c64;
+    use qukit_terra::gate::Gate;
+
+    #[test]
+    fn weight_interning_is_canonical() {
+        let mut dd = DdPackage::new(1);
+        let a = dd.intern_weight(c64(0.5, -0.25));
+        let b = dd.intern_weight(c64(0.5 + 1e-13, -0.25 - 1e-13));
+        assert_eq!(a, b, "nearby weights must unify");
+        let c = dd.intern_weight(c64(0.5001, -0.25));
+        assert_ne!(a, c);
+        assert_eq!(dd.intern_weight(Complex::ZERO), W_ZERO);
+        assert_eq!(dd.intern_weight(Complex::ONE), W_ONE);
+    }
+
+    #[test]
+    fn zero_state_amplitudes() {
+        let mut dd = DdPackage::new(3);
+        let psi = dd.zero_state();
+        assert!(dd.amplitude(psi, 0).is_approx_one());
+        for idx in 1..8 {
+            assert!(dd.amplitude(psi, idx).is_approx_zero());
+        }
+        assert!((dd.vector_norm_sqr(psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_states_are_canonical_chains() {
+        let mut dd = DdPackage::new(4);
+        let a = dd.basis_state(0b1010);
+        let b = dd.basis_state(0b1010);
+        assert_eq!(a, b, "hash consing must return identical edges");
+        assert!(dd.amplitude(a, 0b1010).is_approx_one());
+        assert_eq!(dd.vector_nodes(a), 4);
+    }
+
+    #[test]
+    fn gate_matrix_reproduces_dense() {
+        let mut dd = DdPackage::new(3);
+        for (gate, qubits) in [
+            (Gate::H, vec![0]),
+            (Gate::H, vec![2]),
+            (Gate::T, vec![1]),
+            (Gate::CX, vec![0, 2]),
+            (Gate::CX, vec![2, 0]),
+            (Gate::Swap, vec![0, 1]),
+        ] {
+            let edge = dd.gate_matrix(&gate.matrix(), &qubits);
+            let dense = dd.to_matrix(edge);
+            // Reference: embed with the reference simulator.
+            let mut circ = qukit_terra::circuit::QuantumCircuit::new(3);
+            circ.append(gate, &qubits).unwrap();
+            let expected = qukit_terra::reference::unitary(&circ).unwrap();
+            assert!(dense.approx_eq_eps(&expected, 1e-9), "{gate:?} on {qubits:?}");
+        }
+    }
+
+    #[test]
+    fn identity_dd_has_linear_size() {
+        let mut dd = DdPackage::new(8);
+        let id = dd.identity();
+        assert_eq!(dd.matrix_nodes(id), 8);
+    }
+
+    #[test]
+    fn mv_multiplication_matches_dense() {
+        let mut dd = DdPackage::new(3);
+        let mut psi = dd.zero_state();
+        let mut reference = vec![Complex::ZERO; 8];
+        reference[0] = Complex::ONE;
+        for (gate, qubits) in [
+            (Gate::H, vec![0usize]),
+            (Gate::CX, vec![0, 1]),
+            (Gate::T, vec![1]),
+            (Gate::CX, vec![1, 2]),
+            (Gate::H, vec![2]),
+        ] {
+            let m = dd.gate_matrix(&gate.matrix(), &qubits);
+            psi = dd.multiply_mv(m, psi);
+            qukit_terra::reference::apply_gate(&mut reference, &gate.matrix(), &qubits);
+        }
+        let result = dd.to_statevector(psi);
+        for (a, b) in result.iter().zip(&reference) {
+            assert!(a.approx_eq_eps(*b, 1e-9));
+        }
+        assert!((dd.vector_norm_sqr(psi) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghz_state_dd_is_linear_in_qubits() {
+        // The flagship compactness result: GHZ needs 2^n amplitudes densely
+        // but only 2n-1 DD nodes (a top node plus the all-zero and all-one
+        // chains).
+        let n = 12;
+        let mut dd = DdPackage::new(n);
+        let mut psi = dd.zero_state();
+        let h = dd.gate_matrix(&Gate::H.matrix(), &[0]);
+        psi = dd.multiply_mv(h, psi);
+        for q in 1..n {
+            let cx = dd.gate_matrix(&Gate::CX.matrix(), &[q - 1, q]);
+            psi = dd.multiply_mv(cx, psi);
+        }
+        assert_eq!(dd.vector_nodes(psi), 2 * n - 1, "GHZ must stay linear");
+        let amp0 = dd.amplitude(psi, 0);
+        let amp_all = dd.amplitude(psi, (1 << n) - 1);
+        assert!((amp0.norm_sqr() - 0.5).abs() < 1e-9);
+        assert!((amp_all.norm_sqr() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_linear() {
+        let mut dd = DdPackage::new(2);
+        let a = dd.basis_state(0);
+        let b = dd.basis_state(3);
+        let ab = dd.add_vectors(a, b);
+        let ba = dd.add_vectors(b, a);
+        assert_eq!(ab, ba);
+        assert!((dd.vector_norm_sqr(ab) - 2.0).abs() < 1e-12);
+        assert!(dd.amplitude(ab, 0).is_approx_one());
+        assert!(dd.amplitude(ab, 3).is_approx_one());
+    }
+
+    #[test]
+    fn mm_multiplication_matches_dense() {
+        let mut dd = DdPackage::new(2);
+        let h0 = dd.gate_matrix(&Gate::H.matrix(), &[0]);
+        let cx = dd.gate_matrix(&Gate::CX.matrix(), &[0, 1]);
+        let product = dd.multiply_mm(cx, h0); // CX · H(q0)
+        let dense = dd.to_matrix(product);
+        let mut circ = qukit_terra::circuit::QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let expected = qukit_terra::reference::unitary(&circ).unwrap();
+        assert!(dense.approx_eq_eps(&expected, 1e-9));
+    }
+
+    #[test]
+    fn canonicity_hh_restores_original_edge() {
+        let mut dd = DdPackage::new(4);
+        let psi = dd.zero_state();
+        let h = dd.gate_matrix(&Gate::H.matrix(), &[2]);
+        let once = dd.multiply_mv(h, psi);
+        let twice = dd.multiply_mv(h, once);
+        assert_eq!(twice, psi, "H·H|ψ⟩ must be structurally identical to |ψ⟩");
+    }
+
+    #[test]
+    fn cache_toggle_gives_same_results() {
+        let run = |cache: bool| -> Vec<Complex> {
+            let mut dd = DdPackage::new(4);
+            dd.set_cache_enabled(cache);
+            let mut psi = dd.zero_state();
+            for q in 0..4 {
+                let h = dd.gate_matrix(&Gate::H.matrix(), &[q]);
+                psi = dd.multiply_mv(h, psi);
+            }
+            for q in 0..3 {
+                let cx = dd.gate_matrix(&Gate::CX.matrix(), &[q, q + 1]);
+                psi = dd.multiply_mv(cx, psi);
+            }
+            dd.to_statevector(psi)
+        };
+        let with = run(true);
+        let without = run(false);
+        for (a, b) in with.iter().zip(&without) {
+            assert!(a.approx_eq_eps(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn inner_product_matches_dense() {
+        let mut dd = DdPackage::new(3);
+        // |psi> = GHZ, |phi> = uniform superposition.
+        let mut psi = dd.zero_state();
+        let h0 = dd.gate_matrix(&Gate::H.matrix(), &[0]);
+        psi = dd.multiply_mv(h0, psi);
+        for q in 1..3 {
+            let cx = dd.gate_matrix(&Gate::CX.matrix(), &[q - 1, q]);
+            psi = dd.multiply_mv(cx, psi);
+        }
+        let mut phi = dd.zero_state();
+        for q in 0..3 {
+            let h = dd.gate_matrix(&Gate::H.matrix(), &[q]);
+            phi = dd.multiply_mv(h, phi);
+        }
+        let dense_psi = dd.to_statevector(psi);
+        let dense_phi = dd.to_statevector(phi);
+        let expected = qukit_terra::matrix::inner_product(&dense_psi, &dense_phi);
+        let actual = dd.inner_product(psi, phi);
+        assert!(actual.approx_eq_eps(expected, 1e-10), "{actual} vs {expected}");
+        // <GHZ|uniform> = 2/sqrt(2 * 8) = 0.5.
+        assert!((actual.re - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inner_product_self_is_norm() {
+        let mut dd = DdPackage::new(4);
+        let mut psi = dd.zero_state();
+        for (g, q) in [(Gate::H, 0usize), (Gate::T, 0), (Gate::H, 2)] {
+            let m = dd.gate_matrix(&g.matrix(), &[q]);
+            psi = dd.multiply_mv(m, psi);
+        }
+        let ip = dd.inner_product(psi, psi);
+        assert!((ip.re - 1.0).abs() < 1e-10);
+        assert!(ip.im.abs() < 1e-10);
+        assert!((dd.fidelity(psi, psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn orthogonal_states_have_zero_fidelity() {
+        let mut dd = DdPackage::new(2);
+        let a = dd.basis_state(0b01);
+        let b = dd.basis_state(0b10);
+        assert!(dd.inner_product(a, b).is_approx_zero());
+        assert_eq!(dd.fidelity(a, b), 0.0);
+    }
+
+    #[test]
+    fn allocated_nodes_grows_and_reports() {
+        let mut dd = DdPackage::new(3);
+        let before = dd.allocated_nodes();
+        let _ = dd.zero_state();
+        assert!(dd.allocated_nodes() > before);
+        dd.clear_caches();
+    }
+}

@@ -1,0 +1,321 @@
+//! Circuit-level decision-diagram simulation.
+//!
+//! [`DdSimulator`] drives a [`DdPackage`] over a `QuantumCircuit`: the
+//! complete "advanced simulation" flow of the paper's Section V-A,
+//! including measurement sampling directly from the compressed
+//! representation (no statevector is ever materialized).
+
+use crate::package::{DdPackage, Edge};
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::instruction::Operation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the DD simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdError {
+    /// Instruction unsupported in pure-state DD simulation.
+    UnsupportedInstruction {
+        /// Instruction name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdError::UnsupportedInstruction { name } => {
+                write!(f, "instruction '{name}' is not supported by the DD simulator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DdError {}
+
+/// The result of a DD simulation: the final state as a DD plus telemetry.
+#[derive(Debug)]
+pub struct DdState {
+    /// The package owning the diagram.
+    pub package: DdPackage,
+    /// Edge to the final state.
+    pub root: Edge,
+    /// Maximum node count observed during simulation (memory high-water
+    /// mark — the DD analogue of the `2^n` amplitude array).
+    pub peak_nodes: usize,
+}
+
+impl DdState {
+    /// Number of nodes in the final state DD.
+    pub fn node_count(&self) -> usize {
+        self.package.vector_nodes(self.root)
+    }
+
+    /// Amplitude of a basis state.
+    pub fn amplitude(&self, index: usize) -> qukit_terra::complex::Complex {
+        self.package.amplitude(self.root, index)
+    }
+
+    /// Materializes the dense statevector (exponential; small circuits).
+    pub fn to_statevector(&self) -> Vec<qukit_terra::complex::Complex> {
+        self.package.to_statevector(self.root)
+    }
+
+    /// Samples `shots` measurement outcomes of all qubits directly from the
+    /// DD, without materializing amplitudes: at each node the branch
+    /// probability is `|w_b|² · ‖child‖²`.
+    pub fn sample_counts(&self, shots: usize, seed: u64) -> qukit_aer::counts::Counts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.package.num_qubits();
+        let mut counts = qukit_aer::counts::Counts::new(n.min(64));
+        // Cache of subtree squared norms.
+        let mut norm_cache: HashMap<u32, f64> = HashMap::new();
+        for _ in 0..shots {
+            let outcome = self.sample_once(&mut rng, &mut norm_cache);
+            counts.record(outcome);
+        }
+        counts
+    }
+
+    /// `‖w·subtree‖²` for an edge (the edge weight is included); subtree
+    /// bodies are cached per node.
+    fn subtree_norm(&self, edge: Edge, cache: &mut HashMap<u32, f64>) -> f64 {
+        let w = self.package.weight(edge.weight).norm_sqr();
+        if edge.node == crate::package::TERMINAL {
+            return w;
+        }
+        if let Some(&v) = cache.get(&edge.node) {
+            return w * v;
+        }
+        let mut body = 0.0;
+        for bit in 0..2 {
+            let child = self.package.vector_child(edge.node, bit);
+            if !child.is_zero() {
+                body += self.subtree_norm(child, cache);
+            }
+        }
+        cache.insert(edge.node, body);
+        w * body
+    }
+
+    fn sample_once(&self, rng: &mut StdRng, cache: &mut HashMap<u32, f64>) -> u64 {
+        let mut outcome = 0u64;
+        let mut edge = Edge { node: self.root.node, weight: crate::package::W_ONE };
+        while edge.node != crate::package::TERMINAL {
+            let level = self.package.vector_level(edge);
+            let zero_child = self.package.vector_child(edge.node, 0);
+            let one_child = self.package.vector_child(edge.node, 1);
+            let p0 = self.subtree_norm(zero_child, cache);
+            let p1 = self.subtree_norm(one_child, cache);
+            let total = p0 + p1;
+            let bit = if total <= 0.0 {
+                0
+            } else if rng.gen::<f64>() * total < p1 {
+                1
+            } else {
+                0
+            };
+            if bit == 1 {
+                outcome |= 1 << (level - 1);
+            }
+            let next = if bit == 1 { one_child } else { zero_child };
+            edge = Edge { node: next.node, weight: crate::package::W_ONE };
+        }
+        outcome
+    }
+}
+
+/// Decision-diagram circuit simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_dd::simulator::DdSimulator;
+/// use qukit_terra::circuit::QuantumCircuit;
+///
+/// # fn main() -> Result<(), qukit_dd::simulator::DdError> {
+/// let mut ghz = QuantumCircuit::new(10);
+/// ghz.h(0).unwrap();
+/// for q in 1..10 {
+///     ghz.cx(q - 1, q).unwrap();
+/// }
+/// let state = DdSimulator::new().run(&ghz)?;
+/// // 1024 amplitudes, but only 19 DD nodes.
+/// assert_eq!(state.node_count(), 19);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DdSimulator {
+    cache_enabled: bool,
+}
+
+impl Default for DdSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DdSimulator {
+    /// Creates the simulator (compute-table caching enabled).
+    pub fn new() -> Self {
+        Self { cache_enabled: true }
+    }
+
+    /// Disables the compute-table cache — the ablation knob for the
+    /// caching benchmark.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Simulates a unitary circuit, returning the final state as a DD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::UnsupportedInstruction`] for measurement, reset
+    /// or conditioned gates (sample measurement outcomes from the returned
+    /// [`DdState`] instead).
+    pub fn run(&self, circuit: &QuantumCircuit) -> Result<DdState, DdError> {
+        let mut package = DdPackage::new(circuit.num_qubits());
+        package.set_cache_enabled(self.cache_enabled);
+        let mut root = package.zero_state();
+        let mut peak = package.allocated_nodes();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(g) if inst.condition.is_none() => {
+                    let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
+                    root = package.multiply_mv(gate_dd, root);
+                    peak = peak.max(package.allocated_nodes());
+                }
+                Operation::Barrier => {}
+                other => {
+                    return Err(DdError::UnsupportedInstruction {
+                        name: other.name().to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(DdState { package, root, peak_nodes: peak })
+    }
+
+    /// Builds the full circuit unitary as a matrix DD (the paper's Fig. 3
+    /// object) and returns `(package, edge)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::UnsupportedInstruction`] for non-unitary
+    /// instructions.
+    pub fn build_unitary(&self, circuit: &QuantumCircuit) -> Result<(DdPackage, Edge), DdError> {
+        let mut package = DdPackage::new(circuit.num_qubits());
+        package.set_cache_enabled(self.cache_enabled);
+        let mut acc = package.identity();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(g) if inst.condition.is_none() => {
+                    let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
+                    acc = package.multiply_mm(gate_dd, acc);
+                }
+                Operation::Barrier => {}
+                other => {
+                    return Err(DdError::UnsupportedInstruction {
+                        name: other.name().to_owned(),
+                    })
+                }
+            }
+        }
+        Ok((package, acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::circuit::fig1_circuit;
+
+    #[test]
+    fn fig1_matches_reference_simulation() {
+        let circ = fig1_circuit();
+        let state = DdSimulator::new().run(&circ).unwrap();
+        let expected = qukit_terra::reference::statevector(&circ).unwrap();
+        let actual = state.to_statevector();
+        for (a, b) in actual.iter().zip(&expected) {
+            assert!(a.approx_eq_eps(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn unitary_dd_matches_reference_unitary() {
+        let circ = fig1_circuit();
+        let (package, edge) = DdSimulator::new().build_unitary(&circ).unwrap();
+        let dense = package.to_matrix(edge);
+        let expected = qukit_terra::reference::unitary(&circ).unwrap();
+        assert!(dense.approx_eq_eps(&expected, 1e-9));
+    }
+
+    #[test]
+    fn ghz_sampling_yields_only_two_outcomes() {
+        let n = 8;
+        let mut ghz = QuantumCircuit::new(n);
+        ghz.h(0).unwrap();
+        for q in 1..n {
+            ghz.cx(q - 1, q).unwrap();
+        }
+        let state = DdSimulator::new().run(&ghz).unwrap();
+        let counts = state.sample_counts(2000, 5);
+        let all_ones = (1u64 << n) - 1;
+        assert_eq!(counts.get_value(0) + counts.get_value(all_ones), 2000);
+        let balance = counts.probability(0);
+        assert!((balance - 0.5).abs() < 0.05, "balance {balance}");
+    }
+
+    #[test]
+    fn sampling_matches_amplitudes_on_uneven_distribution() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.ry(1.0, 0).unwrap(); // cos²(0.5) ≈ 0.7702 for |0⟩
+        let state = DdSimulator::new().run(&circ).unwrap();
+        let counts = state.sample_counts(4000, 9);
+        let p0 = counts.probability(0);
+        let expected = (0.5f64).cos().powi(2);
+        assert!((p0 - expected).abs() < 0.03, "p0 {p0} vs {expected}");
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        let err = DdSimulator::new().run(&circ).unwrap_err();
+        assert!(err.to_string().contains("measure"));
+    }
+
+    #[test]
+    fn barriers_are_ignored() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.barrier_all();
+        circ.cx(0, 1).unwrap();
+        let state = DdSimulator::new().run(&circ).unwrap();
+        assert!((state.amplitude(0).norm_sqr() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_cache_gives_identical_state() {
+        let circ = fig1_circuit();
+        let cached = DdSimulator::new().run(&circ).unwrap();
+        let uncached = DdSimulator::new().without_cache().run(&circ).unwrap();
+        let a = cached.to_statevector();
+        let b = uncached.to_statevector();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.approx_eq_eps(*y, 1e-9));
+        }
+    }
+
+    #[test]
+    fn peak_nodes_is_reported() {
+        let circ = fig1_circuit();
+        let state = DdSimulator::new().run(&circ).unwrap();
+        assert!(state.peak_nodes >= state.node_count());
+    }
+}

@@ -1,0 +1,36 @@
+//! # qukit-ignis
+//!
+//! Hardware characterization, verification and mitigation for the
+//! **qukit** toolchain — the analogue of Qiskit's Ignis element in the
+//! DATE 2019 paper: "methods related to quantum hardware characterization,
+//! verification, mitigation, and correction … rigorously categorizing and
+//! analyzing noise processes in the hardware through randomized
+//! benchmarking, tomography, and multi-faceted comparisons with
+//! simulation".
+//!
+//! * [`clifford`] — the 24-element single-qubit Clifford group;
+//! * [`rb`] — randomized benchmarking with exponential-decay fitting;
+//! * [`tomography`] — Pauli-basis state tomography by linear inversion;
+//! * [`mitigation`] — measurement-calibration readout-error mitigation.
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_ignis::clifford::CliffordGroup;
+//!
+//! let group = CliffordGroup::new();
+//! assert_eq!(group.len(), 24);
+//! ```
+
+pub mod clifford;
+pub mod codes;
+pub mod mitigation;
+pub mod process;
+pub mod rb;
+pub mod tomography;
+
+pub use clifford::CliffordGroup;
+pub use codes::RepetitionCode;
+pub use mitigation::MeasurementFilter;
+pub use process::{characterize_gate, process_tomography, Ptm};
+pub use rb::{run_interleaved_rb, run_rb, InterleavedRbResult, RbConfig, RbResult};

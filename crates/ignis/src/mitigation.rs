@@ -1,0 +1,217 @@
+//! Measurement-error mitigation.
+//!
+//! Calibrates the classical readout-assignment matrix by preparing each
+//! computational basis state and histogramming the recorded outcomes, then
+//! corrects measured distributions by solving `A·p_true = p_measured` —
+//! the complete-measurement-calibration technique of Qiskit Ignis.
+
+use qukit_aer::counts::Counts;
+use qukit_aer::noise::NoiseModel;
+use qukit_aer::simulator::QasmSimulator;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::complex::Complex;
+use qukit_terra::matrix::Matrix;
+
+/// A calibrated measurement-mitigation filter over `n` qubits.
+#[derive(Debug, Clone)]
+pub struct MeasurementFilter {
+    num_qubits: usize,
+    /// Column-stochastic assignment matrix:
+    /// `a[measured][prepared] = P(measured | prepared)`.
+    assignment: Matrix,
+}
+
+impl MeasurementFilter {
+    /// Calibrates the filter against a backend noise model: prepares every
+    /// basis state, measures, and tabulates the confusion matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for more than 6 qubits (2^n calibration circuits).
+    pub fn calibrate(
+        num_qubits: usize,
+        noise: &NoiseModel,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Self, qukit_aer::error::AerError> {
+        assert!(num_qubits <= 6, "calibration limited to 6 qubits");
+        let dim = 1usize << num_qubits;
+        let mut assignment = Matrix::zeros(dim, dim);
+        for prepared in 0..dim {
+            let mut circ = QuantumCircuit::with_size(num_qubits, num_qubits);
+            for q in 0..num_qubits {
+                if (prepared >> q) & 1 == 1 {
+                    circ.x(q).expect("valid qubit");
+                }
+            }
+            for q in 0..num_qubits {
+                circ.measure(q, q).expect("valid");
+            }
+            let counts = QasmSimulator::new()
+                .with_seed(seed ^ prepared as u64)
+                .with_noise(noise.clone())
+                .run(&circ, shots)?;
+            for (outcome, count) in counts.iter() {
+                assignment[(outcome as usize, prepared)] +=
+                    Complex::from_real(count as f64 / shots as f64);
+            }
+        }
+        Ok(Self { num_qubits, assignment })
+    }
+
+    /// Builds a filter from a known assignment matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with power-of-two dimension.
+    pub fn from_assignment(assignment: Matrix) -> Self {
+        assert!(assignment.is_square(), "assignment matrix must be square");
+        assert!(assignment.rows().is_power_of_two(), "dimension must be a power of two");
+        let num_qubits = assignment.rows().trailing_zeros() as usize;
+        Self { num_qubits, assignment }
+    }
+
+    /// The calibrated assignment matrix.
+    pub fn assignment_matrix(&self) -> &Matrix {
+        &self.assignment
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Applies the inverse assignment to measured counts, clipping negative
+    /// quasi-probabilities to zero and renormalizing. Returns corrected
+    /// pseudo-counts with the same total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts width disagrees with the calibration or the
+    /// assignment matrix is singular.
+    pub fn apply(&self, counts: &Counts) -> Counts {
+        assert_eq!(counts.num_clbits(), self.num_qubits, "width mismatch");
+        let dim = 1usize << self.num_qubits;
+        let total = counts.total();
+        let measured: Vec<Complex> = (0..dim)
+            .map(|i| Complex::from_real(counts.probability(i as u64)))
+            .collect();
+        let solved = self
+            .assignment
+            .solve(&measured)
+            .expect("assignment matrix must be invertible");
+        // Clip negatives, renormalize.
+        let mut probs: Vec<f64> = solved.iter().map(|z| z.re.max(0.0)).collect();
+        let norm: f64 = probs.iter().sum();
+        if norm > 0.0 {
+            for p in &mut probs {
+                *p /= norm;
+            }
+        }
+        let mut corrected = Counts::new(self.num_qubits);
+        for (i, &p) in probs.iter().enumerate() {
+            let n = (p * total as f64).round() as usize;
+            corrected.record_n(i as u64, n);
+        }
+        corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_aer::noise::ReadoutError;
+
+    fn readout_noise(p: f64) -> NoiseModel {
+        let mut noise = NoiseModel::new();
+        noise.set_readout_error(ReadoutError::symmetric(p));
+        noise
+    }
+
+    #[test]
+    fn calibration_matrix_shape_and_stochasticity() {
+        let filter = MeasurementFilter::calibrate(2, &readout_noise(0.1), 2000, 1).unwrap();
+        let a = filter.assignment_matrix();
+        assert_eq!(a.rows(), 4);
+        for col in 0..4 {
+            let sum: f64 = (0..4).map(|row| a.get(row, col).unwrap().re).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "column {col} sums to {sum}");
+        }
+        // Diagonal dominated: P(correct) ≈ 0.81 for two symmetric p=0.1 bits.
+        for i in 0..4 {
+            let d = a.get(i, i).unwrap().re;
+            assert!((d - 0.81).abs() < 0.04, "diagonal {i} = {d}");
+        }
+    }
+
+    #[test]
+    fn mitigation_restores_deterministic_outcome() {
+        let noise = readout_noise(0.15);
+        let filter = MeasurementFilter::calibrate(1, &noise, 8000, 2).unwrap();
+        // Measure |1⟩ under the same noise.
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.x(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        let raw = QasmSimulator::new()
+            .with_seed(3)
+            .with_noise(noise)
+            .run(&circ, 8000)
+            .unwrap();
+        let raw_p1 = raw.probability(1);
+        assert!((raw_p1 - 0.85).abs() < 0.03, "raw {raw_p1}");
+        let corrected = filter.apply(&raw);
+        let fixed_p1 = corrected.probability(1);
+        assert!(fixed_p1 > 0.97, "mitigated {fixed_p1}");
+    }
+
+    #[test]
+    fn mitigation_improves_ghz_fidelity() {
+        let noise = readout_noise(0.08);
+        let filter = MeasurementFilter::calibrate(3, &noise, 6000, 4).unwrap();
+        let mut ghz = QuantumCircuit::with_size(3, 3);
+        ghz.h(0).unwrap();
+        ghz.cx(0, 1).unwrap();
+        ghz.cx(1, 2).unwrap();
+        for q in 0..3 {
+            ghz.measure(q, q).unwrap();
+        }
+        let noisy = QasmSimulator::new()
+            .with_seed(5)
+            .with_noise(noise)
+            .run(&ghz, 6000)
+            .unwrap();
+        let ideal = QasmSimulator::new().with_seed(5).run(&ghz, 6000).unwrap();
+        let corrected = filter.apply(&noisy);
+        let raw_fid = noisy.hellinger_fidelity(&ideal);
+        let fixed_fid = corrected.hellinger_fidelity(&ideal);
+        assert!(
+            fixed_fid > raw_fid,
+            "mitigation must improve fidelity: {raw_fid} -> {fixed_fid}"
+        );
+        assert!(fixed_fid > 0.98, "mitigated fidelity {fixed_fid}");
+    }
+
+    #[test]
+    fn identity_assignment_is_a_noop() {
+        let filter = MeasurementFilter::from_assignment(Matrix::identity(4));
+        assert_eq!(filter.num_qubits(), 2);
+        let mut counts = Counts::new(2);
+        counts.record_n(0b01, 30);
+        counts.record_n(0b10, 70);
+        let corrected = filter.apply(&counts);
+        assert_eq!(corrected.get_value(0b01), 30);
+        assert_eq!(corrected.get_value(0b10), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let filter = MeasurementFilter::from_assignment(Matrix::identity(2));
+        let counts = Counts::new(2);
+        let _ = filter.apply(&counts);
+    }
+}

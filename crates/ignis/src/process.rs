@@ -1,0 +1,265 @@
+//! Single-qubit quantum process tomography.
+//!
+//! Characterizes an unknown operation `E` as its Pauli transfer matrix
+//! (PTM) `R[i][j] = Tr(P_i · E(P_j)) / 2`: four input preparations
+//! (`|0⟩, |1⟩, |+⟩, |+i⟩`) are each measured in the three Pauli bases, and
+//! the 16 PTM entries reconstructed by linearity — the "verification"
+//! capability of the paper's Ignis description. Comparing against the
+//! ideal gate's PTM yields the average gate fidelity.
+
+use qukit_aer::noise::NoiseModel;
+use qukit_aer::simulator::QasmSimulator;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::error::{Result, TerraError};
+use qukit_terra::gate::Gate;
+use qukit_terra::matrix::Matrix;
+
+/// A single-qubit Pauli transfer matrix (rows/columns ordered I, X, Y, Z).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ptm {
+    entries: [[f64; 4]; 4],
+}
+
+impl Ptm {
+    /// Builds the exact PTM of a unitary gate matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 2x2.
+    pub fn of_unitary(u: &Matrix) -> Self {
+        assert_eq!(u.rows(), 2, "single-qubit PTM requires a 2x2 matrix");
+        let paulis = pauli_basis();
+        let mut entries = [[0.0; 4]; 4];
+        let udg = u.dagger();
+        for (j, pj) in paulis.iter().enumerate() {
+            let evolved = u.matmul(pj).matmul(&udg);
+            for (i, pi) in paulis.iter().enumerate() {
+                entries[i][j] = pi.matmul(&evolved).trace().re / 2.0;
+            }
+        }
+        Self { entries }
+    }
+
+    /// Builds a PTM from raw entries.
+    pub fn from_entries(entries: [[f64; 4]; 4]) -> Self {
+        Self { entries }
+    }
+
+    /// Entry `R[i][j]` (I=0, X=1, Y=2, Z=3).
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        self.entries[i][j]
+    }
+
+    /// Process fidelity with another PTM: `Tr(R₁ᵀ R₂) / 4`.
+    pub fn process_fidelity(&self, other: &Ptm) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                acc += self.entries[i][j] * other.entries[i][j];
+            }
+        }
+        acc / 4.0
+    }
+
+    /// Average gate fidelity: `(2·F_pro + 1) / 3` for a single qubit.
+    pub fn average_gate_fidelity(&self, ideal: &Ptm) -> f64 {
+        (2.0 * self.process_fidelity(ideal) + 1.0) / 3.0
+    }
+
+    /// Maximum absolute entry difference to another PTM.
+    pub fn max_deviation(&self, other: &Ptm) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..4 {
+            for j in 0..4 {
+                worst = worst.max((self.entries[i][j] - other.entries[i][j]).abs());
+            }
+        }
+        worst
+    }
+}
+
+fn pauli_basis() -> [Matrix; 4] {
+    use qukit_terra::complex::Complex;
+    let o = Complex::ZERO;
+    let l = Complex::ONE;
+    let i = Complex::I;
+    [
+        Matrix::identity(2),
+        Matrix::from_vec(2, 2, vec![o, l, l, o]),
+        Matrix::from_vec(2, 2, vec![o, -i, i, o]),
+        Matrix::from_vec(2, 2, vec![l, o, o, -l]),
+    ]
+}
+
+/// Runs process tomography of `operation` (a 1-qubit circuit fragment)
+/// under an optional noise model, reconstructing its PTM from
+/// `shots`-sample expectation estimates.
+///
+/// # Errors
+///
+/// Propagates circuit and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `operation` is not a single-qubit circuit.
+pub fn process_tomography(
+    operation: &QuantumCircuit,
+    shots: usize,
+    seed: u64,
+    noise: Option<&NoiseModel>,
+) -> Result<Ptm> {
+    assert_eq!(operation.num_qubits(), 1, "single-qubit process tomography");
+    // Input preparations (by index): |0⟩, |1⟩, |+⟩, |+i⟩.
+    let preparations: [&[Gate]; 4] = [&[], &[Gate::X], &[Gate::H], &[Gate::H, Gate::S]];
+    // m[i][prep] = <P_i> after the channel on that preparation (i: X,Y,Z).
+    let mut m = [[0.0f64; 4]; 3];
+    for (prep_idx, prep) in preparations.iter().enumerate() {
+        for (basis_idx, basis) in ['X', 'Y', 'Z'].into_iter().enumerate() {
+            let mut circ = QuantumCircuit::with_size(1, 1);
+            for &g in prep.iter() {
+                circ.append(g, &[0])?;
+            }
+            circ.compose(operation)?;
+            match basis {
+                'X' => {
+                    circ.h(0)?;
+                }
+                'Y' => {
+                    circ.sdg(0)?;
+                    circ.h(0)?;
+                }
+                _ => {}
+            }
+            circ.measure(0, 0)?;
+            let mut sim = QasmSimulator::new()
+                .with_seed(seed ^ ((prep_idx as u64) << 8) ^ basis_idx as u64);
+            if let Some(model) = noise {
+                sim = sim.with_noise(model.clone());
+            }
+            let counts = sim
+                .run(&circ, shots)
+                .map_err(|e| TerraError::Transpile { msg: e.to_string() })?;
+            m[basis_idx][prep_idx] = counts.parity_expectation(&[0]);
+        }
+    }
+    // Reconstruct by linearity:
+    //   ρ(|0⟩) = (I+Z)/2, ρ(|1⟩) = (I−Z)/2,
+    //   ρ(|+⟩) = (I+X)/2, ρ(|+i⟩) = (I+Y)/2.
+    // With R[i][j] = Tr(P_i E(P_j))/2:
+    //   m[i][0] = R[i][I] + R[i][Z]
+    //   m[i][1] = R[i][I] − R[i][Z]
+    //   m[i][+] = R[i][I] + R[i][X]
+    //   m[i][+i] = R[i][I] + R[i][Y]
+    let mut entries = [[0.0; 4]; 4];
+    entries[0] = [1.0, 0.0, 0.0, 0.0]; // trace preservation row
+    for (row, mi) in m.iter().enumerate() {
+        let i = row + 1; // X, Y, Z rows of the PTM
+        let r_i_identity = (mi[0] + mi[1]) / 2.0;
+        entries[i][0] = r_i_identity;
+        entries[i][3] = (mi[0] - mi[1]) / 2.0;
+        entries[i][1] = mi[2] - r_i_identity;
+        entries[i][2] = mi[3] - r_i_identity;
+    }
+    Ok(Ptm::from_entries(entries))
+}
+
+/// Convenience: the PTM of a standard gate under tomography vs its ideal
+/// PTM, returning `(estimated, ideal, average gate fidelity)`.
+///
+/// # Errors
+///
+/// Propagates circuit and simulation errors.
+pub fn characterize_gate(
+    gate: Gate,
+    shots: usize,
+    seed: u64,
+    noise: Option<&NoiseModel>,
+) -> Result<(Ptm, Ptm, f64)> {
+    let mut circ = QuantumCircuit::new(1);
+    circ.append(gate, &[0])?;
+    let estimated = process_tomography(&circ, shots, seed, noise)?;
+    let ideal = Ptm::of_unitary(&gate.matrix());
+    let fidelity = estimated.average_gate_fidelity(&ideal);
+    Ok((estimated, ideal, fidelity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_aer::noise::QuantumError;
+
+    #[test]
+    fn analytic_ptms_of_standard_gates() {
+        // Identity: PTM = I₄.
+        let id = Ptm::of_unitary(&Gate::I.matrix());
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((id.entry(i, j) - expected).abs() < 1e-12);
+            }
+        }
+        // X: leaves X, flips Y and Z.
+        let x = Ptm::of_unitary(&Gate::X.matrix());
+        assert!((x.entry(1, 1) - 1.0).abs() < 1e-12);
+        assert!((x.entry(2, 2) + 1.0).abs() < 1e-12);
+        assert!((x.entry(3, 3) + 1.0).abs() < 1e-12);
+        // H: swaps X and Z, flips Y.
+        let h = Ptm::of_unitary(&Gate::H.matrix());
+        assert!((h.entry(1, 3) - 1.0).abs() < 1e-12);
+        assert!((h.entry(3, 1) - 1.0).abs() < 1e-12);
+        assert!((h.entry(2, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tomography_recovers_ideal_gates() {
+        for gate in [Gate::I, Gate::X, Gate::H, Gate::S, Gate::T, Gate::Ry(0.7)] {
+            let (estimated, ideal, fidelity) =
+                characterize_gate(gate, 6000, 11, None).unwrap();
+            assert!(
+                estimated.max_deviation(&ideal) < 0.06,
+                "{gate:?} deviation {}",
+                estimated.max_deviation(&ideal)
+            );
+            assert!(fidelity > 0.99, "{gate:?} fidelity {fidelity}");
+        }
+    }
+
+    #[test]
+    fn tomography_detects_depolarizing_noise() {
+        let p = 0.2;
+        let mut noise = NoiseModel::new();
+        noise.add_all_qubit_error("x", QuantumError::depolarizing(p, 1));
+        let (estimated, ideal, fidelity) =
+            characterize_gate(Gate::X, 8000, 13, Some(&noise)).unwrap();
+        // Depolarizing shrinks the unital block by (1 - p).
+        let shrink = estimated.entry(1, 1) / ideal.entry(1, 1);
+        assert!((shrink - (1.0 - p)).abs() < 0.05, "shrink {shrink}");
+        // F_avg for depolarizing p on a perfect gate: 1 - p/2.
+        assert!((fidelity - (1.0 - p / 2.0)).abs() < 0.03, "fidelity {fidelity}");
+    }
+
+    #[test]
+    fn process_fidelity_properties() {
+        let id = Ptm::of_unitary(&Gate::I.matrix());
+        assert!((id.process_fidelity(&id) - 1.0).abs() < 1e-12);
+        assert!((id.average_gate_fidelity(&id) - 1.0).abs() < 1e-12);
+        // Orthogonal-ish: X vs Z transfer matrices overlap only on I and
+        // one axis.
+        let x = Ptm::of_unitary(&Gate::X.matrix());
+        let z = Ptm::of_unitary(&Gate::Z.matrix());
+        // Tr(RxᵀRz)/4 = (1 + (+1·−1) + (−1·−1)·... compute: rows X:(1,−1),
+        // Y:(−1,−1), Z:(−1,1): 1 + (−1) + 1 + (−1) = 0 → 0.
+        assert!((x.process_fidelity(&z)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_operation_tomography() {
+        // A two-gate fragment: S then H, compared against the product.
+        let mut circ = QuantumCircuit::new(1);
+        circ.s(0).unwrap();
+        circ.h(0).unwrap();
+        let estimated = process_tomography(&circ, 6000, 17, None).unwrap();
+        let ideal = Ptm::of_unitary(&Gate::H.matrix().matmul(&Gate::S.matrix()));
+        assert!(estimated.max_deviation(&ideal) < 0.06);
+    }
+}

@@ -1,0 +1,255 @@
+//! Quantum state tomography.
+//!
+//! Reconstructs the density matrix of an unknown state from measurements
+//! in all `3^n` Pauli bases (linear inversion):
+//! `ρ = (1/2^n) Σ_P ⟨P⟩ P` over all `4^n` Pauli strings, with the
+//! expectation of each string estimated from the basis-rotated counts.
+
+use qukit_aer::counts::Counts;
+use qukit_aer::noise::NoiseModel;
+use qukit_aer::simulator::QasmSimulator;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::complex::Complex;
+use qukit_terra::error::Result;
+use qukit_terra::matrix::Matrix;
+
+/// A measurement basis per qubit (`X`, `Y` or `Z`).
+pub type BasisSetting = Vec<char>;
+
+/// Enumerates all `3^n` measurement settings.
+pub fn all_settings(n: usize) -> Vec<BasisSetting> {
+    let mut settings = vec![vec![]];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(settings.len() * 3);
+        for s in &settings {
+            for b in ['X', 'Y', 'Z'] {
+                let mut extended = s.clone();
+                extended.push(b);
+                next.push(extended);
+            }
+        }
+        settings = next;
+    }
+    settings
+}
+
+/// Appends the basis-change rotations and measurements for one setting
+/// (`setting[q]` is the basis for qubit `q`).
+///
+/// # Errors
+///
+/// Propagates operand-validation errors.
+pub fn append_basis_measurement(circ: &mut QuantumCircuit, setting: &[char]) -> Result<()> {
+    for (q, &basis) in setting.iter().enumerate() {
+        match basis {
+            'X' => {
+                circ.h(q)?;
+            }
+            'Y' => {
+                circ.sdg(q)?;
+                circ.h(q)?;
+            }
+            'Z' => {}
+            other => panic!("invalid basis '{other}'"),
+        }
+    }
+    for q in 0..setting.len() {
+        circ.measure(q, q)?;
+    }
+    Ok(())
+}
+
+/// Runs state tomography of the state prepared by `preparation` and
+/// reconstructs its density matrix by linear inversion.
+///
+/// # Errors
+///
+/// Propagates circuit and simulation errors.
+///
+/// # Panics
+///
+/// Panics for more than 4 qubits (3^n settings explode).
+pub fn state_tomography(
+    preparation: &QuantumCircuit,
+    shots: usize,
+    seed: u64,
+    noise: Option<&NoiseModel>,
+) -> Result<Matrix> {
+    let n = preparation.num_qubits();
+    assert!(n <= 4, "tomography limited to 4 qubits");
+    let settings = all_settings(n);
+    let mut counts_per_setting: Vec<(BasisSetting, Counts)> = Vec::with_capacity(settings.len());
+    for (i, setting) in settings.into_iter().enumerate() {
+        let mut circ = preparation.clone();
+        if circ.num_clbits() < n {
+            circ.add_creg("tomo", n - circ.num_clbits())?;
+        }
+        append_basis_measurement(&mut circ, &setting)?;
+        let mut sim = QasmSimulator::new().with_seed(seed ^ (i as u64) << 20);
+        if let Some(model) = noise {
+            sim = sim.with_noise(model.clone());
+        }
+        let counts = sim
+            .run(&circ, shots)
+            .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
+        counts_per_setting.push((setting, counts));
+    }
+    Ok(reconstruct(n, &counts_per_setting))
+}
+
+/// Linear-inversion reconstruction from per-setting counts.
+fn reconstruct(n: usize, data: &[(BasisSetting, Counts)]) -> Matrix {
+    let dim = 1usize << n;
+    // ρ = (1/2^n) Σ over all 4^n Pauli strings ⟨P⟩ P.
+    // ⟨P⟩ for a string with support S is estimated from any setting whose
+    // bases agree with P on S; we average over all compatible settings.
+    let mut rho = Matrix::zeros(dim, dim);
+    for pauli_idx in 0..(1usize << (2 * n)) {
+        // 2 bits per qubit: 0=I, 1=X, 2=Y, 3=Z.
+        let label: Vec<char> = (0..n)
+            .map(|q| match (pauli_idx >> (2 * q)) & 3 {
+                0 => 'I',
+                1 => 'X',
+                2 => 'Y',
+                _ => 'Z',
+            })
+            .collect();
+        let mut estimates = Vec::new();
+        for (setting, counts) in data {
+            let compatible = label
+                .iter()
+                .zip(setting)
+                .all(|(&p, &s)| p == 'I' || p == s);
+            if compatible {
+                let support: Vec<usize> = label
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| p != 'I')
+                    .map(|(q, _)| q)
+                    .collect();
+                estimates.push(counts.parity_expectation(&support));
+            }
+        }
+        let expectation = if estimates.is_empty() {
+            0.0
+        } else {
+            estimates.iter().sum::<f64>() / estimates.len() as f64
+        };
+        if expectation.abs() < 1e-12 {
+            continue;
+        }
+        let pauli = pauli_string_matrix(&label);
+        rho = rho.add(&pauli.scale(Complex::from_real(expectation / dim as f64)));
+    }
+    rho
+}
+
+fn pauli_string_matrix(label: &[char]) -> Matrix {
+    let mut acc = Matrix::identity(1);
+    for &c in label {
+        let p = single_pauli(c);
+        acc = p.kron(&acc);
+    }
+    acc
+}
+
+fn single_pauli(c: char) -> Matrix {
+    let o = Complex::ZERO;
+    let l = Complex::ONE;
+    let i = Complex::I;
+    match c {
+        'I' => Matrix::identity(2),
+        'X' => Matrix::from_vec(2, 2, vec![o, l, l, o]),
+        'Y' => Matrix::from_vec(2, 2, vec![o, -i, i, o]),
+        'Z' => Matrix::from_vec(2, 2, vec![l, o, o, -l]),
+        other => panic!("invalid Pauli '{other}'"),
+    }
+}
+
+/// Fidelity `⟨ψ|ρ|ψ⟩` of a reconstructed density matrix with a pure target
+/// state.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn fidelity_with_pure(rho: &Matrix, target: &[Complex]) -> f64 {
+    assert_eq!(rho.rows(), target.len(), "dimension mismatch");
+    let rho_psi = rho.matvec(target);
+    qukit_terra::matrix::inner_product(target, &rho_psi).re
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_aer::noise::ReadoutError;
+
+    #[test]
+    fn settings_enumeration() {
+        assert_eq!(all_settings(1).len(), 3);
+        assert_eq!(all_settings(2).len(), 9);
+        assert_eq!(all_settings(3).len(), 27);
+        assert!(all_settings(2).contains(&vec!['X', 'Y']));
+    }
+
+    #[test]
+    fn tomography_of_zero_state() {
+        let circ = QuantumCircuit::new(1);
+        let rho = state_tomography(&circ, 3000, 1, None).unwrap();
+        assert!((rho.get(0, 0).unwrap().re - 1.0).abs() < 0.05);
+        assert!(rho.get(1, 1).unwrap().re.abs() < 0.05);
+        assert!((rho.trace().re - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn tomography_of_plus_state() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        let rho = state_tomography(&circ, 3000, 2, None).unwrap();
+        // |+⟩⟨+| has all entries 1/2.
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(
+                    (rho.get(r, c).unwrap().re - 0.5).abs() < 0.06,
+                    "entry ({r},{c}) = {}",
+                    rho.get(r, c).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tomography_of_bell_state_fidelity() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let rho = state_tomography(&circ, 2000, 3, None).unwrap();
+        let target = qukit_terra::reference::statevector(&circ).unwrap();
+        let f = fidelity_with_pure(&rho, &target);
+        assert!(f > 0.95, "Bell fidelity {f}");
+        assert!(rho.is_hermitian());
+    }
+
+    #[test]
+    fn tomography_detects_readout_noise() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.x(0).unwrap();
+        let mut noise = NoiseModel::new();
+        noise.set_readout_error(ReadoutError::symmetric(0.2));
+        let rho = state_tomography(&circ, 4000, 4, Some(&noise)).unwrap();
+        // Z expectation shrinks from -1 to -(1-2·0.2) = -0.6, so
+        // ρ11 ≈ 0.8.
+        let p1 = rho.get(1, 1).unwrap().re;
+        assert!((p1 - 0.8).abs() < 0.05, "p1 {p1}");
+    }
+
+    #[test]
+    fn tomography_of_y_eigenstate() {
+        // S·H|0⟩ = |+i⟩: ρ = (I + Y)/2.
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.s(0).unwrap();
+        let rho = state_tomography(&circ, 4000, 5, None).unwrap();
+        let off = rho.get(1, 0).unwrap();
+        assert!((off.im - 0.5).abs() < 0.06, "imag part {off}");
+    }
+}

@@ -1,0 +1,847 @@
+//! The quantum circuit intermediate representation.
+//!
+//! [`QuantumCircuit`] is the central data structure of the toolchain — the
+//! analogue of Qiskit Terra's `QuantumCircuit`. Circuits are built with
+//! fluent per-gate methods, loaded from OpenQASM 2.0 (see [`crate::qasm`]),
+//! transpiled to a device (see [`crate::transpiler`]) and executed by the
+//! simulators in `qukit-aer` / `qukit-dd`.
+//!
+//! # Examples
+//!
+//! Building the paper's Fig. 1 circuit:
+//!
+//! ```
+//! use qukit_terra::circuit::QuantumCircuit;
+//!
+//! # fn main() -> Result<(), qukit_terra::error::TerraError> {
+//! let mut circ = QuantumCircuit::new(4);
+//! circ.h(2)?;
+//! circ.cx(2, 3)?;
+//! circ.cx(0, 1)?;
+//! circ.h(1)?;
+//! circ.cx(1, 2)?;
+//! circ.t(0)?;
+//! circ.cx(2, 0)?;
+//! circ.cx(0, 1)?;
+//! assert_eq!(circ.size(), 8);
+//! assert_eq!(circ.depth(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Result, TerraError};
+use crate::gate::Gate;
+use crate::instruction::{Condition, Instruction, Operation};
+use crate::register::{Register, RegisterKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A quantum circuit: ordered instructions over flat qubit and classical-bit
+/// arrays, with optional named registers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantumCircuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    qregs: Vec<Register>,
+    cregs: Vec<Register>,
+    instructions: Vec<Instruction>,
+    global_phase: f64,
+    name: String,
+}
+
+impl QuantumCircuit {
+    /// Creates a circuit with `num_qubits` qubits and no classical bits,
+    /// with a single anonymous quantum register `q`.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::with_size(num_qubits, 0)
+    }
+
+    /// Creates a circuit with `num_qubits` qubits and `num_clbits` classical
+    /// bits, registered as `q` and `c`.
+    pub fn with_size(num_qubits: usize, num_clbits: usize) -> Self {
+        let mut qregs = Vec::new();
+        let mut cregs = Vec::new();
+        if num_qubits > 0 {
+            qregs.push(Register::new(RegisterKind::Quantum, "q", 0, num_qubits));
+        }
+        if num_clbits > 0 {
+            cregs.push(Register::new(RegisterKind::Classical, "c", 0, num_clbits));
+        }
+        Self {
+            num_qubits,
+            num_clbits,
+            qregs,
+            cregs,
+            instructions: Vec::new(),
+            global_phase: 0.0,
+            name: "circuit".to_owned(),
+        }
+    }
+
+    /// Creates an empty circuit (no qubits yet); registers are added with
+    /// [`QuantumCircuit::add_qreg`] / [`QuantumCircuit::add_creg`]. This is
+    /// the path the OpenQASM parser uses.
+    pub fn empty() -> Self {
+        Self {
+            num_qubits: 0,
+            num_clbits: 0,
+            qregs: Vec::new(),
+            cregs: Vec::new(),
+            instructions: Vec::new(),
+            global_phase: 0.0,
+            name: "circuit".to_owned(),
+        }
+    }
+
+    /// Sets a human-readable circuit name (used by drawers and results).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a new quantum register of `size` qubits named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerraError::DuplicateRegister`] if a quantum register with
+    /// that name exists.
+    pub fn add_qreg(&mut self, name: impl Into<String>, size: usize) -> Result<&Register> {
+        let name = name.into();
+        if self.qregs.iter().any(|r| r.name() == name) {
+            return Err(TerraError::DuplicateRegister { name });
+        }
+        let reg = Register::new(RegisterKind::Quantum, name, self.num_qubits, size);
+        self.num_qubits += size;
+        self.qregs.push(reg);
+        Ok(self.qregs.last().expect("just pushed"))
+    }
+
+    /// Appends a new classical register of `size` bits named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerraError::DuplicateRegister`] if a classical register with
+    /// that name exists.
+    pub fn add_creg(&mut self, name: impl Into<String>, size: usize) -> Result<&Register> {
+        let name = name.into();
+        if self.cregs.iter().any(|r| r.name() == name) {
+            return Err(TerraError::DuplicateRegister { name });
+        }
+        let reg = Register::new(RegisterKind::Classical, name, self.num_clbits, size);
+        self.num_clbits += size;
+        self.cregs.push(reg);
+        Ok(self.cregs.last().expect("just pushed"))
+    }
+
+    /// Looks up a quantum register by name.
+    pub fn qreg(&self, name: &str) -> Option<&Register> {
+        self.qregs.iter().find(|r| r.name() == name)
+    }
+
+    /// Looks up a classical register by name.
+    pub fn creg(&self, name: &str) -> Option<&Register> {
+        self.cregs.iter().find(|r| r.name() == name)
+    }
+
+    /// All quantum registers in declaration order.
+    pub fn qregs(&self) -> &[Register] {
+        &self.qregs
+    }
+
+    /// All classical registers in declaration order.
+    pub fn cregs(&self) -> &[Register] {
+        &self.cregs
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Total width (qubits + classical bits).
+    pub fn width(&self) -> usize {
+        self.num_qubits + self.num_clbits
+    }
+
+    /// The accumulated global phase (radians). Simulators multiply the final
+    /// state by `e^{i·phase}`; it is irrelevant for measurement statistics
+    /// but kept so unitary equivalence is exact.
+    pub fn global_phase(&self) -> f64 {
+        self.global_phase
+    }
+
+    /// Adds to the global phase.
+    pub fn add_global_phase(&mut self, phase: f64) {
+        self.global_phase += phase;
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions (gates + measures + resets + barriers).
+    pub fn size(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Removes all instructions, keeping registers.
+    pub fn clear(&mut self) {
+        self.instructions.clear();
+        self.global_phase = 0.0;
+    }
+
+    fn check_qubits(&self, qubits: &[usize]) -> Result<()> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(TerraError::QubitOutOfRange { index: q, num_qubits: self.num_qubits });
+            }
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if qubits[i + 1..].contains(&q) {
+                return Err(TerraError::DuplicateQubit { index: q });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_clbits(&self, clbits: &[usize]) -> Result<()> {
+        for &c in clbits {
+            if c >= self.num_clbits {
+                return Err(TerraError::ClbitOutOfRange { index: c, num_clbits: self.num_clbits });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a gate acting on the given qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index is out of range, a qubit is repeated, or
+    /// the operand count does not match the gate arity.
+    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self> {
+        if qubits.len() != gate.num_qubits() {
+            return Err(TerraError::ArityMismatch {
+                name: gate.name().to_owned(),
+                expected: gate.num_qubits(),
+                found: qubits.len(),
+            });
+        }
+        self.check_qubits(qubits)?;
+        self.instructions.push(Instruction::gate(gate, qubits.to_vec()));
+        Ok(self)
+    }
+
+    /// Appends a pre-built instruction after validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range or duplicated operands.
+    pub fn push(&mut self, instruction: Instruction) -> Result<&mut Self> {
+        if let Operation::Gate(g) = &instruction.op {
+            if instruction.qubits.len() != g.num_qubits() {
+                return Err(TerraError::ArityMismatch {
+                    name: g.name().to_owned(),
+                    expected: g.num_qubits(),
+                    found: instruction.qubits.len(),
+                });
+            }
+        }
+        self.check_qubits(&instruction.qubits)?;
+        self.check_clbits(&instruction.clbits)?;
+        if let Some(cond) = &instruction.condition {
+            self.check_clbits(&cond.clbits)?;
+        }
+        self.instructions.push(instruction);
+        Ok(self)
+    }
+
+    /// Appends a gate conditioned on a classical register value
+    /// (OpenQASM `if (creg == value) gate ...;`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid operands or an unknown register.
+    pub fn append_conditional(
+        &mut self,
+        gate: Gate,
+        qubits: &[usize],
+        creg_name: &str,
+        value: u64,
+    ) -> Result<&mut Self> {
+        let reg = self
+            .creg(creg_name)
+            .ok_or_else(|| TerraError::UnknownRegister { name: creg_name.to_owned() })?;
+        let clbits: Vec<usize> = reg.bits().collect();
+        let mut inst = Instruction::gate(gate, qubits.to_vec());
+        inst.condition = Some(Condition { clbits, value });
+        self.push(inst)?;
+        Ok(self)
+    }
+
+    // --- Fluent single-gate helpers -------------------------------------
+
+    /// Appends an identity gate. See [`Gate::I`].
+    ///
+    /// # Errors
+    /// Propagates operand validation errors, as do all gate helpers below.
+    pub fn id(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::I, &[q])
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::X, &[q])
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Y, &[q])
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Z, &[q])
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::H, &[q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::S, &[q])
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Sdg, &[q])
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::T, &[q])
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Tdg, &[q])
+    }
+
+    /// Appends a √X gate.
+    pub fn sx(&mut self, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Sx, &[q])
+    }
+
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Rx(theta), &[q])
+    }
+
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Ry(theta), &[q])
+    }
+
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Rz(theta), &[q])
+    }
+
+    /// Appends a phase gate.
+    pub fn p(&mut self, lambda: f64, q: usize) -> Result<&mut Self> {
+        self.append(Gate::Phase(lambda), &[q])
+    }
+
+    /// Appends the IBM QX elementary gate `U(θ, φ, λ)`.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> Result<&mut Self> {
+        self.append(Gate::U(theta, phi, lambda), &[q])
+    }
+
+    /// Appends a CNOT with the given control and target.
+    pub fn cx(&mut self, control: usize, target: usize) -> Result<&mut Self> {
+        self.append(Gate::CX, &[control, target])
+    }
+
+    /// Appends a controlled-Y.
+    pub fn cy(&mut self, control: usize, target: usize) -> Result<&mut Self> {
+        self.append(Gate::CY, &[control, target])
+    }
+
+    /// Appends a controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> Result<&mut Self> {
+        self.append(Gate::CZ, &[a, b])
+    }
+
+    /// Appends a controlled-Hadamard.
+    pub fn ch(&mut self, control: usize, target: usize) -> Result<&mut Self> {
+        self.append(Gate::CH, &[control, target])
+    }
+
+    /// Appends a controlled phase rotation.
+    pub fn cp(&mut self, lambda: f64, a: usize, b: usize) -> Result<&mut Self> {
+        self.append(Gate::Cp(lambda), &[a, b])
+    }
+
+    /// Appends a controlled Rz.
+    pub fn crz(&mut self, theta: f64, control: usize, target: usize) -> Result<&mut Self> {
+        self.append(Gate::Crz(theta), &[control, target])
+    }
+
+    /// Appends a SWAP gate.
+    pub fn swap(&mut self, a: usize, b: usize) -> Result<&mut Self> {
+        self.append(Gate::Swap, &[a, b])
+    }
+
+    /// Appends a Toffoli (CCX) gate with controls `c0`, `c1` and the target.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> Result<&mut Self> {
+        self.append(Gate::Ccx, &[c0, c1, target])
+    }
+
+    /// Appends a Fredkin (controlled-SWAP) gate.
+    pub fn cswap(&mut self, control: usize, a: usize, b: usize) -> Result<&mut Self> {
+        self.append(Gate::Cswap, &[control, a, b])
+    }
+
+    /// Appends a measurement of `qubit` into `clbit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either index is out of range.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> Result<&mut Self> {
+        self.check_qubits(&[qubit])?;
+        self.check_clbits(&[clbit])?;
+        self.instructions.push(Instruction::measure(qubit, clbit));
+        Ok(self)
+    }
+
+    /// Measures every qubit into the classical bit of the same index,
+    /// growing the classical register if needed.
+    pub fn measure_all(&mut self) {
+        if self.num_clbits < self.num_qubits {
+            let missing = self.num_qubits - self.num_clbits;
+            let name = if self.creg("meas").is_none() { "meas" } else { "meas1" };
+            let _ = self.add_creg(name, missing);
+        }
+        for q in 0..self.num_qubits {
+            self.instructions.push(Instruction::measure(q, q));
+        }
+    }
+
+    /// Appends a reset of `qubit` to `|0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of range.
+    pub fn reset(&mut self, qubit: usize) -> Result<&mut Self> {
+        self.check_qubits(&[qubit])?;
+        self.instructions.push(Instruction::reset(qubit));
+        Ok(self)
+    }
+
+    /// Appends a barrier over all qubits.
+    pub fn barrier_all(&mut self) {
+        let qubits: Vec<usize> = (0..self.num_qubits).collect();
+        self.instructions.push(Instruction::barrier(qubits));
+    }
+
+    /// Appends a barrier over the given qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index is out of range or repeated.
+    pub fn barrier(&mut self, qubits: &[usize]) -> Result<&mut Self> {
+        self.check_qubits(qubits)?;
+        self.instructions.push(Instruction::barrier(qubits.to_vec()));
+        Ok(self)
+    }
+
+    // --- Whole-circuit operations ---------------------------------------
+
+    /// Appends all instructions of `other` to `self` (both circuits must
+    /// have compatible widths).
+    ///
+    /// This is the `measured_circ = circ + measurement` composition the
+    /// paper's user-perspective walkthrough performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `other` uses more qubits or classical bits than
+    /// `self` has.
+    pub fn compose(&mut self, other: &QuantumCircuit) -> Result<&mut Self> {
+        if other.num_qubits > self.num_qubits {
+            return Err(TerraError::QubitOutOfRange {
+                index: other.num_qubits - 1,
+                num_qubits: self.num_qubits,
+            });
+        }
+        if other.num_clbits > self.num_clbits {
+            return Err(TerraError::ClbitOutOfRange {
+                index: other.num_clbits - 1,
+                num_clbits: self.num_clbits,
+            });
+        }
+        self.instructions.extend(other.instructions.iter().cloned());
+        self.global_phase += other.global_phase;
+        Ok(self)
+    }
+
+    /// Appends `other` with its qubit `i` mapped to `mapping[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range mapped indices.
+    pub fn compose_mapped(&mut self, other: &QuantumCircuit, mapping: &[usize]) -> Result<&mut Self> {
+        for inst in &other.instructions {
+            let mut relabeled = inst.clone();
+            for q in &mut relabeled.qubits {
+                let mapped = *mapping.get(*q).ok_or(TerraError::QubitOutOfRange {
+                    index: *q,
+                    num_qubits: mapping.len(),
+                })?;
+                *q = mapped;
+            }
+            self.push(relabeled)?;
+        }
+        self.global_phase += other.global_phase;
+        Ok(self)
+    }
+
+    /// Returns the inverse circuit (gates reversed and individually
+    /// inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerraError::NotInvertible`] if the circuit contains
+    /// measurements, resets or conditioned gates.
+    pub fn inverse(&self) -> Result<QuantumCircuit> {
+        let mut inv = QuantumCircuit {
+            num_qubits: self.num_qubits,
+            num_clbits: self.num_clbits,
+            qregs: self.qregs.clone(),
+            cregs: self.cregs.clone(),
+            instructions: Vec::with_capacity(self.instructions.len()),
+            global_phase: -self.global_phase,
+            name: format!("{}_dg", self.name),
+        };
+        for inst in self.instructions.iter().rev() {
+            match &inst.op {
+                Operation::Gate(g) if inst.condition.is_none() => {
+                    inv.instructions.push(Instruction::gate(g.inverse(), inst.qubits.clone()));
+                }
+                Operation::Barrier => {
+                    inv.instructions.push(inst.clone());
+                }
+                other => {
+                    return Err(TerraError::NotInvertible {
+                        instruction: other.name().to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Circuit depth: length of the longest path through the instruction
+    /// dependency graph (barriers excluded, matching Qiskit's convention).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits + self.num_clbits];
+        let mut depth = 0;
+        for inst in &self.instructions {
+            if matches!(inst.op, Operation::Barrier) {
+                continue;
+            }
+            let mut bits: Vec<usize> = inst.qubits.clone();
+            for &c in &inst.clbits {
+                bits.push(self.num_qubits + c);
+            }
+            if let Some(cond) = &inst.condition {
+                for &c in &cond.clbits {
+                    bits.push(self.num_qubits + c);
+                }
+            }
+            let new_level = bits.iter().map(|&b| level[b]).max().unwrap_or(0) + 1;
+            for &b in &bits {
+                level[b] = new_level;
+            }
+            depth = depth.max(new_level);
+        }
+        depth
+    }
+
+    /// Histogram of operation names, sorted by name.
+    pub fn count_ops(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for inst in &self.instructions {
+            *counts.entry(inst.op.name().to_owned()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of two-or-more-qubit gates — the error-dominating metric the
+    /// paper's mapping discussion minimizes.
+    pub fn num_multi_qubit_gates(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.op.is_gate() && i.qubits.len() >= 2)
+            .count()
+    }
+
+    /// Number of unitary gate instructions (excluding barrier/measure/reset).
+    pub fn num_gates(&self) -> usize {
+        self.instructions.iter().filter(|i| i.op.is_gate()).count()
+    }
+
+    /// Returns `true` if the circuit contains a measurement.
+    pub fn has_measurements(&self) -> bool {
+        self.instructions.iter().any(|i| matches!(i.op, Operation::Measure))
+    }
+
+    /// Removes barriers and identity gates; returns the number removed.
+    pub fn remove_noops(&mut self) -> usize {
+        let before = self.instructions.len();
+        self.instructions.retain(|i| {
+            !matches!(i.op, Operation::Barrier) && i.as_gate() != Some(&Gate::I)
+        });
+        before - self.instructions.len()
+    }
+}
+
+impl fmt::Display for QuantumCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} qubits, {} clbits, {} instructions, depth {}",
+            self.name,
+            self.num_qubits,
+            self.num_clbits,
+            self.size(),
+            self.depth()
+        )?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the canonical 4-qubit circuit of the paper's Fig. 1.
+///
+/// ```text
+/// h q[2]; cx q[2],q[3]; cx q[0],q[1]; h q[1]; cx q[1],q[2];
+/// t q[0]; cx q[2],q[0]; cx q[0],q[1];
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// let circ = qukit_terra::circuit::fig1_circuit();
+/// assert_eq!(circ.num_qubits(), 4);
+/// assert_eq!(circ.count_ops()["cx"], 5);
+/// ```
+pub fn fig1_circuit() -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(4);
+    circ.set_name("fig1");
+    circ.h(2).expect("valid");
+    circ.cx(2, 3).expect("valid");
+    circ.cx(0, 1).expect("valid");
+    circ.h(1).expect("valid");
+    circ.cx(1, 2).expect("valid");
+    circ.t(0).expect("valid");
+    circ.cx(2, 0).expect("valid");
+    circ.cx(0, 1).expect("valid");
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_circuit_has_default_register() {
+        let circ = QuantumCircuit::new(3);
+        assert_eq!(circ.num_qubits(), 3);
+        assert_eq!(circ.num_clbits(), 0);
+        assert_eq!(circ.qreg("q").map(|r| r.len()), Some(3));
+        assert_eq!(circ.width(), 3);
+    }
+
+    #[test]
+    fn empty_circuit_grows_with_registers() {
+        let mut circ = QuantumCircuit::empty();
+        circ.add_qreg("a", 2).unwrap();
+        circ.add_qreg("b", 3).unwrap();
+        circ.add_creg("c", 2).unwrap();
+        assert_eq!(circ.num_qubits(), 5);
+        assert_eq!(circ.qreg("b").unwrap().start(), 2);
+        assert_eq!(circ.num_clbits(), 2);
+        assert!(circ.add_qreg("a", 1).is_err());
+        assert!(circ.add_creg("c", 1).is_err());
+    }
+
+    #[test]
+    fn append_validates_operands() {
+        let mut circ = QuantumCircuit::new(2);
+        assert!(circ.h(0).is_ok());
+        assert!(matches!(
+            circ.h(5),
+            Err(TerraError::QubitOutOfRange { index: 5, num_qubits: 2 })
+        ));
+        assert!(matches!(circ.cx(1, 1), Err(TerraError::DuplicateQubit { index: 1 })));
+        assert!(matches!(
+            circ.append(Gate::CX, &[0]),
+            Err(TerraError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn measure_validates_both_indices() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        assert!(circ.measure(0, 0).is_ok());
+        assert!(circ.measure(0, 1).is_err());
+        assert!(circ.measure(2, 0).is_err());
+    }
+
+    #[test]
+    fn measure_all_grows_creg() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.measure_all();
+        assert_eq!(circ.num_clbits(), 3);
+        assert_eq!(circ.count_ops()["measure"], 3);
+    }
+
+    #[test]
+    fn fig1_metrics_match_paper() {
+        let circ = fig1_circuit();
+        let ops = circ.count_ops();
+        assert_eq!(ops["h"], 2);
+        assert_eq!(ops["cx"], 5);
+        assert_eq!(ops["t"], 1);
+        assert_eq!(circ.size(), 8);
+        assert_eq!(circ.num_multi_qubit_gates(), 5);
+    }
+
+    #[test]
+    fn depth_tracks_critical_path() {
+        let mut circ = QuantumCircuit::new(2);
+        assert_eq!(circ.depth(), 0);
+        circ.h(0).unwrap();
+        circ.h(1).unwrap();
+        assert_eq!(circ.depth(), 1, "parallel gates share a layer");
+        circ.cx(0, 1).unwrap();
+        assert_eq!(circ.depth(), 2);
+        circ.barrier_all();
+        assert_eq!(circ.depth(), 2, "barriers don't count");
+        circ.x(0).unwrap();
+        assert_eq!(circ.depth(), 3);
+    }
+
+    #[test]
+    fn depth_includes_measurement_dependencies() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        assert_eq!(circ.depth(), 2);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.t(1).unwrap();
+        circ.cx(0, 1).unwrap();
+        let inv = circ.inverse().unwrap();
+        let gates: Vec<&Gate> = inv.instructions().iter().filter_map(|i| i.as_gate()).collect();
+        assert_eq!(gates, vec![&Gate::CX, &Gate::Tdg, &Gate::H]);
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        assert!(matches!(circ.inverse(), Err(TerraError::NotInvertible { .. })));
+    }
+
+    #[test]
+    fn compose_appends_and_checks_width() {
+        let mut big = QuantumCircuit::new(3);
+        let mut small = QuantumCircuit::new(2);
+        small.h(0).unwrap();
+        small.cx(0, 1).unwrap();
+        big.compose(&small).unwrap();
+        assert_eq!(big.size(), 2);
+
+        let mut too_big = QuantumCircuit::new(5);
+        too_big.h(4).unwrap();
+        assert!(big.compose(&too_big).is_err());
+    }
+
+    #[test]
+    fn compose_mapped_relabels() {
+        let mut target = QuantumCircuit::new(4);
+        let mut src = QuantumCircuit::new(2);
+        src.cx(0, 1).unwrap();
+        target.compose_mapped(&src, &[3, 1]).unwrap();
+        assert_eq!(target.instructions()[0].qubits, vec![3, 1]);
+    }
+
+    #[test]
+    fn conditional_gates() {
+        let mut circ = QuantumCircuit::with_size(1, 2);
+        circ.append_conditional(Gate::X, &[0], "c", 3).unwrap();
+        let inst = &circ.instructions()[0];
+        let cond = inst.condition.as_ref().unwrap();
+        assert_eq!(cond.clbits, vec![0, 1]);
+        assert_eq!(cond.value, 3);
+        assert!(circ.append_conditional(Gate::X, &[0], "nope", 0).is_err());
+    }
+
+    #[test]
+    fn remove_noops_strips_barriers_and_ids() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.id(1).unwrap();
+        circ.barrier_all();
+        circ.x(1).unwrap();
+        assert_eq!(circ.remove_noops(), 2);
+        assert_eq!(circ.size(), 2);
+    }
+
+    #[test]
+    fn count_ops_is_sorted_histogram() {
+        let circ = fig1_circuit();
+        let ops = circ.count_ops();
+        let keys: Vec<&String> = ops.keys().collect();
+        assert_eq!(keys, vec!["cx", "h", "t"]);
+    }
+
+    #[test]
+    fn global_phase_accumulates() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.add_global_phase(0.5);
+        circ.add_global_phase(0.25);
+        assert!((circ.global_phase() - 0.75).abs() < 1e-15);
+        let inv = circ.inverse().unwrap();
+        assert!((inv.global_phase() + 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let circ = fig1_circuit();
+        let text = circ.to_string();
+        assert!(text.contains("4 qubits"));
+        assert!(text.contains("h q2"));
+    }
+}

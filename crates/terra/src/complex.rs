@@ -1,0 +1,380 @@
+//! Complex number arithmetic for quantum amplitudes.
+//!
+//! The toolchain is self-contained: rather than depending on an external
+//! numerics crate, this module provides [`Complex`], a minimal but complete
+//! double-precision complex type tailored to quantum computation
+//! (amplitudes, gate-matrix entries, edge weights of decision diagrams).
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_terra::complex::Complex;
+//!
+//! let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+//! assert!((h * h.conj()).re - 0.5 < 1e-12);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Tolerance used by the `approx_eq` family of comparisons throughout the
+/// toolchain. Chosen so that products of a few hundred elementary gates stay
+/// comfortably within tolerance while genuine mismatches are caught.
+pub const EPSILON: f64 = 1e-10;
+
+/// A double-precision complex number `re + i*im`.
+///
+/// Implements the full set of arithmetic operators as well as the helpers
+/// needed for quantum computation: conjugation, modulus, argument and the
+/// complex exponential `e^{iθ}`.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::complex::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for a [`Complex`] value.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::complex::{c64, Complex};
+/// assert_eq!(c64(1.0, -1.0), Complex::new(1.0, -1.0));
+/// ```
+#[inline]
+pub const fn c64(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = c64(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex = c64(0.0, 1.0);
+    /// `1/sqrt(2)`, the ubiquitous Hadamard amplitude.
+    pub const FRAC_1_SQRT_2: Complex = c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// This is the workhorse for building gate matrices with phase
+    /// parameters.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Returns the modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the squared modulus `|z|^2`.
+    ///
+    /// For a normalized amplitude this is a measurement probability.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self` is (numerically) zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "attempt to invert a zero complex number");
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Returns the principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+
+    /// Compares two complex numbers for approximate equality within
+    /// [`EPSILON`] in both components.
+    #[inline]
+    pub fn approx_eq(self, other: Self) -> bool {
+        self.approx_eq_eps(other, EPSILON)
+    }
+
+    /// Compares for approximate equality with a caller-supplied tolerance.
+    #[inline]
+    pub fn approx_eq_eps(self, other: Self, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Returns `true` when both components are within [`EPSILON`] of zero.
+    #[inline]
+    pub fn is_approx_zero(self) -> bool {
+        self.re.abs() <= EPSILON && self.im.abs() <= EPSILON
+    }
+
+    /// Returns `true` when within [`EPSILON`] of the real number `1`.
+    #[inline]
+    pub fn is_approx_one(self) -> bool {
+        (self.re - 1.0).abs() <= EPSILON && self.im.abs() <= EPSILON
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl std::iter::Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::ZERO, c64(0.0, 0.0));
+        assert_eq!(Complex::ONE, c64(1.0, 0.0));
+        assert_eq!(Complex::I, c64(0.0, 1.0));
+        assert_eq!(Complex::from_real(2.5), c64(2.5, 0.0));
+        assert_eq!(Complex::from(3.0), c64(3.0, 0.0));
+        assert_eq!(Complex::default(), Complex::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -1.0);
+        assert_eq!(a + b, c64(4.0, 1.0));
+        assert_eq!(a - b, c64(-2.0, 3.0));
+        assert_eq!(a * b, c64(5.0, 5.0));
+        assert!((a / b * b).approx_eq(a));
+        assert_eq!(-a, c64(-1.0, -2.0));
+        assert_eq!(a * 2.0, c64(2.0, 4.0));
+        assert_eq!(2.0 * a, c64(2.0, 4.0));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = c64(1.0, 1.0);
+        z += c64(1.0, 0.0);
+        assert_eq!(z, c64(2.0, 1.0));
+        z -= c64(0.0, 1.0);
+        assert_eq!(z, c64(2.0, 0.0));
+        z *= c64(0.0, 1.0);
+        assert_eq!(z, c64(0.0, 2.0));
+        z /= c64(0.0, 2.0);
+        assert!(z.approx_eq(Complex::ONE));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(c64(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn conj_norm_arg() {
+        let z = c64(3.0, 4.0);
+        assert_eq!(z.conj(), c64(3.0, -4.0));
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((Complex::I.arg() - FRAC_PI_2).abs() < 1e-15);
+        assert!((c64(-1.0, 0.0).arg() - PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_and_polar() {
+        let z = Complex::cis(PI / 3.0);
+        assert!((z.norm() - 1.0).abs() < 1e-15);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-15);
+        let w = Complex::from_polar(2.0, -PI / 4.0);
+        assert!((w.norm() - 2.0).abs() < 1e-15);
+        assert!((w.arg() + PI / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_and_sqrt() {
+        let z = c64(1.0, 2.0);
+        assert!((z * z.recip()).approx_eq(Complex::ONE));
+        let r = c64(-4.0, 0.0).sqrt();
+        assert!(r.approx_eq(c64(0.0, 2.0)));
+        let s = c64(0.0, 2.0).sqrt();
+        assert!((s * s).approx_eq(c64(0.0, 2.0)));
+    }
+
+    #[test]
+    fn approx_comparisons() {
+        assert!(c64(1.0, 0.0).is_approx_one());
+        assert!(c64(1e-12, -1e-12).is_approx_zero());
+        assert!(!c64(1e-3, 0.0).is_approx_zero());
+        assert!(c64(1.0, 0.0).approx_eq_eps(c64(1.0 + 1e-8, 0.0), 1e-6));
+        assert!(!c64(1.0, 0.0).approx_eq(c64(1.0 + 1e-6, 0.0)));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::cis(PI * k as f64 / 2.0)).sum();
+        // 1 + i - 1 - i = 0
+        assert!(total.is_approx_zero());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(c64(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64(1.0, -2.0).to_string(), "1-2i");
+    }
+}

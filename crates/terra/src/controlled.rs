@@ -1,0 +1,159 @@
+//! Controlled versions of whole circuits.
+//!
+//! [`controlled_circuit`] turns any unitary circuit `C` into a circuit
+//! implementing `|0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ C` — the controlled-`C` primitive
+//! that phase estimation, quantum counting and amplitude estimation are
+//! built from. The input is first decomposed to the `{1q, CX}` basis; each
+//! single-qubit gate then becomes a `CU` (plus a control-phase correcting
+//! the gate's global phase, so the construction is *exact*), and each CX a
+//! Toffoli.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::{Result, TerraError};
+use crate::gate::Gate;
+use crate::transpiler::decompose::{decompose_to_cx_basis, zyz_decompose};
+
+/// Builds the controlled version of `circuit`.
+///
+/// The output acts on `circuit.num_qubits() + 1` qubits: the original
+/// qubits keep their indices and the new *control* qubit is the last one
+/// (index `n`). When the control is `|1⟩` the output applies `circuit`
+/// exactly, including its global phase; when `|0⟩` it applies the
+/// identity.
+///
+/// # Errors
+///
+/// Returns [`TerraError::NotInvertible`] for circuits containing
+/// measurement/reset/conditioned instructions.
+pub fn controlled_circuit(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+    let n = circuit.num_qubits();
+    let elementary = decompose_to_cx_basis(circuit)?;
+    let mut out = QuantumCircuit::new(n + 1);
+    out.set_name(format!("c_{}", circuit.name()));
+    let control = n;
+    // The circuit's global phase becomes a control-qubit phase.
+    if elementary.global_phase().abs() > 1e-15 {
+        out.p(elementary.global_phase(), control)?;
+    }
+    for inst in elementary.instructions() {
+        match inst.as_gate() {
+            Some(Gate::CX) => {
+                out.append(Gate::Ccx, &[control, inst.qubits[0], inst.qubits[1]])?;
+            }
+            Some(&g) if g.num_qubits() == 1 && inst.condition.is_none() => {
+                let (theta, phi, lambda, alpha) = zyz_decompose(&g.matrix());
+                if alpha.abs() > 1e-15 {
+                    out.p(alpha, control)?;
+                }
+                out.append(Gate::Cu(theta, phi, lambda), &[control, inst.qubits[0]])?;
+            }
+            _ if matches!(inst.op, crate::instruction::Operation::Barrier) => {
+                out.push(inst.clone())?;
+            }
+            _ => {
+                return Err(TerraError::NotInvertible {
+                    instruction: inst.op.name().to_owned(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference;
+
+    /// Checks that `controlled` equals `|0⟩⟨0|⊗I + |1⟩⟨1|⊗U` exactly.
+    fn assert_exactly_controlled(original: &QuantumCircuit) {
+        let n = original.num_qubits();
+        let controlled = controlled_circuit(original).expect("controllable");
+        let u = reference::unitary(original).expect("unitary");
+        let cu = reference::unitary(&controlled).expect("unitary");
+        let dim = 1usize << n;
+        // Control is qubit n (the most significant bit).
+        let mut expected = Matrix::zeros(2 * dim, 2 * dim);
+        for r in 0..dim {
+            expected[(r, r)] = crate::complex::Complex::ONE;
+            for c in 0..dim {
+                expected[(dim + r, dim + c)] = u[(r, c)];
+            }
+        }
+        assert!(
+            cu.approx_eq_eps(&expected, 1e-8),
+            "controlled circuit deviates for {}",
+            original.name()
+        );
+    }
+
+    #[test]
+    fn controls_simple_gates_exactly() {
+        for build in [
+            |c: &mut QuantumCircuit| {
+                c.x(0).unwrap();
+            },
+            |c: &mut QuantumCircuit| {
+                c.h(0).unwrap();
+            },
+            |c: &mut QuantumCircuit| {
+                c.t(0).unwrap();
+            },
+            |c: &mut QuantumCircuit| {
+                c.s(0).unwrap();
+                c.z(0).unwrap();
+            },
+        ] {
+            let mut circ = QuantumCircuit::new(1);
+            build(&mut circ);
+            assert_exactly_controlled(&circ);
+        }
+    }
+
+    #[test]
+    fn controls_entangling_circuits_exactly() {
+        let mut bell = QuantumCircuit::new(2);
+        bell.h(0).unwrap();
+        bell.cx(0, 1).unwrap();
+        assert_exactly_controlled(&bell);
+
+        let mut mixed = QuantumCircuit::new(2);
+        mixed.ry(0.6, 0).unwrap();
+        mixed.cz(0, 1).unwrap();
+        mixed.tdg(1).unwrap();
+        mixed.swap(0, 1).unwrap();
+        assert_exactly_controlled(&mixed);
+    }
+
+    #[test]
+    fn controls_global_phase_exactly() {
+        // ZXZX = -I: its controlled version is a controlled(-I) = CZ-like
+        // phase, NOT the identity.
+        let mut circ = QuantumCircuit::new(1);
+        circ.z(0).unwrap();
+        circ.x(0).unwrap();
+        circ.z(0).unwrap();
+        circ.x(0).unwrap();
+        assert_exactly_controlled(&circ);
+    }
+
+    #[test]
+    fn control_qubit_off_is_identity() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.t(1).unwrap();
+        let controlled = controlled_circuit(&circ).unwrap();
+        // Control (qubit 2) stays |0⟩: state must remain |000⟩.
+        let state = reference::statevector(&controlled).unwrap();
+        assert!(state[0].is_approx_one(), "got {}", state[0]);
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        assert!(controlled_circuit(&circ).is_err());
+    }
+}

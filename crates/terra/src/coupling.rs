@@ -1,0 +1,453 @@
+//! Coupling maps of quantum devices.
+//!
+//! A [`CouplingMap`] is the directed graph of allowed CNOT applications the
+//! paper describes in Section II-B: an edge `Qi → Qj` means a CNOT with
+//! control `Qi` and target `Qj` is physically executable. The presets
+//! reproduce the IBM QX architectures the paper references — in particular
+//! QX4, whose map is the paper's Fig. 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_terra::coupling::CouplingMap;
+//!
+//! let qx4 = CouplingMap::ibm_qx4();
+//! assert!(qx4.has_edge(2, 0));       // Q2 → Q0 allowed
+//! assert!(!qx4.has_edge(0, 2));      // reverse needs H-conjugation
+//! assert!(qx4.connected(0, 2));      // but they are neighbours
+//! assert_eq!(qx4.distance(0, 4), 2); // via Q2
+//! ```
+
+use crate::error::{Result, TerraError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A directed coupling graph over physical qubits.
+///
+/// Vertices are physical qubit indices `0..num_qubits`; a directed edge
+/// `(c, t)` states that `CNOT c→t` is natively executable (the paper's
+/// "CNOT-constraints").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+    name: String,
+}
+
+impl CouplingMap {
+    /// Creates a coupling map from a list of directed edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an edge references a qubit `>= num_qubits` or is
+    /// a self-loop.
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut set = BTreeSet::new();
+        for &(c, t) in edges {
+            if c >= num_qubits || t >= num_qubits {
+                return Err(TerraError::CouplingMap {
+                    msg: format!("edge ({c},{t}) out of range for {num_qubits} qubits"),
+                });
+            }
+            if c == t {
+                return Err(TerraError::CouplingMap { msg: format!("self-loop on qubit {c}") });
+            }
+            set.insert((c, t));
+        }
+        Ok(Self { num_qubits, edges: set, name: "custom".to_owned() })
+    }
+
+    fn preset(num_qubits: usize, edges: &[(usize, usize)], name: &str) -> Self {
+        let mut map = Self::new(num_qubits, edges).expect("preset maps are valid");
+        map.name = name.to_owned();
+        map
+    }
+
+    /// The 5-qubit IBM QX2 map ("bowtie", launched March 2017).
+    pub fn ibm_qx2() -> Self {
+        Self::preset(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)],
+            "ibmqx2",
+        )
+    }
+
+    /// The 5-qubit IBM QX4 map — the paper's Fig. 2.
+    ///
+    /// Arrows (control → target): Q1→Q0, Q2→Q0, Q2→Q1, Q3→Q2, Q3→Q4, Q2→Q4.
+    pub fn ibm_qx4() -> Self {
+        Self::preset(
+            5,
+            &[(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)],
+            "ibmqx4",
+        )
+    }
+
+    /// The 16-qubit IBM QX3 map (June 2017), a 2x8 ladder.
+    pub fn ibm_qx3() -> Self {
+        Self::preset(
+            16,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 14),
+                (4, 3),
+                (4, 5),
+                (6, 7),
+                (6, 11),
+                (7, 10),
+                (8, 7),
+                (9, 8),
+                (9, 10),
+                (11, 10),
+                (12, 5),
+                (12, 11),
+                (12, 13),
+                (13, 4),
+                (13, 14),
+                (15, 0),
+                (15, 2),
+                (15, 14),
+            ],
+            "ibmqx3",
+        )
+    }
+
+    /// The 16-qubit IBM QX5 map (September 2017), the revised ladder.
+    pub fn ibm_qx5() -> Self {
+        Self::preset(
+            16,
+            &[
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 14),
+                (5, 4),
+                (6, 5),
+                (6, 7),
+                (6, 11),
+                (7, 10),
+                (8, 7),
+                (9, 8),
+                (9, 10),
+                (11, 10),
+                (12, 5),
+                (12, 11),
+                (12, 13),
+                (13, 4),
+                (13, 14),
+                (15, 0),
+                (15, 2),
+                (15, 14),
+            ],
+            "ibmqx5",
+        )
+    }
+
+    /// A bidirectional line (1D nearest-neighbour) topology.
+    pub fn line(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 1..num_qubits {
+            edges.push((i - 1, i));
+            edges.push((i, i - 1));
+        }
+        Self::preset(num_qubits, &edges, "line")
+    }
+
+    /// A bidirectional ring topology.
+    pub fn ring(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..num_qubits {
+            let j = (i + 1) % num_qubits;
+            if i != j {
+                edges.push((i, j));
+                edges.push((j, i));
+            }
+        }
+        Self::preset(num_qubits, &edges, "ring")
+    }
+
+    /// A bidirectional `rows x cols` grid topology.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        let idx = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                    edges.push((idx(r, c + 1), idx(r, c)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                    edges.push((idx(r + 1, c), idx(r, c)));
+                }
+            }
+        }
+        Self::preset(rows * cols, &edges, "grid")
+    }
+
+    /// A fully-connected topology (every ordered pair is an edge) — the
+    /// "no constraints" baseline.
+    pub fn full(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..num_qubits {
+            for j in 0..num_qubits {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Self::preset(num_qubits, &edges, "full")
+    }
+
+    /// The device name of a preset (`"ibmqx4"`, `"line"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The directed edge list in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when `CNOT control→target` is natively allowed.
+    pub fn has_edge(&self, control: usize, target: usize) -> bool {
+        self.edges.contains(&(control, target))
+    }
+
+    /// Returns `true` when the two qubits are adjacent in either direction
+    /// (a CNOT can be realized natively or with H-conjugation).
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.has_edge(a, b) || self.has_edge(b, a)
+    }
+
+    /// Undirected neighbours of a qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out = BTreeSet::new();
+        for &(c, t) in &self.edges {
+            if c == q {
+                out.insert(t);
+            }
+            if t == q {
+                out.insert(c);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// All-pairs undirected shortest-path distance matrix (BFS per vertex).
+    /// Unreachable pairs get `usize::MAX`.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.num_qubits;
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        let adj: Vec<Vec<usize>> = (0..n).map(|q| self.neighbors(q)).collect();
+        for start in 0..n {
+            dist[start][start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if dist[start][v] == usize::MAX {
+                        dist[start][v] = dist[start][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Undirected shortest-path distance between two qubits
+    /// (`usize::MAX` when unreachable).
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let adj: Vec<Vec<usize>> = (0..self.num_qubits).map(|q| self.neighbors(q)).collect();
+        let mut dist = vec![usize::MAX; self.num_qubits];
+        dist[a] = 0;
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == b {
+                        return dist[v];
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist[b]
+    }
+
+    /// One undirected shortest path from `a` to `b` (inclusive of both
+    /// endpoints), or `None` when unreachable.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let adj: Vec<Vec<usize>> = (0..self.num_qubits).map(|q| self.neighbors(q)).collect();
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut seen = vec![false; self.num_qubits];
+        seen[a] = true;
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = u;
+                    if v == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while prev[cur] != usize::MAX {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` when every qubit can reach every other (undirected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let d = self.distance_matrix();
+        d[0].iter().all(|&x| x != usize::MAX)
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} qubits): ", self.name, self.num_qubits)?;
+        let rendered: Vec<String> =
+            self.edges.iter().map(|(c, t)| format!("Q{c}->Q{t}")).collect();
+        write!(f, "{}", rendered.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qx4_matches_paper_fig2() {
+        let qx4 = CouplingMap::ibm_qx4();
+        assert_eq!(qx4.num_qubits(), 5);
+        assert_eq!(qx4.num_edges(), 6);
+        // Fig. 2 arrows.
+        for (c, t) in [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)] {
+            assert!(qx4.has_edge(c, t), "missing Q{c}->Q{t}");
+            assert!(!qx4.has_edge(t, c), "unexpected reverse Q{t}->Q{c}");
+        }
+        // The paper's Example: q2 control, q3 target is *not* allowed...
+        assert!(!qx4.has_edge(2, 3));
+        // ...only the opposite is.
+        assert!(qx4.has_edge(3, 2));
+    }
+
+    #[test]
+    fn qx_presets_are_connected() {
+        for map in [
+            CouplingMap::ibm_qx2(),
+            CouplingMap::ibm_qx3(),
+            CouplingMap::ibm_qx4(),
+            CouplingMap::ibm_qx5(),
+        ] {
+            assert!(map.is_connected(), "{} disconnected", map.name());
+        }
+        assert_eq!(CouplingMap::ibm_qx5().num_qubits(), 16);
+        assert_eq!(CouplingMap::ibm_qx3().num_qubits(), 16);
+    }
+
+    #[test]
+    fn validation_rejects_bad_edges() {
+        assert!(CouplingMap::new(2, &[(0, 5)]).is_err());
+        assert!(CouplingMap::new(2, &[(1, 1)]).is_err());
+        assert!(CouplingMap::new(2, &[(0, 1)]).is_ok());
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let qx4 = CouplingMap::ibm_qx4();
+        assert_eq!(qx4.neighbors(2), vec![0, 1, 3, 4]);
+        assert_eq!(qx4.neighbors(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn distances_on_qx4() {
+        let qx4 = CouplingMap::ibm_qx4();
+        assert_eq!(qx4.distance(0, 0), 0);
+        assert_eq!(qx4.distance(0, 1), 1);
+        assert_eq!(qx4.distance(0, 3), 2);
+        assert_eq!(qx4.distance(0, 4), 2);
+        let d = qx4.distance_matrix();
+        assert_eq!(d[0][3], 2);
+        assert_eq!(d[3][0], 2, "distance matrix symmetric (undirected)");
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let qx4 = CouplingMap::ibm_qx4();
+        let path = qx4.shortest_path(0, 3).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&3));
+        assert_eq!(path.len(), 3);
+        for w in path.windows(2) {
+            assert!(qx4.connected(w[0], w[1]));
+        }
+        assert_eq!(qx4.shortest_path(2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn disconnected_map_reports_unreachable() {
+        let map = CouplingMap::new(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!map.is_connected());
+        assert_eq!(map.distance(0, 3), usize::MAX);
+        assert!(map.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn generated_topologies() {
+        let line = CouplingMap::line(4);
+        assert_eq!(line.distance(0, 3), 3);
+        assert!(line.has_edge(0, 1) && line.has_edge(1, 0));
+
+        let ring = CouplingMap::ring(6);
+        assert_eq!(ring.distance(0, 3), 3);
+        assert_eq!(ring.distance(0, 5), 1);
+
+        let grid = CouplingMap::grid(3, 3);
+        assert_eq!(grid.num_qubits(), 9);
+        assert_eq!(grid.distance(0, 8), 4);
+
+        let full = CouplingMap::full(4);
+        assert_eq!(full.num_edges(), 12);
+        assert_eq!(full.distance(0, 3), 1);
+    }
+
+    #[test]
+    fn display_names_edges() {
+        let text = CouplingMap::ibm_qx4().to_string();
+        assert!(text.starts_with("ibmqx4 (5 qubits)"));
+        assert!(text.contains("Q2->Q0"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Dependency-graph view of a circuit.
+//!
+//! [`DagCircuit`] arranges a circuit's instructions as a directed acyclic
+//! graph whose edges follow qubit/clbit wires — the representation the
+//! transpiler's optimization passes operate on (predecessor/successor
+//! queries, topological layers, local rewrites).
+
+use crate::circuit::QuantumCircuit;
+use crate::instruction::{Instruction, Operation};
+
+/// Index of a node in a [`DagCircuit`].
+pub type NodeIndex = usize;
+
+/// One operation node in the DAG.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// The instruction at this node.
+    pub instruction: Instruction,
+    /// Per-wire predecessor node, parallel to `instruction` wires.
+    pub predecessors: Vec<Option<NodeIndex>>,
+    /// Per-wire successor node, parallel to `instruction` wires.
+    pub successors: Vec<Option<NodeIndex>>,
+    /// Tombstone marker used by rewriting passes.
+    pub removed: bool,
+}
+
+impl DagNode {
+    fn wires(inst: &Instruction, num_qubits: usize) -> Vec<usize> {
+        let mut wires = inst.qubits.clone();
+        for &c in &inst.clbits {
+            wires.push(num_qubits + c);
+        }
+        if let Some(cond) = &inst.condition {
+            for &c in &cond.clbits {
+                wires.push(num_qubits + c);
+            }
+        }
+        wires
+    }
+}
+
+/// A circuit as a wire-dependency DAG.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::circuit::QuantumCircuit;
+/// use qukit_terra::dag::DagCircuit;
+///
+/// # fn main() -> Result<(), qukit_terra::error::TerraError> {
+/// let mut circ = QuantumCircuit::new(2);
+/// circ.h(0)?;
+/// circ.cx(0, 1)?;
+/// let dag = DagCircuit::from_circuit(&circ);
+/// assert_eq!(dag.layers().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DagCircuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    nodes: Vec<DagNode>,
+    global_phase: f64,
+}
+
+impl DagCircuit {
+    /// Builds the DAG of a circuit.
+    pub fn from_circuit(circuit: &QuantumCircuit) -> Self {
+        let num_qubits = circuit.num_qubits();
+        let num_clbits = circuit.num_clbits();
+        let num_wires = num_qubits + num_clbits;
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(circuit.size());
+        // Last node seen on each wire.
+        let mut frontier: Vec<Option<NodeIndex>> = vec![None; num_wires];
+        for inst in circuit.instructions() {
+            let wires = DagNode::wires(inst, num_qubits);
+            let idx = nodes.len();
+            let mut predecessors = Vec::with_capacity(wires.len());
+            for &w in &wires {
+                predecessors.push(frontier[w]);
+                if let Some(p) = frontier[w] {
+                    // Record successor slot on the predecessor for wire w.
+                    let pw = DagNode::wires(&nodes[p].instruction, num_qubits);
+                    for (slot, &pwire) in pw.iter().enumerate() {
+                        if pwire == w {
+                            nodes[p].successors[slot] = Some(idx);
+                        }
+                    }
+                }
+                frontier[w] = Some(idx);
+            }
+            let successors = vec![None; wires.len()];
+            nodes.push(DagNode {
+                instruction: inst.clone(),
+                predecessors,
+                successors,
+                removed: false,
+            });
+        }
+        Self { num_qubits, num_clbits, nodes, global_phase: circuit.global_phase() }
+    }
+
+    /// Number of (live) operation nodes.
+    pub fn num_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.removed).count()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, idx: NodeIndex) -> &DagNode {
+        &self.nodes[idx]
+    }
+
+    /// Iterate over live node indices in topological (insertion) order.
+    pub fn topological_order(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        (0..self.nodes.len()).filter(move |&i| !self.nodes[i].removed)
+    }
+
+    /// Marks a node removed (used by cancellation passes).
+    pub fn remove_node(&mut self, idx: NodeIndex) {
+        self.nodes[idx].removed = true;
+    }
+
+    /// The live predecessor of `idx` on the wire occupied by qubit `q`,
+    /// skipping removed nodes.
+    pub fn predecessor_on_qubit(&self, idx: NodeIndex, q: usize) -> Option<NodeIndex> {
+        let node = &self.nodes[idx];
+        let slot = node.instruction.qubits.iter().position(|&w| w == q)?;
+        let mut cur = node.predecessors[slot];
+        while let Some(p) = cur {
+            if !self.nodes[p].removed {
+                return Some(p);
+            }
+            // Skip the removed node: follow its predecessor on the same wire.
+            let pnode = &self.nodes[p];
+            let pslot = pnode.instruction.qubits.iter().position(|&w| w == q)?;
+            cur = pnode.predecessors[pslot];
+        }
+        None
+    }
+
+    /// Groups live nodes into parallel layers (each layer's instructions act
+    /// on disjoint wires). This matches the layered view drawers and
+    /// greedy mappers use.
+    pub fn layers(&self) -> Vec<Vec<NodeIndex>> {
+        let num_wires = self.num_qubits + self.num_clbits;
+        let mut wire_level = vec![0usize; num_wires];
+        let mut layers: Vec<Vec<NodeIndex>> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].removed {
+                continue;
+            }
+            let wires = DagNode::wires(&self.nodes[idx].instruction, self.num_qubits);
+            let level = wires.iter().map(|&w| wire_level[w]).max().unwrap_or(0);
+            if level >= layers.len() {
+                layers.resize_with(level + 1, Vec::new);
+            }
+            layers[level].push(idx);
+            for &w in &wires {
+                wire_level[w] = level + 1;
+            }
+        }
+        layers
+    }
+
+    /// Rebuilds a circuit from the live nodes, preserving registers of the
+    /// provided template (which must have the same widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` widths differ from the DAG's.
+    pub fn to_circuit(&self, template: &QuantumCircuit) -> QuantumCircuit {
+        assert_eq!(template.num_qubits(), self.num_qubits, "qubit width mismatch");
+        assert_eq!(template.num_clbits(), self.num_clbits, "clbit width mismatch");
+        let mut out = template.clone();
+        out.clear();
+        out.add_global_phase(self.global_phase);
+        for idx in self.topological_order() {
+            out.push(self.nodes[idx].instruction.clone()).expect("valid by construction");
+        }
+        out
+    }
+
+    /// Iterates over live two-qubit gate nodes — the mapper's work list.
+    pub fn two_qubit_gates(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.topological_order().filter(move |&i| {
+            let inst = &self.nodes[i].instruction;
+            matches!(inst.op, Operation::Gate(_)) && inst.qubits.len() == 2
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> QuantumCircuit {
+        let mut circ = QuantumCircuit::with_size(3, 1);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.x(2).unwrap();
+        circ.cx(1, 2).unwrap();
+        circ.measure(2, 0).unwrap();
+        circ
+    }
+
+    #[test]
+    fn construction_links_wires() {
+        let dag = DagCircuit::from_circuit(&sample());
+        assert_eq!(dag.num_ops(), 5);
+        // cx(0,1) is node 1; its predecessor on qubit 0 is h (node 0).
+        assert_eq!(dag.predecessor_on_qubit(1, 0), Some(0));
+        assert_eq!(dag.predecessor_on_qubit(1, 1), None);
+        // cx(1,2) is node 3; predecessor on qubit 2 is x (node 2).
+        assert_eq!(dag.predecessor_on_qubit(3, 2), Some(2));
+        assert_eq!(dag.predecessor_on_qubit(3, 1), Some(1));
+    }
+
+    #[test]
+    fn layers_respect_dependencies() {
+        let dag = DagCircuit::from_circuit(&sample());
+        let layers = dag.layers();
+        // Layer 0: h(0) and x(2) in parallel. Layer 1: cx(0,1).
+        // Layer 2: cx(1,2). Layer 3: measure.
+        assert_eq!(layers.len(), 4);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 1);
+    }
+
+    #[test]
+    fn removal_skips_nodes() {
+        let mut dag = DagCircuit::from_circuit(&sample());
+        dag.remove_node(2); // remove x(2)
+        assert_eq!(dag.num_ops(), 4);
+        // cx(1,2)'s predecessor on wire 2 now skips to nothing.
+        assert_eq!(dag.predecessor_on_qubit(3, 2), None);
+    }
+
+    #[test]
+    fn round_trip_to_circuit() {
+        let circ = sample();
+        let dag = DagCircuit::from_circuit(&circ);
+        let rebuilt = dag.to_circuit(&circ);
+        assert_eq!(rebuilt.instructions(), circ.instructions());
+    }
+
+    #[test]
+    fn two_qubit_gate_listing() {
+        let dag = DagCircuit::from_circuit(&sample());
+        let twoq: Vec<_> = dag.two_qubit_gates().collect();
+        assert_eq!(twoq.len(), 2);
+        assert_eq!(dag.node(twoq[0]).instruction.as_gate(), Some(&Gate::CX));
+    }
+
+    #[test]
+    fn conditioned_gates_depend_on_clbits() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        circ.measure(0, 0).unwrap();
+        circ.append_conditional(Gate::X, &[1], "c", 1).unwrap();
+        let dag = DagCircuit::from_circuit(&circ);
+        let layers = dag.layers();
+        assert_eq!(layers.len(), 2, "conditional gate must wait for the measurement");
+    }
+}

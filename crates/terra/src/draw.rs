@@ -1,0 +1,239 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a circuit in the familiar horizontal-wire style of the paper's
+//! Fig. 1b: one text row per qubit, gates drawn left to right in
+//! dependency layers, with `●` for controls and `⊕`-style `X` boxes for
+//! CNOT targets (pure-ASCII output so it renders everywhere).
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_terra::circuit::QuantumCircuit;
+//! use qukit_terra::draw::draw;
+//!
+//! # fn main() -> Result<(), qukit_terra::error::TerraError> {
+//! let mut bell = QuantumCircuit::new(2);
+//! bell.h(0)?;
+//! bell.cx(0, 1)?;
+//! let art = draw(&bell);
+//! assert!(art.contains("H"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::QuantumCircuit;
+use crate::dag::DagCircuit;
+use crate::instruction::Operation;
+
+/// Renders the circuit as ASCII art, one row per qubit (plus one per
+/// classical bit when measurements are present).
+pub fn draw(circuit: &QuantumCircuit) -> String {
+    let n = circuit.num_qubits();
+    let nc = circuit.num_clbits();
+    let show_clbits = circuit.has_measurements();
+    let dag = DagCircuit::from_circuit(circuit);
+    let layers = dag.layers();
+
+    // Column text per wire per layer.
+    let total_wires = n + if show_clbits { nc } else { 0 };
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for layer in &layers {
+        let mut col = vec![String::new(); total_wires];
+        for &idx in layer {
+            let inst = &dag.node(idx).instruction;
+            match &inst.op {
+                Operation::Gate(g) => {
+                    let label = gate_label(g);
+                    match inst.qubits.len() {
+                        1 => col[inst.qubits[0]] = format!("[{label}]"),
+                        _ => {
+                            // Controls get '*', the target (last operand for
+                            // controlled gates, all for swap) gets the label.
+                            let (controls, targets): (Vec<usize>, Vec<usize>) = match g {
+                                crate::gate::Gate::Swap => {
+                                    (vec![], inst.qubits.clone())
+                                }
+                                crate::gate::Gate::CZ
+                                | crate::gate::Gate::Cp(_)
+                                | crate::gate::Gate::Ccz => {
+                                    // Symmetric: all dots except draw label on last.
+                                    (
+                                        inst.qubits[..inst.qubits.len() - 1].to_vec(),
+                                        vec![*inst.qubits.last().expect("nonempty")],
+                                    )
+                                }
+                                _ => (
+                                    inst.qubits[..inst.qubits.len() - 1].to_vec(),
+                                    vec![*inst.qubits.last().expect("nonempty")],
+                                ),
+                            };
+                            for c in controls {
+                                col[c] = " * ".to_owned();
+                            }
+                            for t in targets {
+                                col[t] = format!("[{label}]");
+                            }
+                            // Vertical connector on intermediate wires.
+                            let lo = *inst.qubits.iter().min().expect("nonempty");
+                            let hi = *inst.qubits.iter().max().expect("nonempty");
+                            for w in lo + 1..hi {
+                                if !inst.qubits.contains(&w) {
+                                    col[w] = " | ".to_owned();
+                                }
+                            }
+                        }
+                    }
+                }
+                Operation::Measure => {
+                    col[inst.qubits[0]] = "[M]".to_owned();
+                    if show_clbits {
+                        col[n + inst.clbits[0]] = " v ".to_owned();
+                        for w in inst.qubits[0] + 1..n + inst.clbits[0] {
+                            if col[w].is_empty() {
+                                col[w] = " | ".to_owned();
+                            }
+                        }
+                    }
+                }
+                Operation::Reset => {
+                    col[inst.qubits[0]] = "|0>".to_owned();
+                }
+                Operation::Barrier => {
+                    for &q in &inst.qubits {
+                        col[q] = " : ".to_owned();
+                    }
+                }
+            }
+        }
+        columns.push(col);
+    }
+
+    // Pad each column to uniform width and join with wire segments.
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().map(|s| s.chars().count()).max().unwrap_or(0).max(3))
+        .collect();
+    let mut out = String::new();
+    for wire in 0..total_wires {
+        let label = if wire < n {
+            format!("q{wire}: ")
+        } else {
+            format!("c{}: ", wire - n)
+        };
+        out.push_str(&format!("{label:>6}"));
+        let filler = if wire < n { '-' } else { '=' };
+        for (col, &w) in columns.iter().zip(&widths) {
+            let cell = &col[wire];
+            let pad = w - cell.chars().count();
+            let left = pad / 2;
+            let right = pad - left;
+            out.push(filler);
+            if cell.is_empty() {
+                for _ in 0..w {
+                    out.push(filler);
+                }
+            } else {
+                for _ in 0..left {
+                    out.push(filler);
+                }
+                out.push_str(cell);
+                for _ in 0..right {
+                    out.push(filler);
+                }
+            }
+            out.push(filler);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn gate_label(g: &crate::gate::Gate) -> String {
+    use crate::gate::Gate::*;
+    match g {
+        CX | Ccx | X => "X".to_owned(),
+        CY | Y => "Y".to_owned(),
+        CZ | Ccz | Z => "Z".to_owned(),
+        CH | H => "H".to_owned(),
+        Swap | Cswap => "x".to_owned(),
+        S => "S".to_owned(),
+        Sdg => "S+".to_owned(),
+        T => "T".to_owned(),
+        Tdg => "T+".to_owned(),
+        Sx => "SX".to_owned(),
+        Sxdg => "SX+".to_owned(),
+        I => "I".to_owned(),
+        Rx(t) => format!("RX({t:.2})"),
+        Ry(t) => format!("RY({t:.2})"),
+        Rz(t) | Crz(t) => format!("RZ({t:.2})"),
+        Phase(t) | Cp(t) => format!("P({t:.2})"),
+        U(t, p, l) | Cu(t, p, l) => format!("U({t:.2},{p:.2},{l:.2})"),
+        Crx(t) => format!("RX({t:.2})"),
+        Cry(t) => format!("RY({t:.2})"),
+        Rxx(t) => format!("XX({t:.2})"),
+        Rzz(t) => format!("ZZ({t:.2})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::fig1_circuit;
+
+    #[test]
+    fn bell_drawing_has_control_and_target() {
+        let mut bell = QuantumCircuit::new(2);
+        bell.h(0).unwrap();
+        bell.cx(0, 1).unwrap();
+        let art = draw(&bell);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("[H]"));
+        assert!(lines[0].contains('*'));
+        assert!(lines[1].contains("[X]"));
+    }
+
+    #[test]
+    fn fig1_drawing_has_four_wires_and_five_layers() {
+        let art = draw(&fig1_circuit());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("  q0:"));
+        // depth 5 => every line same length
+        let len = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == len));
+        // T gate appears on q0's wire.
+        assert!(lines[0].contains("[T]"));
+    }
+
+    #[test]
+    fn measurement_draws_classical_wire() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        let art = draw(&circ);
+        assert!(art.contains("[M]"));
+        assert!(art.contains("c0: "));
+        assert!(art.contains('='));
+    }
+
+    #[test]
+    fn barrier_and_reset_render() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.reset(0).unwrap();
+        circ.barrier_all();
+        circ.x(1).unwrap();
+        let art = draw(&circ);
+        assert!(art.contains("|0>"));
+        assert!(art.contains(" : "));
+    }
+
+    #[test]
+    fn intermediate_wires_get_connectors() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.cx(0, 2).unwrap();
+        let art = draw(&circ);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('|'), "middle wire should show the connector");
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for the terra crate.
+
+use std::fmt;
+
+/// Errors produced by circuit construction, OpenQASM parsing and
+/// transpilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerraError {
+    /// A qubit index was out of range for the circuit.
+    QubitOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A classical bit index was out of range for the circuit.
+    ClbitOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of classical bits in the circuit.
+        num_clbits: usize,
+    },
+    /// The same qubit was passed twice to a multi-qubit instruction.
+    DuplicateQubit {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// An instruction was given the wrong number of qubit operands.
+    ArityMismatch {
+        /// Gate name.
+        name: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        found: usize,
+    },
+    /// A register with this name already exists in the circuit.
+    DuplicateRegister {
+        /// The clashing register name.
+        name: String,
+    },
+    /// Referenced register does not exist.
+    UnknownRegister {
+        /// The missing register name.
+        name: String,
+    },
+    /// OpenQASM source failed to parse.
+    QasmParse {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based source column.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Circuit cannot be inverted (contains measurement/reset).
+    NotInvertible {
+        /// Name of the non-unitary instruction.
+        instruction: String,
+    },
+    /// Transpilation failed.
+    Transpile {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The coupling map cannot support the requested circuit.
+    CouplingMap {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TerraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerraError::QubitOutOfRange { index, num_qubits } => {
+                write!(f, "qubit index {index} out of range for {num_qubits}-qubit circuit")
+            }
+            TerraError::ClbitOutOfRange { index, num_clbits } => {
+                write!(f, "classical bit index {index} out of range for {num_clbits} bits")
+            }
+            TerraError::DuplicateQubit { index } => {
+                write!(f, "qubit {index} used more than once in a single instruction")
+            }
+            TerraError::ArityMismatch { name, expected, found } => {
+                write!(f, "gate '{name}' expects {expected} qubit operand(s), found {found}")
+            }
+            TerraError::DuplicateRegister { name } => {
+                write!(f, "register '{name}' already exists")
+            }
+            TerraError::UnknownRegister { name } => {
+                write!(f, "unknown register '{name}'")
+            }
+            TerraError::QasmParse { line, col, msg } => {
+                write!(f, "OpenQASM parse error at line {line}, column {col}: {msg}")
+            }
+            TerraError::NotInvertible { instruction } => {
+                write!(f, "circuit containing '{instruction}' cannot be inverted")
+            }
+            TerraError::Transpile { msg } => write!(f, "transpilation failed: {msg}"),
+            TerraError::CouplingMap { msg } => write!(f, "coupling map error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TerraError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TerraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TerraError::QubitOutOfRange { index: 5, num_qubits: 3 };
+        assert_eq!(e.to_string(), "qubit index 5 out of range for 3-qubit circuit");
+        let e = TerraError::QasmParse { line: 2, col: 7, msg: "expected ';'".into() };
+        assert!(e.to_string().contains("line 2"));
+        assert!(e.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TerraError>();
+    }
+}

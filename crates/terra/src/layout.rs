@@ -1,0 +1,209 @@
+//! Logical-to-physical qubit layouts.
+//!
+//! During mapping (the paper's Section V-B) each *logical* circuit qubit is
+//! assigned to a *physical* device qubit; SWAP insertion changes the
+//! assignment mid-circuit. [`Layout`] tracks the bijection in both
+//! directions.
+
+use crate::error::{Result, TerraError};
+use std::fmt;
+
+/// A bijective (partial) assignment of logical qubits to physical qubits.
+///
+/// `logical_to_physical[l] = p` and `physical_to_logical[p] = l` are kept in
+/// sync; unassigned slots hold `None` (a device usually has at least as many
+/// physical qubits as the circuit has logical ones).
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::layout::Layout;
+///
+/// let mut layout = Layout::trivial(3, 5);
+/// assert_eq!(layout.physical(2), Some(2));
+/// layout.swap_physical(2, 4);
+/// assert_eq!(layout.physical(2), Some(4));
+/// assert_eq!(layout.logical(4), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    logical_to_physical: Vec<Option<usize>>,
+    physical_to_logical: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// The identity layout: logical `i` on physical `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_logical > num_physical`.
+    pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        assert!(
+            num_logical <= num_physical,
+            "cannot place {num_logical} logical qubits on {num_physical} physical qubits"
+        );
+        let mut l2p = vec![None; num_logical];
+        let mut p2l = vec![None; num_physical];
+        for i in 0..num_logical {
+            l2p[i] = Some(i);
+            p2l[i] = Some(i);
+        }
+        Self { logical_to_physical: l2p, physical_to_logical: p2l }
+    }
+
+    /// Builds a layout from an explicit logical→physical table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a physical index is out of range or assigned
+    /// twice.
+    pub fn from_mapping(mapping: &[usize], num_physical: usize) -> Result<Self> {
+        let mut l2p = vec![None; mapping.len()];
+        let mut p2l = vec![None; num_physical];
+        for (l, &p) in mapping.iter().enumerate() {
+            if p >= num_physical {
+                return Err(TerraError::CouplingMap {
+                    msg: format!("layout places logical {l} on nonexistent physical {p}"),
+                });
+            }
+            if p2l[p].is_some() {
+                return Err(TerraError::CouplingMap {
+                    msg: format!("layout places two logical qubits on physical {p}"),
+                });
+            }
+            l2p[l] = Some(p);
+            p2l[p] = Some(l);
+        }
+        Ok(Self { logical_to_physical: l2p, physical_to_logical: p2l })
+    }
+
+    /// Number of logical qubits tracked.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Number of physical qubits tracked.
+    pub fn num_physical(&self) -> usize {
+        self.physical_to_logical.len()
+    }
+
+    /// Physical qubit currently holding logical qubit `l`.
+    pub fn physical(&self, l: usize) -> Option<usize> {
+        self.logical_to_physical.get(l).copied().flatten()
+    }
+
+    /// Logical qubit currently on physical qubit `p`.
+    pub fn logical(&self, p: usize) -> Option<usize> {
+        self.physical_to_logical.get(p).copied().flatten()
+    }
+
+    /// Exchanges the logical occupants of two physical qubits — the layout
+    /// effect of inserting a SWAP gate on `(p1, p2)`.
+    ///
+    /// Either slot may be empty (swapping a qubit into an unused location).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a physical index is out of range.
+    pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        let l1 = self.physical_to_logical[p1];
+        let l2 = self.physical_to_logical[p2];
+        self.physical_to_logical[p1] = l2;
+        self.physical_to_logical[p2] = l1;
+        if let Some(l) = l1 {
+            self.logical_to_physical[l] = Some(p2);
+        }
+        if let Some(l) = l2 {
+            self.logical_to_physical[l] = Some(p1);
+        }
+    }
+
+    /// The dense logical→physical table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any logical qubit is unassigned.
+    pub fn to_physical_vec(&self) -> Vec<usize> {
+        self.logical_to_physical
+            .iter()
+            .map(|p| p.expect("complete layout"))
+            .collect()
+    }
+
+    /// Returns `true` when every logical qubit has a physical home.
+    pub fn is_complete(&self) -> bool {
+        self.logical_to_physical.iter().all(|p| p.is_some())
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pairs: Vec<String> = self
+            .logical_to_physical
+            .iter()
+            .enumerate()
+            .map(|(l, p)| match p {
+                Some(p) => format!("q{l}->Q{p}"),
+                None => format!("q{l}->?"),
+            })
+            .collect();
+        write!(f, "{}", pairs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_is_identity() {
+        let layout = Layout::trivial(3, 5);
+        for i in 0..3 {
+            assert_eq!(layout.physical(i), Some(i));
+            assert_eq!(layout.logical(i), Some(i));
+        }
+        assert_eq!(layout.logical(4), None);
+        assert!(layout.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn trivial_rejects_too_small_device() {
+        let _ = Layout::trivial(6, 5);
+    }
+
+    #[test]
+    fn from_mapping_validates() {
+        assert!(Layout::from_mapping(&[0, 0], 3).is_err(), "duplicate physical");
+        assert!(Layout::from_mapping(&[0, 9], 3).is_err(), "out of range");
+        let layout = Layout::from_mapping(&[2, 0], 3).unwrap();
+        assert_eq!(layout.physical(0), Some(2));
+        assert_eq!(layout.logical(0), Some(1));
+        assert_eq!(layout.logical(1), None);
+    }
+
+    #[test]
+    fn swap_physical_keeps_bijection() {
+        let mut layout = Layout::trivial(2, 4);
+        layout.swap_physical(1, 3); // move logical 1 to physical 3
+        assert_eq!(layout.physical(1), Some(3));
+        assert_eq!(layout.logical(3), Some(1));
+        assert_eq!(layout.logical(1), None);
+        layout.swap_physical(0, 3); // now logical 0 <-> logical 1 positions
+        assert_eq!(layout.physical(0), Some(3));
+        assert_eq!(layout.physical(1), Some(0));
+        assert!(layout.is_complete());
+    }
+
+    #[test]
+    fn to_physical_vec_round_trip() {
+        let layout = Layout::from_mapping(&[4, 2, 0], 5).unwrap();
+        assert_eq!(layout.to_physical_vec(), vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn display_shows_pairs() {
+        let layout = Layout::trivial(2, 2);
+        assert_eq!(layout.to_string(), "q0->Q0, q1->Q1");
+    }
+}

@@ -1,0 +1,629 @@
+//! Dense complex matrices and vectors.
+//!
+//! These types back the gate-matrix definitions in [`crate::gate`], the
+//! reference unitary/statevector simulators in `qukit-aer`, and the
+//! equivalence checks used by the transpiler tests. They are deliberately
+//! simple (row-major `Vec<Complex>` storage) — the performance-oriented
+//! simulation paths in `qukit-aer` and `qukit-dd` do not go through general
+//! matrix-matrix products.
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_terra::matrix::Matrix;
+//!
+//! let h = Matrix::hadamard();
+//! assert!(h.is_unitary());
+//! assert!(h.matmul(&h).approx_eq(&Matrix::identity(2)));
+//! ```
+
+use crate::complex::{Complex, EPSILON};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major complex matrix.
+///
+/// Indexing is `(row, col)`. Most matrices in the toolchain are square with
+/// power-of-two dimension (gate unitaries), but the type supports arbitrary
+/// rectangular shapes for tomography and fitting code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[Complex]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in matrix literal");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// The 2x2 Hadamard matrix — used pervasively in tests and docs.
+    pub fn hadamard() -> Self {
+        let h = Complex::FRAC_1_SQRT_2;
+        Self::from_vec(2, 2, vec![h, h, h, -h])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex> {
+        self.data
+    }
+
+    /// Element access returning `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<Complex> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a.is_approx_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self.data[i * self.cols + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// With the toolchain's little-endian qubit convention, the operator on
+    /// qubit 1 goes on the *left* of `⊗` and the operator on qubit 0 on the
+    /// right.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self.data[i * self.cols + j];
+                if a.is_approx_zero() {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (Hermitian adjoint, "dagger").
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&self, k: Complex) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Entry-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix add shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+
+    /// Entry-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix sub shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Checks unitarity: `U† U ≈ I` within [`EPSILON`].
+    pub fn is_unitary(&self) -> bool {
+        self.is_unitary_eps(EPSILON * self.rows as f64)
+    }
+
+    /// Checks unitarity with a caller-supplied tolerance.
+    pub fn is_unitary_eps(&self, eps: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.dagger().matmul(self);
+        prod.approx_eq_eps(&Matrix::identity(self.rows), eps)
+    }
+
+    /// Checks Hermiticity: `M ≈ M†`.
+    pub fn is_hermitian(&self) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger())
+    }
+
+    /// Approximate entry-wise equality within [`EPSILON`].
+    pub fn approx_eq(&self, other: &Matrix) -> bool {
+        self.approx_eq_eps(other, EPSILON)
+    }
+
+    /// Approximate entry-wise equality with a caller-supplied tolerance.
+    pub fn approx_eq_eps(&self, other: &Matrix, eps: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq_eps(*b, eps))
+    }
+
+    /// Tests equality up to a global phase: returns `Some(phase)` such that
+    /// `self ≈ e^{i·phase} · other`, or `None` if no such phase exists.
+    ///
+    /// Two unitaries that agree up to global phase implement the same
+    /// quantum operation, so this is the right notion of equivalence for
+    /// transpiler correctness checks.
+    pub fn phase_equal_to(&self, other: &Matrix) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        // Find the entry of largest modulus in `other` to anchor the phase.
+        let (mut best, mut best_idx) = (0.0f64, 0usize);
+        for (idx, z) in other.data.iter().enumerate() {
+            let n = z.norm_sqr();
+            if n > best {
+                best = n;
+                best_idx = idx;
+            }
+        }
+        if best < EPSILON {
+            // `other` is the zero matrix; equal only if self is too.
+            return if self.data.iter().all(|z| z.is_approx_zero()) {
+                Some(0.0)
+            } else {
+                None
+            };
+        }
+        let ratio = self.data[best_idx] / other.data[best_idx];
+        if (ratio.norm() - 1.0).abs() > 1e-8 {
+            return None;
+        }
+        let phase = ratio.arg();
+        let rotated = other.scale(Complex::cis(phase));
+        if self.approx_eq_eps(&rotated, 1e-8 * self.rows as f64) {
+            Some(phase)
+        } else {
+            None
+        }
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Used by tomography (linear inversion) and measurement-error
+    /// mitigation. Returns `None` when the matrix is singular to working
+    /// precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[Complex]) -> Option<Vec<Complex>> {
+        assert!(self.is_square(), "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].norm_sqr();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].norm_sqr();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-24 {
+                return None;
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                x.swap(col, pivot);
+            }
+            let inv = a[col * n + col].recip();
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] * inv;
+                if factor.is_approx_zero() {
+                    continue;
+                }
+                for k in col..n {
+                    let v = a[col * n + k];
+                    a[row * n + k] -= factor * v;
+                }
+                let xc = x[col];
+                x[row] -= factor * xc;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for k in (col + 1)..n {
+                acc -= a[col * n + k] * x[k];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Counts entries whose modulus exceeds [`EPSILON`] — the "size" of the
+    /// explicit representation compared against decision-diagram node counts
+    /// in the Fig. 3 reproduction.
+    pub fn nonzero_count(&self) -> usize {
+        self.data.iter().filter(|z| !z.is_approx_zero()).count()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &Complex {
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut Complex {
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                let z = self[(i, j)];
+                write!(f, "{:.3}{}{:.3}i", z.re, if z.im >= 0.0 { "+" } else { "-" }, z.im.abs())?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes a statevector in place and returns its original norm.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::complex::c64;
+/// use qukit_terra::matrix::normalize;
+///
+/// let mut v = vec![c64(3.0, 0.0), c64(4.0, 0.0)];
+/// let n = normalize(&mut v);
+/// assert!((n - 5.0).abs() < 1e-12);
+/// assert!((v[0].re - 0.6).abs() < 1e-12);
+/// ```
+pub fn normalize(v: &mut [Complex]) -> f64 {
+    let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for z in v.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+    norm
+}
+
+/// Inner product `⟨a|b⟩` of two complex vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn inner_product(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "inner product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Fidelity `|⟨a|b⟩|^2` between two pure states.
+pub fn state_fidelity(a: &[Complex], b: &[Complex]) -> f64 {
+    inner_product(a, b).norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn x_matrix() -> Matrix {
+        Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
+        )
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3[(0, 0)], Complex::ONE);
+        assert_eq!(i3[(0, 1)], Complex::ZERO);
+        assert_eq!(Matrix::zeros(2, 3).rows(), 2);
+        assert_eq!(Matrix::zeros(2, 3).cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 2, vec![Complex::ZERO; 3]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let h = Matrix::hadamard();
+        assert!(h.matmul(&Matrix::identity(2)).approx_eq(&h));
+        assert!(Matrix::identity(2).matmul(&h).approx_eq(&h));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Matrix::hadamard();
+        assert!(h.matmul(&h).approx_eq(&Matrix::identity(2)));
+    }
+
+    #[test]
+    fn matvec_applies_x() {
+        let x = x_matrix();
+        let v = x.matvec(&[Complex::ONE, Complex::ZERO]);
+        assert!(v[0].is_approx_zero());
+        assert!(v[1].is_approx_one());
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let i2 = Matrix::identity(2);
+        let x = x_matrix();
+        let big = i2.kron(&x);
+        assert_eq!(big.rows(), 4);
+        // I ⊗ X = block-diag(X, X)
+        assert!(big[(0, 1)].is_approx_one());
+        assert!(big[(2, 3)].is_approx_one());
+        assert!(big[(0, 2)].is_approx_zero());
+    }
+
+    #[test]
+    fn dagger_and_transpose() {
+        let m = Matrix::from_vec(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -4.0)]);
+        let d = m.dagger();
+        assert_eq!(d[(0, 0)], c64(1.0, -1.0));
+        assert_eq!(d[(1, 0)], c64(2.0, 0.0));
+        assert_eq!(m.transpose()[(0, 1)], c64(0.0, 3.0));
+        assert_eq!(m.conj()[(1, 0)], c64(0.0, -3.0));
+    }
+
+    #[test]
+    fn unitarity_checks() {
+        assert!(Matrix::hadamard().is_unitary());
+        assert!(Matrix::identity(4).is_unitary());
+        let not_unitary = Matrix::from_vec(2, 2, vec![Complex::ONE; 4]);
+        assert!(!not_unitary.is_unitary());
+        assert!(!Matrix::zeros(2, 3).is_unitary());
+    }
+
+    #[test]
+    fn hermitian_check() {
+        let x = x_matrix();
+        assert!(x.is_hermitian());
+        let m = Matrix::from_vec(2, 2, vec![Complex::ZERO, Complex::I, Complex::I, Complex::ZERO]);
+        assert!(!m.is_hermitian());
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        let m = Matrix::from_vec(2, 2, vec![c64(1.0, 0.0), c64(9.0, 0.0), c64(9.0, 0.0), c64(2.0, 5.0)]);
+        assert!(m.trace().approx_eq(c64(3.0, 5.0)));
+    }
+
+    #[test]
+    fn phase_equivalence_detects_global_phase() {
+        let h = Matrix::hadamard();
+        let rotated = h.scale(Complex::cis(0.7));
+        let phase = rotated.phase_equal_to(&h).expect("should be phase equal");
+        assert!((phase - 0.7).abs() < 1e-9);
+        assert!(h.phase_equal_to(&x_matrix()).is_none());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        // A = [[2, 1], [1, 3]], x = [1, -1] => b = [1, -2]
+        let a = Matrix::from_vec(
+            2,
+            2,
+            vec![c64(2.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), c64(3.0, 0.0)],
+        );
+        let b = [c64(1.0, 0.0), c64(-2.0, 0.0)];
+        let x = a.solve(&b).expect("solvable");
+        assert!(x[0].approx_eq(c64(1.0, 0.0)));
+        assert!(x[1].approx_eq(c64(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![Complex::ONE, Complex::ONE, Complex::ONE, Complex::ONE]);
+        assert!(a.solve(&[Complex::ONE, Complex::ZERO]).is_none());
+    }
+
+    #[test]
+    fn normalize_and_fidelity() {
+        let mut v = vec![c64(1.0, 0.0), c64(1.0, 0.0)];
+        normalize(&mut v);
+        assert!((v.iter().map(|z| z.norm_sqr()).sum::<f64>() - 1.0).abs() < 1e-12);
+        let w = vec![c64(1.0, 0.0), Complex::ZERO];
+        assert!((state_fidelity(&v, &w) - 0.5).abs() < 1e-12);
+        assert!((state_fidelity(&w, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_count_counts() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = Complex::I;
+        assert_eq!(m.nonzero_count(), 1);
+        assert_eq!(Matrix::identity(8).nonzero_count(), 8);
+    }
+}

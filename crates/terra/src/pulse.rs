@@ -1,0 +1,686 @@
+//! Pulse-level descriptions (OpenPulse).
+//!
+//! The paper's Terra description includes "tools for specifying and
+//! manipulating quantum circuits through the OpenQASM language, or at the
+//! pulse levels through OpenPulse [19]". This module provides that lower
+//! layer: sampled microwave [`Waveform`]s, per-qubit [`Channel`]s, timed
+//! [`Schedule`]s, and a lowering pass from gate-level circuits to pulse
+//! schedules driven by a [`Calibration`] table — mirroring how transmon
+//! control actually works ("control and measurements are conducted through
+//! microwave pulses", paper Section II-B).
+
+use crate::circuit::QuantumCircuit;
+use crate::complex::Complex;
+use crate::error::{Result, TerraError};
+use crate::instruction::Operation;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A sampled complex pulse envelope (one sample per `dt` time step).
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::pulse::Waveform;
+///
+/// let pulse = Waveform::gaussian(160, 0.2, 40.0);
+/// assert_eq!(pulse.duration(), 160);
+/// assert!(pulse.peak_amplitude() <= 0.2 + 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    name: String,
+    samples: Vec<Complex>,
+}
+
+impl Waveform {
+    /// Creates a waveform from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample magnitude exceeds 1 (hardware drive limit).
+    pub fn new(name: impl Into<String>, samples: Vec<Complex>) -> Self {
+        assert!(
+            samples.iter().all(|s| s.norm() <= 1.0 + 1e-9),
+            "pulse samples must have magnitude <= 1"
+        );
+        Self { name: name.into(), samples }
+    }
+
+    /// A Gaussian envelope of the given duration, peak amplitude and width.
+    pub fn gaussian(duration: usize, amplitude: f64, sigma: f64) -> Self {
+        let center = (duration as f64 - 1.0) / 2.0;
+        let samples = (0..duration)
+            .map(|t| {
+                let x = (t as f64 - center) / sigma;
+                Complex::from_real(amplitude * (-0.5 * x * x).exp())
+            })
+            .collect();
+        Self::new(format!("gaussian_{duration}_{sigma}"), samples)
+    }
+
+    /// A DRAG-corrected Gaussian (adds the derivative on the imaginary
+    /// quadrature to suppress leakage to the second excited state).
+    pub fn gaussian_drag(duration: usize, amplitude: f64, sigma: f64, beta: f64) -> Self {
+        let center = (duration as f64 - 1.0) / 2.0;
+        let samples = (0..duration)
+            .map(|t| {
+                let x = (t as f64 - center) / sigma;
+                let envelope = amplitude * (-0.5 * x * x).exp();
+                let derivative = -x / sigma * envelope;
+                Complex::new(envelope, beta * derivative)
+            })
+            .collect();
+        Self::new(format!("drag_{duration}_{sigma}"), samples)
+    }
+
+    /// A constant (square) pulse.
+    pub fn constant(duration: usize, amplitude: f64) -> Self {
+        Self::new(
+            format!("const_{duration}"),
+            vec![Complex::from_real(amplitude); duration],
+        )
+    }
+
+    /// The waveform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples (duration in `dt` units).
+    pub fn duration(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[Complex] {
+        &self.samples
+    }
+
+    /// Largest sample magnitude.
+    pub fn peak_amplitude(&self) -> f64 {
+        self.samples.iter().map(|s| s.norm()).fold(0.0, f64::max)
+    }
+
+    /// Integrated area `|Σ samples|` — proportional to the rotation angle
+    /// the pulse drives.
+    pub fn area(&self) -> f64 {
+        self.samples.iter().copied().sum::<Complex>().norm()
+    }
+}
+
+/// A hardware channel pulses are played on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Channel {
+    /// Single-qubit microwave drive line.
+    Drive(usize),
+    /// Cross-resonance control line for a directed qubit pair (indexed by
+    /// the coupling-map edge id).
+    Control(usize),
+    /// Readout resonator stimulus.
+    Measure(usize),
+    /// Readout capture.
+    Acquire(usize),
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Drive(q) => write!(f, "d{q}"),
+            Channel::Control(e) => write!(f, "u{e}"),
+            Channel::Measure(q) => write!(f, "m{q}"),
+            Channel::Acquire(q) => write!(f, "a{q}"),
+        }
+    }
+}
+
+/// One pulse-level instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PulseInstruction {
+    /// Play a waveform on a channel.
+    Play {
+        /// The envelope.
+        waveform: Waveform,
+        /// The target channel.
+        channel: Channel,
+    },
+    /// A virtual-Z frame rotation (zero duration, error-free — why
+    /// transpilers prefer Rz).
+    ShiftPhase {
+        /// Phase in radians.
+        phase: f64,
+        /// The target channel.
+        channel: Channel,
+    },
+    /// Idle for a duration.
+    Delay {
+        /// Duration in `dt`.
+        duration: usize,
+        /// The target channel.
+        channel: Channel,
+    },
+    /// Capture readout data.
+    Acquire {
+        /// Duration in `dt`.
+        duration: usize,
+        /// The qubit being read.
+        qubit: usize,
+        /// Classical memory slot.
+        memory_slot: usize,
+    },
+}
+
+impl PulseInstruction {
+    /// Duration of the instruction in `dt` units.
+    pub fn duration(&self) -> usize {
+        match self {
+            PulseInstruction::Play { waveform, .. } => waveform.duration(),
+            PulseInstruction::ShiftPhase { .. } => 0,
+            PulseInstruction::Delay { duration, .. } => *duration,
+            PulseInstruction::Acquire { duration, .. } => *duration,
+        }
+    }
+
+    /// The channel the instruction occupies.
+    pub fn channel(&self) -> Channel {
+        match self {
+            PulseInstruction::Play { channel, .. }
+            | PulseInstruction::ShiftPhase { channel, .. }
+            | PulseInstruction::Delay { channel, .. } => *channel,
+            PulseInstruction::Acquire { qubit, .. } => Channel::Acquire(*qubit),
+        }
+    }
+}
+
+/// A timed pulse program: instructions with absolute start times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    name: String,
+    instructions: Vec<(usize, PulseInstruction)>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), instructions: Vec::new() }
+    }
+
+    /// The schedule name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The timed instructions, sorted by start time.
+    pub fn instructions(&self) -> &[(usize, PulseInstruction)] {
+        &self.instructions
+    }
+
+    /// Total duration (end of the last instruction).
+    pub fn duration(&self) -> usize {
+        self.instructions
+            .iter()
+            .map(|(start, inst)| start + inst.duration())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The first free time on a channel.
+    pub fn channel_end(&self, channel: Channel) -> usize {
+        self.instructions
+            .iter()
+            .filter(|(_, inst)| inst.channel() == channel)
+            .map(|(start, inst)| start + inst.duration())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Inserts an instruction at an absolute time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if it would overlap an existing instruction on the
+    /// same channel (zero-duration frame changes never conflict).
+    pub fn insert(&mut self, start: usize, instruction: PulseInstruction) -> Result<()> {
+        let dur = instruction.duration();
+        if dur > 0 {
+            let channel = instruction.channel();
+            for (other_start, other) in &self.instructions {
+                if other.channel() != channel || other.duration() == 0 {
+                    continue;
+                }
+                let other_end = other_start + other.duration();
+                if start < other_end && other_start < &(start + dur) {
+                    return Err(TerraError::Transpile {
+                        msg: format!(
+                            "pulse overlap on channel {} at time {start}",
+                            channel
+                        ),
+                    });
+                }
+            }
+        }
+        let pos = self
+            .instructions
+            .partition_point(|(other_start, _)| *other_start <= start);
+        self.instructions.insert(pos, (start, instruction));
+        Ok(())
+    }
+
+    /// Appends an instruction at the earliest time its channel is free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlap errors (cannot occur for appends).
+    pub fn append(&mut self, instruction: PulseInstruction) -> Result<usize> {
+        let start = self.channel_end(instruction.channel());
+        self.insert(start, instruction)?;
+        Ok(start)
+    }
+
+    /// Channels used by the schedule, sorted.
+    pub fn channels(&self) -> Vec<Channel> {
+        let mut channels: Vec<Channel> =
+            self.instructions.iter().map(|(_, inst)| inst.channel()).collect();
+        channels.sort();
+        channels.dedup();
+        channels
+    }
+}
+
+/// A calibration table: pulse parameters for the device's native gates.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Duration of a single-qubit pulse in `dt`.
+    pub single_qubit_duration: usize,
+    /// Gaussian width for single-qubit pulses.
+    pub single_qubit_sigma: f64,
+    /// DRAG coefficient.
+    pub drag_beta: f64,
+    /// Duration of the cross-resonance tone for a CX.
+    pub cx_duration: usize,
+    /// Readout stimulus/acquire duration.
+    pub measure_duration: usize,
+    /// Control-channel index per directed qubit pair.
+    pub control_channels: HashMap<(usize, usize), usize>,
+}
+
+impl Calibration {
+    /// A generic calibration: 160 dt single-qubit pulses, 560 dt CR tones,
+    /// control channel per (control, target) pair allocated on demand from
+    /// the coupling edges provided.
+    pub fn with_edges(edges: &[(usize, usize)]) -> Self {
+        let control_channels =
+            edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        Self {
+            single_qubit_duration: 160,
+            single_qubit_sigma: 40.0,
+            drag_beta: 0.2,
+            cx_duration: 560,
+            measure_duration: 1200,
+            control_channels,
+        }
+    }
+}
+
+/// Lowers a gate-level circuit to a pulse [`Schedule`] using `calibration`.
+///
+/// The lowering follows the standard transmon scheme:
+///
+/// * `Rz`/`Phase`/`Z`-family gates become zero-duration [`PulseInstruction::ShiftPhase`]
+///   frame changes (virtual Z);
+/// * other single-qubit gates become DRAG pulses on the qubit's drive
+///   channel, with the rotation angle encoded in the amplitude;
+/// * `CX` becomes phase frames plus a cross-resonance tone on the pair's
+///   control channel with an echo pulse on the control qubit;
+/// * `Measure` becomes a stimulus on the measure channel plus an
+///   [`PulseInstruction::Acquire`];
+/// * barriers synchronize the involved channels.
+///
+/// # Errors
+///
+/// Returns an error for gates with more than two qubits (lower to the
+/// elementary basis first) or CX pairs absent from the calibration.
+pub fn lower_to_pulses(circuit: &QuantumCircuit, calibration: &Calibration) -> Result<Schedule> {
+    let mut schedule = Schedule::new(format!("{}_pulse", circuit.name()));
+    // Per-channel clocks are implied by Schedule::append; gate alignment
+    // across channels uses explicit insert at the max of the channels.
+    for inst in circuit.instructions() {
+        match &inst.op {
+            Operation::Gate(g) => {
+                match (g.num_qubits(), g.is_diagonal()) {
+                    (1, true) => {
+                        // Virtual Z: total phase = sum of the gate's angle
+                        // parameters (π for Z, π/2 for S, …).
+                        let phase = diagonal_phase(g);
+                        schedule.append(PulseInstruction::ShiftPhase {
+                            phase,
+                            channel: Channel::Drive(inst.qubits[0]),
+                        })?;
+                    }
+                    (1, false) => {
+                        let amplitude = rotation_amplitude(g);
+                        let pulse = Waveform::gaussian_drag(
+                            calibration.single_qubit_duration,
+                            amplitude,
+                            calibration.single_qubit_sigma,
+                            calibration.drag_beta,
+                        );
+                        schedule.append(PulseInstruction::Play {
+                            waveform: pulse,
+                            channel: Channel::Drive(inst.qubits[0]),
+                        })?;
+                    }
+                    (2, _) if *g == crate::gate::Gate::CX => {
+                        let (c, t) = (inst.qubits[0], inst.qubits[1]);
+                        let edge = calibration
+                            .control_channels
+                            .get(&(c, t))
+                            .or_else(|| calibration.control_channels.get(&(t, c)))
+                            .copied()
+                            .ok_or_else(|| TerraError::Transpile {
+                                msg: format!("no control channel calibrated for ({c},{t})"),
+                            })?;
+                        // Align all three channels.
+                        let start = [
+                            Channel::Drive(c),
+                            Channel::Drive(t),
+                            Channel::Control(edge),
+                        ]
+                        .iter()
+                        .map(|&ch| schedule.channel_end(ch))
+                        .max()
+                        .unwrap_or(0);
+                        let half = calibration.cx_duration / 2;
+                        // CR tone (two halves around a control echo).
+                        schedule.insert(
+                            start,
+                            PulseInstruction::Play {
+                                waveform: Waveform::constant(half, 0.3),
+                                channel: Channel::Control(edge),
+                            },
+                        )?;
+                        schedule.insert(
+                            start,
+                            PulseInstruction::Play {
+                                waveform: Waveform::gaussian_drag(
+                                    calibration.single_qubit_duration,
+                                    0.5,
+                                    calibration.single_qubit_sigma,
+                                    calibration.drag_beta,
+                                ),
+                                channel: Channel::Drive(c),
+                            },
+                        )?;
+                        schedule.insert(
+                            start + half,
+                            PulseInstruction::Play {
+                                waveform: Waveform::constant(half, 0.3),
+                                channel: Channel::Control(edge),
+                            },
+                        )?;
+                        // Keep the target busy until the tone ends.
+                        schedule.insert(
+                            start + calibration.single_qubit_duration.min(half),
+                            PulseInstruction::Delay {
+                                duration: calibration.cx_duration
+                                    - calibration.single_qubit_duration.min(half),
+                                channel: Channel::Drive(t),
+                            },
+                        )?;
+                    }
+                    _ => {
+                        return Err(TerraError::Transpile {
+                            msg: format!(
+                                "cannot lower '{}' to pulses; transpile to the \
+                                 elementary basis first",
+                                g.name()
+                            ),
+                        })
+                    }
+                }
+            }
+            Operation::Measure => {
+                let q = inst.qubits[0];
+                let start = schedule.channel_end(Channel::Drive(q));
+                schedule.insert(
+                    start.max(schedule.channel_end(Channel::Measure(q))),
+                    PulseInstruction::Play {
+                        waveform: Waveform::constant(calibration.measure_duration, 0.1),
+                        channel: Channel::Measure(q),
+                    },
+                )?;
+                schedule.insert(
+                    start.max(schedule.channel_end(Channel::Acquire(q))),
+                    PulseInstruction::Acquire {
+                        duration: calibration.measure_duration,
+                        qubit: q,
+                        memory_slot: inst.clbits[0],
+                    },
+                )?;
+            }
+            Operation::Barrier => {
+                // Synchronize involved drive channels with delays.
+                let sync = inst
+                    .qubits
+                    .iter()
+                    .map(|&q| schedule.channel_end(Channel::Drive(q)))
+                    .max()
+                    .unwrap_or(0);
+                for &q in &inst.qubits {
+                    let end = schedule.channel_end(Channel::Drive(q));
+                    if end < sync {
+                        schedule.insert(
+                            end,
+                            PulseInstruction::Delay {
+                                duration: sync - end,
+                                channel: Channel::Drive(q),
+                            },
+                        )?;
+                    }
+                }
+            }
+            Operation::Reset => {
+                return Err(TerraError::Transpile {
+                    msg: "pulse-level reset is not calibrated".to_owned(),
+                })
+            }
+        }
+    }
+    Ok(schedule)
+}
+
+fn diagonal_phase(g: &crate::gate::Gate) -> f64 {
+    use crate::gate::Gate::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    match *g {
+        Z => PI,
+        S => FRAC_PI_2,
+        Sdg => -FRAC_PI_2,
+        T => FRAC_PI_4,
+        Tdg => -FRAC_PI_4,
+        Rz(t) | Phase(t) => t,
+        I => 0.0,
+        _ => 0.0,
+    }
+}
+
+fn rotation_amplitude(g: &crate::gate::Gate) -> f64 {
+    use crate::gate::Gate::*;
+    use std::f64::consts::PI;
+    // Amplitude proportional to rotation angle, normalized to 0.5 for π.
+    let angle = match *g {
+        X | Y | H => PI,
+        Sx | Sxdg => PI / 2.0,
+        Rx(t) | Ry(t) => t.abs(),
+        U(t, _, _) => t.abs(),
+        _ => PI,
+    };
+    (0.5 * angle / PI).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_waveform_shape() {
+        let w = Waveform::gaussian(100, 0.4, 25.0);
+        assert_eq!(w.duration(), 100);
+        assert!(w.peak_amplitude() <= 0.4 && w.peak_amplitude() > 0.39);
+        // Symmetric envelope.
+        assert!(w.samples()[10].approx_eq(w.samples()[89]));
+        assert!(w.area() > 0.0);
+    }
+
+    #[test]
+    fn drag_waveform_has_imaginary_quadrature() {
+        let w = Waveform::gaussian_drag(100, 0.4, 25.0, 0.3);
+        assert!(w.samples()[20].im.abs() > 0.0, "leading edge has +derivative");
+        // The derivative changes sign at the center.
+        assert!(w.samples()[20].im * w.samples()[79].im < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitude <= 1")]
+    fn overdriven_waveform_panics() {
+        let _ = Waveform::constant(10, 1.5);
+    }
+
+    #[test]
+    fn schedule_append_and_overlap() {
+        let mut sched = Schedule::new("test");
+        let d0 = Channel::Drive(0);
+        sched
+            .append(PulseInstruction::Play { waveform: Waveform::constant(100, 0.1), channel: d0 })
+            .unwrap();
+        let start = sched
+            .append(PulseInstruction::Play { waveform: Waveform::constant(50, 0.1), channel: d0 })
+            .unwrap();
+        assert_eq!(start, 100, "appends chain on the channel");
+        assert_eq!(sched.duration(), 150);
+        // Explicit overlapping insert is rejected.
+        let overlap = sched.insert(
+            120,
+            PulseInstruction::Play { waveform: Waveform::constant(10, 0.1), channel: d0 },
+        );
+        assert!(overlap.is_err());
+        // Other channels are independent.
+        sched
+            .insert(
+                0,
+                PulseInstruction::Play {
+                    waveform: Waveform::constant(30, 0.1),
+                    channel: Channel::Drive(1),
+                },
+            )
+            .unwrap();
+        assert_eq!(sched.channels().len(), 2);
+    }
+
+    #[test]
+    fn phase_shifts_are_instantaneous() {
+        let mut sched = Schedule::new("vz");
+        sched
+            .append(PulseInstruction::ShiftPhase { phase: 1.0, channel: Channel::Drive(0) })
+            .unwrap();
+        assert_eq!(sched.duration(), 0);
+        // They never conflict.
+        sched
+            .insert(0, PulseInstruction::ShiftPhase { phase: 2.0, channel: Channel::Drive(0) })
+            .unwrap();
+    }
+
+    fn cal() -> Calibration {
+        Calibration::with_edges(&[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn lowering_virtual_z_costs_no_time() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.rz(0.7, 0).unwrap();
+        circ.t(0).unwrap();
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        assert_eq!(sched.duration(), 0, "virtual Z gates are free");
+        assert_eq!(sched.instructions().len(), 2);
+    }
+
+    #[test]
+    fn lowering_drive_pulses_chain_in_time() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.x(0).unwrap();
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        assert_eq!(sched.duration(), 320, "two 160 dt pulses back to back");
+    }
+
+    #[test]
+    fn lowering_cx_uses_control_channel() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        assert!(sched.channels().contains(&Channel::Control(0)));
+        assert_eq!(sched.duration(), 560);
+    }
+
+    #[test]
+    fn lowering_cx_missing_calibration_fails() {
+        let mut circ = QuantumCircuit::new(4);
+        circ.cx(0, 3).unwrap();
+        let err = lower_to_pulses(&circ, &cal()).unwrap_err();
+        assert!(err.to_string().contains("control channel"));
+    }
+
+    #[test]
+    fn lowering_rejects_non_elementary_gates() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.ccx(0, 1, 2).unwrap();
+        let err = lower_to_pulses(&circ, &cal()).unwrap_err();
+        assert!(err.to_string().contains("elementary"));
+    }
+
+    #[test]
+    fn lowering_measurement_produces_acquire() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.x(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        let has_acquire = sched
+            .instructions()
+            .iter()
+            .any(|(_, i)| matches!(i, PulseInstruction::Acquire { memory_slot: 0, .. }));
+        assert!(has_acquire);
+        assert_eq!(sched.duration(), 160 + 1200);
+    }
+
+    #[test]
+    fn barriers_synchronize_channels() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.x(0).unwrap(); // q0 busy until 160
+        circ.barrier_all();
+        circ.x(1).unwrap(); // must start at 160, not 0
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        let x1_start = sched
+            .instructions()
+            .iter()
+            .find(|(_, i)| {
+                matches!(i, PulseInstruction::Play { channel: Channel::Drive(1), .. })
+            })
+            .map(|(s, _)| *s)
+            .unwrap();
+        assert_eq!(x1_start, 160);
+    }
+
+    #[test]
+    fn full_bell_schedule_shape() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.measure(1, 1).unwrap();
+        let sched = lower_to_pulses(&circ, &cal()).unwrap();
+        // H (160) then CX (560) then measure (1200).
+        assert_eq!(sched.duration(), 160 + 560 + 1200);
+        assert!(sched.channels().contains(&Channel::Measure(0)));
+        assert!(sched.channels().contains(&Channel::Acquire(1)));
+    }
+}

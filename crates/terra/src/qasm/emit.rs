@@ -1,0 +1,197 @@
+//! OpenQASM 2.0 emitter.
+
+use crate::circuit::QuantumCircuit;
+use crate::instruction::Operation;
+use std::fmt::Write as _;
+
+/// Renders a parameter, using `pi` fractions where the value matches one
+/// exactly (keeps emitted QASM readable and round-trip friendly).
+fn render_param(v: f64) -> String {
+    use std::f64::consts::PI;
+    const FRACTIONS: &[(f64, &str)] = &[
+        (PI, "pi"),
+        (PI / 2.0, "pi/2"),
+        (PI / 4.0, "pi/4"),
+        (PI / 8.0, "pi/8"),
+        (2.0 * PI, "2*pi"),
+    ];
+    for &(val, text) in FRACTIONS {
+        if (v - val).abs() < 1e-12 {
+            return text.to_owned();
+        }
+        if (v + val).abs() < 1e-12 {
+            return format!("-{text}");
+        }
+    }
+    // Round-trip-exact default formatting.
+    format!("{v}")
+}
+
+/// Locates the register/offset rendering of a flat bit index.
+fn render_bit(regs: &[crate::register::Register], flat: usize, fallback: &str) -> String {
+    for reg in regs {
+        if reg.contains(flat) {
+            return format!("{}[{}]", reg.name(), flat - reg.start());
+        }
+    }
+    format!("{fallback}[{flat}]")
+}
+
+/// Serializes a circuit to OpenQASM 2.0 source.
+///
+/// The output always begins with the standard two-line header and declares
+/// every register of the circuit. Conditioned instructions are emitted as
+/// `if (creg==value) ...;`.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::circuit::QuantumCircuit;
+/// use qukit_terra::qasm::{emit, parse};
+///
+/// # fn main() -> Result<(), qukit_terra::error::TerraError> {
+/// let mut circ = QuantumCircuit::new(2);
+/// circ.h(0)?;
+/// circ.cx(0, 1)?;
+/// let qasm = emit(&circ);
+/// let reparsed = parse(&qasm)?;
+/// assert_eq!(reparsed.instructions(), circ.instructions());
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit(circuit: &QuantumCircuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    for reg in circuit.qregs() {
+        let _ = writeln!(out, "qreg {}[{}];", reg.name(), reg.len());
+    }
+    for reg in circuit.cregs() {
+        let _ = writeln!(out, "creg {}[{}];", reg.name(), reg.len());
+    }
+    for inst in circuit.instructions() {
+        if let Some(cond) = &inst.condition {
+            // Find the register covering the condition bits.
+            let name = circuit
+                .cregs()
+                .iter()
+                .find(|r| cond.clbits.first().is_some_and(|&b| r.contains(b)))
+                .map(|r| r.name().to_owned())
+                .unwrap_or_else(|| "c".to_owned());
+            let _ = write!(out, "if ({name}=={}) ", cond.value);
+        }
+        match &inst.op {
+            Operation::Gate(g) => {
+                let params = g.params();
+                if params.is_empty() {
+                    let _ = write!(out, "{}", g.name());
+                } else {
+                    let rendered: Vec<String> = params.iter().map(|&p| render_param(p)).collect();
+                    let _ = write!(out, "{}({})", g.name(), rendered.join(","));
+                }
+                let qubits: Vec<String> = inst
+                    .qubits
+                    .iter()
+                    .map(|&q| render_bit(circuit.qregs(), q, "q"))
+                    .collect();
+                let _ = writeln!(out, " {};", qubits.join(","));
+            }
+            Operation::Measure => {
+                let _ = writeln!(
+                    out,
+                    "measure {} -> {};",
+                    render_bit(circuit.qregs(), inst.qubits[0], "q"),
+                    render_bit(circuit.cregs(), inst.clbits[0], "c"),
+                );
+            }
+            Operation::Reset => {
+                let _ = writeln!(out, "reset {};", render_bit(circuit.qregs(), inst.qubits[0], "q"));
+            }
+            Operation::Barrier => {
+                let qubits: Vec<String> = inst
+                    .qubits
+                    .iter()
+                    .map(|&q| render_bit(circuit.qregs(), q, "q"))
+                    .collect();
+                let _ = writeln!(out, "barrier {};", qubits.join(","));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::fig1_circuit;
+    use crate::gate::Gate;
+    use crate::qasm::parse;
+
+    #[test]
+    fn fig1_emits_the_paper_listing() {
+        let qasm = emit(&fig1_circuit());
+        let expected = "OPENQASM 2.0;\n\
+                        include \"qelib1.inc\";\n\
+                        qreg q[4];\n\
+                        h q[2];\n\
+                        cx q[2],q[3];\n\
+                        cx q[0],q[1];\n\
+                        h q[1];\n\
+                        cx q[1],q[2];\n\
+                        t q[0];\n\
+                        cx q[2],q[0];\n\
+                        cx q[0],q[1];\n";
+        assert_eq!(qasm, expected);
+    }
+
+    #[test]
+    fn round_trip_preserves_instructions() {
+        let mut circ = QuantumCircuit::with_size(3, 3);
+        circ.h(0).unwrap();
+        circ.rx(std::f64::consts::FRAC_PI_2, 1).unwrap();
+        circ.u(0.25, -0.5, 1.75, 2).unwrap();
+        circ.ccx(0, 1, 2).unwrap();
+        circ.barrier_all();
+        circ.measure(0, 0).unwrap();
+        circ.reset(1).unwrap();
+        let reparsed = parse(&emit(&circ)).unwrap();
+        assert_eq!(reparsed.instructions().len(), circ.instructions().len());
+        for (a, b) in reparsed.instructions().iter().zip(circ.instructions()) {
+            assert_eq!(a.op.name(), b.op.name());
+            assert_eq!(a.qubits, b.qubits);
+            if let (Some(ga), Some(gb)) = (a.as_gate(), b.as_gate()) {
+                for (pa, pb) in ga.params().iter().zip(gb.params()) {
+                    assert!((pa - pb).abs() < 1e-12, "param drift {pa} vs {pb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_with_condition() {
+        let mut circ = QuantumCircuit::with_size(1, 2);
+        circ.append_conditional(Gate::X, &[0], "c", 3).unwrap();
+        let qasm = emit(&circ);
+        assert!(qasm.contains("if (c==3) x q[0];"));
+        let reparsed = parse(&qasm).unwrap();
+        assert_eq!(
+            reparsed.instructions()[0].condition,
+            circ.instructions()[0].condition
+        );
+    }
+
+    #[test]
+    fn multi_register_bits_render_with_offsets() {
+        let mut circ = QuantumCircuit::empty();
+        circ.add_qreg("a", 2).unwrap();
+        circ.add_qreg("b", 2).unwrap();
+        circ.cx(1, 2).unwrap(); // a[1] -> b[0]
+        let qasm = emit(&circ);
+        assert!(qasm.contains("cx a[1],b[0];"));
+    }
+
+    #[test]
+    fn pi_fractions_are_pretty() {
+        assert_eq!(render_param(std::f64::consts::PI), "pi");
+        assert_eq!(render_param(-std::f64::consts::FRAC_PI_4), "-pi/4");
+        assert_eq!(render_param(0.5), "0.5");
+    }
+}

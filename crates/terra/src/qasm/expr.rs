@@ -1,0 +1,191 @@
+//! Parameter-expression AST for OpenQASM 2.0.
+//!
+//! Gate parameters in OpenQASM are real-valued expressions over literals,
+//! `pi`, the enclosing gate definition's formal parameters, arithmetic
+//! operators and the unary functions `sin/cos/tan/exp/ln/sqrt`.
+
+use std::collections::HashMap;
+use std::f64::consts::PI;
+
+/// A parsed parameter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal number.
+    Num(f64),
+    /// The constant `pi`.
+    Pi,
+    /// Reference to a formal parameter of the enclosing gate definition.
+    Param(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin unary function application.
+    Func(Func, Box<Expr>),
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation (`^`).
+    Pow,
+}
+
+/// Builtin unary functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+}
+
+impl Func {
+    /// Resolves a function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "tan" => Func::Tan,
+            "exp" => Func::Exp,
+            "ln" => Func::Ln,
+            "sqrt" => Func::Sqrt,
+            _ => return None,
+        })
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression with formal parameters bound by `env`.
+    ///
+    /// Unbound parameters evaluate to `NaN`; the parser guarantees
+    /// well-formed programs never reference unbound names.
+    pub fn eval(&self, env: &HashMap<String, f64>) -> f64 {
+        match self {
+            Expr::Num(v) => *v,
+            Expr::Pi => PI,
+            Expr::Param(name) => env.get(name).copied().unwrap_or(f64::NAN),
+            Expr::Neg(e) => -e.eval(env),
+            Expr::BinOp(op, a, b) => {
+                let (x, y) = (a.eval(env), b.eval(env));
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                }
+            }
+            Expr::Func(f, e) => {
+                let x = e.eval(env);
+                match f {
+                    Func::Sin => x.sin(),
+                    Func::Cos => x.cos(),
+                    Func::Tan => x.tan(),
+                    Func::Exp => x.exp(),
+                    Func::Ln => x.ln(),
+                    Func::Sqrt => x.sqrt(),
+                }
+            }
+        }
+    }
+
+    /// Returns the free parameter names referenced by the expression.
+    pub fn free_params(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Param(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Neg(e) | Expr::Func(_, e) => e.collect_params(out),
+            Expr::BinOp(_, a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn literals_and_pi() {
+        assert_eq!(Expr::Num(2.5).eval(&env(&[])), 2.5);
+        assert_eq!(Expr::Pi.eval(&env(&[])), PI);
+    }
+
+    #[test]
+    fn arithmetic() {
+        // pi/2 + 1
+        let e = Expr::BinOp(
+            BinOp::Add,
+            Box::new(Expr::BinOp(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Num(2.0)))),
+            Box::new(Expr::Num(1.0)),
+        );
+        assert!((e.eval(&env(&[])) - (PI / 2.0 + 1.0)).abs() < 1e-15);
+        let p = Expr::BinOp(BinOp::Pow, Box::new(Expr::Num(2.0)), Box::new(Expr::Num(10.0)));
+        assert_eq!(p.eval(&env(&[])), 1024.0);
+    }
+
+    #[test]
+    fn params_and_negation() {
+        let e = Expr::Neg(Box::new(Expr::Param("theta".into())));
+        assert_eq!(e.eval(&env(&[("theta", 0.5)])), -0.5);
+        assert!(e.eval(&env(&[])).is_nan());
+        assert_eq!(e.free_params(), vec!["theta"]);
+    }
+
+    #[test]
+    fn functions() {
+        let e = Expr::Func(Func::Cos, Box::new(Expr::Num(0.0)));
+        assert_eq!(e.eval(&env(&[])), 1.0);
+        let s = Expr::Func(Func::Sqrt, Box::new(Expr::Num(9.0)));
+        assert_eq!(s.eval(&env(&[])), 3.0);
+        assert_eq!(Func::from_name("sin"), Some(Func::Sin));
+        assert_eq!(Func::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn free_params_deduplicates() {
+        let e = Expr::BinOp(
+            BinOp::Mul,
+            Box::new(Expr::Param("a".into())),
+            Box::new(Expr::BinOp(
+                BinOp::Add,
+                Box::new(Expr::Param("a".into())),
+                Box::new(Expr::Param("b".into())),
+            )),
+        );
+        assert_eq!(e.free_params(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Tokenizer for OpenQASM 2.0 source.
+
+use crate::error::TerraError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// The kinds of OpenQASM 2.0 tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`qreg`, `h`, `myGate`, …).
+    Ident(String),
+    /// Real literal (`0.5`, `1e-3`).
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// Quoted string (`"qelib1.inc"`).
+    Str(String),
+    /// `OPENQASM` keyword (case sensitive in the spec).
+    OpenQasm,
+    /// Punctuation / operators.
+    Symbol(char),
+    /// Two-character `==`.
+    EqEq,
+    /// `->` arrow.
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Real(v) => format!("real {v}"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::OpenQasm => "'OPENQASM'".to_owned(),
+            TokenKind::Symbol(c) => format!("'{c}'"),
+            TokenKind::EqEq => "'=='".to_owned(),
+            TokenKind::Arrow => "'->'".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// Tokenizes OpenQASM 2.0 source text.
+///
+/// # Errors
+///
+/// Returns [`TerraError::QasmParse`] on malformed numbers, unterminated
+/// strings or illegal characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, TerraError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |line: usize, col: usize, msg: String| TerraError::QasmParse { line, col, msg };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: // to end of line.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start_col = col;
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                s.push(bytes[i]);
+                i += 1;
+                col += 1;
+            }
+            let kind = if s == "OPENQASM" { TokenKind::OpenQasm } else { TokenKind::Ident(s) };
+            tokens.push(Token { kind, line, col: start_col });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let mut s = String::new();
+            let mut is_real = false;
+            while i < bytes.len() {
+                let d = bytes[i];
+                if d.is_ascii_digit() {
+                    s.push(d);
+                } else if d == '.' && !is_real {
+                    is_real = true;
+                    s.push(d);
+                } else if (d == 'e' || d == 'E') && i + 1 < bytes.len() {
+                    is_real = true;
+                    s.push(d);
+                    if bytes[i + 1] == '+' || bytes[i + 1] == '-' {
+                        i += 1;
+                        col += 1;
+                        s.push(bytes[i]);
+                    }
+                } else {
+                    break;
+                }
+                i += 1;
+                col += 1;
+            }
+            let kind = if is_real {
+                TokenKind::Real(
+                    s.parse::<f64>()
+                        .map_err(|_| err(line, start_col, format!("invalid real literal '{s}'")))?,
+                )
+            } else {
+                TokenKind::Int(
+                    s.parse::<u64>()
+                        .map_err(|_| err(line, start_col, format!("invalid integer literal '{s}'")))?,
+                )
+            };
+            tokens.push(Token { kind, line, col: start_col });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            i += 1;
+            col += 1;
+            let mut s = String::new();
+            let mut terminated = false;
+            while i < bytes.len() {
+                if bytes[i] == '"' {
+                    terminated = true;
+                    i += 1;
+                    col += 1;
+                    break;
+                }
+                if bytes[i] == '\n' {
+                    break;
+                }
+                s.push(bytes[i]);
+                i += 1;
+                col += 1;
+            }
+            if !terminated {
+                return Err(err(line, start_col, "unterminated string".to_owned()));
+            }
+            tokens.push(Token { kind: TokenKind::Str(s), line, col: start_col });
+            continue;
+        }
+        // Multi-char operators.
+        if c == '=' && i + 1 < bytes.len() && bytes[i + 1] == '=' {
+            tokens.push(Token { kind: TokenKind::EqEq, line, col: start_col });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        if c == '-' && i + 1 < bytes.len() && bytes[i + 1] == '>' {
+            tokens.push(Token { kind: TokenKind::Arrow, line, col: start_col });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        // Single-char symbols.
+        if "(){}[];,+-*/^".contains(c) {
+            tokens.push(Token { kind: TokenKind::Symbol(c), line, col: start_col });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        return Err(err(line, start_col, format!("unexpected character '{c}'")));
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_header() {
+        let k = kinds("OPENQASM 2.0;\ninclude \"qelib1.inc\";");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::OpenQasm,
+                TokenKind::Real(2.0),
+                TokenKind::Symbol(';'),
+                TokenKind::Ident("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Symbol(';'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_gate_application() {
+        let k = kinds("cx q[2],q[3];");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("cx".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::Symbol('['),
+                TokenKind::Int(2),
+                TokenKind::Symbol(']'),
+                TokenKind::Symbol(','),
+                TokenKind::Ident("q".into()),
+                TokenKind::Symbol('['),
+                TokenKind::Int(3),
+                TokenKind::Symbol(']'),
+                TokenKind::Symbol(';'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_measure_arrow_and_condition() {
+        let k = kinds("measure q -> c; if (c==3) x q[0];");
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::EqEq));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = tokenize("// header\nh q[0];").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("h".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(kinds("1e-3")[0], TokenKind::Real(0.001));
+        assert_eq!(kinds("2.5E2")[0], TokenKind::Real(250.0));
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds(".5")[0], TokenKind::Real(0.5));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Ident("h".into()).describe(), "identifier 'h'");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

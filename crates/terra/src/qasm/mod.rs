@@ -1,0 +1,38 @@
+//! OpenQASM 2.0 support: lexer, parser, and emitter.
+//!
+//! OpenQASM 2.0 is the quantum assembly language developed by IBM and used
+//! throughout the paper (its Fig. 1a is an OpenQASM listing). This module
+//! round-trips circuits to and from the language:
+//!
+//! * [`parse`] — full OpenQASM 2.0 front end: registers, the builtin
+//!   `qelib1.inc` gate library, user-defined `gate` blocks (macro-expanded),
+//!   parameter expressions with `pi` and arithmetic, `measure`/`reset`/
+//!   `barrier`, register broadcast, and `if (creg==n)` conditionals;
+//! * [`emit`] — serializer producing spec-conformant source.
+//!
+//! # Examples
+//!
+//! ```
+//! use qukit_terra::qasm;
+//!
+//! # fn main() -> Result<(), qukit_terra::error::TerraError> {
+//! let circ = qasm::parse(r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     h q[0];
+//!     cx q[0],q[1];
+//! "#)?;
+//! let text = qasm::emit(&circ);
+//! assert_eq!(qasm::parse(&text)?.instructions(), circ.instructions());
+//! # Ok(())
+//! # }
+//! ```
+
+mod emit;
+pub mod expr;
+pub mod lexer;
+mod parser;
+
+pub use emit::emit;
+pub use parser::parse;

@@ -1,0 +1,896 @@
+//! Recursive-descent parser for OpenQASM 2.0.
+//!
+//! Produces a [`QuantumCircuit`] directly. User-defined `gate` blocks are
+//! macro-expanded at application time, matching the semantics of the
+//! OpenQASM 2.0 specification. `include "qelib1.inc"` enables the standard
+//! gate library, which this toolchain implements natively (see
+//! [`crate::gate::Gate`]).
+
+use super::expr::{BinOp, Expr, Func};
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::circuit::QuantumCircuit;
+use crate::error::{Result, TerraError};
+use crate::gate::Gate;
+use crate::instruction::{Condition, Instruction};
+use std::collections::HashMap;
+
+/// A user-defined gate body statement.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    /// Call of a (builtin or previously defined) gate.
+    Call { name: String, params: Vec<Expr>, qargs: Vec<String>, line: usize, col: usize },
+    /// Barrier inside a gate body (ignored on expansion, per Qiskit).
+    Barrier,
+}
+
+/// A `gate` definition.
+#[derive(Debug, Clone)]
+struct GateDef {
+    params: Vec<String>,
+    qargs: Vec<String>,
+    body: Vec<BodyOp>,
+}
+
+/// An operand in a quantum operation: a whole register or an indexed bit.
+#[derive(Debug, Clone, PartialEq)]
+enum Argument {
+    Register(String),
+    Bit(String, usize),
+}
+
+/// Parses OpenQASM 2.0 source into a circuit.
+///
+/// # Errors
+///
+/// Returns [`TerraError::QasmParse`] with line/column information for any
+/// syntactic or semantic violation (unknown gate, arity mismatch, broadcast
+/// size mismatch, …).
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::qasm::parse;
+///
+/// # fn main() -> Result<(), qukit_terra::error::TerraError> {
+/// let circ = parse(r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     creg c[2];
+///     h q[0];
+///     cx q[0],q[1];
+///     measure q -> c;
+/// "#)?;
+/// assert_eq!(circ.num_qubits(), 2);
+/// assert_eq!(circ.count_ops()["measure"], 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<QuantumCircuit> {
+    Parser::new(src)?.parse_program()
+}
+
+fn err_at(tok: &Token, msg: impl Into<String>) -> TerraError {
+    TerraError::QasmParse { line: tok.line, col: tok.col, msg: msg.into() }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    circuit: QuantumCircuit,
+    defs: HashMap<String, GateDef>,
+    qelib_included: bool,
+    opaque: Vec<String>,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self> {
+        Ok(Self {
+            tokens: tokenize(src)?,
+            pos: 0,
+            circuit: QuantumCircuit::empty(),
+            defs: HashMap::new(),
+            qelib_included: false,
+            opaque: Vec::new(),
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, tok: &Token, msg: impl Into<String>) -> TerraError {
+        err_at(tok, msg)
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<()> {
+        let tok = self.advance();
+        if tok.kind == TokenKind::Symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(&tok, format!("expected '{sym}', found {}", tok.kind.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Token)> {
+        let tok = self.advance();
+        match &tok.kind {
+            TokenKind::Ident(name) => Ok((name.clone(), tok.clone())),
+            _ => Err(self.error(&tok, format!("expected identifier, found {}", tok.kind.describe()))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Int(v) => Ok(v),
+            _ => Err(self.error(&tok, format!("expected integer, found {}", tok.kind.describe()))),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        if self.peek().kind == TokenKind::Symbol(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_program(mut self) -> Result<QuantumCircuit> {
+        // Header: OPENQASM 2.0;
+        let tok = self.advance();
+        if tok.kind != TokenKind::OpenQasm {
+            return Err(self.error(&tok, "program must start with 'OPENQASM 2.0;'"));
+        }
+        let ver = self.advance();
+        match ver.kind {
+            TokenKind::Real(v) if (v - 2.0).abs() < 1e-9 => {}
+            TokenKind::Int(2) => {}
+            _ => return Err(self.error(&ver, "unsupported OPENQASM version (expected 2.0)")),
+        }
+        self.expect_symbol(';')?;
+
+        while self.peek().kind != TokenKind::Eof {
+            self.parse_statement()?;
+        }
+        Ok(self.circuit)
+    }
+
+    fn parse_statement(&mut self) -> Result<()> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Ident(name) => match name.as_str() {
+                "include" => self.parse_include(),
+                "qreg" => self.parse_reg(true),
+                "creg" => self.parse_reg(false),
+                "gate" => self.parse_gate_def(),
+                "opaque" => self.parse_opaque(),
+                "measure" => {
+                    self.advance();
+                    self.parse_measure(None)
+                }
+                "reset" => {
+                    self.advance();
+                    self.parse_reset()
+                }
+                "barrier" => {
+                    self.advance();
+                    self.parse_barrier()
+                }
+                "if" => self.parse_if(),
+                _ => self.parse_gate_call(None),
+            },
+            _ => Err(self.error(&tok, format!("unexpected {}", tok.kind.describe()))),
+        }
+    }
+
+    fn parse_include(&mut self) -> Result<()> {
+        self.advance(); // include
+        let tok = self.advance();
+        match &tok.kind {
+            TokenKind::Str(path) => {
+                if path == "qelib1.inc" {
+                    self.qelib_included = true;
+                } else {
+                    return Err(self.error(
+                        &tok,
+                        format!("cannot include '{path}': only the builtin 'qelib1.inc' is available"),
+                    ));
+                }
+            }
+            _ => return Err(self.error(&tok, "expected a quoted file name after 'include'")),
+        }
+        self.expect_symbol(';')
+    }
+
+    fn parse_reg(&mut self, quantum: bool) -> Result<()> {
+        self.advance(); // qreg/creg
+        let (name, tok) = self.expect_ident()?;
+        self.expect_symbol('[')?;
+        let size = self.expect_int()? as usize;
+        self.expect_symbol(']')?;
+        self.expect_symbol(';')?;
+        let result = if quantum {
+            self.circuit.add_qreg(&name, size).map(|_| ())
+        } else {
+            self.circuit.add_creg(&name, size).map(|_| ())
+        };
+        result.map_err(|e| self.error(&tok, e.to_string()))
+    }
+
+    fn parse_opaque(&mut self) -> Result<()> {
+        self.advance(); // opaque
+        let (name, _) = self.expect_ident()?;
+        self.opaque.push(name);
+        // Skip to the terminating semicolon.
+        loop {
+            let tok = self.advance();
+            match tok.kind {
+                TokenKind::Symbol(';') => return Ok(()),
+                TokenKind::Eof => {
+                    return Err(self.error(&tok, "unterminated opaque declaration"))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn parse_gate_def(&mut self) -> Result<()> {
+        self.advance(); // gate
+        let (name, name_tok) = self.expect_ident()?;
+        if self.defs.contains_key(&name) {
+            return Err(self.error(&name_tok, format!("gate '{name}' already defined")));
+        }
+        let mut params = Vec::new();
+        if self.eat_symbol('(') {
+            if !self.eat_symbol(')') {
+                loop {
+                    let (p, _) = self.expect_ident()?;
+                    params.push(p);
+                    if self.eat_symbol(')') {
+                        break;
+                    }
+                    self.expect_symbol(',')?;
+                }
+            }
+        }
+        let mut qargs = Vec::new();
+        loop {
+            let (q, _) = self.expect_ident()?;
+            qargs.push(q);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_symbol('{')?;
+        let mut body = Vec::new();
+        while !self.eat_symbol('}') {
+            let tok = self.peek().clone();
+            match &tok.kind {
+                TokenKind::Ident(op) if op == "barrier" => {
+                    self.advance();
+                    // Skip operand list.
+                    while !self.eat_symbol(';') {
+                        let t = self.advance();
+                        if t.kind == TokenKind::Eof {
+                            return Err(self.error(&t, "unterminated gate body"));
+                        }
+                    }
+                    body.push(BodyOp::Barrier);
+                }
+                TokenKind::Ident(op) => {
+                    let op = op.clone();
+                    self.advance();
+                    let call_params = if self.eat_symbol('(') {
+                        self.parse_expr_list(&params)?
+                    } else {
+                        Vec::new()
+                    };
+                    let mut call_qargs = Vec::new();
+                    loop {
+                        let (q, qtok) = self.expect_ident()?;
+                        if !qargs.contains(&q) {
+                            return Err(self.error(
+                                &qtok,
+                                format!("'{q}' is not a qubit argument of gate '{name}'"),
+                            ));
+                        }
+                        call_qargs.push(q);
+                        if !self.eat_symbol(',') {
+                            break;
+                        }
+                    }
+                    self.expect_symbol(';')?;
+                    body.push(BodyOp::Call {
+                        name: op,
+                        params: call_params,
+                        qargs: call_qargs,
+                        line: tok.line,
+                        col: tok.col,
+                    });
+                }
+                TokenKind::Eof => return Err(self.error(&tok, "unterminated gate body")),
+                _ => {
+                    return Err(self.error(
+                        &tok,
+                        format!("unexpected {} in gate body", tok.kind.describe()),
+                    ))
+                }
+            }
+        }
+        self.defs.insert(name, GateDef { params, qargs, body });
+        Ok(())
+    }
+
+    /// Parses a comma-separated expression list up to the closing `)`.
+    fn parse_expr_list(&mut self, formal_params: &[String]) -> Result<Vec<Expr>> {
+        let mut out = Vec::new();
+        if self.eat_symbol(')') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_expr(formal_params)?);
+            if self.eat_symbol(')') {
+                return Ok(out);
+            }
+            self.expect_symbol(',')?;
+        }
+    }
+
+    // Expression grammar: expr -> term (('+'|'-') term)*
+    //                     term -> factor (('*'|'/') factor)*
+    //                     factor -> unary ('^' factor)?
+    //                     unary -> '-' unary | primary
+    //                     primary -> num | pi | ident | func '(' expr ')' | '(' expr ')'
+    fn parse_expr(&mut self, formal: &[String]) -> Result<Expr> {
+        let mut lhs = self.parse_term(formal)?;
+        loop {
+            if self.eat_symbol('+') {
+                let rhs = self.parse_term(formal)?;
+                lhs = Expr::BinOp(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_symbol('-') {
+                let rhs = self.parse_term(formal)?;
+                lhs = Expr::BinOp(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_term(&mut self, formal: &[String]) -> Result<Expr> {
+        let mut lhs = self.parse_factor(formal)?;
+        loop {
+            if self.eat_symbol('*') {
+                let rhs = self.parse_factor(formal)?;
+                lhs = Expr::BinOp(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_symbol('/') {
+                let rhs = self.parse_factor(formal)?;
+                lhs = Expr::BinOp(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_factor(&mut self, formal: &[String]) -> Result<Expr> {
+        let base = self.parse_unary(formal)?;
+        if self.eat_symbol('^') {
+            let exp = self.parse_factor(formal)?;
+            Ok(Expr::BinOp(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_unary(&mut self, formal: &[String]) -> Result<Expr> {
+        if self.eat_symbol('-') {
+            let inner = self.parse_unary(formal)?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.parse_primary(formal)
+    }
+
+    fn parse_primary(&mut self, formal: &[String]) -> Result<Expr> {
+        let tok = self.advance();
+        match &tok.kind {
+            TokenKind::Real(v) => Ok(Expr::Num(*v)),
+            TokenKind::Int(v) => Ok(Expr::Num(*v as f64)),
+            TokenKind::Symbol('(') => {
+                let e = self.parse_expr(formal)?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) if name == "pi" => Ok(Expr::Pi),
+            TokenKind::Ident(name) => {
+                if let Some(func) = Func::from_name(name) {
+                    self.expect_symbol('(')?;
+                    let e = self.parse_expr(formal)?;
+                    self.expect_symbol(')')?;
+                    Ok(Expr::Func(func, Box::new(e)))
+                } else if formal.contains(name) {
+                    Ok(Expr::Param(name.clone()))
+                } else {
+                    Err(self.error(&tok, format!("unknown parameter '{name}'")))
+                }
+            }
+            _ => Err(self.error(
+                &tok,
+                format!("expected expression, found {}", tok.kind.describe()),
+            )),
+        }
+    }
+
+    fn parse_argument(&mut self) -> Result<(Argument, Token)> {
+        let (name, tok) = self.expect_ident()?;
+        if self.eat_symbol('[') {
+            let idx = self.expect_int()? as usize;
+            self.expect_symbol(']')?;
+            Ok((Argument::Bit(name, idx), tok))
+        } else {
+            Ok((Argument::Register(name), tok))
+        }
+    }
+
+    /// Resolves an argument to flat qubit indices (registers broadcast).
+    fn resolve_qarg(&self, arg: &Argument, tok: &Token) -> Result<Vec<usize>> {
+        match arg {
+            Argument::Register(name) => {
+                let reg = self
+                    .circuit
+                    .qreg(name)
+                    .ok_or_else(|| self.error(tok, format!("unknown quantum register '{name}'")))?;
+                Ok(reg.bits().collect())
+            }
+            Argument::Bit(name, idx) => {
+                let reg = self
+                    .circuit
+                    .qreg(name)
+                    .ok_or_else(|| self.error(tok, format!("unknown quantum register '{name}'")))?;
+                let bit = reg.bit(*idx).ok_or_else(|| {
+                    self.error(tok, format!("index {idx} out of range for {}", reg))
+                })?;
+                Ok(vec![bit])
+            }
+        }
+    }
+
+    fn resolve_carg(&self, arg: &Argument, tok: &Token) -> Result<Vec<usize>> {
+        match arg {
+            Argument::Register(name) => {
+                let reg = self
+                    .circuit
+                    .creg(name)
+                    .ok_or_else(|| self.error(tok, format!("unknown classical register '{name}'")))?;
+                Ok(reg.bits().collect())
+            }
+            Argument::Bit(name, idx) => {
+                let reg = self
+                    .circuit
+                    .creg(name)
+                    .ok_or_else(|| self.error(tok, format!("unknown classical register '{name}'")))?;
+                let bit = reg.bit(*idx).ok_or_else(|| {
+                    self.error(tok, format!("index {idx} out of range for {}", reg))
+                })?;
+                Ok(vec![bit])
+            }
+        }
+    }
+
+    fn parse_measure(&mut self, condition: Option<Condition>) -> Result<()> {
+        let (qarg, qtok) = self.parse_argument()?;
+        let tok = self.advance();
+        if tok.kind != TokenKind::Arrow {
+            return Err(self.error(&tok, "expected '->' in measure statement"));
+        }
+        let (carg, ctok) = self.parse_argument()?;
+        self.expect_symbol(';')?;
+        let qubits = self.resolve_qarg(&qarg, &qtok)?;
+        let clbits = self.resolve_carg(&carg, &ctok)?;
+        if qubits.len() != clbits.len() {
+            return Err(self.error(
+                &qtok,
+                format!(
+                    "measure broadcast size mismatch: {} qubits vs {} classical bits",
+                    qubits.len(),
+                    clbits.len()
+                ),
+            ));
+        }
+        for (q, c) in qubits.into_iter().zip(clbits) {
+            let mut inst = Instruction::measure(q, c);
+            inst.condition = condition.clone();
+            self.circuit.push(inst).map_err(|e| err_at(&qtok, e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn parse_reset(&mut self) -> Result<()> {
+        let (arg, tok) = self.parse_argument()?;
+        self.expect_symbol(';')?;
+        for q in self.resolve_qarg(&arg, &tok)? {
+            self.circuit.reset(q).map_err(|e| err_at(&tok, e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn parse_barrier(&mut self) -> Result<()> {
+        let mut qubits = Vec::new();
+        loop {
+            let (arg, tok) = self.parse_argument()?;
+            qubits.extend(self.resolve_qarg(&arg, &tok)?);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_symbol(';')?;
+        let tok = self.peek().clone();
+        self.circuit
+            .push(Instruction::barrier(qubits))
+            .map_err(|e| err_at(&tok, e.to_string()))?;
+        Ok(())
+    }
+
+    fn parse_if(&mut self) -> Result<()> {
+        self.advance(); // if
+        self.expect_symbol('(')?;
+        let (creg_name, ctok) = self.expect_ident()?;
+        let tok = self.advance();
+        if tok.kind != TokenKind::EqEq {
+            return Err(self.error(&tok, "expected '==' in if condition"));
+        }
+        let value = self.expect_int()?;
+        self.expect_symbol(')')?;
+        let reg = self
+            .circuit
+            .creg(&creg_name)
+            .ok_or_else(|| self.error(&ctok, format!("unknown classical register '{creg_name}'")))?;
+        let condition = Condition { clbits: reg.bits().collect(), value };
+        // The conditioned operation.
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Ident(name) if name == "measure" => {
+                self.advance();
+                self.parse_measure(Some(condition))
+            }
+            TokenKind::Ident(name) if name == "reset" => {
+                Err(self.error(&tok, "conditioned reset is not supported"))
+            }
+            TokenKind::Ident(_) => self.parse_gate_call(Some(condition)),
+            _ => Err(self.error(&tok, "expected a quantum operation after if(...)")),
+        }
+    }
+
+    fn parse_gate_call(&mut self, condition: Option<Condition>) -> Result<()> {
+        let (name, name_tok) = self.expect_ident()?;
+        let params = if self.eat_symbol('(') {
+            let exprs = self.parse_expr_list(&[])?;
+            exprs
+                .iter()
+                .map(|e| e.eval(&HashMap::new()))
+                .collect::<Vec<f64>>()
+        } else {
+            Vec::new()
+        };
+        let mut args = Vec::new();
+        loop {
+            let (arg, tok) = self.parse_argument()?;
+            args.push((arg, tok));
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_symbol(';')?;
+
+        // Resolve broadcast: each argument is a list of flat indices.
+        let resolved: Vec<Vec<usize>> = args
+            .iter()
+            .map(|(arg, tok)| self.resolve_qarg(arg, tok))
+            .collect::<Result<_>>()?;
+        let broadcast = resolved.iter().map(|v| v.len()).max().unwrap_or(1);
+        for v in &resolved {
+            if v.len() != 1 && v.len() != broadcast {
+                return Err(self.error(
+                    &name_tok,
+                    format!("broadcast size mismatch in call of '{name}'"),
+                ));
+            }
+        }
+        for k in 0..broadcast {
+            let qubits: Vec<usize> = resolved
+                .iter()
+                .map(|v| if v.len() == 1 { v[0] } else { v[k] })
+                .collect();
+            self.apply_gate(&name, &params, &qubits, &name_tok, condition.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Applies a gate by name: user definitions take precedence, then the
+    /// builtin library (requires `qelib1.inc` except for `U`/`CX`).
+    fn apply_gate(
+        &mut self,
+        name: &str,
+        params: &[f64],
+        qubits: &[usize],
+        tok: &Token,
+        condition: Option<Condition>,
+    ) -> Result<()> {
+        if self.opaque.iter().any(|o| o == name) {
+            return Err(self.error(tok, format!("cannot apply opaque gate '{name}'")));
+        }
+        if let Some(def) = self.defs.get(name).cloned() {
+            if def.params.len() != params.len() {
+                return Err(self.error(
+                    tok,
+                    format!(
+                        "gate '{name}' expects {} parameter(s), found {}",
+                        def.params.len(),
+                        params.len()
+                    ),
+                ));
+            }
+            if def.qargs.len() != qubits.len() {
+                return Err(self.error(
+                    tok,
+                    format!(
+                        "gate '{name}' expects {} qubit(s), found {}",
+                        def.qargs.len(),
+                        qubits.len()
+                    ),
+                ));
+            }
+            let env: HashMap<String, f64> =
+                def.params.iter().cloned().zip(params.iter().copied()).collect();
+            let qmap: HashMap<&str, usize> = def
+                .qargs
+                .iter()
+                .map(|s| s.as_str())
+                .zip(qubits.iter().copied())
+                .collect();
+            for op in &def.body {
+                match op {
+                    BodyOp::Barrier => {}
+                    BodyOp::Call { name: inner, params: exprs, qargs, line, col } => {
+                        let inner_params: Vec<f64> = exprs.iter().map(|e| e.eval(&env)).collect();
+                        let inner_qubits: Vec<usize> =
+                            qargs.iter().map(|q| qmap[q.as_str()]).collect();
+                        let inner_tok =
+                            Token { kind: TokenKind::Ident(inner.clone()), line: *line, col: *col };
+                        self.apply_gate(
+                            inner,
+                            &inner_params,
+                            &inner_qubits,
+                            &inner_tok,
+                            condition.clone(),
+                        )?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Builtins. U and CX are always available; the rest require the
+        // standard header.
+        let is_core = name == "U" || name == "CX";
+        if !is_core && !self.qelib_included {
+            return Err(self.error(
+                tok,
+                format!("unknown gate '{name}' (did you forget to include \"qelib1.inc\"?)"),
+            ));
+        }
+        let gate = Gate::from_name(name, params).ok_or_else(|| {
+            self.error(tok, format!("unknown gate '{name}' or wrong parameter count"))
+        })?;
+        if gate.num_qubits() != qubits.len() {
+            return Err(self.error(
+                tok,
+                format!(
+                    "gate '{name}' expects {} qubit(s), found {}",
+                    gate.num_qubits(),
+                    qubits.len()
+                ),
+            ));
+        }
+        let mut inst = Instruction::gate(gate, qubits.to_vec());
+        inst.condition = condition;
+        self.circuit.push(inst).map_err(|e| err_at(tok, e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::fig1_circuit;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn parse_ok(body: &str) -> QuantumCircuit {
+        parse(&format!("{HEADER}{body}")).expect("valid program")
+    }
+
+    fn parse_err(body: &str) -> TerraError {
+        parse(&format!("{HEADER}{body}")).expect_err("invalid program")
+    }
+
+    #[test]
+    fn parses_fig1_listing_exactly() {
+        // The paper's Fig. 1a, verbatim.
+        let circ = parse(
+            r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+h q[1];
+cx q[1],q[2];
+t q[0];
+cx q[2],q[0];
+cx q[0],q[1];
+"#,
+        )
+        .unwrap();
+        assert_eq!(circ.instructions(), fig1_circuit().instructions());
+    }
+
+    #[test]
+    fn parses_registers_and_measure_broadcast() {
+        let circ = parse_ok("qreg q[3]; creg c[3]; h q[0]; measure q -> c;");
+        assert_eq!(circ.num_qubits(), 3);
+        assert_eq!(circ.num_clbits(), 3);
+        assert_eq!(circ.count_ops()["measure"], 3);
+    }
+
+    #[test]
+    fn broadcast_gate_over_register() {
+        let circ = parse_ok("qreg q[4]; h q;");
+        assert_eq!(circ.count_ops()["h"], 4);
+        let circ = parse_ok("qreg q[3]; qreg r[3]; cx q,r;");
+        assert_eq!(circ.count_ops()["cx"], 3);
+        assert_eq!(circ.instructions()[1].qubits, vec![1, 4]);
+    }
+
+    #[test]
+    fn broadcast_single_against_register() {
+        let circ = parse_ok("qreg q[1]; qreg r[3]; cx q[0],r;");
+        assert_eq!(circ.count_ops()["cx"], 3);
+    }
+
+    #[test]
+    fn broadcast_mismatch_is_error() {
+        let e = parse_err("qreg q[2]; qreg r[3]; cx q,r;");
+        assert!(e.to_string().contains("broadcast"));
+    }
+
+    #[test]
+    fn parameterized_gates_with_expressions() {
+        let circ = parse_ok("qreg q[1]; rx(pi/2) q[0]; u(0.1, -pi, 2*pi) q[0];");
+        match circ.instructions()[0].as_gate() {
+            Some(Gate::Rx(t)) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match circ.instructions()[1].as_gate() {
+            Some(Gate::U(t, p, l)) => {
+                assert!((t - 0.1).abs() < 1e-12);
+                assert!((p + std::f64::consts::PI).abs() < 1e-12);
+                assert!((l - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn core_gates_work_without_include() {
+        let circ = parse("OPENQASM 2.0; qreg q[2]; U(0,0,0) q[0]; CX q[0],q[1];").unwrap();
+        assert_eq!(circ.num_gates(), 2);
+        let err = parse("OPENQASM 2.0; qreg q[1]; h q[0];").unwrap_err();
+        assert!(err.to_string().contains("qelib1.inc"));
+    }
+
+    #[test]
+    fn user_defined_gates_expand() {
+        let circ = parse_ok(
+            "qreg q[2];\n\
+             gate bell a, b { h a; cx a, b; }\n\
+             bell q[0], q[1];",
+        );
+        let names: Vec<&str> =
+            circ.instructions().iter().map(|i| i.op.name()).collect();
+        assert_eq!(names, vec!["h", "cx"]);
+    }
+
+    #[test]
+    fn user_defined_parameterized_gate() {
+        let circ = parse_ok(
+            "qreg q[1];\n\
+             gate rot(t) a { rx(t/2) a; rx(t/2) a; }\n\
+             rot(pi) q[0];",
+        );
+        assert_eq!(circ.count_ops()["rx"], 2);
+        match circ.instructions()[0].as_gate() {
+            Some(Gate::Rx(t)) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_gate_definitions() {
+        let circ = parse_ok(
+            "qreg q[2];\n\
+             gate mycz a, b { h b; cx a, b; h b; }\n\
+             gate pair a, b { mycz a, b; mycz b, a; }\n\
+             pair q[0], q[1];",
+        );
+        assert_eq!(circ.count_ops()["h"], 4);
+        assert_eq!(circ.count_ops()["cx"], 2);
+    }
+
+    #[test]
+    fn conditionals() {
+        let circ = parse_ok("qreg q[1]; creg c[2]; if (c==2) x q[0];");
+        let cond = circ.instructions()[0].condition.as_ref().unwrap();
+        assert_eq!(cond.value, 2);
+        assert_eq!(cond.clbits, vec![0, 1]);
+        let e = parse_err("qreg q[1]; if (nope==1) x q[0];");
+        assert!(e.to_string().contains("unknown classical register"));
+    }
+
+    #[test]
+    fn reset_and_barrier() {
+        let circ = parse_ok("qreg q[2]; reset q[0]; reset q; barrier q[0], q[1];");
+        assert_eq!(circ.count_ops()["reset"], 3);
+        assert_eq!(circ.count_ops()["barrier"], 1);
+    }
+
+    #[test]
+    fn opaque_declares_but_cannot_apply() {
+        let e = parse_err("qreg q[1]; opaque magic a; magic q[0];");
+        assert!(e.to_string().contains("opaque"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];").unwrap_err();
+        match err {
+            TerraError::QasmParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header_and_bad_version() {
+        assert!(parse("qreg q[1];").is_err());
+        assert!(parse("OPENQASM 3.0; qreg q[1];").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_register_and_index() {
+        let e = parse_err("qreg q[2]; h r[0];");
+        assert!(e.to_string().contains("unknown quantum register"));
+        let e = parse_err("qreg q[2]; h q[5];");
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_duplicate_gate_definition() {
+        let e = parse_err("gate g a { h a; } gate g a { x a; } qreg q[1];");
+        assert!(e.to_string().contains("already defined"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        let e = parse_err("qreg q[2]; h q[0], q[1];");
+        assert!(e.to_string().contains("broadcast") || e.to_string().contains("expects"));
+        let e = parse_err("qreg q[1]; cx q[0];");
+        assert!(e.to_string().contains("expects"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Reference statevector semantics for circuits.
+//!
+//! A deliberately simple, obviously-correct executor used as the ground
+//! truth for everything else in the toolchain: transpiler equivalence
+//! checks, decision-diagram validation in `qukit-dd`, and the optimized
+//! simulator in `qukit-aer` are all tested against this module.
+//!
+//! It only handles *unitary* circuits (no measurement/reset); the full
+//! stochastic simulators live in `qukit-aer`.
+
+use crate::circuit::QuantumCircuit;
+use crate::complex::Complex;
+use crate::error::{Result, TerraError};
+use crate::instruction::Operation;
+use crate::matrix::Matrix;
+
+/// Applies a k-qubit gate matrix to a statevector in place.
+///
+/// `qubits[j]` is the circuit qubit corresponding to bit `j` of the matrix
+/// index (little-endian, matching [`crate::gate::Gate::matrix`]).
+///
+/// # Panics
+///
+/// Panics if the state length is not a power of two covering all operand
+/// indices, or the matrix dimension does not match `qubits.len()`.
+pub fn apply_gate(state: &mut [Complex], matrix: &Matrix, qubits: &[usize]) {
+    let n = state.len().trailing_zeros() as usize;
+    assert_eq!(state.len(), 1 << n, "state length must be a power of two");
+    let k = qubits.len();
+    assert_eq!(matrix.rows(), 1 << k, "matrix dimension mismatch");
+    for &q in qubits {
+        assert!(q < n, "operand qubit {q} out of range for {n}-qubit state");
+    }
+
+    let dim = 1usize << k;
+    // Enumerate all base indices with zeros in the operand bit positions by
+    // spreading the bits of `b` around them.
+    let mut sorted = qubits.to_vec();
+    sorted.sort_unstable();
+    let mut scratch_in = vec![Complex::ZERO; dim];
+
+    for b in 0..(1usize << (n - k)) {
+        // Spread b into the non-operand positions.
+        let mut base = b;
+        for &q in &sorted {
+            let low = base & ((1 << q) - 1);
+            let high = (base >> q) << (q + 1);
+            base = high | low;
+        }
+        // Gather, multiply, scatter.
+        for j in 0..dim {
+            let mut idx = base;
+            for (t, &q) in qubits.iter().enumerate() {
+                if (j >> t) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            scratch_in[j] = state[idx];
+        }
+        for j in 0..dim {
+            let mut acc = Complex::ZERO;
+            for (jp, &amp) in scratch_in.iter().enumerate() {
+                acc += matrix[(j, jp)] * amp;
+            }
+            let mut idx = base;
+            for (t, &q) in qubits.iter().enumerate() {
+                if (j >> t) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            state[idx] = acc;
+        }
+    }
+}
+
+/// Runs a unitary circuit on an initial state, returning the final state.
+///
+/// # Errors
+///
+/// Returns [`TerraError::NotInvertible`] (the closest semantic error) when
+/// the circuit contains non-unitary instructions; barriers are skipped.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != 2^circuit.num_qubits()`.
+pub fn evolve(circuit: &QuantumCircuit, initial: &[Complex]) -> Result<Vec<Complex>> {
+    assert_eq!(
+        initial.len(),
+        1usize << circuit.num_qubits(),
+        "initial state dimension mismatch"
+    );
+    let mut state = initial.to_vec();
+    for inst in circuit.instructions() {
+        match &inst.op {
+            Operation::Gate(g) if inst.condition.is_none() => {
+                apply_gate(&mut state, &g.matrix(), &inst.qubits);
+            }
+            Operation::Barrier => {}
+            other => {
+                return Err(TerraError::NotInvertible { instruction: other.name().to_owned() })
+            }
+        }
+    }
+    if circuit.global_phase() != 0.0 {
+        let phase = Complex::cis(circuit.global_phase());
+        for z in &mut state {
+            *z *= phase;
+        }
+    }
+    Ok(state)
+}
+
+/// Runs a unitary circuit starting from `|0…0⟩`.
+///
+/// # Errors
+///
+/// Same conditions as [`evolve`].
+pub fn statevector(circuit: &QuantumCircuit) -> Result<Vec<Complex>> {
+    let mut initial = vec![Complex::ZERO; 1 << circuit.num_qubits()];
+    initial[0] = Complex::ONE;
+    evolve(circuit, &initial)
+}
+
+/// Computes the full unitary matrix of a circuit (column `c` is the image
+/// of basis state `|c⟩`).
+///
+/// Exponential in qubit count — intended for verification on small
+/// circuits (the paper's Fig. 3/4 reproductions use up to 5 qubits).
+///
+/// # Errors
+///
+/// Same conditions as [`evolve`].
+pub fn unitary(circuit: &QuantumCircuit) -> Result<Matrix> {
+    let dim = 1usize << circuit.num_qubits();
+    let mut out = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut basis = vec![Complex::ZERO; dim];
+        basis[col] = Complex::ONE;
+        let final_state = evolve(circuit, &basis)?;
+        for (row, amp) in final_state.into_iter().enumerate() {
+            out[(row, col)] = amp;
+        }
+    }
+    Ok(out)
+}
+
+/// Embeds an `n`-qubit state into an `m`-qubit register (`m >= n`), placing
+/// logical qubit `i` at physical position `positions[i]` and all other
+/// physical qubits in `|0⟩`.
+///
+/// Used to verify mapped circuits: a transpiled circuit on the device is
+/// equivalent to the original iff it maps the embedding under the initial
+/// layout to the embedding under the final layout.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions or duplicate positions.
+pub fn embed_state(state: &[Complex], positions: &[usize], num_physical: usize) -> Vec<Complex> {
+    let n = positions.len();
+    assert_eq!(state.len(), 1 << n, "state dimension mismatch");
+    assert!(n <= num_physical, "too many logical qubits");
+    let mut out = vec![Complex::ZERO; 1 << num_physical];
+    for (idx, &amp) in state.iter().enumerate() {
+        let mut phys = 0usize;
+        for (l, &p) in positions.iter().enumerate() {
+            assert!(p < num_physical, "position out of range");
+            if (idx >> l) & 1 == 1 {
+                phys |= 1 << p;
+            }
+        }
+        out[phys] = amp;
+    }
+    out
+}
+
+/// Generates a Haar-ish random normalized state using the given RNG — for
+/// randomized equivalence testing.
+pub fn random_state(num_qubits: usize, rng: &mut impl rand::Rng) -> Vec<Complex> {
+    let dim = 1usize << num_qubits;
+    let mut state: Vec<Complex> = (0..dim)
+        .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
+    crate::matrix::normalize(&mut state);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::fig1_circuit;
+    use crate::gate::Gate;
+    use crate::matrix::state_fidelity;
+
+    #[test]
+    fn single_x_flips_bit() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.x(1).unwrap();
+        let state = statevector(&circ).unwrap();
+        assert!(state[0b10].is_approx_one());
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let state = statevector(&circ).unwrap();
+        assert!(state[0b00].approx_eq(Complex::FRAC_1_SQRT_2));
+        assert!(state[0b11].approx_eq(Complex::FRAC_1_SQRT_2));
+        assert!(state[0b01].is_approx_zero());
+        assert!(state[0b10].is_approx_zero());
+    }
+
+    #[test]
+    fn cx_operand_order_matters() {
+        // |q0=1, q1=0>: cx(0,1) flips q1; cx(1,0) does nothing.
+        let mut a = QuantumCircuit::new(2);
+        a.x(0).unwrap();
+        a.cx(0, 1).unwrap();
+        assert!(statevector(&a).unwrap()[0b11].is_approx_one());
+
+        let mut b = QuantumCircuit::new(2);
+        b.x(0).unwrap();
+        b.cx(1, 0).unwrap();
+        assert!(statevector(&b).unwrap()[0b01].is_approx_one());
+    }
+
+    #[test]
+    fn ghz_on_nonadjacent_qubits() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 2).unwrap();
+        circ.cx(2, 1).unwrap();
+        let state = statevector(&circ).unwrap();
+        assert!(state[0b000].approx_eq(Complex::FRAC_1_SQRT_2));
+        assert!(state[0b111].approx_eq(Complex::FRAC_1_SQRT_2));
+    }
+
+    #[test]
+    fn unitary_of_fig1_is_unitary_and_matches_composition() {
+        let u = unitary(&fig1_circuit()).unwrap();
+        assert_eq!(u.rows(), 16);
+        assert!(u.is_unitary());
+        // Circuit followed by its inverse is the identity.
+        let mut both = fig1_circuit();
+        both.compose(&fig1_circuit().inverse().unwrap()).unwrap();
+        let id = unitary(&both).unwrap();
+        assert!(id.phase_equal_to(&Matrix::identity(16)).is_some());
+    }
+
+    #[test]
+    fn evolve_rejects_measurement() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        assert!(statevector(&circ).is_err());
+    }
+
+    #[test]
+    fn barriers_are_skipped() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.barrier_all();
+        circ.h(0).unwrap();
+        let state = statevector(&circ).unwrap();
+        assert!(state[0].is_approx_one());
+    }
+
+    #[test]
+    fn global_phase_is_applied() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.add_global_phase(std::f64::consts::PI);
+        let state = statevector(&circ).unwrap();
+        assert!(state[0].approx_eq(Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn three_qubit_gates_in_reference() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.x(0).unwrap();
+        circ.x(1).unwrap();
+        circ.ccx(0, 1, 2).unwrap();
+        let state = statevector(&circ).unwrap();
+        assert!(state[0b111].is_approx_one());
+    }
+
+    #[test]
+    fn apply_gate_on_middle_qubit() {
+        let mut state = vec![Complex::ZERO; 8];
+        state[0] = Complex::ONE;
+        apply_gate(&mut state, &Gate::X.matrix(), &[1]);
+        assert!(state[0b010].is_approx_one());
+    }
+
+    #[test]
+    fn embed_state_places_bits() {
+        // 1-qubit |1> at physical position 2 of a 3-qubit register.
+        let one = vec![Complex::ZERO, Complex::ONE];
+        let embedded = embed_state(&one, &[2], 3);
+        assert!(embedded[0b100].is_approx_one());
+    }
+
+    #[test]
+    fn embed_preserves_superpositions() {
+        let mut bell = QuantumCircuit::new(2);
+        bell.h(0).unwrap();
+        bell.cx(0, 1).unwrap();
+        let state = statevector(&bell).unwrap();
+        // Place logical (0,1) at physical (3,1) of 4 qubits.
+        let embedded = embed_state(&state, &[3, 1], 4);
+        assert!(embedded[0].approx_eq(Complex::FRAC_1_SQRT_2));
+        assert!(embedded[0b1010].approx_eq(Complex::FRAC_1_SQRT_2));
+    }
+
+    #[test]
+    fn random_state_is_normalized() {
+        let mut rng = rand::thread_rng();
+        let state = random_state(4, &mut rng);
+        let norm: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        assert!((state_fidelity(&state, &state) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Quantum and classical registers.
+//!
+//! A circuit owns a flat array of qubits and classical bits; registers are
+//! named, contiguous windows into those arrays — exactly the model OpenQASM
+//! 2.0 exposes with `qreg q[4];` / `creg c[4];`.
+
+use std::fmt;
+
+/// The kind of a register: quantum or classical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterKind {
+    /// Holds qubits (`qreg`).
+    Quantum,
+    /// Holds classical bits (`creg`).
+    Classical,
+}
+
+/// A named, contiguous window of bits inside a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::register::{Register, RegisterKind};
+///
+/// let q = Register::new(RegisterKind::Quantum, "q", 0, 4);
+/// assert_eq!(q.len(), 4);
+/// assert_eq!(q.bit(2), Some(2));
+/// assert_eq!(q.bit(4), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Register {
+    kind: RegisterKind,
+    name: String,
+    start: usize,
+    size: usize,
+}
+
+impl Register {
+    /// Creates a register covering `size` bits starting at flat index
+    /// `start`.
+    pub fn new(kind: RegisterKind, name: impl Into<String>, start: usize, size: usize) -> Self {
+        Self { kind, name: name.into(), start, size }
+    }
+
+    /// The register kind.
+    pub fn kind(&self) -> RegisterKind {
+        self.kind
+    }
+
+    /// The register name as written in OpenQASM.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First flat index covered by this register.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of bits in the register.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` for a zero-width register.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Flat index of the `offset`-th bit, or `None` if out of range.
+    pub fn bit(&self, offset: usize) -> Option<usize> {
+        if offset < self.size {
+            Some(self.start + offset)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when the flat index `bit` belongs to this register.
+    pub fn contains(&self, bit: usize) -> bool {
+        bit >= self.start && bit < self.start + self.size
+    }
+
+    /// Iterates over the flat indices covered by this register.
+    pub fn bits(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.size
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.kind {
+            RegisterKind::Quantum => "qreg",
+            RegisterKind::Classical => "creg",
+        };
+        write!(f, "{kw} {}[{}]", self.name, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowing() {
+        let r = Register::new(RegisterKind::Quantum, "a", 3, 2);
+        assert_eq!(r.bit(0), Some(3));
+        assert_eq!(r.bit(1), Some(4));
+        assert_eq!(r.bit(2), None);
+        assert!(r.contains(3));
+        assert!(r.contains(4));
+        assert!(!r.contains(5));
+        assert_eq!(r.bits().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn empty_register() {
+        let r = Register::new(RegisterKind::Classical, "c", 0, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.bit(0), None);
+    }
+
+    #[test]
+    fn display_is_qasm() {
+        let q = Register::new(RegisterKind::Quantum, "q", 0, 4);
+        assert_eq!(q.to_string(), "qreg q[4]");
+        let c = Register::new(RegisterKind::Classical, "c", 0, 2);
+        assert_eq!(c.to_string(), "creg c[2]");
+    }
+}

@@ -1,0 +1,437 @@
+//! Decomposition of non-elementary gates.
+//!
+//! The paper (Section II-B): *"the user first has to decompose all
+//! non-elementary quantum operations (e.g. Toffoli gate, SWAP gate, or
+//! Fredkin gate) to the elementary operations U(θ, φ, λ) and CNOT"*. This
+//! pass rewrites every multi-qubit gate into `{single-qubit, CX}` and can
+//! optionally rewrite all single-qubit gates into [`Gate::U`].
+
+use crate::circuit::QuantumCircuit;
+use crate::error::Result;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Emits the `{1q, CX}` expansion of `gate` on `q` into `out`.
+///
+/// Single-qubit gates and CX pass through unchanged. The expansions are the
+/// standard `qelib1.inc` definitions (verified unitary-equivalent in the
+/// test suite).
+pub fn expand_gate(gate: Gate, q: &[usize], out: &mut Vec<Instruction>) {
+    use Gate::*;
+    let g1 = |g: Gate, a: usize, out: &mut Vec<Instruction>| {
+        out.push(Instruction::gate(g, vec![a]));
+    };
+    let cx = |c: usize, t: usize, out: &mut Vec<Instruction>| {
+        out.push(Instruction::gate(CX, vec![c, t]));
+    };
+    match gate {
+        // Already elementary.
+        CX => cx(q[0], q[1], out),
+        g if g.num_qubits() == 1 => g1(g, q[0], out),
+        CZ => {
+            g1(H, q[1], out);
+            cx(q[0], q[1], out);
+            g1(H, q[1], out);
+        }
+        CY => {
+            g1(Sdg, q[1], out);
+            cx(q[0], q[1], out);
+            g1(S, q[1], out);
+        }
+        CH => {
+            // qelib1.inc: ch a,b
+            let (a, b) = (q[0], q[1]);
+            g1(H, b, out);
+            g1(Sdg, b, out);
+            cx(a, b, out);
+            g1(H, b, out);
+            g1(T, b, out);
+            cx(a, b, out);
+            g1(T, b, out);
+            g1(H, b, out);
+            g1(S, b, out);
+            g1(X, b, out);
+            g1(S, a, out);
+        }
+        Crz(t) => {
+            let (a, b) = (q[0], q[1]);
+            g1(Rz(t / 2.0), b, out);
+            cx(a, b, out);
+            g1(Rz(-t / 2.0), b, out);
+            cx(a, b, out);
+        }
+        Crx(t) => {
+            let (a, b) = (q[0], q[1]);
+            g1(H, b, out);
+            g1(Rz(t / 2.0), b, out);
+            cx(a, b, out);
+            g1(Rz(-t / 2.0), b, out);
+            cx(a, b, out);
+            g1(H, b, out);
+        }
+        Cry(t) => {
+            let (a, b) = (q[0], q[1]);
+            g1(Ry(t / 2.0), b, out);
+            cx(a, b, out);
+            g1(Ry(-t / 2.0), b, out);
+            cx(a, b, out);
+        }
+        Cp(t) => {
+            let (a, b) = (q[0], q[1]);
+            g1(Phase(t / 2.0), a, out);
+            cx(a, b, out);
+            g1(Phase(-t / 2.0), b, out);
+            cx(a, b, out);
+            g1(Phase(t / 2.0), b, out);
+        }
+        Cu(t, p, l) => {
+            // qelib1.inc cu3.
+            let (a, b) = (q[0], q[1]);
+            g1(Phase((l + p) / 2.0), a, out);
+            g1(Phase((l - p) / 2.0), b, out);
+            cx(a, b, out);
+            g1(U(-t / 2.0, 0.0, -(p + l) / 2.0), b, out);
+            cx(a, b, out);
+            g1(U(t / 2.0, p, 0.0), b, out);
+        }
+        Swap => {
+            cx(q[0], q[1], out);
+            cx(q[1], q[0], out);
+            cx(q[0], q[1], out);
+        }
+        Rzz(t) => {
+            cx(q[0], q[1], out);
+            g1(Rz(t), q[1], out);
+            cx(q[0], q[1], out);
+        }
+        Rxx(t) => {
+            g1(H, q[0], out);
+            g1(H, q[1], out);
+            cx(q[0], q[1], out);
+            g1(Rz(t), q[1], out);
+            cx(q[0], q[1], out);
+            g1(H, q[0], out);
+            g1(H, q[1], out);
+        }
+        Ccx => {
+            // Standard 6-CX Toffoli decomposition.
+            let (a, b, c) = (q[0], q[1], q[2]);
+            g1(H, c, out);
+            cx(b, c, out);
+            g1(Tdg, c, out);
+            cx(a, c, out);
+            g1(T, c, out);
+            cx(b, c, out);
+            g1(Tdg, c, out);
+            cx(a, c, out);
+            g1(T, b, out);
+            g1(T, c, out);
+            g1(H, c, out);
+            cx(a, b, out);
+            g1(T, a, out);
+            g1(Tdg, b, out);
+            cx(a, b, out);
+        }
+        Ccz => {
+            g1(H, q[2], out);
+            expand_gate(Ccx, q, out);
+            g1(H, q[2], out);
+        }
+        Cswap => {
+            // qelib1.inc: cx c,b; ccx a,b,c; cx c,b  with (a,b,c)=(ctrl,x,y)
+            let (a, b, c) = (q[0], q[1], q[2]);
+            cx(c, b, out);
+            expand_gate(Ccx, &[a, b, c], out);
+            cx(c, b, out);
+        }
+        g => unreachable!("expand_gate: unhandled gate {g:?}"),
+    }
+}
+
+/// Rewrites every multi-qubit gate of the circuit into `{1q, CX}`.
+///
+/// Measurements, resets, barriers and conditioned gates pass through
+/// unchanged (conditioned multi-qubit gates have the condition copied onto
+/// every expanded instruction, preserving semantics because the condition
+/// register cannot change mid-expansion).
+///
+/// # Errors
+///
+/// Currently infallible for the standard library, but returns `Result` to
+/// keep the pass signature uniform.
+pub fn decompose_to_cx_basis(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    let mut buffer = Vec::new();
+    for inst in circuit.instructions() {
+        match inst.as_gate() {
+            Some(&g) if g.num_qubits() > 1 && g != Gate::CX => {
+                buffer.clear();
+                expand_gate(g, &inst.qubits, &mut buffer);
+                for mut expanded in buffer.drain(..) {
+                    expanded.condition = inst.condition.clone();
+                    out.push(expanded)?;
+                }
+            }
+            _ => {
+                out.push(inst.clone())?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites every single-qubit gate into the hardware-elementary
+/// [`Gate::U`], tracking the global phase so the result is *exactly*
+/// equivalent (not just up to phase).
+///
+/// # Errors
+///
+/// Currently infallible; `Result` for pass-signature uniformity.
+pub fn rewrite_1q_to_u(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    for inst in circuit.instructions() {
+        match inst.as_gate() {
+            Some(&g) if g.num_qubits() == 1 => {
+                let u = g.to_u().expect("all 1q gates convert to U");
+                // Track the global phase difference exactly.
+                let phase = u
+                    .matrix()
+                    .phase_equal_to(&g.matrix())
+                    .expect("to_u is phase-equivalent");
+                let mut rewritten = inst.clone();
+                rewritten.op = crate::instruction::Operation::Gate(u);
+                if inst.condition.is_none() {
+                    out.add_global_phase(-phase);
+                }
+                out.push(rewritten)?;
+            }
+            _ => {
+                out.push(inst.clone())?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Counts the gates a circuit would need in the elementary basis — the
+/// "cost" metric used when comparing mapping strategies.
+pub fn elementary_gate_count(circuit: &QuantumCircuit) -> usize {
+    let mut count = 0;
+    let mut buffer = Vec::new();
+    for inst in circuit.instructions() {
+        if let Some(&g) = inst.as_gate() {
+            if g.num_qubits() > 1 && g != Gate::CX {
+                buffer.clear();
+                expand_gate(g, &inst.qubits, &mut buffer);
+                count += buffer.len();
+            } else {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Returns `U(θ,φ,λ)` angles equivalent to an arbitrary 2x2 unitary, plus
+/// the global phase `α` such that `matrix = e^{iα}·U(θ,φ,λ)`.
+///
+/// This is the ZYZ Euler decomposition the paper names in Section II-B.
+///
+/// # Panics
+///
+/// Panics if the matrix is not 2x2 (unitarity is assumed, not checked).
+pub fn zyz_decompose(matrix: &crate::matrix::Matrix) -> (f64, f64, f64, f64) {
+    assert_eq!(matrix.rows(), 2, "zyz_decompose requires a 2x2 matrix");
+    // Scale to SU(2): divide by sqrt(det).
+    let det = matrix[(0, 0)] * matrix[(1, 1)] - matrix[(0, 1)] * matrix[(1, 0)];
+    let scale = det.sqrt().recip();
+    let a = matrix[(0, 0)] * scale;
+    let c = matrix[(1, 0)] * scale;
+    let d = matrix[(1, 1)] * scale;
+    // SU(2): a = cos(θ/2) e^{-i(φ+λ)/2}, c = sin(θ/2) e^{i(φ-λ)/2}.
+    let theta = 2.0 * c.norm().atan2(a.norm());
+    let (phi, lam) = if c.norm() < 1e-12 {
+        // Diagonal: only φ+λ is determined.
+        (2.0 * d.arg(), 0.0)
+    } else if a.norm() < 1e-12 {
+        // Anti-diagonal: only φ-λ is determined.
+        (2.0 * c.arg(), 0.0)
+    } else {
+        let sum = 2.0 * d.arg();
+        let diff = 2.0 * c.arg();
+        ((sum + diff) / 2.0, (sum - diff) / 2.0)
+    };
+    // Recover the exact global phase by comparison.
+    let candidate = Gate::U(theta, phi, lam).matrix();
+    let alpha = matrix
+        .phase_equal_to(&candidate)
+        .expect("ZYZ decomposition must be phase-equivalent");
+    (theta, phi, lam, alpha)
+}
+
+/// Convenience constants used by direction-fixing: the H gate as a `U`.
+pub const H_AS_U: Gate = Gate::U(FRAC_PI_2, 0.0, PI);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference;
+
+    fn check_equivalent(gate: Gate) {
+        let n = gate.num_qubits();
+        let qubits: Vec<usize> = (0..n).collect();
+        let mut original = QuantumCircuit::new(n);
+        original.append(gate, &qubits).unwrap();
+        let expanded = decompose_to_cx_basis(&original).unwrap();
+        // No multi-qubit gate except CX remains.
+        for inst in expanded.instructions() {
+            if let Some(g) = inst.as_gate() {
+                assert!(
+                    g.num_qubits() == 1 || *g == Gate::CX,
+                    "{gate:?} expansion left {g:?}"
+                );
+            }
+        }
+        let u_orig = reference::unitary(&original).unwrap();
+        let u_exp = reference::unitary(&expanded).unwrap();
+        assert!(
+            u_exp.phase_equal_to(&u_orig).is_some(),
+            "{gate:?} expansion is not equivalent"
+        );
+    }
+
+    #[test]
+    fn all_two_qubit_expansions_are_equivalent() {
+        for gate in [
+            Gate::CZ,
+            Gate::CY,
+            Gate::CH,
+            Gate::Crz(0.7),
+            Gate::Crx(-1.3),
+            Gate::Cry(2.1),
+            Gate::Cp(0.4),
+            Gate::Cu(0.3, 0.8, -0.5),
+            Gate::Swap,
+            Gate::Rzz(1.1),
+            Gate::Rxx(-0.6),
+        ] {
+            check_equivalent(gate);
+        }
+    }
+
+    #[test]
+    fn all_three_qubit_expansions_are_equivalent() {
+        for gate in [Gate::Ccx, Gate::Ccz, Gate::Cswap] {
+            check_equivalent(gate);
+        }
+    }
+
+    #[test]
+    fn toffoli_uses_six_cnots() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.ccx(0, 1, 2).unwrap();
+        let expanded = decompose_to_cx_basis(&circ).unwrap();
+        assert_eq!(expanded.count_ops()["cx"], 6);
+    }
+
+    #[test]
+    fn measurements_and_barriers_pass_through() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.swap(0, 1).unwrap();
+        circ.barrier_all();
+        circ.measure(0, 0).unwrap();
+        let expanded = decompose_to_cx_basis(&circ).unwrap();
+        assert_eq!(expanded.count_ops()["cx"], 3);
+        assert_eq!(expanded.count_ops()["barrier"], 1);
+        assert_eq!(expanded.count_ops()["measure"], 1);
+    }
+
+    #[test]
+    fn conditions_are_copied_to_expansion() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        circ.append_conditional(Gate::Swap, &[0, 1], "c", 1).unwrap();
+        let expanded = decompose_to_cx_basis(&circ).unwrap();
+        assert!(expanded
+            .instructions()
+            .iter()
+            .all(|i| i.condition.is_some()));
+    }
+
+    #[test]
+    fn rewrite_to_u_is_exactly_equivalent() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.t(1).unwrap();
+        circ.sdg(0).unwrap();
+        circ.x(1).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.rx(0.3, 0).unwrap();
+        let rewritten = rewrite_1q_to_u(&circ).unwrap();
+        for inst in rewritten.instructions() {
+            if let Some(g) = inst.as_gate() {
+                assert!(matches!(g, Gate::U(..) | Gate::CX), "left {g:?}");
+            }
+        }
+        let u1 = reference::unitary(&circ).unwrap();
+        let u2 = reference::unitary(&rewritten).unwrap();
+        assert!(u2.approx_eq_eps(&u1, 1e-9), "exact equivalence expected");
+    }
+
+    #[test]
+    fn elementary_count_matches_expansion() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.ccx(0, 1, 2).unwrap();
+        let expanded = decompose_to_cx_basis(&circ).unwrap();
+        assert_eq!(elementary_gate_count(&circ), expanded.num_gates());
+    }
+
+    #[test]
+    fn zyz_recovers_standard_gates() {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.3),
+            Gate::Ry(-2.5),
+            Gate::Rz(1.0),
+            Gate::U(0.1, 0.2, 0.3),
+        ] {
+            let m = g.matrix();
+            let (theta, phi, lam, alpha) = zyz_decompose(&m);
+            let rebuilt = Gate::U(theta, phi, lam).matrix().scale(crate::complex::Complex::cis(alpha));
+            assert!(rebuilt.approx_eq_eps(&m, 1e-9), "zyz failed for {g:?}");
+        }
+    }
+
+    #[test]
+    fn zyz_handles_products() {
+        // Product of several gates: H T S H Rx(0.4)
+        let product = Gate::H
+            .matrix()
+            .matmul(&Gate::T.matrix())
+            .matmul(&Gate::S.matrix())
+            .matmul(&Gate::H.matrix())
+            .matmul(&Gate::Rx(0.4).matrix());
+        let (theta, phi, lam, alpha) = zyz_decompose(&product);
+        let rebuilt = Gate::U(theta, phi, lam)
+            .matrix()
+            .scale(crate::complex::Complex::cis(alpha));
+        assert!(rebuilt.approx_eq_eps(&product, 1e-9));
+        assert!(Matrix::hadamard().is_unitary()); // sanity anchor
+    }
+
+    #[test]
+    fn h_as_u_constant_is_h() {
+        assert!(H_AS_U.matrix().phase_equal_to(&Gate::H.matrix()).is_some());
+    }
+}

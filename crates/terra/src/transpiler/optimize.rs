@@ -1,0 +1,618 @@
+//! Gate-level optimization passes.
+//!
+//! The paper motivates transpiler optimization as "minimizing occurrences
+//! of CNOT gates" and cleaning up the H/SWAP overhead introduced by
+//! mapping. Two passes are provided:
+//!
+//! * [`cancel_inverse_pairs`] — removes adjacent gate/inverse pairs
+//!   (`H·H`, `CX·CX`, `T·T†`, …) to a fixpoint;
+//! * [`merge_single_qubit_runs`] — multiplies out maximal runs of
+//!   single-qubit gates per wire and resynthesizes each as one `U(θ,φ,λ)`
+//!   via ZYZ Euler decomposition, dropping runs that are the identity.
+
+use super::decompose::zyz_decompose;
+use crate::circuit::QuantumCircuit;
+use crate::complex::EPSILON;
+use crate::error::Result;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+
+/// Removes adjacent inverse pairs of plain (unconditioned) gates until no
+/// more cancellations are possible. Returns the optimized circuit and the
+/// number of gates removed.
+pub fn cancel_inverse_pairs(circuit: &QuantumCircuit) -> (QuantumCircuit, usize) {
+    let insts = circuit.instructions();
+    let num_wires = circuit.num_qubits() + circuit.num_clbits();
+    let mut alive: Vec<bool> = vec![true; insts.len()];
+    let mut removed = 0usize;
+    // Iterate to fixpoint: each sweep tracks, per wire, the previous alive
+    // instruction; a gate cancels its predecessor when the predecessor is
+    // the same instruction on *all* of its wires and is the exact inverse
+    // with identical operand order.
+    loop {
+        let mut changed = false;
+        let mut last_on_wire: Vec<Option<usize>> = vec![None; num_wires];
+        for i in 0..insts.len() {
+            if !alive[i] {
+                continue;
+            }
+            let inst = &insts[i];
+            let wires = wires_of(inst, circuit.num_qubits());
+            if inst.is_plain_gate() {
+                let gate = *inst.as_gate().expect("plain gate");
+                // Predecessor must be identical on every wire.
+                let pred = wires.iter().map(|&w| last_on_wire[w]).collect::<Vec<_>>();
+                if let Some(&Some(p)) = pred.first() {
+                    let same_on_all = pred.iter().all(|&x| x == Some(p));
+                    if same_on_all && alive[p] {
+                        let prev = &insts[p];
+                        if prev.is_plain_gate()
+                            && prev.qubits == inst.qubits
+                            && prev.as_gate() == Some(&gate.inverse())
+                        {
+                            alive[i] = false;
+                            alive[p] = false;
+                            removed += 2;
+                            changed = true;
+                            // The wires' earlier frontier is rediscovered on
+                            // the next sweep.
+                        }
+                    }
+                }
+            }
+            if alive[i] {
+                for &w in &wires {
+                    last_on_wire[w] = Some(i);
+                }
+            } else {
+                // Clear the frontier on these wires so the next gate does
+                // not cancel against something separated by the removed
+                // pair's former position (handled next sweep).
+                for &w in &wires {
+                    last_on_wire[w] = None;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    for (i, inst) in insts.iter().enumerate() {
+        if alive[i] {
+            out.push(inst.clone()).expect("operands already validated");
+        }
+    }
+    (out, removed)
+}
+
+fn wires_of(inst: &Instruction, num_qubits: usize) -> Vec<usize> {
+    let mut wires = inst.qubits.clone();
+    for &c in &inst.clbits {
+        wires.push(num_qubits + c);
+    }
+    if let Some(cond) = &inst.condition {
+        for &c in &cond.clbits {
+            wires.push(num_qubits + c);
+        }
+    }
+    wires
+}
+
+/// Merges maximal runs of consecutive plain single-qubit gates on each wire
+/// into a single [`Gate::U`]. Runs whose product is the identity (up to
+/// global phase) are dropped entirely, with the phase folded into the
+/// circuit's global phase. Returns the circuit and the number of
+/// instructions eliminated (merged away or dropped).
+pub fn merge_single_qubit_runs(circuit: &QuantumCircuit) -> (QuantumCircuit, usize) {
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    // Pending 1q product per qubit (matrix, source gate count).
+    let mut pending: Vec<Option<(crate::matrix::Matrix, usize)>> =
+        vec![None; circuit.num_qubits()];
+    let mut eliminated = 0usize;
+
+    let flush = |q: usize,
+                 pending: &mut Vec<Option<(crate::matrix::Matrix, usize)>>,
+                 out: &mut QuantumCircuit,
+                 eliminated: &mut usize| {
+        if let Some((matrix, count)) = pending[q].take() {
+            // Identity up to phase?
+            if let Some(phase) =
+                matrix.phase_equal_to(&crate::matrix::Matrix::identity(2))
+            {
+                out.add_global_phase(phase);
+                *eliminated += count;
+                return;
+            }
+            let (theta, phi, lam, alpha) = zyz_decompose(&matrix);
+            // Prefer emitting the simpler original gate for length-1 runs
+            // is handled by the caller; here we always emit U.
+            out.add_global_phase(alpha);
+            out.append(Gate::U(theta, phi, lam), &[q]).expect("valid qubit");
+            *eliminated += count - 1;
+        }
+    };
+
+    for inst in circuit.instructions() {
+        let is_plain_1q = inst.is_plain_gate() && inst.qubits.len() == 1;
+        if is_plain_1q {
+            let q = inst.qubits[0];
+            let g = inst.as_gate().expect("plain gate");
+            let m = g.matrix();
+            pending[q] = Some(match pending[q].take() {
+                // Later gates multiply on the left.
+                Some((acc, count)) => (m.matmul(&acc), count + 1),
+                None => (m, 1),
+            });
+        } else {
+            // Any other instruction flushes the wires it touches.
+            for &q in &inst.qubits {
+                flush(q, &mut pending, &mut out, &mut eliminated);
+            }
+            if let Some(cond) = &inst.condition {
+                let _ = cond; // classical wires carry no pending 1q product
+            }
+            out.push(inst.clone()).expect("operands already validated");
+        }
+    }
+    for q in 0..circuit.num_qubits() {
+        flush(q, &mut pending, &mut out, &mut eliminated);
+    }
+    (out, eliminated)
+}
+
+/// Drops `U` gates that are numerically the identity and explicit
+/// [`Gate::I`] gates. Returns circuit and count removed.
+pub fn drop_identities(circuit: &QuantumCircuit) -> (QuantumCircuit, usize) {
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    let mut removed = 0usize;
+    for inst in circuit.instructions() {
+        let is_identity = match inst.as_gate() {
+            Some(Gate::I) => inst.condition.is_none(),
+            Some(Gate::U(t, p, l)) if inst.condition.is_none() => {
+                t.abs() < EPSILON && (p + l).abs() < EPSILON
+            }
+            Some(Gate::Rz(t)) | Some(Gate::Phase(t)) | Some(Gate::Rx(t)) | Some(Gate::Ry(t))
+                if inst.condition.is_none() =>
+            {
+                t.abs() < EPSILON
+            }
+            _ => false,
+        };
+        if is_identity {
+            removed += 1;
+        } else {
+            out.push(inst.clone()).expect("operands already validated");
+        }
+    }
+    (out, removed)
+}
+
+/// Runs the full optimization pipeline (cancellation → 1q merge →
+/// identity drop) repeatedly until the gate count stops improving.
+///
+/// # Errors
+///
+/// Infallible today; `Result` keeps the pass signature uniform.
+pub fn optimize_to_fixpoint(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+    let mut current = circuit.clone();
+    loop {
+        let before = current.size();
+        let (c1, _) = cancel_inverse_pairs(&current);
+        let (c2, _) = cancel_commuting_cx_pairs(&c1);
+        let (c3, _) = merge_single_qubit_runs(&c2);
+        let (c4, _) = drop_identities(&c3);
+        current = c4;
+        if current.size() >= before {
+            return Ok(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference;
+
+    fn assert_equiv(a: &QuantumCircuit, b: &QuantumCircuit) {
+        let ua = reference::unitary(a).unwrap();
+        let ub = reference::unitary(b).unwrap();
+        assert!(
+            ua.approx_eq_eps(&ub, 1e-8),
+            "circuits not exactly equivalent"
+        );
+    }
+
+    #[test]
+    fn hh_cancels() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.h(0).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 2);
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn t_tdg_cancels() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.t(0).unwrap();
+        circ.tdg(0).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&circ);
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn cx_pair_cancels_only_with_same_orientation() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&circ);
+        assert_eq!(opt.size(), 0);
+
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.cx(1, 0).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.size(), 2);
+    }
+
+    #[test]
+    fn cancellation_cascades_to_fixpoint() {
+        // X H H X: inner pair cancels, exposing the outer pair.
+        let mut circ = QuantumCircuit::new(1);
+        circ.x(0).unwrap();
+        circ.h(0).unwrap();
+        circ.h(0).unwrap();
+        circ.x(0).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 4);
+        assert_eq!(opt.size(), 0);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.h(0).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.size(), 3);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.h(0).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.size(), 3);
+    }
+
+    #[test]
+    fn conditioned_gates_never_cancel() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.append_conditional(Gate::X, &[0], "c", 1).unwrap();
+        circ.append_conditional(Gate::X, &[0], "c", 1).unwrap();
+        let (opt, removed) = cancel_inverse_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.size(), 2);
+    }
+
+    #[test]
+    fn merge_collapses_run_to_single_u() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.t(0).unwrap();
+        circ.s(0).unwrap();
+        circ.rx(0.3, 0).unwrap();
+        let (opt, eliminated) = merge_single_qubit_runs(&circ);
+        assert_eq!(opt.size(), 1);
+        assert_eq!(eliminated, 3);
+        assert!(matches!(opt.instructions()[0].as_gate(), Some(Gate::U(..))));
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn merge_drops_identity_runs_and_tracks_phase() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.s(0).unwrap();
+        circ.s(0).unwrap();
+        circ.z(0).unwrap(); // S·S·Z = Z·Z = I
+        let (opt, _) = merge_single_qubit_runs(&circ);
+        assert_eq!(opt.num_gates(), 0);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn merge_respects_cx_boundaries() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.t(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.s(0).unwrap();
+        circ.h(1).unwrap();
+        let (opt, _) = merge_single_qubit_runs(&circ);
+        // h,t merge into one U; s and h stay single (each becomes one U).
+        assert_eq!(opt.num_gates(), 4);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn merge_keeps_measurement_order() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        let (opt, _) = merge_single_qubit_runs(&circ);
+        assert_eq!(opt.instructions()[0].op.name(), "u");
+        assert_eq!(opt.instructions()[1].op.name(), "measure");
+    }
+
+    #[test]
+    fn drop_identities_removes_trivial_gates() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.id(0).unwrap();
+        circ.u(0.0, 0.5, -0.5, 0).unwrap(); // U(0, φ, -φ) == I
+        circ.rz(0.0, 0).unwrap();
+        circ.x(0).unwrap();
+        let (opt, removed) = drop_identities(&circ);
+        assert_eq!(removed, 3);
+        assert_eq!(opt.size(), 1);
+    }
+
+    #[test]
+    fn fixpoint_optimization_is_equivalent_and_smaller() {
+        // Mapped-style circuit: many H pairs around CXs.
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.h(1).unwrap();
+        circ.cx(1, 0).unwrap();
+        circ.h(0).unwrap();
+        circ.h(1).unwrap();
+        circ.h(0).unwrap();
+        circ.h(1).unwrap();
+        circ.cx(1, 0).unwrap();
+        circ.h(0).unwrap();
+        circ.h(1).unwrap();
+        let opt = optimize_to_fixpoint(&circ).unwrap();
+        assert!(opt.size() < circ.size());
+        assert_equiv(&circ, &opt);
+        // The H-pairs cancel leaving CX·CX which cancels too: empty circuit.
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn optimization_preserves_global_phase_exactly() {
+        let mut circ = QuantumCircuit::new(1);
+        circ.z(0).unwrap();
+        circ.x(0).unwrap();
+        circ.z(0).unwrap();
+        circ.x(0).unwrap(); // Z X Z X = -I
+        let opt = optimize_to_fixpoint(&circ).unwrap();
+        assert_eq!(opt.num_gates(), 0);
+        let state = reference::statevector(&opt).unwrap();
+        assert!(state[0].approx_eq(crate::complex::c64(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn sanity_unitary_identity() {
+        assert!(Matrix::identity(4).is_unitary());
+    }
+}
+
+/// Cancels CX pairs separated only by gates that *commute* with the CX on
+/// the wires they share: diagonal gates (and other CXs sharing the same
+/// control) on the control wire; `X`/`Rx` (and other CXs sharing the same
+/// target) on the target wire. This catches the cancellations plain
+/// adjacency misses, e.g. `CX(0,1) · T(0) · CX(0,1) = T(0)`.
+///
+/// Returns the optimized circuit and the number of gates removed.
+pub fn cancel_commuting_cx_pairs(circuit: &QuantumCircuit) -> (QuantumCircuit, usize) {
+    let insts = circuit.instructions();
+    let mut alive = vec![true; insts.len()];
+    let mut removed = 0usize;
+
+    let commutes_on_control = |inst: &Instruction, control: usize| -> bool {
+        if !inst.is_plain_gate() {
+            return false;
+        }
+        match inst.as_gate() {
+            Some(Gate::CX) => inst.qubits[0] == control,
+            Some(g) if g.num_qubits() == 1 => g.is_diagonal(),
+            _ => false,
+        }
+    };
+    let commutes_on_target = |inst: &Instruction, target: usize| -> bool {
+        if !inst.is_plain_gate() {
+            return false;
+        }
+        match inst.as_gate() {
+            Some(Gate::CX) => inst.qubits[1] == target,
+            Some(Gate::X) | Some(Gate::Rx(_)) | Some(Gate::Sx) | Some(Gate::Sxdg) => {
+                inst.qubits[0] == target
+            }
+            _ => false,
+        }
+    };
+
+    loop {
+        let mut changed = false;
+        'outer: for i in 0..insts.len() {
+            if !alive[i] || !insts[i].is_plain_gate() || insts[i].as_gate() != Some(&Gate::CX) {
+                continue;
+            }
+            let (c, t) = (insts[i].qubits[0], insts[i].qubits[1]);
+            // Find the next alive CX with the same operands such that every
+            // alive instruction between them commutes appropriately.
+            for j in i + 1..insts.len() {
+                if !alive[j] {
+                    continue;
+                }
+                let touches_c = insts[j].acts_on(c);
+                let touches_t = insts[j].acts_on(t);
+                if !touches_c && !touches_t {
+                    continue;
+                }
+                if insts[j].is_plain_gate()
+                    && insts[j].as_gate() == Some(&Gate::CX)
+                    && insts[j].qubits == vec![c, t]
+                {
+                    alive[i] = false;
+                    alive[j] = false;
+                    removed += 2;
+                    changed = true;
+                    continue 'outer;
+                }
+                let ok = (!touches_c || commutes_on_control(&insts[j], c))
+                    && (!touches_t || commutes_on_target(&insts[j], t));
+                if !ok {
+                    continue 'outer;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    for (i, inst) in insts.iter().enumerate() {
+        if alive[i] {
+            out.push(inst.clone()).expect("operands already validated");
+        }
+    }
+    (out, removed)
+}
+
+#[cfg(test)]
+mod commutation_tests {
+    use super::*;
+    use crate::reference;
+
+    fn assert_equiv(a: &QuantumCircuit, b: &QuantumCircuit) {
+        let ua = reference::unitary(a).unwrap();
+        let ub = reference::unitary(b).unwrap();
+        assert!(ua.approx_eq_eps(&ub, 1e-8), "commutation pass changed semantics");
+    }
+
+    #[test]
+    fn cancels_through_diagonal_on_control() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.t(0).unwrap();
+        circ.rz(0.4, 0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 2);
+        assert_eq!(opt.num_gates(), 2);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn cancels_through_x_on_target() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.x(1).unwrap();
+        circ.rx(0.9, 1).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 2);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn cancels_through_shared_control_cx() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.cx(0, 1).unwrap();
+        circ.cx(0, 2).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 2);
+        assert_eq!(opt.num_gates(), 1);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn cancels_through_shared_target_cx() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.cx(0, 1).unwrap();
+        circ.cx(2, 1).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 2);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn blocked_by_hadamard_on_control() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.num_gates(), 3);
+    }
+
+    #[test]
+    fn blocked_by_diagonal_on_target() {
+        // T on the *target* does not commute with CX.
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.t(1).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.num_gates(), 3);
+        assert_equiv(&circ, &opt);
+    }
+
+    #[test]
+    fn blocked_by_reversed_cx() {
+        let mut circ = QuantumCircuit::new(2);
+        circ.cx(0, 1).unwrap();
+        circ.cx(1, 0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 0);
+        assert_eq!(opt.num_gates(), 3);
+    }
+
+    #[test]
+    fn blocked_by_measurement() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        circ.cx(0, 1).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (_, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn cascade_of_commuting_cancellations() {
+        // cx t cx | cx x cx -> t | x on a 3-qubit circuit.
+        let mut circ = QuantumCircuit::new(3);
+        circ.cx(0, 1).unwrap();
+        circ.t(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.cx(1, 2).unwrap();
+        circ.x(2).unwrap();
+        circ.cx(1, 2).unwrap();
+        let (opt, removed) = cancel_commuting_cx_pairs(&circ);
+        assert_eq!(removed, 4);
+        assert_eq!(opt.num_gates(), 2);
+        assert_equiv(&circ, &opt);
+    }
+}

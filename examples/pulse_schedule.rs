@@ -1,0 +1,70 @@
+//! Pulse-level lowering — the OpenPulse layer the paper's Terra section
+//! names.
+//!
+//! Transpiles a Bell circuit for ibmqx4 and lowers the elementary-gate
+//! result to a microwave pulse schedule, printing a per-channel timeline.
+//!
+//! Run with: `cargo run --release --example pulse_schedule`
+
+use qukit::backend::FakeDevice;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::coupling::CouplingMap;
+use qukit_terra::pulse::{lower_to_pulses, Calibration, PulseInstruction};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bell pair with measurement, as the device will run it.
+    let mut circ = QuantumCircuit::with_size(2, 2);
+    circ.h(0)?;
+    circ.cx(0, 1)?;
+    circ.measure(0, 0)?;
+    circ.measure(1, 1)?;
+
+    // Transpile to the elementary basis {U, CX} under QX4's constraints.
+    let device = FakeDevice::ibmqx4();
+    let elementary = device.transpile(&circ)?;
+    println!(
+        "transpiled: {} gates, depth {}\n",
+        elementary.num_gates(),
+        elementary.depth()
+    );
+
+    // Lower to pulses with a calibration derived from the coupling map.
+    let edges: Vec<(usize, usize)> = CouplingMap::ibm_qx4().edges().collect();
+    let calibration = Calibration::with_edges(&edges);
+    let schedule = lower_to_pulses(&elementary, &calibration)?;
+
+    println!(
+        "pulse schedule '{}': {} instructions, {} dt total, channels {:?}\n",
+        schedule.name(),
+        schedule.instructions().len(),
+        schedule.duration(),
+        schedule
+            .channels()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!("{:>8} {:>6} {:>10}  description", "t0", "ch", "dur");
+    for (start, inst) in schedule.instructions() {
+        let what = match inst {
+            PulseInstruction::Play { waveform, .. } => {
+                format!("play {} (peak {:.2})", waveform.name(), waveform.peak_amplitude())
+            }
+            PulseInstruction::ShiftPhase { phase, .. } => {
+                format!("shift_phase {phase:+.3} rad (virtual Z)")
+            }
+            PulseInstruction::Delay { .. } => "delay".to_owned(),
+            PulseInstruction::Acquire { memory_slot, .. } => {
+                format!("acquire -> c[{memory_slot}]")
+            }
+        };
+        println!(
+            "{:>8} {:>6} {:>10}  {}",
+            start,
+            inst.channel().to_string(),
+            inst.duration(),
+            what
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg m0[1];
+creg m1[1];
+creg out[1];
+// message state
+ry(1.2) q[0];
+// Bell pair
+h q[1];
+cx q[1],q[2];
+// Bell measurement
+cx q[0],q[1];
+h q[0];
+measure q[0] -> m0[0];
+measure q[1] -> m1[0];
+// corrections
+if (m1==1) x q[2];
+if (m0==1) z q[2];
+measure q[2] -> out[0];

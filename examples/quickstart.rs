@@ -1,0 +1,55 @@
+//! Quickstart: the paper's Section IV user walkthrough, end to end.
+//!
+//! Builds the circuit of Fig. 1 with the builder API, shows its OpenQASM
+//! and ASCII diagram, simulates it on the ideal `qasm_simulator`, and then
+//! "runs it on the device" — the fake `ibmqx4` backend that enforces the
+//! real device's coupling constraints and noise.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qukit::execute::execute;
+use qukit::provider::Provider;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::draw::draw;
+use qukit_terra::qasm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Define a circuit (the paper's Fig. 1), exactly like the Python
+    // walkthrough: circ.h(q[2]); circ.cx(q[2], q[3]); ...
+    let mut circ = QuantumCircuit::new(4);
+    circ.h(2)?;
+    circ.cx(2, 3)?;
+    circ.cx(0, 1)?;
+    circ.h(1)?;
+    circ.cx(1, 2)?;
+    circ.t(0)?;
+    circ.cx(2, 0)?;
+    circ.cx(0, 1)?;
+
+    println!("OpenQASM 2.0 (Fig. 1a):\n{}", qasm::emit(&circ));
+    println!("Circuit diagram (Fig. 1b):\n{}", draw(&circ));
+
+    // --- Append measurements: measured_circ = circ + measurement.
+    let mut measurement = QuantumCircuit::with_size(4, 4);
+    for q in 0..4 {
+        measurement.measure(q, q)?;
+    }
+    let mut measured_circ = circ.clone();
+    measured_circ.add_creg("c", 4)?;
+    measured_circ.compose(&measurement)?;
+
+    // --- Simulate on the clean simulator first...
+    let provider = Provider::with_defaults();
+    let sim = provider.get_backend("qasm_simulator")?;
+    let sim_counts = execute(&measured_circ, sim, 1024)?;
+    println!("qasm_simulator counts: {sim_counts}");
+
+    // --- ...then change the backend string to run on the (fake) device.
+    let device = provider.get_backend("ibmqx4")?;
+    let device_counts = execute(&measured_circ, device, 1024)?;
+    println!("ibmqx4 counts:         {device_counts}");
+
+    let fidelity = sim_counts.hellinger_fidelity(&device_counts);
+    println!("\nHellinger fidelity ideal vs device: {fidelity:.4}");
+    Ok(())
+}

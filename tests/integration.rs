@@ -1,0 +1,210 @@
+//! Cross-crate integration tests: full pipelines from OpenQASM source
+//! through transpilation to execution on every backend kind.
+
+use qukit::backend::{Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend};
+use qukit::execute::execute;
+use qukit::provider::Provider;
+use qukit_aer::noise::NoiseModel;
+use qukit_aer::simulator::StatevectorSimulator;
+use qukit_dd::simulator::DdSimulator;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::coupling::CouplingMap;
+use qukit_terra::qasm;
+use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
+
+#[test]
+fn qasm_to_counts_pipeline() {
+    // Parse a program, execute it, check the statistics.
+    let circ = qasm::parse(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+measure q -> c;
+"#,
+    )
+    .expect("valid program");
+    let counts = execute(&circ, &QasmSimulatorBackend::new().with_seed(9), 2000).unwrap();
+    assert_eq!(counts.get_value(0) + counts.get_value(0b111), 2000);
+}
+
+#[test]
+fn qasm_transpile_device_pipeline() {
+    // A circuit with a Toffoli (needs decomposition) and non-adjacent
+    // interactions (needs mapping), from QASM to ibmqx4 execution.
+    let circ = qasm::parse(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+ccx q[0],q[1],q[2];
+measure q -> c;
+"#,
+    )
+    .expect("valid program");
+    let device = FakeDevice::ibmqx4().with_noise(NoiseModel::new()).with_seed(3);
+    let counts = device.run(&circ, 1000).unwrap();
+    // Ideal result: q0 uniform, ccx fires when q0=q1=1 — since q1=0 always,
+    // q2 stays 0: outcomes 000 and 001 only.
+    assert_eq!(counts.get_value(0b000) + counts.get_value(0b001), 1000);
+}
+
+#[test]
+fn dd_and_statevector_simulators_agree_on_random_circuits() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..5 {
+        let n = 4;
+        let mut circ = QuantumCircuit::new(n);
+        for _ in 0..20 {
+            match rng.gen_range(0..4) {
+                0 => {
+                    circ.h(rng.gen_range(0..n)).unwrap();
+                }
+                1 => {
+                    circ.t(rng.gen_range(0..n)).unwrap();
+                }
+                2 => {
+                    circ.rx(rng.gen::<f64>() * 3.0, rng.gen_range(0..n)).unwrap();
+                }
+                _ => {
+                    let a = rng.gen_range(0..n);
+                    let mut b = rng.gen_range(0..n);
+                    while b == a {
+                        b = rng.gen_range(0..n);
+                    }
+                    circ.cx(a, b).unwrap();
+                }
+            }
+        }
+        let sv = StatevectorSimulator::new().run(&circ).unwrap();
+        let dd = DdSimulator::new().run(&circ).unwrap();
+        let dd_state = dd.to_statevector();
+        for (a, b) in sv.amplitudes().iter().zip(&dd_state) {
+            assert!(a.approx_eq_eps(*b, 1e-8), "DD and statevector disagree");
+        }
+    }
+}
+
+#[test]
+fn transpiled_circuit_counts_match_untranspiled() {
+    // Measurement relabeling through the mapper must preserve observable
+    // statistics exactly (noiseless).
+    let mut circ = QuantumCircuit::with_size(4, 4);
+    circ.h(0).unwrap();
+    circ.cx(0, 3).unwrap();
+    circ.x(1).unwrap();
+    circ.cx(3, 1).unwrap();
+    for q in 0..4 {
+        circ.measure(q, q).unwrap();
+    }
+    let direct = QasmSimulatorBackend::new().with_seed(5).run(&circ, 3000).unwrap();
+    let device = FakeDevice::ibmqx5().with_noise(NoiseModel::new()).with_seed(5);
+    let mapped = device.run(&circ, 3000).unwrap();
+    let fidelity = direct.hellinger_fidelity(&mapped);
+    assert!(fidelity > 0.995, "fidelity {fidelity}");
+}
+
+#[test]
+fn provider_backends_all_run_the_same_bell() {
+    let provider = Provider::with_defaults();
+    let mut bell = QuantumCircuit::new(2);
+    bell.h(0).unwrap();
+    bell.cx(0, 1).unwrap();
+    for name in ["qasm_simulator", "dd_simulator", "ibmqx2", "ibmqx4", "ibmqx5"] {
+        let backend = provider.get_backend(name).unwrap();
+        let counts = execute(&bell, backend, 400).unwrap();
+        assert_eq!(counts.total(), 400, "{name}");
+        // Even noisy devices keep the correlated outcomes dominant.
+        let correlated: usize = counts
+            .iter()
+            .filter(|(v, _)| {
+                let b0 = v & 1;
+                let b1 = (v >> 1) & 1;
+                b0 == b1
+            })
+            .map(|(_, c)| c)
+            .sum();
+        assert!(correlated as f64 / 400.0 > 0.8, "{name}: correlation too low");
+    }
+}
+
+#[test]
+fn teleportation_on_constrained_device() {
+    // The teleport circuit uses conditionals and mid-circuit measurement;
+    // map it to a line topology and check it still works (noiseless).
+    let circ = qukit_aqua::teleportation::teleport_circuit(&[(qukit_terra::gate::Gate::X, 0)])
+        .unwrap();
+    let options = TranspileOptions {
+        coupling_map: Some(CouplingMap::line(3)),
+        mapper: MapperKind::Basic,
+        optimization_level: 0,
+        ..TranspileOptions::default()
+    };
+    let mapped = transpile(&circ, &options).unwrap();
+    assert!(satisfies_coupling(&mapped.circuit, &CouplingMap::line(3)));
+    let counts = qukit_aer::simulator::QasmSimulator::new()
+        .with_seed(6)
+        .run(&mapped.circuit, 400)
+        .unwrap();
+    // Output clbit (bit 2) must always read 1.
+    for (outcome, count) in counts.iter() {
+        if count > 0 {
+            assert_eq!((outcome >> 2) & 1, 1, "teleported |1⟩ misread in {outcome:b}");
+        }
+    }
+}
+
+#[test]
+fn tomography_of_device_output_detects_noise() {
+    // Run state tomography twice: against the ideal backend and against a
+    // noisy model; ideal fidelity must be higher.
+    let mut prep = QuantumCircuit::new(2);
+    prep.h(0).unwrap();
+    prep.cx(0, 1).unwrap();
+    let target = qukit_terra::reference::statevector(&prep).unwrap();
+
+    let ideal_rho = qukit_ignis::tomography::state_tomography(&prep, 2000, 8, None).unwrap();
+    let noise = NoiseModel::depolarizing(0.01, 0.05, 0.02);
+    let noisy_rho =
+        qukit_ignis::tomography::state_tomography(&prep, 2000, 8, Some(&noise)).unwrap();
+
+    let f_ideal = qukit_ignis::tomography::fidelity_with_pure(&ideal_rho, &target);
+    let f_noisy = qukit_ignis::tomography::fidelity_with_pure(&noisy_rho, &target);
+    assert!(f_ideal > 0.95, "ideal fidelity {f_ideal}");
+    assert!(f_noisy < f_ideal, "noise must reduce fidelity: {f_noisy} vs {f_ideal}");
+}
+
+#[test]
+fn dd_backend_handles_partial_measurement() {
+    let mut circ = QuantumCircuit::with_size(3, 1);
+    circ.x(2).unwrap();
+    circ.h(0).unwrap();
+    circ.measure(2, 0).unwrap();
+    let counts = DdSimulatorBackend::new().with_seed(4).run(&circ, 300).unwrap();
+    assert_eq!(counts.get_value(1), 300, "only the measured qubit reports");
+}
+
+#[test]
+fn full_stack_qasm_emit_reparse_execute() {
+    // Build programmatically, emit QASM, reparse, execute both; equal
+    // statistics with the same seed.
+    let mut circ = QuantumCircuit::with_size(3, 3);
+    circ.h(0).unwrap();
+    circ.cp(std::f64::consts::FRAC_PI_2, 0, 1).unwrap();
+    circ.ccx(0, 1, 2).unwrap();
+    for q in 0..3 {
+        circ.measure(q, q).unwrap();
+    }
+    let text = qasm::emit(&circ);
+    let reparsed = qasm::parse(&text).unwrap();
+    let backend = QasmSimulatorBackend::new().with_seed(77);
+    let a = backend.run(&circ, 500).unwrap();
+    let b = backend.run(&reparsed, 500).unwrap();
+    assert_eq!(a, b);
+}

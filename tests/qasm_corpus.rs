@@ -1,0 +1,207 @@
+//! An OpenQASM 2.0 corpus: parse, execute, emit, reparse.
+//!
+//! Every program in the corpus must (a) parse, (b) produce the documented
+//! statistics when executed, and (c) survive an emit→reparse round trip
+//! with identical instruction streams.
+
+use qukit::backend::{Backend, QasmSimulatorBackend};
+use qukit_terra::qasm;
+
+fn roundtrip(src: &str) -> qukit_terra::circuit::QuantumCircuit {
+    let circ = qasm::parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let emitted = qasm::emit(&circ);
+    let reparsed =
+        qasm::parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
+    assert_eq!(
+        reparsed.instructions().len(),
+        circ.instructions().len(),
+        "round trip changed instruction count"
+    );
+    for (a, b) in reparsed.instructions().iter().zip(circ.instructions()) {
+        assert_eq!(a.op.name(), b.op.name());
+        assert_eq!(a.qubits, b.qubits);
+        assert_eq!(a.clbits, b.clbits);
+    }
+    circ
+}
+
+#[test]
+fn superdense_coding() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+// share a Bell pair
+h q[0];
+cx q[0],q[1];
+// encode the message "11"
+z q[0];
+x q[0];
+// decode
+cx q[0],q[1];
+h q[0];
+measure q -> c;
+"#,
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(1).run(&circ, 300).unwrap();
+    assert_eq!(counts.get_value(0b11), 300, "superdense coding must decode 11");
+}
+
+#[test]
+fn swap_test_program() {
+    // SWAP test of two identical states: ancilla always reads 0.
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[1];
+qreg s1[1];
+qreg s2[1];
+creg c[1];
+ry(0.7) s1[0];
+ry(0.7) s2[0];
+h a[0];
+cswap a[0],s1[0],s2[0];
+h a[0];
+measure a[0] -> c[0];
+"#,
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(2).run(&circ, 500).unwrap();
+    assert_eq!(counts.get_value(0), 500, "identical states: ancilla stays 0");
+}
+
+#[test]
+fn user_defined_gate_hierarchy() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+gate majority_flip a, b { cx a, b; h a; }
+gate double(theta) a, b { rx(theta) a; rx(theta*2) b; majority_flip a, b; }
+double(pi/4) q[0], q[1];
+measure q -> c;
+"#,
+    );
+    let ops = circ.count_ops();
+    assert_eq!(ops["rx"], 2);
+    assert_eq!(ops["cx"], 1);
+    assert_eq!(ops["h"], 1);
+}
+
+#[test]
+fn conditional_feedback_program() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg m[1];
+creg out[1];
+x q[0];
+measure q[0] -> m[0];
+if (m==1) x q[1];
+measure q[1] -> out[0];
+"#,
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(3).run(&circ, 200).unwrap();
+    // out bit (clbit 1) must always be 1.
+    for (outcome, count) in counts.iter() {
+        if count > 0 {
+            assert_eq!((outcome >> 1) & 1, 1);
+        }
+    }
+}
+
+#[test]
+fn reset_and_reuse() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+x q[0];
+reset q[0];
+measure q[0] -> c[0];
+"#,
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(4).run(&circ, 150).unwrap();
+    assert_eq!(counts.get_value(0), 150);
+}
+
+#[test]
+fn expression_heavy_parameters() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(2*pi/3) q[0];
+u3(pi/2, -pi/4, 0.25*pi) q[0];
+rx(sin(pi/6)) q[0];
+p(2^3/8) q[0];
+"#,
+    );
+    use qukit_terra::gate::Gate;
+    match circ.instructions()[0].as_gate() {
+        Some(Gate::Rz(t)) => assert!((t - 2.0 * std::f64::consts::PI / 3.0).abs() < 1e-12),
+        other => panic!("unexpected {other:?}"),
+    }
+    match circ.instructions()[2].as_gate() {
+        Some(Gate::Rx(t)) => assert!((t - 0.5).abs() < 1e-12, "sin(pi/6) = 0.5, got {t}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match circ.instructions()[3].as_gate() {
+        Some(Gate::Phase(t)) => assert!((t - 1.0).abs() < 1e-12, "2^3/8 = 1, got {t}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn barrier_and_broadcast_forms() {
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q;
+barrier q[0], q[1], q[2];
+measure q -> c;
+"#,
+    );
+    assert_eq!(circ.count_ops()["h"], 3);
+    assert_eq!(circ.count_ops()["barrier"], 1);
+}
+
+#[test]
+fn the_spec_core_subset_without_include() {
+    // U and CX are primitive: no include needed.
+    let circ = roundtrip(
+        r#"OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+U(pi/2, 0, pi) q[0];
+CX q[0], q[1];
+measure q -> c;
+"#,
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(5).run(&circ, 1000).unwrap();
+    // U(pi/2, 0, pi) = H: Bell statistics.
+    assert_eq!(counts.get_value(0b01) + counts.get_value(0b10), 0);
+}
+
+#[test]
+fn error_diagnostics_quality() {
+    // Every diagnostic should carry position and a useful message.
+    let cases: &[(&str, &str)] = &[
+        ("OPENQASM 2.0; qreg q[1]; h q[0];", "qelib1.inc"),
+        ("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh r[0];", "unknown quantum register"),
+        ("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrx() q[0];", "wrong parameter count"),
+        ("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrx(*) q[0];", "expected expression"),
+        ("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh q[0]", "expected ';'"),
+        ("OPENQASM 1.0; qreg q[1];", "version"),
+    ];
+    for (src, needle) in cases {
+        let err = qasm::parse(src).expect_err(src);
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "error for {src:?} was: {msg}");
+    }
+}
