@@ -93,10 +93,7 @@ impl Counts {
     /// The most frequent outcome, or `None` when empty. Ties break toward
     /// the smaller value.
     pub fn most_frequent(&self) -> Option<u64> {
-        self.histogram
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|(&k, _)| k)
+        self.histogram.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(|(&k, _)| k)
     }
 
     /// Renders an outcome as a bitstring of the histogram's width.

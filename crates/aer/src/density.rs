@@ -104,10 +104,7 @@ impl DensityMatrix {
     /// Probability of measuring qubit `q` as 1 (from the diagonal).
     pub fn probability_one(&self, q: usize) -> f64 {
         let mask = 1usize << q;
-        (0..self.rho.rows())
-            .filter(|idx| idx & mask != 0)
-            .map(|idx| self.rho[(idx, idx)].re)
-            .sum()
+        (0..self.rho.rows()).filter(|idx| idx & mask != 0).map(|idx| self.rho[(idx, idx)].re).sum()
     }
 
     /// The diagonal of `ρ`: computational-basis probabilities.

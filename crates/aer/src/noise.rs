@@ -75,16 +75,8 @@ impl QuantumError {
     /// Panics unless `0 ≤ p ≤ 1` and `num_qubits ∈ {1, 2}`.
     pub fn depolarizing(p: f64, num_qubits: usize) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        assert!(
-            num_qubits == 1 || num_qubits == 2,
-            "depolarizing supported on 1 or 2 qubits"
-        );
-        let paulis_1q = [
-            Matrix::identity(2),
-            pauli_x(),
-            pauli_y(),
-            pauli_z(),
-        ];
+        assert!(num_qubits == 1 || num_qubits == 2, "depolarizing supported on 1 or 2 qubits");
+        let paulis_1q = [Matrix::identity(2), pauli_x(), pauli_y(), pauli_z()];
         let mut kraus = Vec::new();
         if num_qubits == 1 {
             let p_each = p / 4.0;
@@ -96,8 +88,7 @@ impl QuantumError {
             let p_each = p / 16.0;
             for (i, a) in paulis_1q.iter().enumerate() {
                 for (j, b) in paulis_1q.iter().enumerate() {
-                    let weight =
-                        if i == 0 && j == 0 { 1.0 - p + p_each } else { p_each };
+                    let weight = if i == 0 && j == 0 { 1.0 - p + p_each } else { p_each };
                     kraus.push(b.kron(a).scale(c64(weight.sqrt(), 0.0)));
                 }
             }
@@ -387,7 +378,10 @@ impl NoiseModel {
     pub fn depolarizing(p1: f64, p2: f64, p_meas: f64) -> Self {
         let mut model = Self::new();
         let e1 = QuantumError::depolarizing(p1, 1);
-        for name in ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg", "rx", "ry", "rz", "p", "u"] {
+        for name in [
+            "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg", "rx", "ry", "rz", "p",
+            "u",
+        ] {
             model.add_all_qubit_error(name, e1.clone());
         }
         model.add_all_qubit_error("cx", QuantumError::depolarizing(p2, 2));
@@ -567,10 +561,7 @@ mod tests {
         rho.apply_kraus(channel.kraus_operators(), &[0]);
         let coherence = 2.0 * rho.matrix().get(0, 1).unwrap().norm();
         let expected = (-time / t2).exp();
-        assert!(
-            (coherence - expected).abs() < 1e-9,
-            "coherence {coherence} vs {expected}"
-        );
+        assert!((coherence - expected).abs() < 1e-9, "coherence {coherence} vs {expected}");
     }
 
     #[test]

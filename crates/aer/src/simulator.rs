@@ -96,7 +96,7 @@ impl QasmSimulator {
             Some(seed) => StdRng::seed_from_u64(seed),
             None => StdRng::from_entropy(),
         };
-        let ideal = self.noise.as_ref().map_or(true, NoiseModel::is_ideal);
+        let ideal = self.noise.as_ref().is_none_or(NoiseModel::is_ideal);
         if ideal && is_measurement_terminal(circuit) {
             self.run_sampled(circuit, shots, &mut rng)
         } else {
@@ -466,10 +466,7 @@ mod tests {
     #[test]
     fn width_limits_are_enforced() {
         let circ = QuantumCircuit::new(31);
-        assert!(matches!(
-            QasmSimulator::new().run(&circ, 1),
-            Err(AerError::TooManyQubits { .. })
-        ));
+        assert!(matches!(QasmSimulator::new().run(&circ, 1), Err(AerError::TooManyQubits { .. })));
         let circ14 = QuantumCircuit::new(14);
         assert!(matches!(
             UnitarySimulator::new().run(&circ14),

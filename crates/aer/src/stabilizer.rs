@@ -485,7 +485,7 @@ mod tests {
                     }
                     circ.cx(a, b).unwrap();
                 } else {
-                    let g = clifford_gates()[rng.gen_range(0..7)];
+                    let g = clifford_gates()[rng.gen_range(0..7usize)];
                     circ.append(g, &[rng.gen_range(0..n)]).unwrap();
                 }
             }
@@ -494,10 +494,7 @@ mod tests {
             }
             let shots = 4000;
             let dense = QasmSimulator::new().with_seed(trial).run(&circ, shots).unwrap();
-            let tableau = StabilizerSimulator::new()
-                .with_seed(trial)
-                .run(&circ, shots)
-                .unwrap();
+            let tableau = StabilizerSimulator::new().with_seed(trial).run(&circ, shots).unwrap();
             let fidelity = dense.hellinger_fidelity(&tableau);
             assert!(fidelity > 0.99, "trial {trial}: fidelity {fidelity}");
         }

@@ -244,10 +244,8 @@ impl Statevector {
                         // Y|0> = i|1>, Y|1> = -i|0>
                         phase *= if bit == 0 { Complex::I } else { -Complex::I };
                     }
-                    'Z' => {
-                        if bit == 1 {
-                            phase = -phase;
-                        }
+                    'Z' if bit == 1 => {
+                        phase = -phase;
                     }
                     _ => {}
                 }

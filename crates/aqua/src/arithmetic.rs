@@ -191,10 +191,7 @@ mod tests {
         for i in 0..3 {
             circ.measure(layout.a(i), i).unwrap();
         }
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(2)
-            .run(&circ, 1)
-            .unwrap();
+        let counts = qukit_aer::simulator::QasmSimulator::new().with_seed(2).run(&circ, 1).unwrap();
         assert_eq!(counts.most_frequent(), Some(5), "operand a must survive");
     }
 
@@ -210,10 +207,8 @@ mod tests {
             circ.measure(layout.b(i), i).unwrap();
         }
         circ.measure(layout.carry_out(), 2).unwrap();
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(3)
-            .run(&circ, 600)
-            .unwrap();
+        let counts =
+            qukit_aer::simulator::QasmSimulator::new().with_seed(3).run(&circ, 600).unwrap();
         // Outcomes: 1 (a=0) or 2 (a=1), roughly balanced.
         assert_eq!(counts.get_value(1) + counts.get_value(2), 600);
         assert!(counts.get_value(1) > 200);
@@ -253,8 +248,8 @@ pub fn append_draper_add_constant(
     // our QFT (with its final bit reversal), qubit j carries the phase
     // gradient of output bit j.
     for (j, &q) in qubits.iter().enumerate() {
-        let angle = std::f64::consts::TAU * (value as f64) * (1u64 << j) as f64
-            / (1u64 << bits) as f64;
+        let angle =
+            std::f64::consts::TAU * (value as f64) * (1u64 << j) as f64 / (1u64 << bits) as f64;
         let angle = angle % std::f64::consts::TAU;
         if angle.abs() > 1e-12 {
             circ.p(angle, q)?;
@@ -279,10 +274,7 @@ mod draper_tests {
         for i in 0..bits {
             circ.measure(i, i).unwrap();
         }
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(1)
-            .run(&circ, 1)
-            .unwrap();
+        let counts = qukit_aer::simulator::QasmSimulator::new().with_seed(1).run(&circ, 1).unwrap();
         counts.most_frequent().unwrap_or(0)
     }
 
@@ -318,10 +310,8 @@ mod draper_tests {
         for i in 0..3 {
             circ.measure(i, i).unwrap();
         }
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(2)
-            .run(&circ, 600)
-            .unwrap();
+        let counts =
+            qukit_aer::simulator::QasmSimulator::new().with_seed(2).run(&circ, 600).unwrap();
         assert_eq!(counts.get_value(3) + counts.get_value(4), 600);
         assert!(counts.get_value(3) > 200 && counts.get_value(4) > 200);
     }

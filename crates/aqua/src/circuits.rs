@@ -295,8 +295,7 @@ pub fn w_state_circuit(n: usize) -> QuantumCircuit {
     circ.x(0).expect("qubit 0 exists");
     for i in 0..n - 1 {
         let theta = 2.0 * (1.0 / ((n - i) as f64).sqrt()).acos();
-        circ.append(qukit_terra::gate::Gate::Cry(theta), &[i, i + 1])
-            .expect("valid pair");
+        circ.append(qukit_terra::gate::Gate::Cry(theta), &[i, i + 1]).expect("valid pair");
         circ.cx(i + 1, i).expect("valid pair");
     }
     circ
@@ -314,10 +313,7 @@ mod w_state_tests {
             let expected = 1.0 / (n as f64).sqrt();
             for (idx, amp) in state.iter().enumerate() {
                 if idx.count_ones() == 1 {
-                    assert!(
-                        (amp.norm() - expected).abs() < 1e-9,
-                        "n={n} idx={idx:b}: {amp}"
-                    );
+                    assert!((amp.norm() - expected).abs() < 1e-9, "n={n} idx={idx:b}: {amp}");
                 } else {
                     assert!(amp.is_approx_zero(), "n={n} idx={idx:b} should be zero");
                 }
@@ -329,9 +325,7 @@ mod w_state_tests {
     fn w_state_dd_stays_small() {
         // W states are structured: the DD grows linearly, like GHZ.
         let n = 10;
-        let state = qukit_dd::simulator::DdSimulator::new()
-            .run(&w_state_circuit(n))
-            .unwrap();
+        let state = qukit_dd::simulator::DdSimulator::new().run(&w_state_circuit(n)).unwrap();
         assert!(state.node_count() <= 3 * n, "nodes {}", state.node_count());
     }
 }

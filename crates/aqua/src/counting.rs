@@ -79,13 +79,7 @@ pub fn outcome_to_count(outcome: u64, t: usize, n: usize) -> f64 {
 /// # Errors
 ///
 /// Propagates circuit and simulation errors.
-pub fn estimate_count(
-    n: usize,
-    marked: &[u64],
-    t: usize,
-    shots: usize,
-    seed: u64,
-) -> Result<f64> {
+pub fn estimate_count(n: usize, marked: &[u64], t: usize, shots: usize, seed: u64) -> Result<f64> {
     let circ = counting_circuit(n, marked, t)?;
     let counts = QasmSimulator::new()
         .with_seed(seed)
@@ -151,10 +145,7 @@ mod tests {
         // accuracy should improve with t.
         let coarse = estimate_count(3, &[2, 5], 3, 300, 4).unwrap();
         let fine = estimate_count(3, &[2, 5], 5, 300, 4).unwrap();
-        assert!(
-            (fine - 2.0).abs() <= (coarse - 2.0).abs() + 0.25,
-            "coarse {coarse}, fine {fine}"
-        );
+        assert!((fine - 2.0).abs() <= (coarse - 2.0).abs() + 0.25, "coarse {coarse}, fine {fine}");
         assert!((fine - 2.0).abs() < 0.4, "fine {fine}");
     }
 }

@@ -140,9 +140,8 @@ pub fn exact_evolution_matrix(hamiltonian: &Matrix, time: f64) -> Matrix {
     let dim = hamiltonian.rows();
     // A = -i H t, scaled down so ‖A/2^s‖ is small.
     let a = hamiltonian.scale(Complex::new(0.0, -time));
-    let norm_estimate: f64 = (0..dim)
-        .map(|i| (0..dim).map(|j| a[(i, j)].norm()).sum::<f64>())
-        .fold(0.0, f64::max);
+    let norm_estimate: f64 =
+        (0..dim).map(|i| (0..dim).map(|j| a[(i, j)].norm()).sum::<f64>()).fold(0.0, f64::max);
     let scalings = norm_estimate.log2().ceil().max(0.0) as u32 + 1;
     let scaled = a.scale(Complex::from_real(1.0 / (1u64 << scalings) as f64));
     // Taylor series of e^{scaled}.
@@ -236,10 +235,7 @@ mod tests {
         let steps = 4;
         let first = evolved_fidelity(&trotter_evolution(&h, time, steps).unwrap(), &h, time);
         let second = evolved_fidelity(&suzuki_evolution(&h, time, steps).unwrap(), &h, time);
-        assert!(
-            second > first,
-            "suzuki {second} must beat trotter {first} at equal steps"
-        );
+        assert!(second > first, "suzuki {second} must beat trotter {first} at equal steps");
         assert!(second > 0.99, "suzuki fidelity {second}");
     }
 

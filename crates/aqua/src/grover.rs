@@ -25,10 +25,7 @@ use std::f64::consts::FRAC_PI_4;
 pub fn append_phase_oracle(circ: &mut QuantumCircuit, marked: &[u64]) -> Result<()> {
     let n = circ.num_qubits();
     for &m in marked {
-        assert!(
-            (m as u128) < (1u128 << n),
-            "marked state {m} does not fit in {n} qubits"
-        );
+        assert!((m as u128) < (1u128 << n), "marked state {m} does not fit in {n} qubits");
         let zero_bits: Vec<usize> = (0..n).filter(|&q| (m >> q) & 1 == 0).collect();
         for &q in &zero_bits {
             circ.x(q)?;
@@ -80,7 +77,11 @@ pub fn optimal_iterations(n: usize, num_marked: usize) -> usize {
 /// # Errors
 ///
 /// Propagates operand-validation errors.
-pub fn grover_circuit(n: usize, marked: &[u64], iterations: Option<usize>) -> Result<QuantumCircuit> {
+pub fn grover_circuit(
+    n: usize,
+    marked: &[u64],
+    iterations: Option<usize>,
+) -> Result<QuantumCircuit> {
     let mut circ = superposition_circuit(n);
     circ.set_name(format!("grover_{n}"));
     let iterations = iterations.unwrap_or_else(|| optimal_iterations(n, marked.len()));
@@ -99,10 +100,7 @@ pub fn grover_circuit(n: usize, marked: &[u64], iterations: Option<usize>) -> Re
 /// Propagates simulation errors.
 pub fn success_probability(circuit: &QuantumCircuit, marked: &[u64]) -> Result<f64> {
     let state = qukit_terra::reference::statevector(circuit)?;
-    Ok(marked
-        .iter()
-        .map(|&m| state[m as usize].norm_sqr())
-        .sum())
+    Ok(marked.iter().map(|&m| state[m as usize].norm_sqr()).sum())
 }
 
 #[cfg(test)]
@@ -144,10 +142,7 @@ mod tests {
         let amp = 1.0 / (8.0f64).sqrt();
         for (idx, a) in state.iter().enumerate() {
             let expected = if idx == 5 { -amp } else { amp };
-            assert!(
-                (a.re - expected).abs() < 1e-9 && a.im.abs() < 1e-9,
-                "amplitude {idx}: {a}"
-            );
+            assert!((a.re - expected).abs() < 1e-9 && a.im.abs() < 1e-9, "amplitude {idx}: {a}");
         }
     }
 
@@ -178,10 +173,8 @@ mod tests {
         let marked = [2u64];
         let mut circ = grover_circuit(n, &marked, None).unwrap();
         circ.measure_all();
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(13)
-            .run(&circ, 500)
-            .unwrap();
+        let counts =
+            qukit_aer::simulator::QasmSimulator::new().with_seed(13).run(&circ, 500).unwrap();
         assert_eq!(counts.most_frequent(), Some(2));
     }
 

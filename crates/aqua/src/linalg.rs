@@ -52,7 +52,9 @@ fn dominant_eigenvalue(m: &Matrix) -> f64 {
     let n = m.rows();
     // Deterministic pseudo-random start vector (no RNG dependency here).
     let mut v: Vec<Complex> = (0..n)
-        .map(|i| Complex::new(((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1, 0.3 / (i + 1) as f64))
+        .map(|i| {
+            Complex::new(((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1, 0.3 / (i + 1) as f64)
+        })
         .collect();
     qukit_terra::matrix::normalize(&mut v);
     let mut eigenvalue = 0.0;
@@ -123,10 +125,7 @@ fn dominant_eigenpair(m: &Matrix, found: &[Vec<Complex>], salt: u64) -> (f64, Ve
     let s = salt as f64 + 1.0;
     let mut v: Vec<Complex> = (0..n)
         .map(|i| {
-            Complex::new(
-                1.0 + (i as f64 * 0.7 + s * 1.9).sin(),
-                (i as f64 * 1.3 + s * 0.41).cos(),
-            )
+            Complex::new(1.0 + (i as f64 * 0.7 + s * 1.9).sin(), (i as f64 * 1.3 + s * 0.41).cos())
         })
         .collect();
     orthogonalize(&mut v, found);
@@ -135,11 +134,7 @@ fn dominant_eigenpair(m: &Matrix, found: &[Vec<Complex>], salt: u64) -> (f64, Ve
         let mut next = m.matvec(&v);
         orthogonalize(&mut next, found);
         let norm = qukit_terra::matrix::normalize(&mut next);
-        let diff: f64 = next
-            .iter()
-            .zip(&v)
-            .map(|(a, b)| (*a - *b).norm_sqr())
-            .sum();
+        let diff: f64 = next.iter().zip(&v).map(|(a, b)| (*a - *b).norm_sqr()).sum();
         v = next;
         if norm <= 1e-12 {
             break;
@@ -176,11 +171,8 @@ mod tests {
 
     #[test]
     fn eigenvalues_of_pauli_x() {
-        let x = Matrix::from_vec(
-            2,
-            2,
-            vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
-        );
+        let x =
+            Matrix::from_vec(2, 2, vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO]);
         let values = eigenvalues_hermitian(&x);
         assert!((values[0] + 1.0).abs() < 1e-8);
         assert!((values[1] - 1.0).abs() < 1e-8);
@@ -189,11 +181,7 @@ mod tests {
     #[test]
     fn eigenvalues_with_complex_entries() {
         // Pauli Y: eigenvalues ±1.
-        let y = Matrix::from_vec(
-            2,
-            2,
-            vec![Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
-        );
+        let y = Matrix::from_vec(2, 2, vec![Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO]);
         let values = eigenvalues_hermitian(&y);
         assert!((values[0] + 1.0).abs() < 1e-8);
         assert!((values[1] - 1.0).abs() < 1e-8);

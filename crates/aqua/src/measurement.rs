@@ -27,10 +27,7 @@ pub fn group_qubit_wise_commuting(op: &PauliOperator) -> Vec<(Setting, Vec<Pauli
         let label: Vec<char> = term.label.chars().collect();
         let mut placed = false;
         for (setting, members) in groups.iter_mut() {
-            let compatible = label
-                .iter()
-                .zip(setting.iter())
-                .all(|(&p, &s)| p == 'I' || p == s);
+            let compatible = label.iter().zip(setting.iter()).all(|(&p, &s)| p == 'I' || p == s);
             if compatible {
                 members.push(term.clone());
                 placed = true;
@@ -38,10 +35,7 @@ pub fn group_qubit_wise_commuting(op: &PauliOperator) -> Vec<(Setting, Vec<Pauli
             }
         }
         if !placed {
-            let setting: Setting = label
-                .iter()
-                .map(|&p| if p == 'I' { 'Z' } else { p })
-                .collect();
+            let setting: Setting = label.iter().map(|&p| if p == 'I' { 'Z' } else { p }).collect();
             // Widen earlier-compatible entries: a new group absorbs terms
             // not needed — keep it simple, just add the group.
             groups.push((setting, vec![term.clone()]));
@@ -118,9 +112,8 @@ pub fn estimate_expectation(
         if let Some(model) = noise {
             sim = sim.with_noise(model.clone());
         }
-        let counts = sim
-            .run(&circ, shots)
-            .map_err(|e| TerraError::Transpile { msg: e.to_string() })?;
+        let counts =
+            sim.run(&circ, shots).map_err(|e| TerraError::Transpile { msg: e.to_string() })?;
         for term in terms {
             total += term.coefficient * term_expectation_from_counts(term, &counts);
         }
@@ -156,12 +149,7 @@ mod tests {
         let mut bell = QuantumCircuit::new(2);
         bell.h(0).unwrap();
         bell.cx(0, 1).unwrap();
-        let op = PauliOperator::from_terms(&[
-            (0.5, "ZZ"),
-            (0.5, "XX"),
-            (-0.25, "YY"),
-            (0.1, "II"),
-        ]);
+        let op = PauliOperator::from_terms(&[(0.5, "ZZ"), (0.5, "XX"), (-0.25, "YY"), (0.1, "II")]);
         // Exact: 0.5·1 + 0.5·1 − 0.25·(−1) + 0.1 = 1.35.
         let sampled = estimate_expectation(&op, &bell, 20_000, 3, None).unwrap();
         assert!((sampled - 1.35).abs() < 0.03, "sampled {sampled}");

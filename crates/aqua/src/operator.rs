@@ -44,12 +44,7 @@ impl PauliTerm {
 
     /// Qubits on which the term acts non-trivially.
     pub fn support(&self) -> Vec<usize> {
-        self.label
-            .chars()
-            .enumerate()
-            .filter(|(_, c)| *c != 'I')
-            .map(|(q, _)| q)
-            .collect()
+        self.label.chars().enumerate().filter(|(_, c)| *c != 'I').map(|(q, _)| q).collect()
     }
 
     /// The dense matrix of the (unweighted) Pauli string.
@@ -103,8 +98,7 @@ impl PauliOperator {
     ///
     /// Panics on invalid labels or inconsistent lengths.
     pub fn from_terms(terms: &[(f64, &str)]) -> Self {
-        let built: Vec<PauliTerm> =
-            terms.iter().map(|&(c, l)| PauliTerm::new(c, l)).collect();
+        let built: Vec<PauliTerm> = terms.iter().map(|&(c, l)| PauliTerm::new(c, l)).collect();
         if let Some(first) = built.first() {
             let n = first.num_qubits();
             assert!(
@@ -140,10 +134,7 @@ impl PauliOperator {
 
     /// Exact expectation value `⟨ψ|H|ψ⟩` on a statevector.
     pub fn expectation(&self, state: &Statevector) -> f64 {
-        self.terms
-            .iter()
-            .map(|t| t.coefficient * state.expectation_pauli(&t.label))
-            .sum()
+        self.terms.iter().map(|t| t.coefficient * state.expectation_pauli(&t.label)).sum()
     }
 
     /// The dense matrix of the operator (exponential; small systems).

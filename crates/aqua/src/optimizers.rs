@@ -94,34 +94,22 @@ impl Optimizer for NelderMead {
                 }
             }
             let worst = simplex[n].clone();
-            let reflect: Vec<f64> = centroid
-                .iter()
-                .zip(&worst.0)
-                .map(|(&c, &w)| c + alpha * (c - w))
-                .collect();
+            let reflect: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(&c, &w)| c + alpha * (c - w)).collect();
             let f_reflect = eval(&reflect, &mut evals);
             if f_reflect < simplex[0].1 {
                 // Expand.
-                let expand: Vec<f64> = centroid
-                    .iter()
-                    .zip(&reflect)
-                    .map(|(&c, &r)| c + gamma * (r - c))
-                    .collect();
+                let expand: Vec<f64> =
+                    centroid.iter().zip(&reflect).map(|(&c, &r)| c + gamma * (r - c)).collect();
                 let f_expand = eval(&expand, &mut evals);
-                simplex[n] = if f_expand < f_reflect {
-                    (expand, f_expand)
-                } else {
-                    (reflect, f_reflect)
-                };
+                simplex[n] =
+                    if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
             } else if f_reflect < simplex[n - 1].1 {
                 simplex[n] = (reflect, f_reflect);
             } else {
                 // Contract.
-                let contract: Vec<f64> = centroid
-                    .iter()
-                    .zip(&worst.0)
-                    .map(|(&c, &w)| c + rho * (w - c))
-                    .collect();
+                let contract: Vec<f64> =
+                    centroid.iter().zip(&worst.0).map(|(&c, &w)| c + rho * (w - c)).collect();
                 let f_contract = eval(&contract, &mut evals);
                 if f_contract < worst.1 {
                     simplex[n] = (contract, f_contract);
@@ -129,11 +117,8 @@ impl Optimizer for NelderMead {
                     // Shrink towards the best vertex.
                     let best = simplex[0].0.clone();
                     for entry in simplex.iter_mut().skip(1) {
-                        let shrunk: Vec<f64> = best
-                            .iter()
-                            .zip(&entry.0)
-                            .map(|(&b, &p)| b + sigma * (p - b))
-                            .collect();
+                        let shrunk: Vec<f64> =
+                            best.iter().zip(&entry.0).map(|(&b, &p)| b + sigma * (p - b)).collect();
                         let f_shrunk = eval(&shrunk, &mut evals);
                         *entry = (shrunk, f_shrunk);
                     }
@@ -232,8 +217,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_on_rosenbrock() {
-        let mut f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opt = NelderMead { max_evaluations: 5000, ..NelderMead::new() };
         let result = opt.minimize(&mut f, &[-1.2, 1.0]);
         assert!(result.value < 1e-5, "rosenbrock value {}", result.value);

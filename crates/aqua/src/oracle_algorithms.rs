@@ -44,10 +44,7 @@ pub fn deutsch_jozsa_circuit(n: usize, oracle: &DjOracle) -> Result<QuantumCircu
         DjOracle::Constant(false) => {}
         DjOracle::BalancedParity(mask) => {
             assert!(*mask != 0, "a zero mask is constant, not balanced");
-            assert!(
-                (*mask as u128) < (1u128 << n),
-                "mask does not fit in {n} input qubits"
-            );
+            assert!((*mask as u128) < (1u128 << n), "mask does not fit in {n} input qubits");
             for q in 0..n {
                 if (mask >> q) & 1 == 1 {
                     circ.cx(q, n)?;
@@ -138,11 +135,7 @@ mod tests {
         for secret in [0u64, 1, 0b1011, 0b11111] {
             let circ = bernstein_vazirani_circuit(5, secret).unwrap();
             let counts = run(&circ);
-            assert_eq!(
-                counts.get_value(secret),
-                256,
-                "secret {secret:b} not recovered"
-            );
+            assert_eq!(counts.get_value(secret), 256, "secret {secret:b} not recovered");
         }
     }
 

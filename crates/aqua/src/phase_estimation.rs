@@ -69,10 +69,8 @@ mod tests {
     fn exactly_representable_phase_is_recovered_deterministically() {
         // φ = 3/8 with t = 3 counting qubits: exact.
         let circ = qpe_phase_gate_circuit(3, 0.375).unwrap();
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(1)
-            .run(&circ, 200)
-            .unwrap();
+        let counts =
+            qukit_aer::simulator::QasmSimulator::new().with_seed(1).run(&circ, 200).unwrap();
         assert_eq!(counts.get_value(3), 200, "must always read 011 = 3");
     }
 
@@ -95,10 +93,7 @@ mod tests {
         let phi = 0.3141;
         let coarse = estimate_phase(3, phi, 400, 4).unwrap();
         let fine = estimate_phase(7, phi, 400, 4).unwrap();
-        assert!(
-            (fine - phi).abs() <= (coarse - phi).abs() + 1e-12,
-            "coarse {coarse}, fine {fine}"
-        );
+        assert!((fine - phi).abs() <= (coarse - phi).abs() + 1e-12, "coarse {coarse}, fine {fine}");
         assert!((fine - phi).abs() < 1.0 / 128.0);
     }
 

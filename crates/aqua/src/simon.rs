@@ -180,11 +180,7 @@ mod tests {
         let counts = QasmSimulator::new().with_seed(5).run(&circ, 500).unwrap();
         for (y, count) in counts.iter() {
             if count > 0 {
-                assert_eq!(
-                    (y & secret).count_ones() % 2,
-                    0,
-                    "y = {y:04b} violates y·s = 0"
-                );
+                assert_eq!((y & secret).count_ones() % 2, 0, "y = {y:04b} violates y·s = 0");
             }
         }
     }

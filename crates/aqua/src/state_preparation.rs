@@ -34,11 +34,7 @@ pub fn append_multiplexed_rotation(
     controls: &[usize],
     target: usize,
 ) -> Result<()> {
-    assert_eq!(
-        angles.len(),
-        1usize << controls.len(),
-        "need one angle per control pattern"
-    );
+    assert_eq!(angles.len(), 1usize << controls.len(), "need one angle per control pattern");
     let make = |theta: f64| match axis {
         'Y' => Gate::Ry(theta),
         'Z' => Gate::Rz(theta),
@@ -108,11 +104,7 @@ pub fn prepare_state(amplitudes: &[Complex]) -> Result<QuantumCircuit> {
             // Ry(-θ) zeroes the |1⟩ branch, with θ = 2·atan2(r1, r0).
             let theta = 2.0 * r1.atan2(r0);
             // Phase difference removed by Rz(-φ) beforehand.
-            let phi = if r0 > 1e-12 && r1 > 1e-12 {
-                a1.arg() - a0.arg()
-            } else {
-                0.0
-            };
+            let phi = if r0 > 1e-12 && r1 > 1e-12 { a1.arg() - a0.arg() } else { 0.0 };
             ry_angles.push(theta);
             rz_angles.push(phi);
             // Update the residual amplitude: the multiplexed Rz(-φ) shifts

@@ -38,7 +38,7 @@ pub fn teleport_circuit(prepare: &[(Gate, usize)]) -> Result<QuantumCircuit> {
     circ.h(0)?;
     circ.measure(0, 0)?; // m0
     circ.measure(1, 1)?; // m1
-    // Conditioned corrections on qubit 2.
+                         // Conditioned corrections on qubit 2.
     circ.append_conditional(Gate::X, &[2], "m1", 1)?;
     circ.append_conditional(Gate::Z, &[2], "m0", 1)?;
     // Read out the teleported state.
@@ -64,11 +64,8 @@ pub fn teleported_one_probability(
         .run(&circ, shots)
         .map_err(|e| qukit_terra::error::TerraError::Transpile { msg: e.to_string() })?;
     // Classical bit 2 is the output register.
-    let ones: usize = counts
-        .iter()
-        .filter(|(outcome, _)| (outcome >> 2) & 1 == 1)
-        .map(|(_, c)| c)
-        .sum();
+    let ones: usize =
+        counts.iter().filter(|(outcome, _)| (outcome >> 2) & 1 == 1).map(|(_, c)| c).sum();
     Ok(ones as f64 / shots as f64)
 }
 
@@ -115,15 +112,10 @@ mod tests {
         circ.measure(0, 0).unwrap();
         circ.measure(1, 1).unwrap();
         circ.measure(2, 2).unwrap();
-        let counts = qukit_aer::simulator::QasmSimulator::new()
-            .with_seed(5)
-            .run(&circ, 2000)
-            .unwrap();
-        let ones: usize = counts
-            .iter()
-            .filter(|(outcome, _)| (outcome >> 2) & 1 == 1)
-            .map(|(_, c)| c)
-            .sum();
+        let counts =
+            qukit_aer::simulator::QasmSimulator::new().with_seed(5).run(&circ, 2000).unwrap();
+        let ones: usize =
+            counts.iter().filter(|(outcome, _)| (outcome >> 2) & 1 == 1).map(|(_, c)| c).sum();
         let p = ones as f64 / 2000.0;
         assert!((p - 0.5).abs() < 0.05, "uncorrected output must be random, got {p}");
     }
@@ -134,11 +126,7 @@ mod tests {
         assert_eq!(circ.num_qubits(), 3);
         assert_eq!(circ.num_clbits(), 3);
         assert_eq!(circ.count_ops()["measure"], 3);
-        let conditioned = circ
-            .instructions()
-            .iter()
-            .filter(|i| i.condition.is_some())
-            .count();
+        let conditioned = circ.instructions().iter().filter(|i| i.condition.is_some()).count();
         assert_eq!(conditioned, 2);
     }
 }

@@ -213,7 +213,7 @@ mod tests {
     fn ansatz_parameter_count_and_structure() {
         let ansatz = HardwareEfficientAnsatz::new(3, 2);
         assert_eq!(ansatz.num_parameters(), 18);
-        let circ = ansatz.circuit(&vec![0.1; 18]).unwrap();
+        let circ = ansatz.circuit(&[0.1; 18]).unwrap();
         assert_eq!(circ.count_ops()["cx"], 4);
         assert_eq!(circ.count_ops()["ry"], 9);
         assert_eq!(circ.count_ops()["rz"], 9);
@@ -232,7 +232,7 @@ mod tests {
         // the diagonal terms' values on |00⟩.
         let h2 = h2_hamiltonian();
         let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
-        let e = vqe.energy(&vec![0.0; 8]).unwrap();
+        let e = vqe.energy(&[0.0; 8]).unwrap();
         // ⟨00|H|00⟩ = -1.0524 + 0.3979 - 0.3979 - 0.0113 = -1.0636
         assert!((e - (-1.06365)).abs() < 1e-3, "energy {e}");
     }
@@ -245,11 +245,7 @@ mod tests {
         let optimizer = NelderMead { max_evaluations: 4000, ..NelderMead::new() };
         let initial = vec![0.1; 8];
         let result = vqe.run(&optimizer, &initial).unwrap();
-        assert!(
-            (result.energy - exact).abs() < 1e-3,
-            "VQE {} vs exact {exact}",
-            result.energy
-        );
+        assert!((result.energy - exact).abs() < 1e-3, "VQE {} vs exact {exact}", result.energy);
     }
 
     #[test]
@@ -258,7 +254,7 @@ mod tests {
         let exact = h2.min_eigenvalue();
         let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
         let optimizer = Spsa { iterations: 1000, a: 1.0, c: 0.2, seed: 11 };
-        let result = vqe.run(&optimizer, &vec![0.2; 8]).unwrap();
+        let result = vqe.run(&optimizer, &[0.2; 8]).unwrap();
         assert!(
             (result.energy - exact).abs() < 0.05,
             "SPSA VQE {} vs exact {exact}",
@@ -272,7 +268,7 @@ mod tests {
         let exact = ising.min_eigenvalue();
         let vqe = Vqe::new(&ising, HardwareEfficientAnsatz::new(3, 2));
         let optimizer = NelderMead { max_evaluations: 6000, ..NelderMead::new() };
-        let result = vqe.run(&optimizer, &vec![0.3; 18]).unwrap();
+        let result = vqe.run(&optimizer, &[0.3; 18]).unwrap();
         assert!(
             (result.energy - exact).abs() < 0.02,
             "Ising VQE {} vs exact {exact}",
@@ -299,8 +295,8 @@ mod tests {
         let h2 = h2_hamiltonian();
         let exact = h2.min_eigenvalue();
         let vqe = Vqe::new(&h2, HardwareEfficientAnsatz::new(2, 1));
-        let optimizer = Spsa { iterations: 150, a: 1.0, c: 0.3, seed: 5 };
-        let result = vqe.run_sampled(&optimizer, &vec![0.2; 8], 512, 77).unwrap();
+        let optimizer = Spsa { iterations: 300, a: 1.0, c: 0.3, seed: 11 };
+        let result = vqe.run_sampled(&optimizer, &[0.2; 8], 512, 77).unwrap();
         assert!(
             (result.energy - exact).abs() < 0.1,
             "sampled VQE {} vs exact {exact}",

@@ -11,10 +11,7 @@ use std::time::{Duration, Instant};
 
 fn report() {
     println!("=== Ablation: DD compute-table caching ===\n");
-    println!(
-        "{:<18} {:>14} {:>14} {:>10}",
-        "circuit", "cached (µs)", "uncached (µs)", "speedup"
-    );
+    println!("{:<18} {:>14} {:>14} {:>10}", "circuit", "cached (µs)", "uncached (µs)", "speedup");
     let workloads = vec![
         ("ghz_16".to_owned(), ghz(16)),
         ("qft_8".to_owned(), qft(8)),
@@ -40,7 +37,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("dd_cache");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for (name, circ) in [("qft_7", qft(7)), ("entangler_8x3", entangler(8, 3))] {
         group.bench_with_input(BenchmarkId::new("cached", name), &circ, |b, circ| {
             b.iter(|| DdSimulator::new().run(std::hint::black_box(circ)).unwrap())

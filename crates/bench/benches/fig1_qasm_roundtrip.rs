@@ -46,7 +46,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("fig1_qasm");
-    group.sample_size(20).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("parse", |b| b.iter(|| qasm::parse(std::hint::black_box(FIG1_QASM))));
     let circ = fig1_circuit();
     group.bench_function("emit", |b| b.iter(|| qasm::emit(std::hint::black_box(&circ))));

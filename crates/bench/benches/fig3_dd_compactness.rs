@@ -85,7 +85,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("fig3_dd_build");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for n in [6usize, 10, 14] {
         let circ = ghz(n);
         group.bench_with_input(BenchmarkId::new("ghz_unitary_dd", n), &circ, |b, circ| {

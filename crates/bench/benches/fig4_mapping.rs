@@ -66,7 +66,10 @@ fn bench(c: &mut Criterion) {
     let circ = fig1_circuit();
     let qx4 = CouplingMap::ibm_qx4();
     let mut group = c.benchmark_group("fig4_mapping");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for (mapper, label) in [
         (MapperKind::Basic, "basic"),
         (MapperKind::Lookahead, "lookahead"),

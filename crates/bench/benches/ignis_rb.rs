@@ -40,7 +40,7 @@ fn report() {
     let config = RbConfig::default();
     let result = run_rb(&config, &gate_noise(0.03)).expect("runs");
     for (m, p) in &result.curve {
-        let bar: String = std::iter::repeat('#').take((p * 40.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (p * 40.0) as usize).collect();
         println!("  m = {m:>3}: {p:.3} {bar}");
     }
 
@@ -50,11 +50,8 @@ fn report() {
     let mut ghz = qukit_bench::ghz(3);
     ghz.measure_all();
     let ideal = QasmSimulator::new().with_seed(1).run(&ghz, 6000).expect("runs");
-    let noisy = QasmSimulator::new()
-        .with_seed(1)
-        .with_noise(noise.clone())
-        .run(&ghz, 6000)
-        .expect("runs");
+    let noisy =
+        QasmSimulator::new().with_seed(1).with_noise(noise.clone()).run(&ghz, 6000).expect("runs");
     let filter = MeasurementFilter::calibrate(3, &noise, 8000, 2).expect("calibrates");
     let mitigated = filter.apply(&noisy);
     println!(
@@ -69,14 +66,13 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("ignis");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("rb_full_experiment", |b| {
-        let config = RbConfig {
-            lengths: vec![1, 4, 16],
-            samples_per_length: 4,
-            shots: 100,
-            seed: 3,
-        };
+        let config =
+            RbConfig { lengths: vec![1, 4, 16], samples_per_length: 4, shots: 100, seed: 3 };
         let noise = gate_noise(0.02);
         b.iter(|| run_rb(std::hint::black_box(&config), &noise).unwrap())
     });

@@ -18,8 +18,10 @@ fn report() {
         "{:<22} {:>6} | {:>13} {:>13} {:>13}",
         "circuit", "base", "basic", "lookahead", "astar"
     );
-    println!("{:<22} {:>6} | {:>7}{:>6} {:>7}{:>6} {:>7}{:>6}",
-        "", "gates", "gates", "swaps", "gates", "swaps", "gates", "swaps");
+    println!(
+        "{:<22} {:>6} | {:>7}{:>6} {:>7}{:>6} {:>7}{:>6}",
+        "", "gates", "gates", "swaps", "gates", "swaps", "gates", "swaps"
+    );
     let mut totals = [0usize; 3];
     for (name, circ) in mapping_suite(10) {
         let base = qukit::terra::transpiler::decompose::elementary_gate_count(&circ);
@@ -34,19 +36,12 @@ fn report() {
                 ..TranspileOptions::default()
             };
             let result = transpile(&circ, &options).expect("transpiles");
-            row.push_str(&format!(
-                " {:>7}{:>6}",
-                result.circuit.num_gates(),
-                result.num_swaps
-            ));
+            row.push_str(&format!(" {:>7}{:>6}", result.circuit.num_gates(), result.num_swaps));
             totals[i] += result.circuit.num_gates();
         }
         println!("{row}");
     }
-    println!(
-        "\ntotals: basic {} / lookahead {} / astar {} gates",
-        totals[0], totals[1], totals[2]
-    );
+    println!("\ntotals: basic {} / lookahead {} / astar {} gates", totals[0], totals[1], totals[2]);
     println!(
         "shape check (search beats naive): lookahead<=basic: {}, astar<=basic: {}",
         totals[1] <= totals[0],
@@ -59,7 +54,10 @@ fn bench(c: &mut Criterion) {
     report();
     let qx5 = CouplingMap::ibm_qx5();
     let mut group = c.benchmark_group("mapping_suite");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
     let circ = qukit_bench::random_circuit(10, 40, 1234);
     for (mapper, label) in [
         (MapperKind::Basic, "basic"),
@@ -72,11 +70,9 @@ fn bench(c: &mut Criterion) {
             optimization_level: 1,
             ..TranspileOptions::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("random_10x40", label),
-            &options,
-            |b, options| b.iter(|| transpile(std::hint::black_box(&circ), options).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("random_10x40", label), &options, |b, options| {
+            b.iter(|| transpile(std::hint::black_box(&circ), options).unwrap())
+        });
     }
     group.finish();
 }

@@ -82,7 +82,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("noise_sweep");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     let ghz = ghz_measured(4);
     for p in [0.0f64, 0.05] {
         let noise = NoiseModel::depolarizing(p / 10.0, p, 0.0);

@@ -63,7 +63,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("sim_comparison");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for n in [8usize, 12, 16] {
         let circ = ghz(n);
         group.bench_with_input(BenchmarkId::new("ghz_dense", n), &circ, |b, circ| {

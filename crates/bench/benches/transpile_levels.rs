@@ -39,7 +39,10 @@ fn bench(c: &mut Criterion) {
     let qx5 = CouplingMap::ibm_qx5();
     let circ = qukit_bench::entangler(10, 3);
     let mut group = c.benchmark_group("transpile_levels");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
     for level in [0u8, 1, 2, 3] {
         let options = TranspileOptions {
             coupling_map: Some(qx5.clone()),

@@ -58,7 +58,10 @@ fn report() {
 fn bench(c: &mut Criterion) {
     report();
     let mut group = c.benchmark_group("vqe");
-    group.sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
     let h2 = h2_hamiltonian();
     let ansatz = HardwareEfficientAnsatz::new(2, 1);
     let vqe = Vqe::new(&h2, ansatz);

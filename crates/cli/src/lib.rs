@@ -9,12 +9,23 @@
 //! qukit draw     circuit.qasm            # ASCII diagram (Fig. 1b style)
 //! qukit run      circuit.qasm --backend ibmqx4 --shots 1024 --seed 7
 //! qukit transpile circuit.qasm --device ibmqx4 --mapper astar --opt 3 --emit
+//! qukit jobs     circuit.qasm --inject-fail 2 --retries 3 --seed 7
 //! ```
+//!
+//! `jobs` drives the fault-tolerant job service: it submits through the
+//! queued [`JobExecutor`](qukit::job::JobExecutor), optionally wrapping
+//! the target backend in a seeded
+//! [`FaultInjectingBackend`](qukit::fault::FaultInjectingBackend) or a
+//! [`FallbackChain`](qukit::fault::FallbackChain), and reports the job
+//! lifecycle (status, attempts, backoffs, which backend served it).
 //!
 //! All command logic lives in [`run_cli`] so it is directly testable.
 
 use qukit::execute::execute;
+use qukit::fault::{FallbackChain, FaultInjectingBackend, FaultMode};
+use qukit::job::{ExecutorConfig, JobExecutor};
 use qukit::provider::Provider;
+use qukit::retry::RetryPolicy;
 use qukit::terra::coupling::CouplingMap;
 use qukit::terra::transpiler::{transpile, MapperKind, TranspileOptions};
 use qukit::terra::{draw, qasm};
@@ -70,8 +81,17 @@ const USAGE: &str = "usage:
   qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
                   [--mapper basic|lookahead|astar] [--opt 0..3] [--emit]
   qukit equiv <a.qasm> <b.qasm>
+  qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
+             [--retries N] [--timeout-ms N]
+             [--inject-fail N | --hang-ms N] [--fallback] [--cancel]
 
-coupling KIND is one of line, ring, full, or grid:RxC";
+coupling KIND is one of line, ring, full, or grid:RxC
+
+jobs flags: --retries N allows N retries after the first attempt;
+--timeout-ms bounds each attempt; --inject-fail N makes the backend fail
+the first N calls transiently; --hang-ms makes every call stall;
+--fallback submits to a fallback chain (backend, then qasm_simulator);
+--cancel requests cancellation right after submitting";
 
 /// Runs the CLI with the given arguments, writing output to `out`.
 ///
@@ -81,9 +101,7 @@ coupling KIND is one of line, ring, full, or grid:RxC";
 /// failures.
 pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let mut args = args.iter();
-    let command = args
-        .next()
-        .ok_or_else(|| CliError::Usage("missing command".to_owned()))?;
+    let command = args.next().ok_or_else(|| CliError::Usage("missing command".to_owned()))?;
     let rest: Vec<&String> = args.collect();
     match command.as_str() {
         "backends" => cmd_backends(out),
@@ -92,6 +110,7 @@ pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "run" => cmd_run(&rest, out),
         "transpile" => cmd_transpile(&rest, out),
         "equiv" => cmd_equiv(&rest, out),
+        "jobs" => cmd_jobs(&rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -101,9 +120,8 @@ pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn load_circuit(rest: &[&String]) -> Result<qukit::QuantumCircuit, CliError> {
-    let path = rest
-        .first()
-        .ok_or_else(|| CliError::Usage("missing <file.qasm> argument".to_owned()))?;
+    let path =
+        rest.first().ok_or_else(|| CliError::Usage("missing <file.qasm> argument".to_owned()))?;
     let source = std::fs::read_to_string(path.as_str())?;
     Ok(qasm::parse(&source)?)
 }
@@ -125,9 +143,7 @@ fn flag_present(rest: &[&String], name: &str) -> bool {
 }
 
 fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, CliError> {
-    value
-        .parse::<T>()
-        .map_err(|_| CliError::Usage(format!("invalid {what} '{value}'")))
+    value.parse::<T>().map_err(|_| CliError::Usage(format!("invalid {what} '{value}'")))
 }
 
 fn cmd_backends(out: &mut impl Write) -> Result<(), CliError> {
@@ -200,12 +216,9 @@ fn build_provider(seed: Option<&str>) -> Result<Provider, CliError> {
     match seed {
         Some(v) => {
             let seed: u64 = parse_number(v, "seed")?;
-            provider.register(Box::new(
-                qukit::backend::QasmSimulatorBackend::new().with_seed(seed),
-            ));
-            provider.register(Box::new(
-                qukit::backend::DdSimulatorBackend::new().with_seed(seed),
-            ));
+            provider
+                .register(Box::new(qukit::backend::QasmSimulatorBackend::new().with_seed(seed)));
+            provider.register(Box::new(qukit::backend::DdSimulatorBackend::new().with_seed(seed)));
             provider.register(Box::new(qukit::backend::FakeDevice::ibmqx2().with_seed(seed)));
             provider.register(Box::new(qukit::backend::FakeDevice::ibmqx4().with_seed(seed)));
             provider.register(Box::new(qukit::backend::FakeDevice::ibmqx5().with_seed(seed)));
@@ -215,6 +228,127 @@ fn build_provider(seed: Option<&str>) -> Result<Provider, CliError> {
         }
     }
     Ok(provider)
+}
+
+/// Builds one backend instance by name, threading an optional seed.
+fn make_backend(name: &str, seed: Option<u64>) -> Result<Box<dyn qukit::Backend>, CliError> {
+    use qukit::backend::{DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
+    macro_rules! seeded {
+        ($backend:expr) => {{
+            let b = $backend;
+            Ok(Box::new(match seed {
+                Some(s) => b.with_seed(s),
+                None => b,
+            }) as Box<dyn qukit::Backend>)
+        }};
+    }
+    match name {
+        "qasm_simulator" => seeded!(QasmSimulatorBackend::new()),
+        "dd_simulator" => seeded!(DdSimulatorBackend::new()),
+        "stabilizer_simulator" => seeded!(StabilizerBackend::new()),
+        "ibmqx2" => seeded!(FakeDevice::ibmqx2()),
+        "ibmqx4" => seeded!(FakeDevice::ibmqx4()),
+        "ibmqx5" => seeded!(FakeDevice::ibmqx5()),
+        other => Err(CliError::Usage(format!("unknown backend '{other}'"))),
+    }
+}
+
+fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let circ = load_circuit(rest)?;
+    let backend_name = flag_value(rest, "--backend")?.unwrap_or("qasm_simulator");
+    let shots: usize = match flag_value(rest, "--shots")? {
+        Some(v) => parse_number(v, "shot count")?,
+        None => 1024,
+    };
+    let seed: Option<u64> = match flag_value(rest, "--seed")? {
+        Some(v) => Some(parse_number(v, "seed")?),
+        None => None,
+    };
+    let retries: u32 = match flag_value(rest, "--retries")? {
+        Some(v) => parse_number(v, "retry count")?,
+        None => 2,
+    };
+
+    // Assemble the backend under test: base backend, optionally wrapped
+    // in a fault injector, optionally behind a fallback chain.
+    let mut backend = make_backend(backend_name, seed)?;
+    let fault = match (flag_value(rest, "--inject-fail")?, flag_value(rest, "--hang-ms")?) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--inject-fail and --hang-ms are mutually exclusive".to_owned(),
+            ))
+        }
+        (Some(n), None) => Some(FaultMode::FailTimes(parse_number(n, "failure count")?)),
+        (None, Some(ms)) => Some(FaultMode::Hang(std::time::Duration::from_millis(parse_number(
+            ms,
+            "hang duration",
+        )?))),
+        (None, None) => None,
+    };
+    if let Some(mode) = fault {
+        backend = Box::new(FaultInjectingBackend::new(backend, mode));
+    }
+    let mut provider = Provider::with_defaults();
+    let submit_name = if flag_present(rest, "--fallback") {
+        let chain = FallbackChain::new("fallback_chain")
+            .then(backend)
+            .then(make_backend("qasm_simulator", seed)?);
+        provider.register(Box::new(chain));
+        "fallback_chain"
+    } else {
+        // Last registration wins: the instrumented backend shadows the
+        // default one of the same name.
+        provider.register(backend);
+        backend_name
+    };
+
+    let mut retry = RetryPolicy::new(retries + 1)
+        .with_base_backoff(std::time::Duration::from_millis(20))
+        .with_jitter(0.0);
+    if let Some(ms) = flag_value(rest, "--timeout-ms")? {
+        retry = retry.with_attempt_timeout(std::time::Duration::from_millis(parse_number(
+            ms,
+            "attempt timeout",
+        )?));
+    }
+    let config = ExecutorConfig { workers: 1, queue_capacity: 16, retry };
+    let executor = JobExecutor::with_config(provider, config);
+
+    let job = executor.submit(&circ, submit_name, shots)?;
+    writeln!(out, "job {}: {} shots on {}", job.id(), shots, submit_name)?;
+    // Every accepted submission starts queued; reading job.status() here
+    // would race the worker on fast backends.
+    writeln!(out, "status: {}", qukit::job::JobStatus::Queued)?;
+    if flag_present(rest, "--cancel") {
+        let immediate = job.cancel();
+        writeln!(
+            out,
+            "cancel requested ({})",
+            if immediate { "while queued" } else { "takes effect at the next attempt boundary" }
+        )?;
+    }
+    let outcome = job.result(std::time::Duration::from_secs(120));
+    writeln!(out, "status: {}", job.status())?;
+    let backoffs: Vec<String> =
+        job.backoffs().iter().map(|d| format!("{}ms", d.as_millis())).collect();
+    writeln!(out, "attempts: {} (backoffs: [{}])", job.attempts(), backoffs.join(", "))?;
+    match outcome {
+        Ok(counts) => {
+            writeln!(out, "executed on: {}", job.executed_on().unwrap_or_else(|| "?".to_owned()))?;
+            let total = counts.total() as f64;
+            for (outcome, count) in counts.iter() {
+                writeln!(
+                    out,
+                    "  {} {:>8} ({:.3})",
+                    counts.to_bitstring(outcome),
+                    count,
+                    count as f64 / total
+                )?;
+            }
+        }
+        Err(e) => writeln!(out, "job failed: {e}")?,
+    }
+    Ok(())
 }
 
 fn parse_coupling(spec: &str) -> Result<CouplingMap, CliError> {
@@ -274,12 +408,7 @@ fn cmd_transpile(rest: &[&String], out: &mut impl Write) -> Result<(), CliError>
         ..TranspileOptions::default()
     };
     let result = transpile(&circ, &options)?;
-    writeln!(
-        out,
-        "in:  {} gates, depth {}",
-        circ.num_gates(),
-        circ.depth()
-    )?;
+    writeln!(out, "in:  {} gates, depth {}", circ.num_gates(), circ.depth())?;
     writeln!(
         out,
         "out: {} gates, depth {}, swaps inserted {}",
@@ -419,16 +548,8 @@ mod tests {
     #[test]
     fn run_on_fake_device() {
         let file = write_bell();
-        let text = run_ok(&[
-            "run",
-            file.as_str(),
-            "--backend",
-            "ibmqx4",
-            "--shots",
-            "100",
-            "--seed",
-            "1",
-        ]);
+        let text =
+            run_ok(&["run", file.as_str(), "--backend", "ibmqx4", "--shots", "100", "--seed", "1"]);
         assert!(text.contains("backend: ibmqx4"));
     }
 
@@ -481,6 +602,99 @@ mod tests {
     }
 
     #[test]
+    fn jobs_happy_path_reports_lifecycle() {
+        let file = write_bell();
+        let text = run_ok(&["jobs", file.as_str(), "--shots", "200", "--seed", "5"]);
+        assert!(text.contains("status: QUEUED"), "{text}");
+        assert!(text.contains("status: DONE"), "{text}");
+        assert!(text.contains("attempts: 1 (backoffs: [])"), "{text}");
+        assert!(text.contains("executed on: qasm_simulator"), "{text}");
+        assert!(text.contains("00"), "{text}");
+    }
+
+    #[test]
+    fn jobs_retries_injected_transient_faults() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--shots",
+            "100",
+            "--seed",
+            "5",
+            "--inject-fail",
+            "2",
+            "--retries",
+            "3",
+        ]);
+        assert!(text.contains("status: DONE"), "{text}");
+        assert!(text.contains("attempts: 3"), "{text}");
+        assert!(text.contains("20ms, 40ms"), "{text}");
+    }
+
+    #[test]
+    fn jobs_exhausted_retries_report_error() {
+        let file = write_bell();
+        let text = run_ok(&["jobs", file.as_str(), "--inject-fail", "99", "--retries", "1"]);
+        assert!(text.contains("status: ERROR"), "{text}");
+        assert!(text.contains("attempts: 2"), "{text}");
+        assert!(text.contains("job failed:"), "{text}");
+    }
+
+    #[test]
+    fn jobs_hang_times_out() {
+        let file = write_bell();
+        let text = run_ok(&["jobs", file.as_str(), "--hang-ms", "500", "--timeout-ms", "25"]);
+        assert!(text.contains("status: TIMED_OUT"), "{text}");
+        assert!(text.contains("attempts: 1"), "{text}");
+    }
+
+    #[test]
+    fn jobs_fallback_chain_records_server() {
+        // reset is non-unitary: the dd simulator rejects it, the chain
+        // falls back to the qasm simulator.
+        let file = tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\n\
+             x q[0];\nreset q[0];\nx q[0];\nmeasure q -> c;\n",
+        );
+        let text = run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--backend",
+            "dd_simulator",
+            "--fallback",
+            "--shots",
+            "50",
+            "--seed",
+            "3",
+        ]);
+        assert!(text.contains("status: DONE"), "{text}");
+        assert!(text.contains("executed on: qasm_simulator"), "{text}");
+    }
+
+    #[test]
+    fn jobs_cancel_is_honored() {
+        let file = write_bell();
+        let text =
+            run_ok(&["jobs", file.as_str(), "--inject-fail", "9", "--retries", "9", "--cancel"]);
+        assert!(text.contains("cancel requested"), "{text}");
+        assert!(text.contains("status: CANCELLED"), "{text}");
+    }
+
+    #[test]
+    fn jobs_flag_conflicts_and_unknown_backend() {
+        let file = write_bell();
+        assert!(matches!(
+            run_err(&["jobs", file.as_str(), "--inject-fail", "1", "--hang-ms", "5"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["jobs", file.as_str(), "--backend", "ibmqx99"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
     fn usage_errors_are_reported() {
         assert!(matches!(run_err(&[]), CliError::Usage(_)));
         assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
@@ -494,18 +708,12 @@ mod tests {
             run_err(&["transpile", file.as_str(), "--coupling", "torus:4"]),
             CliError::Usage(_)
         ));
-        assert!(matches!(
-            run_err(&["run", file.as_str(), "--shots"]),
-            CliError::Usage(_)
-        ));
+        assert!(matches!(run_err(&["run", file.as_str(), "--shots"]), CliError::Usage(_)));
     }
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            run_err(&["stats", "/nonexistent/file.qasm"]),
-            CliError::Io(_)
-        ));
+        assert!(matches!(run_err(&["stats", "/nonexistent/file.qasm"]), CliError::Io(_)));
     }
 
     #[test]

@@ -18,7 +18,11 @@ use qukit_terra::coupling::CouplingMap;
 use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
 
 /// A target that can execute circuits and return measurement histograms.
-pub trait Backend {
+///
+/// Backends are `Send + Sync` so the [job service](crate::job) can share
+/// them across worker threads; every implementation in this crate is
+/// plain data (plus interior mutexes where bookkeeping is needed).
+pub trait Backend: Send + Sync {
     /// The backend name (`"qasm_simulator"`, `"ibmqx4"`, …).
     fn name(&self) -> &str;
 
@@ -37,6 +41,16 @@ pub trait Backend {
     /// Returns an error when the circuit does not fit the backend or
     /// simulation fails.
     fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts>;
+
+    /// The backend that actually served the most recent successful
+    /// [`run`](Backend::run), when that can differ from [`name`](Backend::name).
+    ///
+    /// Composite backends (e.g. [`crate::fault::FallbackChain`]) override
+    /// this; plain backends return `None`, meaning "myself". The job
+    /// service records the value in the job's metadata.
+    fn executed_on(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The ideal shot-based simulator backend (`qasm_simulator`).
@@ -80,18 +94,20 @@ impl Backend for QasmSimulatorBackend {
 /// Section V-C): unitary circuits only, sampling from the compressed state.
 #[derive(Debug, Clone, Default)]
 pub struct DdSimulatorBackend {
-    seed: u64,
+    seed: Option<u64>,
 }
 
 impl DdSimulatorBackend {
-    /// Creates the backend.
+    /// Creates the backend. Without [`with_seed`](Self::with_seed) each
+    /// run samples with a fresh entropy seed, matching
+    /// [`QasmSimulatorBackend`]'s behavior.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Fixes the sampling seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.seed = Some(seed);
         self
     }
 }
@@ -123,7 +139,7 @@ impl Backend for DdSimulatorBackend {
             }
         }
         let state = DdSimulator::new().run(&unitary_part)?;
-        let all_qubit_counts = state.sample_counts(shots, self.seed);
+        let all_qubit_counts = state.sample_counts(shots, self.seed.unwrap_or_else(rand::random));
         if measured.is_empty() {
             return Ok(all_qubit_counts);
         }
@@ -360,20 +376,13 @@ fn compact_idle_qubits(circuit: &QuantumCircuit) -> Result<(QuantumCircuit, Vec<
     for inst in circuit.instructions() {
         let mut rewritten = inst.clone();
         if matches!(inst.op, Operation::Barrier) {
-            rewritten.qubits = inst
-                .qubits
-                .iter()
-                .filter_map(|&q| remap[q])
-                .collect();
+            rewritten.qubits = inst.qubits.iter().filter_map(|&q| remap[q]).collect();
             if rewritten.qubits.is_empty() {
                 continue;
             }
         } else {
-            rewritten.qubits = inst
-                .qubits
-                .iter()
-                .map(|&q| remap[q].expect("used qubit has a slot"))
-                .collect();
+            rewritten.qubits =
+                inst.qubits.iter().map(|&q| remap[q].expect("used qubit has a slot")).collect();
         }
         out.push(rewritten)?;
     }
@@ -465,9 +474,7 @@ mod tests {
 
     #[test]
     fn noiseless_fake_device_is_exact() {
-        let device = FakeDevice::ibmqx4()
-            .with_noise(NoiseModel::new())
-            .with_seed(5);
+        let device = FakeDevice::ibmqx4().with_noise(NoiseModel::new()).with_seed(5);
         let counts = device.run(&bell(), 600).unwrap();
         assert_eq!(counts.get("01") + counts.get("10"), 0);
     }
@@ -481,9 +488,7 @@ mod tests {
             .with_cx_error((2, 1), 0.5)
             .with_cx_error((1, 0), 0.5);
         let calibrated = FakeDevice::ibmqx4().with_calibration(&calibration).with_seed(7);
-        let trivial = FakeDevice::ibmqx4()
-            .with_noise(calibration.noise_model())
-            .with_seed(7);
+        let trivial = FakeDevice::ibmqx4().with_noise(calibration.noise_model()).with_seed(7);
         // Logical q0-q1 trivially land on physical Q0-Q1 (the bad edge).
         let counts_cal = calibrated.run(&bell(), 3000).unwrap();
         let counts_triv = trivial.run(&bell(), 3000).unwrap();
@@ -555,7 +560,10 @@ impl DeviceCalibration {
         for (q, &e) in self.single_qubit_error.iter().enumerate() {
             if e > 0.0 {
                 let channel = qukit_aer::noise::QuantumError::depolarizing(e, 1);
-                for name in ["u", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "p", "sx", "sxdg", "id"] {
+                for name in [
+                    "u", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "p", "sx",
+                    "sxdg", "id",
+                ] {
                     noise.add_local_error(name, vec![q], channel.clone());
                 }
             }

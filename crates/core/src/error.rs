@@ -16,6 +16,55 @@ pub enum QukitError {
         /// Human-readable description.
         msg: String,
     },
+    /// A transient backend failure (queue hiccup, injected fault, device
+    /// momentarily offline). The only [retryable](QukitError::is_retryable)
+    /// kind: resubmitting the identical circuit may succeed.
+    Transient {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Invalid submission rejected up front (zero shots, circuit wider
+    /// than the backend) — failing before the backend runs keeps the
+    /// error independent of backend-specific behavior.
+    InvalidInput {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Job-service error (queue full, job cancelled or timed out,
+    /// executor shut down).
+    Job {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+/// Whether an error is worth retrying with the same inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The operation may succeed if repeated (transient backend failure).
+    Retryable,
+    /// Repeating the identical submission cannot succeed (circuit too
+    /// wide, unsupported instruction, invalid input, …).
+    Fatal,
+}
+
+impl QukitError {
+    /// Classifies the error for retry purposes.
+    ///
+    /// Only [`QukitError::Transient`] is retryable: every other kind is
+    /// a property of the submission itself (bad circuit, bad arguments,
+    /// capability mismatch) and will fail identically on any retry.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            QukitError::Transient { .. } => ErrorClass::Retryable,
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// `true` when a retry of the identical submission may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Retryable
+    }
 }
 
 impl fmt::Display for QukitError {
@@ -25,6 +74,9 @@ impl fmt::Display for QukitError {
             QukitError::Aer(e) => write!(f, "{e}"),
             QukitError::Dd(e) => write!(f, "{e}"),
             QukitError::Backend { msg } => write!(f, "backend error: {msg}"),
+            QukitError::Transient { msg } => write!(f, "transient backend error: {msg}"),
+            QukitError::InvalidInput { msg } => write!(f, "invalid input: {msg}"),
+            QukitError::Job { msg } => write!(f, "job error: {msg}"),
         }
     }
 }
@@ -35,7 +87,10 @@ impl std::error::Error for QukitError {
             QukitError::Terra(e) => Some(e),
             QukitError::Aer(e) => Some(e),
             QukitError::Dd(e) => Some(e),
-            QukitError::Backend { .. } => None,
+            QukitError::Backend { .. }
+            | QukitError::Transient { .. }
+            | QukitError::InvalidInput { .. }
+            | QukitError::Job { .. } => None,
         }
     }
 }
@@ -74,5 +129,22 @@ mod tests {
         let b = QukitError::Backend { msg: "no such backend".into() };
         assert!(b.to_string().contains("no such backend"));
         assert!(std::error::Error::source(&b).is_none());
+    }
+
+    #[test]
+    fn only_transient_errors_are_retryable() {
+        let transient = QukitError::Transient { msg: "device busy".into() };
+        assert_eq!(transient.class(), ErrorClass::Retryable);
+        assert!(transient.is_retryable());
+        let fatal: Vec<QukitError> = vec![
+            QukitError::Backend { msg: "x".into() },
+            QukitError::InvalidInput { msg: "x".into() },
+            QukitError::Job { msg: "x".into() },
+            qukit_terra::error::TerraError::Transpile { msg: "x".into() }.into(),
+        ];
+        for e in fatal {
+            assert_eq!(e.class(), ErrorClass::Fatal, "{e} must be fatal");
+            assert!(!e.is_retryable());
+        }
     }
 }

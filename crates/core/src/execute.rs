@@ -6,16 +6,51 @@
 //! needed, and returns the counts histogram.
 
 use crate::backend::Backend;
-use crate::error::Result;
+use crate::error::{QukitError, Result};
 use qukit_aer::counts::Counts;
 use qukit_terra::circuit::QuantumCircuit;
+
+/// Validates a submission before it reaches a backend or the job queue.
+///
+/// Shared by [`execute`] and
+/// [`JobExecutor::submit`](crate::job::JobExecutor::submit) so both
+/// entry points reject malformed work identically and up front.
+///
+/// # Errors
+///
+/// [`QukitError::InvalidInput`] when `shots` is zero or the circuit is
+/// wider than the backend.
+pub fn validate_submission(
+    circuit: &QuantumCircuit,
+    backend: &dyn Backend,
+    shots: usize,
+) -> Result<()> {
+    if shots == 0 {
+        return Err(QukitError::InvalidInput {
+            msg: "shots must be at least 1 (a zero-shot run produces no counts)".to_owned(),
+        });
+    }
+    if circuit.num_qubits() > backend.num_qubits() {
+        return Err(QukitError::InvalidInput {
+            msg: format!(
+                "circuit uses {} qubits but backend '{}' has only {}",
+                circuit.num_qubits(),
+                backend.name(),
+                backend.num_qubits()
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Executes a circuit on a backend, measuring all qubits if the circuit
 /// contains no measurement.
 ///
 /// # Errors
 ///
-/// Propagates backend errors (width, unsupported instructions, …).
+/// [`QukitError::InvalidInput`] for zero shots or a circuit wider than
+/// the backend (see [`validate_submission`]); otherwise propagates
+/// backend errors (unsupported instructions, …).
 ///
 /// # Examples
 ///
@@ -34,6 +69,7 @@ use qukit_terra::circuit::QuantumCircuit;
 /// # }
 /// ```
 pub fn execute(circuit: &QuantumCircuit, backend: &dyn Backend, shots: usize) -> Result<Counts> {
+    validate_submission(circuit, backend, shots)?;
     if circuit.has_measurements() {
         backend.run(circuit, shots)
     } else {
@@ -75,15 +111,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_shots_is_rejected() {
+        let err = execute(&ghz(), &QasmSimulatorBackend::new(), 0).unwrap_err();
+        assert!(matches!(err, crate::error::QukitError::InvalidInput { .. }));
+        assert!(err.to_string().contains("shots"));
+    }
+
+    #[test]
+    fn too_wide_circuit_is_rejected_with_backend_name() {
+        let wide = QuantumCircuit::new(6);
+        let err = execute(&wide, &FakeDevice::ibmqx4(), 100).unwrap_err();
+        assert!(matches!(err, crate::error::QukitError::InvalidInput { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("6 qubits"), "{msg}");
+        assert!(msg.contains("ibmqx4"), "{msg}");
+        assert!(msg.contains("5"), "{msg}");
+    }
+
+    #[test]
+    fn width_equal_to_backend_is_accepted() {
+        let mut circ = QuantumCircuit::new(5);
+        circ.h(0).unwrap();
+        let counts = execute(&circ, &FakeDevice::ibmqx4().with_seed(4), 100).unwrap();
+        assert_eq!(counts.total(), 100);
+    }
+
+    #[test]
     fn same_circuit_all_three_backend_kinds() {
         let circ = ghz();
         let qasm = execute(&circ, &QasmSimulatorBackend::new().with_seed(3), 1500).unwrap();
         let dd = execute(&circ, &DdSimulatorBackend::new().with_seed(3), 1500).unwrap();
         let device = execute(
             &circ,
-            &FakeDevice::ibmqx4()
-                .with_noise(qukit_aer::noise::NoiseModel::new())
-                .with_seed(3),
+            &FakeDevice::ibmqx4().with_noise(qukit_aer::noise::NoiseModel::new()).with_seed(3),
             1500,
         )
         .unwrap();

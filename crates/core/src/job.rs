@@ -1,0 +1,779 @@
+//! The fault-tolerant job execution service.
+//!
+//! The paper's user story runs circuits through the IBM Q Experience
+//! cloud: submissions enter a shared queue behind other users, wait,
+//! run, and sometimes fail or vanish while a device recalibrates. This
+//! module reproduces that service shape locally: a [`JobExecutor`] with
+//! a bounded submission queue and a worker-thread pool turns
+//! `submit(circuit, backend, shots)` into a [`Job`] handle with the
+//! Qiskit-style lifecycle
+//!
+//! ```text
+//! Queued ──► Running ──► Done
+//!    │          ├──────► Error      (fatal, or retries exhausted)
+//!    │          ├──────► TimedOut   (attempt exceeded its budget)
+//!    │          └──────► Cancelled  (cancel observed between attempts)
+//!    └─────────────────► Cancelled  (cancelled while still queued)
+//! ```
+//!
+//! Each attempt is wrapped in the executor's [`RetryPolicy`]: transient
+//! failures back off (deterministic seeded jitter) and retry, fatal
+//! errors stop immediately, and hung attempts are abandoned by the
+//! worker once the per-attempt timeout elapses. The job records its
+//! attempt count, the backoff schedule it actually waited, and which
+//! backend served the result (see
+//! [`Backend::executed_on`](crate::backend::Backend::executed_on)) so
+//! recovery behavior is observable and testable.
+
+use crate::error::{QukitError, Result};
+use crate::execute::validate_submission;
+use crate::provider::Provider;
+use crate::retry::RetryPolicy;
+use qukit_aer::counts::Counts;
+use qukit_terra::circuit::QuantumCircuit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The lifecycle state of a [`Job`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted and waiting in the submission queue.
+    Queued,
+    /// A worker is executing attempts.
+    Running,
+    /// Finished successfully; the result is available.
+    Done,
+    /// Failed fatally or exhausted its retries.
+    Error,
+    /// Cancelled before a result was produced.
+    Cancelled,
+    /// An attempt exceeded the per-attempt timeout.
+    TimedOut,
+}
+
+impl JobStatus {
+    /// `true` once the status can no longer change.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+impl std::fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            JobStatus::Queued => "QUEUED",
+            JobStatus::Running => "RUNNING",
+            JobStatus::Done => "DONE",
+            JobStatus::Error => "ERROR",
+            JobStatus::Cancelled => "CANCELLED",
+            JobStatus::TimedOut => "TIMED_OUT",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Mutable job state behind the handle's mutex.
+#[derive(Debug)]
+struct JobState {
+    status: JobStatus,
+    result: Option<Counts>,
+    error: Option<String>,
+    attempts: u32,
+    backoffs: Vec<Duration>,
+    executed_on: Option<String>,
+    cancel_requested: bool,
+}
+
+/// Shared core of a job: state + wakeup for `result()` waiters.
+#[derive(Debug)]
+struct JobShared {
+    id: u64,
+    backend_name: String,
+    shots: usize,
+    state: Mutex<JobState>,
+    cond: Condvar,
+}
+
+impl JobShared {
+    fn update<T>(&self, f: impl FnOnce(&mut JobState) -> T) -> T {
+        let mut state = self.state.lock().expect("job state lock");
+        let out = f(&mut state);
+        self.cond.notify_all();
+        out
+    }
+}
+
+/// A handle to a submitted job. Clones share the same underlying job.
+///
+/// See the [module docs](self) for the lifecycle; the handle exposes
+/// [`status`](Job::status), blocking [`result`](Job::result) /
+/// [`wait`](Job::wait), [`cancel`](Job::cancel), and the recovery
+/// metadata ([`attempts`](Job::attempts), [`backoffs`](Job::backoffs),
+/// [`executed_on`](Job::executed_on)).
+#[derive(Clone, Debug)]
+pub struct Job {
+    shared: Arc<JobShared>,
+}
+
+impl Job {
+    fn new(id: u64, backend_name: String, shots: usize) -> Self {
+        Self {
+            shared: Arc::new(JobShared {
+                id,
+                backend_name,
+                shots,
+                state: Mutex::new(JobState {
+                    status: JobStatus::Queued,
+                    result: None,
+                    error: None,
+                    attempts: 0,
+                    backoffs: Vec::new(),
+                    executed_on: None,
+                    cancel_requested: false,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The executor-unique job id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// The backend name the job was submitted to.
+    pub fn backend_name(&self) -> &str {
+        &self.shared.backend_name
+    }
+
+    /// The submitted shot count.
+    pub fn shots(&self) -> usize {
+        self.shared.shots
+    }
+
+    /// The current lifecycle status.
+    pub fn status(&self) -> JobStatus {
+        self.shared.state.lock().expect("job state lock").status
+    }
+
+    /// How many execution attempts have started.
+    pub fn attempts(&self) -> u32 {
+        self.shared.state.lock().expect("job state lock").attempts
+    }
+
+    /// The backoffs waited before each retry, in order.
+    pub fn backoffs(&self) -> Vec<Duration> {
+        self.shared.state.lock().expect("job state lock").backoffs.clone()
+    }
+
+    /// The backend that actually served the result (for plain backends
+    /// this equals [`backend_name`](Job::backend_name); for a
+    /// [`FallbackChain`](crate::fault::FallbackChain) it names the member
+    /// that succeeded). `None` until the job is `Done`.
+    pub fn executed_on(&self) -> Option<String> {
+        self.shared.state.lock().expect("job state lock").executed_on.clone()
+    }
+
+    /// The failure message of an `Error` job, if any.
+    pub fn error_message(&self) -> Option<String> {
+        self.shared.state.lock().expect("job state lock").error.clone()
+    }
+
+    /// Requests cancellation. A still-queued job flips to `Cancelled`
+    /// immediately (and returns `true`); a running job is cancelled at
+    /// the next attempt boundary — in-flight attempts are not
+    /// interrupted, matching the cloud service's semantics. Terminal
+    /// jobs are unaffected.
+    pub fn cancel(&self) -> bool {
+        self.shared.update(|state| {
+            state.cancel_requested = true;
+            if state.status == JobStatus::Queued {
+                state.status = JobStatus::Cancelled;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Blocks until the job reaches a terminal state or `deadline`
+    /// elapses, then returns the result.
+    ///
+    /// # Errors
+    ///
+    /// [`QukitError::Job`] when the wait deadline elapses first or the
+    /// job ended `Cancelled`/`TimedOut`; the recorded failure for
+    /// `Error` jobs.
+    pub fn result(&self, deadline: Duration) -> Result<Counts> {
+        let limit = Instant::now() + deadline;
+        let mut state = self.shared.state.lock().expect("job state lock");
+        while !state.status.is_terminal() {
+            let now = Instant::now();
+            if now >= limit {
+                return Err(QukitError::Job {
+                    msg: format!(
+                        "job {} still {} after waiting {:?}",
+                        self.shared.id, state.status, deadline
+                    ),
+                });
+            }
+            let (next, timeout) =
+                self.shared.cond.wait_timeout(state, limit - now).expect("job state lock");
+            state = next;
+            let _ = timeout;
+        }
+        match state.status {
+            JobStatus::Done => Ok(state.result.clone().expect("done job has counts")),
+            JobStatus::Error => Err(QukitError::Job {
+                msg: format!(
+                    "job {} failed: {}",
+                    self.shared.id,
+                    state.error.as_deref().unwrap_or("unknown error")
+                ),
+            }),
+            JobStatus::Cancelled => {
+                Err(QukitError::Job { msg: format!("job {} was cancelled", self.shared.id) })
+            }
+            JobStatus::TimedOut => Err(QukitError::Job {
+                msg: format!(
+                    "job {} timed out: {}",
+                    self.shared.id,
+                    state.error.as_deref().unwrap_or("attempt exceeded its time budget")
+                ),
+            }),
+            JobStatus::Queued | JobStatus::Running => unreachable!("loop exits on terminal status"),
+        }
+    }
+
+    /// [`result`](Job::result) with an effectively unbounded deadline.
+    pub fn wait(&self) -> Result<Counts> {
+        self.result(Duration::from_secs(u64::MAX / 4))
+    }
+}
+
+/// Configuration of a [`JobExecutor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads executing jobs concurrently.
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue rejects
+    /// submissions with [`QukitError::Job`] instead of blocking.
+    pub queue_capacity: usize,
+    /// Retry policy applied to every job.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ExecutorConfig {
+    /// Two workers, a 64-slot queue, and the default [`RetryPolicy`].
+    fn default() -> Self {
+        Self { workers: 2, queue_capacity: 64, retry: RetryPolicy::default() }
+    }
+}
+
+/// A queue entry: the job handle plus the work description.
+struct QueuedJob {
+    job: Job,
+    circuit: QuantumCircuit,
+}
+
+/// The job service: bounded queue + worker pool + retry policy over a
+/// shared [`Provider`].
+///
+/// Dropping the executor closes the queue and joins the workers;
+/// already-submitted jobs finish first (abandoned hung attempts are
+/// detached, not joined).
+///
+/// # Examples
+///
+/// ```
+/// use qukit::job::{JobExecutor, JobStatus};
+/// use qukit::provider::Provider;
+/// use qukit_terra::circuit::QuantumCircuit;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), qukit::error::QukitError> {
+/// let executor = JobExecutor::new(Provider::with_defaults());
+/// let mut bell = QuantumCircuit::new(2);
+/// bell.h(0).unwrap();
+/// bell.cx(0, 1).unwrap();
+/// let job = executor.submit(&bell, "qasm_simulator", 256)?;
+/// let counts = job.result(Duration::from_secs(30))?;
+/// assert_eq!(counts.total(), 256);
+/// assert_eq!(job.status(), JobStatus::Done);
+/// # Ok(())
+/// # }
+/// ```
+pub struct JobExecutor {
+    provider: Arc<Provider>,
+    sender: Option<SyncSender<QueuedJob>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    retry: RetryPolicy,
+}
+
+impl JobExecutor {
+    /// An executor over `provider` with the default [`ExecutorConfig`].
+    pub fn new(provider: Provider) -> Self {
+        Self::with_config(provider, ExecutorConfig::default())
+    }
+
+    /// An executor with an explicit configuration.
+    pub fn with_config(provider: Provider, config: ExecutorConfig) -> Self {
+        let provider = Arc::new(provider);
+        let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let provider = Arc::clone(&provider);
+                let retry = config.retry.clone();
+                std::thread::spawn(move || worker_loop(&receiver, &provider, &retry))
+            })
+            .collect();
+        Self {
+            provider,
+            sender: Some(sender),
+            workers,
+            next_id: AtomicU64::new(1),
+            retry: config.retry,
+        }
+    }
+
+    /// The executor's retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The provider backing this executor.
+    pub fn provider(&self) -> &Provider {
+        &self.provider
+    }
+
+    /// Submits a circuit for asynchronous execution and returns its
+    /// [`Job`] handle. Terminal measurements are added when missing,
+    /// exactly like [`execute`](crate::execute::execute).
+    ///
+    /// # Errors
+    ///
+    /// - [`QukitError::Backend`] for an unknown backend name
+    /// - [`QukitError::InvalidInput`] for zero shots or a circuit wider
+    ///   than the backend (rejected up front, before queueing)
+    /// - [`QukitError::Job`] when the submission queue is full or the
+    ///   executor is shutting down
+    pub fn submit(
+        &self,
+        circuit: &QuantumCircuit,
+        backend_name: &str,
+        shots: usize,
+    ) -> Result<Job> {
+        let backend = self.provider.get_backend(backend_name)?;
+        validate_submission(circuit, backend, shots)?;
+        let prepared = if circuit.has_measurements() {
+            circuit.clone()
+        } else {
+            let mut measured = circuit.clone();
+            measured.measure_all();
+            measured
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, backend_name.to_owned(), shots);
+        let entry = QueuedJob { job: job.clone(), circuit: prepared };
+        let sender = self
+            .sender
+            .as_ref()
+            .ok_or_else(|| QukitError::Job { msg: "executor is shut down".to_owned() })?;
+        match sender.try_send(entry) {
+            Ok(()) => Ok(job),
+            Err(TrySendError::Full(_)) => Err(QukitError::Job {
+                msg: format!("submission queue is full (capacity reached); job {id} rejected"),
+            }),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(QukitError::Job { msg: "executor workers are gone".to_owned() })
+            }
+        }
+    }
+
+    /// Closes the queue and waits for the workers to drain it.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for JobExecutor {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// What one execution attempt produced.
+enum AttemptOutcome {
+    Finished(Result<Counts>),
+    TimedOut,
+}
+
+fn worker_loop(
+    receiver: &Mutex<Receiver<QueuedJob>>,
+    provider: &Arc<Provider>,
+    retry: &RetryPolicy,
+) {
+    loop {
+        // Hold the lock only for the dequeue so workers run jobs in
+        // parallel.
+        let entry = {
+            let guard = receiver.lock().expect("job queue lock");
+            guard.recv()
+        };
+        let Ok(QueuedJob { job, circuit }) = entry else {
+            return; // queue closed: executor is shutting down
+        };
+        run_job(&job, &circuit, provider, retry);
+    }
+}
+
+/// Executes one job: attempts + backoff + timeout + status transitions.
+fn run_job(job: &Job, circuit: &QuantumCircuit, provider: &Arc<Provider>, retry: &RetryPolicy) {
+    let proceed = job.shared.update(|state| {
+        if state.status == JobStatus::Cancelled || state.cancel_requested {
+            state.status = JobStatus::Cancelled;
+            false
+        } else {
+            state.status = JobStatus::Running;
+            true
+        }
+    });
+    if !proceed {
+        return;
+    }
+    for attempt in 1..=retry.max_attempts {
+        if attempt > 1 {
+            let backoff = retry.backoff_before(attempt);
+            job.shared.update(|state| state.backoffs.push(backoff));
+            std::thread::sleep(backoff);
+            // Cancellation is honored at attempt boundaries.
+            let cancelled = job.shared.update(|state| {
+                if state.cancel_requested {
+                    state.status = JobStatus::Cancelled;
+                    true
+                } else {
+                    false
+                }
+            });
+            if cancelled {
+                return;
+            }
+        }
+        job.shared.update(|state| state.attempts = attempt);
+        let outcome = run_attempt(job, circuit, provider, retry.attempt_timeout);
+        match outcome {
+            AttemptOutcome::Finished(Ok(counts)) => {
+                let backend_name = job.shared.backend_name.clone();
+                let served = provider
+                    .get_backend(&backend_name)
+                    .ok()
+                    .and_then(|b| b.executed_on())
+                    .unwrap_or(backend_name);
+                job.shared.update(|state| {
+                    state.executed_on = Some(served);
+                    state.result = Some(counts);
+                    state.status = JobStatus::Done;
+                });
+                return;
+            }
+            AttemptOutcome::Finished(Err(e)) => {
+                let retryable = e.is_retryable() && attempt < retry.max_attempts;
+                if !retryable {
+                    job.shared.update(|state| {
+                        state.error = Some(e.to_string());
+                        state.status = JobStatus::Error;
+                    });
+                    return;
+                }
+                // Transient with attempts left: loop for the next attempt.
+            }
+            AttemptOutcome::TimedOut => {
+                // A hung attempt cannot be interrupted, only abandoned;
+                // the paper's cloud queue reports such jobs as timed out
+                // rather than silently re-running a possibly side-effecting
+                // submission, and so do we.
+                job.shared.update(|state| {
+                    state.error = Some(format!(
+                        "attempt {attempt} exceeded its {:?} budget",
+                        retry.attempt_timeout.expect("timeout set when attempts time out")
+                    ));
+                    state.status = JobStatus::TimedOut;
+                });
+                return;
+            }
+        }
+    }
+    unreachable!("final attempt either succeeds, errors, or times out");
+}
+
+/// Runs one attempt, enforcing the per-attempt timeout by running the
+/// backend call on a helper thread and abandoning it on expiry.
+fn run_attempt(
+    job: &Job,
+    circuit: &QuantumCircuit,
+    provider: &Arc<Provider>,
+    timeout: Option<Duration>,
+) -> AttemptOutcome {
+    let backend_name = job.shared.backend_name.clone();
+    let shots = job.shared.shots;
+    let Some(timeout) = timeout else {
+        let result =
+            provider.get_backend(&backend_name).and_then(|backend| backend.run(circuit, shots));
+        return AttemptOutcome::Finished(result);
+    };
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    let provider = Arc::clone(provider);
+    let circuit = circuit.clone();
+    std::thread::spawn(move || {
+        let result =
+            provider.get_backend(&backend_name).and_then(|backend| backend.run(&circuit, shots));
+        let _ = tx.send(result); // receiver may have given up: ignore
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(result) => AttemptOutcome::Finished(result),
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            AttemptOutcome::TimedOut
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::QasmSimulatorBackend;
+    use crate::fault::{FaultInjectingBackend, FaultMode};
+
+    fn bell() -> QuantumCircuit {
+        let mut circ = QuantumCircuit::new(2);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ
+    }
+
+    fn provider_with(backend: Box<dyn crate::backend::Backend>) -> Provider {
+        let mut provider = Provider::new();
+        provider.register(backend);
+        provider
+    }
+
+    fn fast_retry(attempts: u32) -> RetryPolicy {
+        RetryPolicy::new(attempts).with_base_backoff(Duration::from_millis(1)).with_jitter(0.0)
+    }
+
+    #[test]
+    fn submit_runs_to_done_with_metadata() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let job = executor.submit(&bell(), "qasm_simulator", 300).unwrap();
+        let counts = job.result(Duration::from_secs(30)).unwrap();
+        assert_eq!(counts.total(), 300);
+        assert_eq!(job.status(), JobStatus::Done);
+        assert!(job.status().is_terminal());
+        assert_eq!(job.attempts(), 1);
+        assert!(job.backoffs().is_empty());
+        assert_eq!(job.executed_on().as_deref(), Some("qasm_simulator"));
+        assert_eq!(job.backend_name(), "qasm_simulator");
+        assert_eq!(job.shots(), 300);
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_increasing() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let a = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        let b = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn unknown_backend_is_rejected_at_submit() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let err = executor.submit(&bell(), "ibmqx99", 10).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+    }
+
+    #[test]
+    fn invalid_submissions_are_rejected_before_queueing() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let err = executor.submit(&bell(), "qasm_simulator", 0).unwrap_err();
+        assert!(matches!(err, QukitError::InvalidInput { .. }));
+        let wide = QuantumCircuit::new(6);
+        let err = executor.submit(&wide, "ibmqx4", 10).unwrap_err();
+        assert!(matches!(err, QukitError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn transient_failures_retry_with_recorded_backoff() {
+        let flaky = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new().with_seed(21)),
+            FaultMode::FailTimes(2),
+        );
+        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3) };
+        let executor = JobExecutor::with_config(provider_with(Box::new(flaky)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 200).unwrap();
+        let counts = job.result(Duration::from_secs(30)).unwrap();
+        assert_eq!(counts.total(), 200);
+        assert_eq!(job.attempts(), 3, "two injected failures + one success");
+        assert_eq!(job.backoffs(), executor.retry_policy().schedule()[..2].to_vec());
+    }
+
+    #[test]
+    fn retries_exhausted_reports_error() {
+        let dead = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::AlwaysFail,
+        );
+        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3) };
+        let executor = JobExecutor::with_config(provider_with(Box::new(dead)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 50).unwrap();
+        let err = job.result(Duration::from_secs(30)).unwrap_err();
+        assert_eq!(job.status(), JobStatus::Error);
+        assert_eq!(job.attempts(), 3, "all attempts consumed");
+        assert!(err.to_string().contains("injected fault"));
+        assert!(job.error_message().unwrap().contains("injected fault"));
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        // The stabilizer backend rejects non-Clifford gates with a fatal
+        // (non-transient) error.
+        let mut provider = Provider::new();
+        provider.register(Box::new(crate::backend::StabilizerBackend::new()));
+        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(5) };
+        let executor = JobExecutor::with_config(provider, config);
+        let mut t_circ = QuantumCircuit::new(1);
+        t_circ.t(0).unwrap();
+        let job = executor.submit(&t_circ, "stabilizer_simulator", 10).unwrap();
+        assert!(job.result(Duration::from_secs(30)).is_err());
+        assert_eq!(job.status(), JobStatus::Error);
+        assert_eq!(job.attempts(), 1, "fatal error must not retry");
+        assert!(job.backoffs().is_empty());
+    }
+
+    #[test]
+    fn hung_attempt_times_out() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(400)),
+        );
+        let retry = fast_retry(3).with_attempt_timeout(Duration::from_millis(20));
+        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        let err = job.result(Duration::from_secs(30)).unwrap_err();
+        assert_eq!(job.status(), JobStatus::TimedOut);
+        assert!(err.to_string().contains("timed out"));
+        assert_eq!(job.attempts(), 1, "hung attempts are not retried");
+    }
+
+    #[test]
+    fn queued_job_cancels_immediately_and_running_queue_drains() {
+        // One worker pinned on a hanging job makes the queue state
+        // deterministic: wait for RUNNING, then cancel a queued job.
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(150)),
+        );
+        let config = ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none() };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let first = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        while first.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert_eq!(queued.status(), JobStatus::Queued);
+        assert!(queued.cancel(), "queued job cancels immediately");
+        assert_eq!(queued.status(), JobStatus::Cancelled);
+        let err = queued.result(Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("cancelled"));
+        // The running job is unaffected.
+        assert_eq!(first.result(Duration::from_secs(30)).unwrap().total(), 10);
+    }
+
+    #[test]
+    fn full_queue_rejects_submissions() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(150)),
+        );
+        let config = ExecutorConfig { workers: 1, queue_capacity: 1, retry: RetryPolicy::none() };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        // Pin the worker, fill the single queue slot, then overflow it.
+        let running = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        while running.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _queued = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        let err = executor.submit(&bell(), "qasm_simulator", 10).unwrap_err();
+        assert!(matches!(err, QukitError::Job { .. }));
+        assert!(err.to_string().contains("queue is full"));
+    }
+
+    #[test]
+    fn result_wait_deadline_is_reported_without_killing_the_job() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(100)),
+        );
+        let config = ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none() };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        let err = job.result(Duration::from_millis(5)).unwrap_err();
+        assert!(err.to_string().contains("after waiting"));
+        // The job itself keeps running and finishes.
+        assert_eq!(job.result(Duration::from_secs(30)).unwrap().total(), 10);
+    }
+
+    #[test]
+    fn workers_execute_jobs_concurrently() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(60)),
+        );
+        let config = ExecutorConfig { workers: 4, queue_capacity: 16, retry: RetryPolicy::none() };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let t0 = Instant::now();
+        let jobs: Vec<Job> =
+            (0..4).map(|_| executor.submit(&bell(), "qasm_simulator", 10).unwrap()).collect();
+        for job in &jobs {
+            assert_eq!(job.result(Duration::from_secs(30)).unwrap().total(), 10);
+        }
+        // Serial execution would need >= 240 ms; allow generous slack
+        // while still proving overlap.
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "4 hanging jobs on 4 workers took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_jobs() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let jobs: Vec<Job> =
+            (0..6).map(|_| executor.submit(&bell(), "qasm_simulator", 20).unwrap()).collect();
+        executor.shutdown();
+        for job in &jobs {
+            assert_eq!(job.status(), JobStatus::Done);
+        }
+    }
+
+    #[test]
+    fn status_display_matches_cloud_vocabulary() {
+        assert_eq!(JobStatus::Queued.to_string(), "QUEUED");
+        assert_eq!(JobStatus::TimedOut.to_string(), "TIMED_OUT");
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Cancelled.is_terminal());
+    }
+}

@@ -47,12 +47,20 @@
 pub mod backend;
 pub mod error;
 pub mod execute;
+pub mod fault;
+pub mod job;
 pub mod provider;
+pub mod retry;
 
-pub use backend::{Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
-pub use error::QukitError;
+pub use backend::{
+    Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend,
+};
+pub use error::{ErrorClass, QukitError};
 pub use execute::execute;
+pub use fault::{FallbackChain, FaultInjectingBackend, FaultMode};
+pub use job::{ExecutorConfig, Job, JobExecutor, JobStatus};
 pub use provider::Provider;
+pub use retry::RetryPolicy;
 
 // Re-export the component crates under their element names.
 pub use qukit_aer as aer;

@@ -4,7 +4,9 @@
 //! (`IBMQ.load_accounts(); IBMQ.get_backend('ibmqx4')`): a registry of
 //! available backends looked up by name.
 
-use crate::backend::{Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
+use crate::backend::{
+    Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend,
+};
 use crate::error::{QukitError, Result};
 
 /// A registry of execution backends.
@@ -42,8 +44,13 @@ impl Provider {
         provider
     }
 
-    /// Registers a backend.
+    /// Registers a backend. Re-registering a name replaces the previous
+    /// entry (**last registration wins**), so tests and tools can swap a
+    /// default backend for an instrumented one — e.g. a
+    /// [`FaultInjectingBackend`](crate::fault::FaultInjectingBackend)
+    /// wrapping it — without lookup ambiguity.
     pub fn register(&mut self, backend: Box<dyn Backend>) {
+        self.backends.retain(|b| b.name() != backend.name());
         self.backends.push(backend);
     }
 
@@ -52,34 +59,29 @@ impl Provider {
         self.backends.iter().map(|b| b.name()).collect()
     }
 
-    /// Looks up a backend by name.
+    /// Looks up a backend by name. Names are unique by construction
+    /// ([`register`](Provider::register) replaces duplicates), so the
+    /// lookup is unambiguous and always returns the most recently
+    /// registered backend of that name.
     ///
     /// # Errors
     ///
     /// Returns [`QukitError::Backend`] when no backend has that name.
     pub fn get_backend(&self, name: &str) -> Result<&dyn Backend> {
-        self.backends
-            .iter()
-            .map(|b| b.as_ref())
-            .find(|b| b.name() == name)
-            .ok_or_else(|| QukitError::Backend {
+        self.backends.iter().map(|b| b.as_ref()).find(|b| b.name() == name).ok_or_else(|| {
+            QukitError::Backend {
                 msg: format!(
                     "unknown backend '{name}' (available: {})",
-                    self.backends
-                        .iter()
-                        .map(|b| b.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    self.backends.iter().map(|b| b.name()).collect::<Vec<_>>().join(", ")
                 ),
-            })
+            }
+        })
     }
 }
 
 impl std::fmt::Debug for Provider {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Provider")
-            .field("backends", &self.backend_names())
-            .finish()
+        f.debug_struct("Provider").field("backends", &self.backend_names()).finish()
     }
 }
 
@@ -91,7 +93,9 @@ mod tests {
     fn default_provider_lists_expected_backends() {
         let provider = Provider::with_defaults();
         let names = provider.backend_names();
-        for expected in ["qasm_simulator", "dd_simulator", "stabilizer_simulator", "ibmqx2", "ibmqx4", "ibmqx5"] {
+        for expected in
+            ["qasm_simulator", "dd_simulator", "stabilizer_simulator", "ibmqx2", "ibmqx4", "ibmqx5"]
+        {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }
@@ -114,6 +118,28 @@ mod tests {
         assert!(provider.backend_names().is_empty());
         provider.register(Box::new(QasmSimulatorBackend::new()));
         assert_eq!(provider.backend_names(), vec!["qasm_simulator"]);
+    }
+
+    #[test]
+    fn re_registration_replaces_the_previous_backend() {
+        let mut provider = Provider::with_defaults();
+        let before = provider.backend_names().len();
+        // Replace the default qasm simulator with a seeded one.
+        provider.register(Box::new(QasmSimulatorBackend::new().with_seed(7)));
+        assert_eq!(provider.backend_names().len(), before, "no duplicate entry");
+        assert_eq!(provider.backend_names().iter().filter(|n| **n == "qasm_simulator").count(), 1);
+        // Last registration wins: a wrapped backend under the same name
+        // is what lookup now returns.
+        let flaky = crate::fault::FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new().with_seed(7)),
+            crate::fault::FaultMode::AlwaysFail,
+        );
+        provider.register(Box::new(flaky));
+        let backend = provider.get_backend("qasm_simulator").unwrap();
+        let mut circ = qukit_terra::circuit::QuantumCircuit::new(1);
+        circ.h(0).unwrap();
+        circ.measure_all();
+        assert!(backend.run(&circ, 10).is_err(), "lookup must return the fault wrapper");
     }
 
     #[test]

@@ -33,9 +33,9 @@
 //! ```
 
 pub mod export;
-pub mod verify;
 pub mod package;
 pub mod simulator;
+pub mod verify;
 
 pub use package::{DdPackage, Edge};
 pub use simulator::{DdError, DdSimulator, DdState};

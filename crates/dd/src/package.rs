@@ -221,8 +221,7 @@ impl DdPackage {
         }
         let w0 = self.weight(succ[0].weight);
         let w1 = self.weight(succ[1].weight);
-        let (norm_idx, norm) =
-            if w0.norm_sqr() >= w1.norm_sqr() { (0, w0) } else { (1, w1) };
+        let (norm_idx, norm) = if w0.norm_sqr() >= w1.norm_sqr() { (0, w0) } else { (1, w1) };
         let inv = norm.recip();
         let mut normalized = [Edge::ZERO; 2];
         for (i, edge) in succ.iter().enumerate() {
@@ -361,13 +360,7 @@ impl DdPackage {
                 continue;
             }
             let next = acc * self.weight(child.weight);
-            self.fill_amplitudes(
-                child,
-                vn.level - 1,
-                prefix | (bit << (vn.level - 1)),
-                next,
-                out,
-            );
+            self.fill_amplitudes(child, vn.level - 1, prefix | (bit << (vn.level - 1)), next, out);
         }
     }
 
@@ -405,8 +398,8 @@ impl DdPackage {
         let mut total = 0.0;
         for child in vn.succ {
             if !child.is_zero() {
-                total += self.weight(child.weight).norm_sqr()
-                    * self.node_norm_sqr(child.node, cache);
+                total +=
+                    self.weight(child.weight).norm_sqr() * self.node_norm_sqr(child.node, cache);
             }
         }
         cache.insert(node, total);

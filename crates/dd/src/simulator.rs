@@ -192,9 +192,7 @@ impl DdSimulator {
                 }
                 Operation::Barrier => {}
                 other => {
-                    return Err(DdError::UnsupportedInstruction {
-                        name: other.name().to_owned(),
-                    })
+                    return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() })
                 }
             }
         }
@@ -220,9 +218,7 @@ impl DdSimulator {
                 }
                 Operation::Barrier => {}
                 other => {
-                    return Err(DdError::UnsupportedInstruction {
-                        name: other.name().to_owned(),
-                    })
+                    return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() })
                 }
             }
         }

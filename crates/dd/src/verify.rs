@@ -61,9 +61,7 @@ pub fn check_equivalence(
                 acc = package.multiply_mm(gate_dd, acc);
             }
             Operation::Barrier => {}
-            other => {
-                return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() })
-            }
+            other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
         }
     }
     // U_b† applied on the left: multiply the inverses in reverse order.
@@ -74,9 +72,7 @@ pub fn check_equivalence(
                 acc = package.multiply_mm(gate_dd, acc);
             }
             Operation::Barrier => {}
-            other => {
-                return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() })
-            }
+            other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
         }
     }
     Ok(classify_identity(&mut package, acc, circuit_a, circuit_b))
@@ -101,11 +97,7 @@ fn classify_identity(
     let phase = weight.arg() + b.global_phase() - a.global_phase();
     // Normalize phase into (-π, π].
     let phase = (-phase).rem_euclid(std::f64::consts::TAU);
-    let phase = if phase > std::f64::consts::PI {
-        phase - std::f64::consts::TAU
-    } else {
-        phase
-    };
+    let phase = if phase > std::f64::consts::PI { phase - std::f64::consts::TAU } else { phase };
     if phase.abs() < 1e-9 {
         Equivalence::Equivalent
     } else {

@@ -150,11 +150,8 @@ mod tests {
             let circ = code.memory_circuit(false, true).unwrap();
             let mut noise = NoiseModel::new();
             noise.add_local_error("id", vec![victim], QuantumError::bit_flip(1.0));
-            let counts = QasmSimulator::new()
-                .with_seed(2)
-                .with_noise(noise)
-                .run(&circ, 100)
-                .unwrap();
+            let counts =
+                QasmSimulator::new().with_seed(2).with_noise(noise).run(&circ, 100).unwrap();
             for (outcome, count) in counts.iter() {
                 if count > 0 {
                     let data = (outcome >> 2) & 0b111;
@@ -191,11 +188,8 @@ mod tests {
             let circ = code.memory_circuit(false, correct).unwrap();
             let mut noise = NoiseModel::new();
             noise.add_all_qubit_error("id", QuantumError::bit_flip(p));
-            let counts = QasmSimulator::new()
-                .with_seed(seed)
-                .with_noise(noise)
-                .run(&circ, shots)
-                .unwrap();
+            let counts =
+                QasmSimulator::new().with_seed(seed).with_noise(noise).run(&circ, shots).unwrap();
             let failures: usize = counts
                 .iter()
                 .filter(|(outcome, _)| (outcome >> 2) & 1 == 1) // data bit 0

@@ -97,13 +97,10 @@ impl MeasurementFilter {
         assert_eq!(counts.num_clbits(), self.num_qubits, "width mismatch");
         let dim = 1usize << self.num_qubits;
         let total = counts.total();
-        let measured: Vec<Complex> = (0..dim)
-            .map(|i| Complex::from_real(counts.probability(i as u64)))
-            .collect();
-        let solved = self
-            .assignment
-            .solve(&measured)
-            .expect("assignment matrix must be invertible");
+        let measured: Vec<Complex> =
+            (0..dim).map(|i| Complex::from_real(counts.probability(i as u64))).collect();
+        let solved =
+            self.assignment.solve(&measured).expect("assignment matrix must be invertible");
         // Clip negatives, renormalize.
         let mut probs: Vec<f64> = solved.iter().map(|z| z.re.max(0.0)).collect();
         let norm: f64 = probs.iter().sum();
@@ -156,11 +153,7 @@ mod tests {
         let mut circ = QuantumCircuit::with_size(1, 1);
         circ.x(0).unwrap();
         circ.measure(0, 0).unwrap();
-        let raw = QasmSimulator::new()
-            .with_seed(3)
-            .with_noise(noise)
-            .run(&circ, 8000)
-            .unwrap();
+        let raw = QasmSimulator::new().with_seed(3).with_noise(noise).run(&circ, 8000).unwrap();
         let raw_p1 = raw.probability(1);
         assert!((raw_p1 - 0.85).abs() < 0.03, "raw {raw_p1}");
         let corrected = filter.apply(&raw);
@@ -179,19 +172,12 @@ mod tests {
         for q in 0..3 {
             ghz.measure(q, q).unwrap();
         }
-        let noisy = QasmSimulator::new()
-            .with_seed(5)
-            .with_noise(noise)
-            .run(&ghz, 6000)
-            .unwrap();
+        let noisy = QasmSimulator::new().with_seed(5).with_noise(noise).run(&ghz, 6000).unwrap();
         let ideal = QasmSimulator::new().with_seed(5).run(&ghz, 6000).unwrap();
         let corrected = filter.apply(&noisy);
         let raw_fid = noisy.hellinger_fidelity(&ideal);
         let fixed_fid = corrected.hellinger_fidelity(&ideal);
-        assert!(
-            fixed_fid > raw_fid,
-            "mitigation must improve fidelity: {raw_fid} -> {fixed_fid}"
-        );
+        assert!(fixed_fid > raw_fid, "mitigation must improve fidelity: {raw_fid} -> {fixed_fid}");
         assert!(fixed_fid > 0.98, "mitigated fidelity {fixed_fid}");
     }
 

@@ -131,14 +131,13 @@ pub fn process_tomography(
                 _ => {}
             }
             circ.measure(0, 0)?;
-            let mut sim = QasmSimulator::new()
-                .with_seed(seed ^ ((prep_idx as u64) << 8) ^ basis_idx as u64);
+            let mut sim =
+                QasmSimulator::new().with_seed(seed ^ ((prep_idx as u64) << 8) ^ basis_idx as u64);
             if let Some(model) = noise {
                 sim = sim.with_noise(model.clone());
             }
-            let counts = sim
-                .run(&circ, shots)
-                .map_err(|e| TerraError::Transpile { msg: e.to_string() })?;
+            let counts =
+                sim.run(&circ, shots).map_err(|e| TerraError::Transpile { msg: e.to_string() })?;
             m[basis_idx][prep_idx] = counts.parity_expectation(&[0]);
         }
     }
@@ -213,8 +212,7 @@ mod tests {
     #[test]
     fn tomography_recovers_ideal_gates() {
         for gate in [Gate::I, Gate::X, Gate::H, Gate::S, Gate::T, Gate::Ry(0.7)] {
-            let (estimated, ideal, fidelity) =
-                characterize_gate(gate, 6000, 11, None).unwrap();
+            let (estimated, ideal, fidelity) = characterize_gate(gate, 6000, 11, None).unwrap();
             assert!(
                 estimated.max_deviation(&ideal) < 0.06,
                 "{gate:?} deviation {}",

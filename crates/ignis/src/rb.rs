@@ -29,12 +29,7 @@ pub struct RbConfig {
 
 impl Default for RbConfig {
     fn default() -> Self {
-        Self {
-            lengths: vec![1, 2, 4, 8, 16, 32, 64],
-            samples_per_length: 8,
-            shots: 256,
-            seed: 7,
-        }
+        Self { lengths: vec![1, 2, 4, 8, 16, 32, 64], samples_per_length: 8, shots: 256, seed: 7 }
     }
 }
 
@@ -77,7 +72,10 @@ pub fn rb_circuit(group: &CliffordGroup, length: usize, rng: &mut StdRng) -> Qua
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run_rb(config: &RbConfig, noise: &NoiseModel) -> Result<RbResult, qukit_aer::error::AerError> {
+pub fn run_rb(
+    config: &RbConfig,
+    noise: &NoiseModel,
+) -> Result<RbResult, qukit_aer::error::AerError> {
     let group = CliffordGroup::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut curve = Vec::with_capacity(config.lengths.len());
@@ -138,11 +136,10 @@ mod tests {
     #[test]
     fn fit_recovers_synthetic_decay() {
         let alpha = 0.97f64;
-        let curve: Vec<(usize, f64)> =
-            [1usize, 2, 4, 8, 16, 32, 64, 128]
-                .iter()
-                .map(|&m| (m, 0.5 * alpha.powi(m as i32) + 0.5))
-                .collect();
+        let curve: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|&m| (m, 0.5 * alpha.powi(m as i32) + 0.5))
+            .collect();
         let fitted = fit_decay(&curve);
         assert!((fitted - alpha).abs() < 1e-9, "fit {fitted}");
     }
@@ -176,11 +173,7 @@ mod tests {
         let last = result.curve.last().unwrap().1;
         assert!(first > last, "decay expected: {first} -> {last}");
         // α in a physically sensible band for ~2.7 gates/Clifford at p=0.02.
-        assert!(
-            result.alpha > 0.85 && result.alpha < 0.999,
-            "alpha {} out of band",
-            result.alpha
-        );
+        assert!(result.alpha > 0.85 && result.alpha < 0.999, "alpha {} out of band", result.alpha);
         assert!(result.error_per_clifford > 0.0005);
         assert!(result.error_per_clifford < 0.08);
     }

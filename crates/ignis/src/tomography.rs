@@ -116,17 +116,10 @@ fn reconstruct(n: usize, data: &[(BasisSetting, Counts)]) -> Matrix {
             .collect();
         let mut estimates = Vec::new();
         for (setting, counts) in data {
-            let compatible = label
-                .iter()
-                .zip(setting)
-                .all(|(&p, &s)| p == 'I' || p == s);
+            let compatible = label.iter().zip(setting).all(|(&p, &s)| p == 'I' || p == s);
             if compatible {
-                let support: Vec<usize> = label
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &p)| p != 'I')
-                    .map(|(q, _)| q)
-                    .collect();
+                let support: Vec<usize> =
+                    label.iter().enumerate().filter(|(_, &p)| p != 'I').map(|(q, _)| q).collect();
                 estimates.push(counts.parity_expectation(&support));
             }
         }

@@ -1,0 +1,258 @@
+//! A hermetic, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates.io access, so the external
+//! `criterion` crate is replaced (via `[patch.crates-io]`) with this
+//! shim. It runs each benchmark routine for a fixed measurement budget
+//! and prints mean/min wall-clock times per iteration — no statistical
+//! analysis, HTML reports, or baselines, but enough for the workspace's
+//! `cargo bench` targets to build, run, and produce comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, hindering value-based optimizations.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark routine (`|b| b.iter(...)`).
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting per-iteration samples until the
+    /// sample count or measurement budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call (also primes lazy statics).
+        black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { text: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { text: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { text: name }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for compatibility; warm-up here
+    /// is a single untimed call).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets throughput reporting (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.text);
+        run_one(&label, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.text);
+        run_one(&label, self.sample_size, self.measurement_time, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {
+        let _ = &self.parent;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut routine: F,
+) {
+    let mut bencher = Bencher { measurement_time, sample_size, samples: Vec::new() };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {label:<48} mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        bencher.samples.len()
+    );
+}
+
+/// Throughput settings (accepted and ignored by this shim).
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets the default target sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup { name: name.into(), parent: self, sample_size, measurement_time }
+    }
+
+    /// Benchmarks `routine` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.text, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    /// Runs registered benchmark functions; used by [`criterion_main!`].
+    #[doc(hidden)]
+    pub fn final_summary(&self) {}
+}
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produces a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(20));
+        c.bench_function("top_level", |b| b.iter(|| black_box(21) * 2));
+    }
+}

@@ -1,0 +1,349 @@
+//! A hermetic, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so the external `rand` crate is replaced (via `[patch.crates-io]` in
+//! the workspace manifest) with this shim. It implements exactly the
+//! surface the workspace uses:
+//!
+//! - [`RngCore`] / [`Rng`] (`gen`, `gen_range`, `gen_bool`)
+//! - [`SeedableRng`] (`seed_from_u64`, `from_entropy`)
+//! - [`rngs::StdRng`] — a xoshiro256\*\* generator (not ChaCha12 like the
+//!   real crate, but a high-quality generator with the same determinism
+//!   contract: a fixed seed yields a fixed stream)
+//! - [`rngs::mock::StepRng`] — arithmetic-sequence mock generator
+//! - [`thread_rng`] — an entropy-seeded generator
+//!
+//! Statistical tests in the workspace assert distributional properties
+//! (tolerances around expected frequencies), never exact draws from the
+//! upstream ChaCha stream, so substituting the generator is sound.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform 32-bit word (high bits of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from environmental entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    let count = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let local = &count as *const _ as u64;
+    splitmix64(nanos ^ count.wrapping_mul(0xA076_1D64_78BD_642F) ^ local)
+}
+
+/// One step of the SplitMix64 sequence (used for seed expansion).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256\*\* with SplitMix64 seeding.
+    ///
+    /// Deterministic per seed, with strong statistical quality; see the
+    /// crate docs for why this stands in for the upstream ChaCha12.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut sm: u64) -> Self {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                *word = splitmix64(sm);
+            }
+            // A xoshiro state of all zeros is a fixed point; the SplitMix64
+            // expansion can produce it only with negligible probability, but
+            // guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x1;
+            }
+            Self { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::from_state(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s2n = s2 ^ s0;
+            let mut s3n = s3 ^ s1;
+            let s1n = s1 ^ s2n;
+            let s0n = s0 ^ s3n;
+            s2n ^= t;
+            s3n = s3n.rotate_left(45);
+            self.s = [s0n, s1n, s2n, s3n];
+            result
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for testing.
+
+        use super::super::RngCore;
+
+        /// Yields an arithmetic sequence: `v, v+s, v+2s, …` (wrapping).
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Creates the generator with initial value `initial` and
+            /// increment `step`.
+            pub fn new(initial: u64, step: u64) -> Self {
+                Self { v: initial, step }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                out
+            }
+        }
+    }
+}
+
+/// An entropy-seeded generator, by analogy with `rand::thread_rng()`.
+///
+/// Unlike the real crate this is not a shared thread-local handle; each
+/// call returns an independent generator, which is indistinguishable for
+/// the sampling uses in this workspace.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(rngs::StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns an entropy-seeded generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng(rngs::StdRng::from_entropy())
+}
+
+/// Draws one uniform value of type `T` from an entropy-seeded generator.
+pub fn random<T: Standard>() -> T {
+    T::sample_standard(&mut thread_rng())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_float_distribution_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let heads = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(10, 3);
+        assert_eq!(rng.next_u64(), 10);
+        assert_eq!(rng.next_u64(), 13);
+        assert_eq!(rng.next_u64(), 16);
+    }
+
+    #[test]
+    fn thread_rng_draws_differ() {
+        let mut a = super::thread_rng();
+        let mut b = super::thread_rng();
+        // Astronomically unlikely to collide on 4 words.
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

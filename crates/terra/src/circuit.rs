@@ -502,14 +502,17 @@ impl QuantumCircuit {
     /// # Errors
     ///
     /// Returns an error on out-of-range mapped indices.
-    pub fn compose_mapped(&mut self, other: &QuantumCircuit, mapping: &[usize]) -> Result<&mut Self> {
+    pub fn compose_mapped(
+        &mut self,
+        other: &QuantumCircuit,
+        mapping: &[usize],
+    ) -> Result<&mut Self> {
         for inst in &other.instructions {
             let mut relabeled = inst.clone();
             for q in &mut relabeled.qubits {
-                let mapped = *mapping.get(*q).ok_or(TerraError::QubitOutOfRange {
-                    index: *q,
-                    num_qubits: mapping.len(),
-                })?;
+                let mapped = *mapping
+                    .get(*q)
+                    .ok_or(TerraError::QubitOutOfRange { index: *q, num_qubits: mapping.len() })?;
                 *q = mapped;
             }
             self.push(relabeled)?;
@@ -544,9 +547,7 @@ impl QuantumCircuit {
                     inv.instructions.push(inst.clone());
                 }
                 other => {
-                    return Err(TerraError::NotInvertible {
-                        instruction: other.name().to_owned(),
-                    })
+                    return Err(TerraError::NotInvertible { instruction: other.name().to_owned() })
                 }
             }
         }
@@ -592,10 +593,7 @@ impl QuantumCircuit {
     /// Number of two-or-more-qubit gates — the error-dominating metric the
     /// paper's mapping discussion minimizes.
     pub fn num_multi_qubit_gates(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| i.op.is_gate() && i.qubits.len() >= 2)
-            .count()
+        self.instructions.iter().filter(|i| i.op.is_gate() && i.qubits.len() >= 2).count()
     }
 
     /// Number of unitary gate instructions (excluding barrier/measure/reset).
@@ -611,9 +609,8 @@ impl QuantumCircuit {
     /// Removes barriers and identity gates; returns the number removed.
     pub fn remove_noops(&mut self) -> usize {
         let before = self.instructions.len();
-        self.instructions.retain(|i| {
-            !matches!(i.op, Operation::Barrier) && i.as_gate() != Some(&Gate::I)
-        });
+        self.instructions
+            .retain(|i| !matches!(i.op, Operation::Barrier) && i.as_gate() != Some(&Gate::I));
         before - self.instructions.len()
     }
 }
@@ -694,15 +691,9 @@ mod tests {
     fn append_validates_operands() {
         let mut circ = QuantumCircuit::new(2);
         assert!(circ.h(0).is_ok());
-        assert!(matches!(
-            circ.h(5),
-            Err(TerraError::QubitOutOfRange { index: 5, num_qubits: 2 })
-        ));
+        assert!(matches!(circ.h(5), Err(TerraError::QubitOutOfRange { index: 5, num_qubits: 2 })));
         assert!(matches!(circ.cx(1, 1), Err(TerraError::DuplicateQubit { index: 1 })));
-        assert!(matches!(
-            circ.append(Gate::CX, &[0]),
-            Err(TerraError::ArityMismatch { .. })
-        ));
+        assert!(matches!(circ.append(Gate::CX, &[0]), Err(TerraError::ArityMismatch { .. })));
     }
 
     #[test]

@@ -50,11 +50,7 @@ pub fn controlled_circuit(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
             _ if matches!(inst.op, crate::instruction::Operation::Barrier) => {
                 out.push(inst.clone())?;
             }
-            _ => {
-                return Err(TerraError::NotInvertible {
-                    instruction: inst.op.name().to_owned(),
-                })
-            }
+            _ => return Err(TerraError::NotInvertible { instruction: inst.op.name().to_owned() }),
         }
     }
     Ok(out)

@@ -65,22 +65,14 @@ impl CouplingMap {
 
     /// The 5-qubit IBM QX2 map ("bowtie", launched March 2017).
     pub fn ibm_qx2() -> Self {
-        Self::preset(
-            5,
-            &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)],
-            "ibmqx2",
-        )
+        Self::preset(5, &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)], "ibmqx2")
     }
 
     /// The 5-qubit IBM QX4 map — the paper's Fig. 2.
     ///
     /// Arrows (control → target): Q1→Q0, Q2→Q0, Q2→Q1, Q3→Q2, Q3→Q4, Q2→Q4.
     pub fn ibm_qx4() -> Self {
-        Self::preset(
-            5,
-            &[(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)],
-            "ibmqx4",
-        )
+        Self::preset(5, &[(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)], "ibmqx4")
     }
 
     /// The 16-qubit IBM QX3 map (June 2017), a 2x8 ladder.
@@ -253,6 +245,7 @@ impl CouplingMap {
         let n = self.num_qubits;
         let mut dist = vec![vec![usize::MAX; n]; n];
         let adj: Vec<Vec<usize>> = (0..n).map(|q| self.neighbors(q)).collect();
+        #[allow(clippy::needless_range_loop)] // start indexes dist AND seeds the BFS queue
         for start in 0..n {
             dist[start][start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
@@ -338,8 +331,7 @@ impl CouplingMap {
 impl fmt::Display for CouplingMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} ({} qubits): ", self.name, self.num_qubits)?;
-        let rendered: Vec<String> =
-            self.edges.iter().map(|(c, t)| format!("Q{c}->Q{t}")).collect();
+        let rendered: Vec<String> = self.edges.iter().map(|(c, t)| format!("Q{c}->Q{t}")).collect();
         write!(f, "{}", rendered.join(", "))
     }
 }

@@ -50,9 +50,7 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
                             // Controls get '*', the target (last operand for
                             // controlled gates, all for swap) gets the label.
                             let (controls, targets): (Vec<usize>, Vec<usize>) = match g {
-                                crate::gate::Gate::Swap => {
-                                    (vec![], inst.qubits.clone())
-                                }
+                                crate::gate::Gate::Swap => (vec![], inst.qubits.clone()),
                                 crate::gate::Gate::CZ
                                 | crate::gate::Gate::Cp(_)
                                 | crate::gate::Gate::Ccz => {
@@ -76,6 +74,7 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
                             // Vertical connector on intermediate wires.
                             let lo = *inst.qubits.iter().min().expect("nonempty");
                             let hi = *inst.qubits.iter().max().expect("nonempty");
+                            #[allow(clippy::needless_range_loop)] // w is also tested for membership
                             for w in lo + 1..hi {
                                 if !inst.qubits.contains(&w) {
                                     col[w] = " | ".to_owned();
@@ -88,6 +87,7 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
                     col[inst.qubits[0]] = "[M]".to_owned();
                     if show_clbits {
                         col[n + inst.clbits[0]] = " v ".to_owned();
+                        #[allow(clippy::needless_range_loop)] // range spans the qubit->clbit gap
                         for w in inst.qubits[0] + 1..n + inst.clbits[0] {
                             if col[w].is_empty() {
                                 col[w] = " | ".to_owned();
@@ -115,11 +115,7 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
         .collect();
     let mut out = String::new();
     for wire in 0..total_wires {
-        let label = if wire < n {
-            format!("q{wire}: ")
-        } else {
-            format!("c{}: ", wire - n)
-        };
+        let label = if wire < n { format!("q{wire}: ") } else { format!("c{}: ", wire - n) };
         out.push_str(&format!("{label:>6}"));
         let filler = if wire < n { '-' } else { '=' };
         for (col, &w) in columns.iter().zip(&widths) {

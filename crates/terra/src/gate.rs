@@ -246,7 +246,10 @@ impl Gate {
     /// measurement and with other diagonal gates).
     pub fn is_diagonal(&self) -> bool {
         use Gate::*;
-        matches!(self, I | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | CZ | Crz(_) | Cp(_) | Ccz | Rzz(_))
+        matches!(
+            self,
+            I | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | CZ | Crz(_) | Cp(_) | Ccz | Rzz(_)
+        )
     }
 
     /// The single-qubit base of a controlled gate, if this gate is of the
@@ -302,11 +305,9 @@ impl Gate {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
                 Matrix::from_vec(2, 2, vec![c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0)])
             }
-            Rz(t) => Matrix::from_vec(
-                2,
-                2,
-                vec![Complex::cis(-t / 2.0), o, o, Complex::cis(t / 2.0)],
-            ),
+            Rz(t) => {
+                Matrix::from_vec(2, 2, vec![Complex::cis(-t / 2.0), o, o, Complex::cis(t / 2.0)])
+            }
             Phase(t) => Matrix::from_vec(2, 2, vec![l, o, o, Complex::cis(t)]),
             U(t, p, lam) => {
                 // Qiskit convention:
@@ -615,10 +616,8 @@ mod tests {
         // (Section II-B of the paper).
         let (t, p, l) = (0.7, -0.3, 1.9);
         let u = Gate::U(t, p, l).matrix();
-        let composed = Gate::Rz(p)
-            .matrix()
-            .matmul(&Gate::Ry(t).matrix())
-            .matmul(&Gate::Rz(l).matrix());
+        let composed =
+            Gate::Rz(p).matrix().matmul(&Gate::Ry(t).matrix()).matmul(&Gate::Rz(l).matrix());
         assert!(u.phase_equal_to(&composed).is_some());
     }
 
@@ -640,10 +639,7 @@ mod tests {
     #[test]
     fn from_name_supports_qasm_aliases() {
         assert_eq!(Gate::from_name("u1", &[0.5]), Some(Gate::Phase(0.5)));
-        assert_eq!(
-            Gate::from_name("u2", &[0.1, 0.2]),
-            Some(Gate::U(FRAC_PI_2, 0.1, 0.2))
-        );
+        assert_eq!(Gate::from_name("u2", &[0.1, 0.2]), Some(Gate::U(FRAC_PI_2, 0.1, 0.2)));
         assert_eq!(Gate::from_name("CX", &[]), Some(Gate::CX));
         assert_eq!(Gate::from_name("cu1", &[0.3]), Some(Gate::Cp(0.3)));
     }

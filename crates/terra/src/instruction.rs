@@ -69,12 +69,7 @@ impl Instruction {
 
     /// Creates a measurement instruction.
     pub fn measure(qubit: usize, clbit: usize) -> Self {
-        Self {
-            op: Operation::Measure,
-            qubits: vec![qubit],
-            clbits: vec![clbit],
-            condition: None,
-        }
+        Self { op: Operation::Measure, qubits: vec![qubit], clbits: vec![clbit], condition: None }
     }
 
     /// Creates a reset instruction.

@@ -124,10 +124,7 @@ impl Layout {
     ///
     /// Panics if any logical qubit is unassigned.
     pub fn to_physical_vec(&self) -> Vec<usize> {
-        self.logical_to_physical
-            .iter()
-            .map(|p| p.expect("complete layout"))
-            .collect()
+        self.logical_to_physical.iter().map(|p| p.expect("complete layout")).collect()
     }
 
     /// Returns `true` when every logical qubit has a physical home.

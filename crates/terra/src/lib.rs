@@ -38,8 +38,8 @@
 
 pub mod circuit;
 pub mod complex;
-pub mod coupling;
 pub mod controlled;
+pub mod coupling;
 pub mod dag;
 pub mod draw;
 pub mod error;

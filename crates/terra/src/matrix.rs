@@ -161,6 +161,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![Complex::ZERO; self.rows];
+        #[allow(clippy::needless_range_loop)] // i/j index into the flat data buffer
         for i in 0..self.rows {
             let mut acc = Complex::ZERO;
             for j in 0..self.cols {
@@ -300,11 +301,7 @@ impl Matrix {
     pub fn approx_eq_eps(&self, other: &Matrix, eps: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| a.approx_eq_eps(*b, eps))
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.approx_eq_eps(*b, eps))
     }
 
     /// Tests equality up to a global phase: returns `Some(phase)` such that
@@ -328,11 +325,7 @@ impl Matrix {
         }
         if best < EPSILON {
             // `other` is the zero matrix; equal only if self is too.
-            return if self.data.iter().all(|z| z.is_approx_zero()) {
-                Some(0.0)
-            } else {
-                None
-            };
+            return if self.data.iter().all(|z| z.is_approx_zero()) { Some(0.0) } else { None };
         }
         let ratio = self.data[best_idx] / other.data[best_idx];
         if (ratio.norm() - 1.0).abs() > 1e-8 {
@@ -492,11 +485,7 @@ mod tests {
     use crate::complex::c64;
 
     fn x_matrix() -> Matrix {
-        Matrix::from_vec(
-            2,
-            2,
-            vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
-        )
+        Matrix::from_vec(2, 2, vec![Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO])
     }
 
     #[test]
@@ -549,7 +538,11 @@ mod tests {
 
     #[test]
     fn dagger_and_transpose() {
-        let m = Matrix::from_vec(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -4.0)]);
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -4.0)],
+        );
         let d = m.dagger();
         assert_eq!(d[(0, 0)], c64(1.0, -1.0));
         assert_eq!(d[(1, 0)], c64(2.0, 0.0));
@@ -576,7 +569,11 @@ mod tests {
 
     #[test]
     fn trace_sums_diagonal() {
-        let m = Matrix::from_vec(2, 2, vec![c64(1.0, 0.0), c64(9.0, 0.0), c64(9.0, 0.0), c64(2.0, 5.0)]);
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![c64(1.0, 0.0), c64(9.0, 0.0), c64(9.0, 0.0), c64(2.0, 5.0)],
+        );
         assert!(m.trace().approx_eq(c64(3.0, 5.0)));
     }
 
@@ -605,7 +602,8 @@ mod tests {
 
     #[test]
     fn solve_detects_singular() {
-        let a = Matrix::from_vec(2, 2, vec![Complex::ONE, Complex::ONE, Complex::ONE, Complex::ONE]);
+        let a =
+            Matrix::from_vec(2, 2, vec![Complex::ONE, Complex::ONE, Complex::ONE, Complex::ONE]);
         assert!(a.solve(&[Complex::ONE, Complex::ZERO]).is_none());
     }
 

@@ -76,10 +76,7 @@ impl Waveform {
 
     /// A constant (square) pulse.
     pub fn constant(duration: usize, amplitude: f64) -> Self {
-        Self::new(
-            format!("const_{duration}"),
-            vec![Complex::from_real(amplitude); duration],
-        )
+        Self::new(format!("const_{duration}"), vec![Complex::from_real(amplitude); duration])
     }
 
     /// The waveform name.
@@ -217,11 +214,7 @@ impl Schedule {
 
     /// Total duration (end of the last instruction).
     pub fn duration(&self) -> usize {
-        self.instructions
-            .iter()
-            .map(|(start, inst)| start + inst.duration())
-            .max()
-            .unwrap_or(0)
+        self.instructions.iter().map(|(start, inst)| start + inst.duration()).max().unwrap_or(0)
     }
 
     /// The first free time on a channel.
@@ -251,17 +244,12 @@ impl Schedule {
                 let other_end = other_start + other.duration();
                 if start < other_end && other_start < &(start + dur) {
                     return Err(TerraError::Transpile {
-                        msg: format!(
-                            "pulse overlap on channel {} at time {start}",
-                            channel
-                        ),
+                        msg: format!("pulse overlap on channel {} at time {start}", channel),
                     });
                 }
             }
         }
-        let pos = self
-            .instructions
-            .partition_point(|(other_start, _)| *other_start <= start);
+        let pos = self.instructions.partition_point(|(other_start, _)| *other_start <= start);
         self.instructions.insert(pos, (start, instruction));
         Ok(())
     }
@@ -309,8 +297,7 @@ impl Calibration {
     /// control channel per (control, target) pair allocated on demand from
     /// the coupling edges provided.
     pub fn with_edges(edges: &[(usize, usize)]) -> Self {
-        let control_channels =
-            edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let control_channels = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         Self {
             single_qubit_duration: 160,
             single_qubit_sigma: 40.0,
@@ -381,15 +368,11 @@ pub fn lower_to_pulses(circuit: &QuantumCircuit, calibration: &Calibration) -> R
                                 msg: format!("no control channel calibrated for ({c},{t})"),
                             })?;
                         // Align all three channels.
-                        let start = [
-                            Channel::Drive(c),
-                            Channel::Drive(t),
-                            Channel::Control(edge),
-                        ]
-                        .iter()
-                        .map(|&ch| schedule.channel_end(ch))
-                        .max()
-                        .unwrap_or(0);
+                        let start = [Channel::Drive(c), Channel::Drive(t), Channel::Control(edge)]
+                            .iter()
+                            .map(|&ch| schedule.channel_end(ch))
+                            .max()
+                            .unwrap_or(0);
                         let half = calibration.cx_duration / 2;
                         // CR tone (two halves around a control echo).
                         schedule.insert(
@@ -662,9 +645,7 @@ mod tests {
         let x1_start = sched
             .instructions()
             .iter()
-            .find(|(_, i)| {
-                matches!(i, PulseInstruction::Play { channel: Channel::Drive(1), .. })
-            })
+            .find(|(_, i)| matches!(i, PulseInstruction::Play { channel: Channel::Drive(1), .. }))
             .map(|(s, _)| *s)
             .unwrap();
         assert_eq!(x1_start, 160);

@@ -87,11 +87,8 @@ pub fn emit(circuit: &QuantumCircuit) -> String {
                     let rendered: Vec<String> = params.iter().map(|&p| render_param(p)).collect();
                     let _ = write!(out, "{}({})", g.name(), rendered.join(","));
                 }
-                let qubits: Vec<String> = inst
-                    .qubits
-                    .iter()
-                    .map(|&q| render_bit(circuit.qregs(), q, "q"))
-                    .collect();
+                let qubits: Vec<String> =
+                    inst.qubits.iter().map(|&q| render_bit(circuit.qregs(), q, "q")).collect();
                 let _ = writeln!(out, " {};", qubits.join(","));
             }
             Operation::Measure => {
@@ -103,14 +100,12 @@ pub fn emit(circuit: &QuantumCircuit) -> String {
                 );
             }
             Operation::Reset => {
-                let _ = writeln!(out, "reset {};", render_bit(circuit.qregs(), inst.qubits[0], "q"));
+                let _ =
+                    writeln!(out, "reset {};", render_bit(circuit.qregs(), inst.qubits[0], "q"));
             }
             Operation::Barrier => {
-                let qubits: Vec<String> = inst
-                    .qubits
-                    .iter()
-                    .map(|&q| render_bit(circuit.qregs(), q, "q"))
-                    .collect();
+                let qubits: Vec<String> =
+                    inst.qubits.iter().map(|&q| render_bit(circuit.qregs(), q, "q")).collect();
                 let _ = writeln!(out, "barrier {};", qubits.join(","));
             }
         }
@@ -172,10 +167,7 @@ mod tests {
         let qasm = emit(&circ);
         assert!(qasm.contains("if (c==3) x q[0];"));
         let reparsed = parse(&qasm).unwrap();
-        assert_eq!(
-            reparsed.instructions()[0].condition,
-            circ.instructions()[0].condition
-        );
+        assert_eq!(reparsed.instructions()[0].condition, circ.instructions()[0].condition);
     }
 
     #[test]

@@ -115,10 +115,8 @@ impl Expr {
 
     fn collect_params<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Expr::Param(name) => {
-                if !out.contains(&name.as_str()) {
-                    out.push(name);
-                }
+            Expr::Param(name) if !out.contains(&name.as_str()) => {
+                out.push(name);
             }
             Expr::Neg(e) | Expr::Func(_, e) => e.collect_params(out),
             Expr::BinOp(_, a, b) => {

@@ -134,8 +134,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TerraError> {
                 )
             } else {
                 TokenKind::Int(
-                    s.parse::<u64>()
-                        .map_err(|_| err(line, start_col, format!("invalid integer literal '{s}'")))?,
+                    s.parse::<u64>().map_err(|_| {
+                        err(line, start_col, format!("invalid integer literal '{s}'"))
+                    })?,
                 )
             };
             tokens.push(Token { kind, line, col: start_col });

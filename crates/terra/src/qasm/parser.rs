@@ -124,7 +124,9 @@ impl Parser {
         let tok = self.advance();
         match &tok.kind {
             TokenKind::Ident(name) => Ok((name.clone(), tok.clone())),
-            _ => Err(self.error(&tok, format!("expected identifier, found {}", tok.kind.describe()))),
+            _ => {
+                Err(self.error(&tok, format!("expected identifier, found {}", tok.kind.describe())))
+            }
         }
     }
 
@@ -203,7 +205,9 @@ impl Parser {
                 } else {
                     return Err(self.error(
                         &tok,
-                        format!("cannot include '{path}': only the builtin 'qelib1.inc' is available"),
+                        format!(
+                            "cannot include '{path}': only the builtin 'qelib1.inc' is available"
+                        ),
                     ));
                 }
             }
@@ -236,9 +240,7 @@ impl Parser {
             let tok = self.advance();
             match tok.kind {
                 TokenKind::Symbol(';') => return Ok(()),
-                TokenKind::Eof => {
-                    return Err(self.error(&tok, "unterminated opaque declaration"))
-                }
+                TokenKind::Eof => return Err(self.error(&tok, "unterminated opaque declaration")),
                 _ => {}
             }
         }
@@ -251,16 +253,14 @@ impl Parser {
             return Err(self.error(&name_tok, format!("gate '{name}' already defined")));
         }
         let mut params = Vec::new();
-        if self.eat_symbol('(') {
-            if !self.eat_symbol(')') {
-                loop {
-                    let (p, _) = self.expect_ident()?;
-                    params.push(p);
-                    if self.eat_symbol(')') {
-                        break;
-                    }
-                    self.expect_symbol(',')?;
+        if self.eat_symbol('(') && !self.eat_symbol(')') {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if self.eat_symbol(')') {
+                    break;
                 }
+                self.expect_symbol(',')?;
             }
         }
         let mut qargs = Vec::new();
@@ -320,10 +320,8 @@ impl Parser {
                 }
                 TokenKind::Eof => return Err(self.error(&tok, "unterminated gate body")),
                 _ => {
-                    return Err(self.error(
-                        &tok,
-                        format!("unexpected {} in gate body", tok.kind.describe()),
-                    ))
+                    return Err(self
+                        .error(&tok, format!("unexpected {} in gate body", tok.kind.describe())))
                 }
             }
         }
@@ -422,10 +420,9 @@ impl Parser {
                     Err(self.error(&tok, format!("unknown parameter '{name}'")))
                 }
             }
-            _ => Err(self.error(
-                &tok,
-                format!("expected expression, found {}", tok.kind.describe()),
-            )),
+            _ => {
+                Err(self.error(&tok, format!("expected expression, found {}", tok.kind.describe())))
+            }
         }
     }
 
@@ -466,17 +463,15 @@ impl Parser {
     fn resolve_carg(&self, arg: &Argument, tok: &Token) -> Result<Vec<usize>> {
         match arg {
             Argument::Register(name) => {
-                let reg = self
-                    .circuit
-                    .creg(name)
-                    .ok_or_else(|| self.error(tok, format!("unknown classical register '{name}'")))?;
+                let reg = self.circuit.creg(name).ok_or_else(|| {
+                    self.error(tok, format!("unknown classical register '{name}'"))
+                })?;
                 Ok(reg.bits().collect())
             }
             Argument::Bit(name, idx) => {
-                let reg = self
-                    .circuit
-                    .creg(name)
-                    .ok_or_else(|| self.error(tok, format!("unknown classical register '{name}'")))?;
+                let reg = self.circuit.creg(name).ok_or_else(|| {
+                    self.error(tok, format!("unknown classical register '{name}'"))
+                })?;
                 let bit = reg.bit(*idx).ok_or_else(|| {
                     self.error(tok, format!("index {idx} out of range for {}", reg))
                 })?;
@@ -533,9 +528,7 @@ impl Parser {
         }
         self.expect_symbol(';')?;
         let tok = self.peek().clone();
-        self.circuit
-            .push(Instruction::barrier(qubits))
-            .map_err(|e| err_at(&tok, e.to_string()))?;
+        self.circuit.push(Instruction::barrier(qubits)).map_err(|e| err_at(&tok, e.to_string()))?;
         Ok(())
     }
 
@@ -549,10 +542,9 @@ impl Parser {
         }
         let value = self.expect_int()?;
         self.expect_symbol(')')?;
-        let reg = self
-            .circuit
-            .creg(&creg_name)
-            .ok_or_else(|| self.error(&ctok, format!("unknown classical register '{creg_name}'")))?;
+        let reg = self.circuit.creg(&creg_name).ok_or_else(|| {
+            self.error(&ctok, format!("unknown classical register '{creg_name}'"))
+        })?;
         let condition = Condition { clbits: reg.bits().collect(), value };
         // The conditioned operation.
         let tok = self.peek().clone();
@@ -573,10 +565,7 @@ impl Parser {
         let (name, name_tok) = self.expect_ident()?;
         let params = if self.eat_symbol('(') {
             let exprs = self.parse_expr_list(&[])?;
-            exprs
-                .iter()
-                .map(|e| e.eval(&HashMap::new()))
-                .collect::<Vec<f64>>()
+            exprs.iter().map(|e| e.eval(&HashMap::new())).collect::<Vec<f64>>()
         } else {
             Vec::new()
         };
@@ -591,24 +580,19 @@ impl Parser {
         self.expect_symbol(';')?;
 
         // Resolve broadcast: each argument is a list of flat indices.
-        let resolved: Vec<Vec<usize>> = args
-            .iter()
-            .map(|(arg, tok)| self.resolve_qarg(arg, tok))
-            .collect::<Result<_>>()?;
+        let resolved: Vec<Vec<usize>> =
+            args.iter().map(|(arg, tok)| self.resolve_qarg(arg, tok)).collect::<Result<_>>()?;
         let broadcast = resolved.iter().map(|v| v.len()).max().unwrap_or(1);
         for v in &resolved {
             if v.len() != 1 && v.len() != broadcast {
-                return Err(self.error(
-                    &name_tok,
-                    format!("broadcast size mismatch in call of '{name}'"),
-                ));
+                return Err(
+                    self.error(&name_tok, format!("broadcast size mismatch in call of '{name}'"))
+                );
             }
         }
         for k in 0..broadcast {
-            let qubits: Vec<usize> = resolved
-                .iter()
-                .map(|v| if v.len() == 1 { v[0] } else { v[k] })
-                .collect();
+            let qubits: Vec<usize> =
+                resolved.iter().map(|v| if v.len() == 1 { v[0] } else { v[k] }).collect();
             self.apply_gate(&name, &params, &qubits, &name_tok, condition.clone())?;
         }
         Ok(())
@@ -650,12 +634,8 @@ impl Parser {
             }
             let env: HashMap<String, f64> =
                 def.params.iter().cloned().zip(params.iter().copied()).collect();
-            let qmap: HashMap<&str, usize> = def
-                .qargs
-                .iter()
-                .map(|s| s.as_str())
-                .zip(qubits.iter().copied())
-                .collect();
+            let qmap: HashMap<&str, usize> =
+                def.qargs.iter().map(|s| s.as_str()).zip(qubits.iter().copied()).collect();
             for op in &def.body {
                 match op {
                     BodyOp::Barrier => {}
@@ -803,8 +783,7 @@ cx q[0],q[1];
              gate bell a, b { h a; cx a, b; }\n\
              bell q[0], q[1];",
         );
-        let names: Vec<&str> =
-            circ.instructions().iter().map(|i| i.op.name()).collect();
+        let names: Vec<&str> = circ.instructions().iter().map(|i| i.op.name()).collect();
         assert_eq!(names, vec!["h", "cx"]);
     }
 

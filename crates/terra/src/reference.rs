@@ -48,6 +48,7 @@ pub fn apply_gate(state: &mut [Complex], matrix: &Matrix, qubits: &[usize]) {
             base = high | low;
         }
         // Gather, multiply, scatter.
+        #[allow(clippy::needless_range_loop)] // j is decomposed into target-qubit bits
         for j in 0..dim {
             let mut idx = base;
             for (t, &q) in qubits.iter().enumerate() {
@@ -84,11 +85,7 @@ pub fn apply_gate(state: &mut [Complex], matrix: &Matrix, qubits: &[usize]) {
 ///
 /// Panics if `initial.len() != 2^circuit.num_qubits()`.
 pub fn evolve(circuit: &QuantumCircuit, initial: &[Complex]) -> Result<Vec<Complex>> {
-    assert_eq!(
-        initial.len(),
-        1usize << circuit.num_qubits(),
-        "initial state dimension mismatch"
-    );
+    assert_eq!(initial.len(), 1usize << circuit.num_qubits(), "initial state dimension mismatch");
     let mut state = initial.to_vec();
     for inst in circuit.instructions() {
         match &inst.op {
@@ -177,9 +174,8 @@ pub fn embed_state(state: &[Complex], positions: &[usize], num_physical: usize) 
 /// randomized equivalence testing.
 pub fn random_state(num_qubits: usize, rng: &mut impl rand::Rng) -> Vec<Complex> {
     let dim = 1usize << num_qubits;
-    let mut state: Vec<Complex> = (0..dim)
-        .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
-        .collect();
+    let mut state: Vec<Complex> =
+        (0..dim).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
     crate::matrix::normalize(&mut state);
     state
 }

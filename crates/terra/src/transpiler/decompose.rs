@@ -199,10 +199,8 @@ pub fn rewrite_1q_to_u(circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
             Some(&g) if g.num_qubits() == 1 => {
                 let u = g.to_u().expect("all 1q gates convert to U");
                 // Track the global phase difference exactly.
-                let phase = u
-                    .matrix()
-                    .phase_equal_to(&g.matrix())
-                    .expect("to_u is phase-equivalent");
+                let phase =
+                    u.matrix().phase_equal_to(&g.matrix()).expect("to_u is phase-equivalent");
                 let mut rewritten = inst.clone();
                 rewritten.op = crate::instruction::Operation::Gate(u);
                 if inst.condition.is_none() {
@@ -268,9 +266,8 @@ pub fn zyz_decompose(matrix: &crate::matrix::Matrix) -> (f64, f64, f64, f64) {
     };
     // Recover the exact global phase by comparison.
     let candidate = Gate::U(theta, phi, lam).matrix();
-    let alpha = matrix
-        .phase_equal_to(&candidate)
-        .expect("ZYZ decomposition must be phase-equivalent");
+    let alpha =
+        matrix.phase_equal_to(&candidate).expect("ZYZ decomposition must be phase-equivalent");
     (theta, phi, lam, alpha)
 }
 
@@ -292,18 +289,12 @@ mod tests {
         // No multi-qubit gate except CX remains.
         for inst in expanded.instructions() {
             if let Some(g) = inst.as_gate() {
-                assert!(
-                    g.num_qubits() == 1 || *g == Gate::CX,
-                    "{gate:?} expansion left {g:?}"
-                );
+                assert!(g.num_qubits() == 1 || *g == Gate::CX, "{gate:?} expansion left {g:?}");
             }
         }
         let u_orig = reference::unitary(&original).unwrap();
         let u_exp = reference::unitary(&expanded).unwrap();
-        assert!(
-            u_exp.phase_equal_to(&u_orig).is_some(),
-            "{gate:?} expansion is not equivalent"
-        );
+        assert!(u_exp.phase_equal_to(&u_orig).is_some(), "{gate:?} expansion is not equivalent");
     }
 
     #[test]
@@ -357,10 +348,7 @@ mod tests {
         let mut circ = QuantumCircuit::with_size(2, 1);
         circ.append_conditional(Gate::Swap, &[0, 1], "c", 1).unwrap();
         let expanded = decompose_to_cx_basis(&circ).unwrap();
-        assert!(expanded
-            .instructions()
-            .iter()
-            .all(|i| i.condition.is_some()));
+        assert!(expanded.instructions().iter().all(|i| i.condition.is_some()));
     }
 
     #[test]
@@ -408,7 +396,8 @@ mod tests {
         ] {
             let m = g.matrix();
             let (theta, phi, lam, alpha) = zyz_decompose(&m);
-            let rebuilt = Gate::U(theta, phi, lam).matrix().scale(crate::complex::Complex::cis(alpha));
+            let rebuilt =
+                Gate::U(theta, phi, lam).matrix().scale(crate::complex::Complex::cis(alpha));
             assert!(rebuilt.approx_eq_eps(&m, 1e-9), "zyz failed for {g:?}");
         }
     }
@@ -423,9 +412,7 @@ mod tests {
             .matmul(&Gate::H.matrix())
             .matmul(&Gate::Rx(0.4).matrix());
         let (theta, phi, lam, alpha) = zyz_decompose(&product);
-        let rebuilt = Gate::U(theta, phi, lam)
-            .matrix()
-            .scale(crate::complex::Complex::cis(alpha));
+        let rebuilt = Gate::U(theta, phi, lam).matrix().scale(crate::complex::Complex::cis(alpha));
         assert!(rebuilt.approx_eq_eps(&product, 1e-9));
         assert!(Matrix::hadamard().is_unitary()); // sanity anchor
     }

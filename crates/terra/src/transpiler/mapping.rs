@@ -99,7 +99,10 @@ pub fn choose_initial_layout(
         InitialLayout::Custom(table) => {
             if table.len() != n {
                 return Err(TerraError::CouplingMap {
-                    msg: format!("custom layout has {} entries, circuit has {n} qubits", table.len()),
+                    msg: format!(
+                        "custom layout has {} entries, circuit has {n} qubits",
+                        table.len()
+                    ),
                 });
             }
             Layout::from_mapping(table, m)
@@ -113,7 +116,8 @@ pub fn choose_initial_layout(
             let mut degree = vec![0usize; n];
             for inst in circuit.instructions() {
                 if inst.op.is_gate() && inst.qubits.len() == 2 {
-                    let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                    let (a, b) =
+                        (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
                     *weight.entry((a, b)).or_insert(0) += 1;
                     degree[inst.qubits[0]] += 1;
                     degree[inst.qubits[1]] += 1;
@@ -137,7 +141,13 @@ pub fn choose_initial_layout(
                     // Sum of distances to already-placed partners, weighted.
                     let mut dist_cost = 0usize;
                     for (&(a, b), &w) in &weight {
-                        let partner = if a == l { b } else if b == l { a } else { continue };
+                        let partner = if a == l {
+                            b
+                        } else if b == l {
+                            a
+                        } else {
+                            continue;
+                        };
                         if table[partner] != usize::MAX {
                             let d = map.distance(p, table[partner]);
                             if d == usize::MAX {
@@ -216,8 +226,7 @@ fn choose_noise_aware_layout(
     let mut degree = vec![0usize; n];
     for inst in circuit.instructions() {
         if inst.op.is_gate() && inst.qubits.len() == 2 {
-            let (a, b) =
-                (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+            let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
             *weight.entry((a, b)).or_insert(0) += 1;
             degree[inst.qubits[0]] += 1;
             degree[inst.qubits[1]] += 1;
@@ -236,20 +245,25 @@ fn choose_noise_aware_layout(
             }
             let mut placement_cost = 0.0f64;
             for (&(a, b), &w) in &weight {
-                let partner = if a == l { b } else if b == l { a } else { continue };
+                let partner = if a == l {
+                    b
+                } else if b == l {
+                    a
+                } else {
+                    continue;
+                };
                 if table[partner] != usize::MAX {
                     placement_cost += w as f64 * cost[p][table[partner]];
                 }
             }
             // Readout quality as a small additive preference.
             placement_cost += -readout(p).clamp(1e-6, 1.0).ln();
-            if best.map_or(true, |(c, _)| placement_cost < c) {
+            if best.is_none_or(|(c, _)| placement_cost < c) {
                 best = Some((placement_cost, p));
             }
         }
-        let (_, p) = best.ok_or_else(|| TerraError::CouplingMap {
-            msg: "no free physical qubit".to_owned(),
-        })?;
+        let (_, p) = best
+            .ok_or_else(|| TerraError::CouplingMap { msg: "no free physical qubit".to_owned() })?;
         table[l] = p;
         taken[p] = true;
     }
@@ -318,14 +332,7 @@ impl<'a> MappingContext<'a> {
             out.add_creg(creg.name(), creg.len())?;
         }
         out.set_name(format!("{}_mapped", source.name()));
-        Ok(Self {
-            source,
-            map,
-            dist: map.distance_matrix(),
-            layout,
-            out,
-            num_swaps: 0,
-        })
+        Ok(Self { source, map, dist: map.distance_matrix(), layout, out, num_swaps: 0 })
     }
 
     /// Emits an instruction with logical operands relabeled to physical.
@@ -371,9 +378,7 @@ impl<'a> MappingContext<'a> {
                 let (pc, pt) = self.physical_pair(inst);
                 if !self.map.connected(pc, pt) {
                     let path = self.map.shortest_path(pc, pt).ok_or_else(|| {
-                        TerraError::CouplingMap {
-                            msg: format!("no path between Q{pc} and Q{pt}"),
-                        }
+                        TerraError::CouplingMap { msg: format!("no path between Q{pc} and Q{pt}") }
                     })?;
                     // Swap the control along the path until adjacent.
                     for w in path.windows(2).take(path.len().saturating_sub(2)) {
@@ -418,8 +423,7 @@ impl<'a> MappingContext<'a> {
                 last_on_wire[w] = Some(i);
             }
         }
-        let ready: VecDeque<usize> =
-            (0..insts.len()).filter(|&i| preds[i] == 0).collect();
+        let ready: VecDeque<usize> = (0..insts.len()).filter(|&i| preds[i] == 0).collect();
         DependencyState { preds, succs, ready, done: vec![false; insts.len()] }
     }
 
@@ -463,9 +467,8 @@ impl<'a> MappingContext<'a> {
                         continue;
                     }
                     let inst = &insts[i];
-                    let executable = !inst.op.is_gate()
-                        || inst.qubits.len() < 2
-                        || self.is_executable(inst);
+                    let executable =
+                        !inst.op.is_gate() || inst.qubits.len() < 2 || self.is_executable(inst);
                     if executable {
                         dep.ready.retain(|&x| x != i);
                         self.emit_relabel(inst)?;
@@ -531,7 +534,7 @@ impl<'a> MappingContext<'a> {
                     } else {
                         LOOKAHEAD_WEIGHT * window_cost as f64 / window.len() as f64
                     };
-                if best.map_or(true, |(_, s)| score < s) {
+                if best.is_none_or(|(_, s)| score < s) {
                     best = Some(((p1, p2), score));
                 }
             }
@@ -584,8 +587,7 @@ impl<'a> MappingContext<'a> {
             }
             // The blocked layer: all ready 2q gates (disjoint qubits by
             // construction — each qubit has at most one ready instruction).
-            let layer: Vec<&Instruction> =
-                dep.ready.iter().map(|&i| &insts[i]).collect();
+            let layer: Vec<&Instruction> = dep.ready.iter().map(|&i| &insts[i]).collect();
             if layer.is_empty() {
                 break;
             }
@@ -614,15 +616,12 @@ impl<'a> MappingContext<'a> {
             // Each swap can shorten at most two gate distances by one:
             // sum(dist - 1 over unsatisfied gates) / 2, rounded up, is an
             // admissible heuristic for swap count.
-            let total: usize = layer
-                .iter()
-                .map(|inst| self.gate_distance(l2p, inst).saturating_sub(1))
-                .sum();
+            let total: usize =
+                layer.iter().map(|inst| self.gate_distance(l2p, inst).saturating_sub(1)).sum();
             total.div_ceil(2)
         };
-        let satisfied = |l2p: &[usize]| -> bool {
-            layer.iter().all(|inst| self.gate_distance(l2p, inst) == 1)
-        };
+        let satisfied =
+            |l2p: &[usize]| -> bool { layer.iter().all(|inst| self.gate_distance(l2p, inst) == 1) };
         if satisfied(&start) {
             return Ok(Vec::new());
         }
@@ -658,9 +657,7 @@ impl<'a> MappingContext<'a> {
             // Expand: swaps on edges touching a layer-relevant qubit.
             for &(p1, p2) in &edges {
                 let relevant = layer.iter().any(|inst| {
-                    inst.qubits
-                        .iter()
-                        .any(|&l| node.l2p[l] == p1 || node.l2p[l] == p2)
+                    inst.qubits.iter().any(|&l| node.l2p[l] == p1 || node.l2p[l] == p2)
                 });
                 if !relevant {
                     continue;
@@ -727,7 +724,13 @@ pub fn fix_directions(circuit: &QuantumCircuit, map: &CouplingMap) -> Result<Qua
                 }
             }
             Some(Gate::CX) => {
-                push_cx_fixed(&mut out, map, inst.qubits[0], inst.qubits[1], inst.condition.clone())?;
+                push_cx_fixed(
+                    &mut out,
+                    map,
+                    inst.qubits[0],
+                    inst.qubits[1],
+                    inst.condition.clone(),
+                )?;
             }
             Some(g) if g.num_qubits() > 1 => {
                 return Err(TerraError::Transpile {
@@ -802,14 +805,10 @@ mod tests {
         for _ in 0..3 {
             let input = reference::random_state(circuit.num_qubits(), &mut rng);
             let expected_logical = reference::evolve(circuit, &input).unwrap();
-            let phys_in =
-                reference::embed_state(&input, &result.initial_layout, map.num_qubits());
+            let phys_in = reference::embed_state(&input, &result.initial_layout, map.num_qubits());
             let phys_out = reference::evolve(&fixed, &phys_in).unwrap();
-            let expected_phys = reference::embed_state(
-                &expected_logical,
-                &result.final_layout,
-                map.num_qubits(),
-            );
+            let expected_phys =
+                reference::embed_state(&expected_logical, &result.final_layout, map.num_qubits());
             let f = state_fidelity(&phys_out, &expected_phys);
             assert!(f > 1.0 - 1e-9, "{kind:?} fidelity {f}");
         }
@@ -828,10 +827,8 @@ mod tests {
     fn astar_never_needs_more_swaps_than_basic_on_fig1() {
         let circ = fig1_circuit();
         let qx4 = CouplingMap::ibm_qx4();
-        let basic =
-            map_circuit(&circ, &qx4, MapperKind::Basic, &InitialLayout::Trivial).unwrap();
-        let astar =
-            map_circuit(&circ, &qx4, MapperKind::AStar, &InitialLayout::Trivial).unwrap();
+        let basic = map_circuit(&circ, &qx4, MapperKind::Basic, &InitialLayout::Trivial).unwrap();
+        let astar = map_circuit(&circ, &qx4, MapperKind::AStar, &InitialLayout::Trivial).unwrap();
         assert!(
             astar.num_swaps <= basic.num_swaps,
             "A* used {} swaps, basic used {}",
@@ -923,11 +920,7 @@ mod tests {
                     }
                 }
             }
-            let map = if trial % 2 == 0 {
-                CouplingMap::line(n)
-            } else {
-                CouplingMap::ibm_qx5()
-            };
+            let map = if trial % 2 == 0 { CouplingMap::line(n) } else { CouplingMap::ibm_qx5() };
             for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar] {
                 assert_mapping_equivalent(&circ, &map, kind);
             }
@@ -955,7 +948,7 @@ mod tests {
         let mut circ = QuantumCircuit::new(2);
         circ.cx(0, 1).unwrap();
         let strategy = InitialLayout::NoiseAware {
-            edge_fidelity: vec![(((0, 1)), 0.5), (((1, 2)), 0.99), (((2, 3)), 0.99), (((3, 0)), 0.99)],
+            edge_fidelity: vec![((0, 1), 0.5), ((1, 2), 0.99), ((2, 3), 0.99), ((3, 0), 0.99)],
             qubit_fidelity: vec![],
         };
         let layout = choose_initial_layout(&circ, &ring, &strategy).unwrap();
@@ -991,8 +984,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.initial_layout, vec![4, 3, 2, 1]);
-        assert!(choose_initial_layout(&circ, &qx4, &InitialLayout::Custom(vec![0, 0, 1, 2]))
-            .is_err());
+        assert!(
+            choose_initial_layout(&circ, &qx4, &InitialLayout::Custom(vec![0, 0, 1, 2])).is_err()
+        );
         assert!(choose_initial_layout(&circ, &qx4, &InitialLayout::Custom(vec![0])).is_err());
     }
 

@@ -297,9 +297,6 @@ mod tests {
         dense.initial_layout = InitialLayout::Dense;
         let swaps_trivial = transpile(&circ, &trivial).unwrap().num_swaps;
         let swaps_dense = transpile(&circ, &dense).unwrap().num_swaps;
-        assert!(
-            swaps_dense <= swaps_trivial,
-            "dense {swaps_dense} > trivial {swaps_trivial}"
-        );
+        assert!(swaps_dense <= swaps_trivial, "dense {swaps_dense} > trivial {swaps_trivial}");
     }
 }

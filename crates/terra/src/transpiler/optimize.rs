@@ -111,8 +111,7 @@ pub fn merge_single_qubit_runs(circuit: &QuantumCircuit) -> (QuantumCircuit, usi
     out.clear();
     out.add_global_phase(circuit.global_phase());
     // Pending 1q product per qubit (matrix, source gate count).
-    let mut pending: Vec<Option<(crate::matrix::Matrix, usize)>> =
-        vec![None; circuit.num_qubits()];
+    let mut pending: Vec<Option<(crate::matrix::Matrix, usize)>> = vec![None; circuit.num_qubits()];
     let mut eliminated = 0usize;
 
     let flush = |q: usize,
@@ -121,9 +120,7 @@ pub fn merge_single_qubit_runs(circuit: &QuantumCircuit) -> (QuantumCircuit, usi
                  eliminated: &mut usize| {
         if let Some((matrix, count)) = pending[q].take() {
             // Identity up to phase?
-            if let Some(phase) =
-                matrix.phase_equal_to(&crate::matrix::Matrix::identity(2))
-            {
+            if let Some(phase) = matrix.phase_equal_to(&crate::matrix::Matrix::identity(2)) {
                 out.add_global_phase(phase);
                 *eliminated += count;
                 return;
@@ -224,10 +221,7 @@ mod tests {
     fn assert_equiv(a: &QuantumCircuit, b: &QuantumCircuit) {
         let ua = reference::unitary(a).unwrap();
         let ub = reference::unitary(b).unwrap();
-        assert!(
-            ua.approx_eq_eps(&ub, 1e-8),
-            "circuits not exactly equivalent"
-        );
+        assert!(ua.approx_eq_eps(&ub, 1e-8), "circuits not exactly equivalent");
     }
 
     #[test]

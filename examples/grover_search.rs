@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for iterations in 0..=2 * optimal {
         let circ = grover_circuit(n, &marked, Some(iterations))?;
         let p = success_probability(&circ, &marked)?;
-        let bar: String = std::iter::repeat('#').take((p * 40.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (p * 40.0) as usize).collect();
         let mark = if iterations == optimal { " <- optimal" } else { "" };
         println!("{iterations:>10}  {p:.4} {bar}{mark}");
     }

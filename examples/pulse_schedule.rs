@@ -22,11 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Transpile to the elementary basis {U, CX} under QX4's constraints.
     let device = FakeDevice::ibmqx4();
     let elementary = device.transpile(&circ)?;
-    println!(
-        "transpiled: {} gates, depth {}\n",
-        elementary.num_gates(),
-        elementary.depth()
-    );
+    println!("transpiled: {} gates, depth {}\n", elementary.num_gates(), elementary.depth());
 
     // Lower to pulses with a calibration derived from the coupling map.
     let edges: Vec<(usize, usize)> = CouplingMap::ibm_qx4().edges().collect();
@@ -38,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schedule.name(),
         schedule.instructions().len(),
         schedule.duration(),
-        schedule
-            .channels()
-            .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
+        schedule.channels().iter().map(|c| c.to_string()).collect::<Vec<_>>()
     );
     println!("{:>8} {:>6} {:>10}  description", "t0", "ch", "dur");
     for (start, inst) in schedule.instructions() {

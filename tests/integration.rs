@@ -138,8 +138,8 @@ fn provider_backends_all_run_the_same_bell() {
 fn teleportation_on_constrained_device() {
     // The teleport circuit uses conditionals and mid-circuit measurement;
     // map it to a line topology and check it still works (noiseless).
-    let circ = qukit_aqua::teleportation::teleport_circuit(&[(qukit_terra::gate::Gate::X, 0)])
-        .unwrap();
+    let circ =
+        qukit_aqua::teleportation::teleport_circuit(&[(qukit_terra::gate::Gate::X, 0)]).unwrap();
     let options = TranspileOptions {
         coupling_map: Some(CouplingMap::line(3)),
         mapper: MapperKind::Basic,
@@ -148,10 +148,8 @@ fn teleportation_on_constrained_device() {
     };
     let mapped = transpile(&circ, &options).unwrap();
     assert!(satisfies_coupling(&mapped.circuit, &CouplingMap::line(3)));
-    let counts = qukit_aer::simulator::QasmSimulator::new()
-        .with_seed(6)
-        .run(&mapped.circuit, 400)
-        .unwrap();
+    let counts =
+        qukit_aer::simulator::QasmSimulator::new().with_seed(6).run(&mapped.circuit, 400).unwrap();
     // Output clbit (bit 2) must always read 1.
     for (outcome, count) in counts.iter() {
         if count > 0 {

@@ -1,0 +1,194 @@
+//! End-to-end tests of the fault-tolerant job service: the acceptance
+//! scenarios of the job-layer issue, all deterministic.
+//!
+//! (a) a transient fault is retried with backoff and then succeeds, with
+//!     counts identical to a clean run of the same seeded backend;
+//! (b) a fatal error is not retried;
+//! (c) a hung attempt is abandoned as `TimedOut`;
+//! (d) a fallback chain completes on its fallback member and records
+//!     which backend actually served the job.
+//!
+//! No assertion depends on wall-clock timing: tests assert on attempt
+//! counts, statuses, the policy's pure-function backoff schedule, and
+//! seeded counts.
+
+use qukit::backend::{DdSimulatorBackend, QasmSimulatorBackend, StabilizerBackend};
+use qukit::execute::execute;
+use qukit::fault::{FallbackChain, FaultInjectingBackend, FaultMode};
+use qukit::job::{ExecutorConfig, JobExecutor, JobStatus};
+use qukit::provider::Provider;
+use qukit::retry::RetryPolicy;
+use qukit::QuantumCircuit;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn bell() -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(2);
+    circ.h(0).unwrap();
+    circ.cx(0, 1).unwrap();
+    circ
+}
+
+fn single_worker(backend: Box<dyn qukit::Backend>, retry: RetryPolicy) -> JobExecutor {
+    let mut provider = Provider::new();
+    provider.register(backend);
+    JobExecutor::with_config(provider, ExecutorConfig { workers: 1, queue_capacity: 8, retry })
+}
+
+/// Scenario (a): two injected transient failures, retried with backoff,
+/// third attempt succeeds — and the counts match a clean run of the same
+/// seeded backend exactly.
+#[test]
+fn transient_faults_are_retried_then_succeed_with_clean_counts() {
+    let seed = 1234;
+    let retry = RetryPolicy::new(3)
+        .with_base_backoff(Duration::from_millis(2))
+        .with_backoff_factor(2.0)
+        .with_jitter(0.1)
+        .with_jitter_seed(9);
+    let flaky = FaultInjectingBackend::new(
+        Box::new(QasmSimulatorBackend::new().with_seed(seed)),
+        FaultMode::FailTimes(2),
+    );
+    let executor = single_worker(Box::new(flaky), retry.clone());
+
+    let job = executor.submit(&bell(), "qasm_simulator", 500).unwrap();
+    let counts = job.result(WAIT).unwrap();
+
+    assert_eq!(job.status(), JobStatus::Done);
+    assert_eq!(job.attempts(), 3, "two failures + one success");
+    // The backoffs actually waited are exactly the policy's (seeded,
+    // deterministic) schedule.
+    assert_eq!(job.backoffs(), retry.schedule());
+    assert_eq!(job.executed_on().as_deref(), Some("qasm_simulator"));
+
+    // A clean run of the same seeded backend gives identical counts:
+    // retries are transparent to the result.
+    let clean = execute(&bell(), &QasmSimulatorBackend::new().with_seed(seed), 500).unwrap();
+    let as_pairs = |c: &qukit::Counts| {
+        let mut v: Vec<(u64, usize)> = c.iter().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(as_pairs(&counts), as_pairs(&clean));
+}
+
+/// Scenario (b): a fatal (non-transient) error is not retried, however
+/// many attempts the policy would allow.
+#[test]
+fn fatal_errors_are_not_retried() {
+    let retry = RetryPolicy::new(5).with_base_backoff(Duration::from_millis(1));
+    let executor = single_worker(Box::new(StabilizerBackend::new()), retry);
+
+    // A T gate is non-Clifford: the stabilizer backend rejects it fatally.
+    let mut circ = QuantumCircuit::new(1);
+    circ.t(0).unwrap();
+    let job = executor.submit(&circ, "stabilizer_simulator", 100).unwrap();
+    let err = job.result(WAIT).unwrap_err();
+
+    assert_eq!(job.status(), JobStatus::Error);
+    assert_eq!(job.attempts(), 1, "fatal errors must fail fast");
+    assert!(job.backoffs().is_empty(), "no backoff for a non-retry");
+    assert!(err.to_string().contains("failed"), "{err}");
+}
+
+/// Scenario (c): a hung attempt is abandoned once the per-attempt
+/// timeout elapses and the job ends `TimedOut`.
+#[test]
+fn hung_attempts_time_out() {
+    let retry = RetryPolicy::new(3)
+        .with_base_backoff(Duration::from_millis(1))
+        .with_attempt_timeout(Duration::from_millis(30));
+    let slow = FaultInjectingBackend::new(
+        Box::new(QasmSimulatorBackend::new().with_seed(1)),
+        // The hang is far longer than the timeout, so the outcome does
+        // not depend on scheduling luck.
+        FaultMode::Hang(Duration::from_millis(1500)),
+    );
+    let executor = single_worker(Box::new(slow), retry);
+
+    let job = executor.submit(&bell(), "qasm_simulator", 100).unwrap();
+    let err = job.result(WAIT).unwrap_err();
+
+    assert_eq!(job.status(), JobStatus::TimedOut);
+    assert_eq!(job.attempts(), 1, "a hung attempt is abandoned, not retried");
+    assert!(err.to_string().contains("timed out"), "{err}");
+}
+
+/// Scenario (d): the decision-diagram simulator cannot run a non-unitary
+/// instruction; a fallback chain degrades to the qasm simulator and the
+/// job records which backend actually served it.
+#[test]
+fn fallback_chain_serves_on_fallback_and_records_backend() {
+    let chain = FallbackChain::new("dd_with_fallback")
+        .then(Box::new(DdSimulatorBackend::new().with_seed(7)))
+        .then(Box::new(QasmSimulatorBackend::new().with_seed(7)));
+    assert_eq!(chain.members(), vec!["dd_simulator", "qasm_simulator"]);
+    let executor = single_worker(Box::new(chain), RetryPolicy::none());
+
+    // reset is non-unitary: dd_simulator rejects it, qasm_simulator runs it.
+    let mut circ = QuantumCircuit::with_size(1, 1);
+    circ.x(0).unwrap();
+    circ.reset(0).unwrap();
+    circ.x(0).unwrap();
+    circ.measure(0, 0).unwrap();
+
+    let job = executor.submit(&circ, "dd_with_fallback", 64).unwrap();
+    let counts = job.result(WAIT).unwrap();
+
+    assert_eq!(job.status(), JobStatus::Done);
+    assert_eq!(job.executed_on().as_deref(), Some("qasm_simulator"));
+    assert_eq!(counts.get("1"), 64, "x; reset; x leaves |1>");
+
+    // A unitary circuit stays on the primary member.
+    let job = executor.submit(&bell(), "dd_with_fallback", 64).unwrap();
+    job.result(WAIT).unwrap();
+    assert_eq!(job.executed_on().as_deref(), Some("dd_simulator"));
+}
+
+/// Corrupted-counts faults keep the shot total but scramble outcomes —
+/// the decorator is observable without breaking histogram invariants.
+#[test]
+fn corrupted_counts_preserve_totals_but_not_outcomes() {
+    let seed = 42;
+    let corrupting = FaultInjectingBackend::new(
+        Box::new(QasmSimulatorBackend::new().with_seed(seed)),
+        FaultMode::CorruptCounts,
+    )
+    .with_seed(99);
+    let executor = single_worker(Box::new(corrupting), RetryPolicy::none());
+
+    let job = executor.submit(&bell(), "qasm_simulator", 400).unwrap();
+    let corrupted = job.result(WAIT).unwrap();
+    let clean = execute(&bell(), &QasmSimulatorBackend::new().with_seed(seed), 400).unwrap();
+
+    assert_eq!(corrupted.total(), 400, "corruption must preserve the shot total");
+    let pairs = |c: &qukit::Counts| {
+        let mut v: Vec<(u64, usize)> = c.iter().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_ne!(pairs(&corrupted), pairs(&clean), "corruption must change outcomes");
+}
+
+/// The queue really queues: with one worker pinned by a slow job, later
+/// submissions wait their turn and everything drains in order on
+/// shutdown.
+#[test]
+fn queued_jobs_drain_in_submission_order() {
+    let slow = FaultInjectingBackend::new(
+        Box::new(QasmSimulatorBackend::new().with_seed(3)),
+        FaultMode::Hang(Duration::from_millis(40)),
+    );
+    let executor = single_worker(Box::new(slow), RetryPolicy::none());
+
+    let jobs: Vec<_> =
+        (0..3).map(|_| executor.submit(&bell(), "qasm_simulator", 32).unwrap()).collect();
+    for job in &jobs {
+        assert_eq!(job.result(WAIT).unwrap().total(), 32);
+        assert_eq!(job.status(), JobStatus::Done);
+    }
+    // Ids are assigned in submission order.
+    assert!(jobs.windows(2).all(|w| w[0].id() < w[1].id()));
+}

@@ -64,9 +64,7 @@ fn fig3_dd_is_smaller_than_dense_matrix() {
     circ.h(0).unwrap();
     circ.cx(0, 1).unwrap();
     circ.cx(1, 2).unwrap();
-    let (package, edge) = qukit_dd::simulator::DdSimulator::new()
-        .build_unitary(&circ)
-        .unwrap();
+    let (package, edge) = qukit_dd::simulator::DdSimulator::new().build_unitary(&circ).unwrap();
     let dense_entries = 8 * 8;
     let dd_nodes = package.matrix_nodes(edge);
     assert!(
@@ -180,11 +178,7 @@ fn aqua_claim_vqe_reaches_chemical_accuracy_on_h2() {
     };
     let result = vqe.run(&optimizer, &vec![0.1; ansatz.num_parameters()]).unwrap();
     // Chemical accuracy: 1.6 mHa.
-    assert!(
-        (result.energy - exact).abs() < 1.6e-3,
-        "VQE {} vs exact {exact}",
-        result.energy
-    );
+    assert!((result.energy - exact).abs() < 1.6e-3, "VQE {} vs exact {exact}", result.energy);
 }
 
 #[test]

@@ -256,7 +256,7 @@ proptest! {
         b in circuit_strategy(3, 12),
     ) {
         let mut package = qukit_dd::package::DdPackage::new(3);
-        let mut run = |circ: &QuantumCircuit,
+        let run = |circ: &QuantumCircuit,
                        package: &mut qukit_dd::package::DdPackage| {
             let mut edge = package.zero_state();
             for inst in circ.instructions() {
