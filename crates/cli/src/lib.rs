@@ -41,6 +41,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Toolchain failure.
     Qukit(qukit::error::QukitError),
+    /// The conformance fuzzer found violations (details already printed).
+    Conformance(String),
 }
 
 impl fmt::Display for CliError {
@@ -49,6 +51,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Qukit(e) => write!(f, "{e}"),
+            CliError::Conformance(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -84,8 +87,17 @@ const USAGE: &str = "usage:
   qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
              [--retries N] [--timeout-ms N]
              [--inject-fail N | --hang-ms N] [--fallback] [--cancel]
+  qukit fuzz [--seed N] [--cases N] [--max-qubits N] [--max-depth N]
+             [--oracle all|LIST] [--gate-set full|clifford|clifford+t]
+             [--shots N] [--measure] [--no-shrink] [--repro-dir DIR]
 
 coupling KIND is one of line, ring, full, or grid:RxC
+
+fuzz runs the differential conformance harness: seeded random circuits
+are executed on every simulator and checked against the metamorphic
+oracles (differential, inverse, roundtrip, transpile — pass a comma
+list to --oracle to select a subset). Failures are shrunk to minimal
+witnesses; --repro-dir writes each witness as a .qasm reproducer
 
 jobs flags: --retries N allows N retries after the first attempt;
 --timeout-ms bounds each attempt; --inject-fail N makes the backend fail
@@ -111,6 +123,7 @@ pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "transpile" => cmd_transpile(&rest, out),
         "equiv" => cmd_equiv(&rest, out),
         "jobs" => cmd_jobs(&rest, out),
+        "fuzz" => cmd_fuzz(&rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -349,6 +362,109 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         Err(e) => writeln!(out, "job failed: {e}")?,
     }
     Ok(())
+}
+
+fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    use qukit_conformance::{
+        DiffConfig, FuzzConfig, GateSet, GeneratorConfig, MatrixTable, OracleKind,
+    };
+    let seed: u64 = match flag_value(rest, "--seed")? {
+        Some(v) => parse_number(v, "seed")?,
+        None => 42,
+    };
+    let cases: usize = match flag_value(rest, "--cases")? {
+        Some(v) => parse_number(v, "case count")?,
+        None => 200,
+    };
+    let max_qubits: usize = match flag_value(rest, "--max-qubits")? {
+        Some(v) => parse_number(v, "qubit bound")?,
+        None => 5,
+    };
+    let max_depth: usize = match flag_value(rest, "--max-depth")? {
+        Some(v) => parse_number(v, "depth bound")?,
+        None => 16,
+    };
+    let shots: usize = match flag_value(rest, "--shots")? {
+        Some(v) => parse_number(v, "shot count")?,
+        None => 1024,
+    };
+    let oracles = match flag_value(rest, "--oracle")? {
+        Some(spec) => OracleKind::parse_list(spec)
+            .ok_or_else(|| CliError::Usage(format!("unknown oracle list '{spec}'")))?,
+        None => OracleKind::ALL.to_vec(),
+    };
+    let gate_set = match flag_value(rest, "--gate-set")? {
+        Some(name) => GateSet::parse(name)
+            .ok_or_else(|| CliError::Usage(format!("unknown gate set '{name}'")))?,
+        None => GateSet::Full,
+    };
+    if max_qubits == 0 {
+        return Err(CliError::Usage("--max-qubits must be at least 1".to_owned()));
+    }
+    let config = FuzzConfig {
+        seed,
+        cases,
+        generator: GeneratorConfig {
+            gate_set,
+            max_qubits,
+            max_depth: max_depth.max(1),
+            with_measurements: flag_present(rest, "--measure"),
+            ..GeneratorConfig::default()
+        },
+        oracles,
+        diff: DiffConfig { shots, seed: seed.wrapping_add(1), ..DiffConfig::default() },
+        matrices: MatrixTable::pristine(),
+        shrink: !flag_present(rest, "--no-shrink"),
+        max_failures: 5,
+    };
+    let oracle_names: Vec<&str> = config.oracles.iter().map(|k| k.name()).collect();
+    writeln!(
+        out,
+        "fuzzing: seed {seed}, {cases} cases, <= {max_qubits} qubits, <= {} gates, \
+         gate set {:?}, oracles [{}]",
+        config.generator.max_depth,
+        gate_set,
+        oracle_names.join(", ")
+    )?;
+    let report = qukit_conformance::run_fuzz(&config);
+    writeln!(out, "cases: {}", report.cases)?;
+    for (oracle, passed) in &report.checks {
+        let skipped = report.skips.get(oracle).copied().unwrap_or(0);
+        if skipped > 0 {
+            writeln!(out, "  {oracle:<13} {passed:>6} passed, {skipped} skipped")?;
+        } else {
+            writeln!(out, "  {oracle:<13} {passed:>6} passed")?;
+        }
+    }
+    let repro_dir = flag_value(rest, "--repro-dir")?;
+    for failure in &report.failures {
+        writeln!(out, "---")?;
+        writeln!(out, "case {} FAILED: {}", failure.case_index, failure.mismatch)?;
+        writeln!(
+            out,
+            "shrunk {} -> {} gates ({})",
+            failure.original.num_gates(),
+            failure.shrunk.num_gates(),
+            failure.reproducer.file_name()
+        )?;
+        write!(out, "{}", failure.reproducer.qasm)?;
+        writeln!(out, "--- suggested regression test ---")?;
+        write!(out, "{}", failure.reproducer.test_case)?;
+        if let Some(dir) = repro_dir {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join(failure.reproducer.file_name()), &failure.reproducer.qasm)?;
+        }
+    }
+    if report.is_green() {
+        writeln!(out, "all oracles green")?;
+        Ok(())
+    } else {
+        Err(CliError::Conformance(format!(
+            "{} conformance violation(s) found (seed {seed})",
+            report.failures.len()
+        )))
+    }
 }
 
 fn parse_coupling(spec: &str) -> Result<CouplingMap, CliError> {
@@ -709,6 +825,54 @@ mod tests {
             CliError::Usage(_)
         ));
         assert!(matches!(run_err(&["run", file.as_str(), "--shots"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fuzz_smoke_campaign_is_green() {
+        let text = run_ok(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--cases",
+            "10",
+            "--max-qubits",
+            "3",
+            "--max-depth",
+            "6",
+            "--shots",
+            "128",
+        ]);
+        assert!(text.contains("cases: 10"), "{text}");
+        assert!(text.contains("all oracles green"), "{text}");
+        assert!(text.contains("differential"), "{text}");
+    }
+
+    #[test]
+    fn fuzz_with_measurements_and_oracle_subset() {
+        let text = run_ok(&[
+            "fuzz",
+            "--cases",
+            "5",
+            "--max-qubits",
+            "2",
+            "--max-depth",
+            "4",
+            "--shots",
+            "64",
+            "--measure",
+            "--oracle",
+            "differential,roundtrip",
+        ]);
+        assert!(text.contains("oracles [differential, roundtrip]"), "{text}");
+        assert!(text.contains("all oracles green"), "{text}");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_flags() {
+        assert!(matches!(run_err(&["fuzz", "--oracle", "bogus"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["fuzz", "--gate-set", "bogus"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["fuzz", "--max-qubits", "0"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["fuzz", "--cases", "many"]), CliError::Usage(_)));
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Seeded random-circuit generation.
+//!
+//! The generator is the front end of the conformance harness: every
+//! circuit it emits is fed to the differential runner and the metamorphic
+//! oracles. Determinism is a hard requirement — the same seed must yield
+//! the same circuit sequence on every platform, so a failing case found in
+//! CI can be replayed locally with nothing but the seed.
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::gate::Gate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Which gate alphabet the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateSet {
+    /// Every gate the toolchain knows, including parameterized rotations
+    /// and three-qubit gates.
+    Full,
+    /// Clifford gates only — circuits the stabilizer simulator can run.
+    Clifford,
+    /// Clifford + T/T†: universal, still cheap to verify on DDs.
+    CliffordT,
+}
+
+impl GateSet {
+    /// Parses a CLI-style name (`full`, `clifford`, `clifford+t`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(Self::Full),
+            "clifford" => Some(Self::Clifford),
+            "clifford+t" | "clifford-t" => Some(Self::CliffordT),
+            _ => None,
+        }
+    }
+}
+
+/// Shape of the circuits to generate.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Gate alphabet.
+    pub gate_set: GateSet,
+    /// Minimum register width (inclusive).
+    pub min_qubits: usize,
+    /// Maximum register width (inclusive).
+    pub max_qubits: usize,
+    /// Maximum number of gates per circuit.
+    pub max_depth: usize,
+    /// Append a terminal measurement of every qubit.
+    pub with_measurements: bool,
+    /// Insert a mid-circuit measurement followed by a classically
+    /// conditioned gate (implies a classical register).
+    pub with_conditionals: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            gate_set: GateSet::Full,
+            min_qubits: 1,
+            max_qubits: 5,
+            max_depth: 16,
+            with_measurements: false,
+            with_conditionals: false,
+        }
+    }
+}
+
+/// A deterministic stream of random circuits.
+#[derive(Debug)]
+pub struct CircuitGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+}
+
+const CLIFFORD_1Q: &[Gate] =
+    &[Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg, Gate::Sx, Gate::Sxdg];
+const CLIFFORD_2Q: &[Gate] = &[Gate::CX, Gate::CY, Gate::CZ, Gate::Swap];
+const FIXED_1Q: &[Gate] = &[
+    Gate::I,
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::H,
+    Gate::S,
+    Gate::Sdg,
+    Gate::T,
+    Gate::Tdg,
+    Gate::Sx,
+    Gate::Sxdg,
+];
+const FIXED_2Q: &[Gate] = &[Gate::CX, Gate::CY, Gate::CZ, Gate::CH, Gate::Swap];
+const FIXED_3Q: &[Gate] = &[Gate::Ccx, Gate::Ccz, Gate::Cswap];
+
+impl CircuitGenerator {
+    /// Creates a generator for the given seed and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the width bounds are empty or zero.
+    pub fn new(seed: u64, config: GeneratorConfig) -> Self {
+        assert!(config.min_qubits >= 1, "circuits need at least one qubit");
+        assert!(config.min_qubits <= config.max_qubits, "empty width range");
+        assert!(config.max_depth >= 1, "max_depth must be positive");
+        Self { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Produces the next circuit in the deterministic stream.
+    pub fn next_circuit(&mut self) -> QuantumCircuit {
+        let n = self.rng.gen_range(self.config.min_qubits..=self.config.max_qubits);
+        let gates = self.rng.gen_range(1..=self.config.max_depth);
+        let classical = self.config.with_measurements || self.config.with_conditionals;
+        let mut circ =
+            if classical { QuantumCircuit::with_size(n, n) } else { QuantumCircuit::new(n) };
+        for _ in 0..gates {
+            self.append_random_gate(&mut circ);
+        }
+        if self.config.with_conditionals {
+            let q = self.rng.gen_range(0..n);
+            circ.measure(q, q).expect("generated operands are in range");
+            let target = self.rng.gen_range(0..n);
+            let value = self.rng.gen_range(0..2u64.pow(n.min(8) as u32));
+            let gate = self.pick_1q();
+            circ.append_conditional(gate, &[target], "c", value)
+                .expect("generated conditional is well-formed");
+        }
+        if self.config.with_measurements {
+            for q in 0..n {
+                circ.measure(q, q).expect("generated operands are in range");
+            }
+        }
+        circ
+    }
+
+    fn append_random_gate(&mut self, circ: &mut QuantumCircuit) {
+        let n = circ.num_qubits();
+        let arity = self.pick_arity(n);
+        let gate = match arity {
+            1 => self.pick_1q(),
+            2 => self.pick_2q(),
+            _ => FIXED_3Q[self.rng.gen_range(0..FIXED_3Q.len())],
+        };
+        let qubits = self.distinct_qubits(n, arity);
+        circ.append(gate, &qubits).expect("generated operands are distinct and in range");
+    }
+
+    fn pick_arity(&mut self, n: usize) -> usize {
+        let three_q = n >= 3 && self.config.gate_set == GateSet::Full;
+        // Weights 5:4:1 — enough entanglers to stress the mappers without
+        // drowning the single-qubit algebra.
+        let roll = self.rng.gen_range(0..10);
+        if n >= 2 && roll >= 9 && three_q {
+            3
+        } else if n >= 2 && roll >= 5 {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn pick_1q(&mut self) -> Gate {
+        match self.config.gate_set {
+            GateSet::Clifford => CLIFFORD_1Q[self.rng.gen_range(0..CLIFFORD_1Q.len())],
+            GateSet::CliffordT => {
+                let extended = CLIFFORD_1Q.len() + 2;
+                match self.rng.gen_range(0..extended) {
+                    i if i < CLIFFORD_1Q.len() => CLIFFORD_1Q[i],
+                    i if i == CLIFFORD_1Q.len() => Gate::T,
+                    _ => Gate::Tdg,
+                }
+            }
+            GateSet::Full => {
+                if self.rng.gen_bool(0.4) {
+                    match self.rng.gen_range(0..5) {
+                        0 => Gate::Rx(self.random_angle()),
+                        1 => Gate::Ry(self.random_angle()),
+                        2 => Gate::Rz(self.random_angle()),
+                        3 => Gate::Phase(self.random_angle()),
+                        _ => Gate::U(self.random_angle(), self.random_angle(), self.random_angle()),
+                    }
+                } else {
+                    FIXED_1Q[self.rng.gen_range(0..FIXED_1Q.len())]
+                }
+            }
+        }
+    }
+
+    fn pick_2q(&mut self) -> Gate {
+        match self.config.gate_set {
+            GateSet::Clifford | GateSet::CliffordT => {
+                CLIFFORD_2Q[self.rng.gen_range(0..CLIFFORD_2Q.len())]
+            }
+            GateSet::Full => {
+                if self.rng.gen_bool(0.3) {
+                    match self.rng.gen_range(0..6) {
+                        0 => Gate::Crx(self.random_angle()),
+                        1 => Gate::Cry(self.random_angle()),
+                        2 => Gate::Crz(self.random_angle()),
+                        3 => Gate::Cp(self.random_angle()),
+                        4 => Gate::Rxx(self.random_angle()),
+                        _ => Gate::Rzz(self.random_angle()),
+                    }
+                } else {
+                    FIXED_2Q[self.rng.gen_range(0..FIXED_2Q.len())]
+                }
+            }
+        }
+    }
+
+    /// Half the angles are π fractions (they stress the emitter's pretty
+    /// printer and the optimizer's special cases), half are arbitrary.
+    fn random_angle(&mut self) -> f64 {
+        const FRACTIONS: &[f64] =
+            &[PI, -PI, PI / 2.0, -PI / 2.0, PI / 4.0, -PI / 4.0, PI / 8.0, 3.0 * PI / 4.0];
+        if self.rng.gen_bool(0.5) {
+            FRACTIONS[self.rng.gen_range(0..FRACTIONS.len())]
+        } else {
+            self.rng.gen_range(-PI..PI)
+        }
+    }
+
+    fn distinct_qubits(&mut self, n: usize, k: usize) -> Vec<usize> {
+        debug_assert!(k <= n);
+        let mut picked = Vec::with_capacity(k);
+        while picked.len() < k {
+            let q = self.rng.gen_range(0..n);
+            if !picked.contains(&q) {
+                picked.push(q);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let config = GeneratorConfig::default();
+        let mut a = CircuitGenerator::new(99, config.clone());
+        let mut b = CircuitGenerator::new(99, config);
+        for _ in 0..20 {
+            let ca = a.next_circuit();
+            let cb = b.next_circuit();
+            assert_eq!(qukit_terra::qasm::emit(&ca), qukit_terra::qasm::emit(&cb));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let config = GeneratorConfig::default();
+        let mut a = CircuitGenerator::new(1, config.clone());
+        let mut b = CircuitGenerator::new(2, config);
+        let diverged = (0..10).any(|_| {
+            qukit_terra::qasm::emit(&a.next_circuit()) != qukit_terra::qasm::emit(&b.next_circuit())
+        });
+        assert!(diverged, "distinct seeds must produce distinct streams");
+    }
+
+    #[test]
+    fn respects_width_and_depth_bounds() {
+        let config = GeneratorConfig {
+            min_qubits: 2,
+            max_qubits: 4,
+            max_depth: 6,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = CircuitGenerator::new(5, config);
+        for _ in 0..50 {
+            let circ = generator.next_circuit();
+            assert!((2..=4).contains(&circ.num_qubits()));
+            assert!(circ.num_gates() >= 1 && circ.num_gates() <= 6);
+            assert!(!circ.has_measurements());
+        }
+    }
+
+    #[test]
+    fn clifford_set_is_stabilizer_compatible() {
+        let config = GeneratorConfig {
+            gate_set: GateSet::Clifford,
+            max_qubits: 4,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = CircuitGenerator::new(11, config);
+        for _ in 0..30 {
+            let circ = generator.next_circuit();
+            let mut tableau = qukit_aer::stabilizer::StabilizerState::new(circ.num_qubits());
+            for inst in circ.instructions() {
+                if let Some(g) = inst.as_gate() {
+                    tableau
+                        .apply_gate(*g, &inst.qubits)
+                        .expect("clifford set must stay inside the tableau formalism");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_toggle_adds_classical_register() {
+        let config = GeneratorConfig {
+            with_measurements: true,
+            with_conditionals: true,
+            max_qubits: 3,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = CircuitGenerator::new(3, config);
+        let circ = generator.next_circuit();
+        assert!(circ.has_measurements());
+        assert_eq!(circ.num_clbits(), circ.num_qubits());
+        assert!(circ.instructions().iter().any(|i| i.condition.is_some()));
+    }
+
+    #[test]
+    fn gate_set_parsing() {
+        assert_eq!(GateSet::parse("full"), Some(GateSet::Full));
+        assert_eq!(GateSet::parse("clifford"), Some(GateSet::Clifford));
+        assert_eq!(GateSet::parse("clifford+t"), Some(GateSet::CliffordT));
+        assert_eq!(GateSet::parse("bogus"), None);
+    }
+}

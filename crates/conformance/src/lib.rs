@@ -1,0 +1,218 @@
+//! Differential conformance harness for the qukit simulator family.
+//!
+//! The toolchain ships four independent executions of the same quantum
+//! semantics — statevector, density matrix, stabilizer tableau and
+//! decision diagrams — plus a transpiler that rewrites circuits onto
+//! device topologies. Any two of them disagreeing is a bug by
+//! construction, so the cheapest oracle is each other.
+//!
+//! This crate wires that observation into a fuzzing loop:
+//!
+//! 1. [`generator::CircuitGenerator`] emits seeded random circuits;
+//! 2. [`oracle::OracleSuite`] checks each circuit differentially across
+//!    all simulators and via metamorphic properties (inverse ≡ identity,
+//!    QASM roundtrip, transpiled ≡ original under permuted layouts);
+//! 3. on failure, [`shrink::shrink`] minimizes the circuit greedily and
+//!    [`repro::Reproducer`] renders a `.qasm` artifact plus a
+//!    ready-to-paste `#[test]`.
+//!
+//! The CLI front end is `qukit fuzz`; library users call [`run_fuzz`].
+
+pub mod generator;
+pub mod oracle;
+pub mod repro;
+pub mod runner;
+pub mod shrink;
+
+pub use generator::{CircuitGenerator, GateSet, GeneratorConfig};
+pub use oracle::{OracleKind, OracleOutcome, OracleSuite};
+pub use repro::Reproducer;
+pub use runner::{DiffConfig, DifferentialRunner, MatrixTable, Mismatch};
+pub use shrink::{shrink, ShrinkOutcome};
+
+use qukit_terra::circuit::QuantumCircuit;
+use std::collections::BTreeMap;
+
+/// Everything a fuzzing campaign needs.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` is circuit `i` of the seeded stream.
+    pub seed: u64,
+    /// Number of random circuits to generate and check.
+    pub cases: usize,
+    /// Shape of the generated circuits.
+    pub generator: GeneratorConfig,
+    /// Which oracles to run on every circuit.
+    pub oracles: Vec<OracleKind>,
+    /// Tolerances for the differential comparison.
+    pub diff: DiffConfig,
+    /// Reference-path gate matrices (overridable for self-tests).
+    pub matrices: MatrixTable,
+    /// Minimize failing circuits before reporting them.
+    pub shrink: bool,
+    /// Stop the campaign after this many failures (0 = unlimited).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            cases: 200,
+            generator: GeneratorConfig::default(),
+            oracles: OracleKind::ALL.to_vec(),
+            diff: DiffConfig::default(),
+            matrices: MatrixTable::pristine(),
+            shrink: true,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One failing case, minimized and packaged for replay.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Index of the case in the seeded stream (replay with the same seed).
+    pub case_index: usize,
+    /// The circuit as generated.
+    pub original: QuantumCircuit,
+    /// The circuit after shrinking (equals `original` when shrinking is
+    /// disabled).
+    pub shrunk: QuantumCircuit,
+    /// The violation observed on the shrunk circuit.
+    pub mismatch: Mismatch,
+    /// Replay artifacts (QASM + test snippet).
+    pub reproducer: Reproducer,
+}
+
+/// Aggregate statistics of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Circuits generated and checked.
+    pub cases: usize,
+    /// Oracle name → number of passing checks.
+    pub checks: BTreeMap<String, usize>,
+    /// Oracle name → number of skipped (inapplicable) checks.
+    pub skips: BTreeMap<String, usize>,
+    /// Every failure found, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// Whether the campaign finished without violations.
+    pub fn is_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a fuzzing campaign and returns its report.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    let runner =
+        DifferentialRunner::new(config.diff.clone()).with_matrices(config.matrices.clone());
+    let suite = OracleSuite::new(config.oracles.clone(), runner);
+    let mut generator = CircuitGenerator::new(config.seed, config.generator.clone());
+    let mut report = FuzzReport::default();
+    for case_index in 0..config.cases {
+        let circuit = generator.next_circuit();
+        report.cases += 1;
+        let mut failed: Option<(OracleKind, Mismatch)> = None;
+        for &kind in suite.kinds() {
+            match suite.check_kind(kind, &circuit) {
+                OracleOutcome::Pass => {
+                    *report.checks.entry(kind.name().to_owned()).or_default() += 1;
+                }
+                OracleOutcome::Skip(_) => {
+                    *report.skips.entry(kind.name().to_owned()).or_default() += 1;
+                }
+                OracleOutcome::Fail(mismatch) => {
+                    failed = Some((kind, mismatch));
+                    break;
+                }
+            }
+        }
+        if let Some((kind, mismatch)) = failed {
+            let failure = package_failure(&suite, kind, case_index, circuit, mismatch, config);
+            report.failures.push(failure);
+            if config.max_failures != 0 && report.failures.len() >= config.max_failures {
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn package_failure(
+    suite: &OracleSuite,
+    kind: OracleKind,
+    case_index: usize,
+    original: QuantumCircuit,
+    mismatch: Mismatch,
+    config: &FuzzConfig,
+) -> FuzzFailure {
+    let (shrunk, mismatch) = if config.shrink {
+        let check = |candidate: &QuantumCircuit| match suite.check_kind(kind, candidate) {
+            OracleOutcome::Fail(m) => Some(m),
+            _ => None,
+        };
+        let outcome = shrink::shrink(&original, mismatch, check);
+        (outcome.circuit, outcome.mismatch)
+    } else {
+        (original.clone(), mismatch)
+    };
+    let reproducer = Reproducer::new(&shrunk, &mismatch);
+    FuzzFailure { case_index, original, shrunk, mismatch, reproducer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_campaign_is_green() {
+        let config = FuzzConfig {
+            cases: 25,
+            generator: GeneratorConfig { max_qubits: 3, max_depth: 8, ..Default::default() },
+            diff: DiffConfig { shots: 256, ..Default::default() },
+            ..Default::default()
+        };
+        let report = run_fuzz(&config);
+        assert!(report.is_green(), "failures: {:?}", report.failures);
+        assert_eq!(report.cases, 25);
+        // Every case exercises at least the differential oracle.
+        assert!(report.checks["differential"] >= 25);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let config = FuzzConfig {
+            cases: 10,
+            generator: GeneratorConfig { max_qubits: 3, max_depth: 6, ..Default::default() },
+            diff: DiffConfig { shots: 128, ..Default::default() },
+            ..Default::default()
+        };
+        let a = run_fuzz(&config);
+        let b = run_fuzz(&config);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.skips, b.skips);
+    }
+
+    #[test]
+    fn max_failures_bounds_the_campaign() {
+        // An always-wrong X matrix fails essentially every circuit.
+        let mut wrong = qukit_terra::matrix::Matrix::identity(2);
+        wrong[(0, 0)] = qukit_terra::complex::Complex::new(0.5, 0.0);
+        let config = FuzzConfig {
+            cases: 100,
+            max_failures: 2,
+            shrink: false,
+            oracles: vec![OracleKind::Differential],
+            matrices: MatrixTable::pristine().with_override("h", wrong),
+            generator: GeneratorConfig { max_qubits: 2, max_depth: 6, ..Default::default() },
+            diff: DiffConfig { shots: 128, ..Default::default() },
+            ..Default::default()
+        };
+        let report = run_fuzz(&config);
+        assert_eq!(report.failures.len(), 2);
+        assert!(report.cases < 100, "campaign must stop early");
+    }
+}

@@ -1,0 +1,333 @@
+//! Metamorphic oracles.
+//!
+//! Each oracle states a property that must hold for *every* circuit, so
+//! no golden outputs are needed:
+//!
+//! * **differential** — all simulators agree on the circuit itself;
+//! * **inverse** — `C · C⁻¹` is the identity (checked on decision
+//!   diagrams, exactly);
+//! * **roundtrip** — exporting to OpenQASM and re-parsing reproduces the
+//!   instruction stream;
+//! * **transpile** — the mapped circuit produced by the transpiler is
+//!   equivalent to the original under its permuted layouts (checked with
+//!   [`qukit_dd::verify::check_equivalence_mapped`]).
+
+use crate::runner::{is_unitary_circuit, DifferentialRunner, Mismatch};
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::coupling::CouplingMap;
+use qukit_terra::transpiler::{satisfies_coupling, transpile, TranspileOptions};
+
+/// The oracles the harness knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Cross-simulator agreement.
+    Differential,
+    /// `C · C⁻¹ ≡ I`.
+    Inverse,
+    /// QASM export → parse fixpoint.
+    Roundtrip,
+    /// Transpiled circuit ≡ original modulo layout permutation.
+    Transpile,
+}
+
+impl OracleKind {
+    /// Every oracle, in execution order.
+    pub const ALL: [OracleKind; 4] = [
+        OracleKind::Differential,
+        OracleKind::Inverse,
+        OracleKind::Roundtrip,
+        OracleKind::Transpile,
+    ];
+
+    /// Stable name used in reports, reproducer slugs and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Differential => "differential",
+            OracleKind::Inverse => "inverse",
+            OracleKind::Roundtrip => "roundtrip",
+            OracleKind::Transpile => "transpile",
+        }
+    }
+
+    /// Parses a CLI argument: `all` or a comma-separated subset.
+    pub fn parse_list(spec: &str) -> Option<Vec<OracleKind>> {
+        if spec == "all" {
+            return Some(Self::ALL.to_vec());
+        }
+        let mut kinds = Vec::new();
+        for part in spec.split(',') {
+            let kind = match part.trim() {
+                "differential" => OracleKind::Differential,
+                "inverse" => OracleKind::Inverse,
+                "roundtrip" => OracleKind::Roundtrip,
+                "transpile" => OracleKind::Transpile,
+                _ => return None,
+            };
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        if kinds.is_empty() {
+            None
+        } else {
+            Some(kinds)
+        }
+    }
+}
+
+/// Result of running one oracle on one circuit.
+#[derive(Debug, Clone)]
+pub enum OracleOutcome {
+    /// The property held.
+    Pass,
+    /// The oracle does not apply to this circuit (reason attached).
+    Skip(&'static str),
+    /// The property was violated.
+    Fail(Mismatch),
+}
+
+/// A configured set of oracles sharing one differential runner.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSuite {
+    kinds: Vec<OracleKind>,
+    /// The differential runner (public so harness embedders can tweak
+    /// tolerances after construction).
+    pub runner: DifferentialRunner,
+}
+
+impl OracleSuite {
+    /// Creates a suite running the given oracles.
+    pub fn new(kinds: Vec<OracleKind>, runner: DifferentialRunner) -> Self {
+        Self { kinds, runner }
+    }
+
+    /// All four oracles with default tolerances — what reproducer test
+    /// snippets call.
+    pub fn all_with_defaults() -> Self {
+        Self::new(OracleKind::ALL.to_vec(), DifferentialRunner::default())
+    }
+
+    /// The configured oracle kinds.
+    pub fn kinds(&self) -> &[OracleKind] {
+        &self.kinds
+    }
+
+    /// Runs every configured oracle; returns the first violation.
+    pub fn check(&self, circuit: &QuantumCircuit) -> Option<Mismatch> {
+        for &kind in &self.kinds {
+            if let OracleOutcome::Fail(m) = self.check_kind(kind, circuit) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Runs a single oracle.
+    pub fn check_kind(&self, kind: OracleKind, circuit: &QuantumCircuit) -> OracleOutcome {
+        match kind {
+            OracleKind::Differential => match self.runner.check(circuit) {
+                Some(m) => OracleOutcome::Fail(m),
+                None => OracleOutcome::Pass,
+            },
+            OracleKind::Inverse => self.check_inverse(circuit),
+            OracleKind::Roundtrip => self.check_roundtrip(circuit),
+            OracleKind::Transpile => self.check_transpile(circuit),
+        }
+    }
+
+    fn check_inverse(&self, circuit: &QuantumCircuit) -> OracleOutcome {
+        if !is_unitary_circuit(circuit) {
+            return OracleOutcome::Skip("non-unitary circuit has no inverse");
+        }
+        let inverse = match circuit.inverse() {
+            Ok(inv) => inv,
+            Err(e) => {
+                return OracleOutcome::Fail(Mismatch {
+                    oracle: "inverse".to_owned(),
+                    detail: format!("unitary circuit failed to invert: {e}"),
+                })
+            }
+        };
+        let mut composed = circuit.clone();
+        if let Err(e) = composed.compose(&inverse) {
+            return OracleOutcome::Fail(Mismatch {
+                oracle: "inverse".to_owned(),
+                detail: format!("compose with inverse failed: {e}"),
+            });
+        }
+        let identity = QuantumCircuit::new(circuit.num_qubits());
+        match qukit_dd::verify::check_equivalence(&composed, &identity) {
+            Ok(verdict) if verdict.is_equivalent() => OracleOutcome::Pass,
+            Ok(verdict) => OracleOutcome::Fail(Mismatch {
+                oracle: "inverse".to_owned(),
+                detail: format!("C·C⁻¹ is not the identity (DD verdict: {verdict:?})"),
+            }),
+            Err(e) => OracleOutcome::Fail(Mismatch {
+                oracle: "inverse".to_owned(),
+                detail: format!("DD equivalence check refused C·C⁻¹: {e}"),
+            }),
+        }
+    }
+
+    fn check_roundtrip(&self, circuit: &QuantumCircuit) -> OracleOutcome {
+        let text = qukit_terra::qasm::emit(circuit);
+        let parsed = match qukit_terra::qasm::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                return OracleOutcome::Fail(Mismatch {
+                    oracle: "roundtrip".to_owned(),
+                    detail: format!("emitted QASM failed to parse: {e}"),
+                })
+            }
+        };
+        if let Some(detail) = instruction_streams_differ(circuit, &parsed) {
+            return OracleOutcome::Fail(Mismatch { oracle: "roundtrip".to_owned(), detail });
+        }
+        OracleOutcome::Pass
+    }
+
+    fn check_transpile(&self, circuit: &QuantumCircuit) -> OracleOutcome {
+        if !is_unitary_circuit(circuit) {
+            return OracleOutcome::Skip("mapped-equivalence check needs a unitary circuit");
+        }
+        let n = circuit.num_qubits();
+        let coupling = if n <= 5 { CouplingMap::ibm_qx4() } else { CouplingMap::line(n) };
+        let options = TranspileOptions::for_device(coupling.clone());
+        let result = match transpile(circuit, &options) {
+            Ok(result) => result,
+            Err(e) => {
+                return OracleOutcome::Fail(Mismatch {
+                    oracle: "transpile".to_owned(),
+                    detail: format!("transpilation failed: {e}"),
+                })
+            }
+        };
+        if !satisfies_coupling(&result.circuit, &coupling) {
+            return OracleOutcome::Fail(Mismatch {
+                oracle: "transpile".to_owned(),
+                detail: "mapped circuit violates the coupling map".to_owned(),
+            });
+        }
+        match qukit_dd::verify::check_equivalence_mapped(
+            circuit,
+            &result.circuit,
+            &result.initial_layout,
+            &result.final_layout,
+        ) {
+            Ok(verdict) if verdict.is_equivalent() => OracleOutcome::Pass,
+            Ok(verdict) => OracleOutcome::Fail(Mismatch {
+                oracle: "transpile".to_owned(),
+                detail: format!(
+                    "mapped circuit is not equivalent to the original \
+                     (DD verdict: {verdict:?}, {} swaps, layouts {:?} → {:?})",
+                    result.num_swaps, result.initial_layout, result.final_layout
+                ),
+            }),
+            Err(e) => OracleOutcome::Fail(Mismatch {
+                oracle: "transpile".to_owned(),
+                detail: format!("DD equivalence check refused the mapped circuit: {e}"),
+            }),
+        }
+    }
+}
+
+/// Compares two circuits instruction by instruction; `Some(description)`
+/// when they differ.
+fn instruction_streams_differ(a: &QuantumCircuit, b: &QuantumCircuit) -> Option<String> {
+    if a.num_qubits() != b.num_qubits() {
+        return Some(format!("width changed: {} vs {} qubits", a.num_qubits(), b.num_qubits()));
+    }
+    if a.num_clbits() != b.num_clbits() {
+        return Some(format!("clbits changed: {} vs {}", a.num_clbits(), b.num_clbits()));
+    }
+    if a.size() != b.size() {
+        return Some(format!("instruction count changed: {} vs {}", a.size(), b.size()));
+    }
+    for (idx, (ia, ib)) in a.instructions().iter().zip(b.instructions()).enumerate() {
+        if ia.op.name() != ib.op.name() {
+            return Some(format!(
+                "instruction {idx} changed op: {} vs {}",
+                ia.op.name(),
+                ib.op.name()
+            ));
+        }
+        if ia.qubits != ib.qubits || ia.clbits != ib.clbits {
+            return Some(format!("instruction {idx} ({}) changed operands", ia.op.name()));
+        }
+        if ia.condition != ib.condition {
+            return Some(format!("instruction {idx} ({}) changed condition", ia.op.name()));
+        }
+        if let (Some(ga), Some(gb)) = (ia.as_gate(), ib.as_gate()) {
+            let pa = ga.params();
+            let pb = gb.params();
+            if pa.len() != pb.len() || pa.iter().zip(&pb).any(|(x, y)| (x - y).abs() > 1e-12) {
+                return Some(format!(
+                    "instruction {idx} ({}) changed parameters: {pa:?} vs {pb:?}",
+                    ia.op.name()
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::gate::Gate;
+
+    fn suite() -> OracleSuite {
+        OracleSuite::all_with_defaults()
+    }
+
+    #[test]
+    fn healthy_circuit_passes_all_oracles() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 2).unwrap();
+        circ.append(Gate::Rz(0.37), &[1]).unwrap();
+        circ.append(Gate::Ccx, &[2, 1, 0]).unwrap();
+        assert!(suite().check(&circ).is_none());
+    }
+
+    #[test]
+    fn oracle_list_parsing() {
+        assert_eq!(OracleKind::parse_list("all").unwrap().len(), 4);
+        assert_eq!(
+            OracleKind::parse_list("inverse,roundtrip").unwrap(),
+            vec![OracleKind::Inverse, OracleKind::Roundtrip]
+        );
+        assert!(OracleKind::parse_list("bogus").is_none());
+        assert!(OracleKind::parse_list("").is_none());
+    }
+
+    #[test]
+    fn non_unitary_circuits_skip_inverse_and_transpile() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        assert!(matches!(suite().check_kind(OracleKind::Inverse, &circ), OracleOutcome::Skip(_)));
+        assert!(matches!(suite().check_kind(OracleKind::Transpile, &circ), OracleOutcome::Skip(_)));
+        // Roundtrip still applies.
+        assert!(matches!(suite().check_kind(OracleKind::Roundtrip, &circ), OracleOutcome::Pass));
+    }
+
+    #[test]
+    fn transpile_oracle_handles_wide_circuits() {
+        let mut circ = QuantumCircuit::new(7);
+        circ.h(0).unwrap();
+        for q in 1..7 {
+            circ.cx(0, q).unwrap();
+        }
+        assert!(matches!(suite().check_kind(OracleKind::Transpile, &circ), OracleOutcome::Pass));
+    }
+
+    #[test]
+    fn roundtrip_oracle_accepts_conditionals() {
+        let mut circ = QuantumCircuit::with_size(2, 2);
+        circ.h(0).unwrap();
+        circ.measure(0, 0).unwrap();
+        circ.append_conditional(Gate::X, &[1], "c", 1).unwrap();
+        assert!(matches!(suite().check_kind(OracleKind::Roundtrip, &circ), OracleOutcome::Pass));
+    }
+}

@@ -1,0 +1,279 @@
+//! Greedy circuit minimization.
+//!
+//! Once an oracle fails, the raw random circuit is rarely the story — the
+//! bug usually lives in two or three gates. The shrinker repeatedly
+//! applies three reductions, keeping any candidate on which the failing
+//! oracle *still* fails:
+//!
+//! 1. **drop gates** — delta-debugging style chunk removal (halves, then
+//!    quarters, … down to single instructions);
+//! 2. **simplify angles** — replace rotation parameters with the nearest
+//!    "nice" values (0, ±π/2, π, π/4);
+//! 3. **narrow registers** — delete untouched qubits and classical bits,
+//!    compacting operand indices.
+//!
+//! The loop runs to a fixpoint, so the result is 1-minimal with respect
+//! to single-chunk removal: dropping any single remaining instruction
+//! makes the failure disappear.
+
+use crate::runner::Mismatch;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::gate::Gate;
+use qukit_terra::instruction::Instruction;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// A minimized failing circuit plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest circuit found that still fails the oracle.
+    pub circuit: QuantumCircuit,
+    /// The mismatch reported on the minimized circuit.
+    pub mismatch: Mismatch,
+    /// How many candidate circuits were evaluated.
+    pub attempts: usize,
+}
+
+/// Minimizes `original`, which must currently fail `check`.
+///
+/// `check` returns `Some(mismatch)` while the failure reproduces. The
+/// returned circuit is the last candidate for which it did.
+pub fn shrink<F>(original: &QuantumCircuit, mismatch: Mismatch, check: F) -> ShrinkOutcome
+where
+    F: Fn(&QuantumCircuit) -> Option<Mismatch>,
+{
+    let mut current = original.clone();
+    let mut mismatch = mismatch;
+    let mut attempts = 0usize;
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: chunked instruction removal.
+        let mut chunk = (current.size() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < current.size() {
+                let len = chunk.min(current.size() - start);
+                let candidate = without_range(&current, start, len);
+                attempts += 1;
+                if let Some(m) = check(&candidate) {
+                    current = candidate;
+                    mismatch = m;
+                    progressed = true;
+                    // Same start now addresses the next instructions.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Pass 2: snap rotation angles to simple values. NICE is a strict
+        // preference order and an angle may only move to a strictly nicer
+        // one — that monotonicity is what makes the fixpoint loop
+        // terminate even when the oracle fails for *any* angle.
+        const NICE: [f64; 5] = [0.0, FRAC_PI_2, PI, -FRAC_PI_2, FRAC_PI_4];
+        let rank = |v: f64| NICE.iter().position(|&n| (v - n).abs() < 1e-12).unwrap_or(NICE.len());
+        for idx in 0..current.size() {
+            let arity = current.instructions()[idx].as_gate().map_or(0, |g| g.params().len());
+            for pos in 0..arity {
+                // Re-read the gate: an earlier position may have changed it.
+                let gate = *current.instructions()[idx].as_gate().expect("still a gate");
+                let params = gate.params();
+                for (nice_rank, &nice) in NICE.iter().enumerate() {
+                    if nice_rank >= rank(params[pos]) {
+                        break;
+                    }
+                    let mut replaced = params.clone();
+                    replaced[pos] = nice;
+                    let Some(simpler) = Gate::from_name(gate.name(), &replaced) else { continue };
+                    let candidate = with_replaced_gate(&current, idx, simpler);
+                    attempts += 1;
+                    if let Some(m) = check(&candidate) {
+                        current = candidate;
+                        mismatch = m;
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: drop idle qubits/clbits.
+        if let Some(candidate) = narrowed(&current) {
+            attempts += 1;
+            if let Some(m) = check(&candidate) {
+                current = candidate;
+                mismatch = m;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+    ShrinkOutcome { circuit: current, mismatch, attempts }
+}
+
+/// Clone of `circ` without instructions `[start, start + len)`.
+fn without_range(circ: &QuantumCircuit, start: usize, len: usize) -> QuantumCircuit {
+    rebuild(
+        circ,
+        |idx, inst| {
+            if idx >= start && idx < start + len {
+                None
+            } else {
+                Some(inst.clone())
+            }
+        },
+    )
+}
+
+/// Clone of `circ` with the gate of instruction `idx` replaced.
+fn with_replaced_gate(circ: &QuantumCircuit, idx: usize, gate: Gate) -> QuantumCircuit {
+    rebuild(circ, |i, inst| {
+        if i == idx {
+            let mut replaced = inst.clone();
+            replaced.op = qukit_terra::instruction::Operation::Gate(gate);
+            Some(replaced)
+        } else {
+            Some(inst.clone())
+        }
+    })
+}
+
+fn rebuild<F>(circ: &QuantumCircuit, mut f: F) -> QuantumCircuit
+where
+    F: FnMut(usize, &Instruction) -> Option<Instruction>,
+{
+    let mut out = circ.clone();
+    out.clear();
+    out.add_global_phase(circ.global_phase());
+    for (idx, inst) in circ.instructions().iter().enumerate() {
+        if let Some(inst) = f(idx, inst) {
+            out.push(inst).expect("rebuilt instruction stays in range");
+        }
+    }
+    out
+}
+
+/// Rewrites the circuit onto only the qubits and clbits it touches.
+/// Returns `None` when nothing can be dropped.
+fn narrowed(circ: &QuantumCircuit) -> Option<QuantumCircuit> {
+    let mut qubit_used = vec![false; circ.num_qubits()];
+    let mut clbit_used = vec![false; circ.num_clbits()];
+    for inst in circ.instructions() {
+        for &q in &inst.qubits {
+            qubit_used[q] = true;
+        }
+        for &c in &inst.clbits {
+            clbit_used[c] = true;
+        }
+        if let Some(cond) = &inst.condition {
+            for &c in &cond.clbits {
+                clbit_used[c] = true;
+            }
+        }
+    }
+    let keep_q: Vec<usize> = (0..circ.num_qubits()).filter(|&q| qubit_used[q]).collect();
+    let keep_c: Vec<usize> = (0..circ.num_clbits()).filter(|&c| clbit_used[c]).collect();
+    if keep_q.len() == circ.num_qubits() && keep_c.len() == circ.num_clbits() {
+        return None;
+    }
+    let qubit_rank = |q: usize| keep_q.iter().position(|&k| k == q).expect("kept qubit");
+    let clbit_rank = |c: usize| keep_c.iter().position(|&k| k == c).expect("kept clbit");
+    let mut out = QuantumCircuit::with_size(keep_q.len().max(1), keep_c.len());
+    out.add_global_phase(circ.global_phase());
+    for inst in circ.instructions() {
+        let mut remapped = inst.clone();
+        remapped.qubits = inst.qubits.iter().map(|&q| qubit_rank(q)).collect();
+        remapped.clbits = inst.clbits.iter().map(|&c| clbit_rank(c)).collect();
+        if let Some(cond) = &mut remapped.condition {
+            cond.clbits = cond.clbits.iter().map(|&c| clbit_rank(c)).collect();
+        }
+        out.push(remapped).expect("narrowed instruction stays in range");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failing_if_contains_t(circ: &QuantumCircuit) -> Option<Mismatch> {
+        let has_t = circ.instructions().iter().any(|i| i.op.name() == "t");
+        // The "bug" also needs superposition to manifest, mirroring real
+        // phase bugs: require an H somewhere before the T.
+        let h_before_t = circ
+            .instructions()
+            .iter()
+            .position(|i| i.op.name() == "t")
+            .map(|t_pos| circ.instructions()[..t_pos].iter().any(|i| i.op.name() == "h"))
+            .unwrap_or(false);
+        if has_t && h_before_t {
+            Some(Mismatch { oracle: "differential".to_owned(), detail: "t disagrees".into() })
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_witness() {
+        let mut circ = QuantumCircuit::new(4);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.append(Gate::Rz(1.234), &[2]).unwrap();
+        circ.h(2).unwrap();
+        circ.t(0).unwrap();
+        circ.swap(1, 3).unwrap();
+        circ.append(Gate::Ry(0.77), &[3]).unwrap();
+        circ.t(2).unwrap();
+        let mismatch = failing_if_contains_t(&circ).unwrap();
+        let outcome = shrink(&circ, mismatch, failing_if_contains_t);
+        assert!(outcome.circuit.num_gates() <= 2, "got {} gates", outcome.circuit.num_gates());
+        assert_eq!(outcome.circuit.num_qubits(), 1, "idle qubits must be dropped");
+        assert!(failing_if_contains_t(&outcome.circuit).is_some(), "must still fail");
+    }
+
+    #[test]
+    fn angle_simplification_snaps_parameters() {
+        let failing_if_rotation = |circ: &QuantumCircuit| {
+            circ.instructions()
+                .iter()
+                .any(|i| i.as_gate().is_some_and(|g| !g.params().is_empty()))
+                .then(|| Mismatch {
+                    oracle: "differential".to_owned(),
+                    detail: "rotation disagrees".into(),
+                })
+        };
+        let mut circ = QuantumCircuit::new(1);
+        circ.append(Gate::Rx(1.23456789), &[0]).unwrap();
+        let mismatch = failing_if_rotation(&circ).unwrap();
+        let outcome = shrink(&circ, mismatch, failing_if_rotation);
+        assert_eq!(outcome.circuit.num_gates(), 1);
+        let gate = outcome.circuit.instructions()[0].as_gate().unwrap();
+        assert_eq!(gate.params(), vec![0.0], "angle must snap to the first nice value");
+    }
+
+    #[test]
+    fn shrink_keeps_a_passing_reduction_out() {
+        // If the failure needs *both* gates, neither may be dropped.
+        let needs_both = |circ: &QuantumCircuit| {
+            let names: Vec<&str> = circ.instructions().iter().map(|i| i.op.name()).collect();
+            (names.contains(&"x") && names.contains(&"z")).then(|| Mismatch {
+                oracle: "differential".to_owned(),
+                detail: "pair disagrees".into(),
+            })
+        };
+        let mut circ = QuantumCircuit::new(2);
+        circ.x(0).unwrap();
+        circ.h(1).unwrap();
+        circ.z(0).unwrap();
+        let outcome = shrink(&circ, needs_both(&circ).unwrap(), needs_both);
+        assert_eq!(outcome.circuit.num_gates(), 2);
+        assert_eq!(outcome.circuit.num_qubits(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Self-test of the conformance harness: plant a deliberately wrong gate
+//! matrix in the reference path and require the fuzzer to (a) find it and
+//! (b) shrink the witness to a handful of gates.
+//!
+//! This is the harness testing itself — if a future change makes the
+//! differential oracle blind or the shrinker too timid, this test fails
+//! before any real simulator bug slips through.
+
+use qukit_conformance::{
+    run_fuzz, DiffConfig, FuzzConfig, GateSet, GeneratorConfig, MatrixTable, OracleKind,
+};
+use qukit_terra::complex::Complex;
+use qukit_terra::matrix::Matrix;
+use std::f64::consts::PI;
+
+/// A T gate with the wrong phase: e^{iπ/3} instead of e^{iπ/4}. Subtle
+/// enough to survive Clifford-only circuits, fatal in superposition.
+fn buggy_t() -> Matrix {
+    let mut wrong = Matrix::identity(2);
+    wrong[(1, 1)] = Complex::cis(PI / 3.0);
+    wrong
+}
+
+#[test]
+fn planted_t_phase_bug_is_found_and_shrunk() {
+    let config = FuzzConfig {
+        seed: 42,
+        cases: 400,
+        oracles: vec![OracleKind::Differential],
+        matrices: MatrixTable::pristine().with_override("t", buggy_t()),
+        generator: GeneratorConfig {
+            gate_set: GateSet::CliffordT,
+            min_qubits: 2,
+            max_qubits: 3,
+            max_depth: 10,
+            ..Default::default()
+        },
+        diff: DiffConfig { shots: 256, ..Default::default() },
+        max_failures: 1,
+        shrink: true,
+    };
+    let report = run_fuzz(&config);
+    assert!(!report.is_green(), "the planted T-phase bug must be detected");
+    let failure = &report.failures[0];
+    assert_eq!(failure.mismatch.oracle, "differential");
+    assert!(
+        failure.shrunk.num_gates() <= 5,
+        "shrinker left {} gates (expected <= 5):\n{}",
+        failure.shrunk.num_gates(),
+        failure.reproducer.qasm
+    );
+    assert!(
+        failure.shrunk.num_gates() < failure.original.num_gates()
+            || failure.original.num_gates() <= 5,
+        "shrinker made no progress on a {}-gate witness",
+        failure.original.num_gates()
+    );
+    // The witness must actually contain the buggy gate.
+    assert!(
+        failure.shrunk.instructions().iter().any(|inst| matches!(inst.op.name(), "t" | "tdg")),
+        "shrunk witness lost the buggy gate:\n{}",
+        failure.reproducer.qasm
+    );
+    // And the artifacts must replay: the QASM parses back to the witness.
+    let replayed = qukit_terra::qasm::parse(&failure.reproducer.qasm).unwrap();
+    assert_eq!(replayed.num_gates(), failure.shrunk.num_gates());
+    assert!(failure.reproducer.test_case.contains("OracleSuite"));
+}
+
+#[test]
+fn pristine_matrices_keep_the_same_campaign_green() {
+    // Identical campaign without the override: must be green, proving the
+    // failure above is caused by the planted bug and nothing else.
+    let config = FuzzConfig {
+        seed: 42,
+        cases: 100,
+        oracles: vec![OracleKind::Differential],
+        generator: GeneratorConfig {
+            gate_set: GateSet::CliffordT,
+            min_qubits: 2,
+            max_qubits: 3,
+            max_depth: 10,
+            ..Default::default()
+        },
+        diff: DiffConfig { shots: 256, ..Default::default() },
+        ..Default::default()
+    };
+    let report = run_fuzz(&config);
+    assert!(report.is_green(), "pristine campaign failed: {:?}", report.failures);
+}

@@ -42,6 +42,16 @@ pub trait Backend: Send + Sync {
     /// simulation fails.
     fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts>;
 
+    /// Fixes the backend's sampling seed, making subsequent [`run`]
+    /// calls deterministic.
+    ///
+    /// The differential conformance harness relies on this to replay a
+    /// reproducer bit-for-bit on any `Box<dyn Backend>`. Backends without
+    /// stochastic behaviour may keep the default no-op.
+    ///
+    /// [`run`]: Backend::run
+    fn set_seed(&mut self, _seed: u64) {}
+
     /// The backend that actually served the most recent successful
     /// [`run`](Backend::run), when that can differ from [`name`](Backend::name).
     ///
@@ -87,6 +97,10 @@ impl Backend for QasmSimulatorBackend {
             sim = sim.with_seed(seed);
         }
         sim.run(circuit, shots).map_err(QukitError::from)
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = Some(seed);
     }
 }
 
@@ -156,6 +170,10 @@ impl Backend for DdSimulatorBackend {
         }
         Ok(counts)
     }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = Some(seed);
+    }
 }
 
 /// The stabilizer-tableau backend: Clifford circuits only, but scaling to
@@ -193,6 +211,10 @@ impl Backend for StabilizerBackend {
             sim = sim.with_seed(seed);
         }
         sim.run(circuit, shots).map_err(QukitError::from)
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = Some(seed);
     }
 }
 
@@ -331,6 +353,10 @@ impl Backend for FakeDevice {
         }
         sim.run(&compacted, shots).map_err(QukitError::from)
     }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = Some(seed);
+    }
 }
 
 /// Rewrites a circuit onto only the qubits it actually touches (barriers
@@ -400,6 +426,25 @@ mod tests {
         circ.measure(0, 0).unwrap();
         circ.measure(1, 1).unwrap();
         circ
+    }
+
+    #[test]
+    fn set_seed_makes_trait_objects_deterministic() {
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(QasmSimulatorBackend::new()),
+            Box::new(DdSimulatorBackend::new()),
+            Box::new(StabilizerBackend::new()),
+            Box::new(FakeDevice::ibmqx4()),
+        ];
+        for mut backend in backends {
+            backend.set_seed(1234);
+            let a = backend.run(&bell(), 256).unwrap();
+            let b = backend.run(&bell(), 256).unwrap();
+            let name = backend.name().to_owned();
+            for (outcome, n) in a.iter() {
+                assert_eq!(b.get_value(outcome), n, "{name} must replay identically");
+            }
+        }
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod verify;
 
 pub use package::{DdPackage, Edge};
 pub use simulator::{DdError, DdSimulator, DdState};
-pub use verify::{check_equivalence, Equivalence};
+pub use verify::{check_equivalence, check_equivalence_mapped, Equivalence};

@@ -9,7 +9,10 @@
 use crate::package::{DdPackage, Edge, TERMINAL, W_ONE};
 use crate::simulator::{DdError, DdSimulator};
 use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::complex::Complex;
+use qukit_terra::gate::Gate;
 use qukit_terra::instruction::Operation;
+use qukit_terra::matrix::Matrix;
 
 /// The result of an equivalence check.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +108,184 @@ fn classify_identity(
     }
 }
 
+/// Checks a mapped (transpiled) circuit against its original, accounting
+/// for the permuted layouts the mapper introduced.
+///
+/// `initial_layout[q]` / `final_layout[q]` give the physical wire holding
+/// logical qubit `q` before / after the mapped circuit (the
+/// `TranspileResult` fields). The check is performed on the subspace
+/// reachable from `|0…0⟩` — ancilla wires (physical positions not in the
+/// initial layout) are pinned to `|0⟩` with projectors, exactly the
+/// semantics of executing on a freshly initialized device register. The
+/// equivalence condition `U_mapped · Π₀ = e^{iφ} · U_original↑ · P · Π₀`
+/// is tested as a *single* product chain
+///
+/// ```text
+/// E = P† · U_original↑† · U_mapped · Π₀   (must equal e^{iφ} · Π₀)
+/// ```
+///
+/// where `Π₀` projects the ancilla inputs onto `|0⟩`, `P` is the wire
+/// permutation taking each initial position to the corresponding final
+/// position, and `U_original↑` is the original circuit relabeled onto the
+/// final layout. Accumulating one chain (rather than building both sides
+/// separately and comparing) makes floating-point rounding cancel the
+/// same way it does in [`check_equivalence`]; canonicity of the DD then
+/// reduces the comparison to a node identity against `Π₀` plus one
+/// weight ratio (the global phase).
+///
+/// # Errors
+///
+/// Returns [`DdError::UnsupportedInstruction`] for non-unitary circuits.
+///
+/// # Panics
+///
+/// Panics on inconsistent widths or invalid layouts (wrong length,
+/// duplicate or out-of-range positions).
+pub fn check_equivalence_mapped(
+    original: &QuantumCircuit,
+    mapped: &QuantumCircuit,
+    initial_layout: &[usize],
+    final_layout: &[usize],
+) -> Result<Equivalence, DdError> {
+    let n = original.num_qubits();
+    let m = mapped.num_qubits();
+    assert!(m >= n, "mapped circuit must be at least as wide as the original");
+    validate_layout(initial_layout, n, m);
+    validate_layout(final_layout, n, m);
+
+    let mut package = DdPackage::new(m);
+    let projector = ancilla_projector(&mut package, initial_layout, m);
+
+    let mut acc = projector;
+    apply_gates(&mut package, &mut acc, mapped)?;
+    // U_original↑†: inverses in reverse order, relabeled onto the final
+    // layout.
+    for inst in original.instructions().iter().rev() {
+        match &inst.op {
+            Operation::Gate(g) if inst.condition.is_none() => {
+                let qubits: Vec<usize> = inst.qubits.iter().map(|&q| final_layout[q]).collect();
+                let gate_dd = package.gate_matrix(&g.inverse().matrix(), &qubits);
+                acc = package.multiply_mm(gate_dd, acc);
+            }
+            Operation::Barrier => {}
+            other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
+        }
+    }
+    // P†: the permutation's transpositions, undone in reverse order.
+    let perm = complete_permutation(initial_layout, final_layout, m);
+    for (a, b) in permutation_swaps(&perm).into_iter().rev() {
+        let swap = package.gate_matrix(&Gate::Swap.matrix(), &[a, b]);
+        acc = package.multiply_mm(swap, acc);
+    }
+
+    if acc.node != projector.node {
+        return Ok(Equivalence::NotEquivalent);
+    }
+    let we = package.weight(acc.weight);
+    let wp = package.weight(projector.weight);
+    if (we.norm() / wp.norm() - 1.0).abs() > 1e-9 {
+        return Ok(Equivalence::NotEquivalent);
+    }
+    let ratio = we * wp.recip();
+    let phase = ratio.arg() + mapped.global_phase() - original.global_phase();
+    let phase = phase.rem_euclid(std::f64::consts::TAU);
+    let phase = if phase > std::f64::consts::PI { phase - std::f64::consts::TAU } else { phase };
+    if phase.abs() < 1e-9 {
+        Ok(Equivalence::Equivalent)
+    } else {
+        Ok(Equivalence::EquivalentUpToPhase(phase))
+    }
+}
+
+fn validate_layout(layout: &[usize], n: usize, m: usize) {
+    assert_eq!(layout.len(), n, "layout must assign every logical qubit");
+    let mut seen = vec![false; m];
+    for &p in layout {
+        assert!(p < m, "layout position {p} out of range for {m} physical qubits");
+        assert!(!seen[p], "layout position {p} repeated");
+        seen[p] = true;
+    }
+}
+
+/// Left-multiplies the gates of `circuit` onto `acc`.
+fn apply_gates(
+    package: &mut DdPackage,
+    acc: &mut Edge,
+    circuit: &QuantumCircuit,
+) -> Result<(), DdError> {
+    for inst in circuit.instructions() {
+        match &inst.op {
+            Operation::Gate(g) if inst.condition.is_none() => {
+                let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
+                *acc = package.multiply_mm(gate_dd, *acc);
+            }
+            Operation::Barrier => {}
+            other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
+        }
+    }
+    Ok(())
+}
+
+/// `|0⟩⟨0|` on every physical wire that holds no logical qubit at input.
+fn ancilla_projector(package: &mut DdPackage, initial_layout: &[usize], m: usize) -> Edge {
+    let mut is_logical = vec![false; m];
+    for &p in initial_layout {
+        is_logical[p] = true;
+    }
+    let mut proj = Matrix::zeros(2, 2);
+    proj[(0, 0)] = Complex::ONE;
+    let mut acc = package.identity();
+    for q in (0..m).filter(|&q| !is_logical[q]) {
+        let p = package.gate_matrix(&proj, &[q]);
+        acc = package.multiply_mm(p, acc);
+    }
+    acc
+}
+
+/// Extends the logical-position relocation `initial → final` to a full
+/// permutation of the `m` physical wires. Ancilla sources map onto ancilla
+/// targets in index order; because ancilla inputs are projected onto `|0⟩`
+/// the choice of completion does not affect the checked operator.
+fn complete_permutation(initial_layout: &[usize], final_layout: &[usize], m: usize) -> Vec<usize> {
+    let mut perm = vec![usize::MAX; m];
+    let mut target_taken = vec![false; m];
+    for (q, &src) in initial_layout.iter().enumerate() {
+        perm[src] = final_layout[q];
+        target_taken[final_layout[q]] = true;
+    }
+    let mut free_targets = (0..m).filter(|&t| !target_taken[t]);
+    for slot in perm.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = free_targets.next().expect("completion target available");
+        }
+    }
+    perm
+}
+
+/// Decomposes a wire permutation (`bit starting at s ends at perm[s]`) into
+/// a sequence of transpositions, to be applied to the state in order.
+fn permutation_swaps(perm: &[usize]) -> Vec<(usize, usize)> {
+    let mut swaps = Vec::new();
+    // current[s] = present position of the bit that started at wire s.
+    let mut current: Vec<usize> = (0..perm.len()).collect();
+    for s in 0..perm.len() {
+        while current[s] != perm[s] {
+            let from = current[s];
+            let to = perm[s];
+            swaps.push((from, to));
+            // The bit occupying `to` moves back to `from`.
+            for c in current.iter_mut() {
+                if *c == to {
+                    *c = from;
+                } else if *c == from {
+                    *c = to;
+                }
+            }
+        }
+    }
+    swaps
+}
+
 /// Convenience wrapper: equivalence of a circuit against its transpiled
 /// form *ignoring* qubit relabeling is not meaningful, so this checks two
 /// same-layout circuits only. For mapped circuits, conjugate with the
@@ -197,6 +378,89 @@ mod tests {
         let options = qukit_terra::transpiler::TranspileOptions::for_simulator(3);
         let transpiled = qukit_terra::transpiler::transpile(&circ, &options).unwrap();
         assert!(assert_equivalent(&circ, &transpiled.circuit).unwrap());
+    }
+
+    #[test]
+    fn mapped_check_with_trivial_layout_matches_plain_check() {
+        let circ = qukit_terra::circuit::fig1_circuit();
+        let layout: Vec<usize> = (0..circ.num_qubits()).collect();
+        let result = check_equivalence_mapped(&circ, &circ, &layout, &layout).unwrap();
+        assert_eq!(result, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn mapped_check_accounts_for_swap_insertion() {
+        // Original: CX(0,1). Mapped: the router swapped the wires first, so
+        // the gate acts on the exchanged positions and the final layout is
+        // reversed.
+        let mut original = QuantumCircuit::new(2);
+        original.cx(0, 1).unwrap();
+        let mut mapped = QuantumCircuit::new(2);
+        mapped.swap(0, 1).unwrap();
+        mapped.cx(1, 0).unwrap();
+        let result = check_equivalence_mapped(&original, &mapped, &[0, 1], &[1, 0]).unwrap();
+        assert_eq!(result, Equivalence::Equivalent);
+        // With the final layout mis-declared the circuits must differ.
+        let wrong = check_equivalence_mapped(&original, &mapped, &[0, 1], &[0, 1]).unwrap();
+        assert_eq!(wrong, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn mapped_check_verifies_real_transpiler_output() {
+        // GHZ on non-adjacent qubits forces the mapper to insert swaps on
+        // the QX4 coupling map; the transpiled circuit is wider (5 wires)
+        // than the logical circuit (3 wires).
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 2).unwrap();
+        circ.cx(2, 1).unwrap();
+        circ.t(1).unwrap();
+        let options = qukit_terra::transpiler::TranspileOptions::for_device(
+            qukit_terra::coupling::CouplingMap::ibm_qx4(),
+        );
+        let result = qukit_terra::transpiler::transpile(&circ, &options).unwrap();
+        let verdict = check_equivalence_mapped(
+            &circ,
+            &result.circuit,
+            &result.initial_layout,
+            &result.final_layout,
+        )
+        .unwrap();
+        assert!(verdict.is_equivalent(), "transpiled GHZ must verify, got {verdict:?}");
+    }
+
+    #[test]
+    fn mapped_check_catches_a_mutated_mapped_circuit() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 2).unwrap();
+        let options = qukit_terra::transpiler::TranspileOptions::for_device(
+            qukit_terra::coupling::CouplingMap::ibm_qx4(),
+        );
+        let result = qukit_terra::transpiler::transpile(&circ, &options).unwrap();
+        let mut broken = result.circuit.clone();
+        broken.z(0).unwrap();
+        let verdict =
+            check_equivalence_mapped(&circ, &broken, &result.initial_layout, &result.final_layout)
+                .unwrap();
+        assert_eq!(verdict, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn permutation_swaps_compose_to_the_permutation() {
+        let perm = vec![2, 0, 1, 4, 3];
+        let swaps = permutation_swaps(&perm);
+        let mut current: Vec<usize> = (0..perm.len()).collect();
+        for (a, b) in swaps {
+            for c in current.iter_mut() {
+                if *c == a {
+                    *c = b;
+                } else if *c == b {
+                    *c = a;
+                }
+            }
+        }
+        assert_eq!(current, perm);
     }
 
     #[test]

@@ -287,3 +287,83 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Properties driven by the conformance harness's seeded circuit generator —
+// unlike the proptest strategies above it covers the *entire* gate alphabet
+// (all fixed gates, every parameterized family, three-qubit gates).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_generated_gate_matrix_is_unitary(seed in 0u64..10_000) {
+        let mut generator = qukit_conformance::CircuitGenerator::new(
+            seed,
+            qukit_conformance::GeneratorConfig {
+                max_qubits: 4,
+                max_depth: 12,
+                ..Default::default()
+            },
+        );
+        for _ in 0..4 {
+            let circ = generator.next_circuit();
+            for inst in circ.instructions() {
+                if let Some(g) = inst.as_gate() {
+                    let m = g.matrix();
+                    prop_assert!(m.is_unitary_eps(1e-9), "{} is not unitary", g.name());
+                    // The inverse must really invert, as a matrix.
+                    let inv = g.inverse().matrix();
+                    let product = m.matmul(&inv);
+                    let identity =
+                        qukit_terra::matrix::Matrix::identity(m.rows());
+                    prop_assert!(
+                        product.approx_eq_eps(&identity, 1e-9),
+                        "{}·{}⁻¹ ≠ I",
+                        g.name(),
+                        g.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_circuits_transpile_onto_couplings(seed in 0u64..10_000) {
+        let mut generator = qukit_conformance::CircuitGenerator::new(
+            seed,
+            qukit_conformance::GeneratorConfig {
+                max_qubits: 5,
+                max_depth: 10,
+                ..Default::default()
+            },
+        );
+        let circ = generator.next_circuit();
+        let coupling = CouplingMap::ibm_qx4();
+        let options = TranspileOptions::for_device(coupling.clone());
+        let result = transpile(&circ, &options).unwrap();
+        prop_assert!(satisfies_coupling(&result.circuit, &coupling));
+    }
+
+    #[test]
+    fn generated_measurement_circuits_conserve_shots(seed in 0u64..10_000) {
+        let mut generator = qukit_conformance::CircuitGenerator::new(
+            seed,
+            qukit_conformance::GeneratorConfig {
+                max_qubits: 4,
+                max_depth: 10,
+                with_measurements: true,
+                with_conditionals: true,
+                ..Default::default()
+            },
+        );
+        let circ = generator.next_circuit();
+        let shots = 128;
+        let counts = qukit_aer::simulator::QasmSimulator::new()
+            .with_seed(seed)
+            .run(&circ, shots)
+            .unwrap();
+        prop_assert_eq!(counts.total(), shots, "0-noise run lost or invented shots");
+    }
+}

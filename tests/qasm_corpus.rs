@@ -22,6 +22,8 @@ fn roundtrip(src: &str) -> qukit_terra::circuit::QuantumCircuit {
         assert_eq!(a.qubits, b.qubits);
         assert_eq!(a.clbits, b.clbits);
     }
+    // Emission must be a fixpoint: once normalized, the text is stable.
+    assert_eq!(qasm::emit(&reparsed), emitted, "emit is not a fixpoint of parse∘emit");
     circ
 }
 
@@ -186,6 +188,56 @@ measure q -> c;
     let counts = QasmSimulatorBackend::new().with_seed(5).run(&circ, 1000).unwrap();
     // U(pi/2, 0, pi) = H: Bell statistics.
     assert_eq!(counts.get_value(0b01) + counts.get_value(0b10), 0);
+}
+
+#[test]
+fn empty_program_parses_to_empty_circuit() {
+    let circ = roundtrip("OPENQASM 2.0;\n");
+    assert_eq!(circ.num_qubits(), 0);
+    assert_eq!(circ.size(), 0);
+}
+
+#[test]
+fn comments_only_program() {
+    let circ = roundtrip(
+        "OPENQASM 2.0;\n// nothing here\n// but commentary\ninclude \"qelib1.inc\";\n// trailing\n",
+    );
+    assert_eq!(circ.size(), 0);
+}
+
+#[test]
+fn maximal_register_names_survive() {
+    // Long (but legal) identifiers: lowercase start, 64 chars of noise.
+    let name = format!("q{}", "abcdefghij0123456789_".repeat(3));
+    let src = format!(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg {name}[2];\ncreg c[2];\n\
+         h {name}[0];\ncx {name}[0],{name}[1];\nmeasure {name} -> c;\n"
+    );
+    let circ = roundtrip(&src);
+    assert_eq!(circ.num_qubits(), 2);
+    let counts = QasmSimulatorBackend::new().with_seed(9).run(&circ, 100).unwrap();
+    assert_eq!(counts.get_value(0b01) + counts.get_value(0b10), 0);
+}
+
+#[test]
+fn crlf_line_endings_are_accepted() {
+    let src = "OPENQASM 2.0;\r\ninclude \"qelib1.inc\";\r\nqreg q[2];\r\ncreg c[2];\r\n\
+               h q[0];\r\n// windows comment\r\ncx q[0],q[1];\r\nmeasure q -> c;\r\n";
+    let circ = roundtrip(src);
+    assert_eq!(circ.count_ops()["h"], 1);
+    assert_eq!(circ.count_ops()["cx"], 1);
+}
+
+#[test]
+fn include_less_primitive_program_with_conditional() {
+    // The spec's primitive subset plus `if` — still no include required.
+    let circ = roundtrip(
+        "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nU(pi, 0, pi) q[0];\n\
+         measure q[0] -> c[0];\nif (c==1) U(pi, 0, pi) q[0];\n",
+    );
+    let counts = QasmSimulatorBackend::new().with_seed(10).run(&circ, 120).unwrap();
+    // X, measure (reads 1), conditional X flips back — register reads 1.
+    assert_eq!(counts.get_value(1), 120);
 }
 
 #[test]

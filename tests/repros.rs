@@ -1,0 +1,63 @@
+//! Replays checked-in fuzzer reproducers against the full oracle suite.
+//!
+//! Every `.qasm` file in `tests/repros/` is a witness the conformance
+//! harness once shrank from a failing random circuit. They are kept
+//! checked in as permanent regressions: each must now pass *all* oracles
+//! (differential across every simulator, inverse, QASM roundtrip, and
+//! mapped-transpile equivalence).
+//!
+//! The current corpus stems from one real bug: the layout-aware DD
+//! equivalence check originally built the mapped and original operators
+//! as two separate accumulation chains and compared canonical nodes —
+//! which is sensitive to floating-point weight bucketing when arbitrary
+//! rotation angles are involved. The fuzzer shrank three distinct
+//! false-negative witnesses (`rzz`, `p`+`crx`, `sxdg`+`cp`+`ccx`) before
+//! the check was restructured into a single product chain.
+
+use std::path::PathBuf;
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/repros")
+}
+
+#[test]
+fn every_checked_in_reproducer_passes_all_oracles() {
+    let suite = qukit_conformance::OracleSuite::all_with_defaults();
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(repro_dir())
+        .expect("tests/repros directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let source = std::fs::read_to_string(&path).expect("readable reproducer");
+        let circuit = qukit_terra::qasm::parse(&source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        if let Some(mismatch) = suite.check(&circuit) {
+            panic!("reproducer {} regressed: {mismatch}", path.display());
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "expected at least 3 reproducers, found {replayed}");
+}
+
+#[test]
+fn reproducers_stay_minimal() {
+    // Shrunk witnesses must stay small — if someone checks in a raw
+    // failing circuit the shrinker should be run on it first.
+    for entry in std::fs::read_dir(repro_dir()).expect("tests/repros directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|ext| ext != "qasm") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable reproducer");
+        let circuit = qukit_terra::qasm::parse(&source).expect("reproducer parses");
+        assert!(
+            circuit.num_gates() <= 5,
+            "{} has {} gates — shrink it before checking it in",
+            path.display(),
+            circuit.num_gates()
+        );
+    }
+}

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rzz(-0.028859837139941114) q[1],q[0];

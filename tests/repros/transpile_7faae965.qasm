@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+sxdg q[3];
+cp(-1.838171886068538) q[0],q[3];
+ccx q[3],q[1],q[2];

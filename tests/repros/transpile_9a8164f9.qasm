@@ -1,0 +1,5 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+p(pi/4) q[0];
+crx(pi/2) q[1],q[0];
