@@ -206,11 +206,17 @@ impl DensityMatrixSimulator {
                 max: MAX_QUBITS,
             });
         }
+        let _span = qukit_obs::span!("aer.density_run", qubits = circuit.num_qubits());
+        qukit_obs::counter_inc("qukit_aer_density_runs_total");
         let mut rho = DensityMatrix::new(circuit.num_qubits());
+        // Each gate rewrites the full `2^n × 2^n` operator.
+        let entries = 1u64 << (2 * circuit.num_qubits());
+        let mut tally = crate::simulator::GateTally::default();
         for inst in circuit.instructions() {
             match &inst.op {
                 Operation::Gate(g) if inst.condition.is_none() => {
                     rho.apply_unitary(&g.matrix(), &inst.qubits);
+                    tally.record(entries);
                     if let Some(noise) = &self.noise {
                         if let Some(error) = noise.error_for(g.name(), &inst.qubits) {
                             if error.num_qubits() == inst.qubits.len() {
@@ -228,6 +234,7 @@ impl DensityMatrixSimulator {
                 }
             }
         }
+        tally.flush("qukit_aer_density_gates_total");
         Ok(rho)
     }
 }

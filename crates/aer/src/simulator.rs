@@ -20,6 +20,31 @@ use rand::SeedableRng;
 
 const MAX_QUBITS: usize = 30;
 
+/// Local accumulator for apply-gate counts, flushed to the global
+/// [`qukit_obs`] registry once per run so the per-gate hot path stays free
+/// of locks and atomics.
+#[derive(Debug, Default)]
+pub(crate) struct GateTally {
+    gates: u64,
+    amplitudes: u64,
+}
+
+impl GateTally {
+    /// Records one gate application that touched `amplitudes` entries.
+    #[inline]
+    pub(crate) fn record(&mut self, amplitudes: u64) {
+        self.gates += 1;
+        self.amplitudes += amplitudes;
+    }
+
+    /// Flushes into the named gate counter plus the shared
+    /// amplitudes-touched counter (no-op while recording is disabled).
+    pub(crate) fn flush(self, gate_counter: &str) {
+        qukit_obs::counter_add(gate_counter, self.gates);
+        qukit_obs::counter_add("qukit_aer_amplitudes_touched_total", self.amplitudes);
+    }
+}
+
 /// Shot-based simulator with optional noise injection.
 ///
 /// # Examples
@@ -97,14 +122,25 @@ impl QasmSimulator {
             None => StdRng::from_entropy(),
         };
         let ideal = self.noise.as_ref().is_none_or(NoiseModel::is_ideal);
-        if ideal && is_measurement_terminal(circuit) {
+        let sampled = ideal && is_measurement_terminal(circuit);
+        let _span = qukit_obs::span!(
+            "aer.qasm_run",
+            qubits = circuit.num_qubits(),
+            shots = shots,
+            mode = if sampled { "sampled" } else { "trajectory" },
+        );
+        qukit_obs::counter_inc("qukit_aer_qasm_runs_total");
+        qukit_obs::counter_add("qukit_aer_shots_total", shots as u64);
+        if sampled {
             self.run_sampled(circuit, shots, &mut rng)
         } else {
+            let mut tally = GateTally::default();
             let mut counts = Counts::new(circuit.num_clbits());
             for _ in 0..shots {
-                let outcome = self.run_trajectory(circuit, &mut rng)?;
+                let outcome = self.run_trajectory(circuit, &mut rng, &mut tally)?;
                 counts.record(outcome);
             }
+            tally.flush("qukit_aer_statevector_gates_total");
             Ok(counts)
         }
     }
@@ -117,15 +153,22 @@ impl QasmSimulator {
         rng: &mut StdRng,
     ) -> Result<Counts> {
         let mut state = Statevector::new(circuit.num_qubits());
+        let dim = 1u64 << circuit.num_qubits();
+        let mut tally = GateTally::default();
         let mut measures: Vec<(usize, usize)> = Vec::new();
         for inst in circuit.instructions() {
             match &inst.op {
-                Operation::Gate(g) => state.apply_gate(*g, &inst.qubits),
+                Operation::Gate(g) => {
+                    state.apply_gate(*g, &inst.qubits);
+                    tally.record(dim);
+                }
                 Operation::Measure => measures.push((inst.qubits[0], inst.clbits[0])),
                 Operation::Barrier => {}
                 Operation::Reset => unreachable!("terminal circuits have no reset"),
             }
         }
+        tally.flush("qukit_aer_statevector_gates_total");
+        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
         let mut counts = Counts::new(circuit.num_clbits());
         for _ in 0..shots {
             let basis = state.sample(rng);
@@ -137,13 +180,22 @@ impl QasmSimulator {
             }
             counts.record(outcome);
         }
+        if let Some(start) = sample_start {
+            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
+        }
         Ok(counts)
     }
 
     /// Full trajectory: one shot with mid-circuit measurement, reset,
     /// conditionals and stochastic noise.
-    fn run_trajectory(&self, circuit: &QuantumCircuit, rng: &mut StdRng) -> Result<u64> {
+    fn run_trajectory(
+        &self,
+        circuit: &QuantumCircuit,
+        rng: &mut StdRng,
+        tally: &mut GateTally,
+    ) -> Result<u64> {
         let mut state = Statevector::new(circuit.num_qubits());
+        let dim = 1u64 << circuit.num_qubits();
         let mut creg = 0u64;
         let readout = self.noise.as_ref().and_then(|n| n.readout_error());
         for inst in circuit.instructions() {
@@ -161,6 +213,7 @@ impl QasmSimulator {
             match &inst.op {
                 Operation::Gate(g) => {
                     state.apply_gate(*g, &inst.qubits);
+                    tally.record(dim);
                     if let Some(noise) = &self.noise {
                         if let Some(error) = noise.error_for(g.name(), &inst.qubits) {
                             if error.num_qubits() == inst.qubits.len() {
@@ -247,11 +300,16 @@ impl StatevectorSimulator {
                 max: MAX_QUBITS,
             });
         }
+        let _span = qukit_obs::span!("aer.statevector_run", qubits = circuit.num_qubits());
+        qukit_obs::counter_inc("qukit_aer_statevector_runs_total");
         let mut state = Statevector::new(circuit.num_qubits());
+        let dim = 1u64 << circuit.num_qubits();
+        let mut tally = GateTally::default();
         for inst in circuit.instructions() {
             match &inst.op {
                 Operation::Gate(g) if inst.condition.is_none() => {
                     state.apply_gate(*g, &inst.qubits);
+                    tally.record(dim);
                 }
                 Operation::Barrier => {}
                 other => {
@@ -262,6 +320,7 @@ impl StatevectorSimulator {
                 }
             }
         }
+        tally.flush("qukit_aer_statevector_gates_total");
         state.apply_global_phase(circuit.global_phase());
         Ok(state)
     }

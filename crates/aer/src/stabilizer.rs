@@ -364,14 +364,24 @@ impl StabilizerSimulator {
             Some(seed) => StdRng::seed_from_u64(seed),
             None => StdRng::from_entropy(),
         };
+        let _span =
+            qukit_obs::span!("aer.stabilizer_run", qubits = circuit.num_qubits(), shots = shots,);
+        qukit_obs::counter_inc("qukit_aer_stabilizer_runs_total");
+        qukit_obs::counter_add("qukit_aer_shots_total", shots as u64);
+        let mut gates = 0u64;
+        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
         let mut counts = Counts::new(circuit.num_clbits());
         for _ in 0..shots {
-            counts.record(self.run_shot(circuit, &mut rng)?);
+            counts.record(self.run_shot(circuit, &mut rng, &mut gates)?);
         }
+        if let Some(start) = sample_start {
+            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
+        }
+        qukit_obs::counter_add("qukit_aer_stabilizer_gates_total", gates);
         Ok(counts)
     }
 
-    fn run_shot(&self, circuit: &QuantumCircuit, rng: &mut StdRng) -> Result<u64> {
+    fn run_shot(&self, circuit: &QuantumCircuit, rng: &mut StdRng, gates: &mut u64) -> Result<u64> {
         let mut state = StabilizerState::new(circuit.num_qubits());
         let mut creg = 0u64;
         for inst in circuit.instructions() {
@@ -387,7 +397,10 @@ impl StabilizerSimulator {
                 }
             }
             match &inst.op {
-                Operation::Gate(g) => state.apply_gate(*g, &inst.qubits)?,
+                Operation::Gate(g) => {
+                    state.apply_gate(*g, &inst.qubits)?;
+                    *gates += 1;
+                }
                 Operation::Measure => {
                     let bit = state.measure(inst.qubits[0], rng);
                     if bit {

@@ -1,0 +1,343 @@
+//! The committed JSON bench baseline (`BENCH_PR3.json`).
+//!
+//! [`run_baseline`] sweeps a fixed circuit suite across every engine
+//! that can run it and records wall time plus the key `qukit_*` metrics
+//! of each run. The output is a stable, schema-versioned JSON document
+//! (`qukit-bench-baseline/v1`) that CI regenerates and validates and
+//! that `qukit stats <file>.json` renders as a table — the regression
+//! anchor for "did an engine get slower or busier".
+
+use qukit::backend::Backend;
+use qukit::terra::circuit::QuantumCircuit;
+use qukit_obs::json::{escape, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier stamped into every baseline document.
+pub const BASELINE_SCHEMA: &str = "qukit-bench-baseline/v1";
+
+/// Knobs of a baseline sweep.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Shots per (circuit, engine) run.
+    pub shots: usize,
+    /// Seed threaded into every seedable backend.
+    pub seed: u64,
+    /// Record `qukit_*` metrics per entry (disable to measure the
+    /// uninstrumented wall time — the overhead comparison knob).
+    pub collect_metrics: bool,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self { shots: 1024, seed: 7, collect_metrics: true }
+    }
+}
+
+/// One (circuit, engine) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Circuit name (e.g. `ghz_8`).
+    pub circuit: String,
+    /// Engine/backend name (e.g. `dd_simulator`).
+    pub engine: String,
+    /// Circuit width.
+    pub qubits: usize,
+    /// Gate count before backend-side transpilation.
+    pub gates: usize,
+    /// Shots sampled.
+    pub shots: usize,
+    /// End-to-end wall time of the run, seconds.
+    pub wall_seconds: f64,
+    /// Key metrics observed during the run (counters and gauges,
+    /// flattened to f64). Empty when metric collection is off.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A full baseline document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Every (circuit, engine) measurement, in sweep order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Builds one backend instance by name with the sweep seed applied.
+fn make_engine(name: &str, seed: u64) -> Box<dyn Backend> {
+    use qukit::backend::{DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
+    match name {
+        "qasm_simulator" => Box::new(QasmSimulatorBackend::new().with_seed(seed)),
+        "dd_simulator" => Box::new(DdSimulatorBackend::new().with_seed(seed)),
+        "stabilizer_simulator" => Box::new(StabilizerBackend::new().with_seed(seed)),
+        "ibmqx4" => Box::new(FakeDevice::ibmqx4().with_seed(seed)),
+        other => unreachable!("unknown baseline engine '{other}'"),
+    }
+}
+
+/// The fixed sweep: circuit × engines able to run it. The GHZ circuits
+/// are Clifford (stabilizer-eligible); only the ≤5-qubit circuits fit
+/// the ibmqx4 device model.
+fn sweep() -> Vec<(String, QuantumCircuit, Vec<&'static str>)> {
+    let bell = {
+        let mut circ = QuantumCircuit::new(2);
+        circ.set_name("bell");
+        circ.h(0).expect("valid");
+        circ.cx(0, 1).expect("valid");
+        circ
+    };
+    vec![
+        (
+            "ghz_8".to_owned(),
+            crate::ghz(8),
+            vec!["qasm_simulator", "dd_simulator", "stabilizer_simulator"],
+        ),
+        ("qft_6".to_owned(), crate::qft(6), vec!["qasm_simulator", "dd_simulator"]),
+        (
+            "entangler_6x3".to_owned(),
+            crate::entangler(6, 3),
+            vec!["qasm_simulator", "dd_simulator"],
+        ),
+        (
+            "random_6x40".to_owned(),
+            crate::random_circuit(6, 40, 1234),
+            vec!["qasm_simulator", "dd_simulator"],
+        ),
+        ("ghz_5".to_owned(), crate::ghz(5), vec!["ibmqx4"]),
+        ("bell".to_owned(), bell, vec!["qasm_simulator", "ibmqx4"]),
+    ]
+}
+
+/// Runs the full sweep and returns the baseline.
+///
+/// When `collect_metrics` is on, the global metrics registry is reset
+/// before (and snapshot after) each run, so each entry's `metrics` map
+/// reflects that run alone. The registry is left disabled afterwards.
+pub fn run_baseline(config: &BaselineConfig) -> Baseline {
+    let was_enabled = qukit_obs::enabled();
+    let mut entries = Vec::new();
+    for (circuit_name, circuit, engines) in sweep() {
+        for engine_name in engines {
+            let engine = make_engine(engine_name, config.seed);
+            if config.collect_metrics {
+                qukit_obs::set_enabled(true);
+                qukit_obs::reset();
+            }
+            let start = std::time::Instant::now();
+            let counts = engine.run(&prepared(&circuit), config.shots).expect("baseline run");
+            let wall_seconds = start.elapsed().as_secs_f64();
+            assert_eq!(counts.total(), config.shots, "baseline runs sample every shot");
+            let metrics = if config.collect_metrics {
+                let snapshot = qukit_obs::registry().snapshot();
+                qukit_obs::set_enabled(was_enabled);
+                let mut flat: BTreeMap<String, f64> = BTreeMap::new();
+                for (name, value) in &snapshot.counters {
+                    flat.insert(name.clone(), *value as f64);
+                }
+                for (name, value) in &snapshot.gauges {
+                    flat.insert(name.clone(), *value);
+                }
+                flat
+            } else {
+                BTreeMap::new()
+            };
+            entries.push(BaselineEntry {
+                circuit: circuit_name.clone(),
+                engine: engine_name.to_owned(),
+                qubits: circuit.num_qubits(),
+                gates: circuit.num_gates(),
+                shots: config.shots,
+                wall_seconds,
+                metrics,
+            });
+        }
+    }
+    qukit_obs::set_enabled(was_enabled);
+    Baseline { entries }
+}
+
+/// Adds terminal measurements where the suite circuit has none (the
+/// backends require measured circuits for sampling).
+fn prepared(circuit: &QuantumCircuit) -> QuantumCircuit {
+    if circuit.has_measurements() {
+        circuit.clone()
+    } else {
+        let mut measured = circuit.clone();
+        measured.measure_all();
+        measured
+    }
+}
+
+impl Baseline {
+    /// Serializes to the `qukit-bench-baseline/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",");
+        out.push_str("  \"entries\": [");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"circuit\": \"{}\",", escape(&entry.circuit));
+            let _ = writeln!(out, "      \"engine\": \"{}\",", escape(&entry.engine));
+            let _ = writeln!(out, "      \"qubits\": {},", entry.qubits);
+            let _ = writeln!(out, "      \"gates\": {},", entry.gates);
+            let _ = writeln!(out, "      \"shots\": {},", entry.shots);
+            let _ = writeln!(out, "      \"wall_seconds\": {},", fmt_f64(entry.wall_seconds));
+            out.push_str("      \"metrics\": {");
+            for (j, (name, value)) in entry.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n        \"{}\": {}", escape(name), fmt_f64(*value));
+            }
+            if !entry.metrics.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("}\n    }");
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses and validates a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first schema violation.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing \"schema\" field".to_owned())?;
+        if schema != BASELINE_SCHEMA {
+            return Err(format!("schema '{schema}' is not '{BASELINE_SCHEMA}'"));
+        }
+        let raw_entries = value
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "missing \"entries\" array".to_owned())?;
+        let mut entries = Vec::new();
+        for (i, raw) in raw_entries.iter().enumerate() {
+            let field_str = |key: &str| {
+                raw.get(key)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("entry {i}: missing string \"{key}\""))
+            };
+            let field_num = |key: &str| {
+                raw.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("entry {i}: missing number \"{key}\""))
+            };
+            let metrics_obj = raw
+                .get("metrics")
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| format!("entry {i}: missing object \"metrics\""))?;
+            let mut metrics = BTreeMap::new();
+            for (name, v) in metrics_obj {
+                let value = v
+                    .as_f64()
+                    .ok_or_else(|| format!("entry {i}: metric \"{name}\" is not a number"))?;
+                metrics.insert(name.clone(), value);
+            }
+            entries.push(BaselineEntry {
+                circuit: field_str("circuit")?,
+                engine: field_str("engine")?,
+                qubits: field_num("qubits")? as usize,
+                gates: field_num("gates")? as usize,
+                shots: field_num("shots")? as usize,
+                wall_seconds: field_num("wall_seconds")?,
+                metrics,
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Finite shortest-roundtrip float formatting (JSON has no NaN/Inf).
+fn fmt_f64(value: f64) -> String {
+    if !value.is_finite() {
+        return "0".to_owned();
+    }
+    let text = format!("{value}");
+    // `{}` on f64 already round-trips; just make integers explicit
+    // floats so the field parses as a number either way.
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Baseline runs mutate the global metrics registry; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn baseline_covers_at_least_eight_circuit_engine_pairs() {
+        let _guard = lock();
+        let baseline = run_baseline(&BaselineConfig { shots: 64, ..Default::default() });
+        assert!(baseline.entries.len() >= 8, "only {} entries", baseline.entries.len());
+        let mut pairs: Vec<(String, String)> =
+            baseline.entries.iter().map(|e| (e.circuit.clone(), e.engine.clone())).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), baseline.entries.len(), "pairs must be unique");
+        assert!(baseline.entries.iter().all(|e| e.wall_seconds >= 0.0));
+        assert!(!qukit_obs::enabled(), "baseline leaves metrics as it found them");
+    }
+
+    #[test]
+    fn baseline_entries_embed_engine_metrics() {
+        let _guard = lock();
+        let baseline = run_baseline(&BaselineConfig { shots: 32, ..Default::default() });
+        let dd =
+            baseline.entries.iter().find(|e| e.engine == "dd_simulator").expect("dd entries exist");
+        assert!(
+            dd.metrics.keys().any(|k| k.starts_with("qukit_dd_")),
+            "dd entry carries dd metrics: {:?}",
+            dd.metrics.keys().collect::<Vec<_>>()
+        );
+        let sv = baseline
+            .entries
+            .iter()
+            .find(|e| e.engine == "qasm_simulator")
+            .expect("statevector entries exist");
+        assert!(sv.metrics.keys().any(|k| k.starts_with("qukit_aer_")));
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let _guard = lock();
+        let baseline = run_baseline(&BaselineConfig { shots: 16, ..Default::default() });
+        let json = baseline.to_json();
+        let parsed = Baseline::from_json(&json).expect("own output validates");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("{\"schema\": \"other/v9\", \"entries\": []}").is_err());
+        assert!(Baseline::from_json(
+            "{\"schema\": \"qukit-bench-baseline/v1\", \"entries\": [{}]}"
+        )
+        .is_err());
+        assert!(Baseline::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn metrics_can_be_disabled_for_overhead_runs() {
+        let _guard = lock();
+        let config = BaselineConfig { shots: 16, collect_metrics: false, ..Default::default() };
+        let baseline = run_baseline(&config);
+        assert!(baseline.entries.iter().all(|e| e.metrics.is_empty()));
+    }
+}

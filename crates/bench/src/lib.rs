@@ -6,6 +6,8 @@
 //! figure/claim; see `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for recorded results.
 
+pub mod baseline;
+
 use qukit::terra::circuit::QuantumCircuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

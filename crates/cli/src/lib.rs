@@ -78,18 +78,23 @@ impl From<qukit::terra::error::TerraError> for CliError {
 
 const USAGE: &str = "usage:
   qukit backends
-  qukit stats <file.qasm>
+  qukit stats <file.qasm | file.json>
   qukit draw <file.qasm>
   qukit run <file.qasm> [--backend NAME] [--shots N] [--seed N]
+            [--metrics FILE.json] [--trace]
   qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
                   [--mapper basic|lookahead|astar] [--opt 0..3] [--emit]
   qukit equiv <a.qasm> <b.qasm>
   qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
              [--retries N] [--timeout-ms N]
              [--inject-fail N | --hang-ms N] [--fallback] [--cancel]
+             [--metrics FILE.json] [--trace]
   qukit fuzz [--seed N] [--cases N] [--max-qubits N] [--max-depth N]
              [--oracle all|LIST] [--gate-set full|clifford|clifford+t]
              [--shots N] [--measure] [--no-shrink] [--repro-dir DIR]
+             [--metrics FILE.json] [--trace]
+  qukit bench [--json] [--out FILE.json] [--shots N] [--seed N]
+              [--no-metrics]
 
 coupling KIND is one of line, ring, full, or grid:RxC
 
@@ -103,7 +108,15 @@ jobs flags: --retries N allows N retries after the first attempt;
 --timeout-ms bounds each attempt; --inject-fail N makes the backend fail
 the first N calls transiently; --hang-ms makes every call stall;
 --fallback submits to a fallback chain (backend, then qasm_simulator);
---cancel requests cancellation right after submitting";
+--cancel requests cancellation right after submitting
+
+observability: --metrics FILE.json enables the qukit_* metric registry
+for the command and writes the snapshot (schema qukit-metrics/v1) to
+FILE.json on exit; --trace additionally prints the span tree. Inspect
+either a metrics snapshot or a bench baseline with `qukit stats
+<file>.json`. `qukit bench` sweeps the fixed circuit suite across every
+capable engine and emits the qukit-bench-baseline/v1 document
+(--no-metrics skips per-entry metric collection for overhead runs)";
 
 /// Runs the CLI with the given arguments, writing output to `out`.
 ///
@@ -124,6 +137,7 @@ pub fn run_cli(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "equiv" => cmd_equiv(&rest, out),
         "jobs" => cmd_jobs(&rest, out),
         "fuzz" => cmd_fuzz(&rest, out),
+        "bench" => cmd_bench(&rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -176,6 +190,10 @@ fn cmd_backends(out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_stats(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let path = rest.first().ok_or_else(|| CliError::Usage("missing <file> argument".to_owned()))?;
+    if path.ends_with(".json") {
+        return stats_json(path, out);
+    }
     let circ = load_circuit(rest)?;
     writeln!(
         out,
@@ -192,13 +210,102 @@ fn cmd_stats(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `qukit stats` on a `.json` file: dispatches on the embedded schema
+/// — a `qukit-metrics/v1` snapshot renders as the metrics summary, a
+/// `qukit-bench-baseline/v1` document as the baseline table. Parsing
+/// doubles as schema validation, so CI runs this over generated files.
+fn stats_json(path: &str, out: &mut impl Write) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let schema = qukit_obs::json::JsonValue::parse(&text)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(str::to_owned)))
+        .ok_or_else(|| {
+            CliError::Usage(format!("{path} is not a schema-tagged qukit JSON document"))
+        })?;
+    match schema.as_str() {
+        qukit_obs::export::SCHEMA => {
+            let snapshot = qukit_obs::export::from_json(&text)
+                .map_err(|e| CliError::Usage(format!("invalid metrics snapshot {path}: {e}")))?;
+            write!(out, "{}", qukit_obs::export::summary(&snapshot))?;
+            Ok(())
+        }
+        qukit_bench::baseline::BASELINE_SCHEMA => {
+            let baseline = qukit_bench::baseline::Baseline::from_json(&text)
+                .map_err(|e| CliError::Usage(format!("invalid bench baseline {path}: {e}")))?;
+            write_baseline_table(&baseline, out)
+        }
+        other => Err(CliError::Usage(format!("unknown schema '{other}' in {path}"))),
+    }
+}
+
 fn cmd_draw(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     let circ = load_circuit(rest)?;
     write!(out, "{}", draw::draw(&circ))?;
     Ok(())
 }
 
+/// Observability flags shared by `run`/`jobs`/`fuzz`: `--metrics
+/// FILE.json` enables the global registry for the command and writes a
+/// `qukit-metrics/v1` snapshot on exit; `--trace` prints the span tree.
+struct ObsSession {
+    metrics_path: Option<String>,
+    trace: bool,
+}
+
+impl ObsSession {
+    fn from_flags(rest: &[&String]) -> Result<Self, CliError> {
+        let metrics_path = flag_value(rest, "--metrics")?.map(str::to_owned);
+        let trace = flag_present(rest, "--trace");
+        if metrics_path.is_some() || trace {
+            qukit_obs::set_enabled(true);
+            qukit_obs::reset();
+        }
+        Ok(Self { metrics_path, trace })
+    }
+
+    fn active(&self) -> bool {
+        self.metrics_path.is_some() || self.trace
+    }
+
+    fn finish(self, out: &mut impl Write) -> Result<(), CliError> {
+        if !self.active() {
+            return Ok(());
+        }
+        let snapshot = qukit_obs::registry().snapshot();
+        qukit_obs::set_enabled(false);
+        if self.trace {
+            writeln!(out, "trace ({} spans, oldest first):", snapshot.trace.len())?;
+            for event in &snapshot.trace {
+                let indent = "  ".repeat(event.depth + 1);
+                let detail = if event.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" {}", event.detail)
+                };
+                writeln!(out, "{:>10}{indent}{}{detail}", fmt_us(event.duration_us), event.name)?;
+            }
+        }
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, qukit_obs::export::to_json(&snapshot))?;
+            writeln!(out, "metrics written to {path}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a microsecond count as `µs`/`ms`/`s`.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
 fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let obs = ObsSession::from_flags(rest)?;
     let circ = load_circuit(rest)?;
     let backend_name = flag_value(rest, "--backend")?.unwrap_or("qasm_simulator");
     let shots: usize = match flag_value(rest, "--shots")? {
@@ -206,8 +313,21 @@ fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         None => 1024,
     };
     let provider = build_provider(flag_value(rest, "--seed")?)?;
-    let backend = provider.get_backend(backend_name)?;
-    let counts = execute(&circ, backend, shots)?;
+    let counts = if obs.active() {
+        // Instrumented path: pre-transpile for the simulator and route
+        // through the job service so a single run exercises (and
+        // reports on) the transpiler, the engine, and the job queue.
+        let transpiled = transpile(&circ, &TranspileOptions::for_simulator(1))?.circuit;
+        let executor = JobExecutor::with_config(
+            provider,
+            ExecutorConfig { workers: 1, queue_capacity: 4, ..Default::default() },
+        );
+        let job = executor.submit(&transpiled, backend_name, shots)?;
+        job.result(std::time::Duration::from_secs(120))?
+    } else {
+        let backend = provider.get_backend(backend_name)?;
+        execute(&circ, backend, shots)?
+    };
     writeln!(out, "backend: {backend_name}, shots: {shots}")?;
     let total = counts.total() as f64;
     for (outcome, count) in counts.iter() {
@@ -219,6 +339,7 @@ fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             count as f64 / total
         )?;
     }
+    obs.finish(out)?;
     Ok(())
 }
 
@@ -267,6 +388,7 @@ fn make_backend(name: &str, seed: Option<u64>) -> Result<Box<dyn qukit::Backend>
 }
 
 fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let obs = ObsSession::from_flags(rest)?;
     let circ = load_circuit(rest)?;
     let backend_name = flag_value(rest, "--backend")?.unwrap_or("qasm_simulator");
     let shots: usize = match flag_value(rest, "--shots")? {
@@ -324,7 +446,7 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             "attempt timeout",
         )?));
     }
-    let config = ExecutorConfig { workers: 1, queue_capacity: 16, retry };
+    let config = ExecutorConfig { workers: 1, queue_capacity: 16, retry, ..Default::default() };
     let executor = JobExecutor::with_config(provider, config);
 
     let job = executor.submit(&circ, submit_name, shots)?;
@@ -361,10 +483,12 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         }
         Err(e) => writeln!(out, "job failed: {e}")?,
     }
+    obs.finish(out)?;
     Ok(())
 }
 
 fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    let obs = ObsSession::from_flags(rest)?;
     use qukit_conformance::{
         DiffConfig, FuzzConfig, GateSet, GeneratorConfig, MatrixTable, OracleKind,
     };
@@ -427,14 +551,24 @@ fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         oracle_names.join(", ")
     )?;
     let report = qukit_conformance::run_fuzz(&config);
-    writeln!(out, "cases: {}", report.cases)?;
+    writeln!(
+        out,
+        "cases: {} in {:.2}s ({:.1} cases/sec)",
+        report.cases,
+        report.elapsed_seconds,
+        report.cases_per_sec()
+    )?;
     for (oracle, passed) in &report.checks {
         let skipped = report.skips.get(oracle).copied().unwrap_or(0);
+        let secs = report.oracle_seconds.get(oracle).copied().unwrap_or(0.0);
         if skipped > 0 {
-            writeln!(out, "  {oracle:<13} {passed:>6} passed, {skipped} skipped")?;
+            writeln!(out, "  {oracle:<13} {passed:>6} passed, {skipped} skipped ({secs:.2}s)")?;
         } else {
-            writeln!(out, "  {oracle:<13} {passed:>6} passed")?;
+            writeln!(out, "  {oracle:<13} {passed:>6} passed ({secs:.2}s)")?;
         }
+    }
+    if let Some((slowest, secs)) = report.slowest_oracles().first() {
+        writeln!(out, "slowest oracle: {slowest} ({secs:.2}s total)")?;
     }
     let repro_dir = flag_value(rest, "--repro-dir")?;
     for failure in &report.failures {
@@ -456,6 +590,7 @@ fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             std::fs::write(dir.join(failure.reproducer.file_name()), &failure.reproducer.qasm)?;
         }
     }
+    obs.finish(out)?;
     if report.is_green() {
         writeln!(out, "all oracles green")?;
         Ok(())
@@ -465,6 +600,67 @@ fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             report.failures.len()
         )))
     }
+}
+
+fn cmd_bench(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    use qukit_bench::baseline::{run_baseline, BaselineConfig};
+    let shots: usize = match flag_value(rest, "--shots")? {
+        Some(v) => parse_number(v, "shot count")?,
+        None => 1024,
+    };
+    let seed: u64 = match flag_value(rest, "--seed")? {
+        Some(v) => parse_number(v, "seed")?,
+        None => 7,
+    };
+    let config =
+        BaselineConfig { shots, seed, collect_metrics: !flag_present(rest, "--no-metrics") };
+    let baseline = run_baseline(&config);
+    if flag_present(rest, "--json") {
+        let json = baseline.to_json();
+        match flag_value(rest, "--out")? {
+            Some(path) => {
+                std::fs::write(path, &json)?;
+                writeln!(out, "baseline written to {path} ({} entries)", baseline.entries.len())?;
+            }
+            None => write!(out, "{json}")?,
+        }
+    } else {
+        write_baseline_table(&baseline, out)?;
+    }
+    Ok(())
+}
+
+/// Renders a bench baseline as the human-readable table shown by both
+/// `qukit bench` and `qukit stats <baseline>.json`.
+fn write_baseline_table(
+    baseline: &qukit_bench::baseline::Baseline,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{:<15} {:<21} {:>6} {:>6} {:>6} {:>10} {:>8}",
+        "circuit", "engine", "qubits", "gates", "shots", "wall", "metrics"
+    )?;
+    for entry in &baseline.entries {
+        writeln!(
+            out,
+            "{:<15} {:<21} {:>6} {:>6} {:>6} {:>10} {:>8}",
+            entry.circuit,
+            entry.engine,
+            entry.qubits,
+            entry.gates,
+            entry.shots,
+            fmt_us((entry.wall_seconds * 1e6) as u64),
+            entry.metrics.len()
+        )?;
+    }
+    writeln!(
+        out,
+        "{} entries (schema {})",
+        baseline.entries.len(),
+        qukit_bench::baseline::BASELINE_SCHEMA
+    )?;
+    Ok(())
 }
 
 fn parse_coupling(spec: &str) -> Result<CouplingMap, CliError> {
@@ -878,6 +1074,140 @@ mod tests {
     #[test]
     fn missing_file_is_io_error() {
         assert!(matches!(run_err(&["stats", "/nonexistent/file.qasm"]), CliError::Io(_)));
+    }
+
+    /// Commands that toggle the global metrics registry must not
+    /// interleave; every `--metrics`/`--trace`/`bench` test takes this.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A self-cleaning temp path for JSON artifacts.
+    fn temp_json(tag: &str) -> tempfile::TempQasm {
+        let path = std::env::temp_dir().join(format!(
+            "qukit_cli_test_{tag}_{}_{}.json",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        // Reuse TempQasm purely for its Drop cleanup.
+        std::fs::write(&path, "").expect("create temp json");
+        tempfile::TempQasm { path }
+    }
+
+    #[test]
+    fn run_with_metrics_captures_all_three_layers() {
+        let _guard = obs_lock();
+        let file = write_bell();
+        let metrics = temp_json("run");
+        let text = run_ok(&[
+            "run",
+            file.as_str(),
+            "--shots",
+            "100",
+            "--seed",
+            "3",
+            "--metrics",
+            metrics.as_str(),
+        ]);
+        assert!(text.contains("metrics written to"), "{text}");
+        let written = std::fs::read_to_string(&metrics.path).expect("snapshot written");
+        qukit_obs::export::validate_snapshot_json(&written).expect("schema-valid snapshot");
+        let snapshot = qukit_obs::export::from_json(&written).expect("snapshot parses");
+        // Transpiler, simulator, and job-service metrics are all nonzero.
+        assert!(
+            snapshot.histograms.keys().any(|k| k.starts_with("qukit_terra_pass_seconds")),
+            "transpiler pass timings present: {:?}",
+            snapshot.histograms.keys().collect::<Vec<_>>()
+        );
+        assert!(snapshot.counters.get("qukit_terra_transpile_runs_total") > Some(&0));
+        assert!(snapshot.counters.get("qukit_aer_qasm_runs_total") > Some(&0));
+        assert!(snapshot.counters.get("qukit_core_jobs_submitted_total") > Some(&0));
+        assert!(snapshot.counters.get("qukit_core_jobs_completed_total") > Some(&0));
+        // The `stats` command renders the snapshot as a summary.
+        let summary = run_ok(&["stats", metrics.as_str()]);
+        assert!(summary.contains("terra"), "{summary}");
+        assert!(summary.contains("core"), "{summary}");
+    }
+
+    #[test]
+    fn run_with_trace_prints_span_tree() {
+        let _guard = obs_lock();
+        let file = write_bell();
+        let text = run_ok(&["run", file.as_str(), "--shots", "50", "--seed", "1", "--trace"]);
+        assert!(text.contains("trace ("), "{text}");
+        assert!(text.contains("transpile"), "{text}");
+    }
+
+    #[test]
+    fn jobs_with_metrics_counts_retries() {
+        let _guard = obs_lock();
+        let file = write_bell();
+        let metrics = temp_json("jobs");
+        run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--shots",
+            "50",
+            "--inject-fail",
+            "2",
+            "--retries",
+            "3",
+            "--metrics",
+            metrics.as_str(),
+        ]);
+        let written = std::fs::read_to_string(&metrics.path).expect("snapshot written");
+        let snapshot = qukit_obs::export::from_json(&written).expect("snapshot parses");
+        assert_eq!(snapshot.counters.get("qukit_core_job_retries_total"), Some(&2));
+        assert_eq!(snapshot.counters.get("qukit_core_fault_injections_total"), Some(&2));
+        assert_eq!(snapshot.counters.get("qukit_core_jobs_completed_total"), Some(&1));
+    }
+
+    #[test]
+    fn bench_emits_and_stats_renders_a_valid_baseline() {
+        let _guard = obs_lock();
+        let out_file = temp_json("bench");
+        let text = run_ok(&["bench", "--json", "--out", out_file.as_str(), "--shots", "16"]);
+        assert!(text.contains("baseline written to"), "{text}");
+        let written = std::fs::read_to_string(&out_file.path).expect("baseline written");
+        let baseline =
+            qukit_bench::baseline::Baseline::from_json(&written).expect("baseline validates");
+        assert!(baseline.entries.len() >= 8);
+        let table = run_ok(&["stats", out_file.as_str()]);
+        assert!(table.contains("dd_simulator"), "{table}");
+        assert!(table.contains("entries (schema qukit-bench-baseline/v1)"), "{table}");
+    }
+
+    #[test]
+    fn stats_rejects_unknown_json() {
+        let _guard = obs_lock();
+        let bogus = temp_json("bogus");
+        std::fs::write(&bogus.path, "{\"schema\": \"mystery/v1\"}").unwrap();
+        assert!(matches!(run_err(&["stats", bogus.as_str()]), CliError::Usage(_)));
+        std::fs::write(&bogus.path, "not json at all").unwrap();
+        assert!(matches!(run_err(&["stats", bogus.as_str()]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fuzz_reports_throughput_and_slowest_oracle() {
+        let text = run_ok(&[
+            "fuzz",
+            "--seed",
+            "7",
+            "--cases",
+            "5",
+            "--max-qubits",
+            "2",
+            "--max-depth",
+            "4",
+            "--shots",
+            "64",
+        ]);
+        assert!(text.contains("cases/sec"), "{text}");
+        assert!(text.contains("slowest oracle:"), "{text}");
     }
 
     #[test]

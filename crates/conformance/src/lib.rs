@@ -94,6 +94,11 @@ pub struct FuzzReport {
     pub checks: BTreeMap<String, usize>,
     /// Oracle name → number of skipped (inapplicable) checks.
     pub skips: BTreeMap<String, usize>,
+    /// Oracle name → total wall time spent inside that oracle, seconds
+    /// (skips included — skip detection costs time too).
+    pub oracle_seconds: BTreeMap<String, f64>,
+    /// Campaign wall time, seconds.
+    pub elapsed_seconds: f64,
     /// Every failure found, in discovery order.
     pub failures: Vec<FuzzFailure>,
 }
@@ -102,6 +107,23 @@ impl FuzzReport {
     /// Whether the campaign finished without violations.
     pub fn is_green(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Campaign throughput in cases per second (0 for an instant run).
+    pub fn cases_per_sec(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.cases as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Oracles ranked by total time spent, slowest first.
+    pub fn slowest_oracles(&self) -> Vec<(&str, f64)> {
+        let mut ranked: Vec<(&str, f64)> =
+            self.oracle_seconds.iter().map(|(name, secs)| (name.as_str(), *secs)).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
     }
 }
 
@@ -112,12 +134,27 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
     let suite = OracleSuite::new(config.oracles.clone(), runner);
     let mut generator = CircuitGenerator::new(config.seed, config.generator.clone());
     let mut report = FuzzReport::default();
+    let campaign_start = std::time::Instant::now();
+    let _campaign_span =
+        qukit_obs::span!("fuzz.campaign", seed = config.seed, cases = config.cases);
     for case_index in 0..config.cases {
         let circuit = generator.next_circuit();
         report.cases += 1;
+        qukit_obs::counter_inc("qukit_conformance_cases_total");
         let mut failed: Option<(OracleKind, Mismatch)> = None;
         for &kind in suite.kinds() {
-            match suite.check_kind(kind, &circuit) {
+            let check_start = std::time::Instant::now();
+            let outcome = suite.check_kind(kind, &circuit);
+            let elapsed = check_start.elapsed();
+            *report.oracle_seconds.entry(kind.name().to_owned()).or_default() +=
+                elapsed.as_secs_f64();
+            if qukit_obs::enabled() {
+                qukit_obs::observe_duration(
+                    &format!("qukit_conformance_oracle_seconds{{oracle=\"{}\"}}", kind.name()),
+                    elapsed,
+                );
+            }
+            match outcome {
                 OracleOutcome::Pass => {
                     *report.checks.entry(kind.name().to_owned()).or_default() += 1;
                 }
@@ -131,6 +168,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
             }
         }
         if let Some((kind, mismatch)) = failed {
+            qukit_obs::counter_inc("qukit_conformance_failures_total");
             let failure = package_failure(&suite, kind, case_index, circuit, mismatch, config);
             report.failures.push(failure);
             if config.max_failures != 0 && report.failures.len() >= config.max_failures {
@@ -138,6 +176,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
             }
         }
     }
+    report.elapsed_seconds = campaign_start.elapsed().as_secs_f64();
     report
 }
 
@@ -180,6 +219,13 @@ mod tests {
         assert_eq!(report.cases, 25);
         // Every case exercises at least the differential oracle.
         assert!(report.checks["differential"] >= 25);
+        // Per-oracle timing is collected even with metrics disabled.
+        assert!(report.elapsed_seconds > 0.0);
+        assert!(report.cases_per_sec() > 0.0);
+        assert!(report.oracle_seconds.contains_key("differential"));
+        let slowest = report.slowest_oracles();
+        assert_eq!(slowest.len(), report.oracle_seconds.len());
+        assert!(slowest.windows(2).all(|w| w[0].1 >= w[1].1), "ranked slowest-first");
     }
 
     #[test]

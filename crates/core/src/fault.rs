@@ -121,20 +121,30 @@ impl Backend for FaultInjectingBackend {
             *calls
         };
         match self.mode {
-            FaultMode::FailTimes(n) if call <= n => Err(QukitError::Transient {
-                msg: format!(
-                    "injected fault: call {call} of {n} forced failures on '{}'",
-                    self.name()
-                ),
-            }),
-            FaultMode::AlwaysFail => Err(QukitError::Transient {
-                msg: format!("injected fault: '{}' is configured to always fail", self.name()),
-            }),
+            FaultMode::FailTimes(n) if call <= n => {
+                qukit_obs::counter_inc("qukit_core_fault_injections_total");
+                Err(QukitError::Transient {
+                    msg: format!(
+                        "injected fault: call {call} of {n} forced failures on '{}'",
+                        self.name()
+                    ),
+                })
+            }
+            FaultMode::AlwaysFail => {
+                qukit_obs::counter_inc("qukit_core_fault_injections_total");
+                Err(QukitError::Transient {
+                    msg: format!("injected fault: '{}' is configured to always fail", self.name()),
+                })
+            }
             FaultMode::Hang(delay) => {
+                qukit_obs::counter_inc("qukit_core_fault_injections_total");
                 std::thread::sleep(delay);
                 self.inner.run(circuit, shots)
             }
-            FaultMode::CorruptCounts => Ok(self.corrupt(self.inner.run(circuit, shots)?)),
+            FaultMode::CorruptCounts => {
+                qukit_obs::counter_inc("qukit_core_fault_injections_total");
+                Ok(self.corrupt(self.inner.run(circuit, shots)?))
+            }
             FaultMode::FailTimes(_) => self.inner.run(circuit, shots),
         }
     }
@@ -215,7 +225,10 @@ impl Backend for FallbackChain {
                     *self.last_used.lock().expect("fallback lock") = Some(served);
                     return Ok(counts);
                 }
-                Err(e) => errors.push(format!("{}: {e}", backend.name())),
+                Err(e) => {
+                    qukit_obs::counter_inc("qukit_core_fallback_switches_total");
+                    errors.push(format!("{}: {e}", backend.name()));
+                }
             }
         }
         *self.last_used.lock().expect("fallback lock") = None;

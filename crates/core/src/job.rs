@@ -254,6 +254,181 @@ impl Job {
     }
 }
 
+/// A lifecycle event emitted by the [`JobExecutor`].
+///
+/// Events fire synchronously on the thread where the transition happens
+/// (`Enqueued` on the submitting thread, everything else on a worker),
+/// so observers should return quickly. Before this hook existed retries
+/// were *silent*: a job could burn through five attempts and the only
+/// trace was the final `attempts()` count. Every recovery decision now
+/// surfaces as an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job was accepted into the submission queue.
+    Enqueued {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// Backend the job was submitted to.
+        backend: String,
+    },
+    /// A worker dequeued the job and began its first attempt.
+    Started {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// Backend the job was submitted to.
+        backend: String,
+    },
+    /// A transient failure will be retried after `backoff`.
+    Retrying {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// The attempt (1-based) that just failed.
+        attempt: u32,
+        /// The backoff that will be waited before the next attempt.
+        backoff: Duration,
+        /// The transient failure being retried.
+        error: String,
+    },
+    /// An attempt exceeded the per-attempt budget; the job is terminal.
+    TimedOut {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// The attempt (1-based) that was abandoned.
+        attempt: u32,
+    },
+    /// The job failed fatally or exhausted its retries.
+    Failed {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// Total attempts consumed.
+        attempts: u32,
+        /// The final failure.
+        error: String,
+    },
+    /// The job was cancelled before producing a result.
+    Cancelled {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// `true` when the job never started running (cancelled while
+        /// still in the queue).
+        while_queued: bool,
+    },
+    /// The job finished successfully.
+    Completed {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// Total attempts consumed.
+        attempts: u32,
+        /// Backend that actually served the result.
+        executed_on: String,
+        /// Submit-to-done latency (queue wait included).
+        elapsed: Duration,
+    },
+}
+
+impl JobEvent {
+    /// The id of the job this event concerns.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JobEvent::Enqueued { job_id, .. }
+            | JobEvent::Started { job_id, .. }
+            | JobEvent::Retrying { job_id, .. }
+            | JobEvent::TimedOut { job_id, .. }
+            | JobEvent::Failed { job_id, .. }
+            | JobEvent::Cancelled { job_id, .. }
+            | JobEvent::Completed { job_id, .. } => *job_id,
+        }
+    }
+}
+
+/// A subscriber to [`JobEvent`]s. Implementations must be cheap and
+/// thread-safe; they run inline on executor threads. Terminal events
+/// are emitted *before* the job handle flips to its terminal status, so
+/// a thread woken by [`Job::result`] observes every event of its job —
+/// consequently observers must not block on job handles themselves.
+pub trait JobObserver: Send + Sync {
+    /// Called once per lifecycle event.
+    fn on_event(&self, event: &JobEvent);
+}
+
+/// The default [`JobObserver`]: translates lifecycle events into
+/// `qukit_core_*` metrics. Every callback is a no-op while metrics are
+/// disabled, so the default wiring costs one atomic load per event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsJobObserver;
+
+impl JobObserver for MetricsJobObserver {
+    fn on_event(&self, event: &JobEvent) {
+        match event {
+            JobEvent::Enqueued { .. } => {
+                qukit_obs::counter_inc("qukit_core_jobs_submitted_total");
+                qukit_obs::gauge_add("qukit_core_queue_depth", 1.0);
+            }
+            JobEvent::Started { .. } => qukit_obs::gauge_add("qukit_core_queue_depth", -1.0),
+            JobEvent::Retrying { .. } => qukit_obs::counter_inc("qukit_core_job_retries_total"),
+            JobEvent::TimedOut { .. } => qukit_obs::counter_inc("qukit_core_job_timeouts_total"),
+            JobEvent::Failed { .. } => qukit_obs::counter_inc("qukit_core_job_failures_total"),
+            JobEvent::Cancelled { while_queued, .. } => {
+                qukit_obs::counter_inc("qukit_core_job_cancellations_total");
+                if *while_queued {
+                    qukit_obs::gauge_add("qukit_core_queue_depth", -1.0);
+                }
+            }
+            JobEvent::Completed { elapsed, .. } => {
+                qukit_obs::counter_inc("qukit_core_jobs_completed_total");
+                qukit_obs::observe("qukit_core_job_seconds", elapsed.as_secs_f64());
+            }
+        }
+    }
+}
+
+/// The set of observers an executor notifies. Cloning shares the
+/// underlying observers (they are `Arc`ed).
+#[derive(Clone, Default)]
+pub struct ObserverSet {
+    observers: Vec<Arc<dyn JobObserver>>,
+}
+
+impl ObserverSet {
+    /// An empty set (no subscribers at all — not even metrics).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The default wiring: just the [`MetricsJobObserver`].
+    pub fn metrics() -> Self {
+        Self { observers: vec![Arc::new(MetricsJobObserver)] }
+    }
+
+    /// Adds an observer (builder style).
+    pub fn with(mut self, observer: Arc<dyn JobObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Number of subscribed observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// `true` when no observers are subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    fn emit(&self, event: &JobEvent) {
+        for observer in &self.observers {
+            observer.on_event(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObserverSet({} observers)", self.observers.len())
+    }
+}
+
 /// Configuration of a [`JobExecutor`].
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -264,12 +439,20 @@ pub struct ExecutorConfig {
     pub queue_capacity: usize,
     /// Retry policy applied to every job.
     pub retry: RetryPolicy,
+    /// Lifecycle-event subscribers (defaults to the metrics layer).
+    pub observers: ObserverSet,
 }
 
 impl Default for ExecutorConfig {
-    /// Two workers, a 64-slot queue, and the default [`RetryPolicy`].
+    /// Two workers, a 64-slot queue, the default [`RetryPolicy`], and
+    /// the [`MetricsJobObserver`] subscribed.
     fn default() -> Self {
-        Self { workers: 2, queue_capacity: 64, retry: RetryPolicy::default() }
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            observers: ObserverSet::metrics(),
+        }
     }
 }
 
@@ -277,6 +460,7 @@ impl Default for ExecutorConfig {
 struct QueuedJob {
     job: Job,
     circuit: QuantumCircuit,
+    submitted_at: Instant,
 }
 
 /// The job service: bounded queue + worker pool + retry policy over a
@@ -312,6 +496,7 @@ pub struct JobExecutor {
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     retry: RetryPolicy,
+    observers: ObserverSet,
 }
 
 impl JobExecutor {
@@ -330,7 +515,8 @@ impl JobExecutor {
                 let receiver = Arc::clone(&receiver);
                 let provider = Arc::clone(&provider);
                 let retry = config.retry.clone();
-                std::thread::spawn(move || worker_loop(&receiver, &provider, &retry))
+                let observers = config.observers.clone();
+                std::thread::spawn(move || worker_loop(&receiver, &provider, &retry, &observers))
             })
             .collect();
         Self {
@@ -339,6 +525,7 @@ impl JobExecutor {
             workers,
             next_id: AtomicU64::new(1),
             retry: config.retry,
+            observers: config.observers,
         }
     }
 
@@ -380,13 +567,17 @@ impl JobExecutor {
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job::new(id, backend_name.to_owned(), shots);
-        let entry = QueuedJob { job: job.clone(), circuit: prepared };
+        let entry = QueuedJob { job: job.clone(), circuit: prepared, submitted_at: Instant::now() };
         let sender = self
             .sender
             .as_ref()
             .ok_or_else(|| QukitError::Job { msg: "executor is shut down".to_owned() })?;
         match sender.try_send(entry) {
-            Ok(()) => Ok(job),
+            Ok(()) => {
+                self.observers
+                    .emit(&JobEvent::Enqueued { job_id: id, backend: backend_name.to_owned() });
+                Ok(job)
+            }
             Err(TrySendError::Full(_)) => Err(QukitError::Job {
                 msg: format!("submission queue is full (capacity reached); job {id} rejected"),
             }),
@@ -425,6 +616,7 @@ fn worker_loop(
     receiver: &Mutex<Receiver<QueuedJob>>,
     provider: &Arc<Provider>,
     retry: &RetryPolicy,
+    observers: &ObserverSet,
 ) {
     loop {
         // Hold the lock only for the dequeue so workers run jobs in
@@ -433,15 +625,23 @@ fn worker_loop(
             let guard = receiver.lock().expect("job queue lock");
             guard.recv()
         };
-        let Ok(QueuedJob { job, circuit }) = entry else {
+        let Ok(QueuedJob { job, circuit, submitted_at }) = entry else {
             return; // queue closed: executor is shutting down
         };
-        run_job(&job, &circuit, provider, retry);
+        run_job(&job, &circuit, provider, retry, observers, submitted_at);
     }
 }
 
 /// Executes one job: attempts + backoff + timeout + status transitions.
-fn run_job(job: &Job, circuit: &QuantumCircuit, provider: &Arc<Provider>, retry: &RetryPolicy) {
+fn run_job(
+    job: &Job,
+    circuit: &QuantumCircuit,
+    provider: &Arc<Provider>,
+    retry: &RetryPolicy,
+    observers: &ObserverSet,
+    submitted_at: Instant,
+) {
+    let job_id = job.id();
     let proceed = job.shared.update(|state| {
         if state.status == JobStatus::Cancelled || state.cancel_requested {
             state.status = JobStatus::Cancelled;
@@ -452,23 +652,23 @@ fn run_job(job: &Job, circuit: &QuantumCircuit, provider: &Arc<Provider>, retry:
         }
     });
     if !proceed {
+        // Emitted after the state write: a queued cancellation already
+        // woke its waiters from `cancel()` itself, so the emit-before
+        // guarantee cannot apply here anyway.
+        observers.emit(&JobEvent::Cancelled { job_id, while_queued: true });
         return;
     }
+    observers.emit(&JobEvent::Started { job_id, backend: job.shared.backend_name.clone() });
     for attempt in 1..=retry.max_attempts {
         if attempt > 1 {
             let backoff = retry.backoff_before(attempt);
             job.shared.update(|state| state.backoffs.push(backoff));
             std::thread::sleep(backoff);
             // Cancellation is honored at attempt boundaries.
-            let cancelled = job.shared.update(|state| {
-                if state.cancel_requested {
-                    state.status = JobStatus::Cancelled;
-                    true
-                } else {
-                    false
-                }
-            });
+            let cancelled = job.shared.update(|state| state.cancel_requested);
             if cancelled {
+                observers.emit(&JobEvent::Cancelled { job_id, while_queued: false });
+                job.shared.update(|state| state.status = JobStatus::Cancelled);
                 return;
             }
         }
@@ -482,6 +682,12 @@ fn run_job(job: &Job, circuit: &QuantumCircuit, provider: &Arc<Provider>, retry:
                     .ok()
                     .and_then(|b| b.executed_on())
                     .unwrap_or(backend_name);
+                observers.emit(&JobEvent::Completed {
+                    job_id,
+                    attempts: attempt,
+                    executed_on: served.clone(),
+                    elapsed: submitted_at.elapsed(),
+                });
                 job.shared.update(|state| {
                     state.executed_on = Some(served);
                     state.result = Some(counts);
@@ -492,19 +698,32 @@ fn run_job(job: &Job, circuit: &QuantumCircuit, provider: &Arc<Provider>, retry:
             AttemptOutcome::Finished(Err(e)) => {
                 let retryable = e.is_retryable() && attempt < retry.max_attempts;
                 if !retryable {
+                    observers.emit(&JobEvent::Failed {
+                        job_id,
+                        attempts: attempt,
+                        error: e.to_string(),
+                    });
                     job.shared.update(|state| {
                         state.error = Some(e.to_string());
                         state.status = JobStatus::Error;
                     });
                     return;
                 }
-                // Transient with attempts left: loop for the next attempt.
+                // Transient with attempts left: announce the retry (they
+                // used to be silent) and loop for the next attempt.
+                observers.emit(&JobEvent::Retrying {
+                    job_id,
+                    attempt,
+                    backoff: retry.backoff_before(attempt + 1),
+                    error: e.to_string(),
+                });
             }
             AttemptOutcome::TimedOut => {
                 // A hung attempt cannot be interrupted, only abandoned;
                 // the paper's cloud queue reports such jobs as timed out
                 // rather than silently re-running a possibly side-effecting
                 // submission, and so do we.
+                observers.emit(&JobEvent::TimedOut { job_id, attempt });
                 job.shared.update(|state| {
                     state.error = Some(format!(
                         "attempt {attempt} exceeded its {:?} budget",
@@ -619,7 +838,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new().with_seed(21)),
             FaultMode::FailTimes(2),
         );
-        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3) };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 8,
+            retry: fast_retry(3),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(flaky)), config);
         let job = executor.submit(&bell(), "qasm_simulator", 200).unwrap();
         let counts = job.result(Duration::from_secs(30)).unwrap();
@@ -634,7 +858,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new()),
             FaultMode::AlwaysFail,
         );
-        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3) };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 8,
+            retry: fast_retry(3),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(dead)), config);
         let job = executor.submit(&bell(), "qasm_simulator", 50).unwrap();
         let err = job.result(Duration::from_secs(30)).unwrap_err();
@@ -650,7 +879,12 @@ mod tests {
         // (non-transient) error.
         let mut provider = Provider::new();
         provider.register(Box::new(crate::backend::StabilizerBackend::new()));
-        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(5) };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 8,
+            retry: fast_retry(5),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider, config);
         let mut t_circ = QuantumCircuit::new(1);
         t_circ.t(0).unwrap();
@@ -668,7 +902,7 @@ mod tests {
             FaultMode::Hang(Duration::from_millis(400)),
         );
         let retry = fast_retry(3).with_attempt_timeout(Duration::from_millis(20));
-        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry };
+        let config = ExecutorConfig { workers: 1, queue_capacity: 8, retry, ..Default::default() };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
         let err = job.result(Duration::from_secs(30)).unwrap_err();
@@ -685,7 +919,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new()),
             FaultMode::Hang(Duration::from_millis(150)),
         );
-        let config = ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none() };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         let first = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
         while first.status() == JobStatus::Queued {
@@ -707,7 +946,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new()),
             FaultMode::Hang(Duration::from_millis(150)),
         );
-        let config = ExecutorConfig { workers: 1, queue_capacity: 1, retry: RetryPolicy::none() };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 1,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         // Pin the worker, fill the single queue slot, then overflow it.
         let running = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
@@ -726,7 +970,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new()),
             FaultMode::Hang(Duration::from_millis(100)),
         );
-        let config = ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none() };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
         let err = job.result(Duration::from_millis(5)).unwrap_err();
@@ -741,7 +990,12 @@ mod tests {
             Box::new(QasmSimulatorBackend::new()),
             FaultMode::Hang(Duration::from_millis(60)),
         );
-        let config = ExecutorConfig { workers: 4, queue_capacity: 16, retry: RetryPolicy::none() };
+        let config = ExecutorConfig {
+            workers: 4,
+            queue_capacity: 16,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         let t0 = Instant::now();
         let jobs: Vec<Job> =
@@ -767,6 +1021,89 @@ mod tests {
         for job in &jobs {
             assert_eq!(job.status(), JobStatus::Done);
         }
+    }
+
+    /// Records every event so tests can assert on the full lifecycle.
+    #[derive(Default)]
+    struct RecordingObserver {
+        events: Mutex<Vec<JobEvent>>,
+    }
+
+    impl JobObserver for RecordingObserver {
+        fn on_event(&self, event: &JobEvent) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn observers_see_the_full_lifecycle_including_retries() {
+        let flaky = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new().with_seed(7)),
+            FaultMode::FailTimes(1),
+        );
+        let recorder = Arc::new(RecordingObserver::default());
+        let observers = ObserverSet::none().with(recorder.clone() as Arc<dyn JobObserver>);
+        let config =
+            ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3), observers };
+        let executor = JobExecutor::with_config(provider_with(Box::new(flaky)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 100).unwrap();
+        job.result(Duration::from_secs(30)).unwrap();
+        let events = recorder.events.lock().unwrap().clone();
+        // `Enqueued` fires on the submitting thread and may interleave
+        // with worker-side events; assert presence plus worker ordering.
+        assert!(
+            events.iter().any(|e| matches!(e, JobEvent::Enqueued { .. })),
+            "missing Enqueued in {events:?}"
+        );
+        let position = |pred: fn(&JobEvent) -> bool| events.iter().position(pred).unwrap();
+        let started = position(|e| matches!(e, JobEvent::Started { .. }));
+        let retried = position(|e| matches!(e, JobEvent::Retrying { .. }));
+        let completed = position(|e| matches!(e, JobEvent::Completed { .. }));
+        assert!(started < retried && retried < completed, "worker order in {events:?}");
+        match &events[retried] {
+            JobEvent::Retrying { attempt, error, .. } => {
+                assert_eq!(*attempt, 1);
+                assert!(error.contains("injected fault"), "retry carries the error: {error}");
+            }
+            other => panic!("expected Retrying, got {other:?}"),
+        }
+        match &events[completed] {
+            JobEvent::Completed { attempts, executed_on, .. } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(executed_on, "qasm_simulator");
+            }
+            other => panic!("expected Completed, got {other:?}"),
+        }
+        assert!(events.iter().all(|e| e.job_id() == job.id()));
+    }
+
+    #[test]
+    fn observers_see_queued_cancellation() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(100)),
+        );
+        let recorder = Arc::new(RecordingObserver::default());
+        let observers = ObserverSet::none().with(recorder.clone() as Arc<dyn JobObserver>);
+        let config =
+            ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none(), observers };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let first = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        while first.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert!(queued.cancel());
+        first.result(Duration::from_secs(30)).unwrap();
+        executor.shutdown();
+        let events = recorder.events.lock().unwrap().clone();
+        let cancelled: Vec<&JobEvent> =
+            events.iter().filter(|e| matches!(e, JobEvent::Cancelled { .. })).collect();
+        assert_eq!(cancelled.len(), 1);
+        assert!(
+            matches!(cancelled[0], JobEvent::Cancelled { while_queued: true, .. }),
+            "cancellation happened before the job started"
+        );
     }
 
     #[test]

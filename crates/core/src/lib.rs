@@ -58,7 +58,10 @@ pub use backend::{
 pub use error::{ErrorClass, QukitError};
 pub use execute::execute;
 pub use fault::{FallbackChain, FaultInjectingBackend, FaultMode};
-pub use job::{ExecutorConfig, Job, JobExecutor, JobStatus};
+pub use job::{
+    ExecutorConfig, Job, JobEvent, JobExecutor, JobObserver, JobStatus, MetricsJobObserver,
+    ObserverSet,
+};
 pub use provider::Provider;
 pub use retry::RetryPolicy;
 

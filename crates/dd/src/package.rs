@@ -100,6 +100,29 @@ pub struct DdPackage {
     mv_cache: HashMap<(Edge, Edge), Edge>,
     mm_cache: HashMap<(Edge, Edge), Edge>,
     cache_enabled: bool,
+    stats: DdStats,
+}
+
+/// Health counters of a [`DdPackage`] — the signals the DD literature
+/// reports first: unique-table and compute-table hit rates, weight-table
+/// collisions, and cache clears. Plain fields incremented inline (every
+/// package method takes `&mut self`), so tracking is always on and
+/// costs two or three integer adds per operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DdStats {
+    /// Unique-table lookups that found an existing node (hash-consing won).
+    pub unique_hits: u64,
+    /// Unique-table lookups that allocated a fresh node.
+    pub unique_misses: u64,
+    /// Compute-table (add/mv/mm cache) lookups answered from the cache.
+    pub compute_hits: u64,
+    /// Compute-table lookups that had to recurse.
+    pub compute_misses: u64,
+    /// Weight interns resolved in a neighbouring tolerance bucket (hash
+    /// collisions the 9-bucket probe had to unify).
+    pub weight_collisions: u64,
+    /// Times the compute tables were dropped (cache clears / GC).
+    pub gc_events: u64,
 }
 
 impl DdPackage {
@@ -124,6 +147,7 @@ impl DdPackage {
             mv_cache: HashMap::new(),
             mm_cache: HashMap::new(),
             cache_enabled: true,
+            stats: DdStats::default(),
         };
         let zero = package.intern_weight(Complex::ZERO);
         let one = package.intern_weight(Complex::ONE);
@@ -145,7 +169,18 @@ impl DdPackage {
             self.add_cache.clear();
             self.mv_cache.clear();
             self.mm_cache.clear();
+            self.stats.gc_events += 1;
         }
+    }
+
+    /// Current health counters (hit/miss rates, collisions, GC events).
+    pub fn stats(&self) -> DdStats {
+        self.stats
+    }
+
+    /// Zeroes the health counters (the tables themselves are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DdStats::default();
     }
 
     /// Resolves a weight id to its complex value.
@@ -170,6 +205,9 @@ impl DdPackage {
             for di in -1..=1 {
                 if let Some(&id) = self.weight_lookup.get(&(kr + dr, ki + di)) {
                     if self.weights[id as usize].approx_eq_eps(value, WEIGHT_TOLERANCE) {
+                        if (dr, di) != (0, 0) {
+                            self.stats.weight_collisions += 1;
+                        }
                         return id;
                     }
                 }
@@ -238,8 +276,12 @@ impl DdPackage {
         }
         let node = VNode { level, succ: normalized };
         let id = match self.vunique.get(&node) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
             None => {
+                self.stats.unique_misses += 1;
                 let id = self.vnodes.len() as NodeId;
                 self.vnodes.push(node);
                 self.vunique.insert(node, id);
@@ -419,9 +461,11 @@ impl DdPackage {
         let key = if (a.node, a.weight) <= (b.node, b.weight) { (a, b) } else { (b, a) };
         if self.cache_enabled {
             if let Some(&hit) = self.add_cache.get(&key) {
+                self.stats.compute_hits += 1;
                 return hit;
             }
         }
+        self.stats.compute_misses += 1;
         let result = if a.node == TERMINAL && b.node == TERMINAL {
             let w = self.add_weights(a.weight, b.weight);
             if w == W_ZERO {
@@ -495,8 +539,12 @@ impl DdPackage {
         }
         let node = MNode { level, succ: normalized };
         let id = match self.munique.get(&node) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
             None => {
+                self.stats.unique_misses += 1;
                 let id = self.mnodes.len() as NodeId;
                 self.mnodes.push(node);
                 self.munique.insert(node, id);
@@ -626,8 +674,10 @@ impl DdPackage {
         }
         let key = (m_body, v_body);
         let body_result = if self.cache_enabled && self.mv_cache.contains_key(&key) {
+            self.stats.compute_hits += 1;
             self.mv_cache[&key]
         } else {
+            self.stats.compute_misses += 1;
             let level = self.matrix_level(m).max(self.vector_level(v));
             let mut succ = [Edge::ZERO; 2];
             for (r, slot) in succ.iter_mut().enumerate() {
@@ -671,8 +721,10 @@ impl DdPackage {
         }
         let key = (a_body, b_body);
         let body_result = if self.cache_enabled && self.mm_cache.contains_key(&key) {
+            self.stats.compute_hits += 1;
             self.mm_cache[&key]
         } else {
+            self.stats.compute_misses += 1;
             let level = self.matrix_level(a).max(self.matrix_level(b));
             let mut succ = [Edge::ZERO; 4];
             for r in 0..2 {
@@ -871,6 +923,7 @@ impl DdPackage {
         self.add_cache.clear();
         self.mv_cache.clear();
         self.mm_cache.clear();
+        self.stats.gc_events += 1;
     }
 }
 

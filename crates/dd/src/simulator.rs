@@ -179,6 +179,12 @@ impl DdSimulator {
     /// or conditioned gates (sample measurement outcomes from the returned
     /// [`DdState`] instead).
     pub fn run(&self, circuit: &QuantumCircuit) -> Result<DdState, DdError> {
+        let _span = qukit_obs::span!(
+            "dd.run",
+            qubits = circuit.num_qubits(),
+            gates = circuit.instructions().len()
+        );
+        qukit_obs::counter_inc("qukit_dd_runs_total");
         let mut package = DdPackage::new(circuit.num_qubits());
         package.set_cache_enabled(self.cache_enabled);
         let mut root = package.zero_state();
@@ -196,7 +202,9 @@ impl DdSimulator {
                 }
             }
         }
-        Ok(DdState { package, root, peak_nodes: peak })
+        let state = DdState { package, root, peak_nodes: peak };
+        flush_dd_metrics(&state.package, state.node_count(), peak);
+        Ok(state)
     }
 
     /// Builds the full circuit unitary as a matrix DD (the paper's Fig. 3
@@ -224,6 +232,23 @@ impl DdSimulator {
         }
         Ok((package, acc))
     }
+}
+
+/// Flushes package health counters (collected as plain fields on the hot
+/// path) into the global metrics registry. A no-op when metrics are off.
+fn flush_dd_metrics(package: &DdPackage, final_nodes: usize, peak_nodes: usize) {
+    if !qukit_obs::enabled() {
+        return;
+    }
+    let stats = package.stats();
+    qukit_obs::counter_add("qukit_dd_unique_hits_total", stats.unique_hits);
+    qukit_obs::counter_add("qukit_dd_unique_misses_total", stats.unique_misses);
+    qukit_obs::counter_add("qukit_dd_compute_hits_total", stats.compute_hits);
+    qukit_obs::counter_add("qukit_dd_compute_misses_total", stats.compute_misses);
+    qukit_obs::counter_add("qukit_dd_weight_collisions_total", stats.weight_collisions);
+    qukit_obs::counter_add("qukit_dd_gc_events_total", stats.gc_events);
+    qukit_obs::gauge_set("qukit_dd_nodes", final_nodes as f64);
+    qukit_obs::gauge_set("qukit_dd_peak_nodes", peak_nodes as f64);
 }
 
 #[cfg(test)]

@@ -1,0 +1,481 @@
+//! Exporters: Prometheus text format, structured JSON, and a
+//! human-readable summary table.
+//!
+//! # JSON schema (`qukit-metrics/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "qukit-metrics/v1",
+//!   "counters": { "qukit_terra_swaps_inserted_total": 4 },
+//!   "gauges": { "qukit_dd_nodes": 17 },
+//!   "histograms": {
+//!     "qukit_core_job_seconds": {
+//!       "bounds": [0.000001, 1.0],
+//!       "buckets": [0, 3, 1],
+//!       "count": 4,
+//!       "sum": 0.82
+//!     }
+//!   },
+//!   "trace": [
+//!     { "name": "transpile.pass", "detail": "pass=mapping", "depth": 1,
+//!       "start_us": 12, "duration_us": 340 }
+//!   ]
+//! }
+//! ```
+//!
+//! `buckets` has `bounds.len() + 1` entries; the final entry is the
+//! implicit `+Inf` overflow bucket.
+
+use crate::json::{escape, JsonValue};
+use crate::registry::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Identifier stamped into every JSON snapshot this module emits.
+pub const SCHEMA: &str = "qukit-metrics/v1";
+
+/// Splits `name{labels}` into the base name and the optional label body.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) => (&name[..open], Some(name[open + 1..].trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for (name, value) in &snapshot.counters {
+        let (base, _) = split_name(name);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} counter");
+            last_base = base.to_owned();
+        }
+        let _ = writeln!(out, "{name} {value}");
+    }
+    last_base.clear();
+    for (name, value) in &snapshot.gauges {
+        let (base, _) = split_name(name);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} gauge");
+            last_base = base.to_owned();
+        }
+        let _ = writeln!(out, "{name} {}", fmt_f64(*value));
+    }
+    last_base.clear();
+    for (name, hist) in &snapshot.histograms {
+        let (base, labels) = split_name(name);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            last_base = base.to_owned();
+        }
+        let prefix = match labels {
+            Some(body) => format!("{body},"),
+            None => String::new(),
+        };
+        let mut cumulative = 0u64;
+        for (bound, bucket) in hist.bounds.iter().zip(&hist.buckets) {
+            cumulative += bucket;
+            let _ =
+                writeln!(out, "{base}_bucket{{{prefix}le=\"{}\"}} {cumulative}", fmt_f64(*bound));
+        }
+        let _ = writeln!(out, "{base}_bucket{{{prefix}le=\"+Inf\"}} {}", hist.count);
+        let suffix = match labels {
+            Some(body) => format!("{{{body}}}"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "{base}_sum{suffix} {}", fmt_f64(hist.sum));
+        let _ = writeln!(out, "{base}_count{suffix} {}", hist.count);
+    }
+    out
+}
+
+/// Renders a snapshot as a structured JSON document (schema above).
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (name, value) in &snapshot.counters {
+        let sep = if first { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{}\": {value}", escape(name));
+        first = false;
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"gauges\": {");
+    first = true;
+    for (name, value) in &snapshot.gauges {
+        let sep = if first { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{}\": {}", escape(name), fmt_f64(*value));
+        first = false;
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"histograms\": {");
+    first = true;
+    for (name, hist) in &snapshot.histograms {
+        let sep = if first { "\n" } else { ",\n" };
+        let bounds: Vec<String> = hist.bounds.iter().map(|b| fmt_f64(*b)).collect();
+        let buckets: Vec<String> = hist.buckets.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "{sep}    \"{}\": {{\"bounds\": [{}], \"buckets\": [{}], \"count\": {}, \"sum\": {}}}",
+            escape(name),
+            bounds.join(", "),
+            buckets.join(", "),
+            hist.count,
+            fmt_f64(hist.sum),
+        );
+        first = false;
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"trace\": [");
+    first = true;
+    for event in &snapshot.trace {
+        let sep = if first { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"name\": \"{}\", \"detail\": \"{}\", \"depth\": {}, \"start_us\": {}, \"duration_us\": {}}}",
+            escape(&event.name),
+            escape(&event.detail),
+            event.depth,
+            event.start_us,
+            event.duration_us,
+        );
+        first = false;
+    }
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn fmt_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3}ms", seconds * 1e3)
+    } else {
+        format!("{:.1}us", seconds * 1e6)
+    }
+}
+
+fn section_of(name: &str) -> &str {
+    let rest = match name.strip_prefix("qukit_") {
+        Some(rest) => rest,
+        None => return "other",
+    };
+    match rest.split('_').next() {
+        Some(section) if !section.is_empty() => section,
+        _ => "other",
+    }
+}
+
+fn hist_cell(hist: &HistogramSnapshot, duration_like: bool) -> String {
+    if duration_like {
+        format!(
+            "count={} mean={} total={}",
+            hist.count,
+            fmt_seconds(hist.mean()),
+            fmt_seconds(hist.sum)
+        )
+    } else {
+        format!("count={} mean={:.3} total={}", hist.count, hist.mean(), fmt_f64(hist.sum))
+    }
+}
+
+/// Renders a snapshot as a human-readable summary table, grouped by the
+/// `qukit_<crate>_` prefix of each metric name.
+pub fn summary(snapshot: &Snapshot) -> String {
+    if snapshot.is_empty() {
+        return "no metrics recorded (run with --metrics/--trace or call \
+                qukit_obs::set_enabled(true))\n"
+            .to_owned();
+    }
+    let mut sections: Vec<&str> = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .map(|name| section_of(name))
+        .collect();
+    sections.sort_unstable();
+    sections.dedup();
+    let width = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for section in sections {
+        let _ = writeln!(out, "[{section}]");
+        for (name, value) in &snapshot.counters {
+            if section_of(name) == section {
+                let _ = writeln!(out, "  {name:width$}  {value}");
+            }
+        }
+        for (name, value) in &snapshot.gauges {
+            if section_of(name) == section {
+                let _ = writeln!(out, "  {name:width$}  {}", fmt_f64(*value));
+            }
+        }
+        for (name, hist) in &snapshot.histograms {
+            if section_of(name) == section {
+                let duration_like = split_name(name).0.ends_with("_seconds");
+                let _ = writeln!(out, "  {name:width$}  {}", hist_cell(hist, duration_like));
+            }
+        }
+        out.push('\n');
+    }
+    if !snapshot.trace.is_empty() {
+        let mut slowest: Vec<&crate::span::TraceEvent> = snapshot.trace.iter().collect();
+        slowest.sort_by_key(|event| std::cmp::Reverse(event.duration_us));
+        let _ = writeln!(out, "[trace] {} events, slowest spans:", snapshot.trace.len());
+        for event in slowest.iter().take(5) {
+            let detail =
+                if event.detail.is_empty() { String::new() } else { format!(" {}", event.detail) };
+            let _ = writeln!(
+                out,
+                "  {}{}  {}",
+                event.name,
+                detail,
+                fmt_seconds(event.duration_us as f64 / 1e6)
+            );
+        }
+    }
+    out
+}
+
+/// Checks that `text` is a well-formed `qukit-metrics/v1` JSON snapshot.
+pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
+    let value = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if value.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong \"schema\" (want \"{SCHEMA}\")"));
+    }
+    for key in ["counters", "gauges", "histograms"] {
+        let section = value.get(key).ok_or_else(|| format!("missing \"{key}\" object"))?;
+        let map = section.as_object().ok_or_else(|| format!("\"{key}\" is not an object"))?;
+        for (name, entry) in map {
+            match key {
+                "histograms" => {
+                    let bounds = entry
+                        .get("bounds")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| format!("histogram {name}: missing bounds"))?;
+                    let buckets = entry
+                        .get("buckets")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| format!("histogram {name}: missing buckets"))?;
+                    if buckets.len() != bounds.len() + 1 {
+                        return Err(format!(
+                            "histogram {name}: want {} buckets, got {}",
+                            bounds.len() + 1,
+                            buckets.len()
+                        ));
+                    }
+                    for field in ["count", "sum"] {
+                        entry
+                            .get(field)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| format!("histogram {name}: missing {field}"))?;
+                    }
+                }
+                _ => {
+                    entry.as_f64().ok_or_else(|| format!("{key} entry {name} is not a number"))?;
+                }
+            }
+        }
+    }
+    let trace = value.get("trace").ok_or_else(|| "missing \"trace\" array".to_owned())?;
+    let events = trace.as_array().ok_or_else(|| "\"trace\" is not an array".to_owned())?;
+    for (index, event) in events.iter().enumerate() {
+        for field in ["name", "detail"] {
+            event
+                .get(field)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("trace[{index}]: missing {field}"))?;
+        }
+        for field in ["depth", "start_us", "duration_us"] {
+            event
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("trace[{index}]: missing {field}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses a JSON snapshot back into a [`Snapshot`] (trace included).
+pub fn from_json(text: &str) -> Result<Snapshot, String> {
+    validate_snapshot_json(text)?;
+    let value = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let mut snapshot = Snapshot::default();
+    if let Some(map) = value.get("counters").and_then(JsonValue::as_object) {
+        for (name, entry) in map {
+            snapshot.counters.insert(name.clone(), entry.as_f64().unwrap_or(0.0) as u64);
+        }
+    }
+    if let Some(map) = value.get("gauges").and_then(JsonValue::as_object) {
+        for (name, entry) in map {
+            snapshot.gauges.insert(name.clone(), entry.as_f64().unwrap_or(0.0));
+        }
+    }
+    if let Some(map) = value.get("histograms").and_then(JsonValue::as_object) {
+        for (name, entry) in map {
+            let bounds = entry
+                .get("bounds")
+                .and_then(JsonValue::as_array)
+                .map(|items| items.iter().filter_map(JsonValue::as_f64).collect())
+                .unwrap_or_default();
+            let buckets = entry
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .map(|items| items.iter().filter_map(JsonValue::as_f64).map(|v| v as u64).collect())
+                .unwrap_or_default();
+            let count = entry.get("count").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+            let sum = entry.get("sum").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            snapshot
+                .histograms
+                .insert(name.clone(), HistogramSnapshot { bounds, buckets, count, sum });
+        }
+    }
+    if let Some(events) = value.get("trace").and_then(JsonValue::as_array) {
+        for event in events {
+            snapshot.trace.push(crate::span::TraceEvent {
+                name: event.get("name").and_then(JsonValue::as_str).unwrap_or("").to_owned(),
+                detail: event.get("detail").and_then(JsonValue::as_str).unwrap_or("").to_owned(),
+                depth: event.get("depth").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
+                start_us: event.get("start_us").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+                duration_us: event.get("duration_us").and_then(JsonValue::as_f64).unwrap_or(0.0)
+                    as u64,
+            });
+        }
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceEvent;
+
+    fn golden_snapshot() -> Snapshot {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("qukit_terra_swaps_inserted_total".to_owned(), 4);
+        snapshot.counters.insert("qukit_terra_transpile_runs_total".to_owned(), 1);
+        snapshot.gauges.insert("qukit_dd_nodes".to_owned(), 17.0);
+        snapshot.histograms.insert(
+            "qukit_core_job_seconds".to_owned(),
+            HistogramSnapshot {
+                bounds: vec![0.001, 1.0],
+                buckets: vec![1, 2, 1],
+                count: 4,
+                sum: 1.25,
+            },
+        );
+        snapshot.histograms.insert(
+            "qukit_terra_pass_seconds{pass=\"mapping\"}".to_owned(),
+            HistogramSnapshot { bounds: vec![0.01], buckets: vec![3, 0], count: 3, sum: 0.006 },
+        );
+        snapshot.trace.push(TraceEvent {
+            name: "transpile.pass".to_owned(),
+            detail: "pass=mapping".to_owned(),
+            depth: 1,
+            start_us: 12,
+            duration_us: 340,
+        });
+        snapshot
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let expected = "\
+# TYPE qukit_terra_swaps_inserted_total counter
+qukit_terra_swaps_inserted_total 4
+# TYPE qukit_terra_transpile_runs_total counter
+qukit_terra_transpile_runs_total 1
+# TYPE qukit_dd_nodes gauge
+qukit_dd_nodes 17
+# TYPE qukit_core_job_seconds histogram
+qukit_core_job_seconds_bucket{le=\"0.001\"} 1
+qukit_core_job_seconds_bucket{le=\"1\"} 3
+qukit_core_job_seconds_bucket{le=\"+Inf\"} 4
+qukit_core_job_seconds_sum 1.25
+qukit_core_job_seconds_count 4
+# TYPE qukit_terra_pass_seconds histogram
+qukit_terra_pass_seconds_bucket{pass=\"mapping\",le=\"0.01\"} 3
+qukit_terra_pass_seconds_bucket{pass=\"mapping\",le=\"+Inf\"} 3
+qukit_terra_pass_seconds_sum{pass=\"mapping\"} 0.006
+qukit_terra_pass_seconds_count{pass=\"mapping\"} 3
+";
+        assert_eq!(prometheus(&golden_snapshot()), expected);
+    }
+
+    #[test]
+    fn json_golden_validates_and_round_trips() {
+        let text = to_json(&golden_snapshot());
+        let expected = "\
+{
+  \"schema\": \"qukit-metrics/v1\",
+  \"counters\": {
+    \"qukit_terra_swaps_inserted_total\": 4,
+    \"qukit_terra_transpile_runs_total\": 1
+  },
+  \"gauges\": {
+    \"qukit_dd_nodes\": 17
+  },
+  \"histograms\": {
+    \"qukit_core_job_seconds\": {\"bounds\": [0.001, 1], \"buckets\": [1, 2, 1], \"count\": 4, \"sum\": 1.25},
+    \"qukit_terra_pass_seconds{pass=\\\"mapping\\\"}\": {\"bounds\": [0.01], \"buckets\": [3, 0], \"count\": 3, \"sum\": 0.006}
+  },
+  \"trace\": [
+    {\"name\": \"transpile.pass\", \"detail\": \"pass=mapping\", \"depth\": 1, \"start_us\": 12, \"duration_us\": 340}
+  ]
+}
+";
+        assert_eq!(text, expected);
+        validate_snapshot_json(&text).expect("schema-valid");
+        let parsed = from_json(&text).expect("round trip");
+        assert_eq!(parsed.counters, golden_snapshot().counters);
+        assert_eq!(parsed.gauges, golden_snapshot().gauges);
+        assert_eq!(parsed.histograms, golden_snapshot().histograms);
+        assert_eq!(parsed.trace, golden_snapshot().trace);
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_schema_valid() {
+        let text = to_json(&Snapshot::default());
+        validate_snapshot_json(&text).expect("schema-valid");
+        assert!(summary(&Snapshot::default()).contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_snapshots() {
+        assert!(validate_snapshot_json("{}").is_err());
+        assert!(validate_snapshot_json("{\"schema\": \"qukit-metrics/v1\"}").is_err());
+        let wrong_buckets = "{\"schema\": \"qukit-metrics/v1\", \"counters\": {}, \"gauges\": {},
+            \"histograms\": {\"h\": {\"bounds\": [1], \"buckets\": [1], \"count\": 1, \"sum\": 1}},
+            \"trace\": []}";
+        let err = validate_snapshot_json(wrong_buckets).expect_err("bucket arity");
+        assert!(err.contains("want 2 buckets"), "{err}");
+    }
+
+    #[test]
+    fn summary_groups_by_crate_prefix() {
+        let text = summary(&golden_snapshot());
+        assert!(text.contains("[terra]"), "{text}");
+        assert!(text.contains("[dd]"), "{text}");
+        assert!(text.contains("[core]"), "{text}");
+        assert!(text.contains("qukit_terra_swaps_inserted_total"), "{text}");
+        assert!(text.contains("[trace] 1 events"), "{text}");
+    }
+}

@@ -1,0 +1,428 @@
+//! The global, thread-safe metrics registry and its three metric kinds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Recording switch. Off by default; when off, every record call is a
+/// single relaxed load plus a predictable branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables metric and trace recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Default histogram buckets for durations in seconds (1 µs … 1 s, with an
+/// implicit `+Inf` overflow bucket).
+pub const DURATION_BUCKETS: [f64; 10] =
+    [1e-6, 5e-6, 2.5e-5, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1.0];
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `delta`; a no-op while recording is disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A float metric that can move in both directions (stored as `f64` bits
+/// in an atomic, updated by compare-and-swap).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge; a no-op while recording is disabled.
+    pub fn set(&self, value: f64) {
+        if enabled() {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative); a no-op while recording is disabled.
+    pub fn add(&self, delta: f64) {
+        if !enabled() {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style export, Prometheus-shaped.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` that fell in no earlier
+/// bucket; one extra overflow bucket catches everything beyond the last
+/// bound (exported as `+Inf`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    state: Mutex<HistogramState>,
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        let buckets = vec![0u64; sorted.len() + 1];
+        Self { bounds: sorted, state: Mutex::new(HistogramState { buckets, count: 0, sum: 0.0 }) }
+    }
+
+    /// Records one observation; a no-op while recording is disabled.
+    pub fn observe(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        let index = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        let mut state = self.state.lock().expect("histogram lock");
+        state.buckets[index] += 1;
+        state.count += 1;
+        state.sum += value;
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, duration: Duration) {
+        self.observe(duration.as_secs_f64());
+    }
+
+    /// Upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of the histogram contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let state = self.state.lock().expect("histogram lock");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: state.buckets.clone(),
+            count: state.count,
+            sum: state.sum,
+        }
+    }
+}
+
+/// A frozen copy of one histogram's contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets; an implicit `+Inf` bucket follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A frozen copy of the whole registry plus the trace buffer, consumed by
+/// the exporters in [`crate::export`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → contents.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Completed spans, oldest first (bounded by [`crate::TRACE_CAPACITY`]).
+    pub trace: Vec<crate::span::TraceEvent>,
+}
+
+impl Snapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.trace.is_empty()
+    }
+}
+
+/// Registry of every named metric. One global instance lives behind
+/// [`registry`]; separate instances exist only for tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Returns (registering on first use) the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map lock");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Counter::default());
+        map.insert(name.to_owned(), Arc::clone(&created));
+        created
+    }
+
+    /// Returns (registering on first use) the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map lock");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Gauge::default());
+        map.insert(name.to_owned(), Arc::clone(&created));
+        created
+    }
+
+    /// Returns (registering on first use) the histogram with this name.
+    /// The bounds of the first registration win; later callers share it.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map lock");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Histogram::new(bounds));
+        map.insert(name.to_owned(), Arc::clone(&created));
+        created
+    }
+
+    /// Freezes every metric plus the trace buffer into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.value()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms, trace: crate::span::snapshot_trace() }
+    }
+
+    /// Drops every registered metric and clears the trace buffer.
+    pub fn reset(&self) {
+        self.counters.lock().expect("counter map lock").clear();
+        self.gauges.lock().expect("gauge map lock").clear();
+        self.histograms.lock().expect("histogram map lock").clear();
+        crate::span::clear_trace();
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Handle to the named global counter (for hot loops that cache it).
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Adds `delta` to the named global counter.
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() {
+        registry().counter(name).add(delta);
+    }
+}
+
+/// Adds one to the named global counter.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Handle to the named global gauge.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Sets the named global gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    if enabled() {
+        registry().gauge(name).set(value);
+    }
+}
+
+/// Adds `delta` (may be negative) to the named global gauge.
+pub fn gauge_add(name: &str, delta: f64) {
+    if enabled() {
+        registry().gauge(name).add(delta);
+    }
+}
+
+/// Handle to the named global histogram with the given bounds (first
+/// registration wins).
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    registry().histogram(name, bounds)
+}
+
+/// Records one observation into the named global histogram, registering it
+/// with [`DURATION_BUCKETS`] on first use.
+pub fn observe(name: &str, value: f64) {
+    if enabled() {
+        registry().histogram(name, &DURATION_BUCKETS).observe(value);
+    }
+}
+
+/// Records a duration in seconds into the named global histogram.
+pub fn observe_duration(name: &str, duration: Duration) {
+    observe(name, duration.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                thread::spawn(|| {
+                    let counter = counter("qukit_obs_test_contended_total");
+                    for _ in 0..PER_THREAD {
+                        counter.inc();
+                    }
+                    gauge_add("qukit_obs_test_gauge", 1.0);
+                    observe("qukit_obs_test_hist_seconds", 1e-5);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+        let snapshot = registry().snapshot();
+        assert_eq!(
+            snapshot.counters["qukit_obs_test_contended_total"],
+            THREADS as u64 * PER_THREAD
+        );
+        assert_eq!(snapshot.gauges["qukit_obs_test_gauge"], THREADS as f64);
+        assert_eq!(snapshot.histograms["qukit_obs_test_hist_seconds"].count, THREADS as u64);
+        crate::reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        let hist = Histogram::new(&[1.0, 2.0, 4.0]);
+        // On-boundary values land in their own bucket (v <= bound).
+        hist.observe(1.0);
+        hist.observe(2.0);
+        hist.observe(4.0);
+        // Interior values land in the first bucket whose bound is >= v.
+        hist.observe(0.5);
+        hist.observe(3.0);
+        // Beyond the last bound lands in the +Inf overflow bucket.
+        hist.observe(100.0);
+        let snap = hist.snapshot();
+        assert_eq!(snap.bounds, vec![1.0, 2.0, 4.0]);
+        assert_eq!(snap.buckets, vec![2, 1, 2, 1]);
+        assert_eq!(snap.count, 6);
+        assert!((snap.sum - 110.5).abs() < 1e-12);
+        assert!((snap.mean() - 110.5 / 6.0).abs() < 1e-12);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_recording_is_invisible() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        let counter = Counter::default();
+        counter.add(5);
+        assert_eq!(counter.value(), 0);
+        let gauge = Gauge::default();
+        gauge.set(3.0);
+        gauge.add(1.0);
+        assert_eq!(gauge.value(), 0.0);
+        let hist = Histogram::new(&[1.0]);
+        hist.observe(0.5);
+        assert_eq!(hist.snapshot().count, 0);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduped() {
+        let hist = Histogram::new(&[4.0, 1.0, 2.0, 1.0, f64::INFINITY]);
+        assert_eq!(hist.bounds(), &[1.0, 2.0, 4.0]);
+        assert_eq!(hist.snapshot().buckets.len(), 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Lightweight spans: monotonic timing, parent/child nesting per thread,
+//! and a bounded ring-buffer event log.
+
+use crate::registry::{enabled, registry, DURATION_BUCKETS};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Capacity of the global trace ring buffer; the oldest events are dropped
+/// once it is full.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// One completed span, as stored in the trace ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name, dot-separated by convention (`"transpile.pass"`).
+    pub name: String,
+    /// Free-form `key=value` detail string (may be empty).
+    pub detail: String,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: usize,
+    /// Start time in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_us: u64,
+}
+
+fn trace_buffer() -> &'static Mutex<VecDeque<TraceEvent>> {
+    static TRACE: OnceLock<Mutex<VecDeque<TraceEvent>>> = OnceLock::new();
+    TRACE.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// An RAII timing scope. Created by [`crate::span!`]; records a
+/// [`TraceEvent`] (and optionally a histogram observation) when dropped.
+///
+/// When recording is disabled at creation time the span is inert: no clock
+/// read, no allocation, nothing recorded on drop.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: String,
+    detail: String,
+    metric: Option<String>,
+    depth: usize,
+    start_us: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span (inert while recording is disabled).
+    pub fn new(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        if !enabled() {
+            return Self::inert();
+        }
+        let depth = DEPTH.with(|d| {
+            let current = d.get();
+            d.set(current + 1);
+            current
+        });
+        let reference = epoch();
+        let start = Instant::now();
+        let start_us = start.duration_since(reference).as_micros() as u64;
+        Self {
+            inner: Some(SpanInner {
+                name: name.into(),
+                detail: detail.into(),
+                metric: None,
+                depth,
+                start_us,
+                start,
+            }),
+        }
+    }
+
+    /// A span that records nothing (what [`Span::new`] returns while
+    /// recording is disabled).
+    pub fn inert() -> Self {
+        Self { inner: None }
+    }
+
+    /// Also observes the span duration into the named global histogram
+    /// (registered with [`DURATION_BUCKETS`]) when the span closes.
+    pub fn with_metric(mut self, histogram: &str) -> Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.metric = Some(histogram.to_owned());
+        }
+        self
+    }
+
+    /// Time elapsed since the span opened (zero for inert spans).
+    pub fn elapsed(&self) -> Duration {
+        self.inner.as_ref().map(|inner| inner.start.elapsed()).unwrap_or_default()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let duration = inner.start.elapsed();
+        DEPTH.with(|d| d.set(inner.depth));
+        if let Some(metric) = &inner.metric {
+            registry().histogram(metric, &DURATION_BUCKETS).observe(duration.as_secs_f64());
+        }
+        let event = TraceEvent {
+            name: inner.name,
+            detail: inner.detail,
+            depth: inner.depth,
+            start_us: inner.start_us,
+            duration_us: duration.as_micros() as u64,
+        };
+        let mut buffer = trace_buffer().lock().expect("trace buffer lock");
+        if buffer.len() == TRACE_CAPACITY {
+            buffer.pop_front();
+        }
+        buffer.push_back(event);
+    }
+}
+
+/// Copies the trace buffer, oldest event first.
+pub fn snapshot_trace() -> Vec<TraceEvent> {
+    trace_buffer().lock().expect("trace buffer lock").iter().cloned().collect()
+}
+
+/// Drains the trace buffer, oldest event first.
+pub fn drain_trace() -> Vec<TraceEvent> {
+    trace_buffer().lock().expect("trace buffer lock").drain(..).collect()
+}
+
+pub(crate) fn clear_trace() {
+    trace_buffer().lock().expect("trace buffer lock").clear();
+}
+
+/// Opens a [`Span`]: `span!("transpile.pass", pass = name)`.
+///
+/// The first argument is the span name; the remaining `key = value` pairs
+/// are rendered into the detail string with `Display`. Bind the result
+/// (`let _span = span!(...)`) so the scope ends where you expect. While
+/// recording is disabled nothing is formatted or timed.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::Span::new($name, String::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::new(
+                $name,
+                vec![$(format!(concat!(stringify!($key), "={}"), $value)),+].join(" "),
+            )
+        } else {
+            $crate::Span::inert()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+
+    #[test]
+    fn spans_nest_and_log_in_completion_order() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        {
+            let _outer = crate::span!("test.outer", layer = "a");
+            let _inner = crate::span!("test.inner");
+        }
+        let trace = drain_trace();
+        assert_eq!(trace.len(), 2);
+        // Inner closes first.
+        assert_eq!(trace[0].name, "test.inner");
+        assert_eq!(trace[0].depth, 1);
+        assert_eq!(trace[1].name, "test.outer");
+        assert_eq!(trace[1].depth, 0);
+        assert_eq!(trace[1].detail, "layer=a");
+        assert!(trace[1].start_us <= trace[0].start_us);
+        crate::reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn with_metric_observes_duration_histogram() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        {
+            let _span = Span::new("test.metric", "").with_metric("qukit_obs_test_span_seconds");
+        }
+        let snapshot = crate::registry().snapshot();
+        assert_eq!(snapshot.histograms["qukit_obs_test_span_seconds"].count, 1);
+        crate::reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        clear_trace();
+        {
+            let span = crate::span!("test.disabled", ignored = 1);
+            assert_eq!(span.elapsed(), Duration::ZERO);
+        }
+        assert!(snapshot_trace().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        for i in 0..(TRACE_CAPACITY + 10) {
+            let _span = crate::span!("test.flood", index = i);
+        }
+        let trace = drain_trace();
+        assert_eq!(trace.len(), TRACE_CAPACITY);
+        // The oldest events were dropped.
+        assert_eq!(trace[0].detail, "index=10");
+        crate::reset();
+        set_enabled(false);
+    }
+}

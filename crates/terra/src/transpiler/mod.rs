@@ -106,22 +106,74 @@ pub struct TranspileResult {
     pub num_swaps: usize,
 }
 
+/// Per-pass instrumentation: a span in the trace (`transpile.pass`), a
+/// duration histogram, and gates-in/gates-out counters, all labeled by
+/// pass name. Inert while recording is disabled.
+struct PassTimer {
+    inner: Option<(qukit_obs::Span, &'static str, usize)>,
+}
+
+impl PassTimer {
+    fn start(pass: &'static str, gates_in: usize) -> Self {
+        if !qukit_obs::enabled() {
+            return Self { inner: None };
+        }
+        let span = qukit_obs::Span::new("transpile.pass", format!("pass={pass}"))
+            .with_metric(&format!("qukit_terra_pass_seconds{{pass=\"{pass}\"}}"));
+        Self { inner: Some((span, pass, gates_in)) }
+    }
+
+    fn finish(self, gates_out: usize) {
+        let Some((span, pass, gates_in)) = self.inner else { return };
+        drop(span);
+        qukit_obs::counter_inc(&format!("qukit_terra_pass_runs_total{{pass=\"{pass}\"}}"));
+        qukit_obs::counter_add(
+            &format!("qukit_terra_pass_gates_in_total{{pass=\"{pass}\"}}"),
+            gates_in as u64,
+        );
+        qukit_obs::counter_add(
+            &format!("qukit_terra_pass_gates_out_total{{pass=\"{pass}\"}}"),
+            gates_out as u64,
+        );
+    }
+}
+
 /// Transpiles `circuit` according to `options`.
+///
+/// When [`qukit_obs`] recording is enabled, each pass reports its wall
+/// time (`qukit_terra_pass_seconds{pass=...}`) and gate counts, and the
+/// run as a whole reports gates/depth before and after plus the number of
+/// SWAPs the router inserted.
 ///
 /// # Errors
 ///
 /// Returns an error when the device is too small or disconnected, or any
 /// pass fails validation.
 pub fn transpile(circuit: &QuantumCircuit, options: &TranspileOptions) -> Result<TranspileResult> {
+    let _span =
+        qukit_obs::span!("transpile", qubits = circuit.num_qubits(), gates = circuit.num_gates());
+    if qukit_obs::enabled() {
+        qukit_obs::counter_inc("qukit_terra_transpile_runs_total");
+        qukit_obs::counter_add("qukit_terra_gates_in_total", circuit.num_gates() as u64);
+        qukit_obs::counter_add("qukit_terra_depth_in_total", circuit.depth() as u64);
+    }
+
     // 1. Elementary basis.
+    let timer = PassTimer::start("decompose", circuit.num_gates());
     let mut current = decompose::decompose_to_cx_basis(circuit)?;
+    timer.finish(current.num_gates());
 
     // 2./3. Mapping + direction fixing.
     let (initial_layout, final_layout, num_swaps) = match &options.coupling_map {
         Some(map) => {
+            let timer = PassTimer::start("mapping", current.num_gates());
             let mapped =
                 mapping::map_circuit(&current, map, options.mapper, &options.initial_layout)?;
+            timer.finish(mapped.circuit.num_gates());
+            let timer = PassTimer::start("fix_directions", mapped.circuit.num_gates());
             current = mapping::fix_directions(&mapped.circuit, map)?;
+            timer.finish(current.num_gates());
+            qukit_obs::counter_add("qukit_terra_swaps_inserted_total", mapped.num_swaps as u64);
             (mapped.initial_layout, mapped.final_layout, mapped.num_swaps)
         }
         None => {
@@ -131,6 +183,7 @@ pub fn transpile(circuit: &QuantumCircuit, options: &TranspileOptions) -> Result
     };
 
     // 4. Optimization.
+    let timer = PassTimer::start("optimize", current.num_gates());
     current = match options.optimization_level {
         0 => current,
         1 => {
@@ -144,9 +197,17 @@ pub fn transpile(circuit: &QuantumCircuit, options: &TranspileOptions) -> Result
         }
         _ => optimize::optimize_to_fixpoint(&current)?,
     };
+    timer.finish(current.num_gates());
 
     if options.basis_u {
+        let timer = PassTimer::start("basis_u", current.num_gates());
         current = decompose::rewrite_1q_to_u(&current)?;
+        timer.finish(current.num_gates());
+    }
+
+    if qukit_obs::enabled() {
+        qukit_obs::counter_add("qukit_terra_gates_out_total", current.num_gates() as u64);
+        qukit_obs::counter_add("qukit_terra_depth_out_total", current.depth() as u64);
     }
 
     Ok(TranspileResult { circuit: current, initial_layout, final_layout, num_swaps })

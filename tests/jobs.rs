@@ -33,7 +33,10 @@ fn bell() -> QuantumCircuit {
 fn single_worker(backend: Box<dyn qukit::Backend>, retry: RetryPolicy) -> JobExecutor {
     let mut provider = Provider::new();
     provider.register(backend);
-    JobExecutor::with_config(provider, ExecutorConfig { workers: 1, queue_capacity: 8, retry })
+    JobExecutor::with_config(
+        provider,
+        ExecutorConfig { workers: 1, queue_capacity: 8, retry, ..Default::default() },
+    )
 }
 
 /// Scenario (a): two injected transient failures, retried with backoff,

@@ -1,0 +1,84 @@
+//! End-to-end observability check: one instrumented execution must
+//! light up every layer of the stack.
+//!
+//! This lives in its own test binary (single `#[test]`) because it
+//! toggles the process-global metrics registry; sharing a process with
+//! unrelated tests would race their view of the registry.
+
+use qukit::job::{ExecutorConfig, JobExecutor};
+use qukit::provider::Provider;
+use qukit::terra::circuit::QuantumCircuit;
+
+fn ghz(n: usize) -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(n);
+    circ.h(0).unwrap();
+    for q in 1..n {
+        circ.cx(q - 1, q).unwrap();
+    }
+    circ
+}
+
+#[test]
+fn instrumented_ghz_execution_lights_up_every_layer() {
+    qukit_obs::set_enabled(true);
+    qukit_obs::reset();
+
+    // Layer 1+2: execute() on a fake device transpiles (mapping to the
+    // ibmqx4 coupling graph) and simulates the 5-qubit GHZ.
+    let device = qukit::backend::FakeDevice::ibmqx4().with_seed(11);
+    let counts = qukit::execute::execute(&ghz(5), &device, 512).expect("ghz runs");
+    assert_eq!(counts.total(), 512);
+
+    // Layer 3: the same circuit through the job service.
+    let executor = JobExecutor::with_config(
+        Provider::with_defaults(),
+        ExecutorConfig { workers: 1, queue_capacity: 4, ..Default::default() },
+    );
+    let job = executor.submit(&ghz(5), "qasm_simulator", 256).expect("submit");
+    job.result(std::time::Duration::from_secs(30)).expect("job completes");
+    executor.shutdown();
+
+    // Layer 4: a DD run for the decision-diagram counters.
+    let state = qukit::dd::simulator::DdSimulator::new().run(&ghz(5)).expect("dd runs");
+    assert!(state.node_count() > 0);
+
+    let snapshot = qukit_obs::registry().snapshot();
+    qukit_obs::set_enabled(false);
+
+    // Transpiler: per-pass timings and run counters are nonzero.
+    assert!(
+        snapshot
+            .histograms
+            .iter()
+            .any(|(name, h)| { name.starts_with("qukit_terra_pass_seconds") && h.count > 0 }),
+        "transpiler pass timings missing: {:?}",
+        snapshot.histograms.keys().collect::<Vec<_>>()
+    );
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("qukit_terra_transpile_runs_total") > 0);
+    assert!(counter("qukit_terra_gates_in_total") > 0);
+
+    // Simulator: gate applications and amplitude work are nonzero.
+    assert!(counter("qukit_aer_qasm_runs_total") > 0);
+    assert!(counter("qukit_aer_amplitudes_touched_total") > 0);
+    assert!(counter("qukit_aer_shots_total") >= 512 + 256);
+
+    // Job service: the submission made it through the lifecycle.
+    assert!(counter("qukit_core_jobs_submitted_total") > 0);
+    assert!(counter("qukit_core_jobs_completed_total") > 0);
+    let job_seconds = snapshot.histograms.get("qukit_core_job_seconds").expect("job latency");
+    assert!(job_seconds.count > 0);
+
+    // DD engine: unique-table traffic and node gauges are nonzero.
+    assert!(counter("qukit_dd_unique_misses_total") > 0);
+    assert!(counter("qukit_dd_compute_misses_total") > 0);
+    assert!(snapshot.gauges.get("qukit_dd_nodes").copied().unwrap_or(0.0) > 0.0);
+
+    // Spans were recorded and the whole snapshot round-trips as JSON.
+    assert!(snapshot.trace.iter().any(|e| e.name == "transpile"));
+    assert!(snapshot.trace.iter().any(|e| e.name == "dd.run"));
+    let json = qukit_obs::export::to_json(&snapshot);
+    qukit_obs::export::validate_snapshot_json(&json).expect("snapshot schema-valid");
+    let prometheus = qukit_obs::export::prometheus(&snapshot);
+    assert!(prometheus.contains("qukit_terra_transpile_runs_total"));
+}
