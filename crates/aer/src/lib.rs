@@ -36,6 +36,7 @@ pub mod counts;
 pub mod density;
 pub mod error;
 pub mod noise;
+pub mod parallel;
 pub mod simulator;
 pub mod stabilizer;
 pub mod statevector;
@@ -44,6 +45,7 @@ pub use counts::Counts;
 pub use density::{DensityMatrix, DensityMatrixSimulator};
 pub use error::AerError;
 pub use noise::{NoiseModel, QuantumError, ReadoutError};
+pub use parallel::{ParallelConfig, ParallelStatevectorSimulator};
 pub use simulator::{QasmSimulator, StatevectorSimulator, UnitarySimulator};
 pub use stabilizer::{StabilizerSimulator, StabilizerState};
 pub use statevector::Statevector;

@@ -1,0 +1,916 @@
+//! Parallel & fused statevector execution.
+//!
+//! This module is the chunked multi-threaded kernel layer behind
+//! [`crate::simulator::QasmSimulator`] (sampled and trajectory paths),
+//! [`ParallelStatevectorSimulator`] and the density-matrix engine:
+//!
+//! * **Chunking** — the `2^n` amplitude array is partitioned into
+//!   cache-sized chunks of `2^chunk_qubits` entries; each gate pass is
+//!   split into independent *work units* (whole chunks for diagonal ops,
+//!   chunk-sized slices of the pair/base index space otherwise) that
+//!   `std::thread::scope` workers claim in a fixed stride. Every amplitude
+//!   is written at most once per pass — by exactly one work unit — from
+//!   values read in that same pass, so the result is bit-identical for
+//!   every thread count and chunk size.
+//! * **Fusion** — instruction streams are pre-processed by
+//!   [`qukit_terra::fusion::fuse`], which merges adjacent gates on ≤3
+//!   shared qubits into one dense (or, when possible, diagonal) unitary so
+//!   the state is swept once per group instead of once per gate.
+//! * **Batched sampling** — all shots are drawn from the terminal
+//!   distribution via a prefix-sum CDF and binary search, in fixed-size
+//!   batches with per-batch seeded RNG streams. Batch boundaries do not
+//!   depend on the worker count, so counts are reproducible for a fixed
+//!   seed regardless of `threads`.
+//!
+//! Observability: `qukit_aer_parallel_chunks_total` (work units
+//! processed), `qukit_aer_parallel_worker_seconds` (per-worker busy time,
+//! histogram), plus the fusion counters emitted by `qukit_terra::fusion`.
+
+use crate::error::{AerError, Result};
+use crate::simulator::GateTally;
+use crate::statevector::Statevector;
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::complex::Complex;
+use qukit_terra::fusion::{controlled_form, fuse, FusedOp, FusedProgram, FusionConfig};
+use qukit_terra::instruction::{Instruction, Operation};
+use qukit_terra::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Default chunk size: `2^13` amplitudes = 128 KiB of complex pairs,
+/// sized to stay cache-resident per worker.
+pub const DEFAULT_CHUNK_QUBITS: usize = 13;
+
+/// Hard cap on worker threads.
+pub const MAX_THREADS: usize = 16;
+
+/// Shots per sampling batch; fixed (not derived from the thread count) so
+/// a seeded run yields identical counts at any parallelism level.
+pub(crate) const SHOT_BATCH: usize = 1024;
+
+/// Trajectories per batch on the shot-parallel trajectory path.
+pub(crate) const TRAJECTORY_BATCH: usize = 32;
+
+/// Configuration for the parallel execution layer.
+///
+/// The [`Default`] implementation reads the process environment
+/// (`QUKIT_THREADS`, `QUKIT_CHUNK_QUBITS`, `QUKIT_FUSION`), so exporting
+/// `QUKIT_THREADS=4` routes every default-constructed simulator through
+/// the parallel path — this is how CI exercises it across the whole test
+/// suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads (1 = serial kernels; clamped to [`MAX_THREADS`]).
+    pub threads: usize,
+    /// log2 of the chunk size in amplitudes.
+    pub chunk_qubits: usize,
+    /// Whether the gate-fusion pre-pass runs before dispatch.
+    pub fusion: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ParallelConfig {
+    /// Plain serial execution: one thread, no fusion. This reproduces the
+    /// legacy engine behavior exactly (same kernels, same RNG stream).
+    pub fn serial() -> Self {
+        Self { threads: 1, chunk_qubits: DEFAULT_CHUNK_QUBITS, fusion: false }
+    }
+
+    /// Parallel execution with `threads` workers and fusion enabled.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), chunk_qubits: DEFAULT_CHUNK_QUBITS, fusion: true }
+    }
+
+    /// Reads `QUKIT_THREADS` / `QUKIT_CHUNK_QUBITS` / `QUKIT_FUSION` from
+    /// the environment; unset or unparsable variables fall back to serial
+    /// defaults (fusion defaults to on when `QUKIT_THREADS` > 1).
+    pub fn from_env() -> Self {
+        let threads = env_usize("QUKIT_THREADS").unwrap_or(1).max(1);
+        let chunk_qubits = env_usize("QUKIT_CHUNK_QUBITS").unwrap_or(DEFAULT_CHUNK_QUBITS);
+        let fusion = match std::env::var("QUKIT_FUSION") {
+            Ok(value) => parse_bool_flag(&value).unwrap_or(threads > 1),
+            Err(_) => threads > 1,
+        };
+        Self { threads, chunk_qubits, fusion }
+    }
+
+    /// `true` when this config differs from the legacy serial engine, i.e.
+    /// the fused/parallel code paths should be used.
+    pub fn is_active(&self) -> bool {
+        self.threads > 1 || self.fusion
+    }
+
+    /// The worker count actually used for a state of `len` amplitudes:
+    /// clamped, and 1 when the whole state fits in a single chunk (thread
+    /// spawn would cost more than it buys).
+    pub(crate) fn effective_threads(&self, len: usize) -> usize {
+        let threads = self.threads.clamp(1, MAX_THREADS);
+        if len <= self.chunk_len() {
+            1
+        } else {
+            threads
+        }
+    }
+
+    /// Chunk size in amplitudes.
+    pub(crate) fn chunk_len(&self) -> usize {
+        1usize << self.chunk_qubits.clamp(1, 24)
+    }
+
+    /// The fusion configuration for this run.
+    pub(crate) fn fusion_config(&self) -> FusionConfig {
+        FusionConfig { enabled: self.fusion, max_qubits: 3 }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Parses a boolean environment flag (`1/0`, `true/false`, `on/off`).
+pub(crate) fn parse_bool_flag(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// Derives the RNG seed for one sampling/trajectory batch from the run
+/// seed (SplitMix64-style mixing; batch boundaries are thread-independent).
+pub(crate) fn batch_seed(seed: u64, batch: u64) -> u64 {
+    let mut z = seed ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Execution statistics from one kernel sweep.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ExecStats {
+    /// Work units (chunks) processed across all workers.
+    pub chunks: u64,
+    /// Sum of per-worker wall time inside the sweep.
+    pub worker_seconds: f64,
+}
+
+/// A 2×2 pair update, pre-classified by entry structure so the hot loop
+/// runs the cheapest arithmetic the standard gate set allows: X blocks are
+/// pure swaps, real matrices (H, Ry, composed 1q runs) need half the real
+/// multiplies of the general case, and Rx-type matrices (real diagonal,
+/// purely imaginary off-diagonal) likewise. Classification uses *exact*
+/// zero/one comparisons, so it never perturbs the computed amplitudes.
+enum Butterfly {
+    /// X block: swap the pair, no arithmetic.
+    Swap,
+    /// All four entries real.
+    Real([f64; 4]),
+    /// Real diagonal, purely imaginary off-diagonal (`[[d0, i·o1], [i·o2, d3]]`).
+    Cross { d0: f64, o1: f64, o2: f64, d3: f64 },
+    /// Arbitrary complex entries.
+    General([Complex; 4]),
+}
+
+impl Butterfly {
+    fn classify(m: [Complex; 4]) -> Self {
+        if m.iter().all(|c| c.im == 0.0) {
+            if m[0].re == 0.0 && m[3].re == 0.0 && m[1].re == 1.0 && m[2].re == 1.0 {
+                return Butterfly::Swap;
+            }
+            return Butterfly::Real([m[0].re, m[1].re, m[2].re, m[3].re]);
+        }
+        if m[0].im == 0.0 && m[3].im == 0.0 && m[1].re == 0.0 && m[2].re == 0.0 {
+            return Butterfly::Cross { d0: m[0].re, o1: m[1].im, o2: m[2].im, d3: m[3].re };
+        }
+        Butterfly::General(m)
+    }
+
+    /// Applies the butterfly to every pair whose low index is
+    /// `expand(p) | 0` for `p` in `start..end`, with the high index one
+    /// `stride` above. Dispatches once, then runs a monomorphized loop.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Kernel::apply_unit`]: the `(lo, hi)` index sets
+    /// produced for distinct `p` are disjoint and in-bounds.
+    unsafe fn sweep(
+        &self,
+        amps: &RawAmps,
+        start: usize,
+        end: usize,
+        stride: usize,
+        expand: impl Fn(usize) -> usize,
+    ) {
+        unsafe fn run(
+            amps: &RawAmps,
+            start: usize,
+            end: usize,
+            stride: usize,
+            expand: impl Fn(usize) -> usize,
+            f: impl Fn(Complex, Complex) -> (Complex, Complex),
+        ) {
+            for p in start..end {
+                let lo = expand(p);
+                let hi = lo | stride;
+                let a = amps.read(lo);
+                let b = amps.read(hi);
+                let (na, nb) = f(a, b);
+                amps.write(lo, na);
+                amps.write(hi, nb);
+            }
+        }
+        match *self {
+            Butterfly::Swap => run(amps, start, end, stride, expand, |a, b| (b, a)),
+            Butterfly::Real([m0, m1, m2, m3]) => run(amps, start, end, stride, expand, |a, b| {
+                (
+                    Complex::new(m0 * a.re + m1 * b.re, m0 * a.im + m1 * b.im),
+                    Complex::new(m2 * a.re + m3 * b.re, m2 * a.im + m3 * b.im),
+                )
+            }),
+            Butterfly::Cross { d0, o1, o2, d3 } => run(amps, start, end, stride, expand, |a, b| {
+                (
+                    Complex::new(d0 * a.re - o1 * b.im, d0 * a.im + o1 * b.re),
+                    Complex::new(d3 * b.re - o2 * a.im, d3 * b.im + o2 * a.re),
+                )
+            }),
+            Butterfly::General([m00, m01, m10, m11]) => {
+                run(amps, start, end, stride, expand, |a, b| (m00 * a + m01 * b, m10 * a + m11 * b))
+            }
+        }
+    }
+}
+
+/// One dispatched operation, pre-lowered from a [`FusedOp`] for the hot
+/// loop: matrices flattened, operand masks precomputed.
+enum Kernel {
+    /// 2×2 on one qubit (pair update, no gather buffer).
+    OneQ { b: Butterfly, q: usize },
+    /// Controlled 2×2 block on target `q`: only amplitude pairs whose
+    /// control bits are all 1 are touched. `inserts` holds `(bit, value)`
+    /// pairs sorted ascending — the target bit with value 0 and every
+    /// control bit with value 1 — used to expand a compact counter into
+    /// the low index of each active pair.
+    Controlled { b: Butterfly, inserts: Vec<(usize, usize)>, q: usize },
+    /// Diagonal unitary: one multiply per amplitude.
+    Diag { factors: Vec<Complex>, qubits: Vec<usize> },
+    /// Dense k-qubit unitary via gather/scatter over base indices.
+    Dense { mat: Vec<Complex>, sorted: Vec<usize>, offsets: Vec<usize> },
+}
+
+impl Kernel {
+    fn dim(&self) -> usize {
+        match self {
+            Kernel::OneQ { .. } | Kernel::Controlled { .. } => 2,
+            Kernel::Diag { factors, .. } => factors.len(),
+            Kernel::Dense { offsets, .. } => offsets.len(),
+        }
+    }
+
+    /// Number of independent work units for a state of `len` amplitudes.
+    fn unit_count(&self, len: usize, chunk_len: usize) -> usize {
+        let (work, unit) = match self {
+            Kernel::OneQ { .. } => (len >> 1, (chunk_len >> 1).max(1)),
+            Kernel::Controlled { inserts, .. } => {
+                let k = inserts.len();
+                ((len >> k).max(1), (chunk_len >> k).max(1))
+            }
+            Kernel::Diag { .. } => (len, chunk_len),
+            Kernel::Dense { offsets, .. } => {
+                let k = offsets.len().trailing_zeros() as usize;
+                (len >> k, (chunk_len >> k).max(1))
+            }
+        };
+        work.div_ceil(unit).max(1)
+    }
+
+    /// Applies work unit `unit` of this kernel.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that (a) `amps` points to a live allocation
+    /// of `len` amplitudes, (b) no two concurrent calls pass the same
+    /// `(kernel, unit)` pair, and (c) all calls for one kernel complete
+    /// before any call for the next kernel starts (the barrier in
+    /// [`apply_kernels`]). Distinct units of one kernel touch disjoint
+    /// index sets: unit ranges partition the pair/base/index space, and the
+    /// bit-insertion expansion of a base index is injective.
+    unsafe fn apply_unit(
+        &self,
+        amps: &RawAmps,
+        len: usize,
+        chunk_len: usize,
+        unit: usize,
+        scratch: &mut [Complex],
+    ) {
+        match self {
+            Kernel::OneQ { b, q } => {
+                let stride = 1usize << q;
+                let half = len >> 1;
+                let unit_len = (chunk_len >> 1).max(1);
+                let start = unit * unit_len;
+                let end = (start + unit_len).min(half);
+                // Insert a 0 bit at position q to get the low pair index.
+                b.sweep(amps, start, end, stride, |p| ((p >> q) << (q + 1)) | (p & (stride - 1)));
+            }
+            Kernel::Controlled { b, inserts, q } => {
+                let stride = 1usize << q;
+                let count = (len >> inserts.len()).max(1);
+                let unit_len = (chunk_len >> inserts.len()).max(1);
+                let start = unit * unit_len;
+                let end = (start + unit_len).min(count);
+                // Expand the compact counter: insert the target bit as 0
+                // and every control bit as 1, lowest position first.
+                b.sweep(amps, start, end, stride, |p| {
+                    let mut lo = p;
+                    for &(bit, value) in inserts {
+                        lo = ((lo >> bit) << (bit + 1))
+                            | (lo & ((1usize << bit) - 1))
+                            | (value << bit);
+                    }
+                    lo
+                });
+            }
+            Kernel::Diag { factors, qubits } => {
+                let start = unit * chunk_len;
+                let end = (start + chunk_len).min(len);
+                for idx in start..end {
+                    let mut f = 0usize;
+                    for (t, &q) in qubits.iter().enumerate() {
+                        f |= ((idx >> q) & 1) << t;
+                    }
+                    amps.write(idx, amps.read(idx) * factors[f]);
+                }
+            }
+            Kernel::Dense { mat, sorted, offsets } => {
+                let dim = offsets.len();
+                let k = dim.trailing_zeros() as usize;
+                let bases = len >> k;
+                let unit_len = (chunk_len >> k).max(1);
+                let start = unit * unit_len;
+                let end = (start + unit_len).min(bases);
+                for b in start..end {
+                    let mut base = b;
+                    for &q in sorted {
+                        let low = base & ((1usize << q) - 1);
+                        base = ((base >> q) << (q + 1)) | low;
+                    }
+                    for (j, slot) in scratch[..dim].iter_mut().enumerate() {
+                        *slot = amps.read(base | offsets[j]);
+                    }
+                    for (j, &offset) in offsets.iter().enumerate() {
+                        let mut acc = Complex::ZERO;
+                        let row = &mat[j * dim..(j + 1) * dim];
+                        for (value, amp) in row.iter().zip(scratch[..dim].iter()) {
+                            acc += *value * *amp;
+                        }
+                        amps.write(base | offset, acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared mutable view of the amplitude array for scoped workers.
+///
+/// Soundness rests on the disjointness contract documented on
+/// [`Kernel::apply_unit`]; the scope join guarantees no worker outlives
+/// the borrow.
+struct RawAmps {
+    ptr: *mut Complex,
+}
+
+unsafe impl Send for RawAmps {}
+unsafe impl Sync for RawAmps {}
+
+impl RawAmps {
+    #[inline]
+    unsafe fn read(&self, i: usize) -> Complex {
+        *self.ptr.add(i)
+    }
+
+    #[inline]
+    unsafe fn write(&self, i: usize, v: Complex) {
+        *self.ptr.add(i) = v;
+    }
+}
+
+/// Lowers a fused program into kernels over a state whose qubit `q` lives
+/// at bit `q + shift` (`shift`/`conjugate` support the density-matrix
+/// two-sided application). Errors on instructions a pure-state sweep
+/// cannot execute.
+fn lower_program(
+    program: &FusedProgram,
+    shift: usize,
+    conjugate: bool,
+    kernels: &mut Vec<Kernel>,
+) -> Result<()> {
+    let maybe_conj = |c: Complex| if conjugate { c.conj() } else { c };
+    for op in &program.ops {
+        match op {
+            FusedOp::Diagonal { factors, qubits, .. } => {
+                kernels.push(Kernel::Diag {
+                    factors: factors.iter().map(|&f| maybe_conj(f)).collect(),
+                    qubits: qubits.iter().map(|&q| q + shift).collect(),
+                });
+            }
+            FusedOp::Unitary { matrix, qubits, .. } => {
+                kernels.push(gate_kernel(matrix, qubits, shift, conjugate));
+            }
+            FusedOp::Passthrough(inst) => match &inst.op {
+                Operation::Gate(g) if inst.condition.is_none() => {
+                    kernels.push(gate_kernel(&g.matrix(), &inst.qubits, shift, conjugate));
+                }
+                Operation::Barrier => {}
+                other => {
+                    return Err(AerError::UnsupportedInstruction {
+                        name: other.name().to_owned(),
+                        simulator: "parallel statevector kernels",
+                    })
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Lowers one unitary into the best kernel shape for it: single-qubit
+/// butterfly, controlled block (skips the amplitudes the gate provably
+/// leaves fixed), or the general gather/scatter kernel.
+fn gate_kernel(matrix: &Matrix, qubits: &[usize], shift: usize, conjugate: bool) -> Kernel {
+    let maybe_conj = |c: Complex| if conjugate { c.conj() } else { c };
+    if qubits.len() == 1 {
+        return Kernel::OneQ {
+            b: Butterfly::classify([
+                maybe_conj(matrix[(0, 0)]),
+                maybe_conj(matrix[(0, 1)]),
+                maybe_conj(matrix[(1, 0)]),
+                maybe_conj(matrix[(1, 1)]),
+            ]),
+            q: qubits[0] + shift,
+        };
+    }
+    if let Some((t, block)) = controlled_form(matrix) {
+        let mut inserts: Vec<(usize, usize)> =
+            qubits.iter().enumerate().map(|(pos, &q)| (q + shift, usize::from(pos != t))).collect();
+        inserts.sort_unstable();
+        return Kernel::Controlled {
+            b: Butterfly::classify([
+                maybe_conj(block[0]),
+                maybe_conj(block[1]),
+                maybe_conj(block[2]),
+                maybe_conj(block[3]),
+            ]),
+            inserts,
+            q: qubits[t] + shift,
+        };
+    }
+    dense_kernel(matrix, qubits, shift, conjugate)
+}
+
+fn dense_kernel(matrix: &Matrix, qubits: &[usize], shift: usize, conjugate: bool) -> Kernel {
+    let shifted: Vec<usize> = qubits.iter().map(|&q| q + shift).collect();
+    let dim = matrix.rows();
+    let mut offsets = vec![0usize; dim];
+    for (j, offset) in offsets.iter_mut().enumerate() {
+        for (t, &q) in shifted.iter().enumerate() {
+            if (j >> t) & 1 == 1 {
+                *offset |= 1 << q;
+            }
+        }
+    }
+    let mut sorted = shifted.clone();
+    sorted.sort_unstable();
+    let mat = matrix.as_slice().iter().map(|&c| if conjugate { c.conj() } else { c }).collect();
+    Kernel::Dense { mat, sorted, offsets }
+}
+
+/// Applies a kernel list to the amplitude array, serially or with a
+/// scoped barrier-synchronized worker pool.
+fn apply_kernels(state: &mut [Complex], kernels: &[Kernel], config: &ParallelConfig) -> ExecStats {
+    let len = state.len();
+    let chunk_len = config.chunk_len();
+    let threads = config.effective_threads(len);
+    let scratch_dim = kernels.iter().map(Kernel::dim).max().unwrap_or(1);
+    let mut stats = ExecStats::default();
+    if kernels.is_empty() {
+        return stats;
+    }
+
+    let amps = RawAmps { ptr: state.as_mut_ptr() };
+    if threads <= 1 {
+        let start = Instant::now();
+        let mut scratch = vec![Complex::ZERO; scratch_dim];
+        for kernel in kernels {
+            for unit in 0..kernel.unit_count(len, chunk_len) {
+                // SAFETY: single-threaded — units run one at a time over
+                // the exclusively borrowed `state`.
+                unsafe { kernel.apply_unit(&amps, len, chunk_len, unit, &mut scratch) };
+                stats.chunks += 1;
+            }
+        }
+        stats.worker_seconds = start.elapsed().as_secs_f64();
+    } else {
+        let barrier = Barrier::new(threads);
+        let amps_ref = &amps;
+        let barrier_ref = &barrier;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let mut scratch = vec![Complex::ZERO; scratch_dim];
+                        let mut chunks = 0u64;
+                        for kernel in kernels {
+                            let units = kernel.unit_count(len, chunk_len);
+                            let mut unit = w;
+                            while unit < units {
+                                // SAFETY: workers claim units in stride
+                                // `threads` starting at distinct offsets,
+                                // so no unit is processed twice; units of
+                                // one kernel touch disjoint index sets;
+                                // the barrier below orders one kernel's
+                                // writes before the next kernel's reads.
+                                unsafe {
+                                    kernel.apply_unit(amps_ref, len, chunk_len, unit, &mut scratch)
+                                };
+                                chunks += 1;
+                                unit += threads;
+                            }
+                            barrier_ref.wait();
+                        }
+                        (chunks, start.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        });
+        for (chunks, seconds) in results {
+            stats.chunks += chunks;
+            stats.worker_seconds += seconds;
+            qukit_obs::observe_duration(
+                "qukit_aer_parallel_worker_seconds",
+                std::time::Duration::from_secs_f64(seconds),
+            );
+        }
+    }
+    qukit_obs::counter_add("qukit_aer_parallel_chunks_total", stats.chunks);
+    stats
+}
+
+/// Fuses and applies a stream of plain gate instructions to the state,
+/// recording per-gate tallies. Returns the lowered op count.
+pub(crate) fn evolve_fused(
+    amps: &mut [Complex],
+    gates: &[Instruction],
+    config: &ParallelConfig,
+    tally: &mut GateTally,
+) -> Result<usize> {
+    let program = fuse(gates, &config.fusion_config());
+    let mut kernels = Vec::with_capacity(program.ops.len());
+    lower_program(&program, 0, false, &mut kernels)?;
+    let dim = amps.len() as u64;
+    for op in &program.ops {
+        tally.record_n(op.gates_fused() as u64, dim);
+    }
+    apply_kernels(amps, &kernels, config);
+    Ok(kernels.len())
+}
+
+/// Applies a fused program two-sidedly to a flat density matrix
+/// (`ρ → UρU†`): `U` on the row-bit copy of each qubit and `conj(U)` on
+/// the column bits, reusing the same chunked kernels on the `4^n` array.
+pub(crate) fn evolve_fused_density(
+    rho_flat: &mut [Complex],
+    gates: &[Instruction],
+    num_qubits: usize,
+    config: &ParallelConfig,
+    tally: &mut GateTally,
+) -> Result<()> {
+    let program = fuse(gates, &config.fusion_config());
+    let mut kernels = Vec::with_capacity(program.ops.len() * 2);
+    let entries = rho_flat.len() as u64;
+    for op in &program.ops {
+        tally.record_n(op.gates_fused() as u64, entries);
+    }
+    // Row side: qubit q lives at bit q + n of the flat index.
+    lower_program(&program, num_qubits, false, &mut kernels)?;
+    // Column side: conj(U) on bits 0..n.
+    lower_program(&program, 0, true, &mut kernels)?;
+    apply_kernels(rho_flat, &kernels, config);
+    Ok(())
+}
+
+/// Builds the probability CDF of a terminal state (one prefix-sum pass).
+pub(crate) fn probability_cdf(amps: &[Complex]) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(amps.len());
+    let mut acc = 0.0f64;
+    for amp in amps {
+        acc += amp.norm_sqr();
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Draws `shots` basis-state indices from a terminal distribution in
+/// fixed-size batches (binary search over the CDF). Batch `b` uses an RNG
+/// stream seeded from `(seed, b)`, and batch boundaries are independent of
+/// the worker count, so the returned indices are identical for any
+/// `threads` value.
+pub(crate) fn sample_indices(cdf: &[f64], shots: usize, seed: u64, threads: usize) -> Vec<usize> {
+    let mut out = vec![0usize; shots];
+    let fill = |batch: usize, slots: &mut [usize]| {
+        let mut rng = StdRng::seed_from_u64(batch_seed(seed, batch as u64));
+        for slot in slots {
+            let r: f64 = rng.gen();
+            *slot = cdf.partition_point(|&c| c <= r).min(cdf.len() - 1);
+        }
+    };
+    let batches = shots.div_ceil(SHOT_BATCH).max(1);
+    if threads <= 1 || batches <= 1 {
+        for (batch, slots) in out.chunks_mut(SHOT_BATCH).enumerate() {
+            fill(batch, slots);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for (batch, slots) in out.chunks_mut(SHOT_BATCH).enumerate() {
+                scope.spawn(move || fill(batch, slots));
+            }
+        });
+    }
+    out
+}
+
+/// Exact final-state simulator for unitary circuits running the fused
+/// chunked kernels — the parallel counterpart of
+/// [`crate::simulator::StatevectorSimulator`], and the fifth engine in the
+/// conformance differential set.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_aer::parallel::{ParallelConfig, ParallelStatevectorSimulator};
+/// use qukit_terra::circuit::QuantumCircuit;
+///
+/// # fn main() -> Result<(), qukit_aer::error::AerError> {
+/// let mut ghz = QuantumCircuit::new(3);
+/// ghz.h(0).unwrap();
+/// ghz.cx(0, 1).unwrap();
+/// ghz.cx(1, 2).unwrap();
+/// let sim = ParallelStatevectorSimulator::with_config(ParallelConfig::with_threads(2));
+/// let state = sim.run(&ghz)?;
+/// assert!((state.amplitude(0).norm_sqr() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelStatevectorSimulator {
+    config: ParallelConfig,
+}
+
+impl ParallelStatevectorSimulator {
+    /// Creates the simulator with the environment-derived configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the simulator with an explicit configuration.
+    pub fn with_config(config: ParallelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Computes the exact final state of a unitary circuit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::simulator::StatevectorSimulator::run`].
+    pub fn run(&self, circuit: &QuantumCircuit) -> Result<Statevector> {
+        if circuit.num_qubits() > 30 {
+            return Err(AerError::TooManyQubits { requested: circuit.num_qubits(), max: 30 });
+        }
+        let _span = qukit_obs::span!(
+            "aer.parallel_statevector_run",
+            qubits = circuit.num_qubits(),
+            threads = self.config.threads,
+            fusion = if self.config.fusion { "on" } else { "off" },
+        );
+        qukit_obs::counter_inc("qukit_aer_parallel_runs_total");
+        let mut gates: Vec<Instruction> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(_) if inst.condition.is_none() => gates.push(inst.clone()),
+                Operation::Barrier => {}
+                other => {
+                    return Err(AerError::UnsupportedInstruction {
+                        name: other.name().to_owned(),
+                        simulator: "parallel statevector simulator",
+                    })
+                }
+            }
+        }
+        let mut amps = vec![Complex::ZERO; 1usize << circuit.num_qubits()];
+        amps[0] = Complex::ONE;
+        let mut tally = GateTally::default();
+        evolve_fused(&mut amps, &gates, &self.config, &mut tally)?;
+        tally.flush("qukit_aer_statevector_gates_total");
+        let mut state = Statevector::from_amplitudes(amps);
+        state.apply_global_phase(circuit.global_phase());
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qukit_terra::gate::Gate;
+
+    fn random_gates(seed: u64, n: usize, count: usize) -> Vec<Instruction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gates = Vec::new();
+        for _ in 0..count {
+            let q = rng.gen_range(0..n);
+            let gate = match rng.gen_range(0..6u32) {
+                0 => Instruction::gate(Gate::H, vec![q]),
+                1 => Instruction::gate(Gate::T, vec![q]),
+                2 => Instruction::gate(Gate::Rx(0.3), vec![q]),
+                3 => Instruction::gate(Gate::Rz(1.1), vec![q]),
+                4 => {
+                    let p = (q + 1) % n;
+                    Instruction::gate(Gate::CX, vec![q, p])
+                }
+                _ => {
+                    let p = (q + 1) % n;
+                    Instruction::gate(Gate::Cp(0.7), vec![q, p])
+                }
+            };
+            gates.push(gate);
+        }
+        gates
+    }
+
+    fn reference_state(gates: &[Instruction], n: usize) -> Vec<Complex> {
+        let mut state = vec![Complex::ZERO; 1 << n];
+        state[0] = Complex::ONE;
+        for inst in gates {
+            qukit_terra::reference::apply_gate(
+                &mut state,
+                &inst.as_gate().unwrap().matrix(),
+                &inst.qubits,
+            );
+        }
+        state
+    }
+
+    #[test]
+    fn fused_parallel_matches_reference_across_configs() {
+        for n in [2usize, 3, 5] {
+            let gates = random_gates(17 + n as u64, n, 40);
+            let expect = reference_state(&gates, n);
+            for threads in [1usize, 2, 4] {
+                for fusion in [false, true] {
+                    // Tiny chunks force real multi-chunk scheduling even on
+                    // small states.
+                    let config = ParallelConfig { threads, chunk_qubits: 2, fusion };
+                    let mut amps = vec![Complex::ZERO; 1 << n];
+                    amps[0] = Complex::ONE;
+                    let mut tally = GateTally::default();
+                    evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                    for (a, e) in amps.iter().zip(&expect) {
+                        assert!(
+                            (*a - *e).norm() < 1e-10,
+                            "threads={threads} fusion={fusion}: {a:?} vs {e:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_kernel_matches_reference_for_multi_control_gates() {
+        let n = 4;
+        let mut gates =
+            vec![Instruction::gate(Gate::H, vec![0]), Instruction::gate(Gate::H, vec![1])];
+        gates.push(Instruction::gate(Gate::Ccx, vec![0, 1, 3]));
+        gates.push(Instruction::gate(Gate::Crx(0.9), vec![3, 2]));
+        gates.push(Instruction::gate(Gate::CX, vec![2, 0]));
+        let expect = reference_state(&gates, n);
+        for threads in [1usize, 3] {
+            for fusion in [false, true] {
+                let config = ParallelConfig { threads, chunk_qubits: 1, fusion };
+                let mut amps = vec![Complex::ZERO; 1 << n];
+                amps[0] = Complex::ONE;
+                let mut tally = GateTally::default();
+                evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                for (a, e) in amps.iter().zip(&expect) {
+                    assert!(
+                        (*a - *e).norm() < 1e-12,
+                        "threads={threads} fusion={fusion}: {a:?} vs {e:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_across_thread_and_chunk_counts() {
+        let n = 6;
+        let gates = random_gates(5, n, 60);
+        let run = |threads, chunk_qubits| {
+            let config = ParallelConfig { threads, chunk_qubits, fusion: true };
+            let mut amps = vec![Complex::ZERO; 1 << n];
+            amps[0] = Complex::ONE;
+            let mut tally = GateTally::default();
+            evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+            amps
+        };
+        let baseline = run(1, 2);
+        for (threads, chunk) in [(2, 2), (4, 3), (8, 1), (3, 4)] {
+            assert_eq!(run(threads, chunk), baseline, "threads={threads} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_sampling_is_thread_count_invariant() {
+        // A skewed 3-qubit distribution.
+        let mut amps = vec![Complex::ZERO; 8];
+        amps[0] = Complex::new(0.8, 0.0);
+        amps[5] = Complex::new(0.6, 0.0);
+        let cdf = probability_cdf(&amps);
+        let one = sample_indices(&cdf, 3000, 42, 1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(sample_indices(&cdf, 3000, 42, threads), one);
+        }
+        let frac = one.iter().filter(|&&i| i == 0).count() as f64 / one.len() as f64;
+        assert!((frac - 0.64).abs() < 0.05, "P(0)≈0.64, got {frac}");
+        assert!(one.iter().all(|&i| i == 0 || i == 5));
+    }
+
+    #[test]
+    fn sampling_matches_distribution_edges() {
+        // All mass on the last state: every draw must clamp there.
+        let mut amps = vec![Complex::ZERO; 4];
+        amps[3] = Complex::ONE;
+        let cdf = probability_cdf(&amps);
+        assert!(sample_indices(&cdf, 100, 7, 2).iter().all(|&i| i == 3));
+    }
+
+    #[test]
+    fn density_two_sided_application_matches_pure_state_outer_product() {
+        let n = 3;
+        let gates = random_gates(23, n, 25);
+        // Independent oracle: for a pure initial state and unitary gates,
+        // ρ = |ψ⟩⟨ψ| with ψ from the reference kernel.
+        let psi = reference_state(&gates, n);
+        // Fused two-sided flat path.
+        let dim = 1usize << n;
+        let mut flat = vec![Complex::ZERO; dim * dim];
+        flat[0] = Complex::ONE;
+        let config = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true };
+        let mut tally = GateTally::default();
+        evolve_fused_density(&mut flat, &gates, n, &config, &mut tally).unwrap();
+        for i in 0..dim {
+            for j in 0..dim {
+                let e = psi[i] * psi[j].conj();
+                let g = flat[i * dim + j];
+                assert!((g - e).norm() < 1e-9, "rho[{i},{j}]: {g:?} vs {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_rejects_measurement_and_width() {
+        let mut circ = QuantumCircuit::with_size(1, 1);
+        circ.measure(0, 0).unwrap();
+        assert!(ParallelStatevectorSimulator::new().run(&circ).is_err());
+    }
+
+    #[test]
+    fn config_parsing_helpers() {
+        assert_eq!(parse_bool_flag("1"), Some(true));
+        assert_eq!(parse_bool_flag(" ON "), Some(true));
+        assert_eq!(parse_bool_flag("false"), Some(false));
+        assert_eq!(parse_bool_flag("banana"), None);
+        assert!(!ParallelConfig::serial().is_active());
+        assert!(ParallelConfig::with_threads(4).is_active());
+        assert!(ParallelConfig { threads: 1, chunk_qubits: 4, fusion: true }.is_active());
+        // One chunk ⇒ serial execution regardless of requested threads.
+        assert_eq!(ParallelConfig::with_threads(8).effective_threads(16), 1);
+        assert_eq!(
+            ParallelConfig { threads: 8, chunk_qubits: 2, fusion: true }.effective_threads(64),
+            8
+        );
+    }
+}

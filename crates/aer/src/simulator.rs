@@ -11,12 +11,14 @@
 use crate::counts::Counts;
 use crate::error::{AerError, Result};
 use crate::noise::NoiseModel;
+use crate::parallel::{self, ParallelConfig};
 use crate::statevector::Statevector;
 use qukit_terra::circuit::QuantumCircuit;
-use qukit_terra::instruction::Operation;
+use qukit_terra::complex::Complex;
+use qukit_terra::instruction::{Instruction, Operation};
 use qukit_terra::matrix::Matrix;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const MAX_QUBITS: usize = 30;
 
@@ -34,6 +36,14 @@ impl GateTally {
     #[inline]
     pub(crate) fn record(&mut self, amplitudes: u64) {
         self.gates += 1;
+        self.amplitudes += amplitudes;
+    }
+
+    /// Records `gates` source gates folded into one pass over `amplitudes`
+    /// entries (used by the fused kernels).
+    #[inline]
+    pub(crate) fn record_n(&mut self, gates: u64, amplitudes: u64) {
+        self.gates += gates;
         self.amplitudes += amplitudes;
     }
 
@@ -70,10 +80,13 @@ impl GateTally {
 pub struct QasmSimulator {
     noise: Option<NoiseModel>,
     seed: Option<u64>,
+    parallel: ParallelConfig,
 }
 
 impl QasmSimulator {
-    /// Creates an ideal (noiseless) simulator.
+    /// Creates an ideal (noiseless) simulator. The parallel configuration
+    /// defaults to [`ParallelConfig::from_env`], so `QUKIT_THREADS` /
+    /// `QUKIT_FUSION` steer every default-constructed instance.
     pub fn new() -> Self {
         Self::default()
     }
@@ -90,9 +103,20 @@ impl QasmSimulator {
         self
     }
 
+    /// Sets the parallel/fusion configuration (builder style).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// The attached noise model, if any.
     pub fn noise(&self) -> Option<&NoiseModel> {
         self.noise.as_ref()
+    }
+
+    /// The active parallel configuration.
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     /// Executes `shots` repetitions of `circuit` and histograms the
@@ -132,7 +156,15 @@ impl QasmSimulator {
         qukit_obs::counter_inc("qukit_aer_qasm_runs_total");
         qukit_obs::counter_add("qukit_aer_shots_total", shots as u64);
         if sampled {
-            self.run_sampled(circuit, shots, &mut rng)
+            if self.parallel.is_active() {
+                let base_seed = self.seed.unwrap_or_else(|| rng.gen());
+                self.run_sampled_parallel(circuit, shots, base_seed)
+            } else {
+                self.run_sampled(circuit, shots, &mut rng)
+            }
+        } else if self.parallel.threads > 1 && shots > 1 {
+            let base_seed = self.seed.unwrap_or_else(|| rng.gen());
+            self.run_trajectories_batched(circuit, shots, base_seed)
         } else {
             let mut tally = GateTally::default();
             let mut counts = Counts::new(circuit.num_clbits());
@@ -143,6 +175,110 @@ impl QasmSimulator {
             tally.flush("qukit_aer_statevector_gates_total");
             Ok(counts)
         }
+    }
+
+    /// Parallel fast path: fused chunked evolution, then batched CDF
+    /// sampling with per-batch RNG streams. For a fixed seed the counts
+    /// are identical at every thread count and chunk size.
+    fn run_sampled_parallel(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        base_seed: u64,
+    ) -> Result<Counts> {
+        let mut gates: Vec<Instruction> = Vec::new();
+        let mut measures: Vec<(usize, usize)> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.op {
+                Operation::Gate(_) => gates.push(inst.clone()),
+                Operation::Measure => measures.push((inst.qubits[0], inst.clbits[0])),
+                Operation::Barrier => {}
+                Operation::Reset => unreachable!("terminal circuits have no reset"),
+            }
+        }
+        let mut amps = vec![Complex::ZERO; 1usize << circuit.num_qubits()];
+        amps[0] = Complex::ONE;
+        let mut tally = GateTally::default();
+        parallel::evolve_fused(&mut amps, &gates, &self.parallel, &mut tally)?;
+        tally.flush("qukit_aer_statevector_gates_total");
+        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
+        let cdf = parallel::probability_cdf(&amps);
+        let samples = parallel::sample_indices(&cdf, shots, base_seed, self.parallel.threads);
+        let mut counts = Counts::new(circuit.num_clbits());
+        for basis in samples {
+            let mut outcome = 0u64;
+            for &(q, c) in &measures {
+                if (basis >> q) & 1 == 1 {
+                    outcome |= 1 << c;
+                }
+            }
+            counts.record(outcome);
+        }
+        if let Some(start) = sample_start {
+            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
+        }
+        Ok(counts)
+    }
+
+    /// Shot-parallel trajectories: shots are split into fixed-size batches
+    /// with per-batch seeded RNG streams (thread-count-invariant for a
+    /// fixed seed); workers claim batches in a fixed stride.
+    fn run_trajectories_batched(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        base_seed: u64,
+    ) -> Result<Counts> {
+        let batch_size = parallel::TRAJECTORY_BATCH;
+        let batches = shots.div_ceil(batch_size);
+        let threads = self.parallel.threads.clamp(1, parallel::MAX_THREADS).min(batches);
+        let run_batch = |batch: usize| -> Result<(Counts, GateTally)> {
+            let lo = batch * batch_size;
+            let hi = ((batch + 1) * batch_size).min(shots);
+            let mut rng = StdRng::seed_from_u64(parallel::batch_seed(base_seed, batch as u64));
+            let mut counts = Counts::new(circuit.num_clbits());
+            let mut tally = GateTally::default();
+            for _ in lo..hi {
+                let outcome = self.run_trajectory(circuit, &mut rng, &mut tally)?;
+                counts.record(outcome);
+            }
+            Ok((counts, tally))
+        };
+        let results: Vec<Result<(Counts, GateTally)>> = if threads <= 1 {
+            (0..batches).map(run_batch).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let run_batch = &run_batch;
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut batch = w;
+                            while batch < batches {
+                                local.push(run_batch(batch));
+                                batch += threads;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("trajectory worker panicked"))
+                    .collect()
+            })
+        };
+        let mut counts = Counts::new(circuit.num_clbits());
+        let mut tally = GateTally::default();
+        for result in results {
+            let (batch_counts, batch_tally) = result?;
+            for (outcome, n) in batch_counts.iter() {
+                counts.record_n(outcome, n);
+            }
+            tally.record_n(batch_tally.gates, batch_tally.amplitudes);
+        }
+        tally.flush("qukit_aer_statevector_gates_total");
+        Ok(counts)
     }
 
     /// Fast path: evolve once, sample the terminal distribution.

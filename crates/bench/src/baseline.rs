@@ -16,6 +16,12 @@ use std::fmt::Write as _;
 /// Schema identifier stamped into every baseline document.
 pub const BASELINE_SCHEMA: &str = "qukit-bench-baseline/v1";
 
+/// Wall-time floor (seconds) below which [`Baseline::compare`] treats a
+/// measurement as noise: both sides of a ratio are clamped up to this
+/// before comparing, so sub-half-millisecond jitter never reads as a
+/// regression.
+pub const MIN_COMPARE_WALL: f64 = 0.0005;
+
 /// Knobs of a baseline sweep.
 #[derive(Debug, Clone)]
 pub struct BaselineConfig {
@@ -26,11 +32,18 @@ pub struct BaselineConfig {
     /// Record `qukit_*` metrics per entry (disable to measure the
     /// uninstrumented wall time — the overhead comparison knob).
     pub collect_metrics: bool,
+    /// Timed repetitions per (circuit, engine); the entry records the
+    /// minimum wall time, which is far more stable than a single sample
+    /// on a noisy machine.
+    pub repeats: usize,
+    /// Thread counts swept by the `parallel_statevector[t=N]` engines on
+    /// the wide (12-qubit) circuits. Empty disables the parallel sweep.
+    pub threads: Vec<usize>,
 }
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        Self { shots: 1024, seed: 7, collect_metrics: true }
+        Self { shots: 1024, seed: 7, collect_metrics: true, repeats: 5, threads: vec![1, 2, 4, 8] }
     }
 }
 
@@ -62,10 +75,23 @@ pub struct Baseline {
 }
 
 /// Builds one backend instance by name with the sweep seed applied.
+///
+/// `parallel_statevector[t=N]` names the qasm simulator routed through
+/// the chunked/fused parallel kernels with `N` worker threads; the plain
+/// `qasm_simulator` is pinned to the serial legacy path so the
+/// serial-versus-parallel comparison is immune to `QUKIT_THREADS` in the
+/// measuring environment.
 fn make_engine(name: &str, seed: u64) -> Box<dyn Backend> {
+    use qukit::aer::parallel::ParallelConfig;
     use qukit::backend::{DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
+    if let Some(threads) = parse_parallel_engine(name) {
+        let config = ParallelConfig::with_threads(threads);
+        return Box::new(QasmSimulatorBackend::new().with_seed(seed).with_parallel(config));
+    }
     match name {
-        "qasm_simulator" => Box::new(QasmSimulatorBackend::new().with_seed(seed)),
+        "qasm_simulator" => Box::new(
+            QasmSimulatorBackend::new().with_seed(seed).with_parallel(ParallelConfig::serial()),
+        ),
         "dd_simulator" => Box::new(DdSimulatorBackend::new().with_seed(seed)),
         "stabilizer_simulator" => Box::new(StabilizerBackend::new().with_seed(seed)),
         "ibmqx4" => Box::new(FakeDevice::ibmqx4().with_seed(seed)),
@@ -73,10 +99,18 @@ fn make_engine(name: &str, seed: u64) -> Box<dyn Backend> {
     }
 }
 
+/// Parses `parallel_statevector[t=N]` into `Some(N)`.
+fn parse_parallel_engine(name: &str) -> Option<usize> {
+    let inner = name.strip_prefix("parallel_statevector[t=")?.strip_suffix(']')?;
+    inner.parse().ok()
+}
+
 /// The fixed sweep: circuit × engines able to run it. The GHZ circuits
 /// are Clifford (stabilizer-eligible); only the ≤5-qubit circuits fit
-/// the ibmqx4 device model.
-fn sweep() -> Vec<(String, QuantumCircuit, Vec<&'static str>)> {
+/// the ibmqx4 device model. The 12-qubit circuits additionally run on
+/// the parallel chunked/fused engine at every requested thread count —
+/// the speedup anchor for the parallel execution layer.
+fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
     let bell = {
         let mut circ = QuantumCircuit::new(2);
         circ.set_name("bell");
@@ -84,25 +118,32 @@ fn sweep() -> Vec<(String, QuantumCircuit, Vec<&'static str>)> {
         circ.cx(0, 1).expect("valid");
         circ
     };
+    let owned = |names: &[&str]| names.iter().map(|n| (*n).to_owned()).collect::<Vec<_>>();
+    let mut wide_engines = owned(&["qasm_simulator"]);
+    for &t in threads {
+        wide_engines.push(format!("parallel_statevector[t={t}]"));
+    }
     vec![
         (
             "ghz_8".to_owned(),
             crate::ghz(8),
-            vec!["qasm_simulator", "dd_simulator", "stabilizer_simulator"],
+            owned(&["qasm_simulator", "dd_simulator", "stabilizer_simulator"]),
         ),
-        ("qft_6".to_owned(), crate::qft(6), vec!["qasm_simulator", "dd_simulator"]),
+        ("qft_6".to_owned(), crate::qft(6), owned(&["qasm_simulator", "dd_simulator"])),
         (
             "entangler_6x3".to_owned(),
             crate::entangler(6, 3),
-            vec!["qasm_simulator", "dd_simulator"],
+            owned(&["qasm_simulator", "dd_simulator"]),
         ),
         (
             "random_6x40".to_owned(),
             crate::random_circuit(6, 40, 1234),
-            vec!["qasm_simulator", "dd_simulator"],
+            owned(&["qasm_simulator", "dd_simulator"]),
         ),
-        ("ghz_5".to_owned(), crate::ghz(5), vec!["ibmqx4"]),
-        ("bell".to_owned(), bell, vec!["qasm_simulator", "ibmqx4"]),
+        ("ghz_5".to_owned(), crate::ghz(5), owned(&["ibmqx4"])),
+        ("bell".to_owned(), bell, owned(&["qasm_simulator", "ibmqx4"])),
+        ("qft_12".to_owned(), crate::qft(12), wide_engines.clone()),
+        ("random_12x200".to_owned(), crate::random_circuit(12, 200, 4242), wide_engines),
     ]
 }
 
@@ -114,34 +155,37 @@ fn sweep() -> Vec<(String, QuantumCircuit, Vec<&'static str>)> {
 pub fn run_baseline(config: &BaselineConfig) -> Baseline {
     let was_enabled = qukit_obs::enabled();
     let mut entries = Vec::new();
-    for (circuit_name, circuit, engines) in sweep() {
+    for (circuit_name, circuit, engines) in sweep(&config.threads) {
         for engine_name in engines {
-            let engine = make_engine(engine_name, config.seed);
-            if config.collect_metrics {
-                qukit_obs::set_enabled(true);
-                qukit_obs::reset();
+            let engine = make_engine(&engine_name, config.seed);
+            let measured = prepared(&circuit);
+            let mut wall_seconds = f64::INFINITY;
+            let mut metrics = BTreeMap::new();
+            for _ in 0..config.repeats.max(1) {
+                if config.collect_metrics {
+                    qukit_obs::set_enabled(true);
+                    qukit_obs::reset();
+                }
+                let start = std::time::Instant::now();
+                let counts = engine.run(&measured, config.shots).expect("baseline run");
+                wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+                assert_eq!(counts.total(), config.shots, "baseline runs sample every shot");
+                if config.collect_metrics {
+                    let snapshot = qukit_obs::registry().snapshot();
+                    qukit_obs::set_enabled(was_enabled);
+                    let mut flat: BTreeMap<String, f64> = BTreeMap::new();
+                    for (name, value) in &snapshot.counters {
+                        flat.insert(name.clone(), *value as f64);
+                    }
+                    for (name, value) in &snapshot.gauges {
+                        flat.insert(name.clone(), *value);
+                    }
+                    metrics = flat;
+                }
             }
-            let start = std::time::Instant::now();
-            let counts = engine.run(&prepared(&circuit), config.shots).expect("baseline run");
-            let wall_seconds = start.elapsed().as_secs_f64();
-            assert_eq!(counts.total(), config.shots, "baseline runs sample every shot");
-            let metrics = if config.collect_metrics {
-                let snapshot = qukit_obs::registry().snapshot();
-                qukit_obs::set_enabled(was_enabled);
-                let mut flat: BTreeMap<String, f64> = BTreeMap::new();
-                for (name, value) in &snapshot.counters {
-                    flat.insert(name.clone(), *value as f64);
-                }
-                for (name, value) in &snapshot.gauges {
-                    flat.insert(name.clone(), *value);
-                }
-                flat
-            } else {
-                BTreeMap::new()
-            };
             entries.push(BaselineEntry {
                 circuit: circuit_name.clone(),
-                engine: engine_name.to_owned(),
+                engine: engine_name,
                 qubits: circuit.num_qubits(),
                 gates: circuit.num_gates(),
                 shots: config.shots,
@@ -152,6 +196,31 @@ pub fn run_baseline(config: &BaselineConfig) -> Baseline {
     }
     qukit_obs::set_enabled(was_enabled);
     Baseline { entries }
+}
+
+/// One slowdown found by [`Baseline::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Circuit name of the regressed entry.
+    pub circuit: String,
+    /// Engine name of the regressed entry.
+    pub engine: String,
+    /// Wall seconds in the old (reference) baseline.
+    pub old_wall: f64,
+    /// Wall seconds in the new (candidate) baseline.
+    pub new_wall: f64,
+    /// Noise-floored slowdown ratio (`> 1 + tolerance` to be reported).
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {}: {:.6}s -> {:.6}s ({:.2}x)",
+            self.circuit, self.engine, self.old_wall, self.new_wall, self.ratio
+        )
+    }
 }
 
 /// Adds terminal measurements where the suite circuit has none (the
@@ -257,6 +326,40 @@ impl Baseline {
         }
         Ok(Self { entries })
     }
+
+    /// Compares `self` (the old reference) against `new`, returning every
+    /// shared `(circuit, engine)` pair that slowed down by more than
+    /// `tolerance` (0.25 = 25%). Pairs present in only one document are
+    /// skipped — baselines are allowed to grow or shrink their sweeps.
+    ///
+    /// Both wall times are clamped up to `min_wall` before forming the
+    /// ratio, so sub-noise-floor timings (see [`MIN_COMPARE_WALL`]) can
+    /// never trip the gate.
+    pub fn compare(&self, new: &Baseline, tolerance: f64, min_wall: f64) -> Vec<Regression> {
+        let mut regressions = Vec::new();
+        for old_entry in &self.entries {
+            let Some(new_entry) = new
+                .entries
+                .iter()
+                .find(|e| e.circuit == old_entry.circuit && e.engine == old_entry.engine)
+            else {
+                continue;
+            };
+            let old_floored = old_entry.wall_seconds.max(min_wall);
+            let new_floored = new_entry.wall_seconds.max(min_wall);
+            let ratio = new_floored / old_floored;
+            if ratio > 1.0 + tolerance {
+                regressions.push(Regression {
+                    circuit: old_entry.circuit.clone(),
+                    engine: old_entry.engine.clone(),
+                    old_wall: old_entry.wall_seconds,
+                    new_wall: new_entry.wall_seconds,
+                    ratio,
+                });
+            }
+        }
+        regressions
+    }
 }
 
 /// Finite shortest-roundtrip float formatting (JSON has no NaN/Inf).
@@ -331,6 +434,86 @@ mod tests {
         )
         .is_err());
         assert!(Baseline::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn parallel_engine_names_parse() {
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=4]"), Some(4));
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=16]"), Some(16));
+        assert_eq!(parse_parallel_engine("qasm_simulator"), None);
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=x]"), None);
+    }
+
+    #[test]
+    fn sweep_covers_wide_circuits_at_every_thread_count() {
+        let _guard = lock();
+        let config =
+            BaselineConfig { shots: 16, repeats: 1, threads: vec![1, 2], ..Default::default() };
+        let baseline = run_baseline(&config);
+        for circuit in ["qft_12", "random_12x200"] {
+            for engine in
+                ["qasm_simulator", "parallel_statevector[t=1]", "parallel_statevector[t=2]"]
+            {
+                assert!(
+                    baseline.entries.iter().any(|e| e.circuit == circuit && e.engine == engine),
+                    "missing ({circuit}, {engine})"
+                );
+            }
+        }
+        let parallel = baseline
+            .entries
+            .iter()
+            .find(|e| e.circuit == "qft_12" && e.engine == "parallel_statevector[t=2]")
+            .expect("parallel entry");
+        assert!(
+            parallel.metrics.keys().any(|k| k.starts_with("qukit_terra_fusion_")),
+            "parallel entry carries fusion metrics: {:?}",
+            parallel.metrics.keys().collect::<Vec<_>>()
+        );
+    }
+
+    fn entry(circuit: &str, engine: &str, wall: f64) -> BaselineEntry {
+        BaselineEntry {
+            circuit: circuit.to_owned(),
+            engine: engine.to_owned(),
+            qubits: 2,
+            gates: 2,
+            shots: 16,
+            wall_seconds: wall,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn compare_flags_slowdowns_beyond_tolerance() {
+        let old = Baseline {
+            entries: vec![entry("bell", "qasm_simulator", 0.010), entry("bell", "ibmqx4", 0.010)],
+        };
+        let new = Baseline {
+            entries: vec![entry("bell", "qasm_simulator", 0.020), entry("bell", "ibmqx4", 0.011)],
+        };
+        let regressions = old.compare(&new, 0.25, MIN_COMPARE_WALL);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].engine, "qasm_simulator");
+        assert!(regressions[0].ratio > 1.9 && regressions[0].ratio < 2.1);
+        assert!(regressions[0].to_string().contains("qasm_simulator"));
+    }
+
+    #[test]
+    fn compare_floors_sub_noise_timings_and_skips_unshared_pairs() {
+        // 3 µs -> 300 µs is a 100x blowup on paper but both sit under the
+        // noise floor, so it must not trip the gate.
+        let old = Baseline { entries: vec![entry("bell", "qasm_simulator", 0.000_003)] };
+        let new = Baseline {
+            entries: vec![
+                entry("bell", "qasm_simulator", 0.000_3),
+                entry("qft_12", "parallel_statevector[t=4]", 5.0),
+            ],
+        };
+        assert!(old.compare(&new, 0.25, MIN_COMPARE_WALL).is_empty());
+        // A genuine slowdown above the floor is still caught.
+        let slow = Baseline { entries: vec![entry("bell", "qasm_simulator", 0.01)] };
+        assert_eq!(old.compare(&slow, 0.25, MIN_COMPARE_WALL).len(), 1);
     }
 
     #[test]

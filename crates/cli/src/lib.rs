@@ -43,6 +43,9 @@ pub enum CliError {
     Qukit(qukit::error::QukitError),
     /// The conformance fuzzer found violations (details already printed).
     Conformance(String),
+    /// `stats --compare` found performance regressions (details already
+    /// printed).
+    Regression(String),
 }
 
 impl fmt::Display for CliError {
@@ -52,6 +55,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Qukit(e) => write!(f, "{e}"),
             CliError::Conformance(msg) => write!(f, "{msg}"),
+            CliError::Regression(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -79,14 +83,15 @@ impl From<qukit::terra::error::TerraError> for CliError {
 const USAGE: &str = "usage:
   qukit backends
   qukit stats <file.qasm | file.json>
+  qukit stats --compare OLD.json NEW.json [--tolerance T]
   qukit draw <file.qasm>
   qukit run <file.qasm> [--backend NAME] [--shots N] [--seed N]
-            [--metrics FILE.json] [--trace]
+            [--threads N] [--metrics FILE.json] [--trace]
   qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
                   [--mapper basic|lookahead|astar] [--opt 0..3] [--emit]
   qukit equiv <a.qasm> <b.qasm>
   qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
-             [--retries N] [--timeout-ms N]
+             [--threads N] [--retries N] [--timeout-ms N]
              [--inject-fail N | --hang-ms N] [--fallback] [--cancel]
              [--metrics FILE.json] [--trace]
   qukit fuzz [--seed N] [--cases N] [--max-qubits N] [--max-depth N]
@@ -94,9 +99,17 @@ const USAGE: &str = "usage:
              [--shots N] [--measure] [--no-shrink] [--repro-dir DIR]
              [--metrics FILE.json] [--trace]
   qukit bench [--json] [--out FILE.json] [--shots N] [--seed N]
-              [--no-metrics]
+              [--threads N] [--repeats N] [--no-metrics]
 
 coupling KIND is one of line, ring, full, or grid:RxC
+
+--threads N routes simulation through the parallel chunked/fused
+statevector kernels with N worker threads (run/jobs), or sweeps the
+parallel engine over power-of-two thread counts up to N (bench,
+default 8). `stats --compare` exits nonzero when any (circuit, engine)
+pair shared by the two baselines slowed down by more than the
+tolerance (default 0.25 = 25%); timings under the noise floor are
+never compared
 
 fuzz runs the differential conformance harness: seeded random circuits
 are executed on every simulator and checked against the metamorphic
@@ -190,6 +203,9 @@ fn cmd_backends(out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_stats(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    if flag_present(rest, "--compare") {
+        return stats_compare(rest, out);
+    }
     let path = rest.first().ok_or_else(|| CliError::Usage("missing <file> argument".to_owned()))?;
     if path.ends_with(".json") {
         return stats_json(path, out);
@@ -235,6 +251,63 @@ fn stats_json(path: &str, out: &mut impl Write) -> Result<(), CliError> {
             write_baseline_table(&baseline, out)
         }
         other => Err(CliError::Usage(format!("unknown schema '{other}' in {path}"))),
+    }
+}
+
+/// `qukit stats --compare OLD.json NEW.json [--tolerance T]`: the
+/// perf-regression gate. Every `(circuit, engine)` pair present in both
+/// baselines is compared; a slowdown beyond the tolerance fails the
+/// command with a nonzero exit. Timings are floored at
+/// [`MIN_COMPARE_WALL`](qukit_bench::baseline::MIN_COMPARE_WALL) so
+/// sub-noise jitter cannot trip the gate.
+fn stats_compare(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    use qukit_bench::baseline::{Baseline, MIN_COMPARE_WALL};
+    let idx = rest.iter().position(|a| a.as_str() == "--compare").expect("flag checked");
+    let paths: Vec<&str> =
+        rest[idx + 1..].iter().take_while(|a| !a.starts_with("--")).map(|a| a.as_str()).collect();
+    let [old_path, new_path] = paths[..] else {
+        return Err(CliError::Usage("--compare needs exactly OLD.json NEW.json".to_owned()));
+    };
+    let tolerance: f64 = match flag_value(rest, "--tolerance")? {
+        Some(v) => parse_number(v, "tolerance")?,
+        None => 0.25,
+    };
+    if !(0.0..10.0).contains(&tolerance) {
+        return Err(CliError::Usage(format!("tolerance {tolerance} out of range [0, 10)")));
+    }
+    let load = |path: &str| -> Result<Baseline, CliError> {
+        let text = std::fs::read_to_string(path)?;
+        Baseline::from_json(&text)
+            .map_err(|e| CliError::Usage(format!("invalid bench baseline {path}: {e}")))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let shared = old
+        .entries
+        .iter()
+        .filter(|o| new.entries.iter().any(|n| n.circuit == o.circuit && n.engine == o.engine))
+        .count();
+    let regressions = old.compare(&new, tolerance, MIN_COMPARE_WALL);
+    writeln!(
+        out,
+        "compared {shared} shared (circuit, engine) pairs \
+         ({} old, {} new entries), tolerance {:.0}%",
+        old.entries.len(),
+        new.entries.len(),
+        tolerance * 100.0
+    )?;
+    for regression in &regressions {
+        writeln!(out, "REGRESSION {regression}")?;
+    }
+    if regressions.is_empty() {
+        writeln!(out, "no regressions")?;
+        Ok(())
+    } else {
+        Err(CliError::Regression(format!(
+            "{} entry(ies) slowed down by more than {:.0}%",
+            regressions.len(),
+            tolerance * 100.0
+        )))
     }
 }
 
@@ -304,6 +377,23 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
+/// Parses `--threads N` into a parallel kernel configuration (chunked
+/// execution, fusion enabled) for `run`/`jobs`.
+fn parallel_from_flags(
+    rest: &[&String],
+) -> Result<Option<qukit::aer::parallel::ParallelConfig>, CliError> {
+    match flag_value(rest, "--threads")? {
+        Some(v) => {
+            let threads: usize = parse_number(v, "thread count")?;
+            if threads == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".to_owned()));
+            }
+            Ok(Some(qukit::aer::parallel::ParallelConfig::with_threads(threads)))
+        }
+        None => Ok(None),
+    }
+}
+
 fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     let obs = ObsSession::from_flags(rest)?;
     let circ = load_circuit(rest)?;
@@ -312,7 +402,10 @@ fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         Some(v) => parse_number(v, "shot count")?,
         None => 1024,
     };
-    let provider = build_provider(flag_value(rest, "--seed")?)?;
+    let mut provider = build_provider(flag_value(rest, "--seed")?)?;
+    if let Some(parallel) = parallel_from_flags(rest)? {
+        provider.set_parallel(parallel);
+    }
     let counts = if obs.active() {
         // Instrumented path: pre-transpile for the simulator and route
         // through the job service so a single run exercises (and
@@ -446,7 +539,13 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             "attempt timeout",
         )?));
     }
-    let config = ExecutorConfig { workers: 1, queue_capacity: 16, retry, ..Default::default() };
+    let config = ExecutorConfig {
+        workers: 1,
+        queue_capacity: 16,
+        retry,
+        parallel: parallel_from_flags(rest)?,
+        ..Default::default()
+    };
     let executor = JobExecutor::with_config(provider, config);
 
     let job = executor.submit(&circ, submit_name, shots)?;
@@ -612,8 +711,31 @@ fn cmd_bench(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         Some(v) => parse_number(v, "seed")?,
         None => 7,
     };
-    let config =
-        BaselineConfig { shots, seed, collect_metrics: !flag_present(rest, "--no-metrics") };
+    let max_threads: usize = match flag_value(rest, "--threads")? {
+        Some(v) => {
+            let n = parse_number(v, "thread count")?;
+            if n == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".to_owned()));
+            }
+            n
+        }
+        None => 8,
+    };
+    let mut threads: Vec<usize> = [1, 2, 4, 8].into_iter().filter(|t| *t <= max_threads).collect();
+    if !threads.contains(&max_threads) {
+        threads.push(max_threads);
+    }
+    let repeats: usize = match flag_value(rest, "--repeats")? {
+        Some(v) => parse_number(v, "repeat count")?,
+        None => 3,
+    };
+    let config = BaselineConfig {
+        shots,
+        seed,
+        collect_metrics: !flag_present(rest, "--no-metrics"),
+        repeats: repeats.max(1),
+        threads,
+    };
     let baseline = run_baseline(&config);
     if flag_present(rest, "--json") {
         let json = baseline.to_json();
@@ -1214,5 +1336,123 @@ mod tests {
     fn help_prints_usage() {
         let text = run_ok(&["help"]);
         assert!(text.contains("usage:"));
+        assert!(text.contains("--compare"));
+        assert!(text.contains("--threads"));
+    }
+
+    #[test]
+    fn run_with_threads_produces_correlated_bell_counts() {
+        let file = write_bell();
+        let text =
+            run_ok(&["run", file.as_str(), "--shots", "200", "--seed", "5", "--threads", "2"]);
+        assert!(text.contains("shots: 200"));
+        assert!(!text.contains(" 01 "), "bell must not produce 01:\n{text}");
+        assert!(matches!(run_err(&["run", file.as_str(), "--threads", "0"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn jobs_with_threads_completes() {
+        let file = write_bell();
+        let text =
+            run_ok(&["jobs", file.as_str(), "--shots", "100", "--seed", "3", "--threads", "4"]);
+        assert!(text.contains("status: DONE"), "{text}");
+    }
+
+    /// Writes a synthetic one-entry baseline document.
+    fn write_baseline(tag: &str, wall: f64) -> tempfile::TempQasm {
+        let file = temp_json(tag);
+        let baseline = qukit_bench::baseline::Baseline {
+            entries: vec![qukit_bench::baseline::BaselineEntry {
+                circuit: "bell".to_owned(),
+                engine: "qasm_simulator".to_owned(),
+                qubits: 2,
+                gates: 2,
+                shots: 16,
+                wall_seconds: wall,
+                metrics: Default::default(),
+            }],
+        };
+        std::fs::write(&file.path, baseline.to_json()).expect("write baseline");
+        file
+    }
+
+    #[test]
+    fn stats_compare_passes_within_tolerance_and_fails_beyond() {
+        let old = write_baseline("old", 0.010);
+        let same = write_baseline("same", 0.011);
+        let text = run_ok(&["stats", "--compare", old.as_str(), same.as_str()]);
+        assert!(text.contains("no regressions"), "{text}");
+
+        let slow = write_baseline("slow", 0.030);
+        let mut out = Vec::new();
+        let err = run_cli(
+            &args(&["stats", "--compare", old.as_str(), slow.as_str(), "--tolerance", "0.25"]),
+            &mut out,
+        )
+        .expect_err("3x slowdown must fail");
+        assert!(matches!(err, CliError::Regression(_)), "{err}");
+        let printed = String::from_utf8(out).expect("utf8");
+        assert!(printed.contains("REGRESSION"), "{printed}");
+        assert!(printed.contains("qasm_simulator"), "{printed}");
+
+        // A generous tolerance lets the same pair through.
+        let text =
+            run_ok(&["stats", "--compare", old.as_str(), slow.as_str(), "--tolerance", "5.0"]);
+        assert!(text.contains("no regressions"), "{text}");
+    }
+
+    #[test]
+    fn stats_compare_ignores_sub_noise_floor_jitter() {
+        // Both measurements sit below the 0.5ms floor: a nominal 50x
+        // "slowdown" must not fail the gate.
+        let old = write_baseline("noise_old", 0.000_002);
+        let new = write_baseline("noise_new", 0.000_1);
+        let text = run_ok(&["stats", "--compare", old.as_str(), new.as_str()]);
+        assert!(text.contains("no regressions"), "{text}");
+    }
+
+    #[test]
+    fn stats_compare_rejects_bad_invocations() {
+        let old = write_baseline("lonely", 0.01);
+        assert!(matches!(run_err(&["stats", "--compare", old.as_str()]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["stats", "--compare", old.as_str(), "/nonexistent.json"]),
+            CliError::Io(_)
+        ));
+        assert!(matches!(
+            run_err(&["stats", "--compare", old.as_str(), old.as_str(), "--tolerance", "fast"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn bench_thread_sweep_emits_parallel_entries() {
+        let _guard = obs_lock();
+        let out_file = temp_json("bench_threads");
+        run_ok(&[
+            "bench",
+            "--json",
+            "--out",
+            out_file.as_str(),
+            "--shots",
+            "16",
+            "--repeats",
+            "1",
+            "--threads",
+            "2",
+        ]);
+        let written = std::fs::read_to_string(&out_file.path).expect("baseline written");
+        let baseline =
+            qukit_bench::baseline::Baseline::from_json(&written).expect("baseline validates");
+        for engine in ["parallel_statevector[t=1]", "parallel_statevector[t=2]"] {
+            assert!(
+                baseline.entries.iter().any(|e| e.circuit == "qft_12" && e.engine == engine),
+                "missing qft_12 on {engine}"
+            );
+        }
+        assert!(
+            !baseline.entries.iter().any(|e| e.engine == "parallel_statevector[t=4]"),
+            "--threads 2 must cap the sweep"
+        );
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! For unitary circuits the runner computes its own reference state (a
 //! deliberately naive gate-by-gate matrix application) and compares it
-//! against the statevector simulator, the decision-diagram simulator, the
-//! density-matrix simulator (diagonal), and — when the circuit is
-//! Clifford — a sampled run on the stabilizer tableau. For circuits with
+//! against the statevector simulator, the parallel chunked/fused
+//! statevector engine (threads forced on, fusion enabled), the
+//! decision-diagram simulator, the density-matrix simulator (diagonal),
+//! and — when the circuit is Clifford — a sampled run on the stabilizer
+//! tableau. For circuits with
 //! measurements/reset/conditionals it cross-checks the shot-based engines
 //! statistically.
 //!
@@ -15,6 +17,7 @@
 //! shrinks it (see `tests/planted_bug.rs`).
 
 use qukit_aer::density::DensityMatrixSimulator;
+use qukit_aer::parallel::{ParallelConfig, ParallelStatevectorSimulator};
 use qukit_aer::simulator::{QasmSimulator, StatevectorSimulator};
 use qukit_aer::stabilizer::{StabilizerSimulator, StabilizerState};
 use qukit_dd::simulator::DdSimulator;
@@ -160,6 +163,21 @@ impl DifferentialRunner {
             Err(e) => return Some(engine_error("statevector", &e)),
         };
         if let Some(m) = self.compare_amplitudes("statevector", &reference, sv.amplitudes()) {
+            return Some(m);
+        }
+
+        // The parallel engine runs with threading forced on (tiny chunks so
+        // even fuzz-sized circuits split across workers) and fusion enabled,
+        // so the chunked kernels and the fusion pre-pass are both exercised
+        // against the naive reference on every fuzz case.
+        let parallel = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true };
+        let psv = match ParallelStatevectorSimulator::with_config(parallel).run(circuit) {
+            Ok(sv) => sv,
+            Err(e) => return Some(engine_error("parallel_statevector", &e)),
+        };
+        if let Some(m) =
+            self.compare_amplitudes("parallel_statevector", &reference, psv.amplitudes())
+        {
             return Some(m);
         }
 

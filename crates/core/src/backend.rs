@@ -11,6 +11,7 @@
 use crate::error::{QukitError, Result};
 use qukit_aer::counts::Counts;
 use qukit_aer::noise::NoiseModel;
+use qukit_aer::parallel::ParallelConfig;
 use qukit_aer::simulator::QasmSimulator;
 use qukit_dd::simulator::DdSimulator;
 use qukit_terra::circuit::QuantumCircuit;
@@ -52,6 +53,14 @@ pub trait Backend: Send + Sync {
     /// [`run`]: Backend::run
     fn set_seed(&mut self, _seed: u64) {}
 
+    /// Installs a parallel-execution configuration (threads, chunk size,
+    /// gate fusion) for backends that simulate statevectors locally.
+    ///
+    /// The job service forwards [`crate::job::ExecutorConfig::parallel`]
+    /// through this hook; backends without a statevector engine keep the
+    /// default no-op.
+    fn set_parallel(&mut self, _config: ParallelConfig) {}
+
     /// The backend that actually served the most recent successful
     /// [`run`](Backend::run), when that can differ from [`name`](Backend::name).
     ///
@@ -67,6 +76,7 @@ pub trait Backend: Send + Sync {
 #[derive(Debug, Clone, Default)]
 pub struct QasmSimulatorBackend {
     seed: Option<u64>,
+    parallel: Option<ParallelConfig>,
 }
 
 impl QasmSimulatorBackend {
@@ -78,6 +88,13 @@ impl QasmSimulatorBackend {
     /// Fixes the sampling seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the parallel/fusion configuration (builder style). Without
+    /// this, the simulator falls back to the `QUKIT_THREADS` environment.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Some(parallel);
         self
     }
 }
@@ -96,11 +113,18 @@ impl Backend for QasmSimulatorBackend {
         if let Some(seed) = self.seed {
             sim = sim.with_seed(seed);
         }
+        if let Some(parallel) = self.parallel {
+            sim = sim.with_parallel(parallel);
+        }
         sim.run(circuit, shots).map_err(QukitError::from)
     }
 
     fn set_seed(&mut self, seed: u64) {
         self.seed = Some(seed);
+    }
+
+    fn set_parallel(&mut self, config: ParallelConfig) {
+        self.parallel = Some(config);
     }
 }
 
@@ -228,6 +252,7 @@ pub struct FakeDevice {
     coupling: CouplingMap,
     noise: NoiseModel,
     seed: Option<u64>,
+    parallel: Option<ParallelConfig>,
     mapper: MapperKind,
     layout: qukit_terra::transpiler::InitialLayout,
 }
@@ -240,6 +265,7 @@ impl FakeDevice {
             coupling,
             noise,
             seed: None,
+            parallel: None,
             mapper: MapperKind::Lookahead,
             layout: qukit_terra::transpiler::InitialLayout::Trivial,
         }
@@ -351,11 +377,18 @@ impl Backend for FakeDevice {
         if let Some(seed) = self.seed {
             sim = sim.with_seed(seed);
         }
+        if let Some(parallel) = self.parallel {
+            sim = sim.with_parallel(parallel);
+        }
         sim.run(&compacted, shots).map_err(QukitError::from)
     }
 
     fn set_seed(&mut self, seed: u64) {
         self.seed = Some(seed);
+    }
+
+    fn set_parallel(&mut self, config: ParallelConfig) {
+        self.parallel = Some(config);
     }
 }
 

@@ -152,6 +152,10 @@ impl Backend for FaultInjectingBackend {
     fn executed_on(&self) -> Option<String> {
         self.inner.executed_on()
     }
+
+    fn set_parallel(&mut self, config: qukit_aer::parallel::ParallelConfig) {
+        self.inner.set_parallel(config);
+    }
 }
 
 /// An ordered chain of backends tried left to right: the first success
@@ -247,6 +251,12 @@ impl Backend for FallbackChain {
 
     fn executed_on(&self) -> Option<String> {
         self.last_used.lock().expect("fallback lock").clone()
+    }
+
+    fn set_parallel(&mut self, config: qukit_aer::parallel::ParallelConfig) {
+        for backend in &mut self.backends {
+            backend.set_parallel(config);
+        }
     }
 }
 

@@ -441,6 +441,10 @@ pub struct ExecutorConfig {
     pub retry: RetryPolicy,
     /// Lifecycle-event subscribers (defaults to the metrics layer).
     pub observers: ObserverSet,
+    /// Parallel-simulation configuration pushed onto every provider
+    /// backend at construction (`None` leaves backends untouched, so
+    /// the environment-derived default still applies).
+    pub parallel: Option<qukit_aer::parallel::ParallelConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -452,6 +456,7 @@ impl Default for ExecutorConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             observers: ObserverSet::metrics(),
+            parallel: None,
         }
     }
 }
@@ -506,7 +511,10 @@ impl JobExecutor {
     }
 
     /// An executor with an explicit configuration.
-    pub fn with_config(provider: Provider, config: ExecutorConfig) -> Self {
+    pub fn with_config(mut provider: Provider, config: ExecutorConfig) -> Self {
+        if let Some(parallel) = config.parallel {
+            provider.set_parallel(parallel);
+        }
         let provider = Arc::new(provider);
         let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
@@ -1043,8 +1051,13 @@ mod tests {
         );
         let recorder = Arc::new(RecordingObserver::default());
         let observers = ObserverSet::none().with(recorder.clone() as Arc<dyn JobObserver>);
-        let config =
-            ExecutorConfig { workers: 1, queue_capacity: 8, retry: fast_retry(3), observers };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 8,
+            retry: fast_retry(3),
+            observers,
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(flaky)), config);
         let job = executor.submit(&bell(), "qasm_simulator", 100).unwrap();
         job.result(Duration::from_secs(30)).unwrap();
@@ -1085,8 +1098,13 @@ mod tests {
         );
         let recorder = Arc::new(RecordingObserver::default());
         let observers = ObserverSet::none().with(recorder.clone() as Arc<dyn JobObserver>);
-        let config =
-            ExecutorConfig { workers: 1, queue_capacity: 4, retry: RetryPolicy::none(), observers };
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retry: RetryPolicy::none(),
+            observers,
+            ..Default::default()
+        };
         let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
         let first = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
         while first.status() == JobStatus::Queued {

@@ -54,6 +54,16 @@ impl Provider {
         self.backends.push(backend);
     }
 
+    /// Applies a parallel-execution configuration to every registered
+    /// backend that supports one (see
+    /// [`Backend::set_parallel`](crate::backend::Backend::set_parallel)).
+    /// Backends without a parallel path ignore the call.
+    pub fn set_parallel(&mut self, config: qukit_aer::parallel::ParallelConfig) {
+        for backend in &mut self.backends {
+            backend.set_parallel(config);
+        }
+    }
+
     /// Lists the registered backend names.
     pub fn backend_names(&self) -> Vec<&str> {
         self.backends.iter().map(|b| b.name()).collect()

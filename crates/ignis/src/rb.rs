@@ -95,25 +95,33 @@ pub fn run_rb(
     Ok(RbResult { curve, alpha, error_per_clifford: (1.0 - alpha) / 2.0 })
 }
 
-/// Fits `P(m) = A·α^m + 1/2` by linear regression on `ln(P - 1/2)`
-/// (the asymptote `B = 1/2` is exact for single-qubit depolarizing noise).
+/// Fits `P(m) = A·α^m + 1/2` by weighted linear regression on
+/// `ln(P - 1/2)` (the asymptote `B = 1/2` is exact for single-qubit
+/// depolarizing noise). Shot noise on `P` maps to a log-space variance
+/// of roughly `Var(P) / (P - 1/2)^2`, so each point is weighted by
+/// `(P - 1/2)^2`: points that have decayed onto the asymptote carry
+/// almost no information about `α` and must not dominate the slope.
 /// Points at or below the asymptote are discarded.
 pub fn fit_decay(curve: &[(usize, f64)]) -> f64 {
-    let points: Vec<(f64, f64)> = curve
+    let points: Vec<(f64, f64, f64)> = curve
         .iter()
         .filter(|&&(_, p)| p > 0.5 + 1e-6)
-        .map(|&(m, p)| (m as f64, (p - 0.5).ln()))
+        .map(|&(m, p)| (m as f64, (p - 0.5).ln(), (p - 0.5) * (p - 0.5)))
         .collect();
     if points.len() < 2 {
         return 0.0;
     }
-    // Least squares slope of ln(P - 1/2) = ln A + m ln α.
-    let n = points.len() as f64;
-    let sum_x: f64 = points.iter().map(|p| p.0).sum();
-    let sum_y: f64 = points.iter().map(|p| p.1).sum();
-    let sum_xx: f64 = points.iter().map(|p| p.0 * p.0).sum();
-    let sum_xy: f64 = points.iter().map(|p| p.0 * p.1).sum();
-    let slope = (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
+    // Weighted least squares slope of ln(P - 1/2) = ln A + m ln α.
+    let sum_w: f64 = points.iter().map(|p| p.2).sum();
+    let sum_x: f64 = points.iter().map(|p| p.2 * p.0).sum();
+    let sum_y: f64 = points.iter().map(|p| p.2 * p.1).sum();
+    let sum_xx: f64 = points.iter().map(|p| p.2 * p.0 * p.0).sum();
+    let sum_xy: f64 = points.iter().map(|p| p.2 * p.0 * p.1).sum();
+    let denom = sum_w * sum_xx - sum_x * sum_x;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let slope = (sum_w * sum_xy - sum_x * sum_y) / denom;
     slope.exp().clamp(0.0, 1.0)
 }
 

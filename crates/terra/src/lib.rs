@@ -43,6 +43,7 @@ pub mod coupling;
 pub mod dag;
 pub mod draw;
 pub mod error;
+pub mod fusion;
 pub mod gate;
 pub mod instruction;
 pub mod layout;

@@ -111,6 +111,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning the row-major data vector.
     #[inline]
     pub fn into_vec(self) -> Vec<Complex> {
