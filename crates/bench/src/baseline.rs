@@ -123,6 +123,10 @@ fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
     for &t in threads {
         wide_engines.push(format!("parallel_statevector[t={t}]"));
     }
+    // DD last: its 12-qubit runs are allocation-heavy (unstructured
+    // circuits blow the diagram up) and would pollute the caches under
+    // the dense-engine timings measured right after.
+    wide_engines.push("dd_simulator".to_owned());
     vec![
         (
             "ghz_8".to_owned(),
@@ -144,6 +148,12 @@ fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
         ("bell".to_owned(), bell, owned(&["qasm_simulator", "ibmqx4"])),
         ("qft_12".to_owned(), crate::qft(12), wide_engines.clone()),
         ("random_12x200".to_owned(), crate::random_circuit(12, 200, 4242), wide_engines),
+        // DD-scaling entries: structured circuits far past dense reach
+        // (2^24 amplitudes would be 256 MiB; the DD stays tiny). Only the
+        // DD engine runs them — the compact-representation headline of
+        // the paper's Fig. 3.
+        ("ghz_24".to_owned(), crate::ghz(24), owned(&["dd_simulator"])),
+        ("qft_16".to_owned(), crate::qft(16), owned(&["dd_simulator"])),
     ]
 }
 

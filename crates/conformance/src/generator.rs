@@ -320,4 +320,48 @@ mod tests {
         assert_eq!(GateSet::parse("clifford+t"), Some(GateSet::CliffordT));
         assert_eq!(GateSet::parse("bogus"), None);
     }
+
+    /// Hash-consing canonicality, property-tested over generated circuits:
+    /// building the same circuit twice in one package must return the
+    /// *identical* root edge (same node id, same weight id) because every
+    /// intermediate structure is interned — and the final diagram must be
+    /// the same size whether or not the lossy compute tables were on.
+    #[test]
+    fn dd_hash_consing_is_canonical_across_rebuilds() {
+        use qukit_dd::package::DdPackage;
+        use qukit_terra::instruction::Operation;
+
+        let config = GeneratorConfig { max_qubits: 5, max_depth: 16, ..GeneratorConfig::default() };
+        let mut generator = CircuitGenerator::new(42, config);
+        for case in 0..25 {
+            let circ = generator.next_circuit();
+            let build = |package: &mut DdPackage| {
+                let mut root = package.zero_state();
+                for inst in circ.instructions() {
+                    if let Operation::Gate(g) = &inst.op {
+                        let m = package.gate_matrix(&g.matrix(), &inst.qubits);
+                        root = package.multiply_mv(m, root);
+                    }
+                }
+                root
+            };
+            let mut package = DdPackage::new(circ.num_qubits());
+            let first = build(&mut package);
+            let second = build(&mut package);
+            assert_eq!(
+                first, second,
+                "case {case}: same circuit in one package must hit the same interned edge"
+            );
+            let cached_nodes = package.vector_nodes(first);
+
+            let mut uncached = DdPackage::new(circ.num_qubits());
+            uncached.set_cache_enabled(false);
+            let raw = build(&mut uncached);
+            assert_eq!(
+                uncached.vector_nodes(raw),
+                cached_nodes,
+                "case {case}: compute-table caching must not change the canonical diagram"
+            );
+        }
+    }
 }

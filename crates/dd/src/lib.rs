@@ -35,6 +35,7 @@
 pub mod export;
 pub mod package;
 pub mod simulator;
+mod tables;
 pub mod verify;
 
 pub use package::{DdPackage, Edge};

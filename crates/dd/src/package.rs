@@ -14,7 +14,29 @@
 //! (the maximum-magnitude child weight is factored out, following the
 //! accuracy-oriented normalization of [38]) and (b) hash-consing through a
 //! unique table with a canonicalizing complex-number table.
+//!
+//! # Implementation notes (the performance rebuild)
+//!
+//! The table layer follows "Tools for Quantum Computing Based on Decision
+//! Diagrams" (Wille, Hillmich, Burgholzer) and the MQT DDSIM package:
+//!
+//! * unique tables and the weight table are open-addressed with an
+//!   FxHash-style hash over packed node words ([`crate::tables`]);
+//! * the add/mv/mm compute tables are fixed-size, direct-mapped and
+//!   *lossy* — collisions evict, so cache cost is O(1) and memory is
+//!   bounded regardless of circuit depth;
+//! * nodes live in free-list arenas with external reference counts; a
+//!   threshold-triggered mark-and-sweep GC ([`DdPackage::maybe_collect`])
+//!   reclaims everything unreachable from rc-protected roots, so long
+//!   multi-gate runs no longer grow without bound.
+//!
+//! GC only ever runs inside [`DdPackage::collect_garbage`] /
+//! [`DdPackage::maybe_collect`] — never implicitly during an operation —
+//! so edges held across a collection are valid iff their root was
+//! protected with [`DdPackage::inc_ref`] (vectors) or
+//! [`DdPackage::inc_ref_matrix`] (matrices).
 
+use crate::tables::{fx_word, pack_edge, ComputeTable, UniqueTable, WeightTable};
 use qukit_terra::complex::Complex;
 use std::collections::HashMap;
 
@@ -57,7 +79,7 @@ impl Edge {
 }
 
 /// A vector-DD node: splits a state on one qubit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct VNode {
     level: u16,
     succ: [Edge; 2],
@@ -65,14 +87,46 @@ struct VNode {
 
 /// A matrix-DD node: splits an operator on one qubit
 /// (`succ[row_bit * 2 + col_bit]`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct MNode {
     level: u16,
     succ: [Edge; 4],
 }
 
+/// Level marker for reclaimed arena slots (no real node reaches it:
+/// `DdPackage::new` rejects registers that wide).
+const FREE_LEVEL: u16 = u16::MAX;
+
+const FREE_VNODE: VNode = VNode { level: FREE_LEVEL, succ: [Edge::ZERO; 2] };
+const FREE_MNODE: MNode = MNode { level: FREE_LEVEL, succ: [Edge::ZERO; 4] };
+
+#[inline]
+fn hash_vnode(node: &VNode) -> u64 {
+    let h = fx_word(0, u64::from(node.level));
+    let h = fx_word(h, pack_edge(node.succ[0]));
+    fx_word(h, pack_edge(node.succ[1]))
+}
+
+#[inline]
+fn hash_mnode(node: &MNode) -> u64 {
+    let mut h = fx_word(0, u64::from(node.level));
+    for edge in node.succ {
+        h = fx_word(h, pack_edge(edge));
+    }
+    h
+}
+
 /// Tolerance for identifying complex weights (see the complex table).
-const WEIGHT_TOLERANCE: f64 = 1e-10;
+pub(crate) const WEIGHT_TOLERANCE: f64 = 1e-10;
+
+/// Initial unique-table capacity (slots; grows by doubling).
+const UNIQUE_BITS: u32 = 12;
+/// Fixed compute-table capacity (entries; never grows — lossy).
+const COMPUTE_BITS: u32 = 12;
+/// Initial weight-table capacity (slots; grows by doubling).
+const WEIGHT_BITS: u32 = 10;
+/// Default live-node count that arms the next [`DdPackage::maybe_collect`].
+const DEFAULT_GC_THRESHOLD: usize = 16_384;
 
 /// The decision-diagram package: arenas, unique tables and operation
 /// caches. All edges returned by one package are only meaningful within it.
@@ -91,22 +145,28 @@ const WEIGHT_TOLERANCE: f64 = 1e-10;
 pub struct DdPackage {
     num_qubits: usize,
     weights: Vec<Complex>,
-    weight_lookup: HashMap<(i64, i64), WeightId>,
+    weight_table: WeightTable,
     vnodes: Vec<VNode>,
-    vunique: HashMap<VNode, NodeId>,
+    vrc: Vec<u32>,
+    vfree: Vec<NodeId>,
+    vunique: UniqueTable,
     mnodes: Vec<MNode>,
-    munique: HashMap<MNode, NodeId>,
-    add_cache: HashMap<(Edge, Edge), Edge>,
-    mv_cache: HashMap<(Edge, Edge), Edge>,
-    mm_cache: HashMap<(Edge, Edge), Edge>,
+    mrc: Vec<u32>,
+    mfree: Vec<NodeId>,
+    munique: UniqueTable,
+    add_table: ComputeTable,
+    mv_table: ComputeTable,
+    mm_table: ComputeTable,
     cache_enabled: bool,
+    gc_threshold: usize,
+    peak_live: usize,
     stats: DdStats,
 }
 
 /// Health counters of a [`DdPackage`] — the signals the DD literature
 /// reports first: unique-table and compute-table hit rates, weight-table
-/// collisions, and cache clears. Plain fields incremented inline (every
-/// package method takes `&mut self`), so tracking is always on and
+/// collisions, and garbage collection. Plain fields incremented inline
+/// (every package method takes `&mut self`), so tracking is always on and
 /// costs two or three integer adds per operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DdStats {
@@ -121,8 +181,13 @@ pub struct DdStats {
     /// Weight interns resolved in a neighbouring tolerance bucket (hash
     /// collisions the 9-bucket probe had to unify).
     pub weight_collisions: u64,
-    /// Times the compute tables were dropped (cache clears / GC).
+    /// Times the compute tables were dropped (cache invalidations: every
+    /// GC run plus explicit clears).
     pub gc_events: u64,
+    /// Mark-and-sweep collections performed.
+    pub gc_runs: u64,
+    /// Nodes returned to the free lists across all collections.
+    pub gc_reclaimed: u64,
 }
 
 impl DdPackage {
@@ -132,21 +197,27 @@ impl DdPackage {
     ///
     /// Panics if `num_qubits` exceeds `u16::MAX - 1` levels.
     pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits < u16::MAX as usize, "too many qubits");
+        assert!(num_qubits < u16::MAX as usize - 1, "too many qubits");
         let mut package = Self {
             num_qubits,
             weights: Vec::new(),
-            weight_lookup: HashMap::new(),
+            weight_table: WeightTable::new(WEIGHT_BITS),
             // Index 0 is a placeholder for the shared terminal in both
             // arenas; level 0 and zero successors, never dereferenced.
             vnodes: vec![VNode { level: 0, succ: [Edge::ZERO; 2] }],
-            vunique: HashMap::new(),
+            vrc: vec![0],
+            vfree: Vec::new(),
+            vunique: UniqueTable::new(UNIQUE_BITS),
             mnodes: vec![MNode { level: 0, succ: [Edge::ZERO; 4] }],
-            munique: HashMap::new(),
-            add_cache: HashMap::new(),
-            mv_cache: HashMap::new(),
-            mm_cache: HashMap::new(),
+            mrc: vec![0],
+            mfree: Vec::new(),
+            munique: UniqueTable::new(UNIQUE_BITS),
+            add_table: ComputeTable::new(COMPUTE_BITS),
+            mv_table: ComputeTable::new(COMPUTE_BITS),
+            mm_table: ComputeTable::new(COMPUTE_BITS),
             cache_enabled: true,
+            gc_threshold: DEFAULT_GC_THRESHOLD,
+            peak_live: 0,
             stats: DdStats::default(),
         };
         let zero = package.intern_weight(Complex::ZERO);
@@ -166,14 +237,11 @@ impl DdPackage {
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
         if !enabled {
-            self.add_cache.clear();
-            self.mv_cache.clear();
-            self.mm_cache.clear();
-            self.stats.gc_events += 1;
+            self.reset_compute_tables();
         }
     }
 
-    /// Current health counters (hit/miss rates, collisions, GC events).
+    /// Current health counters (hit/miss rates, collisions, GC activity).
     pub fn stats(&self) -> DdStats {
         self.stats
     }
@@ -189,33 +257,34 @@ impl DdPackage {
     }
 
     /// Interns a complex value, returning the canonical id of a value
-    /// within [`WEIGHT_TOLERANCE`].
+    /// within `WEIGHT_TOLERANCE`.
     pub fn intern_weight(&mut self, value: Complex) -> WeightId {
         // Snap tiny components to exactly zero for stability.
         let re = if value.re.abs() < WEIGHT_TOLERANCE { 0.0 } else { value.re };
         let im = if value.im.abs() < WEIGHT_TOLERANCE { 0.0 } else { value.im };
         let value = Complex::new(re, im);
-        let key_of = |re: f64, im: f64| {
-            ((re / WEIGHT_TOLERANCE).round() as i64, (im / WEIGHT_TOLERANCE).round() as i64)
-        };
-        let (kr, ki) = key_of(re, im);
-        // Check the home bucket and the 8 neighbours (values straddling a
-        // bucket boundary must still unify).
-        for dr in -1..=1 {
-            for di in -1..=1 {
-                if let Some(&id) = self.weight_lookup.get(&(kr + dr, ki + di)) {
-                    if self.weights[id as usize].approx_eq_eps(value, WEIGHT_TOLERANCE) {
-                        if (dr, di) != (0, 0) {
-                            self.stats.weight_collisions += 1;
-                        }
-                        return id;
-                    }
+        let kr = (re / WEIGHT_TOLERANCE).round() as i64;
+        let ki = (im / WEIGHT_TOLERANCE).round() as i64;
+        // Check the home bucket first (the overwhelmingly common hit),
+        // then the 8 neighbours (values straddling a bucket boundary must
+        // still unify).
+        const PROBE: [(i64, i64); 9] =
+            [(0, 0), (-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)];
+        let weights = &self.weights;
+        for (dr, di) in PROBE {
+            let hit = self.weight_table.find((kr + dr, ki + di), |id| {
+                weights[id as usize].approx_eq_eps(value, WEIGHT_TOLERANCE)
+            });
+            if let Some(id) = hit {
+                if (dr, di) != (0, 0) {
+                    self.stats.weight_collisions += 1;
                 }
+                return id;
             }
         }
         let id = self.weights.len() as WeightId;
         self.weights.push(value);
-        self.weight_lookup.insert((kr, ki), id);
+        self.weight_table.insert((kr, ki), id);
         id
     }
 
@@ -242,6 +311,224 @@ impl DdPackage {
         }
         let sum = self.weight(a) + self.weight(b);
         self.intern_weight(sum)
+    }
+
+    // --- Arenas, reference counts, garbage collection ----------------------
+
+    fn alloc_vnode(&mut self, node: VNode) -> NodeId {
+        let id = match self.vfree.pop() {
+            Some(id) => {
+                self.vnodes[id as usize] = node;
+                self.vrc[id as usize] = 0;
+                id
+            }
+            None => {
+                let id = self.vnodes.len() as NodeId;
+                self.vnodes.push(node);
+                self.vrc.push(0);
+                id
+            }
+        };
+        self.note_live();
+        id
+    }
+
+    fn alloc_mnode(&mut self, node: MNode) -> NodeId {
+        let id = match self.mfree.pop() {
+            Some(id) => {
+                self.mnodes[id as usize] = node;
+                self.mrc[id as usize] = 0;
+                id
+            }
+            None => {
+                let id = self.mnodes.len() as NodeId;
+                self.mnodes.push(node);
+                self.mrc.push(0);
+                id
+            }
+        };
+        self.note_live();
+        id
+    }
+
+    #[inline]
+    fn note_live(&mut self) {
+        let live = self.live_nodes();
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
+    }
+
+    /// Live vector + matrix nodes (allocated minus free-listed, excluding
+    /// the terminal placeholders).
+    pub fn live_nodes(&self) -> usize {
+        (self.vnodes.len() - 1 - self.vfree.len()) + (self.mnodes.len() - 1 - self.mfree.len())
+    }
+
+    /// High-water mark of [`live_nodes`](Self::live_nodes) over the
+    /// package's lifetime — the DD analogue of the `2^n` amplitude array.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Protects a vector edge's root from garbage collection (saturating).
+    pub fn inc_ref(&mut self, edge: Edge) {
+        if edge.node != TERMINAL {
+            let rc = &mut self.vrc[edge.node as usize];
+            *rc = rc.saturating_add(1);
+        }
+    }
+
+    /// Releases one vector-root protection.
+    pub fn dec_ref(&mut self, edge: Edge) {
+        if edge.node != TERMINAL {
+            let rc = &mut self.vrc[edge.node as usize];
+            debug_assert!(*rc > 0, "dec_ref without matching inc_ref");
+            if *rc != u32::MAX {
+                *rc -= 1;
+            }
+        }
+    }
+
+    /// Protects a matrix edge's root from garbage collection (saturating).
+    pub fn inc_ref_matrix(&mut self, edge: Edge) {
+        if edge.node != TERMINAL {
+            let rc = &mut self.mrc[edge.node as usize];
+            *rc = rc.saturating_add(1);
+        }
+    }
+
+    /// Releases one matrix-root protection.
+    pub fn dec_ref_matrix(&mut self, edge: Edge) {
+        if edge.node != TERMINAL {
+            let rc = &mut self.mrc[edge.node as usize];
+            debug_assert!(*rc > 0, "dec_ref_matrix without matching inc_ref_matrix");
+            if *rc != u32::MAX {
+                *rc -= 1;
+            }
+        }
+    }
+
+    /// Overrides the live-node threshold that arms
+    /// [`maybe_collect`](Self::maybe_collect).
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_threshold = threshold.max(1);
+    }
+
+    /// Runs the GC if the live-node count has reached the threshold;
+    /// returns the number of reclaimed nodes (0 when it did not run).
+    ///
+    /// Call this only at safe points — when every edge that must survive
+    /// is protected by a reference count. The package never collects
+    /// implicitly.
+    pub fn maybe_collect(&mut self) -> usize {
+        if self.live_nodes() < self.gc_threshold {
+            return 0;
+        }
+        let reclaimed = self.collect_garbage();
+        // If most nodes survived, collecting again soon would only burn
+        // time re-marking the same diagram: back off the threshold.
+        if self.live_nodes() * 2 > self.gc_threshold {
+            self.gc_threshold *= 2;
+        }
+        reclaimed
+    }
+
+    /// Mark-and-sweep collection: every node unreachable from a
+    /// reference-counted root moves to the free list, the unique tables
+    /// are rebuilt from the survivors, and the compute tables are
+    /// invalidated (their entries may name reclaimed nodes). Returns the
+    /// number of reclaimed nodes.
+    pub fn collect_garbage(&mut self) -> usize {
+        // -- Mark (vectors) --
+        let mut vmark = vec![false; self.vnodes.len()];
+        vmark[TERMINAL as usize] = true;
+        let mut stack: Vec<NodeId> = Vec::new();
+        for (id, &rc) in self.vrc.iter().enumerate() {
+            if rc > 0 && self.vnodes[id].level != FREE_LEVEL {
+                stack.push(id as NodeId);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if vmark[id as usize] {
+                continue;
+            }
+            vmark[id as usize] = true;
+            for edge in self.vnodes[id as usize].succ {
+                if !vmark[edge.node as usize] {
+                    stack.push(edge.node);
+                }
+            }
+        }
+        // -- Mark (matrices) --
+        let mut mmark = vec![false; self.mnodes.len()];
+        mmark[TERMINAL as usize] = true;
+        for (id, &rc) in self.mrc.iter().enumerate() {
+            if rc > 0 && self.mnodes[id].level != FREE_LEVEL {
+                stack.push(id as NodeId);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if mmark[id as usize] {
+                continue;
+            }
+            mmark[id as usize] = true;
+            for edge in self.mnodes[id as usize].succ {
+                if !mmark[edge.node as usize] {
+                    stack.push(edge.node);
+                }
+            }
+        }
+        // -- Sweep --
+        let mut reclaimed = 0usize;
+        for (id, marked) in vmark.iter().enumerate().skip(1) {
+            if !marked && self.vnodes[id].level != FREE_LEVEL {
+                self.vnodes[id] = FREE_VNODE;
+                self.vrc[id] = 0;
+                self.vfree.push(id as NodeId);
+                reclaimed += 1;
+            }
+        }
+        for (id, marked) in mmark.iter().enumerate().skip(1) {
+            if !marked && self.mnodes[id].level != FREE_LEVEL {
+                self.mnodes[id] = FREE_MNODE;
+                self.mrc[id] = 0;
+                self.mfree.push(id as NodeId);
+                reclaimed += 1;
+            }
+        }
+        // -- Rebuild the unique tables from the survivors --
+        self.vunique.clear();
+        let (vunique, vnodes) = (&mut self.vunique, &self.vnodes);
+        for (id, node) in vnodes.iter().enumerate().skip(1) {
+            if node.level != FREE_LEVEL {
+                vunique.insert(hash_vnode(node), id as NodeId, |slot| {
+                    hash_vnode(&vnodes[slot as usize])
+                });
+            }
+        }
+        self.munique.clear();
+        let (munique, mnodes) = (&mut self.munique, &self.mnodes);
+        for (id, node) in mnodes.iter().enumerate().skip(1) {
+            if node.level != FREE_LEVEL {
+                munique.insert(hash_mnode(node), id as NodeId, |slot| {
+                    hash_mnode(&mnodes[slot as usize])
+                });
+            }
+        }
+        // Cached results may point at reclaimed (or about-to-be-reused)
+        // node ids: drop everything.
+        self.reset_compute_tables();
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed += reclaimed as u64;
+        reclaimed
+    }
+
+    fn reset_compute_tables(&mut self) {
+        self.add_table.reset();
+        self.mv_table.reset();
+        self.mm_table.reset();
+        self.stats.gc_events += 1;
     }
 
     // --- Vector nodes ------------------------------------------------------
@@ -275,16 +562,18 @@ impl DdPackage {
             }
         }
         let node = VNode { level, succ: normalized };
-        let id = match self.vunique.get(&node) {
-            Some(&id) => {
+        let hash = hash_vnode(&node);
+        let vnodes = &self.vnodes;
+        let id = match self.vunique.find(hash, |slot| vnodes[slot as usize] == node) {
+            Some(id) => {
                 self.stats.unique_hits += 1;
                 id
             }
             None => {
                 self.stats.unique_misses += 1;
-                let id = self.vnodes.len() as NodeId;
-                self.vnodes.push(node);
-                self.vunique.insert(node, id);
+                let id = self.alloc_vnode(node);
+                let (vunique, vnodes) = (&mut self.vunique, &self.vnodes);
+                vunique.insert(hash, id, |slot| hash_vnode(&vnodes[slot as usize]));
                 id
             }
         };
@@ -292,7 +581,9 @@ impl DdPackage {
         Edge { node: id, weight: top }
     }
 
+    #[inline]
     fn vnode(&self, id: NodeId) -> &VNode {
+        debug_assert_ne!(self.vnodes[id as usize].level, FREE_LEVEL, "use of reclaimed vnode");
         &self.vnodes[id as usize]
     }
 
@@ -368,84 +659,105 @@ impl DdPackage {
     }
 
     /// Materializes the full `2^n` amplitude vector (exponential; for tests
-    /// and small benchmarks).
+    /// and small benchmarks). Iterative: one explicit stack, no recursion.
     pub fn to_statevector(&self, edge: Edge) -> Vec<Complex> {
         let dim = 1usize << self.num_qubits;
         let mut out = vec![Complex::ZERO; dim];
-        self.fill_amplitudes(edge, self.num_qubits as u16, 0, self.weight(edge.weight), &mut out);
-        out
-    }
-
-    fn fill_amplitudes(
-        &self,
-        edge: Edge,
-        level: u16,
-        prefix: usize,
-        acc: Complex,
-        out: &mut [Complex],
-    ) {
-        if acc.is_approx_zero() {
-            return;
+        let top = self.weight(edge.weight);
+        if top.is_approx_zero() {
+            return out;
         }
-        if edge.node == TERMINAL {
-            // All remaining levels are skipped only when level == 0;
-            // a terminal edge above level 0 cannot happen for normalized
-            // state DDs built through make_vnode/basis_state.
-            debug_assert_eq!(level, 0, "terminal edge above level 0");
-            out[prefix] = acc;
-            return;
-        }
-        let vn = self.vnode(edge.node);
-        for bit in 0..2 {
-            let child = vn.succ[bit];
-            if child.is_zero() {
+        // (node, basis-index prefix, accumulated weight). State DDs built
+        // through make_vnode never skip levels, so a terminal entry always
+        // sits at level 0 with a complete prefix.
+        let mut stack: Vec<(NodeId, usize, Complex)> = Vec::with_capacity(64);
+        stack.push((edge.node, 0, top));
+        while let Some((node, prefix, acc)) = stack.pop() {
+            if node == TERMINAL {
+                out[prefix] = acc;
                 continue;
             }
-            let next = acc * self.weight(child.weight);
-            self.fill_amplitudes(child, vn.level - 1, prefix | (bit << (vn.level - 1)), next, out);
+            let vn = self.vnode(node);
+            for bit in 0..2 {
+                let child = vn.succ[bit];
+                if child.is_zero() {
+                    continue;
+                }
+                let next = acc * self.weight(child.weight);
+                if next.is_approx_zero() {
+                    continue;
+                }
+                stack.push((child.node, prefix | (bit << (vn.level - 1)), next));
+            }
         }
+        out
     }
 
     /// Number of distinct nodes reachable from a vector edge (excluding the
     /// terminal) — the size metric of the Fig. 3 comparison.
     pub fn vector_nodes(&self, edge: Edge) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = vec![false; self.vnodes.len()];
+        seen[TERMINAL as usize] = true;
+        let mut count = 0usize;
         let mut stack = vec![edge.node];
         while let Some(node) = stack.pop() {
-            if node == TERMINAL || !seen.insert(node) {
+            if seen[node as usize] {
                 continue;
             }
+            seen[node as usize] = true;
+            count += 1;
             for child in self.vnode(node).succ {
                 stack.push(child.node);
             }
         }
-        seen.len()
+        count
     }
 
     /// Squared norm `⟨ψ|ψ⟩` of a vector DD.
     pub fn vector_norm_sqr(&self, edge: Edge) -> f64 {
-        let mut cache: HashMap<NodeId, f64> = HashMap::new();
-        let body = self.node_norm_sqr(edge.node, &mut cache);
+        let mut cache = vec![f64::NAN; self.vnodes.len()];
+        let body = self.node_norms_into(edge.node, &mut cache);
         self.weight(edge.weight).norm_sqr() * body
     }
 
-    fn node_norm_sqr(&self, node: NodeId, cache: &mut HashMap<NodeId, f64>) -> f64 {
-        if node == TERMINAL {
-            return 1.0;
-        }
-        if let Some(&v) = cache.get(&node) {
-            return v;
-        }
-        let vn = self.vnode(node);
-        let mut total = 0.0;
-        for child in vn.succ {
-            if !child.is_zero() {
-                total +=
-                    self.weight(child.weight).norm_sqr() * self.node_norm_sqr(child.node, cache);
+    /// Fills `cache[node] = ‖subtree(node)‖²` for every node reachable from
+    /// `root` (iterative post-order; untouched slots stay NaN) and returns
+    /// `cache[root]`. The cache must be sized to the vnode arena. Shared
+    /// with the sampler, which reuses one cache across all shots.
+    pub(crate) fn node_norms_into(&self, root: NodeId, cache: &mut [f64]) -> f64 {
+        debug_assert_eq!(cache.len(), self.vnodes.len());
+        cache[TERMINAL as usize] = 1.0;
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(&node) = stack.last() {
+            if !cache[node as usize].is_nan() {
+                stack.pop();
+                continue;
+            }
+            let vn = self.vnode(node);
+            let mut ready = true;
+            for child in vn.succ {
+                if !child.is_zero() && cache[child.node as usize].is_nan() {
+                    stack.push(child.node);
+                    ready = false;
+                }
+            }
+            if ready {
+                let mut total = 0.0;
+                for child in vn.succ {
+                    if !child.is_zero() {
+                        total += self.weight(child.weight).norm_sqr() * cache[child.node as usize];
+                    }
+                }
+                cache[node as usize] = total;
+                stack.pop();
             }
         }
-        cache.insert(node, total);
-        total
+        cache[root as usize]
+    }
+
+    /// Size of the vector-node arena (for sizing per-node scratch buffers).
+    pub(crate) fn vnode_arena_len(&self) -> usize {
+        self.vnodes.len()
     }
 
     // --- Vector addition ----------------------------------------------------
@@ -458,9 +770,9 @@ impl DdPackage {
         if b.is_zero() {
             return a;
         }
-        let key = if (a.node, a.weight) <= (b.node, b.weight) { (a, b) } else { (b, a) };
+        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) { (a, b) } else { (b, a) };
         if self.cache_enabled {
-            if let Some(&hit) = self.add_cache.get(&key) {
+            if let Some(hit) = self.add_table.lookup(a, b) {
                 self.stats.compute_hits += 1;
                 return hit;
             }
@@ -484,7 +796,7 @@ impl DdPackage {
             self.make_vnode(level, succ)
         };
         if self.cache_enabled {
-            self.add_cache.insert(key, result);
+            self.add_table.store(a, b, result);
         }
         result
     }
@@ -538,16 +850,18 @@ impl DdPackage {
             }
         }
         let node = MNode { level, succ: normalized };
-        let id = match self.munique.get(&node) {
-            Some(&id) => {
+        let hash = hash_mnode(&node);
+        let mnodes = &self.mnodes;
+        let id = match self.munique.find(hash, |slot| mnodes[slot as usize] == node) {
+            Some(id) => {
                 self.stats.unique_hits += 1;
                 id
             }
             None => {
                 self.stats.unique_misses += 1;
-                let id = self.mnodes.len() as NodeId;
-                self.mnodes.push(node);
-                self.munique.insert(node, id);
+                let id = self.alloc_mnode(node);
+                let (munique, mnodes) = (&mut self.munique, &self.mnodes);
+                munique.insert(hash, id, |slot| hash_mnode(&mnodes[slot as usize]));
                 id
             }
         };
@@ -555,7 +869,9 @@ impl DdPackage {
         Edge { node: id, weight: top }
     }
 
+    #[inline]
     fn mnode(&self, id: NodeId) -> &MNode {
+        debug_assert_ne!(self.mnodes[id as usize].level, FREE_LEVEL, "use of reclaimed mnode");
         &self.mnodes[id as usize]
     }
 
@@ -566,17 +882,21 @@ impl DdPackage {
 
     /// Number of distinct matrix nodes reachable from an edge.
     pub fn matrix_nodes(&self, edge: Edge) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = vec![false; self.mnodes.len()];
+        seen[TERMINAL as usize] = true;
+        let mut count = 0usize;
         let mut stack = vec![edge.node];
         while let Some(node) = stack.pop() {
-            if node == TERMINAL || !seen.insert(node) {
+            if seen[node as usize] {
                 continue;
             }
+            seen[node as usize] = true;
+            count += 1;
             for child in self.mnode(node).succ {
                 stack.push(child.node);
             }
         }
-        seen.len()
+        count
     }
 
     /// The identity matrix DD over all qubits.
@@ -672,10 +992,10 @@ impl DdPackage {
         if outer == W_ZERO {
             return Edge::ZERO;
         }
-        let key = (m_body, v_body);
-        let body_result = if self.cache_enabled && self.mv_cache.contains_key(&key) {
+        let cached = if self.cache_enabled { self.mv_table.lookup(m_body, v_body) } else { None };
+        let body_result = if let Some(hit) = cached {
             self.stats.compute_hits += 1;
-            self.mv_cache[&key]
+            hit
         } else {
             self.stats.compute_misses += 1;
             let level = self.matrix_level(m).max(self.vector_level(v));
@@ -692,7 +1012,7 @@ impl DdPackage {
             }
             let result = self.make_vnode(level, succ);
             if self.cache_enabled {
-                self.mv_cache.insert(key, result);
+                self.mv_table.store(m_body, v_body, result);
             }
             result
         };
@@ -719,10 +1039,10 @@ impl DdPackage {
         if outer == W_ZERO {
             return Edge::ZERO;
         }
-        let key = (a_body, b_body);
-        let body_result = if self.cache_enabled && self.mm_cache.contains_key(&key) {
+        let cached = if self.cache_enabled { self.mm_table.lookup(a_body, b_body) } else { None };
+        let body_result = if let Some(hit) = cached {
             self.stats.compute_hits += 1;
-            self.mm_cache[&key]
+            hit
         } else {
             self.stats.compute_misses += 1;
             let level = self.matrix_level(a).max(self.matrix_level(b));
@@ -741,7 +1061,7 @@ impl DdPackage {
             }
             let result = self.make_mnode(level, succ);
             if self.cache_enabled {
-                self.mm_cache.insert(key, result);
+                self.mm_table.store(a_body, b_body, result);
             }
             result
         };
@@ -774,10 +1094,6 @@ impl DdPackage {
                 succ[r * 2 + c] = self.add_matrices(ac, bc);
             }
         }
-        self.make_vnode_checked_m(level, succ)
-    }
-
-    fn make_vnode_checked_m(&mut self, level: u16, succ: [Edge; 4]) -> Edge {
         self.make_mnode(level, succ)
     }
 
@@ -913,17 +1229,16 @@ impl DdPackage {
         self.inner_product(a, b).norm_sqr()
     }
 
-    /// Total allocated nodes (vector + matrix) — a memory telemetry metric.
+    /// Live nodes (vector + matrix) — a memory telemetry metric. Alias of
+    /// [`live_nodes`](Self::live_nodes), kept for the original telemetry
+    /// name.
     pub fn allocated_nodes(&self) -> usize {
-        self.vnodes.len() + self.mnodes.len() - 2
+        self.live_nodes()
     }
 
     /// Clears the operation caches (unique tables are kept).
     pub fn clear_caches(&mut self) {
-        self.add_cache.clear();
-        self.mv_cache.clear();
-        self.mm_cache.clear();
-        self.stats.gc_events += 1;
+        self.reset_compute_tables();
     }
 }
 
@@ -943,6 +1258,34 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(dd.intern_weight(Complex::ZERO), W_ZERO);
         assert_eq!(dd.intern_weight(Complex::ONE), W_ONE);
+    }
+
+    #[test]
+    fn boundary_straddling_weights_unify_to_one_canonical_id() {
+        // Two values on opposite sides of a tolerance-bucket boundary:
+        // rounding puts them in adjacent buckets, but they are within
+        // WEIGHT_TOLERANCE of each other, so the 9-bucket probe must
+        // unify them — and count the unification as a collision.
+        let mut dd = DdPackage::new(1);
+        let base = 0.5;
+        let v1 = c64(base + 0.44 * WEIGHT_TOLERANCE, base);
+        let v2 = c64(base + 0.56 * WEIGHT_TOLERANCE, base);
+        let k1 = (v1.re / WEIGHT_TOLERANCE).round() as i64;
+        let k2 = (v2.re / WEIGHT_TOLERANCE).round() as i64;
+        assert_ne!(k1, k2, "test values must straddle a bucket boundary");
+        let before = dd.stats().weight_collisions;
+        let a = dd.intern_weight(v1);
+        let b = dd.intern_weight(v2);
+        assert_eq!(a, b, "straddling values must intern to one canonical id");
+        assert_eq!(
+            dd.stats().weight_collisions,
+            before + 1,
+            "the neighbour-bucket unification must be counted"
+        );
+        // The imaginary axis straddles too.
+        let c = dd.intern_weight(c64(0.25, base + 0.44 * WEIGHT_TOLERANCE));
+        let d = dd.intern_weight(c64(0.25, base + 0.56 * WEIGHT_TOLERANCE));
+        assert_eq!(c, d);
     }
 
     #[test]
@@ -1154,5 +1497,93 @@ mod tests {
         let _ = dd.zero_state();
         assert!(dd.allocated_nodes() > before);
         dd.clear_caches();
+    }
+
+    #[test]
+    fn gc_reclaims_unreferenced_nodes_and_keeps_protected_roots() {
+        let n = 6;
+        let mut dd = DdPackage::new(n);
+        // A protected GHZ state...
+        let mut ghz = dd.zero_state();
+        let h = dd.gate_matrix(&Gate::H.matrix(), &[0]);
+        ghz = dd.multiply_mv(h, ghz);
+        for q in 1..n {
+            let cx = dd.gate_matrix(&Gate::CX.matrix(), &[q - 1, q]);
+            ghz = dd.multiply_mv(cx, ghz);
+        }
+        dd.inc_ref(ghz);
+        let expected = dd.to_statevector(ghz);
+        // ...plus a pile of garbage: unprotected basis states and gate DDs.
+        for i in 0..(1 << n) {
+            let _ = dd.basis_state(i);
+        }
+        let live_before = dd.live_nodes();
+        let reclaimed = dd.collect_garbage();
+        assert!(reclaimed > 0, "garbage must be reclaimed");
+        assert!(dd.live_nodes() < live_before);
+        assert_eq!(dd.stats().gc_runs, 1);
+        assert_eq!(dd.stats().gc_reclaimed, reclaimed as u64);
+        // The protected state is untouched, bit for bit.
+        let after = dd.to_statevector(ghz);
+        for (a, b) in after.iter().zip(&expected) {
+            assert_eq!(a, b, "protected roots must survive GC exactly");
+        }
+        assert_eq!(dd.vector_nodes(ghz), 2 * n - 1);
+        dd.dec_ref(ghz);
+    }
+
+    #[test]
+    fn gc_free_list_slots_are_reused() {
+        let mut dd = DdPackage::new(4);
+        for i in 0..16 {
+            let _ = dd.basis_state(i);
+        }
+        let arena_before = dd.vnode_arena_len();
+        let reclaimed = dd.collect_garbage();
+        assert!(reclaimed > 0);
+        // Rebuilding states after the sweep must reuse freed slots instead
+        // of growing the arena.
+        for i in 0..16 {
+            let _ = dd.basis_state(i);
+        }
+        assert_eq!(dd.vnode_arena_len(), arena_before, "freed slots must be recycled");
+    }
+
+    #[test]
+    fn gc_after_sweep_rebuilt_states_stay_correct() {
+        let mut dd = DdPackage::new(3);
+        let a = dd.basis_state(5);
+        let amp_before = dd.amplitude(a, 5);
+        dd.collect_garbage(); // `a` was unprotected: reclaimed
+        let b = dd.basis_state(5);
+        assert!(dd.amplitude(b, 5).approx_eq_eps(amp_before, 1e-12));
+        let c = dd.basis_state(5);
+        assert_eq!(b, c, "hash consing is canonical again after the rebuild");
+    }
+
+    #[test]
+    fn maybe_collect_honors_threshold() {
+        let mut dd = DdPackage::new(4);
+        dd.set_gc_threshold(usize::MAX);
+        for i in 0..16 {
+            let _ = dd.basis_state(i);
+        }
+        assert_eq!(dd.maybe_collect(), 0, "below threshold: no collection");
+        dd.set_gc_threshold(1);
+        assert!(dd.maybe_collect() > 0, "above threshold: collects");
+        assert!(dd.stats().gc_runs >= 1);
+    }
+
+    #[test]
+    fn peak_live_nodes_tracks_high_water_mark() {
+        let mut dd = DdPackage::new(4);
+        for i in 0..16 {
+            let _ = dd.basis_state(i);
+        }
+        let peak = dd.peak_live_nodes();
+        assert!(peak >= dd.live_nodes());
+        dd.collect_garbage();
+        assert_eq!(dd.peak_live_nodes(), peak, "peak must survive the sweep");
+        assert!(dd.live_nodes() < peak);
     }
 }

@@ -5,13 +5,43 @@
 //! including measurement sampling directly from the compressed
 //! representation (no statevector is ever materialized).
 
-use crate::package::{DdPackage, Edge};
+use crate::package::{DdPackage, Edge, TERMINAL};
 use qukit_terra::circuit::QuantumCircuit;
 use qukit_terra::instruction::Operation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Memoization key for a gate's matrix DD: the exact bit patterns of the
+/// matrix entries plus the qubit placement. Repeated gates (the common
+/// case — think the CX ladder of a GHZ preparation or the controlled-phase
+/// grid of a QFT) skip `gate_matrix` reconstruction entirely.
+#[derive(PartialEq, Eq, Hash)]
+struct GateKey {
+    bits: Box<[u64]>,
+    qubits: Box<[usize]>,
+}
+
+impl GateKey {
+    fn new(matrix: &qukit_terra::matrix::Matrix, qubits: &[usize]) -> Self {
+        let mut bits = Vec::with_capacity(matrix.rows() * matrix.cols() * 2);
+        for r in 0..matrix.rows() {
+            for c in 0..matrix.cols() {
+                let v = matrix[(r, c)];
+                bits.push(v.re.to_bits());
+                bits.push(v.im.to_bits());
+            }
+        }
+        Self { bits: bits.into_boxed_slice(), qubits: qubits.to_vec().into_boxed_slice() }
+    }
+}
+
+/// Paths-to-outcomes enumeration bound for [`DdState::sample_counts`]:
+/// if the state has at most this many nonzero basis outcomes, sampling
+/// collapses to one categorical draw per shot over the enumerated
+/// distribution instead of a per-shot DD walk.
+const ENUMERATE_CAP: usize = 2048;
 
 /// Errors produced by the DD simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,50 +96,107 @@ impl DdState {
     /// Samples `shots` measurement outcomes of all qubits directly from the
     /// DD, without materializing amplitudes: at each node the branch
     /// probability is `|w_b|² · ‖child‖²`.
+    ///
+    /// The subtree-norm cache is built exactly once (an iterative
+    /// post-order walk into a flat per-node buffer) and reused across all
+    /// shots. When the state has few nonzero outcomes (≤
+    /// [`ENUMERATE_CAP`]) the distribution is enumerated up front and each
+    /// shot is one binary search over the CDF; otherwise shots walk the
+    /// diagram and repeated outcomes are deduped before recording.
     pub fn sample_counts(&self, shots: usize, seed: u64) -> qukit_aer::counts::Counts {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.package.num_qubits();
         let mut counts = qukit_aer::counts::Counts::new(n.min(64));
-        // Cache of subtree squared norms.
-        let mut norm_cache: HashMap<u32, f64> = HashMap::new();
-        for _ in 0..shots {
-            let outcome = self.sample_once(&mut rng, &mut norm_cache);
-            counts.record(outcome);
+        if shots == 0 {
+            return counts;
+        }
+        // Subtree squared norms, computed once for the whole run.
+        let mut norms = vec![f64::NAN; self.package.vnode_arena_len()];
+        let root_norm = self.package.node_norms_into(self.root.node, &mut norms);
+        if let Some(outcomes) = self.enumerate_outcomes(ENUMERATE_CAP) {
+            // Categorical sampling: cumulative weights + binary search.
+            let mut cdf = Vec::with_capacity(outcomes.len());
+            let mut total = 0.0f64;
+            for &(_, p) in &outcomes {
+                total += p;
+                cdf.push(total);
+            }
+            let mut hits = vec![0usize; outcomes.len()];
+            for _ in 0..shots {
+                let r = rng.gen::<f64>() * total;
+                let idx = cdf.partition_point(|&acc| acc < r).min(outcomes.len() - 1);
+                hits[idx] += 1;
+            }
+            for (idx, &hit) in hits.iter().enumerate() {
+                if hit > 0 {
+                    counts.record_n(outcomes[idx].0, hit);
+                }
+            }
+        } else {
+            // Too many distinct outcomes to enumerate: walk per shot, but
+            // aggregate duplicates before touching the counts map.
+            let mut dedup: HashMap<u64, usize> = HashMap::new();
+            for _ in 0..shots {
+                let outcome = self.walk_once(&mut rng, &norms, root_norm);
+                *dedup.entry(outcome).or_insert(0) += 1;
+            }
+            for (outcome, hit) in dedup {
+                counts.record_n(outcome, hit);
+            }
         }
         counts
     }
 
-    /// `‖w·subtree‖²` for an edge (the edge weight is included); subtree
-    /// bodies are cached per node.
-    fn subtree_norm(&self, edge: Edge, cache: &mut HashMap<u32, f64>) -> f64 {
-        let w = self.package.weight(edge.weight).norm_sqr();
-        if edge.node == crate::package::TERMINAL {
-            return w;
-        }
-        if let Some(&v) = cache.get(&edge.node) {
-            return w * v;
-        }
-        let mut body = 0.0;
-        for bit in 0..2 {
-            let child = self.package.vector_child(edge.node, bit);
-            if !child.is_zero() {
-                body += self.subtree_norm(child, cache);
+    /// Enumerates all `(outcome, unnormalized probability)` pairs of the
+    /// state, or `None` if there are more than `cap` nonzero outcomes. The
+    /// probability of a complete path is the product of its squared edge
+    /// magnitudes (normalization-correct because the per-node sum of those
+    /// products is exactly the subtree norm).
+    fn enumerate_outcomes(&self, cap: usize) -> Option<Vec<(u64, f64)>> {
+        let mut outcomes: Vec<(u64, f64)> = Vec::new();
+        let mut stack: Vec<(u32, u64, f64)> = vec![(self.root.node, 0, 1.0)];
+        while let Some((node, prefix, acc)) = stack.pop() {
+            if node == TERMINAL {
+                if outcomes.len() == cap {
+                    return None;
+                }
+                outcomes.push((prefix, acc));
+                continue;
+            }
+            let level = self.package.vector_level_of(node);
+            for bit in 0..2u64 {
+                let child = self.package.vector_child(node, bit as usize);
+                if child.is_zero() {
+                    continue;
+                }
+                let p = acc * self.package.weight(child.weight).norm_sqr();
+                if p > 0.0 {
+                    stack.push((child.node, prefix | (bit << (level - 1)), p));
+                }
             }
         }
-        cache.insert(edge.node, body);
-        w * body
+        Some(outcomes)
     }
 
-    fn sample_once(&self, rng: &mut StdRng, cache: &mut HashMap<u32, f64>) -> u64 {
+    /// One top-down sampling walk using the prebuilt subtree-norm buffer.
+    fn walk_once(&self, rng: &mut StdRng, norms: &[f64], root_norm: f64) -> u64 {
         let mut outcome = 0u64;
-        let mut edge = Edge { node: self.root.node, weight: crate::package::W_ONE };
-        while edge.node != crate::package::TERMINAL {
-            let level = self.package.vector_level(edge);
-            let zero_child = self.package.vector_child(edge.node, 0);
-            let one_child = self.package.vector_child(edge.node, 1);
-            let p0 = self.subtree_norm(zero_child, cache);
-            let p1 = self.subtree_norm(one_child, cache);
-            let total = p0 + p1;
+        let mut node = self.root.node;
+        let mut subtree = root_norm;
+        while node != TERMINAL {
+            let level = self.package.vector_level_of(node);
+            let zero_child = self.package.vector_child(node, 0);
+            let one_child = self.package.vector_child(node, 1);
+            let branch = |child: Edge| {
+                if child.is_zero() {
+                    0.0
+                } else {
+                    self.package.weight(child.weight).norm_sqr() * norms[child.node as usize]
+                }
+            };
+            let p0 = branch(zero_child);
+            let p1 = branch(one_child);
+            let total = if subtree > 0.0 { p0 + p1 } else { 0.0 };
             let bit = if total <= 0.0 {
                 0
             } else if rng.gen::<f64>() * total < p1 {
@@ -117,11 +204,12 @@ impl DdState {
             } else {
                 0
             };
+            let next = if bit == 1 { one_child } else { zero_child };
             if bit == 1 {
                 outcome |= 1 << (level - 1);
             }
-            let next = if bit == 1 { one_child } else { zero_child };
-            edge = Edge { node: next.node, weight: crate::package::W_ONE };
+            subtree = if next.is_zero() { 0.0 } else { norms[next.node as usize] };
+            node = next.node;
         }
         outcome
     }
@@ -188,13 +276,31 @@ impl DdSimulator {
         let mut package = DdPackage::new(circuit.num_qubits());
         package.set_cache_enabled(self.cache_enabled);
         let mut root = package.zero_state();
-        let mut peak = package.allocated_nodes();
+        package.inc_ref(root);
+        // Gate DDs memoized across the run; each memoized edge is
+        // rc-protected so it survives collections.
+        let mut gate_memo: HashMap<GateKey, Edge> = HashMap::new();
         for inst in circuit.instructions() {
             match &inst.op {
                 Operation::Gate(g) if inst.condition.is_none() => {
-                    let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
-                    root = package.multiply_mv(gate_dd, root);
-                    peak = peak.max(package.allocated_nodes());
+                    let matrix = g.matrix();
+                    let key = GateKey::new(&matrix, &inst.qubits);
+                    let gate_dd = match gate_memo.get(&key) {
+                        Some(&edge) => edge,
+                        None => {
+                            let edge = package.gate_matrix(&matrix, &inst.qubits);
+                            package.inc_ref_matrix(edge);
+                            gate_memo.insert(key, edge);
+                            edge
+                        }
+                    };
+                    let next = package.multiply_mv(gate_dd, root);
+                    package.inc_ref(next);
+                    package.dec_ref(root);
+                    root = next;
+                    // Safe point: the state and every memoized gate are
+                    // rc-protected, nothing else must survive.
+                    package.maybe_collect();
                 }
                 Operation::Barrier => {}
                 other => {
@@ -202,6 +308,7 @@ impl DdSimulator {
                 }
             }
         }
+        let peak = package.peak_live_nodes();
         let state = DdState { package, root, peak_nodes: peak };
         flush_dd_metrics(&state.package, state.node_count(), peak);
         Ok(state)
@@ -218,11 +325,27 @@ impl DdSimulator {
         let mut package = DdPackage::new(circuit.num_qubits());
         package.set_cache_enabled(self.cache_enabled);
         let mut acc = package.identity();
+        package.inc_ref_matrix(acc);
+        let mut gate_memo: HashMap<GateKey, Edge> = HashMap::new();
         for inst in circuit.instructions() {
             match &inst.op {
                 Operation::Gate(g) if inst.condition.is_none() => {
-                    let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
-                    acc = package.multiply_mm(gate_dd, acc);
+                    let matrix = g.matrix();
+                    let key = GateKey::new(&matrix, &inst.qubits);
+                    let gate_dd = match gate_memo.get(&key) {
+                        Some(&edge) => edge,
+                        None => {
+                            let edge = package.gate_matrix(&matrix, &inst.qubits);
+                            package.inc_ref_matrix(edge);
+                            gate_memo.insert(key, edge);
+                            edge
+                        }
+                    };
+                    let next = package.multiply_mm(gate_dd, acc);
+                    package.inc_ref_matrix(next);
+                    package.dec_ref_matrix(acc);
+                    acc = next;
+                    package.maybe_collect();
                 }
                 Operation::Barrier => {}
                 other => {
@@ -247,8 +370,12 @@ fn flush_dd_metrics(package: &DdPackage, final_nodes: usize, peak_nodes: usize) 
     qukit_obs::counter_add("qukit_dd_compute_misses_total", stats.compute_misses);
     qukit_obs::counter_add("qukit_dd_weight_collisions_total", stats.weight_collisions);
     qukit_obs::counter_add("qukit_dd_gc_events_total", stats.gc_events);
+    qukit_obs::counter_add("qukit_dd_gc_runs_total", stats.gc_runs);
+    qukit_obs::counter_add("qukit_dd_gc_reclaimed_total", stats.gc_reclaimed);
     qukit_obs::gauge_set("qukit_dd_nodes", final_nodes as f64);
     qukit_obs::gauge_set("qukit_dd_peak_nodes", peak_nodes as f64);
+    qukit_obs::gauge_set("qukit_dd_live_nodes", package.live_nodes() as f64);
+    qukit_obs::gauge_set("qukit_dd_peak_live_nodes", package.peak_live_nodes() as f64);
 }
 
 #[cfg(test)]

@@ -56,12 +56,13 @@ pub fn check_equivalence(
     let n = circuit_a.num_qubits();
     let mut package = DdPackage::new(n);
     let mut acc = package.identity();
+    package.inc_ref_matrix(acc);
     // U_a, applied left to right.
     for inst in circuit_a.instructions() {
         match &inst.op {
             Operation::Gate(g) if inst.condition.is_none() => {
                 let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
-                acc = package.multiply_mm(gate_dd, acc);
+                accumulate(&mut package, &mut acc, gate_dd);
             }
             Operation::Barrier => {}
             other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
@@ -72,13 +73,25 @@ pub fn check_equivalence(
         match &inst.op {
             Operation::Gate(g) if inst.condition.is_none() => {
                 let gate_dd = package.gate_matrix(&g.inverse().matrix(), &inst.qubits);
-                acc = package.multiply_mm(gate_dd, acc);
+                accumulate(&mut package, &mut acc, gate_dd);
             }
             Operation::Barrier => {}
             other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
         }
     }
     Ok(classify_identity(&mut package, acc, circuit_a, circuit_b))
+}
+
+/// `acc ← gate · acc` with the accumulator rc-protected across the
+/// between-gates GC safe point (the checker's product chain can grow far
+/// past the simulator's state DDs, so reclaiming dead intermediates is
+/// what keeps long verifications memory-bounded).
+fn accumulate(package: &mut DdPackage, acc: &mut Edge, gate: Edge) {
+    let next = package.multiply_mm(gate, *acc);
+    package.inc_ref_matrix(next);
+    package.dec_ref_matrix(*acc);
+    *acc = next;
+    package.maybe_collect();
 }
 
 fn classify_identity(
@@ -155,8 +168,10 @@ pub fn check_equivalence_mapped(
 
     let mut package = DdPackage::new(m);
     let projector = ancilla_projector(&mut package, initial_layout, m);
+    package.inc_ref_matrix(projector);
 
     let mut acc = projector;
+    package.inc_ref_matrix(acc);
     apply_gates(&mut package, &mut acc, mapped)?;
     // U_original↑†: inverses in reverse order, relabeled onto the final
     // layout.
@@ -165,7 +180,7 @@ pub fn check_equivalence_mapped(
             Operation::Gate(g) if inst.condition.is_none() => {
                 let qubits: Vec<usize> = inst.qubits.iter().map(|&q| final_layout[q]).collect();
                 let gate_dd = package.gate_matrix(&g.inverse().matrix(), &qubits);
-                acc = package.multiply_mm(gate_dd, acc);
+                accumulate(&mut package, &mut acc, gate_dd);
             }
             Operation::Barrier => {}
             other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),
@@ -175,7 +190,7 @@ pub fn check_equivalence_mapped(
     let perm = complete_permutation(initial_layout, final_layout, m);
     for (a, b) in permutation_swaps(&perm).into_iter().rev() {
         let swap = package.gate_matrix(&Gate::Swap.matrix(), &[a, b]);
-        acc = package.multiply_mm(swap, acc);
+        accumulate(&mut package, &mut acc, swap);
     }
 
     if acc.node != projector.node {
@@ -217,7 +232,7 @@ fn apply_gates(
         match &inst.op {
             Operation::Gate(g) if inst.condition.is_none() => {
                 let gate_dd = package.gate_matrix(&g.matrix(), &inst.qubits);
-                *acc = package.multiply_mm(gate_dd, *acc);
+                accumulate(package, acc, gate_dd);
             }
             Operation::Barrier => {}
             other => return Err(DdError::UnsupportedInstruction { name: other.name().to_owned() }),

@@ -73,6 +73,14 @@ fn instrumented_ghz_execution_lights_up_every_layer() {
     assert!(counter("qukit_dd_unique_misses_total") > 0);
     assert!(counter("qukit_dd_compute_misses_total") > 0);
     assert!(snapshot.gauges.get("qukit_dd_nodes").copied().unwrap_or(0.0) > 0.0);
+    // Arena telemetry: the live/peak gauges track the refcounted arena
+    // (GHZ is tiny, so nothing was collected — live equals what the run
+    // built and the GC counters exist but stay zero).
+    let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0.0);
+    assert!(gauge("qukit_dd_live_nodes") > 0.0);
+    assert!(gauge("qukit_dd_peak_live_nodes") >= gauge("qukit_dd_live_nodes"));
+    assert!(snapshot.counters.contains_key("qukit_dd_gc_runs_total"));
+    assert!(snapshot.counters.contains_key("qukit_dd_gc_reclaimed_total"));
 
     // Spans were recorded and the whole snapshot round-trips as JSON.
     assert!(snapshot.trace.iter().any(|e| e.name == "transpile"));
