@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md` for recorded results.
 
 pub mod baseline;
+pub mod load;
 
 use qukit::terra::circuit::QuantumCircuit;
 use rand::rngs::StdRng;

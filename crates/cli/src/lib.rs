@@ -93,6 +93,8 @@ const USAGE: &str = "usage:
   qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
              [--threads N] [--retries N] [--timeout-ms N]
              [--inject-fail N | --hang-ms N] [--fallback] [--cancel]
+             [--journal-dir DIR] [--tenant NAME] [--priority P]
+             [--key KEY] [--max-pending N] [--cache]
              [--metrics FILE.json] [--trace]
   qukit fuzz [--seed N] [--cases N] [--max-qubits N] [--max-depth N]
              [--oracle all|LIST] [--gate-set full|clifford|clifford+t]
@@ -100,6 +102,9 @@ const USAGE: &str = "usage:
              [--metrics FILE.json] [--trace]
   qukit bench [--json] [--out FILE.json] [--shots N] [--seed N]
               [--threads N] [--repeats N] [--no-metrics]
+  qukit bench --load [--tenants N] [--jobs N] [--workers N]
+              [--max-pending N] [--payloads N] [--shots N] [--seed N]
+              [--pace-us N] [--json] [--out FILE.json]
 
 coupling KIND is one of line, ring, full, or grid:RxC
 
@@ -123,13 +128,28 @@ the first N calls transiently; --hang-ms makes every call stall;
 --fallback submits to a fallback chain (backend, then qasm_simulator);
 --cancel requests cancellation right after submitting
 
+execution service flags (jobs): --journal-dir DIR write-ahead-logs
+every submission and terminal to DIR/jobs.journal and replays it at
+startup (crash recovery; pair with --key for idempotent resubmission
+across restarts); --tenant NAME submits through a per-tenant session,
+--priority high|normal|low picks the class, --max-pending N caps that
+tenant's queued jobs (excess submissions are shed with a REJECTED
+status); --cache enables the content-addressed result cache and runs
+the circuit twice to demonstrate a hit
+
 observability: --metrics FILE.json enables the qukit_* metric registry
 for the command and writes the snapshot (schema qukit-metrics/v1) to
 FILE.json on exit; --trace additionally prints the span tree. Inspect
 either a metrics snapshot or a bench baseline with `qukit stats
 <file>.json`. `qukit bench` sweeps the fixed circuit suite across every
 capable engine and emits the qukit-bench-baseline/v1 document
-(--no-metrics skips per-entry metric collection for overhead runs)";
+(--no-metrics skips per-entry metric collection for overhead runs).
+`qukit bench --load` instead drives the multi-tenant load generator:
+--jobs submissions across --tenants sessions with --max-pending
+admission control and --payloads distinct circuits (repeats hit the
+result cache); reports latency p50/p99, throughput, shed rate, and
+cache hit rate, and with --json emits a one-entry baseline for
+`stats --compare` gating";
 
 /// Runs the CLI with the given arguments, writing output to `out`.
 ///
@@ -539,20 +559,64 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             "attempt timeout",
         )?));
     }
+    let use_cache = flag_present(rest, "--cache");
     let config = ExecutorConfig {
         workers: 1,
         queue_capacity: 16,
         retry,
         parallel: parallel_from_flags(rest)?,
+        journal_dir: flag_value(rest, "--journal-dir")?.map(std::path::PathBuf::from),
+        cache: if use_cache { Some(qukit::CacheConfig::default()) } else { None },
         ..Default::default()
     };
-    let executor = JobExecutor::with_config(provider, config);
+    let executor = JobExecutor::try_with_config(provider, config)?;
+    if let Some(recovery) = executor.recovery() {
+        writeln!(
+            out,
+            "journal: replayed {}, recovered terminal {}, corrupt dropped {}",
+            recovery.replayed, recovery.recovered_terminal, recovery.corrupt_dropped
+        )?;
+    }
 
-    let job = executor.submit(&circ, submit_name, shots)?;
+    let tenant = flag_value(rest, "--tenant")?.unwrap_or(qukit::DEFAULT_TENANT);
+    let priority = match flag_value(rest, "--priority")? {
+        Some(p) => qukit::Priority::parse(p)
+            .ok_or_else(|| CliError::Usage(format!("unknown priority '{p}'")))?,
+        None => qukit::Priority::Normal,
+    };
+    if let Some(cap) = flag_value(rest, "--max-pending")? {
+        let cap: usize = parse_number(cap, "pending cap")?;
+        let _ = executor.session_with(tenant, qukit::TenantConfig::default().with_max_pending(cap));
+    }
+    let key = flag_value(rest, "--key")?;
+    let prior_id = key.and_then(|k| executor.job_for_key(k)).map(|j| j.id());
+    let options = qukit::job::SubmitOptions {
+        tenant: tenant.to_owned(),
+        priority,
+        idempotency_key: key.map(str::to_owned),
+    };
+
+    let job = executor.submit_with(&circ, submit_name, shots, &options)?;
     writeln!(out, "job {}: {} shots on {}", job.id(), shots, submit_name)?;
-    // Every accepted submission starts queued; reading job.status() here
-    // would race the worker on fast backends.
-    writeln!(out, "status: {}", qukit::job::JobStatus::Queued)?;
+    if tenant != qukit::DEFAULT_TENANT {
+        writeln!(out, "tenant: {tenant} (priority {priority})")?;
+    }
+    if let (Some(key), Some(prior)) = (key, prior_id) {
+        if prior == job.id() {
+            writeln!(out, "idempotency key '{key}' deduplicated: reusing job {prior}")?;
+        }
+    }
+    if job.status() == qukit::job::JobStatus::Rejected {
+        writeln!(out, "status: {} (shed by admission control)", job.status())?;
+        obs.finish(out)?;
+        executor.shutdown();
+        return Ok(());
+    }
+    if prior_id != Some(job.id()) {
+        // Every accepted submission starts queued; reading job.status()
+        // here would race the worker on fast backends.
+        writeln!(out, "status: {}", qukit::job::JobStatus::Queued)?;
+    }
     if flag_present(rest, "--cancel") {
         let immediate = job.cancel();
         writeln!(
@@ -581,6 +645,26 @@ fn cmd_jobs(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
             }
         }
         Err(e) => writeln!(out, "job failed: {e}")?,
+    }
+    if use_cache && job.status() == qukit::job::JobStatus::Done {
+        // Resubmit the identical payload: with the first result now
+        // cached, this one is served by re-sampling, not re-simulating.
+        let rerun = executor.submit_with(
+            &circ,
+            submit_name,
+            shots,
+            &qukit::job::SubmitOptions {
+                tenant: tenant.to_owned(),
+                priority,
+                idempotency_key: None,
+            },
+        )?;
+        let _ = rerun.result(std::time::Duration::from_secs(120));
+        writeln!(
+            out,
+            "cache: second run served from cache: {}",
+            if rerun.served_from_cache() { "yes" } else { "no" }
+        )?;
     }
     obs.finish(out)?;
     Ok(())
@@ -703,6 +787,9 @@ fn cmd_fuzz(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
 
 fn cmd_bench(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     use qukit_bench::baseline::{run_baseline, BaselineConfig};
+    if flag_present(rest, "--load") {
+        return bench_load(rest, out);
+    }
     let shots: usize = match flag_value(rest, "--shots")? {
         Some(v) => parse_number(v, "shot count")?,
         None => 1024,
@@ -748,6 +835,68 @@ fn cmd_bench(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         }
     } else {
         write_baseline_table(&baseline, out)?;
+    }
+    Ok(())
+}
+
+/// `qukit bench --load`: the multi-tenant load generator. Reports
+/// service latency quantiles, throughput, shed rate, and cache hit
+/// rate; `--json` emits a one-entry `qukit-bench-baseline/v1` document
+/// for the `stats --compare` gate.
+fn bench_load(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
+    use qukit_bench::load::{run_load, LoadConfig};
+    let mut config = LoadConfig::default();
+    if let Some(v) = flag_value(rest, "--tenants")? {
+        config.tenants = parse_number(v, "tenant count")?;
+    }
+    if let Some(v) = flag_value(rest, "--jobs")? {
+        config.jobs = parse_number(v, "job count")?;
+    }
+    if let Some(v) = flag_value(rest, "--workers")? {
+        config.workers = parse_number(v, "worker count")?;
+    }
+    if let Some(v) = flag_value(rest, "--max-pending")? {
+        config.max_pending = parse_number(v, "pending cap")?;
+    }
+    if let Some(v) = flag_value(rest, "--payloads")? {
+        config.payload_pool = parse_number(v, "payload count")?;
+    }
+    if let Some(v) = flag_value(rest, "--shots")? {
+        config.shots = parse_number(v, "shot count")?;
+    }
+    if let Some(v) = flag_value(rest, "--seed")? {
+        config.seed = parse_number(v, "seed")?;
+    }
+    if let Some(v) = flag_value(rest, "--pace-us")? {
+        config.pace_micros = parse_number(v, "pace")?;
+    }
+    if config.tenants == 0 || config.jobs == 0 || config.workers == 0 {
+        return Err(CliError::Usage(
+            "--tenants, --jobs, and --workers must all be at least 1".to_owned(),
+        ));
+    }
+    writeln!(
+        out,
+        "load: {} jobs across {} tenants, {} workers, max pending {} per tenant, \
+         {} payloads, seed {}",
+        config.jobs,
+        config.tenants,
+        config.workers,
+        config.max_pending,
+        config.payload_pool,
+        config.seed
+    )?;
+    let report = run_load(&config);
+    write!(out, "{}", report.render())?;
+    if flag_present(rest, "--json") {
+        let json = report.to_baseline(&config).to_json();
+        match flag_value(rest, "--out")? {
+            Some(path) => {
+                std::fs::write(path, &json)?;
+                writeln!(out, "baseline written to {path} (1 entry)")?;
+            }
+            None => write!(out, "{json}")?,
+        }
     }
     Ok(())
 }
@@ -1423,6 +1572,143 @@ mod tests {
             run_err(&["stats", "--compare", old.as_str(), old.as_str(), "--tolerance", "fast"]),
             CliError::Usage(_)
         ));
+    }
+
+    /// A self-cleaning temp directory for journal tests.
+    struct TempDir {
+        path: std::path::PathBuf,
+    }
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "qukit_cli_test_{tag}_{}_{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock")
+                    .as_nanos()
+            ));
+            Self { path }
+        }
+        fn as_str(&self) -> &str {
+            self.path.to_str().expect("utf8 path")
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    #[test]
+    fn jobs_journal_persists_and_second_run_deduplicates_by_key() {
+        let file = write_bell();
+        let dir = TempDir::new("journal");
+        let text = run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--shots",
+            "100",
+            "--seed",
+            "5",
+            "--journal-dir",
+            dir.as_str(),
+            "--key",
+            "bell-1",
+        ]);
+        assert!(text.contains("journal: replayed 0, recovered terminal 0"), "{text}");
+        assert!(text.contains("status: DONE"), "{text}");
+        assert!(dir.path.join("jobs.journal").exists(), "journal file must be written");
+
+        // A fresh process replays the journal: the same key returns the
+        // recovered job instead of re-running it.
+        let text = run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--shots",
+            "100",
+            "--seed",
+            "5",
+            "--journal-dir",
+            dir.as_str(),
+            "--key",
+            "bell-1",
+        ]);
+        assert!(text.contains("recovered terminal 1"), "{text}");
+        assert!(text.contains("idempotency key 'bell-1' deduplicated"), "{text}");
+        assert!(text.contains("status: DONE"), "{text}");
+    }
+
+    #[test]
+    fn jobs_tenant_priority_and_admission_shed() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "jobs",
+            file.as_str(),
+            "--shots",
+            "50",
+            "--seed",
+            "2",
+            "--tenant",
+            "alice",
+            "--priority",
+            "high",
+        ]);
+        assert!(text.contains("tenant: alice (priority high)"), "{text}");
+        assert!(text.contains("status: DONE"), "{text}");
+
+        // A zero pending cap sheds the submission with a typed status.
+        let text = run_ok(&["jobs", file.as_str(), "--tenant", "bob", "--max-pending", "0"]);
+        assert!(text.contains("status: REJECTED (shed by admission control)"), "{text}");
+
+        assert!(matches!(
+            run_err(&["jobs", file.as_str(), "--priority", "urgent"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn jobs_cache_serves_second_run_from_cache() {
+        let file = write_bell();
+        let text = run_ok(&["jobs", file.as_str(), "--shots", "50", "--seed", "9", "--cache"]);
+        assert!(text.contains("cache: second run served from cache: yes"), "{text}");
+    }
+
+    #[test]
+    fn bench_load_reports_service_metrics_and_valid_baseline() {
+        let _guard = obs_lock();
+        let out_file = temp_json("load");
+        let text = run_ok(&[
+            "bench",
+            "--load",
+            "--tenants",
+            "2",
+            "--jobs",
+            "24",
+            "--workers",
+            "2",
+            "--payloads",
+            "3",
+            "--shots",
+            "32",
+            "--seed",
+            "11",
+            "--json",
+            "--out",
+            out_file.as_str(),
+        ]);
+        assert!(text.contains("submitted 24"), "{text}");
+        assert!(text.contains("latency p50"), "{text}");
+        assert!(text.contains("cache hit rate"), "{text}");
+        assert!(text.contains("lost 0"), "{text}");
+        let written = std::fs::read_to_string(&out_file.path).expect("baseline written");
+        let baseline =
+            qukit_bench::baseline::Baseline::from_json(&written).expect("baseline validates");
+        assert_eq!(baseline.entries.len(), 1);
+        assert_eq!(baseline.entries[0].circuit, "load_t2_j24");
+        assert!(baseline.entries[0].metrics.contains_key("service_p99_seconds"));
+
+        assert!(matches!(run_err(&["bench", "--load", "--jobs", "0"]), CliError::Usage(_)));
     }
 
     #[test]

@@ -70,6 +70,17 @@ pub trait Backend: Send + Sync {
     fn executed_on(&self) -> Option<String> {
         None
     }
+
+    /// A hash of everything (besides the circuit) that shapes this
+    /// backend's outcome **distribution**: seed, noise model,
+    /// transpilation strategy. The executor's result cache keys on
+    /// `(circuit, name, fingerprint)`, so two backends with the same
+    /// name must return different fingerprints whenever their
+    /// distributions can differ. The default covers configuration-free
+    /// backends.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 /// The ideal shot-based simulator backend (`qasm_simulator`).
@@ -125,6 +136,10 @@ impl Backend for QasmSimulatorBackend {
 
     fn set_parallel(&mut self, config: ParallelConfig) {
         self.parallel = Some(config);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        seed_fingerprint("qasm", self.seed)
     }
 }
 
@@ -198,6 +213,10 @@ impl Backend for DdSimulatorBackend {
     fn set_seed(&mut self, seed: u64) {
         self.seed = Some(seed);
     }
+
+    fn fingerprint(&self) -> u64 {
+        seed_fingerprint("dd", self.seed)
+    }
 }
 
 /// The stabilizer-tableau backend: Clifford circuits only, but scaling to
@@ -239,6 +258,10 @@ impl Backend for StabilizerBackend {
 
     fn set_seed(&mut self, seed: u64) {
         self.seed = Some(seed);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        seed_fingerprint("stabilizer", self.seed)
     }
 }
 
@@ -390,6 +413,25 @@ impl Backend for FakeDevice {
     fn set_parallel(&mut self, config: ParallelConfig) {
         self.parallel = Some(config);
     }
+
+    fn fingerprint(&self) -> u64 {
+        // The noise model and transpilation strategy shape the outcome
+        // distribution; Debug formatting is a stable-enough digest of
+        // both for cache keying.
+        crate::cache::fnv1a64(
+            format!(
+                "{}|{:?}|{:?}|{:?}|{:?}",
+                self.name, self.noise, self.seed, self.mapper, self.layout
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+/// Seed-sensitive fingerprint for plain simulator backends: the seed is
+/// the only configuration that changes their sampling stream.
+fn seed_fingerprint(tag: &str, seed: Option<u64>) -> u64 {
+    crate::cache::fnv1a64(format!("{tag}|{seed:?}").as_bytes())
 }
 
 /// Rewrites a circuit onto only the qubits it actually touches (barriers

@@ -1,0 +1,279 @@
+//! Content-addressed result caching for repeated submissions.
+//!
+//! Production quantum workloads are repetitive: variational loops and
+//! benchmark sweeps submit the *same* circuit to the *same* backend
+//! thousands of times. Simulating each copy from scratch wastes the
+//! service's scarce resource. This cache keys a finished job's outcome
+//! **distribution** by `hash(emitted circuit, backend name, backend
+//! noise fingerprint)`; a later submission with the same key skips the
+//! simulator entirely and draws fresh shots from the cached
+//! distribution — statistically a new run (each hit uses a different
+//! deterministic seed), at the cost of a multinomial sample.
+//!
+//! The cache stores normalized probabilities, not raw counts, so a hit
+//! can serve any shot count. It is bounded (least-recently-used
+//! eviction) and **off by default**: exact bit-for-bit reproducibility
+//! of a seeded backend is part of the executor's contract, and a cache
+//! hit is sampled from the empirical distribution, not replayed from
+//! the backend's RNG. Opt in via `ExecutorConfig::cache`.
+
+use qukit_aer::counts::Counts;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of the executor's result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum cached distributions before LRU eviction.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    /// 256 cached distributions.
+    fn default() -> Self {
+        Self { capacity: 256 }
+    }
+}
+
+impl CacheConfig {
+    /// Builder: sets the entry capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// A cached outcome distribution: cumulative probabilities over the
+/// observed outcomes, ready for CDF inversion sampling.
+#[derive(Debug)]
+pub struct CachedDistribution {
+    num_clbits: usize,
+    /// `(outcome, cumulative probability)` in ascending outcome order;
+    /// the final cumulative value is 1.0 (up to rounding).
+    cdf: Vec<(u64, f64)>,
+}
+
+impl CachedDistribution {
+    fn from_counts(counts: &Counts) -> Self {
+        let total = counts.total().max(1) as f64;
+        let mut pairs: Vec<(u64, usize)> = counts.iter().collect();
+        pairs.sort_unstable();
+        let mut acc = 0.0;
+        let cdf = pairs
+            .into_iter()
+            .map(|(outcome, n)| {
+                acc += n as f64 / total;
+                (outcome, acc)
+            })
+            .collect();
+        Self { num_clbits: counts.num_clbits(), cdf }
+    }
+
+    /// Draws `shots` outcomes by CDF inversion with a deterministic
+    /// SplitMix64 stream seeded by `seed`.
+    pub fn sample(&self, shots: usize, seed: u64) -> Counts {
+        let mut counts = Counts::new(self.num_clbits);
+        let mut state = seed;
+        for _ in 0..shots {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+            let outcome = self
+                .cdf
+                .iter()
+                .find(|&&(_, cum)| u < cum)
+                .or(self.cdf.last())
+                .map_or(0, |&(outcome, _)| outcome);
+            counts.record(outcome);
+        }
+        counts
+    }
+}
+
+struct CacheEntry {
+    distribution: Arc<CachedDistribution>,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<u128, CacheEntry>,
+    tick: u64,
+}
+
+/// The bounded, content-addressed result cache.
+pub struct ResultCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResultCache(capacity={})", self.capacity)
+    }
+}
+
+impl ResultCache {
+    /// An empty cache with the configured capacity (minimum 1).
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            capacity: config.capacity.max(1),
+            state: Mutex::new(CacheState { entries: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// The content-address of a submission: the emitted circuit text,
+    /// the backend name, and the backend's noise/seed fingerprint (see
+    /// [`Backend::fingerprint`](crate::backend::Backend::fingerprint)).
+    /// Two 64-bit FNV-1a streams with distinct bases make up the
+    /// 128-bit key, so unrelated submissions colliding is negligible.
+    pub fn key(qasm: &str, backend: &str, fingerprint: u64) -> u128 {
+        let mut lo = FNV_OFFSET;
+        let mut hi = FNV_OFFSET ^ 0x5bd1_e995_9d02_9c4f;
+        for chunk in [qasm.as_bytes(), &[0xff], backend.as_bytes(), &fingerprint.to_le_bytes()] {
+            for &byte in chunk {
+                lo = fnv_step(lo, byte);
+                hi = fnv_step(hi, byte.wrapping_add(0x33));
+            }
+        }
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    /// Looks up a distribution, recording hit/miss metrics and LRU
+    /// recency.
+    pub fn lookup(&self, key: u128) -> Option<Arc<CachedDistribution>> {
+        let mut state = self.state.lock().expect("cache lock");
+        state.tick += 1;
+        let tick = state.tick;
+        match state.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                qukit_obs::counter_inc("qukit_core_cache_hits_total");
+                Some(Arc::clone(&entry.distribution))
+            }
+            None => {
+                qukit_obs::counter_inc("qukit_core_cache_misses_total");
+                None
+            }
+        }
+    }
+
+    /// Stores the distribution of a finished run, evicting the
+    /// least-recently-used entry when over capacity.
+    pub fn insert(&self, key: u128, counts: &Counts) {
+        let distribution = Arc::new(CachedDistribution::from_counts(counts));
+        let mut state = self.state.lock().expect("cache lock");
+        state.tick += 1;
+        let tick = state.tick;
+        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
+            if let Some(&victim) =
+                state.entries.iter().min_by_key(|(_, entry)| entry.last_used).map(|(key, _)| key)
+            {
+                state.entries.remove(&victim);
+                qukit_obs::counter_inc("qukit_core_cache_evictions_total");
+            }
+        }
+        state.entries.insert(key, CacheEntry { distribution, last_used: tick });
+        qukit_obs::counter_inc("qukit_core_cache_insertions_total");
+        qukit_obs::gauge_set("qukit_core_cache_entries", state.entries.len() as f64);
+    }
+
+    /// Number of cached distributions.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// 64-bit FNV-1a, shared with backend fingerprinting.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |hash, &byte| fnv_step(hash, byte))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell_counts() -> Counts {
+        let mut counts = Counts::new(2);
+        counts.record_n(0b00, 480);
+        counts.record_n(0b11, 520);
+        counts
+    }
+
+    #[test]
+    fn keys_separate_circuit_backend_and_fingerprint() {
+        let base = ResultCache::key("qasm-a", "qasm_simulator", 1);
+        assert_eq!(base, ResultCache::key("qasm-a", "qasm_simulator", 1));
+        assert_ne!(base, ResultCache::key("qasm-b", "qasm_simulator", 1));
+        assert_ne!(base, ResultCache::key("qasm-a", "dd_simulator", 1));
+        assert_ne!(base, ResultCache::key("qasm-a", "qasm_simulator", 2));
+    }
+
+    #[test]
+    fn sample_preserves_support_and_total() {
+        let dist = CachedDistribution::from_counts(&bell_counts());
+        let sampled = dist.sample(1000, 42);
+        assert_eq!(sampled.total(), 1000);
+        let outcomes: Vec<u64> = sampled.iter().map(|(o, _)| o).collect();
+        assert!(outcomes.iter().all(|o| *o == 0b00 || *o == 0b11), "support preserved");
+        // Both outcomes near p=0.5 appear in 1000 shots.
+        assert_eq!(outcomes.len(), 2, "both outcomes sampled: {outcomes:?}");
+        // Frequencies track the distribution loosely (p≈.48/.52).
+        let zero = sampled.iter().find(|(o, _)| *o == 0).map_or(0, |(_, n)| n);
+        assert!((300..700).contains(&zero), "p~0.48 outcome sampled {zero}/1000");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_varies_across_seeds() {
+        let dist = CachedDistribution::from_counts(&bell_counts());
+        let pairs = |c: &Counts| {
+            let mut v: Vec<(u64, usize)> = c.iter().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pairs(&dist.sample(500, 7)), pairs(&dist.sample(500, 7)));
+        assert_ne!(pairs(&dist.sample(500, 7)), pairs(&dist.sample(500, 8)));
+    }
+
+    #[test]
+    fn lookup_miss_then_insert_then_hit() {
+        let cache = ResultCache::new(CacheConfig { capacity: 4 });
+        let key = ResultCache::key("qasm", "qasm_simulator", 0);
+        assert!(cache.lookup(key).is_none());
+        cache.insert(key, &bell_counts());
+        let hit = cache.lookup(key).expect("cached");
+        assert_eq!(hit.sample(10, 1).total(), 10);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used_entry() {
+        let cache = ResultCache::new(CacheConfig { capacity: 2 });
+        let (a, b, c) = (
+            ResultCache::key("a", "x", 0),
+            ResultCache::key("b", "x", 0),
+            ResultCache::key("c", "x", 0),
+        );
+        cache.insert(a, &bell_counts());
+        cache.insert(b, &bell_counts());
+        assert!(cache.lookup(a).is_some(), "touch a so b is LRU");
+        cache.insert(c, &bell_counts());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(b).is_none(), "b was evicted");
+        assert!(cache.lookup(a).is_some() && cache.lookup(c).is_some());
+    }
+}

@@ -36,6 +36,18 @@ pub enum QukitError {
         /// Human-readable description.
         msg: String,
     },
+    /// A [`Job::result`](crate::job::Job::result) wait deadline elapsed
+    /// while the job was still `Queued`/`Running`. Distinct from
+    /// [`QukitError::Job`] so callers can poll again instead of
+    /// misclassifying a slow job as a failed one.
+    WaitTimeout {
+        /// The job still in flight.
+        job_id: u64,
+        /// The job's status when the deadline elapsed.
+        status: String,
+        /// How long the caller waited.
+        waited: std::time::Duration,
+    },
 }
 
 /// Whether an error is worth retrying with the same inputs.
@@ -65,6 +77,12 @@ impl QukitError {
     pub fn is_retryable(&self) -> bool {
         self.class() == ErrorClass::Retryable
     }
+
+    /// `true` for a [`QukitError::WaitTimeout`]: the *wait* gave up,
+    /// not the job — poll again with a longer deadline.
+    pub fn is_wait_timeout(&self) -> bool {
+        matches!(self, QukitError::WaitTimeout { .. })
+    }
 }
 
 impl fmt::Display for QukitError {
@@ -77,6 +95,9 @@ impl fmt::Display for QukitError {
             QukitError::Transient { msg } => write!(f, "transient backend error: {msg}"),
             QukitError::InvalidInput { msg } => write!(f, "invalid input: {msg}"),
             QukitError::Job { msg } => write!(f, "job error: {msg}"),
+            QukitError::WaitTimeout { job_id, status, waited } => {
+                write!(f, "job {job_id} still {status} after waiting {waited:?}")
+            }
         }
     }
 }
@@ -90,7 +111,8 @@ impl std::error::Error for QukitError {
             QukitError::Backend { .. }
             | QukitError::Transient { .. }
             | QukitError::InvalidInput { .. }
-            | QukitError::Job { .. } => None,
+            | QukitError::Job { .. }
+            | QukitError::WaitTimeout { .. } => None,
         }
     }
 }
@@ -146,5 +168,18 @@ mod tests {
             assert_eq!(e.class(), ErrorClass::Fatal, "{e} must be fatal");
             assert!(!e.is_retryable());
         }
+    }
+
+    #[test]
+    fn wait_timeout_is_typed_and_keeps_the_wait_vocabulary() {
+        let e = QukitError::WaitTimeout {
+            job_id: 7,
+            status: "RUNNING".into(),
+            waited: std::time::Duration::from_millis(5),
+        };
+        assert!(e.is_wait_timeout());
+        assert!(!e.is_retryable(), "the wait timed out, not a transient backend");
+        assert!(e.to_string().contains("after waiting"), "{e}");
+        assert!(!QukitError::Job { msg: "x".into() }.is_wait_timeout());
     }
 }

@@ -156,6 +156,21 @@ impl Backend for FaultInjectingBackend {
     fn set_parallel(&mut self, config: qukit_aer::parallel::ParallelConfig) {
         self.inner.set_parallel(config);
     }
+
+    /// Pass-through faults do not change the success distribution, so
+    /// the inner fingerprint stands (the decorator keeps the inner
+    /// name, making it the provider-visible identity anyway). Count
+    /// corruption *does* change outcomes, so it salts the hash.
+    fn fingerprint(&self) -> u64 {
+        match self.mode {
+            FaultMode::CorruptCounts => self
+                .inner
+                .fingerprint()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(splitmix64(self.seed)),
+            _ => self.inner.fingerprint(),
+        }
+    }
 }
 
 /// An ordered chain of backends tried left to right: the first success

@@ -1,41 +1,62 @@
-//! The fault-tolerant job execution service.
+//! The fault-tolerant, multi-tenant job execution service.
 //!
 //! The paper's user story runs circuits through the IBM Q Experience
 //! cloud: submissions enter a shared queue behind other users, wait,
 //! run, and sometimes fail or vanish while a device recalibrates. This
-//! module reproduces that service shape locally: a [`JobExecutor`] with
-//! a bounded submission queue and a worker-thread pool turns
-//! `submit(circuit, backend, shots)` into a [`Job`] handle with the
-//! Qiskit-style lifecycle
+//! module reproduces that service shape locally — and, since PR 6, the
+//! *robustness* a shared service needs:
+//!
+//! - a [`JobExecutor`] with a bounded queue and a worker pool turns
+//!   `submit(circuit, backend, shots)` into a [`Job`] handle with the
+//!   Qiskit-style lifecycle;
+//! - per-tenant [`Session`]s ride a weighted-fair scheduler
+//!   ([`crate::scheduler`]) with priority classes and admission
+//!   control: a tenant over its queue depth is load-shed with a typed
+//!   [`JobStatus::Rejected`] instead of growing the queue unboundedly;
+//! - an optional write-ahead journal ([`crate::journal`]) makes every
+//!   accepted job crash-safe: on restart the executor replays the log,
+//!   re-enqueues non-terminal jobs exactly once, and deduplicates via
+//!   client idempotency keys;
+//! - an optional content-addressed result cache ([`crate::cache`])
+//!   turns repeat submissions into a cheap re-sample of the cached
+//!   distribution.
 //!
 //! ```text
-//! Queued ──► Running ──► Done
+//! Queued ──► Running ──► Done       (possibly served from cache)
 //!    │          ├──────► Error      (fatal, or retries exhausted)
 //!    │          ├──────► TimedOut   (attempt exceeded its budget)
-//!    │          └──────► Cancelled  (cancel observed between attempts)
-//!    └─────────────────► Cancelled  (cancelled while still queued)
+//!    │          └──────► Cancelled  (cancel observed between attempts
+//!    │                               or during a retry backoff)
+//!    ├─────────────────► Cancelled  (cancelled while still queued)
+//!    └─────────────────► Rejected   (load-shed at admission)
 //! ```
 //!
 //! Each attempt is wrapped in the executor's [`RetryPolicy`]: transient
 //! failures back off (deterministic seeded jitter) and retry, fatal
 //! errors stop immediately, and hung attempts are abandoned by the
-//! worker once the per-attempt timeout elapses. The job records its
-//! attempt count, the backoff schedule it actually waited, and which
-//! backend served the result (see
-//! [`Backend::executed_on`](crate::backend::Backend::executed_on)) so
-//! recovery behavior is observable and testable.
+//! worker once the per-attempt timeout elapses. A cancellation during
+//! the backoff wait interrupts it promptly instead of finishing the
+//! sleep.
 
+use crate::cache::{CacheConfig, ResultCache};
 use crate::error::{QukitError, Result};
 use crate::execute::validate_submission;
+use crate::journal::{self, Journal, JournalRecord};
 use crate::provider::Provider;
 use crate::retry::RetryPolicy;
+use crate::scheduler::{Admission, Priority, Scheduler, TenantConfig};
 use qukit_aer::counts::Counts;
 use qukit_terra::circuit::QuantumCircuit;
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The tenant legacy [`JobExecutor::submit`] calls run under.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// The lifecycle state of a [`Job`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +73,29 @@ pub enum JobStatus {
     Cancelled,
     /// An attempt exceeded the per-attempt timeout.
     TimedOut,
+    /// Load-shed at admission: the tenant was over its queue depth.
+    Rejected,
 }
 
 impl JobStatus {
     /// `true` once the status can no longer change.
     pub fn is_terminal(self) -> bool {
         !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+
+    /// Parses the wire name written to the journal (the `Display`
+    /// form) back into a status.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "QUEUED" => Some(JobStatus::Queued),
+            "RUNNING" => Some(JobStatus::Running),
+            "DONE" => Some(JobStatus::Done),
+            "ERROR" => Some(JobStatus::Error),
+            "CANCELLED" => Some(JobStatus::Cancelled),
+            "TIMED_OUT" => Some(JobStatus::TimedOut),
+            "REJECTED" => Some(JobStatus::Rejected),
+            _ => None,
+        }
     }
 }
 
@@ -70,6 +108,7 @@ impl std::fmt::Display for JobStatus {
             JobStatus::Error => "ERROR",
             JobStatus::Cancelled => "CANCELLED",
             JobStatus::TimedOut => "TIMED_OUT",
+            JobStatus::Rejected => "REJECTED",
         };
         f.write_str(text)
     }
@@ -85,6 +124,7 @@ struct JobState {
     backoffs: Vec<Duration>,
     executed_on: Option<String>,
     cancel_requested: bool,
+    from_cache: bool,
 }
 
 /// Shared core of a job: state + wakeup for `result()` waiters.
@@ -93,6 +133,8 @@ struct JobShared {
     id: u64,
     backend_name: String,
     shots: usize,
+    tenant: String,
+    journal: Option<Arc<Journal>>,
     state: Mutex<JobState>,
     cond: Condvar,
 }
@@ -104,6 +146,26 @@ impl JobShared {
         self.cond.notify_all();
         out
     }
+
+    /// Waits out `backoff` unless a cancellation arrives first;
+    /// returns `true` when the wait ended because of a cancel. This is
+    /// what makes [`Job::cancel`] prompt during retry backoffs — the
+    /// condvar is signalled by `cancel()`'s state update.
+    fn wait_for_cancel(&self, backoff: Duration) -> bool {
+        let deadline = Instant::now() + backoff;
+        let mut state = self.state.lock().expect("job state lock");
+        loop {
+            if state.cancel_requested {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self.cond.wait_timeout(state, deadline - now).expect("job state lock");
+            state = next;
+        }
+    }
 }
 
 /// A handle to a submitted job. Clones share the same underlying job.
@@ -112,19 +174,28 @@ impl JobShared {
 /// [`status`](Job::status), blocking [`result`](Job::result) /
 /// [`wait`](Job::wait), [`cancel`](Job::cancel), and the recovery
 /// metadata ([`attempts`](Job::attempts), [`backoffs`](Job::backoffs),
-/// [`executed_on`](Job::executed_on)).
+/// [`executed_on`](Job::executed_on),
+/// [`served_from_cache`](Job::served_from_cache)).
 #[derive(Clone, Debug)]
 pub struct Job {
     shared: Arc<JobShared>,
 }
 
 impl Job {
-    fn new(id: u64, backend_name: String, shots: usize) -> Self {
+    fn new(
+        id: u64,
+        backend_name: String,
+        shots: usize,
+        tenant: String,
+        journal: Option<Arc<Journal>>,
+    ) -> Self {
         Self {
             shared: Arc::new(JobShared {
                 id,
                 backend_name,
                 shots,
+                tenant,
+                journal,
                 state: Mutex::new(JobState {
                     status: JobStatus::Queued,
                     result: None,
@@ -133,6 +204,7 @@ impl Job {
                     backoffs: Vec::new(),
                     executed_on: None,
                     cancel_requested: false,
+                    from_cache: false,
                 }),
                 cond: Condvar::new(),
             }),
@@ -154,12 +226,17 @@ impl Job {
         self.shared.shots
     }
 
+    /// The tenant the job was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.shared.tenant
+    }
+
     /// The current lifecycle status.
     pub fn status(&self) -> JobStatus {
         self.shared.state.lock().expect("job state lock").status
     }
 
-    /// How many execution attempts have started.
+    /// How many execution attempts have started (0 for a cache hit).
     pub fn attempts(&self) -> u32 {
         self.shared.state.lock().expect("job state lock").attempts
     }
@@ -177,18 +254,25 @@ impl Job {
         self.shared.state.lock().expect("job state lock").executed_on.clone()
     }
 
-    /// The failure message of an `Error` job, if any.
+    /// `true` when the result was re-sampled from the executor's
+    /// content-addressed cache instead of a fresh simulation.
+    pub fn served_from_cache(&self) -> bool {
+        self.shared.state.lock().expect("job state lock").from_cache
+    }
+
+    /// The failure message of an `Error`/`Rejected` job, if any.
     pub fn error_message(&self) -> Option<String> {
         self.shared.state.lock().expect("job state lock").error.clone()
     }
 
     /// Requests cancellation. A still-queued job flips to `Cancelled`
     /// immediately (and returns `true`); a running job is cancelled at
-    /// the next attempt boundary — in-flight attempts are not
+    /// the next attempt boundary — or promptly, if the worker is
+    /// waiting out a retry backoff. In-flight attempts are not
     /// interrupted, matching the cloud service's semantics. Terminal
     /// jobs are unaffected.
     pub fn cancel(&self) -> bool {
-        self.shared.update(|state| {
+        let flipped = self.shared.update(|state| {
             state.cancel_requested = true;
             if state.status == JobStatus::Queued {
                 state.status = JobStatus::Cancelled;
@@ -196,7 +280,20 @@ impl Job {
             } else {
                 false
             }
-        })
+        });
+        if flipped {
+            // This thread performed the Queued→Cancelled transition, so
+            // it owns the job's (single) terminal journal record.
+            journal_terminal(
+                &self.shared.journal,
+                self.shared.id,
+                JobStatus::Cancelled,
+                Some("cancelled while queued"),
+                None,
+                None,
+            );
+        }
+        flipped
     }
 
     /// Blocks until the job reaches a terminal state or `deadline`
@@ -204,20 +301,22 @@ impl Job {
     ///
     /// # Errors
     ///
-    /// [`QukitError::Job`] when the wait deadline elapses first or the
-    /// job ended `Cancelled`/`TimedOut`; the recorded failure for
-    /// `Error` jobs.
+    /// - [`QukitError::WaitTimeout`] when the deadline elapses with the
+    ///   job still `Queued`/`Running` — the *wait* gave up, not the
+    ///   job; poll again with a longer deadline.
+    /// - [`QukitError::Job`] when the job ended
+    ///   `Cancelled`/`TimedOut`/`Rejected`, or with the recorded
+    ///   failure for `Error` jobs.
     pub fn result(&self, deadline: Duration) -> Result<Counts> {
         let limit = Instant::now() + deadline;
         let mut state = self.shared.state.lock().expect("job state lock");
         while !state.status.is_terminal() {
             let now = Instant::now();
             if now >= limit {
-                return Err(QukitError::Job {
-                    msg: format!(
-                        "job {} still {} after waiting {:?}",
-                        self.shared.id, state.status, deadline
-                    ),
+                return Err(QukitError::WaitTimeout {
+                    job_id: self.shared.id,
+                    status: state.status.to_string(),
+                    waited: deadline,
                 });
             }
             let (next, timeout) =
@@ -244,6 +343,13 @@ impl Job {
                     state.error.as_deref().unwrap_or("attempt exceeded its time budget")
                 ),
             }),
+            JobStatus::Rejected => Err(QukitError::Job {
+                msg: format!(
+                    "job {} was rejected: {}",
+                    self.shared.id,
+                    state.error.as_deref().unwrap_or("admission control shed the submission")
+                ),
+            }),
             JobStatus::Queued | JobStatus::Running => unreachable!("loop exits on terminal status"),
         }
     }
@@ -257,11 +363,11 @@ impl Job {
 /// A lifecycle event emitted by the [`JobExecutor`].
 ///
 /// Events fire synchronously on the thread where the transition happens
-/// (`Enqueued` on the submitting thread, everything else on a worker),
-/// so observers should return quickly. Before this hook existed retries
-/// were *silent*: a job could burn through five attempts and the only
-/// trace was the final `attempts()` count. Every recovery decision now
-/// surfaces as an event.
+/// (`Enqueued`/`Rejected` on the submitting thread, everything else on
+/// a worker), so observers should return quickly. Before this hook
+/// existed retries were *silent*: a job could burn through five
+/// attempts and the only trace was the final `attempts()` count. Every
+/// recovery decision now surfaces as an event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobEvent {
     /// The job was accepted into the submission queue.
@@ -270,6 +376,13 @@ pub enum JobEvent {
         job_id: u64,
         /// Backend the job was submitted to.
         backend: String,
+    },
+    /// The job was load-shed at admission (tenant over its depth).
+    Rejected {
+        /// Executor-unique job id.
+        job_id: u64,
+        /// The tenant whose bound was hit.
+        tenant: String,
     },
     /// A worker dequeued the job and began its first attempt.
     Started {
@@ -317,7 +430,7 @@ pub enum JobEvent {
     Completed {
         /// Executor-unique job id.
         job_id: u64,
-        /// Total attempts consumed.
+        /// Total attempts consumed (0 when served from the cache).
         attempts: u32,
         /// Backend that actually served the result.
         executed_on: String,
@@ -331,6 +444,7 @@ impl JobEvent {
     pub fn job_id(&self) -> u64 {
         match self {
             JobEvent::Enqueued { job_id, .. }
+            | JobEvent::Rejected { job_id, .. }
             | JobEvent::Started { job_id, .. }
             | JobEvent::Retrying { job_id, .. }
             | JobEvent::TimedOut { job_id, .. }
@@ -363,6 +477,9 @@ impl JobObserver for MetricsJobObserver {
             JobEvent::Enqueued { .. } => {
                 qukit_obs::counter_inc("qukit_core_jobs_submitted_total");
                 qukit_obs::gauge_add("qukit_core_queue_depth", 1.0);
+            }
+            JobEvent::Rejected { .. } => {
+                qukit_obs::counter_inc("qukit_core_jobs_shed_total");
             }
             JobEvent::Started { .. } => qukit_obs::gauge_add("qukit_core_queue_depth", -1.0),
             JobEvent::Retrying { .. } => qukit_obs::counter_inc("qukit_core_job_retries_total"),
@@ -434,8 +551,9 @@ impl std::fmt::Debug for ObserverSet {
 pub struct ExecutorConfig {
     /// Worker threads executing jobs concurrently.
     pub workers: usize,
-    /// Bounded submission-queue capacity; a full queue rejects
-    /// submissions with [`QukitError::Job`] instead of blocking.
+    /// Bounded submission-queue capacity (global, across all tenants);
+    /// a full queue rejects submissions with [`QukitError::Job`]
+    /// instead of blocking.
     pub queue_capacity: usize,
     /// Retry policy applied to every job.
     pub retry: RetryPolicy,
@@ -445,11 +563,19 @@ pub struct ExecutorConfig {
     /// backend at construction (`None` leaves backends untouched, so
     /// the environment-derived default still applies).
     pub parallel: Option<qukit_aer::parallel::ParallelConfig>,
+    /// Directory for the write-ahead job journal. `None` (the default)
+    /// runs without persistence; `Some(dir)` replays `dir`'s journal at
+    /// construction and logs every subsequent submission/terminal.
+    pub journal_dir: Option<PathBuf>,
+    /// Content-addressed result cache. `None` (the default) disables
+    /// caching — a seeded backend then reproduces bit-for-bit identical
+    /// counts on every run, which the cache's re-sampling would not.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ExecutorConfig {
-    /// Two workers, a 64-slot queue, the default [`RetryPolicy`], and
-    /// the [`MetricsJobObserver`] subscribed.
+    /// Two workers, a 64-slot queue, the default [`RetryPolicy`], the
+    /// [`MetricsJobObserver`] subscribed, no journal, no cache.
     fn default() -> Self {
         Self {
             workers: 2,
@@ -457,19 +583,68 @@ impl Default for ExecutorConfig {
             retry: RetryPolicy::default(),
             observers: ObserverSet::metrics(),
             parallel: None,
+            journal_dir: None,
+            cache: None,
         }
     }
+}
+
+/// Options for [`JobExecutor::submit_with`].
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Tenant to schedule under (defaults to [`DEFAULT_TENANT`]).
+    pub tenant: String,
+    /// Priority class within the tenant.
+    pub priority: Priority,
+    /// Client idempotency key: resubmitting an identical key returns
+    /// the original [`Job`] instead of creating a duplicate, across
+    /// journal-backed restarts too.
+    pub idempotency_key: Option<String>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            tenant: DEFAULT_TENANT.to_owned(),
+            priority: Priority::Normal,
+            idempotency_key: None,
+        }
+    }
+}
+
+/// What journal replay found at executor construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Non-terminal journaled jobs re-enqueued for execution.
+    pub replayed: usize,
+    /// Journaled jobs recovered in a terminal state (results served
+    /// from the journal, never re-run).
+    pub recovered_terminal: usize,
+    /// Journal lines dropped as corrupt/torn.
+    pub corrupt_dropped: usize,
 }
 
 /// A queue entry: the job handle plus the work description.
 struct QueuedJob {
     job: Job,
     circuit: QuantumCircuit,
+    cache_key: Option<u128>,
     submitted_at: Instant,
 }
 
-/// The job service: bounded queue + worker pool + retry policy over a
-/// shared [`Provider`].
+/// Everything a worker thread needs, bundled for one `Arc`.
+struct WorkerContext {
+    provider: Arc<Provider>,
+    scheduler: Scheduler<QueuedJob>,
+    retry: RetryPolicy,
+    observers: ObserverSet,
+    journal: Option<Arc<Journal>>,
+    cache: Option<ResultCache>,
+}
+
+/// The job service: weighted-fair multi-tenant queue + worker pool +
+/// retry policy over a shared [`Provider`], with optional write-ahead
+/// journaling and result caching.
 ///
 /// Dropping the executor closes the queue and joins the workers;
 /// already-submitted jobs finish first (abandoned hung attempts are
@@ -496,12 +671,12 @@ struct QueuedJob {
 /// # }
 /// ```
 pub struct JobExecutor {
-    provider: Arc<Provider>,
-    sender: Option<SyncSender<QueuedJob>>,
+    ctx: Arc<WorkerContext>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
-    retry: RetryPolicy,
-    observers: ObserverSet,
+    keyed: Mutex<HashMap<String, Job>>,
+    recovery: Option<RecoveryReport>,
+    recovered: Vec<Job>,
 }
 
 impl JobExecutor {
@@ -511,45 +686,130 @@ impl JobExecutor {
     }
 
     /// An executor with an explicit configuration.
-    pub fn with_config(mut provider: Provider, config: ExecutorConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics when the journal directory cannot be opened or replayed;
+    /// use [`try_with_config`](Self::try_with_config) to handle that.
+    /// Configurations without `journal_dir` cannot fail.
+    pub fn with_config(provider: Provider, config: ExecutorConfig) -> Self {
+        Self::try_with_config(provider, config).expect("executor configuration")
+    }
+
+    /// An executor with an explicit configuration, surfacing journal
+    /// open/replay failures.
+    ///
+    /// # Errors
+    ///
+    /// [`QukitError::Job`] when the journal directory cannot be
+    /// created, opened, or read.
+    pub fn try_with_config(mut provider: Provider, config: ExecutorConfig) -> Result<Self> {
         if let Some(parallel) = config.parallel {
             provider.set_parallel(parallel);
         }
         let provider = Arc::new(provider);
-        let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let receiver = Arc::clone(&receiver);
-                let provider = Arc::clone(&provider);
-                let retry = config.retry.clone();
-                let observers = config.observers.clone();
-                std::thread::spawn(move || worker_loop(&receiver, &provider, &retry, &observers))
-            })
-            .collect();
-        Self {
+        let scheduler = Scheduler::new(config.queue_capacity);
+        scheduler.set_tenant(DEFAULT_TENANT, TenantConfig::unbounded());
+        let cache = config.cache.map(ResultCache::new);
+
+        let mut keyed = HashMap::new();
+        let mut recovery = None;
+        let mut recovered = Vec::new();
+        let mut next_id = 1u64;
+        let journal_handle = match &config.journal_dir {
+            Some(dir) => {
+                let log = journal::replay(dir)?;
+                let handle = Arc::new(Journal::open(dir)?);
+                let mut report = RecoveryReport {
+                    corrupt_dropped: log.corrupt_dropped,
+                    ..RecoveryReport::default()
+                };
+                replay_records(
+                    &log.records,
+                    &handle,
+                    &provider,
+                    &scheduler,
+                    cache.as_ref(),
+                    &config.observers,
+                    &mut keyed,
+                    &mut recovered,
+                    &mut next_id,
+                    &mut report,
+                );
+                recovery = Some(report);
+                Some(handle)
+            }
+            None => None,
+        };
+
+        let ctx = Arc::new(WorkerContext {
             provider,
-            sender: Some(sender),
-            workers,
-            next_id: AtomicU64::new(1),
+            scheduler,
             retry: config.retry,
             observers: config.observers,
-        }
+            journal: journal_handle,
+            cache,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || worker_loop(&ctx))
+            })
+            .collect();
+        Ok(Self {
+            ctx,
+            workers,
+            next_id: AtomicU64::new(next_id),
+            keyed: Mutex::new(keyed),
+            recovery,
+            recovered,
+        })
     }
 
     /// The executor's retry policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
-        &self.retry
+        &self.ctx.retry
     }
 
     /// The provider backing this executor.
     pub fn provider(&self) -> &Provider {
-        &self.provider
+        &self.ctx.provider
     }
 
-    /// Submits a circuit for asynchronous execution and returns its
-    /// [`Job`] handle. Terminal measurements are added when missing,
-    /// exactly like [`execute`](crate::execute::execute).
+    /// What journal replay found, when a journal is configured.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Handles to every job reconstructed from the journal (both the
+    /// re-enqueued and the terminal-recovered ones), in journal order.
+    pub fn recovered_jobs(&self) -> &[Job] {
+        &self.recovered
+    }
+
+    /// The job previously submitted under `key`, if any — either live
+    /// in this executor or recovered from the journal.
+    pub fn job_for_key(&self, key: &str) -> Option<Job> {
+        self.keyed.lock().expect("idempotency map lock").get(key).cloned()
+    }
+
+    /// A per-tenant session with the default [`TenantConfig`].
+    pub fn session(&self, tenant: &str) -> Session<'_> {
+        self.session_with(tenant, TenantConfig::default())
+    }
+
+    /// A per-tenant session with an explicit fair-share weight and
+    /// queue-depth bound. Re-creating a session reconfigures the
+    /// tenant.
+    pub fn session_with(&self, tenant: &str, config: TenantConfig) -> Session<'_> {
+        self.ctx.scheduler.set_tenant(tenant, config);
+        Session { executor: self, tenant: tenant.to_owned() }
+    }
+
+    /// Submits a circuit for asynchronous execution under the default
+    /// tenant and returns its [`Job`] handle. Terminal measurements are
+    /// added when missing, exactly like
+    /// [`execute`](crate::execute::execute).
     ///
     /// # Errors
     ///
@@ -564,7 +824,25 @@ impl JobExecutor {
         backend_name: &str,
         shots: usize,
     ) -> Result<Job> {
-        let backend = self.provider.get_backend(backend_name)?;
+        self.submit_with(circuit, backend_name, shots, &SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with explicit tenant, priority, and
+    /// idempotency key.
+    ///
+    /// Beyond the [`submit`](Self::submit) errors: a tenant over its
+    /// [`TenantConfig::max_pending`] depth gets `Ok` with a job already
+    /// in the terminal [`JobStatus::Rejected`] state — load shedding is
+    /// an *outcome*, not a caller bug. A duplicate idempotency key
+    /// returns the original job.
+    pub fn submit_with(
+        &self,
+        circuit: &QuantumCircuit,
+        backend_name: &str,
+        shots: usize,
+        opts: &SubmitOptions,
+    ) -> Result<Job> {
+        let backend = self.ctx.provider.get_backend(backend_name)?;
         validate_submission(circuit, backend, shots)?;
         let prepared = if circuit.has_measurements() {
             circuit.clone()
@@ -573,25 +851,124 @@ impl JobExecutor {
             measured.measure_all();
             measured
         };
+
+        // Hold the idempotency map across the whole admission path so
+        // two concurrent submits with the same key cannot both enqueue.
+        let mut keyed = self.keyed.lock().expect("idempotency map lock");
+        if let Some(key) = &opts.idempotency_key {
+            if let Some(existing) = keyed.get(key) {
+                qukit_obs::counter_inc("qukit_core_jobs_deduped_total");
+                return Ok(existing.clone());
+            }
+        }
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Job::new(id, backend_name.to_owned(), shots);
-        let entry = QueuedJob { job: job.clone(), circuit: prepared, submitted_at: Instant::now() };
-        let sender = self
-            .sender
-            .as_ref()
-            .ok_or_else(|| QukitError::Job { msg: "executor is shut down".to_owned() })?;
-        match sender.try_send(entry) {
-            Ok(()) => {
-                self.observers
+        // Best-effort pre-check keeps shed submissions out of the
+        // journal entirely; the push below re-checks authoritatively.
+        let verdict = self.ctx.scheduler.would_admit(&opts.tenant);
+        if verdict != Admission::Accepted {
+            return self.handle_rejection(id, opts, verdict, false);
+        }
+
+        let qasm = (self.ctx.journal.is_some() || self.ctx.cache.is_some())
+            .then(|| qukit_terra::qasm::emit(&prepared));
+        let cache_key = match (&self.ctx.cache, &qasm) {
+            (Some(_), Some(qasm)) => {
+                Some(ResultCache::key(qasm, backend_name, backend.fingerprint()))
+            }
+            _ => None,
+        };
+        let job = Job::new(
+            id,
+            backend_name.to_owned(),
+            shots,
+            opts.tenant.clone(),
+            self.ctx.journal.clone(),
+        );
+        if let Some(journal) = &self.ctx.journal {
+            // Write-ahead: the submission is durable before it can run.
+            journal.append(&JournalRecord::Submitted {
+                job_id: id,
+                tenant: opts.tenant.clone(),
+                priority: opts.priority,
+                backend: backend_name.to_owned(),
+                shots,
+                key: opts.idempotency_key.clone(),
+                qasm: qasm.clone().unwrap_or_default(),
+            })?;
+        }
+        let entry = QueuedJob {
+            job: job.clone(),
+            circuit: prepared,
+            cache_key,
+            submitted_at: Instant::now(),
+        };
+        match self.ctx.scheduler.push(&opts.tenant, opts.priority, entry) {
+            Admission::Accepted => {
+                if let Some(key) = &opts.idempotency_key {
+                    keyed.insert(key.clone(), job.clone());
+                }
+                self.ctx
+                    .observers
                     .emit(&JobEvent::Enqueued { job_id: id, backend: backend_name.to_owned() });
                 Ok(job)
             }
-            Err(TrySendError::Full(_)) => Err(QukitError::Job {
-                msg: format!("submission queue is full (capacity reached); job {id} rejected"),
-            }),
-            Err(TrySendError::Disconnected(_)) => {
-                Err(QukitError::Job { msg: "executor workers are gone".to_owned() })
+            verdict => self.handle_rejection(id, opts, verdict, true),
+        }
+    }
+
+    /// Turns a non-`Accepted` admission verdict into the caller-visible
+    /// outcome. `journaled` says whether a `submitted` record was
+    /// already written for `id` (the push lost a race to the last
+    /// slot), in which case a terminal record keeps replay from
+    /// resurrecting the shed job.
+    fn handle_rejection(
+        &self,
+        id: u64,
+        opts: &SubmitOptions,
+        verdict: Admission,
+        journaled: bool,
+    ) -> Result<Job> {
+        let seal = |reason: &str| {
+            if journaled {
+                journal_terminal(
+                    &self.ctx.journal,
+                    id,
+                    JobStatus::Rejected,
+                    Some(reason),
+                    None,
+                    None,
+                );
             }
+        };
+        match verdict {
+            Admission::TenantFull { queued, max_pending } => {
+                let reason = format!(
+                    "tenant '{}' is at its queue depth ({queued}/{max_pending}); submission shed",
+                    opts.tenant
+                );
+                seal(&reason);
+                let job = Job::new(id, String::new(), 0, opts.tenant.clone(), None);
+                job.shared.update(|state| {
+                    state.status = JobStatus::Rejected;
+                    state.error = Some(reason);
+                });
+                self.ctx
+                    .observers
+                    .emit(&JobEvent::Rejected { job_id: id, tenant: opts.tenant.clone() });
+                Ok(job)
+            }
+            Admission::QueueFull => {
+                let reason =
+                    format!("submission queue is full (capacity reached); job {id} rejected");
+                seal(&reason);
+                Err(QukitError::Job { msg: reason })
+            }
+            Admission::Closed => {
+                seal("executor is shut down");
+                Err(QukitError::Job { msg: "executor is shut down".to_owned() })
+            }
+            Admission::Accepted => unreachable!("accepted verdicts are handled by the caller"),
         }
     }
 
@@ -600,8 +977,25 @@ impl JobExecutor {
         self.shutdown_in_place();
     }
 
+    /// Simulates a process crash: seals the journal (straggler writes
+    /// are dropped exactly as a dead process would drop them), discards
+    /// everything still queued, and detaches the workers without
+    /// joining. The journal on disk is left as the crash left it —
+    /// rebuild with [`try_with_config`](Self::try_with_config) pointing
+    /// at the same `journal_dir` to recover.
+    pub fn crash(mut self) {
+        if let Some(journal) = &self.ctx.journal {
+            journal.seal();
+        }
+        drop(self.ctx.scheduler.close_discard());
+        // Detach instead of joining: a real crash does not wait for
+        // in-flight work. The threads exit on their own once their
+        // current job ends (their journal appends hit the seal).
+        self.workers.drain(..);
+    }
+
     fn shutdown_in_place(&mut self) {
-        drop(self.sender.take());
+        self.ctx.scheduler.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -614,41 +1008,208 @@ impl Drop for JobExecutor {
     }
 }
 
+/// A tenant-scoped submission handle (see
+/// [`JobExecutor::session_with`]). Sessions are cheap views: all state
+/// lives in the executor's scheduler.
+pub struct Session<'a> {
+    executor: &'a JobExecutor,
+    tenant: String,
+}
+
+impl Session<'_> {
+    /// The tenant this session submits under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Submits at [`Priority::Normal`] with no idempotency key.
+    pub fn submit(
+        &self,
+        circuit: &QuantumCircuit,
+        backend_name: &str,
+        shots: usize,
+    ) -> Result<Job> {
+        self.submit_with(circuit, backend_name, shots, Priority::Normal, None)
+    }
+
+    /// Submits with an explicit priority and optional idempotency key.
+    pub fn submit_with(
+        &self,
+        circuit: &QuantumCircuit,
+        backend_name: &str,
+        shots: usize,
+        priority: Priority,
+        idempotency_key: Option<&str>,
+    ) -> Result<Job> {
+        self.executor.submit_with(
+            circuit,
+            backend_name,
+            shots,
+            &SubmitOptions {
+                tenant: self.tenant.clone(),
+                priority,
+                idempotency_key: idempotency_key.map(str::to_owned),
+            },
+        )
+    }
+}
+
+/// Appends a terminal record, best-effort: a sealed or failing journal
+/// must not take down the worker (the in-memory state is still
+/// correct; only crash-recovery fidelity degrades, exactly as it would
+/// had the process died before the write).
+fn journal_terminal(
+    journal: &Option<Arc<Journal>>,
+    job_id: u64,
+    status: JobStatus,
+    error: Option<&str>,
+    counts: Option<&Counts>,
+    executed_on: Option<&str>,
+) {
+    let Some(journal) = journal else { return };
+    let counts = counts.map(|c| {
+        let mut pairs: Vec<(u64, usize)> = c.iter().collect();
+        pairs.sort_unstable();
+        (c.num_clbits(), pairs)
+    });
+    let _ = journal.append(&JournalRecord::Terminal {
+        job_id,
+        status: status.to_string(),
+        error: error.map(str::to_owned),
+        counts,
+        executed_on: executed_on.map(str::to_owned),
+    });
+}
+
+/// Rebuilds executor state from journal records (see the replay rules
+/// in [`crate::journal`]).
+#[allow(clippy::too_many_arguments)]
+fn replay_records(
+    records: &[JournalRecord],
+    journal: &Arc<Journal>,
+    provider: &Arc<Provider>,
+    scheduler: &Scheduler<QueuedJob>,
+    cache: Option<&ResultCache>,
+    observers: &ObserverSet,
+    keyed: &mut HashMap<String, Job>,
+    recovered: &mut Vec<Job>,
+    next_id: &mut u64,
+    report: &mut RecoveryReport,
+) {
+    let mut terminals: HashMap<u64, &JournalRecord> = HashMap::new();
+    for record in records {
+        *next_id = (*next_id).max(record.job_id() + 1);
+        if matches!(record, JournalRecord::Terminal { .. }) {
+            terminals.insert(record.job_id(), record);
+        }
+    }
+    for record in records {
+        let JournalRecord::Submitted { job_id, tenant, priority, backend, shots, key, qasm } =
+            record
+        else {
+            continue;
+        };
+        let job = match terminals.get(job_id) {
+            Some(JournalRecord::Terminal { status, error, counts, executed_on, .. }) => {
+                // Exactly-once: a journaled terminal is final; the job
+                // is reconstructed finished and never re-run.
+                let job = Job::new(*job_id, backend.clone(), *shots, tenant.clone(), None);
+                job.shared.update(|state| {
+                    state.status = JobStatus::parse(status).unwrap_or(JobStatus::Error);
+                    state.error = error.clone();
+                    state.executed_on = executed_on.clone();
+                    state.result = counts
+                        .as_ref()
+                        .map(|(clbits, pairs)| journal::counts_from_pairs(*clbits, pairs));
+                });
+                report.recovered_terminal += 1;
+                job
+            }
+            _ => {
+                // Non-terminal: re-enqueue under the original identity.
+                let job = Job::new(
+                    *job_id,
+                    backend.clone(),
+                    *shots,
+                    tenant.clone(),
+                    Some(Arc::clone(journal)),
+                );
+                match qukit_terra::qasm::parse(qasm) {
+                    Ok(circuit) => {
+                        let cache_key = cache.and_then(|_| {
+                            provider
+                                .get_backend(backend)
+                                .ok()
+                                .map(|b| ResultCache::key(qasm, backend, b.fingerprint()))
+                        });
+                        // Bypass admission: the job was admitted before
+                        // the crash; shedding it now would break
+                        // exactly-once recovery.
+                        scheduler.push_replayed(
+                            tenant,
+                            *priority,
+                            QueuedJob {
+                                job: job.clone(),
+                                circuit,
+                                cache_key,
+                                submitted_at: Instant::now(),
+                            },
+                        );
+                        observers.emit(&JobEvent::Enqueued {
+                            job_id: *job_id,
+                            backend: backend.clone(),
+                        });
+                        report.replayed += 1;
+                    }
+                    Err(e) => {
+                        // A journaled circuit that no longer parses is a
+                        // terminal error, not a lost job.
+                        let msg = format!("journal replay: circuit unparsable: {e}");
+                        observers.emit(&JobEvent::Failed {
+                            job_id: *job_id,
+                            attempts: 0,
+                            error: msg.clone(),
+                        });
+                        job.shared.update(|state| {
+                            state.error = Some(msg.clone());
+                            state.status = JobStatus::Error;
+                        });
+                        journal_terminal(
+                            &Some(Arc::clone(journal)),
+                            *job_id,
+                            JobStatus::Error,
+                            Some(&msg),
+                            None,
+                            None,
+                        );
+                    }
+                }
+                job
+            }
+        };
+        if let Some(key) = key {
+            keyed.insert(key.clone(), job.clone());
+        }
+        recovered.push(job);
+    }
+}
+
 /// What one execution attempt produced.
 enum AttemptOutcome {
     Finished(Result<Counts>),
     TimedOut,
 }
 
-fn worker_loop(
-    receiver: &Mutex<Receiver<QueuedJob>>,
-    provider: &Arc<Provider>,
-    retry: &RetryPolicy,
-    observers: &ObserverSet,
-) {
-    loop {
-        // Hold the lock only for the dequeue so workers run jobs in
-        // parallel.
-        let entry = {
-            let guard = receiver.lock().expect("job queue lock");
-            guard.recv()
-        };
-        let Ok(QueuedJob { job, circuit, submitted_at }) = entry else {
-            return; // queue closed: executor is shutting down
-        };
-        run_job(&job, &circuit, provider, retry, observers, submitted_at);
+fn worker_loop(ctx: &Arc<WorkerContext>) {
+    while let Some((_tenant, entry)) = ctx.scheduler.pop() {
+        run_job(&entry, ctx);
     }
 }
 
-/// Executes one job: attempts + backoff + timeout + status transitions.
-fn run_job(
-    job: &Job,
-    circuit: &QuantumCircuit,
-    provider: &Arc<Provider>,
-    retry: &RetryPolicy,
-    observers: &ObserverSet,
-    submitted_at: Instant,
-) {
+/// Executes one job: cache probe + attempts + backoff + timeout +
+/// status transitions.
+fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
+    let QueuedJob { job, circuit, cache_key, submitted_at } = entry;
     let job_id = job.id();
     let proceed = job.shared.update(|state| {
         if state.status == JobStatus::Cancelled || state.cancel_requested {
@@ -661,41 +1222,96 @@ fn run_job(
     });
     if !proceed {
         // Emitted after the state write: a queued cancellation already
-        // woke its waiters from `cancel()` itself, so the emit-before
-        // guarantee cannot apply here anyway.
-        observers.emit(&JobEvent::Cancelled { job_id, while_queued: true });
+        // woke its waiters (and journaled its terminal record) from
+        // `cancel()` itself, so the emit-before guarantee cannot apply
+        // here anyway.
+        ctx.observers.emit(&JobEvent::Cancelled { job_id, while_queued: true });
         return;
     }
-    observers.emit(&JobEvent::Started { job_id, backend: job.shared.backend_name.clone() });
-    for attempt in 1..=retry.max_attempts {
+    ctx.observers.emit(&JobEvent::Started { job_id, backend: job.shared.backend_name.clone() });
+
+    // Content-addressed cache probe: a hit re-samples the cached
+    // distribution with a per-job deterministic seed and skips the
+    // simulator entirely.
+    if let (Some(cache), Some(key)) = (&ctx.cache, cache_key) {
+        if let Some(distribution) = cache.lookup(*key) {
+            let seed = (*key as u64) ^ ((*key >> 64) as u64) ^ job_id;
+            let counts = distribution.sample(job.shared.shots, seed);
+            let served = job.shared.backend_name.clone();
+            ctx.observers.emit(&JobEvent::Completed {
+                job_id,
+                attempts: 0,
+                executed_on: served.clone(),
+                elapsed: submitted_at.elapsed(),
+            });
+            journal_terminal(
+                &ctx.journal,
+                job_id,
+                JobStatus::Done,
+                None,
+                Some(&counts),
+                Some(&served),
+            );
+            job.shared.update(|state| {
+                state.from_cache = true;
+                state.executed_on = Some(served);
+                state.result = Some(counts);
+                state.status = JobStatus::Done;
+            });
+            return;
+        }
+    }
+
+    for attempt in 1..=ctx.retry.max_attempts {
         if attempt > 1 {
-            let backoff = retry.backoff_before(attempt);
+            let backoff = ctx.retry.backoff_before(attempt);
             job.shared.update(|state| state.backoffs.push(backoff));
-            std::thread::sleep(backoff);
-            // Cancellation is honored at attempt boundaries.
-            let cancelled = job.shared.update(|state| state.cancel_requested);
+            // Cancellation interrupts the backoff wait promptly (the
+            // shutdown/cancel race fix) and is also honored at the
+            // attempt boundary as before.
+            let cancelled = job.shared.wait_for_cancel(backoff);
             if cancelled {
-                observers.emit(&JobEvent::Cancelled { job_id, while_queued: false });
+                ctx.observers.emit(&JobEvent::Cancelled { job_id, while_queued: false });
+                journal_terminal(
+                    &ctx.journal,
+                    job_id,
+                    JobStatus::Cancelled,
+                    Some("cancelled between attempts"),
+                    None,
+                    None,
+                );
                 job.shared.update(|state| state.status = JobStatus::Cancelled);
                 return;
             }
         }
         job.shared.update(|state| state.attempts = attempt);
-        let outcome = run_attempt(job, circuit, provider, retry.attempt_timeout);
+        let outcome = run_attempt(job, circuit, &ctx.provider, ctx.retry.attempt_timeout);
         match outcome {
             AttemptOutcome::Finished(Ok(counts)) => {
                 let backend_name = job.shared.backend_name.clone();
-                let served = provider
+                let served = ctx
+                    .provider
                     .get_backend(&backend_name)
                     .ok()
                     .and_then(|b| b.executed_on())
                     .unwrap_or(backend_name);
-                observers.emit(&JobEvent::Completed {
+                ctx.observers.emit(&JobEvent::Completed {
                     job_id,
                     attempts: attempt,
                     executed_on: served.clone(),
                     elapsed: submitted_at.elapsed(),
                 });
+                journal_terminal(
+                    &ctx.journal,
+                    job_id,
+                    JobStatus::Done,
+                    None,
+                    Some(&counts),
+                    Some(&served),
+                );
+                if let (Some(cache), Some(key)) = (&ctx.cache, cache_key) {
+                    cache.insert(*key, &counts);
+                }
                 job.shared.update(|state| {
                     state.executed_on = Some(served);
                     state.result = Some(counts);
@@ -704,13 +1320,21 @@ fn run_job(
                 return;
             }
             AttemptOutcome::Finished(Err(e)) => {
-                let retryable = e.is_retryable() && attempt < retry.max_attempts;
+                let retryable = e.is_retryable() && attempt < ctx.retry.max_attempts;
                 if !retryable {
-                    observers.emit(&JobEvent::Failed {
+                    ctx.observers.emit(&JobEvent::Failed {
                         job_id,
                         attempts: attempt,
                         error: e.to_string(),
                     });
+                    journal_terminal(
+                        &ctx.journal,
+                        job_id,
+                        JobStatus::Error,
+                        Some(&e.to_string()),
+                        None,
+                        None,
+                    );
                     job.shared.update(|state| {
                         state.error = Some(e.to_string());
                         state.status = JobStatus::Error;
@@ -719,10 +1343,10 @@ fn run_job(
                 }
                 // Transient with attempts left: announce the retry (they
                 // used to be silent) and loop for the next attempt.
-                observers.emit(&JobEvent::Retrying {
+                ctx.observers.emit(&JobEvent::Retrying {
                     job_id,
                     attempt,
-                    backoff: retry.backoff_before(attempt + 1),
+                    backoff: ctx.retry.backoff_before(attempt + 1),
                     error: e.to_string(),
                 });
             }
@@ -731,12 +1355,14 @@ fn run_job(
                 // the paper's cloud queue reports such jobs as timed out
                 // rather than silently re-running a possibly side-effecting
                 // submission, and so do we.
-                observers.emit(&JobEvent::TimedOut { job_id, attempt });
+                ctx.observers.emit(&JobEvent::TimedOut { job_id, attempt });
+                let msg = format!(
+                    "attempt {attempt} exceeded its {:?} budget",
+                    ctx.retry.attempt_timeout.expect("timeout set when attempts time out")
+                );
+                journal_terminal(&ctx.journal, job_id, JobStatus::TimedOut, Some(&msg), None, None);
                 job.shared.update(|state| {
-                    state.error = Some(format!(
-                        "attempt {attempt} exceeded its {:?} budget",
-                        retry.attempt_timeout.expect("timeout set when attempts time out")
-                    ));
+                    state.error = Some(msg);
                     state.status = JobStatus::TimedOut;
                 });
                 return;
@@ -813,6 +1439,8 @@ mod tests {
         assert_eq!(job.executed_on().as_deref(), Some("qasm_simulator"));
         assert_eq!(job.backend_name(), "qasm_simulator");
         assert_eq!(job.shots(), 300);
+        assert_eq!(job.tenant(), DEFAULT_TENANT);
+        assert!(!job.served_from_cache());
     }
 
     #[test]
@@ -949,6 +1577,43 @@ mod tests {
     }
 
     #[test]
+    fn cancel_interrupts_a_retry_backoff_promptly() {
+        // Regression test for the shutdown/cancel race: a worker
+        // sleeping out a long backoff used to finish the sleep (and
+        // possibly re-attempt) before honoring the cancel. The condvar
+        // wait must end as soon as cancel() signals.
+        let dead = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::AlwaysFail,
+        );
+        let backoff = Duration::from_secs(30);
+        let retry = RetryPolicy::new(3)
+            .with_base_backoff(backoff)
+            .with_backoff_factor(1.0)
+            .with_jitter(0.0);
+        let config = ExecutorConfig { workers: 1, queue_capacity: 4, retry, ..Default::default() };
+        let executor = JobExecutor::with_config(provider_with(Box::new(dead)), config);
+        let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
+        // The first attempt fails instantly; wait until the worker has
+        // entered the backoff (it records the backoff before waiting).
+        while job.backoffs().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = Instant::now();
+        assert!(!job.cancel(), "job is running, not queued");
+        let err = job.result(Duration::from_secs(10)).unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        assert_eq!(job.status(), JobStatus::Cancelled);
+        assert_eq!(job.attempts(), 1, "the backoff wait was interrupted, not re-attempted");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "cancellation waited out the backoff: {:?}",
+            t0.elapsed()
+        );
+        executor.shutdown();
+    }
+
+    #[test]
     fn full_queue_rejects_submissions() {
         let slow = FaultInjectingBackend::new(
             Box::new(QasmSimulatorBackend::new()),
@@ -973,6 +1638,39 @@ mod tests {
     }
 
     #[test]
+    fn tenant_over_depth_is_shed_with_a_typed_rejected_status() {
+        let slow = FaultInjectingBackend::new(
+            Box::new(QasmSimulatorBackend::new()),
+            FaultMode::Hang(Duration::from_millis(150)),
+        );
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 16,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
+        let executor = JobExecutor::with_config(provider_with(Box::new(slow)), config);
+        let session = executor.session_with("bursty", TenantConfig::default().with_max_pending(1));
+        // Pin the worker so queue depths are deterministic.
+        let running = session.submit(&bell(), "qasm_simulator", 10).unwrap();
+        while running.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = session.submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert_eq!(queued.status(), JobStatus::Queued);
+        let shed = session.submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert_eq!(shed.status(), JobStatus::Rejected);
+        assert!(shed.status().is_terminal());
+        let err = shed.result(Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("rejected"), "{err}");
+        assert!(shed.error_message().unwrap().contains("queue depth"));
+        // Other tenants are unaffected by the shed tenant's bound.
+        let other = executor.session("calm").submit(&bell(), "qasm_simulator", 10).unwrap();
+        assert_ne!(other.status(), JobStatus::Rejected);
+        assert_eq!(running.result(Duration::from_secs(30)).unwrap().total(), 10);
+    }
+
+    #[test]
     fn result_wait_deadline_is_reported_without_killing_the_job() {
         let slow = FaultInjectingBackend::new(
             Box::new(QasmSimulatorBackend::new()),
@@ -988,6 +1686,10 @@ mod tests {
         let job = executor.submit(&bell(), "qasm_simulator", 10).unwrap();
         let err = job.result(Duration::from_millis(5)).unwrap_err();
         assert!(err.to_string().contains("after waiting"));
+        // The typed variant distinguishes "wait gave up" from "job
+        // failed", so callers can poll again.
+        assert!(err.is_wait_timeout());
+        assert!(matches!(err, QukitError::WaitTimeout { job_id, .. } if job_id == job.id()));
         // The job itself keeps running and finishes.
         assert_eq!(job.result(Duration::from_secs(30)).unwrap().total(), 10);
     }
@@ -1029,6 +1731,54 @@ mod tests {
         for job in &jobs {
             assert_eq!(job.status(), JobStatus::Done);
         }
+    }
+
+    #[test]
+    fn idempotency_key_returns_the_original_job() {
+        let executor = JobExecutor::new(Provider::with_defaults());
+        let session = executor.session("vqe");
+        let first =
+            session.submit_with(&bell(), "qasm_simulator", 100, Priority::Normal, Some("iter-1"));
+        let first = first.unwrap();
+        let dup =
+            session.submit_with(&bell(), "qasm_simulator", 100, Priority::Normal, Some("iter-1"));
+        let dup = dup.unwrap();
+        assert_eq!(first.id(), dup.id(), "same key, same job");
+        let fresh =
+            session.submit_with(&bell(), "qasm_simulator", 100, Priority::Normal, Some("iter-2"));
+        assert_ne!(first.id(), fresh.unwrap().id(), "different key, different job");
+        assert_eq!(executor.job_for_key("iter-1").unwrap().id(), first.id());
+        assert!(executor.job_for_key("iter-99").is_none());
+    }
+
+    #[test]
+    fn cache_hits_resample_instead_of_resimulating() {
+        let config = ExecutorConfig {
+            workers: 1,
+            queue_capacity: 16,
+            retry: RetryPolicy::none(),
+            cache: Some(CacheConfig::default()),
+            ..Default::default()
+        };
+        let provider = provider_with(Box::new(QasmSimulatorBackend::new().with_seed(5)));
+        let executor = JobExecutor::with_config(provider, config);
+        let first = executor.submit(&bell(), "qasm_simulator", 400).unwrap();
+        assert_eq!(first.result(Duration::from_secs(30)).unwrap().total(), 400);
+        assert!(!first.served_from_cache(), "first run fills the cache");
+        let second = executor.submit(&bell(), "qasm_simulator", 250).unwrap();
+        let counts = second.result(Duration::from_secs(30)).unwrap();
+        assert!(second.served_from_cache(), "repeat payload hits the cache");
+        assert_eq!(counts.total(), 250, "a hit serves any shot count");
+        assert_eq!(second.attempts(), 0, "no backend attempt for a hit");
+        assert_eq!(second.executed_on().as_deref(), Some("qasm_simulator"));
+        // A different circuit misses.
+        let mut ghz3 = QuantumCircuit::new(3);
+        ghz3.h(0).unwrap();
+        ghz3.cx(0, 1).unwrap();
+        ghz3.cx(1, 2).unwrap();
+        let third = executor.submit(&ghz3, "qasm_simulator", 100).unwrap();
+        third.result(Duration::from_secs(30)).unwrap();
+        assert!(!third.served_from_cache());
     }
 
     /// Records every event so tests can assert on the full lifecycle.
@@ -1128,7 +1878,21 @@ mod tests {
     fn status_display_matches_cloud_vocabulary() {
         assert_eq!(JobStatus::Queued.to_string(), "QUEUED");
         assert_eq!(JobStatus::TimedOut.to_string(), "TIMED_OUT");
+        assert_eq!(JobStatus::Rejected.to_string(), "REJECTED");
         assert!(!JobStatus::Running.is_terminal());
         assert!(JobStatus::Cancelled.is_terminal());
+        assert!(JobStatus::Rejected.is_terminal());
+        for status in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Error,
+            JobStatus::Cancelled,
+            JobStatus::TimedOut,
+            JobStatus::Rejected,
+        ] {
+            assert_eq!(JobStatus::parse(&status.to_string()), Some(status));
+        }
+        assert_eq!(JobStatus::parse("LOST"), None);
     }
 }

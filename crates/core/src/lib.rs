@@ -45,25 +45,30 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod error;
 pub mod execute;
 pub mod fault;
 pub mod job;
+pub mod journal;
 pub mod provider;
 pub mod retry;
+pub mod scheduler;
 
 pub use backend::{
     Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend,
 };
+pub use cache::CacheConfig;
 pub use error::{ErrorClass, QukitError};
 pub use execute::execute;
 pub use fault::{FallbackChain, FaultInjectingBackend, FaultMode};
 pub use job::{
     ExecutorConfig, Job, JobEvent, JobExecutor, JobObserver, JobStatus, MetricsJobObserver,
-    ObserverSet,
+    ObserverSet, RecoveryReport, Session, SubmitOptions, DEFAULT_TENANT,
 };
 pub use provider::Provider;
 pub use retry::RetryPolicy;
+pub use scheduler::{Priority, TenantConfig};
 
 // Re-export the component crates under their element names.
 pub use qukit_aer as aer;

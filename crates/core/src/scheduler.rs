@@ -1,0 +1,456 @@
+//! Multi-tenant fair-share scheduling and admission control.
+//!
+//! The paper's cloud queue is shared by many users at once; a single
+//! FIFO would let one chatty tenant starve everyone else. This module
+//! replaces the executor's mpsc channel with a weighted-fair queue:
+//! every tenant owns three priority FIFOs (high/normal/low) and a
+//! *virtual time* that advances by `1/weight` per dequeue. Workers
+//! always pop from the tenant with the smallest virtual time, so over
+//! any window tenants receive service proportional to their weights —
+//! a tenant with weight 2 gets twice the turns of a weight-1 tenant —
+//! while each tenant's own jobs stay FIFO within a priority class.
+//!
+//! Admission control is two-level: a global `capacity` bound (the
+//! legacy "queue is full" error) and a per-tenant `max_pending` depth.
+//! A tenant over its depth is *load-shed* — the scheduler reports
+//! [`Admission::TenantFull`] and the executor turns that into a typed
+//! `Rejected` job status instead of queueing unboundedly.
+//!
+//! The scheduler is deliberately free of clocks and threads: fairness
+//! is a pure function of the push/pop sequence, which is what makes the
+//! interleaving tests below deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Priority class of a submission. Within one tenant, higher classes
+/// are always served first; across tenants, weighted fairness wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Served before everything else the tenant has queued.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served only when the tenant has nothing more urgent.
+    Low,
+}
+
+impl Priority {
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The wire name used in journal records (`high`/`normal`/`low`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name back into a priority.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-tenant scheduling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantConfig {
+    /// Fair-share weight: a weight-`w` tenant receives `w` dequeues for
+    /// every one a weight-1 tenant gets (minimum effective weight 1).
+    pub weight: u32,
+    /// Maximum jobs the tenant may have waiting in the queue; further
+    /// submissions are load-shed with a `Rejected` status.
+    pub max_pending: usize,
+}
+
+impl Default for TenantConfig {
+    /// Weight 1 and a 256-job pending bound.
+    fn default() -> Self {
+        Self { weight: 1, max_pending: 256 }
+    }
+}
+
+impl TenantConfig {
+    /// A config with no per-tenant depth bound (the global queue
+    /// capacity still applies). Used for the legacy `default` tenant so
+    /// pre-session submitters keep their exact semantics.
+    pub fn unbounded() -> Self {
+        Self { weight: 1, max_pending: usize::MAX }
+    }
+
+    /// Builder: sets the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder: sets the pending-depth bound.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+}
+
+/// The verdict of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// The entry was queued.
+    Accepted,
+    /// The tenant is over its `max_pending` depth; the entry was shed.
+    TenantFull { queued: usize, max_pending: usize },
+    /// The global queue capacity is exhausted.
+    QueueFull,
+    /// The scheduler was closed (executor shutting down).
+    Closed,
+}
+
+struct TenantQueue<T> {
+    config: TenantConfig,
+    /// Virtual service time; the next dequeue goes to the minimum.
+    vtime: f64,
+    /// One FIFO per priority class, indexed by [`Priority::index`].
+    queues: [VecDeque<T>; 3],
+    queued: usize,
+}
+
+impl<T> TenantQueue<T> {
+    fn new(config: TenantConfig) -> Self {
+        Self {
+            config,
+            vtime: 0.0,
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queued: 0,
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<T> {
+        for queue in &mut self.queues {
+            if let Some(item) = queue.pop_front() {
+                self.queued -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+struct SchedState<T> {
+    tenants: BTreeMap<String, TenantQueue<T>>,
+    total_queued: usize,
+    capacity: usize,
+    /// Virtual-time floor: an idle tenant re-enters at the current
+    /// service level instead of its stale (small) vtime, so going quiet
+    /// cannot bank credit against busy tenants.
+    floor: f64,
+    closed: bool,
+}
+
+/// A weighted-fair, priority-aware, bounded multi-tenant queue.
+///
+/// Thread-safe: producers call [`push`](Scheduler::push), consumers
+/// block in [`pop`](Scheduler::pop) until an entry or close arrives.
+pub(crate) struct Scheduler<T> {
+    state: Mutex<SchedState<T>>,
+    available: Condvar,
+}
+
+impl<T> Scheduler<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(SchedState {
+                tenants: BTreeMap::new(),
+                total_queued: 0,
+                capacity: capacity.max(1),
+                floor: 0.0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState<T>> {
+        self.state.lock().expect("scheduler lock")
+    }
+
+    /// Registers (or reconfigures) a tenant. Tenants are also created
+    /// implicitly on first push with the default config.
+    pub(crate) fn set_tenant(&self, tenant: &str, config: TenantConfig) {
+        let mut state = self.lock();
+        let floor = state.floor;
+        state.tenants.entry(tenant.to_owned()).and_modify(|t| t.config = config).or_insert_with(
+            || {
+                let mut queue = TenantQueue::new(config);
+                queue.vtime = floor;
+                queue
+            },
+        );
+    }
+
+    /// Admission check without queueing: would a push for `tenant` be
+    /// accepted right now? (Best-effort — concurrent pushes can still
+    /// race to the last slot.)
+    pub(crate) fn would_admit(&self, tenant: &str) -> Admission {
+        let state = self.lock();
+        admission_of(&state, tenant)
+    }
+
+    /// Queues an entry for `tenant`, enforcing both the global capacity
+    /// and the tenant's pending bound.
+    pub(crate) fn push(&self, tenant: &str, priority: Priority, item: T) -> Admission {
+        let mut state = self.lock();
+        let verdict = admission_of(&state, tenant);
+        if verdict != Admission::Accepted {
+            return verdict;
+        }
+        push_unchecked_locked(&mut state, tenant, priority, item);
+        drop(state);
+        self.available.notify_one();
+        Admission::Accepted
+    }
+
+    /// Queues an entry bypassing admission bounds. Used for journal
+    /// replay: replayed jobs were admitted before the crash, and
+    /// re-shedding them would violate exactly-once recovery.
+    pub(crate) fn push_replayed(&self, tenant: &str, priority: Priority, item: T) {
+        let mut state = self.lock();
+        if state.closed {
+            return;
+        }
+        push_unchecked_locked(&mut state, tenant, priority, item);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until an entry is available (returning the owning tenant
+    /// and the entry) or the scheduler is closed and drained (`None`).
+    pub(crate) fn pop(&self) -> Option<(String, T)> {
+        let mut state = self.lock();
+        loop {
+            if state.total_queued > 0 {
+                return Some(pop_fair_locked(&mut state));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("scheduler lock");
+        }
+    }
+
+    /// Closes the queue; queued entries still drain through `pop`.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Closes the queue and discards everything still waiting,
+    /// returning the discarded entries (crash simulation: queued work
+    /// is lost exactly like a killed process loses its channel).
+    pub(crate) fn close_discard(&self) -> Vec<T> {
+        let mut state = self.lock();
+        state.closed = true;
+        let mut dropped = Vec::new();
+        for tenant in state.tenants.values_mut() {
+            for queue in &mut tenant.queues {
+                dropped.extend(queue.drain(..));
+            }
+            tenant.queued = 0;
+        }
+        state.total_queued = 0;
+        drop(state);
+        self.available.notify_all();
+        dropped
+    }
+
+    /// Total entries currently queued across all tenants.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().total_queued
+    }
+}
+
+fn admission_of<T>(state: &SchedState<T>, tenant: &str) -> Admission {
+    if state.closed {
+        return Admission::Closed;
+    }
+    if state.total_queued >= state.capacity {
+        return Admission::QueueFull;
+    }
+    if let Some(queue) = state.tenants.get(tenant) {
+        if queue.queued >= queue.config.max_pending {
+            return Admission::TenantFull {
+                queued: queue.queued,
+                max_pending: queue.config.max_pending,
+            };
+        }
+    }
+    Admission::Accepted
+}
+
+fn push_unchecked_locked<T>(state: &mut SchedState<T>, tenant: &str, priority: Priority, item: T) {
+    let floor = state.floor;
+    let queue = state.tenants.entry(tenant.to_owned()).or_insert_with(|| {
+        let mut tq = TenantQueue::new(TenantConfig::default());
+        tq.vtime = floor;
+        tq
+    });
+    if queue.queued == 0 {
+        // Re-activating tenant: no banked credit from its idle period.
+        queue.vtime = queue.vtime.max(floor);
+    }
+    queue.queues[priority.index()].push_back(item);
+    queue.queued += 1;
+    state.total_queued += 1;
+}
+
+fn pop_fair_locked<T>(state: &mut SchedState<T>) -> (String, T) {
+    let name = state
+        .tenants
+        .iter()
+        .filter(|(_, t)| t.queued > 0)
+        .min_by(|(a_name, a), (b_name, b)| {
+            a.vtime
+                .partial_cmp(&b.vtime)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a_name.cmp(b_name))
+        })
+        .map(|(name, _)| name.clone())
+        .expect("total_queued > 0 implies a non-empty tenant");
+    let tenant = state.tenants.get_mut(&name).expect("tenant exists");
+    let item = tenant.pop_front().expect("tenant has queued entries");
+    state.floor = tenant.vtime;
+    tenant.vtime += 1.0 / f64::from(tenant.config.weight.max(1));
+    state.total_queued -= 1;
+    (name, item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(sched: &Scheduler<u32>) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        while sched.len() > 0 {
+            out.push(sched.pop().expect("queued entry"));
+        }
+        out
+    }
+
+    #[test]
+    fn single_tenant_is_fifo_within_priority() {
+        let sched = Scheduler::new(16);
+        for i in 0..4 {
+            assert_eq!(sched.push("a", Priority::Normal, i), Admission::Accepted);
+        }
+        let order: Vec<u32> = drain(&sched).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn high_priority_jumps_the_tenant_queue() {
+        let sched = Scheduler::new(16);
+        sched.push("a", Priority::Normal, 1);
+        sched.push("a", Priority::Low, 2);
+        sched.push("a", Priority::High, 3);
+        sched.push("a", Priority::Normal, 4);
+        let order: Vec<u32> = drain(&sched).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, vec![3, 1, 4, 2], "high first, then normals FIFO, low last");
+    }
+
+    #[test]
+    fn equal_weights_interleave_fairly() {
+        let sched = Scheduler::new(32);
+        for i in 0..3 {
+            sched.push("a", Priority::Normal, i);
+            sched.push("b", Priority::Normal, 10 + i);
+        }
+        let tenants: Vec<String> = drain(&sched).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(tenants, vec!["a", "b", "a", "b", "a", "b"], "round-robin at equal weight");
+    }
+
+    #[test]
+    fn weights_skew_service_proportionally() {
+        let sched = Scheduler::new(64);
+        sched.set_tenant("heavy", TenantConfig::default().with_weight(2));
+        sched.set_tenant("light", TenantConfig::default().with_weight(1));
+        for i in 0..6 {
+            sched.push("heavy", Priority::Normal, i);
+            sched.push("light", Priority::Normal, 100 + i);
+        }
+        // In any window of 3 dequeues, heavy gets ~2 and light ~1.
+        let first_six: Vec<String> = drain(&sched).into_iter().take(6).map(|(t, _)| t).collect();
+        let heavy = first_six.iter().filter(|t| *t == "heavy").count();
+        assert_eq!(heavy, 4, "weight-2 tenant takes 2/3 of the first 6 slots: {first_six:?}");
+    }
+
+    #[test]
+    fn idle_tenant_rejoins_at_the_floor_without_banked_credit() {
+        let sched = Scheduler::new(64);
+        // "b" stays idle while "a" consumes service.
+        for i in 0..4 {
+            sched.push("a", Priority::Normal, i);
+        }
+        for _ in 0..4 {
+            sched.pop();
+        }
+        // Now both submit; "b" must not get 4 dequeues of catch-up.
+        for i in 0..3 {
+            sched.push("a", Priority::Normal, i);
+            sched.push("b", Priority::Normal, 10 + i);
+        }
+        let tenants: Vec<String> = drain(&sched).into_iter().map(|(t, _)| t).collect();
+        let first_two_b = tenants.iter().take(2).filter(|t| *t == "b").count();
+        assert!(first_two_b <= 1, "no catch-up burst for the idle tenant: {tenants:?}");
+    }
+
+    #[test]
+    fn tenant_depth_bound_sheds_and_global_capacity_rejects() {
+        let sched = Scheduler::new(3);
+        sched.set_tenant("bounded", TenantConfig::default().with_max_pending(1));
+        assert_eq!(sched.push("bounded", Priority::Normal, 1), Admission::Accepted);
+        assert_eq!(
+            sched.push("bounded", Priority::Normal, 2),
+            Admission::TenantFull { queued: 1, max_pending: 1 }
+        );
+        assert_eq!(sched.push("other", Priority::Normal, 3), Admission::Accepted);
+        assert_eq!(sched.push("other", Priority::Normal, 4), Admission::Accepted);
+        assert_eq!(sched.push("other", Priority::Normal, 5), Admission::QueueFull);
+    }
+
+    #[test]
+    fn close_discard_reports_dropped_entries() {
+        let sched = Scheduler::new(8);
+        sched.push("a", Priority::Normal, 1);
+        sched.push("b", Priority::High, 2);
+        let dropped = sched.close_discard();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(sched.pop(), None, "closed and empty");
+        assert_eq!(sched.push("a", Priority::Normal, 3), Admission::Closed);
+    }
+
+    #[test]
+    fn priority_wire_names_round_trip() {
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::parse(p.name()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}

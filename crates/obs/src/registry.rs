@@ -176,6 +176,34 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// standard Prometheus `histogram_quantile` recipe. Returns 0 for
+    /// an empty histogram. Ranks falling in the `+Inf` overflow bucket
+    /// report the largest finite bound (a lower-bound estimate), since
+    /// the bucket has no upper edge to interpolate toward.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.buckets.iter().enumerate() {
+            let next = cumulative + bucket_count;
+            if (next as f64) >= rank && bucket_count > 0 {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: no finite upper edge.
+                    return *self.bounds.last().expect("bounds nonempty");
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let fraction = (rank - cumulative as f64) / bucket_count as f64;
+                return lower + fraction * (upper - lower);
+            }
+            cumulative = next;
+        }
+        *self.bounds.last().expect("bounds nonempty")
+    }
 }
 
 /// A frozen copy of the whole registry plus the trace buffer, consumed by
@@ -346,6 +374,39 @@ pub fn observe_duration(name: &str, duration: Duration) {
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let snapshot = HistogramSnapshot {
+            bounds: vec![1.0, 2.0, 4.0],
+            // 10 observations <=1, 10 in (1,2], none in (2,4], 0 overflow.
+            buckets: vec![10, 10, 0, 0],
+            count: 20,
+            sum: 25.0,
+        };
+        // Rank 10 is the last observation of the first bucket.
+        assert!((snapshot.quantile(0.5) - 1.0).abs() < 1e-9);
+        // Rank 15 sits halfway through the (1,2] bucket.
+        assert!((snapshot.quantile(0.75) - 1.5).abs() < 1e-9);
+        assert!((snapshot.quantile(1.0) - 2.0).abs() < 1e-9);
+        // q clamps instead of panicking.
+        assert!(snapshot.quantile(-1.0) <= snapshot.quantile(2.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty =
+            HistogramSnapshot { bounds: vec![1.0], buckets: vec![0, 0], count: 0, sum: 0.0 };
+        assert_eq!(empty.quantile(0.5), 0.0);
+        // Everything overflowed: report the largest finite bound.
+        let overflow = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            buckets: vec![0, 0, 5],
+            count: 5,
+            sum: 50.0,
+        };
+        assert_eq!(overflow.quantile(0.5), 2.0);
+    }
 
     #[test]
     fn counters_are_exact_under_contention() {
