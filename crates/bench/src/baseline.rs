@@ -204,8 +204,101 @@ pub fn run_baseline(config: &BaselineConfig) -> Baseline {
             });
         }
     }
+    entries.extend(transpiler_entries(config));
     qukit_obs::set_enabled(was_enabled);
     Baseline { entries }
+}
+
+/// Transpiler baseline entries: both production routers on the 12-qubit
+/// circuits over a 3×4 grid device, plus a cold/warm pair through the
+/// transpile cache proving that a hit skips the pipeline entirely.
+///
+/// Engine names follow the `transpile[router]` / `transpile_cache[side]`
+/// convention so `stats --compare` gates them like any other entry (the
+/// warm-hit wall time sits below [`MIN_COMPARE_WALL`] by design — the
+/// committed regression gate for the cache is the speedup ratio stored
+/// in the warm entry's metrics and asserted by this crate's tests).
+fn transpiler_entries(config: &BaselineConfig) -> Vec<BaselineEntry> {
+    use qukit::terra::coupling::CouplingMap;
+    use qukit::terra::transpiler::{self, MapperKind, TranspileOptions};
+
+    let repeats = config.repeats.max(1);
+    let mut entries = Vec::new();
+    let suite = [
+        ("qft_12".to_owned(), crate::qft(12)),
+        ("random_12x200".to_owned(), crate::random_circuit(12, 200, 4242)),
+    ];
+    for (circuit_name, circuit) in &suite {
+        for (engine_name, mapper) in
+            [("transpile[sabre]", MapperKind::Sabre), ("transpile[astar]", MapperKind::AStar)]
+        {
+            let mut options = TranspileOptions::for_device(CouplingMap::grid(3, 4));
+            options.optimization_level = 1;
+            options.mapper = mapper;
+            let mut wall_seconds = f64::INFINITY;
+            let mut metrics = BTreeMap::new();
+            for _ in 0..repeats {
+                let start = std::time::Instant::now();
+                let result = transpiler::transpile(circuit, &options).expect("baseline transpile");
+                wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+                if config.collect_metrics {
+                    metrics.insert("swaps_inserted".to_owned(), result.num_swaps as f64);
+                    metrics.insert("depth_out".to_owned(), result.circuit.depth() as f64);
+                    metrics.insert("gates_out".to_owned(), result.circuit.num_gates() as f64);
+                }
+            }
+            entries.push(BaselineEntry {
+                circuit: circuit_name.clone(),
+                engine: engine_name.to_owned(),
+                qubits: circuit.num_qubits(),
+                gates: circuit.num_gates(),
+                shots: 0,
+                wall_seconds,
+                metrics,
+            });
+        }
+    }
+
+    // Cold vs warm through a private cache (not the process-global one,
+    // so bench runs do not disturb live cache statistics).
+    let (circuit_name, circuit) = &suite[0];
+    let mut options = TranspileOptions::for_device(CouplingMap::grid(3, 4));
+    options.optimization_level = 1;
+    options.mapper = MapperKind::Sabre;
+    let cache = transpiler::cache::TranspileCache::new(4);
+    let key = transpiler::cache::TranspileCache::key(circuit, &options);
+    let mut cold = f64::INFINITY;
+    let mut warm = f64::INFINITY;
+    for _ in 0..repeats {
+        cache.clear();
+        let start = std::time::Instant::now();
+        let result = transpiler::transpile(circuit, &options).expect("cold transpile");
+        cache.insert(key, result);
+        cold = cold.min(start.elapsed().as_secs_f64());
+        let start = std::time::Instant::now();
+        let hit = cache.lookup(key);
+        warm = warm.min(start.elapsed().as_secs_f64());
+        assert!(hit.is_some(), "warm lookup must hit");
+    }
+    let speedup = cold / warm.max(f64::MIN_POSITIVE);
+    for (engine_name, wall_seconds) in
+        [("transpile_cache[cold]", cold), ("transpile_cache[warm]", warm)]
+    {
+        let mut metrics = BTreeMap::new();
+        if config.collect_metrics {
+            metrics.insert("cache_speedup".to_owned(), speedup);
+        }
+        entries.push(BaselineEntry {
+            circuit: circuit_name.clone(),
+            engine: engine_name.to_owned(),
+            qubits: circuit.num_qubits(),
+            gates: circuit.num_gates(),
+            shots: 0,
+            wall_seconds,
+            metrics,
+        });
+    }
+    entries
 }
 
 /// One slowdown found by [`Baseline::compare`].
@@ -424,6 +517,43 @@ mod tests {
             .find(|e| e.engine == "qasm_simulator")
             .expect("statevector entries exist");
         assert!(sv.metrics.keys().any(|k| k.starts_with("qukit_aer_")));
+    }
+
+    #[test]
+    fn baseline_covers_routing_and_cache_entries() {
+        let _guard = lock();
+        let baseline = run_baseline(&BaselineConfig { shots: 16, ..Default::default() });
+        for circuit in ["qft_12", "random_12x200"] {
+            for engine in ["transpile[sabre]", "transpile[astar]"] {
+                let entry = baseline
+                    .entries
+                    .iter()
+                    .find(|e| e.circuit == circuit && e.engine == engine)
+                    .unwrap_or_else(|| panic!("missing {circuit}/{engine}"));
+                assert!(entry.metrics.contains_key("swaps_inserted"));
+                assert!(entry.metrics["depth_out"] > 0.0);
+            }
+        }
+        let cold = baseline
+            .entries
+            .iter()
+            .find(|e| e.engine == "transpile_cache[cold]")
+            .expect("cold cache entry");
+        let warm = baseline
+            .entries
+            .iter()
+            .find(|e| e.engine == "transpile_cache[warm]")
+            .expect("warm cache entry");
+        // The headline cache claim: a hit skips the whole pipeline, so it
+        // must be at least 10× faster than the cold transpile (in
+        // practice it is a hash plus a clone, thousands of times faster).
+        assert!(
+            warm.wall_seconds * 10.0 <= cold.wall_seconds,
+            "cache hit not >=10x faster: cold {:.6}s warm {:.6}s",
+            cold.wall_seconds,
+            warm.wall_seconds
+        );
+        assert!(warm.metrics["cache_speedup"] >= 10.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! qukit stats    circuit.qasm            # gate counts / depth / width
 //! qukit draw     circuit.qasm            # ASCII diagram (Fig. 1b style)
 //! qukit run      circuit.qasm --backend ibmqx4 --shots 1024 --seed 7
-//! qukit transpile circuit.qasm --device ibmqx4 --mapper astar --opt 3 --emit
+//! qukit transpile circuit.qasm --device ibmqx4 --router sabre --opt-level 3 --emit
 //! qukit jobs     circuit.qasm --inject-fail 2 --retries 3 --seed 7
 //! ```
 //!
@@ -88,7 +88,8 @@ const USAGE: &str = "usage:
   qukit run <file.qasm> [--backend NAME] [--shots N] [--seed N]
             [--threads N] [--metrics FILE.json] [--trace]
   qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
-                  [--mapper basic|lookahead|astar] [--opt 0..3] [--emit]
+                  [--router basic|lookahead|astar|sabre] [--opt-level 0..3]
+                  [--emit]  (--mapper/--opt are accepted aliases)
   qukit equiv <a.qasm> <b.qasm>
   qukit jobs <file.qasm> [--backend NAME] [--shots N] [--seed N]
              [--threads N] [--retries N] [--timeout-ms N]
@@ -974,14 +975,37 @@ fn cmd_transpile(rest: &[&String], out: &mut impl Write) -> Result<(), CliError>
             ))
         }
     };
-    let mapper = match flag_value(rest, "--mapper")?.unwrap_or("lookahead") {
+    let mapper_flag = match (flag_value(rest, "--mapper")?, flag_value(rest, "--router")?) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--mapper and --router are aliases; pass only one".to_owned(),
+            ))
+        }
+        (mapper, router) => mapper.or(router),
+    };
+    let mapper = match mapper_flag.unwrap_or("sabre") {
         "basic" => MapperKind::Basic,
         "lookahead" => MapperKind::Lookahead,
         "astar" => MapperKind::AStar,
+        "sabre" => MapperKind::Sabre,
         other => return Err(CliError::Usage(format!("unknown mapper '{other}'"))),
     };
-    let optimization_level: u8 = match flag_value(rest, "--opt")? {
-        Some(v) => parse_number(v, "optimization level")?,
+    let opt_flag = match (flag_value(rest, "--opt")?, flag_value(rest, "--opt-level")?) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--opt and --opt-level are aliases; pass only one".to_owned(),
+            ))
+        }
+        (opt, opt_level) => opt.or(opt_level),
+    };
+    let optimization_level: u8 = match opt_flag {
+        Some(v) => {
+            let level = parse_number(v, "optimization level")?;
+            if level > 3 {
+                return Err(CliError::Usage(format!("optimization level {level} not in 0..=3")));
+            }
+            level
+        }
         None => 1,
     };
     let options = TranspileOptions {
@@ -1161,6 +1185,26 @@ mod tests {
         assert!(text.contains("out:"));
         let text = run_ok(&["transpile", file.as_str(), "--coupling", "grid:2x2"]);
         assert!(text.contains("out:"));
+    }
+
+    #[test]
+    fn transpile_router_and_opt_level_flags() {
+        let file = write_bell();
+        let text = run_ok(&[
+            "transpile",
+            file.as_str(),
+            "--device",
+            "ibmqx4",
+            "--router",
+            "sabre",
+            "--opt-level",
+            "3",
+        ]);
+        assert!(text.contains("swaps inserted"));
+        let err = run_err(&["transpile", file.as_str(), "--router", "sabre", "--mapper", "astar"]);
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("aliases")));
+        let err = run_err(&["transpile", file.as_str(), "--opt-level", "7"]);
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("not in 0..=3")));
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //!   instruction stream;
 //! * **transpile** — the mapped circuit produced by the transpiler is
 //!   equivalent to the original under its permuted layouts (checked with
-//!   [`qukit_dd::verify::check_equivalence_mapped`]).
+//!   [`qukit_dd::verify::check_equivalence_mapped`]) at every
+//!   optimization level 0–3 with both production routers (SABRE and A*).
 
 use crate::runner::{is_unitary_circuit, DifferentialRunner, Mismatch};
 use qukit_terra::circuit::QuantumCircuit;
 use qukit_terra::coupling::CouplingMap;
-use qukit_terra::transpiler::{satisfies_coupling, transpile, TranspileOptions};
+use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
 
 /// The oracles the harness knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,42 +193,61 @@ impl OracleSuite {
         }
         let n = circuit.num_qubits();
         let coupling = if n <= 5 { CouplingMap::ibm_qx4() } else { CouplingMap::line(n) };
-        let options = TranspileOptions::for_device(coupling.clone());
-        let result = match transpile(circuit, &options) {
-            Ok(result) => result,
-            Err(e) => {
-                return OracleOutcome::Fail(Mismatch {
-                    oracle: "transpile".to_owned(),
-                    detail: format!("transpilation failed: {e}"),
-                })
+        // Sweep the full pipeline matrix: every optimization level with
+        // both production routers. Each combination exercises a different
+        // pass sequence (decompose / resynthesis / fixpoint optimization)
+        // and routing heuristic, and each result must still be exactly
+        // equivalent to the input under its layout permutation.
+        for level in 0..=3u8 {
+            for mapper in [MapperKind::Sabre, MapperKind::AStar] {
+                let mut options = TranspileOptions::for_device(coupling.clone());
+                options.optimization_level = level;
+                options.mapper = mapper;
+                let tag = format!("opt {level}, {mapper:?}");
+                let result = match transpile(circuit, &options) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        return OracleOutcome::Fail(Mismatch {
+                            oracle: "transpile".to_owned(),
+                            detail: format!("transpilation failed ({tag}): {e}"),
+                        })
+                    }
+                };
+                if !satisfies_coupling(&result.circuit, &coupling) {
+                    return OracleOutcome::Fail(Mismatch {
+                        oracle: "transpile".to_owned(),
+                        detail: format!("mapped circuit violates the coupling map ({tag})"),
+                    });
+                }
+                match qukit_dd::verify::check_equivalence_mapped(
+                    circuit,
+                    &result.circuit,
+                    &result.initial_layout,
+                    &result.final_layout,
+                ) {
+                    Ok(verdict) if verdict.is_equivalent() => {}
+                    Ok(verdict) => {
+                        return OracleOutcome::Fail(Mismatch {
+                            oracle: "transpile".to_owned(),
+                            detail: format!(
+                                "mapped circuit is not equivalent to the original \
+                                 ({tag}; DD verdict: {verdict:?}, {} swaps, layouts {:?} → {:?})",
+                                result.num_swaps, result.initial_layout, result.final_layout
+                            ),
+                        })
+                    }
+                    Err(e) => {
+                        return OracleOutcome::Fail(Mismatch {
+                            oracle: "transpile".to_owned(),
+                            detail: format!(
+                                "DD equivalence check refused the mapped circuit ({tag}): {e}"
+                            ),
+                        })
+                    }
+                }
             }
-        };
-        if !satisfies_coupling(&result.circuit, &coupling) {
-            return OracleOutcome::Fail(Mismatch {
-                oracle: "transpile".to_owned(),
-                detail: "mapped circuit violates the coupling map".to_owned(),
-            });
         }
-        match qukit_dd::verify::check_equivalence_mapped(
-            circuit,
-            &result.circuit,
-            &result.initial_layout,
-            &result.final_layout,
-        ) {
-            Ok(verdict) if verdict.is_equivalent() => OracleOutcome::Pass,
-            Ok(verdict) => OracleOutcome::Fail(Mismatch {
-                oracle: "transpile".to_owned(),
-                detail: format!(
-                    "mapped circuit is not equivalent to the original \
-                     (DD verdict: {verdict:?}, {} swaps, layouts {:?} → {:?})",
-                    result.num_swaps, result.initial_layout, result.final_layout
-                ),
-            }),
-            Err(e) => OracleOutcome::Fail(Mismatch {
-                oracle: "transpile".to_owned(),
-                detail: format!("DD equivalence check refused the mapped circuit: {e}"),
-            }),
-        }
+        OracleOutcome::Pass
     }
 }
 

@@ -16,7 +16,7 @@ use qukit_aer::simulator::QasmSimulator;
 use qukit_dd::simulator::DdSimulator;
 use qukit_terra::circuit::QuantumCircuit;
 use qukit_terra::coupling::CouplingMap;
-use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
+use qukit_terra::transpiler::{satisfies_coupling, MapperKind, TranspileOptions};
 
 /// A target that can execute circuits and return measurement histograms.
 ///
@@ -278,6 +278,7 @@ pub struct FakeDevice {
     parallel: Option<ParallelConfig>,
     mapper: MapperKind,
     layout: qukit_terra::transpiler::InitialLayout,
+    opt_level: u8,
 }
 
 impl FakeDevice {
@@ -291,6 +292,7 @@ impl FakeDevice {
             parallel: None,
             mapper: MapperKind::Lookahead,
             layout: qukit_terra::transpiler::InitialLayout::Trivial,
+            opt_level: 2,
         }
     }
 
@@ -336,6 +338,13 @@ impl FakeDevice {
         self
     }
 
+    /// Overrides the optimization level used by automatic transpilation
+    /// (clamped to 0..=3; the default is 2).
+    pub fn with_opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level.min(3);
+        self
+    }
+
     /// Replaces the noise model (e.g. `NoiseModel::new()` for a noiseless
     /// constraint-only device).
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
@@ -349,7 +358,9 @@ impl FakeDevice {
     }
 
     /// Transpiles a circuit for this device (decompose → map → direction
-    /// fix → optimize → U/CX basis).
+    /// fix → optimize → U/CX basis), through the process-wide transpile
+    /// cache: resubmitting the same payload to the same device skips the
+    /// pass pipeline entirely.
     ///
     /// # Errors
     ///
@@ -358,11 +369,11 @@ impl FakeDevice {
         let options = TranspileOptions {
             coupling_map: Some(self.coupling.clone()),
             mapper: self.mapper,
-            optimization_level: 2,
+            optimization_level: self.opt_level,
             basis_u: true,
             initial_layout: self.layout.clone(),
         };
-        Ok(transpile(circuit, &options)?.circuit)
+        Ok(qukit_terra::transpiler::transpile_cached(circuit, &options)?.circuit)
     }
 }
 
@@ -420,8 +431,8 @@ impl Backend for FakeDevice {
         // both for cache keying.
         crate::cache::fnv1a64(
             format!(
-                "{}|{:?}|{:?}|{:?}|{:?}",
-                self.name, self.noise, self.seed, self.mapper, self.layout
+                "{}|{:?}|{:?}|{:?}|{:?}|{}",
+                self.name, self.noise, self.seed, self.mapper, self.layout, self.opt_level
             )
             .as_bytes(),
         )

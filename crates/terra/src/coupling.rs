@@ -180,6 +180,50 @@ impl CouplingMap {
         Self::preset(rows * cols, &edges, "grid")
     }
 
+    /// The 27-qubit IBM heavy-hex lattice (Falcon family): hexagonal cells
+    /// with degree-2 "flag" qubits on the edges and degree-3 junctions, the
+    /// topology of the Falcon/Hummingbird/Eagle processors. All couplings
+    /// are bidirectional (cross-resonance devices calibrate both
+    /// directions).
+    pub fn heavy_hex() -> Self {
+        let undirected = [
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ];
+        let mut edges = Vec::new();
+        for (a, b) in undirected {
+            edges.push((a, b));
+            edges.push((b, a));
+        }
+        Self::preset(27, &edges, "heavy_hex")
+    }
+
     /// A fully-connected topology (every ordered pair is an edge) — the
     /// "no constraints" baseline.
     pub fn full(num_qubits: usize) -> Self {
@@ -363,6 +407,7 @@ mod tests {
             CouplingMap::ibm_qx3(),
             CouplingMap::ibm_qx4(),
             CouplingMap::ibm_qx5(),
+            CouplingMap::heavy_hex(),
         ] {
             assert!(map.is_connected(), "{} disconnected", map.name());
         }
@@ -434,6 +479,22 @@ mod tests {
         let full = CouplingMap::full(4);
         assert_eq!(full.num_edges(), 12);
         assert_eq!(full.distance(0, 3), 1);
+    }
+
+    #[test]
+    fn heavy_hex_matches_falcon_shape() {
+        let hh = CouplingMap::heavy_hex();
+        assert_eq!(hh.num_qubits(), 27);
+        assert_eq!(hh.num_edges(), 56, "28 undirected couplings, both directions");
+        // Heavy-hex degree profile: only degrees 1..=3 appear, and the
+        // junction qubits have degree exactly 3.
+        let degrees: Vec<usize> = (0..27).map(|q| hh.neighbors(q).len()).collect();
+        assert!(degrees.iter().all(|&d| (1..=3).contains(&d)), "degrees {degrees:?}");
+        assert_eq!(degrees.iter().filter(|&&d| d == 3).count(), 8);
+        // Both CNOT directions are native everywhere.
+        for (c, t) in hh.edges().collect::<Vec<_>>() {
+            assert!(hh.has_edge(t, c), "missing reverse of Q{c}->Q{t}");
+        }
     }
 
     #[test]

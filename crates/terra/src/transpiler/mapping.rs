@@ -34,6 +34,10 @@ pub enum MapperKind {
     Lookahead,
     /// Per-layer A* search for minimal swap sequences.
     AStar,
+    /// SABRE (Li-Ding-Xie, ASPLOS'19): decay-weighted front + extended-set
+    /// swap scoring, with bidirectional forward/reverse traversals that
+    /// refine the initial layout before the final routing pass.
+    Sabre,
 }
 
 /// Result of mapping a circuit onto a device.
@@ -283,13 +287,20 @@ pub fn map_circuit(
     kind: MapperKind,
     initial: &InitialLayout,
 ) -> Result<MappingResult> {
-    let layout = choose_initial_layout(circuit, map, initial)?;
+    let mut layout = choose_initial_layout(circuit, map, initial)?;
+    if kind == MapperKind::Sabre && matches!(initial, InitialLayout::Trivial | InitialLayout::Dense)
+    {
+        // Bidirectional refinement only when the caller did not pin the
+        // placement (custom and noise-aware layouts are authoritative).
+        layout = sabre_refine_layout(circuit, map, layout)?;
+    }
     let initial_layout = layout.to_physical_vec();
     let mut ctx = MappingContext::new(circuit, map, layout)?;
     match kind {
         MapperKind::Basic => ctx.run_basic()?,
         MapperKind::Lookahead => ctx.run_lookahead()?,
         MapperKind::AStar => ctx.run_astar()?,
+        MapperKind::Sabre => ctx.run_sabre()?,
     }
     Ok(MappingResult {
         final_layout: ctx.layout.to_physical_vec(),
@@ -297,6 +308,48 @@ pub fn map_circuit(
         initial_layout,
         num_swaps: ctx.num_swaps,
     })
+}
+
+/// SABRE's bidirectional layout search: route the circuit forward, then
+/// route its reverse starting from the forward pass's final layout, and
+/// repeat. Each traversal drags the placement towards where the *other*
+/// end of the circuit wants its qubits, so after a few rounds the initial
+/// layout suits the whole circuit rather than just its first layer. The
+/// layout whose forward traversal needed the fewest swaps wins.
+fn sabre_refine_layout(
+    circuit: &QuantumCircuit,
+    map: &CouplingMap,
+    seed_layout: Layout,
+) -> Result<Layout> {
+    const ROUNDS: usize = 3;
+    // Reversed gate sequence (measurement/reset/barrier order is irrelevant
+    // for placement, so only gates are kept).
+    let mut reversed = circuit.clone();
+    reversed.clear();
+    for inst in circuit.instructions().iter().rev() {
+        if inst.op.is_gate() {
+            reversed.push(inst.clone())?;
+        }
+    }
+
+    let route = |source: &QuantumCircuit, layout: Layout| -> Result<(usize, Layout)> {
+        let mut ctx = MappingContext::new(source, map, layout)?;
+        ctx.run_sabre()?;
+        Ok((ctx.num_swaps, ctx.layout))
+    };
+
+    let mut layout = seed_layout;
+    let mut best: Option<(usize, Layout)> = None;
+    for _ in 0..ROUNDS {
+        let (cost, after_forward) = route(circuit, layout.clone())?;
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, layout.clone()));
+        }
+        // The reverse traversal's end state becomes the next trial layout.
+        let (_, after_reverse) = route(&reversed, after_forward)?;
+        layout = after_reverse;
+    }
+    Ok(best.expect("at least one round ran").1)
 }
 
 /// Shared state of the mapping algorithms.
@@ -561,6 +614,135 @@ impl<'a> MappingContext<'a> {
         Ok(())
     }
 
+    // --- SABRE mapper -------------------------------------------------------
+
+    /// One SABRE routing traversal: decay-weighted scoring over the blocked
+    /// front layer plus an extended set of upcoming two-qubit gates.
+    ///
+    /// Differences from [`Self::run_lookahead`]: front and extended costs
+    /// are *averaged* (so a large extended set cannot drown out the front
+    /// layer), and each candidate swap's score is scaled by a per-qubit
+    /// decay factor that grows every time a qubit participates in a swap —
+    /// spreading consecutive swaps across the device instead of ping-
+    /// ponging one pair (the ASPLOS'19 heuristic).
+    fn run_sabre(&mut self) -> Result<()> {
+        const EXTENDED_SIZE: usize = 20;
+        const EXTENDED_WEIGHT: f64 = 0.5;
+        const DECAY_INCREMENT: f64 = 0.001;
+        const DECAY_RESET_INTERVAL: usize = 5;
+        let insts = self.source.instructions();
+        let mut dep = self.dependency_state();
+        let mut decay = vec![1.0f64; self.map.num_qubits()];
+        let mut swaps_since_reset = 0usize;
+        let mut stall_counter = 0usize;
+        let stall_limit = 4 * self.map.num_qubits() * self.map.num_qubits() + 16;
+
+        loop {
+            // Drain everything executable.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                let snapshot: Vec<usize> = dep.ready.iter().copied().collect();
+                for i in snapshot {
+                    if dep.done[i] {
+                        continue;
+                    }
+                    let inst = &insts[i];
+                    if !inst.op.is_gate() || inst.qubits.len() < 2 || self.is_executable(inst) {
+                        dep.ready.retain(|&x| x != i);
+                        self.emit_relabel(inst)?;
+                        self.complete(&mut dep, i);
+                        progressed = true;
+                        stall_counter = 0;
+                        // A gate executed: the congestion picture changed.
+                        decay.iter_mut().for_each(|d| *d = 1.0);
+                        swaps_since_reset = 0;
+                    }
+                }
+            }
+            let front: Vec<usize> = dep.ready.iter().copied().collect();
+            if front.is_empty() {
+                break;
+            }
+            // Extended set: the next 2q gates in program order (an
+            // approximation of the dependency-successor closure that keeps
+            // scoring deterministic).
+            let extended: Vec<usize> = (0..insts.len())
+                .filter(|&i| {
+                    !dep.done[i]
+                        && !front.contains(&i)
+                        && insts[i].op.is_gate()
+                        && insts[i].qubits.len() == 2
+                })
+                .take(EXTENDED_SIZE)
+                .collect();
+
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for &i in &front {
+                for &l in &insts[i].qubits {
+                    let p = self.layout.physical(l).expect("complete layout");
+                    for nb in self.map.neighbors(p) {
+                        let e = (p.min(nb), p.max(nb));
+                        if !candidates.contains(&e) {
+                            candidates.push(e);
+                        }
+                    }
+                }
+            }
+            let l2p = self.layout.to_physical_vec();
+            let mut best: Option<((usize, usize), f64)> = None;
+            for &(p1, p2) in &candidates {
+                let mut trial = l2p.clone();
+                for v in trial.iter_mut() {
+                    if *v == p1 {
+                        *v = p2;
+                    } else if *v == p2 {
+                        *v = p1;
+                    }
+                }
+                let front_cost: usize =
+                    front.iter().map(|&i| self.gate_distance(&trial, &insts[i])).sum();
+                let extended_cost: usize =
+                    extended.iter().map(|&i| self.gate_distance(&trial, &insts[i])).sum();
+                let mut score = front_cost as f64 / front.len() as f64;
+                if !extended.is_empty() {
+                    score += EXTENDED_WEIGHT * extended_cost as f64 / extended.len() as f64;
+                }
+                score *= decay[p1].max(decay[p2]);
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some(((p1, p2), score));
+                }
+            }
+            stall_counter += 1;
+            if stall_counter > stall_limit {
+                // Safeguard against heuristic livelock: route the first
+                // blocked gate along a shortest path directly.
+                let i = front[0];
+                let (pc, pt) = self.physical_pair(&insts[i]);
+                let path = self.map.shortest_path(pc, pt).ok_or_else(|| {
+                    TerraError::CouplingMap { msg: format!("no path between Q{pc} and Q{pt}") }
+                })?;
+                for w in path.windows(2).take(path.len().saturating_sub(2)) {
+                    self.emit_swap(w[0], w[1])?;
+                }
+                stall_counter = 0;
+                continue;
+            }
+            let ((p1, p2), _) = best.ok_or_else(|| TerraError::CouplingMap {
+                msg: "no candidate swap available".to_owned(),
+            })?;
+            self.emit_swap(p1, p2)?;
+            decay[p1] += DECAY_INCREMENT;
+            decay[p2] += DECAY_INCREMENT;
+            swaps_since_reset += 1;
+            if swaps_since_reset >= DECAY_RESET_INTERVAL {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+            }
+        }
+        Ok(())
+    }
+
     // --- A* mapper ---------------------------------------------------------
 
     fn run_astar(&mut self) -> Result<()> {
@@ -818,7 +1000,8 @@ mod tests {
     fn fig1_on_qx4_all_mappers_equivalent() {
         let circ = fig1_circuit();
         let qx4 = CouplingMap::ibm_qx4();
-        for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar] {
+        for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar, MapperKind::Sabre]
+        {
             assert_mapping_equivalent(&circ, &qx4, kind);
         }
     }
@@ -843,7 +1026,8 @@ mod tests {
         circ.h(0).unwrap();
         circ.cx(1, 0).unwrap();
         let qx4 = CouplingMap::ibm_qx4();
-        for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar] {
+        for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar, MapperKind::Sabre]
+        {
             let r = map_circuit(&circ, &qx4, kind, &InitialLayout::Trivial).unwrap();
             assert_eq!(r.num_swaps, 0, "{kind:?}");
             assert_eq!(r.initial_layout, r.final_layout);
@@ -921,7 +1105,9 @@ mod tests {
                 }
             }
             let map = if trial % 2 == 0 { CouplingMap::line(n) } else { CouplingMap::ibm_qx5() };
-            for kind in [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar] {
+            for kind in
+                [MapperKind::Basic, MapperKind::Lookahead, MapperKind::AStar, MapperKind::Sabre]
+            {
                 assert_mapping_equivalent(&circ, &map, kind);
             }
         }

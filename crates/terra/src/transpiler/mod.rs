@@ -5,7 +5,10 @@
 //! abstract circuit and produces one that satisfies a device's elementary
 //! gate set (`{U(θ,φ,λ), CX}`) and CNOT-constraints.
 //!
-//! The pipeline, driven by [`transpile`]:
+//! Since the pass-manager rebuild, [`transpile`] is a thin driver: it asks
+//! [`pass::pipeline_for`] for the staged [`pass::PassManager`] matching the
+//! requested options and runs it with a fresh
+//! [`property_set::PropertySet`]. The default device pipeline:
 //!
 //! 1. **Decompose** every multi-qubit gate to `{1q, CX}`
 //!    ([`decompose::decompose_to_cx_basis`]);
@@ -15,6 +18,9 @@
 //!    CNOTs with Hadamards ([`mapping::fix_directions`]);
 //! 4. **Optimize** — cancel inverse pairs and merge single-qubit runs into
 //!    `U` gates ([`optimize`]), per the requested [`TranspileOptions::optimization_level`].
+//!
+//! Repeated transpiles of the same (circuit, options) pair can skip the
+//! pipeline entirely via [`cache::transpile_cached`].
 //!
 //! # Examples
 //!
@@ -41,14 +47,21 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod decompose;
 pub mod mapping;
 pub mod optimize;
+pub mod pass;
+pub mod property_set;
+pub mod synthesis;
 
+pub use cache::{transpile_cached, CacheStats};
 pub use mapping::{
     choose_initial_layout, fix_directions, map_circuit, satisfies_coupling, InitialLayout,
     MapperKind, MappingResult,
 };
+pub use pass::{Pass, PassManager, PassState};
+pub use property_set::PropertySet;
 
 use crate::circuit::QuantumCircuit;
 use crate::coupling::CouplingMap;
@@ -106,50 +119,32 @@ pub struct TranspileResult {
     pub num_swaps: usize,
 }
 
-/// Per-pass instrumentation: a span in the trace (`transpile.pass`), a
-/// duration histogram, and gates-in/gates-out counters, all labeled by
-/// pass name. Inert while recording is disabled.
-struct PassTimer {
-    inner: Option<(qukit_obs::Span, &'static str, usize)>,
-}
-
-impl PassTimer {
-    fn start(pass: &'static str, gates_in: usize) -> Self {
-        if !qukit_obs::enabled() {
-            return Self { inner: None };
-        }
-        let span = qukit_obs::Span::new("transpile.pass", format!("pass={pass}"))
-            .with_metric(&format!("qukit_terra_pass_seconds{{pass=\"{pass}\"}}"));
-        Self { inner: Some((span, pass, gates_in)) }
-    }
-
-    fn finish(self, gates_out: usize) {
-        let Some((span, pass, gates_in)) = self.inner else { return };
-        drop(span);
-        qukit_obs::counter_inc(&format!("qukit_terra_pass_runs_total{{pass=\"{pass}\"}}"));
-        qukit_obs::counter_add(
-            &format!("qukit_terra_pass_gates_in_total{{pass=\"{pass}\"}}"),
-            gates_in as u64,
-        );
-        qukit_obs::counter_add(
-            &format!("qukit_terra_pass_gates_out_total{{pass=\"{pass}\"}}"),
-            gates_out as u64,
-        );
-    }
-}
-
 /// Transpiles `circuit` according to `options`.
 ///
-/// When [`qukit_obs`] recording is enabled, each pass reports its wall
-/// time (`qukit_terra_pass_seconds{pass=...}`) and gate counts, and the
-/// run as a whole reports gates/depth before and after plus the number of
-/// SWAPs the router inserted.
+/// Builds the staged pipeline via [`pass::pipeline_for`] and runs it with
+/// a fresh [`PropertySet`]. When [`qukit_obs`] recording is enabled, each
+/// pass reports its wall time (`qukit_terra_pass_seconds{pass=...}`) and
+/// gate counts, and the run as a whole reports gates/depth before and
+/// after plus the number of SWAPs the router inserted.
 ///
 /// # Errors
 ///
 /// Returns an error when the device is too small or disconnected, or any
 /// pass fails validation.
 pub fn transpile(circuit: &QuantumCircuit, options: &TranspileOptions) -> Result<TranspileResult> {
+    transpile_with_properties(circuit, options).map(|(result, _)| result)
+}
+
+/// [`transpile`], also returning the pipeline's final [`PropertySet`]
+/// (analysis snapshots, per-pass removal counts, router name).
+///
+/// # Errors
+///
+/// Same failure modes as [`transpile`].
+pub fn transpile_with_properties(
+    circuit: &QuantumCircuit,
+    options: &TranspileOptions,
+) -> Result<(TranspileResult, PropertySet)> {
     let _span =
         qukit_obs::span!("transpile", qubits = circuit.num_qubits(), gates = circuit.num_gates());
     if qukit_obs::enabled() {
@@ -158,59 +153,21 @@ pub fn transpile(circuit: &QuantumCircuit, options: &TranspileOptions) -> Result
         qukit_obs::counter_add("qukit_terra_depth_in_total", circuit.depth() as u64);
     }
 
-    // 1. Elementary basis.
-    let timer = PassTimer::start("decompose", circuit.num_gates());
-    let mut current = decompose::decompose_to_cx_basis(circuit)?;
-    timer.finish(current.num_gates());
+    let manager = pass::pipeline_for(options);
+    let mut props = PropertySet::new(options.coupling_map.clone());
+    let out = manager.run(circuit, &mut props)?;
 
-    // 2./3. Mapping + direction fixing.
-    let (initial_layout, final_layout, num_swaps) = match &options.coupling_map {
-        Some(map) => {
-            let timer = PassTimer::start("mapping", current.num_gates());
-            let mapped =
-                mapping::map_circuit(&current, map, options.mapper, &options.initial_layout)?;
-            timer.finish(mapped.circuit.num_gates());
-            let timer = PassTimer::start("fix_directions", mapped.circuit.num_gates());
-            current = mapping::fix_directions(&mapped.circuit, map)?;
-            timer.finish(current.num_gates());
-            qukit_obs::counter_add("qukit_terra_swaps_inserted_total", mapped.num_swaps as u64);
-            (mapped.initial_layout, mapped.final_layout, mapped.num_swaps)
-        }
-        None => {
-            let identity: Vec<usize> = (0..circuit.num_qubits()).collect();
-            (identity.clone(), identity, 0)
-        }
-    };
-
-    // 4. Optimization.
-    let timer = PassTimer::start("optimize", current.num_gates());
-    current = match options.optimization_level {
-        0 => current,
-        1 => {
-            let (c, _) = optimize::cancel_inverse_pairs(&current);
-            optimize::drop_identities(&c).0
-        }
-        2 => {
-            let (c, _) = optimize::cancel_inverse_pairs(&current);
-            let (c, _) = optimize::merge_single_qubit_runs(&c);
-            optimize::drop_identities(&c).0
-        }
-        _ => optimize::optimize_to_fixpoint(&current)?,
-    };
-    timer.finish(current.num_gates());
-
-    if options.basis_u {
-        let timer = PassTimer::start("basis_u", current.num_gates());
-        current = decompose::rewrite_1q_to_u(&current)?;
-        timer.finish(current.num_gates());
-    }
+    let identity: Vec<usize> = (0..circuit.num_qubits()).collect();
+    let initial_layout = props.initial_layout.clone().unwrap_or_else(|| identity.clone());
+    let final_layout = props.final_layout.clone().unwrap_or(identity);
+    let num_swaps = props.num_swaps;
 
     if qukit_obs::enabled() {
-        qukit_obs::counter_add("qukit_terra_gates_out_total", current.num_gates() as u64);
-        qukit_obs::counter_add("qukit_terra_depth_out_total", current.depth() as u64);
+        qukit_obs::counter_add("qukit_terra_gates_out_total", out.num_gates() as u64);
+        qukit_obs::counter_add("qukit_terra_depth_out_total", out.depth() as u64);
     }
 
-    Ok(TranspileResult { circuit: current, initial_layout, final_layout, num_swaps })
+    Ok((TranspileResult { circuit: out, initial_layout, final_layout, num_swaps }, props))
 }
 
 #[cfg(test)]

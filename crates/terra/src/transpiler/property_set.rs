@@ -1,0 +1,155 @@
+//! The shared analysis state threaded through a pass pipeline.
+//!
+//! A [`PropertySet`] is the blackboard the pass manager hands to every
+//! pass: routing passes publish the layout they chose, analysis passes
+//! publish depth/gate-count observations, and downstream passes (or the
+//! driver) read them back. This mirrors Qiskit's `PropertySet` — the
+//! explicit alternative to the ad-hoc tuple-threading the transpiler used
+//! before the pass-manager rebuild.
+
+use crate::coupling::CouplingMap;
+use std::collections::BTreeMap;
+
+/// A single named analysis value.
+///
+/// Deliberately small: everything the current passes publish is an
+/// integer, a float, or a short string. `BTreeMap` keeps iteration (and
+/// therefore any debug rendering) deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyValue {
+    /// An integer observation (gate counts, depths, swap counts).
+    Int(u64),
+    /// A floating-point observation.
+    Float(f64),
+    /// A textual observation (e.g. the selected router).
+    Text(String),
+}
+
+/// Shared state of one pass-manager run.
+///
+/// The well-known fields (`coupling_map`, layouts, `num_swaps`) are typed
+/// because the driver depends on them; everything else lives in the
+/// free-form `values` map keyed by `pass.metric` style names.
+///
+/// # Examples
+///
+/// ```
+/// use qukit_terra::transpiler::property_set::PropertySet;
+///
+/// let mut props = PropertySet::new(None);
+/// props.set_int("analysis.depth", 7);
+/// assert_eq!(props.get_int("analysis.depth"), Some(7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PropertySet {
+    /// The routing target. `None` for simulator (all-to-all) pipelines.
+    pub coupling_map: Option<CouplingMap>,
+    /// Logical→physical placement chosen by the layout/routing pass.
+    pub initial_layout: Option<Vec<usize>>,
+    /// Logical→physical placement after all inserted SWAPs.
+    pub final_layout: Option<Vec<usize>>,
+    /// Number of SWAPs the router inserted.
+    pub num_swaps: usize,
+    values: BTreeMap<String, PropertyValue>,
+}
+
+impl PropertySet {
+    /// Creates a property set for a run targeting `coupling_map`.
+    pub fn new(coupling_map: Option<CouplingMap>) -> Self {
+        Self { coupling_map, ..Self::default() }
+    }
+
+    /// Stores an integer property, replacing any previous value.
+    pub fn set_int(&mut self, key: &str, value: u64) {
+        self.values.insert(key.to_owned(), PropertyValue::Int(value));
+    }
+
+    /// Stores a float property, replacing any previous value.
+    pub fn set_float(&mut self, key: &str, value: f64) {
+        self.values.insert(key.to_owned(), PropertyValue::Float(value));
+    }
+
+    /// Stores a text property, replacing any previous value.
+    pub fn set_text(&mut self, key: &str, value: impl Into<String>) {
+        self.values.insert(key.to_owned(), PropertyValue::Text(value.into()));
+    }
+
+    /// Reads back an integer property.
+    pub fn get_int(&self, key: &str) -> Option<u64> {
+        match self.values.get(key) {
+            Some(PropertyValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads back a float property.
+    pub fn get_float(&self, key: &str) -> Option<f64> {
+        match self.values.get(key) {
+            Some(PropertyValue::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads back a text property.
+    pub fn get_text(&self, key: &str) -> Option<&str> {
+        match self.values.get(key) {
+            Some(PropertyValue::Text(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all free-form properties in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropertyValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of free-form properties recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no free-form properties have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut props = PropertySet::new(Some(CouplingMap::ibm_qx4()));
+        props.set_int("a.count", 3);
+        props.set_float("a.ratio", 0.5);
+        props.set_text("a.router", "sabre");
+        assert_eq!(props.get_int("a.count"), Some(3));
+        assert_eq!(props.get_float("a.ratio"), Some(0.5));
+        assert_eq!(props.get_text("a.router"), Some("sabre"));
+        // Wrong-type reads return None rather than panicking.
+        assert_eq!(props.get_float("a.count"), None);
+        assert_eq!(props.get_int("missing"), None);
+        assert_eq!(props.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_sorted() {
+        let mut props = PropertySet::new(None);
+        props.set_int("z", 1);
+        props.set_int("a", 2);
+        props.set_int("m", 3);
+        let keys: Vec<&str> = props.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn overwrites_replace() {
+        let mut props = PropertySet::new(None);
+        assert!(props.is_empty());
+        props.set_int("k", 1);
+        props.set_int("k", 2);
+        assert_eq!(props.get_int("k"), Some(2));
+        assert_eq!(props.len(), 1);
+    }
+}

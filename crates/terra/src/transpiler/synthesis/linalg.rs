@@ -1,0 +1,492 @@
+//! Dense linear algebra for unitary synthesis.
+//!
+//! [`crate::matrix::Matrix`] deliberately stops at solve/matmul; synthesis
+//! needs spectral factorizations. Everything here is built on cyclic
+//! Jacobi rotations — slow asymptotically but extremely accurate (errors
+//! stay at a few ulps), which is what the 1e-10 reconstruction bound in
+//! the synthesis test layer demands. All matrices are tiny (≤16×16 for
+//! 4-qubit QSD), so O(n³) sweeps are irrelevant to runtime.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// Convergence threshold for off-diagonal mass, relative to the matrix
+/// scale. Jacobi converges quadratically, so this is reached quickly.
+const JACOBI_EPS: f64 = 1e-30;
+/// Hard cap on Jacobi sweeps; reached only on pathological input.
+const MAX_SWEEPS: usize = 60;
+
+/// Eigendecomposition of a Hermitian matrix: `a = v · diag(vals) · v†`.
+///
+/// Returns eigenvalues in ascending order with the matching unitary `v`
+/// (eigenvectors as columns). For a real symmetric input every Jacobi
+/// rotation is real, so `v` comes back real as well.
+pub fn eigh(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale: f64 = (0..n).map(|i| m[(i, i)].norm_sqr()).sum::<f64>().max(1.0);
+
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|p| (p + 1..n).map(move |q| (p, q)))
+            .map(|(p, q)| m[(p, q)].norm_sqr())
+            .sum();
+        if off <= JACOBI_EPS * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.norm_sqr() <= JACOBI_EPS * scale / (n * n) as f64 {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let amod = apq.norm();
+                let phase = Complex::from_polar(1.0, apq.arg());
+                // Zero m[p][q]: 2×2 Hermitian rotation by θ with
+                // tan(2θ) = 2|a_pq| / (a_qq − a_pp).
+                let theta = 0.5 * (2.0 * amod).atan2(aqq - app);
+                let (c, s) = (theta.cos(), theta.sin());
+                // Columns: col_p' = c·col_p − s·e^{-iφ}·col_q,
+                //          col_q' = s·e^{iφ}·col_p + c·col_q.
+                let (cp, cq) = (Complex::new(c, 0.0), Complex::new(s, 0.0) * phase);
+                for row in 0..n {
+                    let mp = m[(row, p)];
+                    let mq = m[(row, q)];
+                    m[(row, p)] = mp * cp - mq * cq.conj();
+                    m[(row, q)] = mp * cq + mq * cp;
+                    let vp = v[(row, p)];
+                    let vq = v[(row, q)];
+                    v[(row, p)] = vp * cp - vq * cq.conj();
+                    v[(row, q)] = vp * cq + vq * cp;
+                }
+                for col in 0..n {
+                    let mp = m[(p, col)];
+                    let mq = m[(q, col)];
+                    m[(p, col)] = mp * cp.conj() - mq * cq;
+                    m[(q, col)] = mp * cq.conj() + mq * cp;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).expect("finite"));
+    let vals: Vec<f64> = order.iter().map(|&i| m[(i, i)].re).collect();
+    let mut vecs = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vecs[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    (vals, vecs)
+}
+
+/// Orthogonal matrix `p` simultaneously diagonalizing two commuting real
+/// symmetric matrices (given as the real/imaginary parts of a complex
+/// symmetric unitary, the KAK `M²` matrix): `pᵀ·re·p` and `pᵀ·im·p` both
+/// diagonal.
+///
+/// Strategy: diagonalize `re`, then within each (near-)degenerate
+/// eigenvalue cluster diagonalize the projection of `im` — the second
+/// rotation stays inside the cluster so it cannot disturb the first
+/// diagonalization.
+pub fn simultaneous_diag_real(re: &Matrix, im: &Matrix) -> Matrix {
+    let n = re.rows();
+    let (vals, p) = eigh(re);
+    let mut p = real_part(&p);
+
+    // Cluster ascending eigenvalues.
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (vals[end] - vals[end - 1]).abs() < 1e-6 {
+            end += 1;
+        }
+        if end - start > 1 {
+            // Diagonalize the cluster block of `im` in the cluster basis.
+            let k = end - start;
+            let mut block = Matrix::zeros(k, k);
+            for bi in 0..k {
+                for bj in 0..k {
+                    let mut acc = 0.0;
+                    for r in 0..n {
+                        for c in 0..n {
+                            acc += p[(r, start + bi)].re * im[(r, c)].re * p[(c, start + bj)].re;
+                        }
+                    }
+                    block[(bi, bj)] = Complex::new(acc, 0.0);
+                }
+            }
+            let (_, w) = eigh(&block);
+            let w = real_part(&w);
+            // Rotate the cluster columns of p by w.
+            let mut rotated = vec![vec![0.0; k]; n];
+            for (row, rot) in rotated.iter_mut().enumerate() {
+                for (bj, slot) in rot.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for bi in 0..k {
+                        acc += p[(row, start + bi)].re * w[(bi, bj)].re;
+                    }
+                    *slot = acc;
+                }
+            }
+            for (row, rot) in rotated.iter().enumerate() {
+                for (bj, &value) in rot.iter().enumerate() {
+                    p[(row, start + bj)] = Complex::new(value, 0.0);
+                }
+            }
+        }
+        start = end;
+    }
+    p
+}
+
+/// Singular value decomposition `a = u · diag(s) · v†` with singular
+/// values in descending order; `u`, `v` unitary (square).
+///
+/// Built from `eigh(a†a)`: right vectors are the eigenvectors, left
+/// vectors are the well-conditioned images `a·vᵢ/sᵢ` completed by
+/// Gram–Schmidt for (near-)zero singular values.
+pub fn svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
+    let n = a.rows();
+    let (vals, vecs) = eigh(&a.dagger().matmul(a));
+    // Descending singular values.
+    let mut s = Vec::with_capacity(n);
+    let mut v = Matrix::zeros(n, n);
+    for j in 0..n {
+        let src = n - 1 - j;
+        s.push(vals[src].max(0.0).sqrt());
+        for row in 0..n {
+            v[(row, j)] = vecs[(row, src)];
+        }
+    }
+    let mut u = Matrix::zeros(n, n);
+    let mut fixed = Vec::new();
+    for (j, &sj) in s.iter().enumerate() {
+        if sj > 1e-9 {
+            for row in 0..n {
+                let mut acc = Complex::ZERO;
+                for k in 0..n {
+                    acc += a[(row, k)] * v[(k, j)];
+                }
+                u[(row, j)] = acc.scale(1.0 / sj);
+            }
+            fixed.push(j);
+        }
+    }
+    complete_columns(&mut u, &fixed);
+    (u, s, v.dagger())
+}
+
+/// Eigendecomposition of a (normal) unitary matrix: `a = v·diag(λ)·v†`
+/// with `v` unitary and `|λᵢ| = 1`.
+///
+/// Runs simultaneous diagonalization of the commuting Hermitian pair
+/// `(a+a†)/2` and `(a−a†)/2i` — the same cluster trick as the real case,
+/// but in complex arithmetic.
+pub fn eig_unitary(a: &Matrix) -> (Vec<Complex>, Matrix) {
+    let n = a.rows();
+    let h1 = a.add(&a.dagger()).scale(Complex::new(0.5, 0.0));
+    let h2 = a.sub(&a.dagger()).scale(Complex::new(0.0, -0.5));
+    let (vals, mut v) = eigh(&h1);
+
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (vals[end] - vals[end - 1]).abs() < 1e-6 {
+            end += 1;
+        }
+        if end - start > 1 {
+            let k = end - start;
+            let mut block = Matrix::zeros(k, k);
+            for bi in 0..k {
+                for bj in 0..k {
+                    let mut acc = Complex::ZERO;
+                    for r in 0..n {
+                        for c in 0..n {
+                            acc += v[(r, start + bi)].conj() * h2[(r, c)] * v[(c, start + bj)];
+                        }
+                    }
+                    block[(bi, bj)] = acc;
+                }
+            }
+            let (_, w) = eigh(&block);
+            let mut rotated = vec![vec![Complex::ZERO; k]; n];
+            for (row, rot) in rotated.iter_mut().enumerate() {
+                for (bj, slot) in rot.iter_mut().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for bi in 0..k {
+                        acc += v[(row, start + bi)] * w[(bi, bj)];
+                    }
+                    *slot = acc;
+                }
+            }
+            for (row, rot) in rotated.iter().enumerate() {
+                for (bj, &value) in rot.iter().enumerate() {
+                    v[(row, start + bj)] = value;
+                }
+            }
+        }
+        start = end;
+    }
+
+    let av = a.matmul(&v);
+    let mut lambdas = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut acc = Complex::ZERO;
+        for row in 0..n {
+            acc += v[(row, j)].conj() * av[(row, j)];
+        }
+        // Project onto the unit circle: eigenvalues of a unitary.
+        let norm = acc.norm();
+        lambdas.push(if norm > 1e-12 { acc.scale(1.0 / norm) } else { Complex::ONE });
+    }
+    (lambdas, v)
+}
+
+/// Determinant by Gaussian elimination with partial pivoting.
+pub fn determinant(a: &Matrix) -> Complex {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut det = Complex::ONE;
+    for col in 0..n {
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[(row, col)].norm_sqr() > m[(pivot, col)].norm_sqr() {
+                pivot = row;
+            }
+        }
+        if m[(pivot, col)].is_approx_zero() {
+            return Complex::ZERO;
+        }
+        if pivot != col {
+            for k in 0..n {
+                let tmp = m[(col, k)];
+                m[(col, k)] = m[(pivot, k)];
+                m[(pivot, k)] = tmp;
+            }
+            det = -det;
+        }
+        det *= m[(col, col)];
+        let inv = m[(col, col)].recip();
+        for row in col + 1..n {
+            let factor = m[(row, col)] * inv;
+            for k in col..n {
+                let sub = factor * m[(col, k)];
+                m[(row, k)] -= sub;
+            }
+        }
+    }
+    det
+}
+
+/// Fills the unset columns (those not listed in `fixed`) of `u` with an
+/// orthonormal completion of the fixed ones, via Gram–Schmidt over the
+/// standard basis.
+pub fn complete_columns(u: &mut Matrix, fixed: &[usize]) {
+    let n = u.rows();
+    let mut have: Vec<Vec<Complex>> =
+        fixed.iter().map(|&j| (0..n).map(|row| u[(row, j)]).collect()).collect();
+    let missing: Vec<usize> = (0..n).filter(|j| !fixed.contains(j)).collect();
+    let mut candidates = 0..n;
+    for j in missing {
+        loop {
+            let cand = candidates.next().expect("basis exhausts before columns do");
+            let mut vec: Vec<Complex> =
+                (0..n).map(|row| if row == cand { Complex::ONE } else { Complex::ZERO }).collect();
+            // Two rounds of Gram–Schmidt for numerical orthogonality.
+            for _ in 0..2 {
+                for col in &have {
+                    let overlap: Complex = col.iter().zip(&vec).map(|(c, x)| c.conj() * *x).sum();
+                    for (x, c) in vec.iter_mut().zip(col) {
+                        *x -= overlap * *c;
+                    }
+                }
+            }
+            let norm: f64 = vec.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for (row, z) in vec.iter().enumerate() {
+                    u[(row, j)] = z.scale(1.0 / norm);
+                }
+                have.push(vec.iter().map(|z| z.scale(1.0 / norm)).collect());
+                break;
+            }
+        }
+    }
+}
+
+/// Real part of a matrix, as a complex matrix with zero imaginary parts.
+pub fn real_part(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, a.cols());
+    for i in 0..n {
+        for j in 0..a.cols() {
+            out[(i, j)] = Complex::new(a[(i, j)].re, 0.0);
+        }
+    }
+    out
+}
+
+/// Determinant of a real orthogonal matrix, as ±1.
+pub fn det_sign_real(a: &Matrix) -> f64 {
+    if determinant(a).re >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Seeded Haar-ish random unitary via Gram–Schmidt on a random complex
+/// matrix. Shared by the synthesis property-test modules.
+#[cfg(test)]
+pub(crate) fn random_unitary(n: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
+    use rand::Rng;
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+        }
+    }
+    let mut u = Matrix::zeros(n, n);
+    let mut cols: Vec<Vec<Complex>> = Vec::new();
+    for j in 0..n {
+        let mut vec: Vec<Complex> = (0..n).map(|row| a[(row, j)]).collect();
+        for _ in 0..2 {
+            for col in &cols {
+                let overlap: Complex = col.iter().zip(&vec).map(|(c, x)| c.conj() * *x).sum();
+                for (x, c) in vec.iter_mut().zip(col) {
+                    *x -= overlap * *c;
+                }
+            }
+        }
+        let norm: f64 = vec.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let vec: Vec<Complex> = vec.iter().map(|z| z.scale(1.0 / norm)).collect();
+        for (row, z) in vec.iter().enumerate() {
+            u[(row, j)] = *z;
+        }
+        cols.push(vec);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, rng: &mut StdRng) -> Matrix {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+        }
+        a.add(&a.dagger()).scale(Complex::new(0.5, 0.0))
+    }
+
+    fn random_matrix(n: usize, rng: &mut StdRng) -> Matrix {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+        }
+        a
+    }
+
+    fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                worst = worst.max((a[(i, j)] - b[(i, j)]).norm());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn eigh_reconstructs_hermitian() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2, 3, 4, 8] {
+            let a = random_hermitian(n, &mut rng);
+            let (vals, v) = eigh(&a);
+            let mut d = Matrix::zeros(n, n);
+            for (i, &val) in vals.iter().enumerate() {
+                d[(i, i)] = Complex::new(val, 0.0);
+            }
+            let rebuilt = v.matmul(&d).matmul(&v.dagger());
+            assert!(max_abs_diff(&a, &rebuilt) < 1e-12, "n={n}");
+            assert!(v.is_unitary(), "eigenvectors not unitary for n={n}");
+            assert!(vals.windows(2).all(|w| w[0] <= w[1]), "not ascending");
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_and_orders() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [2, 4, 8] {
+            let a = random_matrix(n, &mut rng);
+            let (u, s, vdag) = svd(&a);
+            let mut d = Matrix::zeros(n, n);
+            for (i, &val) in s.iter().enumerate() {
+                d[(i, i)] = Complex::new(val, 0.0);
+            }
+            let rebuilt = u.matmul(&d).matmul(&vdag);
+            assert!(max_abs_diff(&a, &rebuilt) < 1e-12, "n={n}");
+            assert!(u.is_unitary() && vdag.is_unitary());
+            assert!(s.windows(2).all(|w| w[0] >= w[1]), "not descending");
+        }
+    }
+
+    #[test]
+    fn svd_handles_rank_deficiency() {
+        // Projector onto the first basis vector: singular values (1, 0).
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = Complex::ONE;
+        let (u, s, vdag) = svd(&a);
+        assert!((s[0] - 1.0).abs() < 1e-12 && s[1].abs() < 1e-12);
+        assert!(u.is_unitary() && vdag.is_unitary());
+    }
+
+    #[test]
+    fn eig_unitary_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [2, 4, 8] {
+            let a = random_unitary(n, &mut rng);
+            let (vals, v) = eig_unitary(&a);
+            let mut d = Matrix::zeros(n, n);
+            for (i, &val) in vals.iter().enumerate() {
+                d[(i, i)] = val;
+                assert!((val.norm() - 1.0).abs() < 1e-10);
+            }
+            let rebuilt = v.matmul(&d).matmul(&v.dagger());
+            assert!(max_abs_diff(&a, &rebuilt) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eig_unitary_handles_degenerate_identity() {
+        let a = Matrix::identity(4);
+        let (vals, v) = eig_unitary(&a);
+        assert!(vals.iter().all(|l| (*l - Complex::ONE).norm() < 1e-12));
+        assert!(v.is_unitary());
+    }
+
+    #[test]
+    fn determinant_matches_known_values() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let u = random_unitary(4, &mut rng);
+        assert!((determinant(&u).norm() - 1.0).abs() < 1e-12);
+        let mut upper = Matrix::identity(3);
+        upper[(0, 0)] = Complex::new(2.0, 0.0);
+        upper[(1, 1)] = Complex::new(3.0, 0.0);
+        upper[(0, 2)] = Complex::new(5.0, 0.0);
+        assert!((determinant(&upper) - Complex::new(6.0, 0.0)).norm() < 1e-12);
+        let singular = Matrix::zeros(2, 2);
+        assert!(determinant(&singular).is_approx_zero());
+    }
+}

@@ -1,0 +1,302 @@
+//! Unitary synthesis: ZYZ (1 qubit), KAK (2 qubits, ≤3 CX), and Quantum
+//! Shannon Decomposition (k qubits).
+//!
+//! The public entry point is [`synthesize_unitary`], which dispatches on
+//! matrix dimension. [`resynthesize_2q_blocks`] applies KAK inside the
+//! pass pipeline: maximal two-qubit gate runs are collected from the
+//! circuit, their 4×4 unitaries recomputed, and each run is replaced by
+//! the 3-CX canonical circuit whenever that is strictly smaller.
+
+pub mod kak;
+pub mod linalg;
+pub mod qsd;
+
+pub use kak::{kak_decompose, synthesize_2q, KakDecomposition};
+pub use qsd::{multiplexed_rotation, synthesize_unitary, RotationAxis};
+
+use crate::circuit::QuantumCircuit;
+use crate::error::Result;
+use crate::gate::Gate;
+use crate::instruction::Operation;
+use crate::matrix::Matrix;
+
+/// A maximal run of gates confined to one qubit pair.
+struct TwoQubitBlock {
+    /// Unordered pair, as (low, high) circuit qubits.
+    pair: (usize, usize),
+    /// Indices into the instruction list, in order.
+    members: Vec<usize>,
+    /// Number of CX gates in the run.
+    cx_count: usize,
+}
+
+/// Rewrites every maximal two-qubit run with ≥ 4 CX gates into the KAK
+/// 3-CX form, when that strictly reduces the run's gate count. Runs whose
+/// resynthesis would not shrink them are left untouched, so the pass is
+/// monotone in circuit size. Exact up to global phase bookkeeping.
+///
+/// Expects a `{1q, CX}` circuit (i.e. post-decompose); gates on more than
+/// two qubits, conditions, and non-gate operations act as barriers.
+///
+/// # Errors
+///
+/// Propagates synthesis failures (which would indicate an internal
+/// inconsistency, since block unitaries are unitary by construction).
+pub fn resynthesize_2q_blocks(circuit: &QuantumCircuit) -> Result<(QuantumCircuit, usize)> {
+    let instructions = circuit.instructions();
+    let blocks = collect_blocks(circuit);
+
+    // Blocks eligible for rewriting, keyed by the index of their last
+    // member (where the replacement is emitted).
+    let mut replace_at = std::collections::BTreeMap::new();
+    let mut member_of: Vec<Option<usize>> = vec![None; instructions.len()];
+    for (block_idx, block) in blocks.iter().enumerate() {
+        if block.cx_count < 4 {
+            continue;
+        }
+        let unitary = block_unitary(circuit, block);
+        let synth = synthesize_2q(&unitary)?;
+        if synth.num_gates() >= block.members.len() {
+            continue;
+        }
+        for &m in &block.members {
+            member_of[m] = Some(block_idx);
+        }
+        replace_at.insert(*block.members.last().expect("non-empty block"), (block_idx, synth));
+    }
+    if replace_at.is_empty() {
+        return Ok((circuit.clone(), 0));
+    }
+
+    let mut out = circuit.clone();
+    out.clear();
+    out.add_global_phase(circuit.global_phase());
+    let mut rewritten = 0;
+    for (idx, inst) in instructions.iter().enumerate() {
+        match member_of[idx] {
+            None => {
+                out.push(inst.clone())?;
+            }
+            Some(_) => {
+                if let Some((block_idx, synth)) = replace_at.get(&idx) {
+                    let block = &blocks[*block_idx];
+                    let map = [block.pair.0, block.pair.1];
+                    for sub in synth.instructions() {
+                        if let Operation::Gate(g) = &sub.op {
+                            let mapped: Vec<usize> = sub.qubits.iter().map(|&q| map[q]).collect();
+                            out.append(*g, &mapped)?;
+                        }
+                    }
+                    out.add_global_phase(synth.global_phase());
+                    rewritten += 1;
+                }
+                // Other members are dropped: the replacement covers them.
+            }
+        }
+    }
+    Ok((out, rewritten))
+}
+
+/// Collects maximal runs of plain, unconditioned gates confined to a
+/// single qubit pair. Single-qubit gates join an open run on a pair
+/// containing their qubit; anything else touching a run's qubits closes
+/// it.
+fn collect_blocks(circuit: &QuantumCircuit) -> Vec<TwoQubitBlock> {
+    let mut blocks: Vec<TwoQubitBlock> = Vec::new();
+    // At most one open run per qubit: open[q] = index into `blocks`.
+    let mut open: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    // 1q gates seen since a qubit was last closed, awaiting a pair.
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
+    let mut closed: Vec<bool> = Vec::new();
+
+    let close = |q: usize, open: &mut Vec<Option<usize>>, closed: &mut Vec<bool>| {
+        if let Some(b) = open[q].take() {
+            closed[b] = true;
+            // The partner qubit's run is the same block.
+            for slot in open.iter_mut() {
+                if *slot == Some(b) {
+                    *slot = None;
+                }
+            }
+        }
+    };
+
+    for (idx, inst) in circuit.instructions().iter().enumerate() {
+        let plain_gate = matches!(inst.op, Operation::Gate(_)) && inst.condition.is_none();
+        if !plain_gate {
+            for &q in &inst.qubits {
+                close(q, &mut open, &mut closed);
+                pending[q].clear();
+            }
+            continue;
+        }
+        match inst.qubits.len() {
+            1 => {
+                let q = inst.qubits[0];
+                if let Some(b) = open[q] {
+                    blocks[b].members.push(idx);
+                } else {
+                    pending[q].push(idx);
+                }
+            }
+            2 => {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                let pair = (a.min(b), a.max(b));
+                let joined = match (open[a], open[b]) {
+                    (Some(x), Some(y)) if x == y && blocks[x].pair == pair => Some(x),
+                    _ => None,
+                };
+                if let Some(x) = joined {
+                    blocks[x].members.push(idx);
+                    blocks[x].cx_count += 1;
+                } else {
+                    close(a, &mut open, &mut closed);
+                    close(b, &mut open, &mut closed);
+                    let mut members = Vec::new();
+                    members.append(&mut pending[pair.0]);
+                    members.append(&mut pending[pair.1]);
+                    members.sort_unstable();
+                    members.push(idx);
+                    blocks.push(TwoQubitBlock { pair, members, cx_count: 1 });
+                    closed.push(false);
+                    open[a] = Some(blocks.len() - 1);
+                    open[b] = Some(blocks.len() - 1);
+                }
+            }
+            _ => {
+                for &q in &inst.qubits {
+                    close(q, &mut open, &mut closed);
+                    pending[q].clear();
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// The 4×4 unitary of a block, with block-pair low qubit as local bit 0.
+fn block_unitary(circuit: &QuantumCircuit, block: &TwoQubitBlock) -> Matrix {
+    let instructions = circuit.instructions();
+    let mut u = Matrix::identity(4);
+    for &idx in &block.members {
+        let inst = &instructions[idx];
+        let gate = inst.as_gate().expect("blocks contain only gates");
+        let local: Vec<usize> =
+            inst.qubits.iter().map(|&q| if q == block.pair.0 { 0 } else { 1 }).collect();
+        let embedded = match local.as_slice() {
+            [0] => Matrix::identity(2).kron(&gate.matrix()),
+            [1] => gate.matrix().kron(&Matrix::identity(2)),
+            [0, 1] => gate.matrix(),
+            [1, 0] => {
+                let swap = Gate::Swap.matrix();
+                swap.matmul(&gate.matrix()).matmul(&swap)
+            }
+            other => unreachable!("unexpected block operands {other:?}"),
+        };
+        u = embedded.matmul(&u);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                worst = worst.max((a[(i, j)] - b[(i, j)]).norm());
+            }
+        }
+        worst
+    }
+
+    /// Planted-bug self-test: corrupting one KAK canonical coefficient
+    /// must be caught by the reconstruction check. Guards against the
+    /// test layer silently accepting wrong decompositions.
+    #[test]
+    fn planted_corrupt_kak_coefficient_is_caught() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let u = linalg::random_unitary(4, &mut rng);
+        let mut kak = kak_decompose(&u).unwrap();
+        assert!(max_abs_diff(&u, &kak.reconstruct()) < 1e-10, "honest KAK must pass");
+        kak.b += 1e-3;
+        let err = max_abs_diff(&u, &kak.reconstruct());
+        assert!(err > 1e-5, "corrupted KAK coefficient slipped through (error only {err:.2e})");
+    }
+
+    #[test]
+    fn resynthesis_shrinks_dense_runs_and_preserves_unitary() {
+        // 6 CX interleaved with 1q gates on one pair: KAK caps it at 3 CX.
+        let mut circ = QuantumCircuit::new(2);
+        let mut rng = StdRng::seed_from_u64(22);
+        for i in 0..6 {
+            circ.cx(i % 2, (i + 1) % 2).unwrap();
+            circ.rz(rng.gen::<f64>() * 2.0, 0).unwrap();
+            circ.ry(rng.gen::<f64>() * 2.0, 1).unwrap();
+        }
+        let before = reference::unitary(&circ).unwrap();
+        let (out, rewritten) = resynthesize_2q_blocks(&circ).unwrap();
+        assert_eq!(rewritten, 1);
+        assert!(out.count_ops().get("cx").copied().unwrap_or(0) <= 3);
+        assert!(out.num_gates() < circ.num_gates());
+        let after = reference::unitary(&out).unwrap();
+        assert!(max_abs_diff(&before, &after) < 1e-10);
+    }
+
+    #[test]
+    fn resynthesis_leaves_sparse_circuits_alone() {
+        let mut circ = QuantumCircuit::new(3);
+        circ.h(0).unwrap();
+        circ.cx(0, 1).unwrap();
+        circ.cx(1, 2).unwrap();
+        circ.cx(0, 1).unwrap();
+        let (out, rewritten) = resynthesize_2q_blocks(&circ).unwrap();
+        assert_eq!(rewritten, 0);
+        assert_eq!(out.num_gates(), circ.num_gates());
+    }
+
+    #[test]
+    fn resynthesis_respects_measurement_barriers() {
+        let mut circ = QuantumCircuit::with_size(2, 1);
+        for _ in 0..3 {
+            circ.cx(0, 1).unwrap();
+            circ.cx(1, 0).unwrap();
+        }
+        circ.measure(0, 0).unwrap();
+        for _ in 0..2 {
+            circ.cx(0, 1).unwrap();
+        }
+        let (out, _) = resynthesize_2q_blocks(&circ).unwrap();
+        // The post-measurement CX pair (only 2 CX) must be untouched, and
+        // the measurement must survive in place.
+        assert_eq!(out.count_ops()["measure"], 1);
+        let tail: Vec<_> =
+            out.instructions().iter().skip_while(|inst| inst.as_gate().is_some()).collect();
+        assert!(tail.len() >= 3, "measurement plus trailing CXs expected");
+    }
+
+    #[test]
+    fn resynthesis_on_multiqubit_circuit_blocks_by_pair() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut circ = QuantumCircuit::new(4);
+        // Dense run on (0,1), dense run on (2,3), interleaved.
+        for _ in 0..5 {
+            circ.cx(0, 1).unwrap();
+            circ.rz(rng.gen::<f64>(), 1).unwrap();
+            circ.cx(2, 3).unwrap();
+            circ.ry(rng.gen::<f64>(), 2).unwrap();
+            circ.cx(1, 0).unwrap();
+            circ.cx(3, 2).unwrap();
+        }
+        let before = reference::unitary(&circ).unwrap();
+        let (out, rewritten) = resynthesize_2q_blocks(&circ).unwrap();
+        assert_eq!(rewritten, 2);
+        let after = reference::unitary(&out).unwrap();
+        assert!(max_abs_diff(&before, &after) < 1e-10);
+    }
+}

@@ -1,0 +1,437 @@
+//! Quantum Shannon Decomposition: synthesis of arbitrary k-qubit
+//! unitaries over `{U, CX}` (Shende–Bullock–Markov).
+//!
+//! One recursion level splits an n-qubit unitary by its top qubit with a
+//! cosine–sine decomposition
+//!
+//! ```text
+//! U = (L0 ⊕ L1) · MRy(2θ) · (R0 ⊕ R1)
+//! ```
+//!
+//! where `MRy` is a Ry multiplexed on the low qubits, and then
+//! demultiplexes each block-diagonal factor with an eigendecomposition
+//! (`V1 ⊕ V2 = (I⊗V)·(D ⊕ D†)·(I⊗W)`, `V1V2† = V D² V†`, `D ⊕ D†`
+//! realized as a multiplexed Rz). The four half-size unitaries recurse,
+//! bottoming out at the KAK 3-CX synthesizer for 2 qubits and a single
+//! `U` gate for 1. Multiplexed rotations use the Gray-code construction
+//! (2^k rotation/CX pairs), which is exact — every angle transform here
+//! is an orthogonal involution, so no precision is lost to it.
+
+use super::kak::{append_1q, synthesize_2q};
+use super::linalg;
+use crate::circuit::QuantumCircuit;
+use crate::complex::Complex;
+use crate::error::{Result, TerraError};
+use crate::instruction::Operation;
+use crate::matrix::Matrix;
+
+/// Below this, a cosine/sine is treated as exactly zero and the matching
+/// columns are produced by orthonormal completion instead of an
+/// ill-conditioned division.
+const DEGENERATE_TOL: f64 = 1e-6;
+
+/// Synthesizes an arbitrary `2^n × 2^n` unitary into a `{U, CX}` circuit
+/// on `n` qubits, exact to numerical precision including global phase.
+///
+/// # Errors
+///
+/// Fails if the matrix is not square with power-of-two dimension ≥ 2, or
+/// not unitary.
+pub fn synthesize_unitary(u: &Matrix) -> Result<QuantumCircuit> {
+    let dim = u.rows();
+    if dim < 2 || u.cols() != dim || !dim.is_power_of_two() {
+        return Err(TerraError::Transpile {
+            msg: format!("synthesis requires a square power-of-two matrix, got {dim}x{}", u.cols()),
+        });
+    }
+    if !u.is_unitary_eps(1e-9) {
+        return Err(TerraError::Transpile {
+            msg: "synthesis requires a unitary matrix".to_owned(),
+        });
+    }
+    let n = dim.trailing_zeros() as usize;
+    let mut circuit = QuantumCircuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    synthesize_into(&mut circuit, u, &qubits)?;
+    Ok(circuit)
+}
+
+/// Recursive worker: synthesizes `u` onto `qubits` (local bit `i` of the
+/// matrix index lives on circuit qubit `qubits[i]`).
+fn synthesize_into(circuit: &mut QuantumCircuit, u: &Matrix, qubits: &[usize]) -> Result<()> {
+    match qubits.len() {
+        1 => append_1q(circuit, u, qubits[0]),
+        2 => splice(circuit, &synthesize_2q(u)?, qubits),
+        _ => {
+            let (l0, l1, thetas, r0, r1) = cosine_sine_decompose(u)?;
+            let low = &qubits[..qubits.len() - 1];
+            let high = qubits[qubits.len() - 1];
+            demultiplex(circuit, &r0, &r1, low, high)?;
+            let ry_angles: Vec<f64> = thetas.iter().map(|t| 2.0 * t).collect();
+            multiplexed_rotation(circuit, RotationAxis::Y, high, low, &ry_angles)?;
+            demultiplex(circuit, &l0, &l1, low, high)
+        }
+    }
+}
+
+/// Copies a synthesized sub-circuit onto the given qubits of `circuit`.
+fn splice(circuit: &mut QuantumCircuit, sub: &QuantumCircuit, qubits: &[usize]) -> Result<()> {
+    for inst in sub.instructions() {
+        match &inst.op {
+            Operation::Gate(gate) => {
+                let mapped: Vec<usize> = inst.qubits.iter().map(|&q| qubits[q]).collect();
+                circuit.append(*gate, &mapped)?;
+            }
+            other => {
+                return Err(TerraError::Transpile {
+                    msg: format!("synthesis produced non-gate operation {other:?}"),
+                })
+            }
+        }
+    }
+    circuit.add_global_phase(sub.global_phase());
+    Ok(())
+}
+
+/// Cosine–sine decomposition of a unitary split into equal blocks by its
+/// top bit:
+///
+/// ```text
+/// [[A, B], [C, D]] = [[L0·Ct·R0, −L0·St·R1], [L1·St·R0, L1·Ct·R1]]
+/// ```
+///
+/// with `Ct = diag(cos θᵢ)`, `St = diag(sin θᵢ)`. Cosines/sines are taken
+/// from column norms of `A·Q` / `C·Q` (absolutely accurate), and each row
+/// of `R1` is recovered from whichever of the two defining equations is
+/// better conditioned — `1/max(cos, sin) ≤ √2` — so no `1/sin`
+/// amplification reaches the reconstruction.
+#[allow(clippy::type_complexity)]
+fn cosine_sine_decompose(u: &Matrix) -> Result<(Matrix, Matrix, Vec<f64>, Matrix, Matrix)> {
+    let m = u.rows() / 2;
+    let block = |row0: usize, col0: usize| {
+        let mut out = Matrix::zeros(m, m);
+        for r in 0..m {
+            for c in 0..m {
+                out[(r, c)] = u[(row0 + r, col0 + c)];
+            }
+        }
+        out
+    };
+    let a = block(0, 0);
+    let b = block(0, m);
+    let cc = block(m, 0);
+    let d = block(m, m);
+
+    // Right vectors of A's SVD; singular values descending = cosines.
+    let (_, _, vdag) = linalg::svd(&a);
+    let q = vdag.dagger();
+    let aq = a.matmul(&q);
+    let ccq = cc.matmul(&q);
+
+    let mut cos = vec![0.0; m];
+    let mut sin = vec![0.0; m];
+    for i in 0..m {
+        let cn: f64 = (0..m).map(|r| aq[(r, i)].norm_sqr()).sum::<f64>().sqrt();
+        let sn: f64 = (0..m).map(|r| ccq[(r, i)].norm_sqr()).sum::<f64>().sqrt();
+        let h = cn.hypot(sn);
+        cos[i] = cn / h;
+        sin[i] = sn / h;
+    }
+    let thetas: Vec<f64> = cos.iter().zip(&sin).map(|(c, s)| s.atan2(*c)).collect();
+
+    let mut l0 = Matrix::zeros(m, m);
+    let mut l0_fixed = Vec::new();
+    for i in 0..m {
+        if cos[i] > DEGENERATE_TOL {
+            for r in 0..m {
+                l0[(r, i)] = aq[(r, i)].scale(1.0 / cos[i]);
+            }
+            l0_fixed.push(i);
+        }
+    }
+    linalg::complete_columns(&mut l0, &l0_fixed);
+
+    let mut l1 = Matrix::zeros(m, m);
+    let mut l1_fixed = Vec::new();
+    for i in 0..m {
+        if sin[i] > DEGENERATE_TOL {
+            for r in 0..m {
+                l1[(r, i)] = ccq[(r, i)].scale(1.0 / sin[i]);
+            }
+            l1_fixed.push(i);
+        }
+    }
+    linalg::complete_columns(&mut l1, &l1_fixed);
+
+    let r0 = q.dagger();
+    // Row i of R1 from D = L1·Ct·R1 when cos dominates, else from
+    // B = −L0·St·R1.
+    let l1d = l1.dagger().matmul(&d);
+    let l0b = l0.dagger().matmul(&b);
+    let mut r1 = Matrix::zeros(m, m);
+    for i in 0..m {
+        if cos[i] >= sin[i] {
+            for c in 0..m {
+                r1[(i, c)] = l1d[(i, c)].scale(1.0 / cos[i]);
+            }
+        } else {
+            for c in 0..m {
+                r1[(i, c)] = l0b[(i, c)].scale(-1.0 / sin[i]);
+            }
+        }
+    }
+    Ok((l0, l1, thetas, r0, r1))
+}
+
+/// Emits `V1 ⊕ V2` (apply `v1` to the low qubits when `high` is |0⟩, `v2`
+/// when |1⟩) as `(I⊗V)·(D⊕D†)·(I⊗W)` with the diagonal part realized as a
+/// multiplexed Rz on `high`.
+fn demultiplex(
+    circuit: &mut QuantumCircuit,
+    v1: &Matrix,
+    v2: &Matrix,
+    low: &[usize],
+    high: usize,
+) -> Result<()> {
+    let m = v1.rows();
+    let prod = v1.matmul(&v2.dagger());
+    let (lambdas, v) = linalg::eig_unitary(&prod);
+    let mus: Vec<f64> = lambdas.iter().map(|l| l.arg()).collect();
+
+    // W = D†·V†·V1 with D = diag(e^{iμ/2}).
+    let mut w = v.dagger().matmul(v1);
+    for i in 0..m {
+        let dconj = Complex::cis(-mus[i] / 2.0);
+        for c in 0..m {
+            w[(i, c)] *= dconj;
+        }
+    }
+
+    synthesize_into(circuit, &w, low)?;
+    // diag(d_i, d̄_i) on `high` for low state i is Rz(−μ_i).
+    let angles: Vec<f64> = mus.iter().map(|mu| -mu).collect();
+    multiplexed_rotation(circuit, RotationAxis::Z, high, low, &angles)?;
+    synthesize_into(circuit, &v, low)
+}
+
+/// Rotation axis of a multiplexed rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationAxis {
+    /// Multiplexed Ry.
+    Y,
+    /// Multiplexed Rz.
+    Z,
+}
+
+/// Emits a rotation on `target` multiplexed over `controls`:
+/// for control state `i` (bit `j` of `i` = value of `controls[j]`), the
+/// target sees `R(angles[i])`.
+///
+/// Gray-code construction: `2^k` rotation/CX pairs, with the rotation
+/// angles passed through the orthogonal transform
+/// `φ_j = 2^{-k} Σ_i (−1)^{popcount(i & gray(j))} θ_i` and each CX
+/// controlled on the bit where the Gray code changes. Works for any axis
+/// whose rotation anticommutes with X (`X·R(θ)·X = R(−θ)`), which holds
+/// for both Ry and Rz.
+///
+/// # Errors
+///
+/// Fails if `angles.len() != 2^controls.len()`.
+pub fn multiplexed_rotation(
+    circuit: &mut QuantumCircuit,
+    axis: RotationAxis,
+    target: usize,
+    controls: &[usize],
+    angles: &[f64],
+) -> Result<()> {
+    let k = controls.len();
+    let n = 1usize << k;
+    if angles.len() != n {
+        return Err(TerraError::Transpile {
+            msg: format!("multiplexor needs {n} angles, got {}", angles.len()),
+        });
+    }
+    let rotate = |circuit: &mut QuantumCircuit, angle: f64| -> Result<()> {
+        match axis {
+            RotationAxis::Y => circuit.ry(angle, target)?,
+            RotationAxis::Z => circuit.rz(angle, target)?,
+        };
+        Ok(())
+    };
+    if k == 0 {
+        return rotate(circuit, angles[0]);
+    }
+    let gray = |j: usize| j ^ (j >> 1);
+    for j in 0..n {
+        let mut phi = 0.0;
+        for (i, theta) in angles.iter().enumerate() {
+            let parity = (i & gray(j)).count_ones() & 1;
+            phi += if parity == 1 { -theta } else { *theta };
+        }
+        phi /= n as f64;
+        rotate(circuit, phi)?;
+        let next = if j + 1 == n { gray(0) } else { gray(j + 1) };
+        let changed = (gray(j) ^ next).trailing_zeros() as usize;
+        circuit.cx(controls[changed], target)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                worst = worst.max((a[(i, j)] - b[(i, j)]).norm());
+            }
+        }
+        worst
+    }
+
+    fn multiplexed_reference(axis: RotationAxis, k: usize, angles: &[f64]) -> Matrix {
+        // Target is qubit k (top), controls are qubits 0..k in order.
+        let m = 1usize << k;
+        let mut out = Matrix::zeros(2 * m, 2 * m);
+        for (i, &theta) in angles.iter().enumerate() {
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            let block = match axis {
+                RotationAxis::Y => [
+                    [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                    [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+                ],
+                RotationAxis::Z => [
+                    [Complex::cis(-theta / 2.0), Complex::ZERO],
+                    [Complex::ZERO, Complex::cis(theta / 2.0)],
+                ],
+            };
+            for hr in 0..2 {
+                for hc in 0..2 {
+                    out[(hr * m + i, hc * m + i)] = block[hr][hc];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn multiplexed_rotation_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for axis in [RotationAxis::Y, RotationAxis::Z] {
+            for k in [1usize, 2, 3] {
+                let angles: Vec<f64> =
+                    (0..1 << k).map(|_| (rng.gen::<f64>() - 0.5) * 6.0).collect();
+                let mut circ = QuantumCircuit::new(k + 1);
+                let controls: Vec<usize> = (0..k).collect();
+                multiplexed_rotation(&mut circ, axis, k, &controls, &angles).unwrap();
+                let got = reference::unitary(&circ).unwrap();
+                let want = multiplexed_reference(axis, k, &angles);
+                let err = max_abs_diff(&got, &want);
+                assert!(err < 1e-12, "{axis:?} k={k}: error {err:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_reconstructs_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for dim in [4usize, 8, 16] {
+            let u = linalg::random_unitary(dim, &mut rng);
+            let (l0, l1, thetas, r0, r1) = cosine_sine_decompose(&u).unwrap();
+            let m = dim / 2;
+            let mut rebuilt = Matrix::zeros(dim, dim);
+            // Assemble [[L0 C R0, -L0 S R1],[L1 S R0, L1 C R1]] directly.
+            let mut ct = Matrix::zeros(m, m);
+            let mut st = Matrix::zeros(m, m);
+            for i in 0..m {
+                ct[(i, i)] = Complex::new(thetas[i].cos(), 0.0);
+                st[(i, i)] = Complex::new(thetas[i].sin(), 0.0);
+            }
+            let tl = l0.matmul(&ct).matmul(&r0);
+            let tr = l0.matmul(&st).matmul(&r1).scale(Complex::new(-1.0, 0.0));
+            let bl = l1.matmul(&st).matmul(&r0);
+            let br = l1.matmul(&ct).matmul(&r1);
+            for r in 0..m {
+                for c in 0..m {
+                    rebuilt[(r, c)] = tl[(r, c)];
+                    rebuilt[(r, m + c)] = tr[(r, c)];
+                    rebuilt[(m + r, c)] = bl[(r, c)];
+                    rebuilt[(m + r, m + c)] = br[(r, c)];
+                }
+            }
+            let err = max_abs_diff(&u, &rebuilt);
+            assert!(err < 1e-11, "dim {dim}: CSD error {err:.2e}");
+            assert!(l0.is_unitary_eps(1e-9) && l1.is_unitary_eps(1e-9));
+            assert!(r1.is_unitary_eps(1e-9));
+        }
+    }
+
+    #[test]
+    fn csd_handles_block_diagonal_input() {
+        // U = diag(V1, V2): all sines are zero — pure completion path.
+        let mut rng = StdRng::seed_from_u64(13);
+        let v1 = linalg::random_unitary(4, &mut rng);
+        let v2 = linalg::random_unitary(4, &mut rng);
+        let mut u = Matrix::zeros(8, 8);
+        for r in 0..4 {
+            for c in 0..4 {
+                u[(r, c)] = v1[(r, c)];
+                u[(4 + r, 4 + c)] = v2[(r, c)];
+            }
+        }
+        let circ = synthesize_unitary(&u).unwrap();
+        let rebuilt = reference::unitary(&circ).unwrap();
+        let err = max_abs_diff(&u, &rebuilt);
+        assert!(err < 1e-10, "block-diagonal synthesis error {err:.2e}");
+    }
+
+    #[test]
+    fn qsd_synthesizes_three_qubit_unitaries() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for case in 0..5 {
+            let u = linalg::random_unitary(8, &mut rng);
+            let circ = synthesize_unitary(&u).unwrap();
+            let rebuilt = reference::unitary(&circ).unwrap();
+            let err = max_abs_diff(&u, &rebuilt);
+            assert!(err < 1e-10, "case {case}: QSD error {err:.2e}");
+        }
+    }
+
+    #[test]
+    fn qsd_synthesizes_four_qubit_unitaries() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for case in 0..2 {
+            let u = linalg::random_unitary(16, &mut rng);
+            let circ = synthesize_unitary(&u).unwrap();
+            let rebuilt = reference::unitary(&circ).unwrap();
+            let err = max_abs_diff(&u, &rebuilt);
+            assert!(err < 1e-10, "case {case}: QSD error {err:.2e}");
+        }
+    }
+
+    #[test]
+    fn qsd_dispatches_small_cases() {
+        let mut rng = StdRng::seed_from_u64(16);
+        // 1-qubit: single U gate; 2-qubit: KAK path.
+        let u1 = linalg::random_unitary(2, &mut rng);
+        let c1 = synthesize_unitary(&u1).unwrap();
+        assert_eq!(c1.num_gates(), 1);
+        assert!(max_abs_diff(&u1, &reference::unitary(&c1).unwrap()) < 1e-12);
+        let u2 = linalg::random_unitary(4, &mut rng);
+        let c2 = synthesize_unitary(&u2).unwrap();
+        assert!(c2.count_ops().get("cx").copied().unwrap_or(0) <= 3);
+        assert!(max_abs_diff(&u2, &reference::unitary(&c2).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn synthesize_rejects_bad_input() {
+        assert!(synthesize_unitary(&Matrix::zeros(4, 4)).is_err());
+        assert!(synthesize_unitary(&Matrix::identity(3)).is_err());
+        assert!(synthesize_unitary(&Matrix::identity(1)).is_err());
+    }
+}

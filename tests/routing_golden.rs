@@ -1,0 +1,238 @@
+//! Golden routing tests: committed SWAP and depth bounds for benchmark
+//! circuits on the standard topologies, for both production routers
+//! (SABRE and A*).
+//!
+//! The bounds are the measured results of the current routers plus zero
+//! slack — they pin routing quality so a heuristic regression (more SWAPs
+//! or deeper circuits on these well-understood cases) fails loudly. The
+//! semantic correctness of every mapped circuit is covered separately by
+//! the conformance oracle and the mapper equivalence tests; here we only
+//! check coupling validity and cost.
+
+use qukit_terra::circuit::QuantumCircuit;
+use qukit_terra::coupling::CouplingMap;
+use qukit_terra::gate::Gate;
+use qukit_terra::transpiler::{satisfies_coupling, transpile, MapperKind, TranspileOptions};
+
+/// GHZ-8: one Hadamard and a CX fan-out from qubit 0 — worst case for a
+/// star interaction pattern on sparse topologies.
+fn ghz8() -> QuantumCircuit {
+    let mut circ = QuantumCircuit::new(8);
+    circ.h(0).unwrap();
+    for t in 1..8 {
+        circ.cx(0, t).unwrap();
+    }
+    circ
+}
+
+/// QFT-6 with the final reversal swaps — all-to-all controlled-phase
+/// interactions, the classic routing stress test.
+fn qft6() -> QuantumCircuit {
+    let n = 6;
+    let mut circ = QuantumCircuit::new(n);
+    for i in 0..n {
+        circ.h(i).unwrap();
+        for j in (i + 1)..n {
+            let lambda = std::f64::consts::PI / f64::from(1u32 << (j - i));
+            circ.cp(lambda, j, i).unwrap();
+        }
+    }
+    for i in 0..n / 2 {
+        circ.swap(i, n - 1 - i).unwrap();
+    }
+    circ
+}
+
+/// Quantum teleportation with mid-circuit measurement and classically
+/// conditioned corrections — routing must respect the measure barriers.
+fn teleport() -> QuantumCircuit {
+    let mut circ = QuantumCircuit::with_size(3, 2);
+    circ.ry(0.42, 0).unwrap(); // the state to teleport
+    circ.h(1).unwrap();
+    circ.cx(1, 2).unwrap();
+    circ.cx(0, 1).unwrap();
+    circ.h(0).unwrap();
+    circ.measure(0, 0).unwrap();
+    circ.measure(1, 1).unwrap();
+    circ.append_conditional(Gate::X, &[2], "c", 2).unwrap();
+    circ.append_conditional(Gate::Z, &[2], "c", 1).unwrap();
+    circ
+}
+
+fn route(circ: &QuantumCircuit, map: CouplingMap, router: MapperKind) -> (usize, usize) {
+    let mut opts = TranspileOptions::for_device(map.clone());
+    opts.optimization_level = 1;
+    opts.mapper = router;
+    let result = transpile(circ, &opts).unwrap();
+    assert!(
+        satisfies_coupling(&result.circuit, &map),
+        "{router:?} on {} violates coupling",
+        map.name()
+    );
+    (result.num_swaps, result.circuit.depth())
+}
+
+struct Golden {
+    circuit: &'static str,
+    topology: &'static str,
+    router: MapperKind,
+    max_swaps: usize,
+    max_depth: usize,
+}
+
+fn check(golden: &[Golden], build: fn() -> QuantumCircuit, maps: &[(&str, CouplingMap)]) {
+    let circ = build();
+    for g in golden {
+        let map = &maps.iter().find(|(name, _)| *name == g.topology).expect("topology").1;
+        let (swaps, depth) = route(&circ, map.clone(), g.router);
+        assert!(
+            swaps <= g.max_swaps,
+            "{} on {} with {:?}: {} swaps > bound {}",
+            g.circuit,
+            g.topology,
+            g.router,
+            swaps,
+            g.max_swaps
+        );
+        assert!(
+            depth <= g.max_depth,
+            "{} on {} with {:?}: depth {} > bound {}",
+            g.circuit,
+            g.topology,
+            g.router,
+            depth,
+            g.max_depth
+        );
+    }
+}
+
+fn topologies(n: usize) -> Vec<(&'static str, CouplingMap)> {
+    vec![
+        ("line", CouplingMap::line(n)),
+        ("ring", CouplingMap::ring(n)),
+        ("grid", CouplingMap::grid(3, 3)),
+        ("heavy_hex", CouplingMap::heavy_hex()),
+    ]
+}
+
+#[test]
+#[ignore = "probe: prints the measured golden numbers"]
+fn probe_golden_numbers() {
+    for (cname, build) in
+        [("ghz8", ghz8 as fn() -> QuantumCircuit), ("qft6", qft6), ("teleport", teleport)]
+    {
+        let n = build().num_qubits();
+        for (tname, map) in topologies(n) {
+            for router in [MapperKind::Sabre, MapperKind::AStar] {
+                let (swaps, depth) = route(&build(), map.clone(), router);
+                println!("{cname:10} {tname:10} {router:?}: swaps={swaps} depth={depth}");
+            }
+        }
+    }
+    panic!("probe only");
+}
+
+#[test]
+fn ghz8_golden_bounds() {
+    use MapperKind::{AStar, Sabre};
+    let golden = [
+        Golden { circuit: "ghz8", topology: "line", router: Sabre, max_swaps: 5, max_depth: 13 },
+        Golden { circuit: "ghz8", topology: "line", router: AStar, max_swaps: 9, max_depth: 29 },
+        Golden { circuit: "ghz8", topology: "ring", router: Sabre, max_swaps: 6, max_depth: 23 },
+        Golden { circuit: "ghz8", topology: "ring", router: AStar, max_swaps: 9, max_depth: 29 },
+        Golden { circuit: "ghz8", topology: "grid", router: Sabre, max_swaps: 2, max_depth: 14 },
+        Golden { circuit: "ghz8", topology: "grid", router: AStar, max_swaps: 6, max_depth: 23 },
+        Golden {
+            circuit: "ghz8",
+            topology: "heavy_hex",
+            router: Sabre,
+            max_swaps: 6,
+            max_depth: 22,
+        },
+        Golden {
+            circuit: "ghz8",
+            topology: "heavy_hex",
+            router: AStar,
+            max_swaps: 11,
+            max_depth: 26,
+        },
+    ];
+    check(&golden, ghz8, &topologies(8));
+}
+
+#[test]
+fn qft6_golden_bounds() {
+    use MapperKind::{AStar, Sabre};
+    let golden = [
+        Golden { circuit: "qft6", topology: "line", router: Sabre, max_swaps: 18, max_depth: 98 },
+        Golden { circuit: "qft6", topology: "line", router: AStar, max_swaps: 21, max_depth: 102 },
+        Golden { circuit: "qft6", topology: "ring", router: Sabre, max_swaps: 10, max_depth: 61 },
+        Golden { circuit: "qft6", topology: "ring", router: AStar, max_swaps: 13, max_depth: 74 },
+        Golden { circuit: "qft6", topology: "grid", router: Sabre, max_swaps: 7, max_depth: 60 },
+        Golden { circuit: "qft6", topology: "grid", router: AStar, max_swaps: 11, max_depth: 74 },
+        Golden {
+            circuit: "qft6",
+            topology: "heavy_hex",
+            router: Sabre,
+            max_swaps: 11,
+            max_depth: 76,
+        },
+        Golden {
+            circuit: "qft6",
+            topology: "heavy_hex",
+            router: AStar,
+            max_swaps: 25,
+            max_depth: 103,
+        },
+    ];
+    check(&golden, qft6, &topologies(6));
+}
+
+#[test]
+fn teleport_golden_bounds() {
+    use MapperKind::{AStar, Sabre};
+    let golden = [
+        Golden { circuit: "teleport", topology: "line", router: Sabre, max_swaps: 0, max_depth: 7 },
+        Golden { circuit: "teleport", topology: "line", router: AStar, max_swaps: 0, max_depth: 7 },
+        Golden { circuit: "teleport", topology: "ring", router: Sabre, max_swaps: 0, max_depth: 7 },
+        Golden { circuit: "teleport", topology: "ring", router: AStar, max_swaps: 0, max_depth: 7 },
+        Golden { circuit: "teleport", topology: "grid", router: Sabre, max_swaps: 0, max_depth: 7 },
+        Golden { circuit: "teleport", topology: "grid", router: AStar, max_swaps: 0, max_depth: 7 },
+        Golden {
+            circuit: "teleport",
+            topology: "heavy_hex",
+            router: Sabre,
+            max_swaps: 0,
+            max_depth: 7,
+        },
+        Golden {
+            circuit: "teleport",
+            topology: "heavy_hex",
+            router: AStar,
+            max_swaps: 0,
+            max_depth: 7,
+        },
+    ];
+    check(&golden, teleport, &topologies(3));
+}
+
+/// The headline claim for the new router: on the 2D and heavy-hex
+/// topologies (where lookahead quality matters most), SABRE's
+/// bidirectional layout refinement never loses to per-layer A* search.
+#[test]
+fn sabre_beats_or_ties_astar_on_grid_and_heavy_hex() {
+    for (name, build) in
+        [("ghz8", ghz8 as fn() -> QuantumCircuit), ("qft6", qft6), ("teleport", teleport)]
+    {
+        for map in [CouplingMap::grid(3, 3), CouplingMap::heavy_hex()] {
+            let circ = build();
+            let (sabre, _) = route(&circ, map.clone(), MapperKind::Sabre);
+            let (astar, _) = route(&circ, map.clone(), MapperKind::AStar);
+            assert!(
+                sabre <= astar,
+                "{name} on {}: SABRE used {sabre} swaps, A* used {astar}",
+                map.name()
+            );
+        }
+    }
+}
