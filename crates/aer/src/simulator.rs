@@ -201,7 +201,8 @@ impl QasmSimulator {
         let mut tally = GateTally::default();
         parallel::evolve_fused(&mut amps, &gates, &self.parallel, &mut tally)?;
         tally.flush("qukit_aer_statevector_gates_total");
-        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
+        let _sample_span = qukit_obs::span!("aer.sample", shots = shots, mode = "parallel")
+            .with_metric("qukit_aer_sample_seconds");
         let cdf = parallel::probability_cdf(&amps);
         let samples = parallel::sample_indices(&cdf, shots, base_seed, self.parallel.threads);
         let mut counts = Counts::new(circuit.num_clbits());
@@ -213,9 +214,6 @@ impl QasmSimulator {
                 }
             }
             counts.record(outcome);
-        }
-        if let Some(start) = sample_start {
-            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
         }
         Ok(counts)
     }
@@ -304,7 +302,8 @@ impl QasmSimulator {
             }
         }
         tally.flush("qukit_aer_statevector_gates_total");
-        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
+        let _sample_span = qukit_obs::span!("aer.sample", shots = shots, mode = "sequential")
+            .with_metric("qukit_aer_sample_seconds");
         let mut counts = Counts::new(circuit.num_clbits());
         for _ in 0..shots {
             let basis = state.sample(rng);
@@ -315,9 +314,6 @@ impl QasmSimulator {
                 }
             }
             counts.record(outcome);
-        }
-        if let Some(start) = sample_start {
-            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
         }
         Ok(counts)
     }

@@ -369,14 +369,15 @@ impl StabilizerSimulator {
         qukit_obs::counter_inc("qukit_aer_stabilizer_runs_total");
         qukit_obs::counter_add("qukit_aer_shots_total", shots as u64);
         let mut gates = 0u64;
-        let sample_start = qukit_obs::enabled().then(std::time::Instant::now);
-        let mut counts = Counts::new(circuit.num_clbits());
-        for _ in 0..shots {
-            counts.record(self.run_shot(circuit, &mut rng, &mut gates)?);
-        }
-        if let Some(start) = sample_start {
-            qukit_obs::observe_duration("qukit_aer_sample_seconds", start.elapsed());
-        }
+        let counts = {
+            let _sample_span = qukit_obs::span!("aer.sample", shots = shots, mode = "stabilizer")
+                .with_metric("qukit_aer_sample_seconds");
+            let mut counts = Counts::new(circuit.num_clbits());
+            for _ in 0..shots {
+                counts.record(self.run_shot(circuit, &mut rng, &mut gates)?);
+            }
+            counts
+        };
         qukit_obs::counter_add("qukit_aer_stabilizer_gates_total", gates);
         Ok(counts)
     }

@@ -118,6 +118,68 @@ pub struct LoadReport {
     pub shed_rate: f64,
     /// cache hits / (hits + misses) as counted by the executor.
     pub cache_hit_rate: f64,
+    /// Per-tenant service numbers, read back from the tenant-labeled
+    /// `qukit_core_tenant_*` metric series (ascending by tenant name).
+    pub tenants: Vec<TenantBreakdown>,
+}
+
+/// One tenant's slice of a load run, as told by the labeled metrics.
+#[derive(Debug, Clone, Default)]
+pub struct TenantBreakdown {
+    /// Tenant name (the `tenant` label value).
+    pub tenant: String,
+    /// Jobs accepted into the queue for this tenant.
+    pub submitted: u64,
+    /// Jobs that reached `Done`.
+    pub completed: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Completions served from the result cache.
+    pub cache_hits: u64,
+    /// Median submit-to-done latency, from the tenant-labeled histogram.
+    pub p50_seconds: f64,
+    /// 99th-percentile submit-to-done latency.
+    pub p99_seconds: f64,
+}
+
+/// Reads the per-tenant breakdown out of a metrics snapshot by parsing
+/// the `{tenant="..."}` label baked into the `qukit_core_tenant_*`
+/// series names.
+pub fn tenant_breakdown(snapshot: &qukit_obs::Snapshot) -> Vec<TenantBreakdown> {
+    fn tenant_of<'a>(name: &'a str, base: &str) -> Option<&'a str> {
+        name.strip_prefix(base)
+            .and_then(|rest| rest.strip_prefix("{tenant=\""))
+            .and_then(|rest| rest.strip_suffix("\"}"))
+    }
+    fn row<'a>(
+        rows: &'a mut BTreeMap<String, TenantBreakdown>,
+        tenant: &str,
+    ) -> &'a mut TenantBreakdown {
+        rows.entry(tenant.to_owned()).or_insert_with(|| TenantBreakdown {
+            tenant: tenant.to_owned(),
+            ..TenantBreakdown::default()
+        })
+    }
+    let mut rows: BTreeMap<String, TenantBreakdown> = BTreeMap::new();
+    for (name, &value) in &snapshot.counters {
+        if let Some(t) = tenant_of(name, "qukit_core_tenant_jobs_submitted_total") {
+            row(&mut rows, t).submitted = value;
+        } else if let Some(t) = tenant_of(name, "qukit_core_tenant_jobs_completed_total") {
+            row(&mut rows, t).completed = value;
+        } else if let Some(t) = tenant_of(name, "qukit_core_tenant_jobs_shed_total") {
+            row(&mut rows, t).shed = value;
+        } else if let Some(t) = tenant_of(name, "qukit_core_tenant_cache_hits_total") {
+            row(&mut rows, t).cache_hits = value;
+        }
+    }
+    for (name, hist) in &snapshot.histograms {
+        if let Some(t) = tenant_of(name, "qukit_core_tenant_job_seconds") {
+            let entry = row(&mut rows, t);
+            entry.p50_seconds = hist.quantile(0.50);
+            entry.p99_seconds = hist.quantile(0.99);
+        }
+    }
+    rows.into_values().collect()
 }
 
 impl LoadReport {
@@ -140,6 +202,24 @@ impl LoadReport {
             self.cache_hits
         ));
         out.push_str(&format!("elapsed {:.3}s\n", self.elapsed_seconds));
+        if !self.tenants.is_empty() {
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>9} {:>6} {:>10} {:>12} {:>12}\n",
+                "tenant", "submitted", "completed", "shed", "cache-hits", "p50", "p99"
+            ));
+            for row in &self.tenants {
+                out.push_str(&format!(
+                    "{:<12} {:>9} {:>9} {:>6} {:>10} {:>11.6}s {:>11.6}s\n",
+                    row.tenant,
+                    row.submitted,
+                    row.completed,
+                    row.shed,
+                    row.cache_hits,
+                    row.p50_seconds,
+                    row.p99_seconds
+                ));
+            }
+        }
         out
     }
 
@@ -308,6 +388,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     let hits = qukit_obs::counter("qukit_core_cache_hits_total").value();
     let misses = qukit_obs::counter("qukit_core_cache_misses_total").value();
     let probes = hits + misses;
+    let tenants = tenant_breakdown(&qukit_obs::registry().snapshot());
 
     qukit_obs::set_enabled(was_enabled);
 
@@ -326,6 +407,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         throughput_jobs_per_sec: completed as f64 / elapsed.as_secs_f64(),
         shed_rate: if submitted == 0 { 0.0 } else { shed as f64 / submitted as f64 },
         cache_hit_rate: if probes == 0 { 0.0 } else { hits as f64 / probes as f64 },
+        tenants,
     }
 }
 
@@ -358,6 +440,23 @@ mod tests {
         assert!(report.p99_seconds >= report.p50_seconds);
         assert!(report.p50_seconds > 0.0);
         assert!(report.throughput_jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn load_report_breaks_service_numbers_down_per_tenant() {
+        let _guard = lock();
+        let config = LoadConfig { tenants: 3, jobs: 24, ..LoadConfig::smoke() };
+        let report = run_load(&config);
+        assert_eq!(report.tenants.len(), 3, "one breakdown row per tenant");
+        for (i, row) in report.tenants.iter().enumerate() {
+            assert_eq!(row.tenant, format!("tenant-{i}"), "rows sorted by tenant name");
+        }
+        let submitted: u64 = report.tenants.iter().map(|r| r.submitted).sum();
+        let completed: u64 = report.tenants.iter().map(|r| r.completed).sum();
+        assert_eq!(submitted + report.shed as u64, report.submitted as u64);
+        assert_eq!(completed, report.completed as u64);
+        let rendered = report.render();
+        assert!(rendered.contains("tenant-2"), "render includes the breakdown:\n{rendered}");
     }
 
     #[test]

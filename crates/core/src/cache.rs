@@ -91,7 +91,19 @@ impl CachedDistribution {
 
 struct CacheEntry {
     distribution: Arc<CachedDistribution>,
+    producer_trace: u64,
     last_used: u64,
+}
+
+/// A successful cache probe: the distribution to re-sample plus the
+/// trace id of the job whose run produced it, so a cache-hit span can
+/// *link* to the producing trace instead of faking an execution.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The cached outcome distribution.
+    pub distribution: Arc<CachedDistribution>,
+    /// Trace id of the producing job (0 when unknown).
+    pub producer_trace: u64,
 }
 
 struct CacheState {
@@ -139,7 +151,7 @@ impl ResultCache {
 
     /// Looks up a distribution, recording hit/miss metrics and LRU
     /// recency.
-    pub fn lookup(&self, key: u128) -> Option<Arc<CachedDistribution>> {
+    pub fn lookup(&self, key: u128) -> Option<CacheHit> {
         let mut state = self.state.lock().expect("cache lock");
         state.tick += 1;
         let tick = state.tick;
@@ -147,7 +159,10 @@ impl ResultCache {
             Some(entry) => {
                 entry.last_used = tick;
                 qukit_obs::counter_inc("qukit_core_cache_hits_total");
-                Some(Arc::clone(&entry.distribution))
+                Some(CacheHit {
+                    distribution: Arc::clone(&entry.distribution),
+                    producer_trace: entry.producer_trace,
+                })
             }
             None => {
                 qukit_obs::counter_inc("qukit_core_cache_misses_total");
@@ -156,9 +171,10 @@ impl ResultCache {
         }
     }
 
-    /// Stores the distribution of a finished run, evicting the
-    /// least-recently-used entry when over capacity.
-    pub fn insert(&self, key: u128, counts: &Counts) {
+    /// Stores the distribution of a finished run under the trace id of
+    /// the job that produced it, evicting the least-recently-used entry
+    /// when over capacity.
+    pub fn insert(&self, key: u128, counts: &Counts, producer_trace: u64) {
         let distribution = Arc::new(CachedDistribution::from_counts(counts));
         let mut state = self.state.lock().expect("cache lock");
         state.tick += 1;
@@ -171,7 +187,7 @@ impl ResultCache {
                 qukit_obs::counter_inc("qukit_core_cache_evictions_total");
             }
         }
-        state.entries.insert(key, CacheEntry { distribution, last_used: tick });
+        state.entries.insert(key, CacheEntry { distribution, producer_trace, last_used: tick });
         qukit_obs::counter_inc("qukit_core_cache_insertions_total");
         qukit_obs::gauge_set("qukit_core_cache_entries", state.entries.len() as f64);
     }
@@ -255,9 +271,10 @@ mod tests {
         let cache = ResultCache::new(CacheConfig { capacity: 4 });
         let key = ResultCache::key("qasm", "qasm_simulator", 0);
         assert!(cache.lookup(key).is_none());
-        cache.insert(key, &bell_counts());
+        cache.insert(key, &bell_counts(), 4242);
         let hit = cache.lookup(key).expect("cached");
-        assert_eq!(hit.sample(10, 1).total(), 10);
+        assert_eq!(hit.producer_trace, 4242, "hit names the producing trace");
+        assert_eq!(hit.distribution.sample(10, 1).total(), 10);
     }
 
     #[test]
@@ -268,10 +285,10 @@ mod tests {
             ResultCache::key("b", "x", 0),
             ResultCache::key("c", "x", 0),
         );
-        cache.insert(a, &bell_counts());
-        cache.insert(b, &bell_counts());
+        cache.insert(a, &bell_counts(), 0);
+        cache.insert(b, &bell_counts(), 0);
         assert!(cache.lookup(a).is_some(), "touch a so b is LRU");
-        cache.insert(c, &bell_counts());
+        cache.insert(c, &bell_counts(), 0);
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(b).is_none(), "b was evicted");
         assert!(cache.lookup(a).is_some() && cache.lookup(c).is_some());

@@ -134,6 +134,7 @@ struct JobShared {
     backend_name: String,
     shots: usize,
     tenant: String,
+    trace_id: u64,
     journal: Option<Arc<Journal>>,
     state: Mutex<JobState>,
     cond: Condvar,
@@ -187,6 +188,7 @@ impl Job {
         backend_name: String,
         shots: usize,
         tenant: String,
+        trace_id: u64,
         journal: Option<Arc<Journal>>,
     ) -> Self {
         Self {
@@ -195,6 +197,7 @@ impl Job {
                 backend_name,
                 shots,
                 tenant,
+                trace_id,
                 journal,
                 state: Mutex::new(JobState {
                     status: JobStatus::Queued,
@@ -229,6 +232,15 @@ impl Job {
     /// The tenant the job was submitted under.
     pub fn tenant(&self) -> &str {
         &self.shared.tenant
+    }
+
+    /// The id of the job's causal trace: every span recorded on this
+    /// job's behalf — submit, queue wait, attempts, transpile passes,
+    /// engine kernels — carries this id. Minted once at submission and
+    /// journaled, so a journal-backed restart reconstructs the job
+    /// under the *same* trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.shared.trace_id
     }
 
     /// The current lifecycle status.
@@ -862,12 +874,24 @@ impl JobExecutor {
             }
         }
 
+        // One trace per job, minted here and nowhere else. The root
+        // span id equals the trace id, so journaling the trace id alone
+        // is enough to rebuild the root context on recovery.
+        let trace = qukit_obs::TraceContext::mint();
+        let _trace_guard = trace.attach();
+        let _submit_span = qukit_obs::span!(
+            "job.submit",
+            tenant = opts.tenant,
+            backend = backend_name,
+            shots = shots,
+        );
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Best-effort pre-check keeps shed submissions out of the
         // journal entirely; the push below re-checks authoritatively.
         let verdict = self.ctx.scheduler.would_admit(&opts.tenant);
         if verdict != Admission::Accepted {
-            return self.handle_rejection(id, opts, verdict, false);
+            return self.handle_rejection(id, opts, verdict, false, trace.trace_id);
         }
 
         let qasm = (self.ctx.journal.is_some() || self.ctx.cache.is_some())
@@ -883,6 +907,7 @@ impl JobExecutor {
             backend_name.to_owned(),
             shots,
             opts.tenant.clone(),
+            trace.trace_id,
             self.ctx.journal.clone(),
         );
         if let Some(journal) = &self.ctx.journal {
@@ -895,6 +920,7 @@ impl JobExecutor {
                 shots,
                 key: opts.idempotency_key.clone(),
                 qasm: qasm.clone().unwrap_or_default(),
+                trace: trace.trace_id,
             })?;
         }
         let entry = QueuedJob {
@@ -908,12 +934,16 @@ impl JobExecutor {
                 if let Some(key) = &opts.idempotency_key {
                     keyed.insert(key.clone(), job.clone());
                 }
+                qukit_obs::counter_inc_with(
+                    "qukit_core_tenant_jobs_submitted_total",
+                    &[("tenant", &opts.tenant)],
+                );
                 self.ctx
                     .observers
                     .emit(&JobEvent::Enqueued { job_id: id, backend: backend_name.to_owned() });
                 Ok(job)
             }
-            verdict => self.handle_rejection(id, opts, verdict, true),
+            verdict => self.handle_rejection(id, opts, verdict, true, trace.trace_id),
         }
     }
 
@@ -928,7 +958,15 @@ impl JobExecutor {
         opts: &SubmitOptions,
         verdict: Admission,
         journaled: bool,
+        trace_id: u64,
     ) -> Result<Job> {
+        // The shed decision is part of the job's trace: the submit
+        // span is still open on this thread, so this nests under it.
+        let _shed_span = qukit_obs::span!("job.shed", tenant = opts.tenant);
+        qukit_obs::counter_inc_with(
+            "qukit_core_tenant_jobs_shed_total",
+            &[("tenant", &opts.tenant)],
+        );
         let seal = |reason: &str| {
             if journaled {
                 journal_terminal(
@@ -948,7 +986,7 @@ impl JobExecutor {
                     opts.tenant
                 );
                 seal(&reason);
-                let job = Job::new(id, String::new(), 0, opts.tenant.clone(), None);
+                let job = Job::new(id, String::new(), 0, opts.tenant.clone(), trace_id, None);
                 job.shared.update(|state| {
                     state.status = JobStatus::Rejected;
                     state.error = Some(reason);
@@ -1104,16 +1142,21 @@ fn replay_records(
         }
     }
     for record in records {
-        let JournalRecord::Submitted { job_id, tenant, priority, backend, shots, key, qasm } =
+        let JournalRecord::Submitted { job_id, tenant, priority, backend, shots, key, qasm, trace } =
             record
         else {
             continue;
         };
+        // Pre-tracing journals carry no trace id; mint a fresh one so
+        // the recovered job still yields a well-formed trace. Journaled
+        // ids are restored verbatim — recovery keeps traces stable.
+        let trace_id = if *trace == 0 { qukit_obs::next_id() } else { *trace };
         let job = match terminals.get(job_id) {
             Some(JournalRecord::Terminal { status, error, counts, executed_on, .. }) => {
                 // Exactly-once: a journaled terminal is final; the job
                 // is reconstructed finished and never re-run.
-                let job = Job::new(*job_id, backend.clone(), *shots, tenant.clone(), None);
+                let job =
+                    Job::new(*job_id, backend.clone(), *shots, tenant.clone(), trace_id, None);
                 job.shared.update(|state| {
                     state.status = JobStatus::parse(status).unwrap_or(JobStatus::Error);
                     state.error = error.clone();
@@ -1132,6 +1175,7 @@ fn replay_records(
                     backend.clone(),
                     *shots,
                     tenant.clone(),
+                    trace_id,
                     Some(Arc::clone(journal)),
                 );
                 match qukit_terra::qasm::parse(qasm) {
@@ -1194,6 +1238,37 @@ fn replay_records(
     }
 }
 
+/// Closes a job's trace: records the root `job` span (spanning submit
+/// to terminal, with the root span id equal to the trace id) and the
+/// per-tenant terminal metrics. Called exactly once per dequeued job,
+/// on the worker that performed the terminal transition.
+fn finish_job_trace(job: &Job, submitted_at: Instant, status: JobStatus) {
+    let tenant = job.tenant();
+    if status == JobStatus::Done {
+        qukit_obs::counter_inc_with(
+            "qukit_core_tenant_jobs_completed_total",
+            &[("tenant", tenant)],
+        );
+        qukit_obs::observe_with(
+            "qukit_core_tenant_job_seconds",
+            &[("tenant", tenant)],
+            submitted_at.elapsed().as_secs_f64(),
+        );
+    }
+    if qukit_obs::enabled() {
+        qukit_obs::record_span_at(
+            "job",
+            format!("job={} tenant={tenant} status={status}", job.id()),
+            job.trace_id(),
+            job.trace_id(),
+            0,
+            0,
+            submitted_at,
+            submitted_at.elapsed(),
+        );
+    }
+}
+
 /// What one execution attempt produced.
 enum AttemptOutcome {
     Finished(Result<Counts>),
@@ -1211,6 +1286,24 @@ fn worker_loop(ctx: &Arc<WorkerContext>) {
 fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
     let QueuedJob { job, circuit, cache_key, submitted_at } = entry;
     let job_id = job.id();
+    // The worker continues the trace the submitter started: the queue
+    // wait is recorded as a span spanning submit-to-dequeue, and the
+    // root context is attached so every span below (attempts,
+    // transpile passes, engine kernels) nests under this job's trace.
+    let trace = qukit_obs::TraceContext::root_of(job.trace_id());
+    if qukit_obs::enabled() {
+        qukit_obs::record_span_at(
+            "job.queued",
+            format!("job={job_id} tenant={}", job.tenant()),
+            trace.trace_id,
+            qukit_obs::next_id(),
+            trace.span_id,
+            1,
+            *submitted_at,
+            submitted_at.elapsed(),
+        );
+    }
+    let _trace_guard = trace.attach();
     let proceed = job.shared.update(|state| {
         if state.status == JobStatus::Cancelled || state.cancel_requested {
             state.status = JobStatus::Cancelled;
@@ -1226,6 +1319,7 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
         // `cancel()` itself, so the emit-before guarantee cannot apply
         // here anyway.
         ctx.observers.emit(&JobEvent::Cancelled { job_id, while_queued: true });
+        finish_job_trace(job, *submitted_at, JobStatus::Cancelled);
         return;
     }
     ctx.observers.emit(&JobEvent::Started { job_id, backend: job.shared.backend_name.clone() });
@@ -1234,9 +1328,23 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
     // distribution with a per-job deterministic seed and skips the
     // simulator entirely.
     if let (Some(cache), Some(key)) = (&ctx.cache, cache_key) {
-        if let Some(distribution) = cache.lookup(*key) {
-            let seed = (*key as u64) ^ ((*key >> 64) as u64) ^ job_id;
-            let counts = distribution.sample(job.shared.shots, seed);
+        if let Some(hit) = cache.lookup(*key) {
+            let counts = {
+                // The hit span links to the trace that produced the
+                // cached distribution (`producer_trace`) instead of
+                // pretending this job executed anything.
+                let _hit_span = qukit_obs::span!(
+                    "job.cache_hit",
+                    producer_trace = hit.producer_trace,
+                    shots = job.shared.shots,
+                );
+                let seed = (*key as u64) ^ ((*key >> 64) as u64) ^ job_id;
+                hit.distribution.sample(job.shared.shots, seed)
+            };
+            qukit_obs::counter_inc_with(
+                "qukit_core_tenant_cache_hits_total",
+                &[("tenant", job.tenant())],
+            );
             let served = job.shared.backend_name.clone();
             ctx.observers.emit(&JobEvent::Completed {
                 job_id,
@@ -1258,6 +1366,7 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
                 state.result = Some(counts);
                 state.status = JobStatus::Done;
             });
+            finish_job_trace(job, *submitted_at, JobStatus::Done);
             return;
         }
     }
@@ -1281,11 +1390,15 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
                     None,
                 );
                 job.shared.update(|state| state.status = JobStatus::Cancelled);
+                finish_job_trace(job, *submitted_at, JobStatus::Cancelled);
                 return;
             }
         }
         job.shared.update(|state| state.attempts = attempt);
-        let outcome = run_attempt(job, circuit, &ctx.provider, ctx.retry.attempt_timeout);
+        let outcome = {
+            let _attempt_span = qukit_obs::span!("job.attempt", job = job_id, attempt = attempt);
+            run_attempt(job, circuit, &ctx.provider, ctx.retry.attempt_timeout)
+        };
         match outcome {
             AttemptOutcome::Finished(Ok(counts)) => {
                 let backend_name = job.shared.backend_name.clone();
@@ -1310,13 +1423,14 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
                     Some(&served),
                 );
                 if let (Some(cache), Some(key)) = (&ctx.cache, cache_key) {
-                    cache.insert(*key, &counts);
+                    cache.insert(*key, &counts, job.trace_id());
                 }
                 job.shared.update(|state| {
                     state.executed_on = Some(served);
                     state.result = Some(counts);
                     state.status = JobStatus::Done;
                 });
+                finish_job_trace(job, *submitted_at, JobStatus::Done);
                 return;
             }
             AttemptOutcome::Finished(Err(e)) => {
@@ -1339,6 +1453,7 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
                         state.error = Some(e.to_string());
                         state.status = JobStatus::Error;
                     });
+                    finish_job_trace(job, *submitted_at, JobStatus::Error);
                     return;
                 }
                 // Transient with attempts left: announce the retry (they
@@ -1365,6 +1480,7 @@ fn run_job(entry: &QueuedJob, ctx: &Arc<WorkerContext>) {
                     state.error = Some(msg);
                     state.status = JobStatus::TimedOut;
                 });
+                finish_job_trace(job, *submitted_at, JobStatus::TimedOut);
                 return;
             }
         }
@@ -1390,7 +1506,11 @@ fn run_attempt(
     let (tx, rx) = std::sync::mpsc::sync_channel(1);
     let provider = Arc::clone(provider);
     let circuit = circuit.clone();
+    // Trace contexts are per-thread: clone the worker's onto the helper
+    // so backend spans still land in this job's trace after the hop.
+    let trace = qukit_obs::TraceContext::current();
     std::thread::spawn(move || {
+        let _trace_guard = trace.map(qukit_obs::TraceContext::attach);
         let result =
             provider.get_backend(&backend_name).and_then(|backend| backend.run(&circuit, shots));
         let _ = tx.send(result); // receiver may have given up: ignore

@@ -74,6 +74,10 @@ pub enum JournalRecord {
         key: Option<String>,
         /// The prepared circuit as OpenQASM 2.0.
         qasm: String,
+        /// The job's trace id (0 in pre-tracing journals): replay
+        /// reconstructs the job under the same trace, so a waterfall
+        /// survives a crash/restart cycle with its identity intact.
+        trace: u64,
     },
     /// A job reached a terminal state.
     Terminal {
@@ -207,7 +211,7 @@ pub fn replay(dir: &Path) -> Result<ReplayLog> {
 
 fn encode_record(record: &JournalRecord) -> String {
     let payload = match record {
-        JournalRecord::Submitted { job_id, tenant, priority, backend, shots, key, qasm } => {
+        JournalRecord::Submitted { job_id, tenant, priority, backend, shots, key, qasm, trace } => {
             let mut out = format!(
                 "{{\"kind\":\"submitted\",\"job\":{job_id},\"tenant\":\"{}\",\"priority\":\"{}\",\"backend\":\"{}\",\"shots\":{shots}",
                 escape(tenant),
@@ -216,6 +220,9 @@ fn encode_record(record: &JournalRecord) -> String {
             );
             if let Some(key) = key {
                 out.push_str(&format!(",\"key\":\"{}\"", escape(key)));
+            }
+            if *trace != 0 {
+                out.push_str(&format!(",\"trace\":{trace}"));
             }
             out.push_str(&format!(",\"qasm\":\"{}\"}}", escape(qasm)));
             out
@@ -270,6 +277,7 @@ fn decode_line(line: &str) -> Option<JournalRecord> {
             shots: value.get("shots")?.as_f64()? as usize,
             key: value.get("key").and_then(|k| k.as_str()).map(str::to_owned),
             qasm: value.get("qasm")?.as_str()?.to_owned(),
+            trace: value.get("trace").and_then(JsonValue::as_f64).map_or(0, |t| t as u64),
         }),
         "terminal" => {
             let counts = match value.get("counts") {
@@ -341,6 +349,7 @@ mod tests {
             shots: 128,
             key: key.map(str::to_owned),
             qasm: "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n".to_owned(),
+            trace: 9_007_199_254_740_991 & (job_id.wrapping_mul(0x9e37) | 1),
         }
     }
 
@@ -379,6 +388,22 @@ mod tests {
         assert_eq!(log.records, records);
         assert_eq!(log.corrupt_dropped, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_tracing_submitted_lines_decode_with_zero_trace() {
+        // A line written before the `trace` field existed.
+        let payload = "{\"kind\":\"submitted\",\"job\":7,\"tenant\":\"default\",\
+                       \"priority\":\"normal\",\"backend\":\"qasm_simulator\",\
+                       \"shots\":64,\"qasm\":\"OPENQASM 2.0;\"}";
+        let line = format!("{MAGIC} {:08x} {payload}", crc32(payload.as_bytes()));
+        match decode_line(&line) {
+            Some(JournalRecord::Submitted { job_id, trace, .. }) => {
+                assert_eq!(job_id, 7);
+                assert_eq!(trace, 0, "absent trace decodes as 0");
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod scheduler;
 pub use backend::{
     Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend,
 };
-pub use cache::CacheConfig;
+pub use cache::{CacheConfig, CacheHit};
 pub use error::{ErrorClass, QukitError};
 pub use execute::execute;
 pub use fault::{FallbackChain, FaultInjectingBackend, FaultMode};

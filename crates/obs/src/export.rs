@@ -28,6 +28,7 @@
 
 use crate::json::{escape, JsonValue};
 use crate::registry::{HistogramSnapshot, Snapshot};
+use crate::span::TraceEvent;
 use std::fmt::Write as _;
 
 /// Identifier stamped into every JSON snapshot this module emits.
@@ -49,6 +50,26 @@ fn fmt_f64(value: f64) -> String {
     }
 }
 
+/// Escapes HELP text for the Prometheus exposition format: `\` → `\\`,
+/// newline → `\n` (HELP lines must stay one line).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn write_help(out: &mut String, snapshot: &Snapshot, base: &str) {
+    if let Some(help) = snapshot.help.get(base) {
+        let _ = writeln!(out, "# HELP {base} {}", escape_help(help));
+    }
+}
+
 /// Renders a snapshot in the Prometheus text exposition format.
 pub fn prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
@@ -56,6 +77,7 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
     for (name, value) in &snapshot.counters {
         let (base, _) = split_name(name);
         if base != last_base {
+            write_help(&mut out, snapshot, base);
             let _ = writeln!(out, "# TYPE {base} counter");
             last_base = base.to_owned();
         }
@@ -65,6 +87,7 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
     for (name, value) in &snapshot.gauges {
         let (base, _) = split_name(name);
         if base != last_base {
+            write_help(&mut out, snapshot, base);
             let _ = writeln!(out, "# TYPE {base} gauge");
             last_base = base.to_owned();
         }
@@ -74,6 +97,7 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
     for (name, hist) in &snapshot.histograms {
         let (base, labels) = split_name(name);
         if base != last_base {
+            write_help(&mut out, snapshot, base);
             let _ = writeln!(out, "# TYPE {base} histogram");
             last_base = base.to_owned();
         }
@@ -142,18 +166,115 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         let sep = if first { "\n" } else { ",\n" };
         let _ = write!(
             out,
-            "{sep}    {{\"name\": \"{}\", \"detail\": \"{}\", \"depth\": {}, \"start_us\": {}, \"duration_us\": {}}}",
+            "{sep}    {{\"name\": \"{}\", \"detail\": \"{}\", \"depth\": {}, \"start_us\": {}, \"duration_us\": {}, \"trace_id\": {}, \"span_id\": {}, \"parent_id\": {}}}",
             escape(&event.name),
             escape(&event.detail),
             event.depth,
             event.start_us,
             event.duration_us,
+            event.trace_id,
+            event.span_id,
+            event.parent_id,
         );
         first = false;
     }
     out.push_str(if first { "]\n" } else { "\n  ]\n" });
     out.push_str("}\n");
     out
+}
+
+/// Renders trace events in the Chrome trace-event format (the JSON object
+/// form), loadable in `chrome://tracing` and Perfetto.
+///
+/// Each span becomes one complete (`"ph": "X"`) event; all events share
+/// `pid` 1 and each trace gets its own `tid` (track), named by a
+/// `thread_name` metadata record, so one job renders as one waterfall.
+/// Span/parent ids travel in `args` for tooling that follows causal links.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    // One track per trace id, in order of first appearance; the untraced
+    // group (trace id 0) keeps tid 0.
+    let mut tids: Vec<u64> = Vec::new();
+    let mut tid_of = |trace_id: u64| -> usize {
+        if trace_id == 0 {
+            return 0;
+        }
+        match tids.iter().position(|&t| t == trace_id) {
+            Some(index) => index + 1,
+            None => {
+                tids.push(trace_id);
+                tids.len()
+            }
+        }
+    };
+    let mut body = String::new();
+    let mut first = true;
+    let mut named: Vec<usize> = Vec::new();
+    for event in events {
+        let tid = tid_of(event.trace_id);
+        let sep = if first { "\n" } else { ",\n" };
+        if !named.contains(&tid) {
+            named.push(tid);
+            let track = if event.trace_id == 0 {
+                "untraced".to_owned()
+            } else {
+                format!("trace {}", event.trace_id)
+            };
+            let _ = write!(
+                body,
+                "{sep}    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": \"{track}\"}}}}",
+            );
+            first = false;
+        }
+        let _ = write!(
+            body,
+            ",\n    {{\"name\": \"{}\", \"cat\": \"qukit\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {tid}, \"args\": {{\"detail\": \"{}\", \"trace_id\": {}, \"span_id\": {}, \"parent_id\": {}}}}}",
+            escape(&event.name),
+            event.start_us,
+            event.duration_us,
+            escape(&event.detail),
+            event.trace_id,
+            event.span_id,
+            event.parent_id,
+        );
+    }
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+    out.push_str(&body);
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Checks that `text` is well-formed Chrome trace-event JSON as emitted
+/// by [`chrome_trace`]: a `traceEvents` array whose `"X"` entries carry
+/// name/ts/dur/pid/tid.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let value = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let events = value
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_owned())?;
+    for (index, event) in events.iter().enumerate() {
+        let phase = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("traceEvents[{index}]: missing ph"))?;
+        event
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("traceEvents[{index}]: missing name"))?;
+        let required: &[&str] = match phase {
+            "X" => &["ts", "dur", "pid", "tid"],
+            "M" => &["pid", "tid"],
+            other => return Err(format!("traceEvents[{index}]: unexpected phase {other:?}")),
+        };
+        for field in required {
+            event
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("traceEvents[{index}]: missing {field}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn fmt_seconds(seconds: f64) -> String {
@@ -310,6 +431,13 @@ pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("trace[{index}]: missing {field}"))?;
         }
+        // Causal ids are optional (pre-tracing snapshots lack them) but
+        // must be numbers when present.
+        for field in ["trace_id", "span_id", "parent_id"] {
+            if let Some(id) = event.get(field) {
+                id.as_f64().ok_or_else(|| format!("trace[{index}]: {field} is not a number"))?;
+            }
+        }
     }
     Ok(())
 }
@@ -349,14 +477,19 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
         }
     }
     if let Some(events) = value.get("trace").and_then(JsonValue::as_array) {
+        let id = |event: &JsonValue, field: &str| -> u64 {
+            event.get(field).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64
+        };
         for event in events {
-            snapshot.trace.push(crate::span::TraceEvent {
+            snapshot.trace.push(TraceEvent {
                 name: event.get("name").and_then(JsonValue::as_str).unwrap_or("").to_owned(),
                 detail: event.get("detail").and_then(JsonValue::as_str).unwrap_or("").to_owned(),
                 depth: event.get("depth").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
-                start_us: event.get("start_us").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
-                duration_us: event.get("duration_us").and_then(JsonValue::as_f64).unwrap_or(0.0)
-                    as u64,
+                start_us: id(event, "start_us"),
+                duration_us: id(event, "duration_us"),
+                trace_id: id(event, "trace_id"),
+                span_id: id(event, "span_id"),
+                parent_id: id(event, "parent_id"),
             });
         }
     }
@@ -392,7 +525,11 @@ mod tests {
             depth: 1,
             start_us: 12,
             duration_us: 340,
+            trace_id: 5,
+            span_id: 6,
+            parent_id: 5,
         });
+        snapshot.help.insert("qukit_dd_nodes".to_owned(), "live DD nodes".to_owned());
         snapshot
     }
 
@@ -403,6 +540,7 @@ mod tests {
 qukit_terra_swaps_inserted_total 4
 # TYPE qukit_terra_transpile_runs_total counter
 qukit_terra_transpile_runs_total 1
+# HELP qukit_dd_nodes live DD nodes
 # TYPE qukit_dd_nodes gauge
 qukit_dd_nodes 17
 # TYPE qukit_core_job_seconds histogram
@@ -438,7 +576,7 @@ qukit_terra_pass_seconds_count{pass=\"mapping\"} 3
     \"qukit_terra_pass_seconds{pass=\\\"mapping\\\"}\": {\"bounds\": [0.01], \"buckets\": [3, 0], \"count\": 3, \"sum\": 0.006}
   },
   \"trace\": [
-    {\"name\": \"transpile.pass\", \"detail\": \"pass=mapping\", \"depth\": 1, \"start_us\": 12, \"duration_us\": 340}
+    {\"name\": \"transpile.pass\", \"detail\": \"pass=mapping\", \"depth\": 1, \"start_us\": 12, \"duration_us\": 340, \"trace_id\": 5, \"span_id\": 6, \"parent_id\": 5}
   ]
 }
 ";
@@ -449,6 +587,88 @@ qukit_terra_pass_seconds_count{pass=\"mapping\"} 3
         assert_eq!(parsed.gauges, golden_snapshot().gauges);
         assert_eq!(parsed.histograms, golden_snapshot().histograms);
         assert_eq!(parsed.trace, golden_snapshot().trace);
+    }
+
+    #[test]
+    fn pre_tracing_snapshots_still_parse() {
+        // Snapshots written before causal ids existed lack the id fields;
+        // they must validate and decode with zeroed ids.
+        let legacy = "{\"schema\": \"qukit-metrics/v1\", \"counters\": {}, \"gauges\": {},
+            \"histograms\": {},
+            \"trace\": [{\"name\": \"old\", \"detail\": \"\", \"depth\": 0,
+                         \"start_us\": 1, \"duration_us\": 2}]}";
+        validate_snapshot_json(legacy).expect("legacy schema-valid");
+        let parsed = from_json(legacy).expect("legacy parses");
+        assert_eq!(parsed.trace[0].trace_id, 0);
+        assert_eq!(parsed.trace[0].span_id, 0);
+    }
+
+    #[test]
+    fn help_text_is_escaped_in_prometheus_output() {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("qukit_test_total".to_owned(), 1);
+        snapshot
+            .help
+            .insert("qukit_test_total".to_owned(), "line one\nline two \\ done".to_owned());
+        let text = prometheus(&snapshot);
+        assert!(text.contains("# HELP qukit_test_total line one\\nline two \\\\ done\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_renders_escaped_label_values_intact() {
+        // A label value escaped by labeled_name must survive to the text
+        // format unchanged (exactly one level of escaping).
+        let name =
+            crate::registry::labeled_name("qukit_test_total", &[("tenant", "quo\"te\\slash\nnl")])
+                .expect("valid");
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert(name, 3);
+        let text = prometheus(&snapshot);
+        assert!(text.contains("qukit_test_total{tenant=\"quo\\\"te\\\\slash\\nnl\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_golden_and_validates() {
+        let events = vec![
+            TraceEvent {
+                name: "job".to_owned(),
+                detail: "tenant=a".to_owned(),
+                depth: 0,
+                start_us: 0,
+                duration_us: 50,
+                trace_id: 9,
+                span_id: 9,
+                parent_id: 0,
+            },
+            TraceEvent {
+                name: "job.attempt".to_owned(),
+                detail: String::new(),
+                depth: 1,
+                start_us: 10,
+                duration_us: 30,
+                trace_id: 9,
+                span_id: 11,
+                parent_id: 9,
+            },
+        ];
+        let text = chrome_trace(&events);
+        validate_chrome_trace(&text).expect("valid chrome trace");
+        assert!(text.contains("\"displayTimeUnit\": \"ms\""), "{text}");
+        assert!(
+            text.contains("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"args\": {\"name\": \"trace 9\"}}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("{\"name\": \"job\", \"cat\": \"qukit\", \"ph\": \"X\", \"ts\": 0, \"dur\": 50, \"pid\": 1, \"tid\": 1, \"args\": {\"detail\": \"tenant=a\", \"trace_id\": 9, \"span_id\": 9, \"parent_id\": 0}}"),
+            "{text}"
+        );
+        // Both spans share the trace's track.
+        assert!(text.contains("\"name\": \"job.attempt\""), "{text}");
+        // Empty input is still a loadable document.
+        validate_chrome_trace(&chrome_trace(&[])).expect("empty is valid");
+        // And malformed documents are rejected.
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
     }
 
     #[test]

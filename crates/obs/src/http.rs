@@ -1,0 +1,184 @@
+//! A zero-dependency blocking HTTP listener serving the live registry.
+//!
+//! Three routes, enough for a scrape loop and a quick look at what the
+//! service is doing right now:
+//!
+//! * `GET /metrics` — the Prometheus text exposition of a fresh snapshot
+//! * `GET /healthz` — `ok`, for liveness probes
+//! * `GET /traces/recent` — the current trace ring buffer as Chrome
+//!   trace-event JSON (save it, load it in Perfetto)
+//!
+//! The server is deliberately minimal: `std::net::TcpListener`, one
+//! accept loop on one background thread, one request per connection,
+//! `Connection: close`. A scrape every few seconds is the design load;
+//! this is an instrument, not a web server.
+
+use crate::export::{chrome_trace, prometheus};
+use crate::registry::registry;
+use crate::span::snapshot_trace;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics listener. Dropping it without calling
+/// [`MetricsServer::shutdown`] detaches the serving thread (it keeps
+/// serving until the process exits).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address actually bound (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9187`, or port 0 for an ephemeral port)
+/// and serves the routes above on a background thread.
+pub fn serve(addr: &str) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle =
+        std::thread::Builder::new().name("qukit-metrics-http".to_owned()).spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // One slow or broken client must not wedge the loop.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = handle_connection(stream);
+                }
+            }
+        })?;
+    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+}
+
+fn handle_connection(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block; we only route on the request line.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus(&registry().snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/traces/recent" => {
+            ("200 OK", "application/json; charset=utf-8", chrome_trace(&snapshot_trace()))
+        }
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_recent_traces() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        crate::counter_add("qukit_obs_test_http_total", 3);
+        {
+            let _span = crate::span!("test.http.span");
+        }
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("qukit_obs_test_http_total 3"), "{body}");
+        assert!(body.contains("qukit_obs_trace_events_dropped_total"), "{body}");
+
+        let (head, body) = get(addr, "/traces/recent");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        crate::export::validate_chrome_trace(&body).expect("chrome-trace JSON");
+        assert!(body.contains("test.http.span"), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        crate::reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+    }
+}

@@ -103,6 +103,59 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serializes the value as compact JSON. Non-finite numbers (which
+    /// JSON cannot represent) render as `null`; object keys keep the
+    /// map's sorted order, so output is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    // Rust's shortest-roundtrip float formatting: the
+                    // printed text parses back to exactly this f64.
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (index, (key, value)) in map.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -377,6 +430,157 @@ mod tests {
     fn rejects_malformed_input() {
         for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "nul", "1 2", "{\"a\":}", "\"\\ud835\""] {
             assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_scientific_notation_exactly() {
+        for (text, want) in [
+            ("1e3", 1e3),
+            ("1E3", 1e3),
+            ("-2.5e-4", -2.5e-4),
+            ("6.02E+23", 6.02e23),
+            ("0.0", 0.0),
+            ("-0.0", -0.0),
+            ("1e-308", 1e-308),
+            ("1.7976931348623157e308", f64::MAX),
+            ("5e-324", f64::MIN_POSITIVE * f64::EPSILON), // smallest subnormal, 2^-1074
+        ] {
+            let value = JsonValue::parse(text).expect(text);
+            let got = value.as_f64().expect("number");
+            assert_eq!(got.to_bits(), want.to_bits(), "{text}: {got} != {want}");
+        }
+        // Overflowing exponents saturate to infinity per strtod — which
+        // the serializer cannot re-emit, but the parser must not error.
+        assert_eq!(JsonValue::parse("1e999").expect("parse").as_f64(), Some(f64::INFINITY));
+        // Things that look number-ish but are not valid JSON numbers.
+        for bad in ["1e", "1e+", ".5", "+1", "0x10", "--1", "Infinity", "NaN"] {
+            let wrapped = format!("[{bad}]");
+            assert!(JsonValue::parse(&wrapped).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_control_escapes_round_trip() {
+        // Every ASCII control character, escaped by escape(), parses back.
+        let controls: String = (0u8..0x20).map(char::from).collect();
+        let doc = format!("\"{}\"", escape(&controls));
+        assert_eq!(JsonValue::parse(&doc).expect("controls").as_str(), Some(controls.as_str()));
+        // Unescaped control characters are rejected.
+        assert!(JsonValue::parse("\"\u{1}\"").is_err());
+        // \u escapes for BMP, astral (surrogate pair), and boundary points.
+        for (doc, want) in [
+            (r#""\u0041""#, "A"),
+            (r#""\u00e9""#, "é"),
+            (r#""\u2603""#, "☃"),
+            (r#""\ud83d\ude00""#, "😀"),
+            (r#""\uffff""#, "\u{ffff}"),
+            (r#""\u0000""#, "\0"),
+        ] {
+            assert_eq!(JsonValue::parse(doc).expect(doc).as_str(), Some(want), "{doc}");
+        }
+        // Broken escapes fail cleanly.
+        for bad in [r#""\u12""#, r#""\uzzzz""#, r#""\ud800\u0041""#, r#""\udc00""#, r#""\q""#] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_parses_and_serializes() {
+        const DEPTH: usize = 256;
+        let mut doc = String::new();
+        for _ in 0..DEPTH {
+            doc.push_str("[{\"k\":");
+        }
+        doc.push_str("null");
+        for _ in 0..DEPTH {
+            doc.push_str("}]");
+        }
+        let value = JsonValue::parse(&doc).expect("deep parse");
+        // Walk back down to the innermost value.
+        let mut cursor = &value;
+        for _ in 0..DEPTH {
+            cursor = &cursor.as_array().expect("array layer")[0];
+            cursor = cursor.get("k").expect("object layer");
+        }
+        assert_eq!(cursor, &JsonValue::Null);
+        // And the serialized form round-trips.
+        assert_eq!(JsonValue::parse(&value.to_json()).expect("reparse"), value);
+    }
+
+    /// SplitMix64 — the same seeded-RNG discipline the simulators and
+    /// the conformance generator use.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn random_string(state: &mut u64) -> String {
+        let len = (splitmix64(state) % 12) as usize;
+        (0..len)
+            .map(|_| {
+                // Mix ASCII (controls included), escapes, and astral chars.
+                match splitmix64(state) % 5 {
+                    0 => (splitmix64(state) % 0x80) as u8 as char,
+                    1 => ['"', '\\', '\n', '\t', '\u{0}'][(splitmix64(state) % 5) as usize],
+                    2 => '😀',
+                    3 => 'π',
+                    _ => char::from(b'a' + (splitmix64(state) % 26) as u8),
+                }
+            })
+            .collect()
+    }
+
+    fn random_number(state: &mut u64) -> f64 {
+        match splitmix64(state) % 4 {
+            // Exact integers (counter-like).
+            0 => (splitmix64(state) % (1 << 53)) as f64,
+            1 => -((splitmix64(state) % 1_000_000) as f64),
+            // Dyadic fractions round-trip exactly through Display.
+            2 => (splitmix64(state) % 4096) as f64 / 1024.0,
+            // Scientific magnitudes.
+            _ => {
+                let mantissa = (splitmix64(state) % 9000 + 1000) as f64 / 1000.0;
+                let exponent = (splitmix64(state) % 60) as i32 - 30;
+                mantissa * 10f64.powi(exponent)
+            }
+        }
+    }
+
+    fn random_value(state: &mut u64, depth: usize) -> JsonValue {
+        let pick = if depth == 0 { splitmix64(state) % 4 } else { splitmix64(state) % 6 };
+        match pick {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(splitmix64(state).is_multiple_of(2)),
+            2 => JsonValue::Number(random_number(state)),
+            3 => JsonValue::String(random_string(state)),
+            4 => {
+                let len = (splitmix64(state) % 4) as usize;
+                JsonValue::Array((0..len).map(|_| random_value(state, depth - 1)).collect())
+            }
+            _ => {
+                let len = (splitmix64(state) % 4) as usize;
+                JsonValue::Object(
+                    (0..len)
+                        .map(|_| (random_string(state), random_value(state, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn serializer_parser_roundtrip_property() {
+        let mut state = 0x00ab_5eed_u64;
+        for case in 0..500 {
+            let value = random_value(&mut state, 4);
+            let text = value.to_json();
+            let parsed =
+                JsonValue::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\ndoc: {text}"));
+            assert_eq!(parsed, value, "case {case}: roundtrip mismatch for {text}");
         }
     }
 }

@@ -34,16 +34,24 @@
 //! ```
 
 pub mod export;
+pub mod http;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use registry::{
-    counter, counter_add, counter_inc, enabled, gauge, gauge_add, gauge_set, histogram, observe,
-    observe_duration, registry, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsRegistry, Snapshot, DURATION_BUCKETS,
+    counter, counter_add, counter_add_with, counter_inc, counter_inc_with, counter_with, describe,
+    enabled, escape_label_value, gauge, gauge_add, gauge_set, gauge_set_with, histogram,
+    labeled_name, observe, observe_duration, observe_with, registry, set_enabled,
+    validate_label_name, validate_metric_name, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricNameError, MetricsRegistry, Snapshot, DURATION_BUCKETS, MAX_LABEL_SETS,
 };
-pub use span::{drain_trace, snapshot_trace, Span, TraceEvent, TRACE_CAPACITY};
+pub use span::{
+    drain_trace, next_id, record_span_at, snapshot_trace, trace_events_dropped, ContextGuard, Span,
+    TraceContext, TraceEvent, TRACE_CAPACITY,
+};
+pub use trace::{assemble_trees, SpanNode, SpanTree, TraceSampler};
 
 /// Clears every metric and the trace buffer (recording stays as-is).
 ///

@@ -1,6 +1,20 @@
 //! The global, thread-safe metrics registry and its three metric kinds.
+//!
+//! # Labels
+//!
+//! A metric series is identified by a full name of the form
+//! `base{key="value",...}`. The labeled helpers ([`counter_with`],
+//! [`observe_with`], …) build that full name for you with proper
+//! Prometheus escaping of label values, validate the base and label names
+//! against the Prometheus charset (a panic-free [`MetricNameError`]
+//! otherwise), and enforce a bounded-cardinality guard: once a base name
+//! has [`MAX_LABEL_SETS`] distinct label sets, further sets fold into a
+//! single `base{overflow="true"}` series and the clamp is counted by
+//! `qukit_obs_label_cardinality_limited_total` — an unbounded label value
+//! (a user id, say) cannot grow the registry without bound.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -11,6 +25,9 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Globally enables or disables metric and trace recording.
 pub fn set_enabled(on: bool) {
+    if on {
+        crate::span::init_epoch();
+    }
     ENABLED.store(on, Ordering::SeqCst);
 }
 
@@ -24,6 +41,135 @@ pub fn enabled() -> bool {
 /// implicit `+Inf` overflow bucket).
 pub const DURATION_BUCKETS: [f64; 10] =
     [1e-6, 5e-6, 2.5e-5, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1.0];
+
+/// Maximum distinct label sets per base metric name before the
+/// cardinality guard folds new sets into `base{overflow="true"}`.
+pub const MAX_LABEL_SETS: usize = 64;
+
+/// A rejected metric or label name: which name and why. Registration
+/// never panics on bad names; the fallible `try_*` APIs return this and
+/// the infallible ones count the rejection into
+/// `qukit_obs_invalid_metric_names_total` and hand back a detached metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricNameError {
+    /// The offending name as given.
+    pub name: String,
+    /// What rule it broke.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for MetricNameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid metric name {:?}: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for MetricNameError {}
+
+/// Validates a bare metric name against the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn validate_metric_name(name: &str) -> Result<(), MetricNameError> {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return Err(MetricNameError { name: name.to_owned(), reason: "empty name" });
+    };
+    if !(first.is_ascii_alphabetic() || first == '_' || first == ':') {
+        return Err(MetricNameError {
+            name: name.to_owned(),
+            reason: "must start with [a-zA-Z_:]",
+        });
+    }
+    if chars.any(|c| !(c.is_ascii_alphanumeric() || c == '_' || c == ':')) {
+        return Err(MetricNameError {
+            name: name.to_owned(),
+            reason: "contains characters outside [a-zA-Z0-9_:]",
+        });
+    }
+    Ok(())
+}
+
+/// Validates a label name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub fn validate_label_name(name: &str) -> Result<(), MetricNameError> {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return Err(MetricNameError { name: name.to_owned(), reason: "empty label name" });
+    };
+    if !(first.is_ascii_alphabetic() || first == '_')
+        || chars.any(|c| !(c.is_ascii_alphanumeric() || c == '_'))
+    {
+        return Err(MetricNameError {
+            name: name.to_owned(),
+            reason: "label names match [a-zA-Z_][a-zA-Z0-9_]*",
+        });
+    }
+    Ok(())
+}
+
+/// Validates a full series name: a bare base, or `base{...}` (the label
+/// body itself is trusted — use [`labeled_name`] to build one safely).
+fn validate_series_name(name: &str) -> Result<(), MetricNameError> {
+    match name.find('{') {
+        None => validate_metric_name(name),
+        Some(open) => {
+            validate_metric_name(&name[..open])?;
+            if !name.ends_with('}') {
+                return Err(MetricNameError {
+                    name: name.to_owned(),
+                    reason: "unterminated label body",
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Escapes a label value for the Prometheus text format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Builds the full series name `base{key="value",...}` with validated
+/// names and escaped values. With no labels, returns the bare base.
+pub fn labeled_name(base: &str, labels: &[(&str, &str)]) -> Result<String, MetricNameError> {
+    validate_metric_name(base)?;
+    if labels.is_empty() {
+        return Ok(base.to_owned());
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (index, (key, value)) in labels.iter().enumerate() {
+        validate_label_name(key)?;
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Name of the series new label sets fold into once a base hits
+/// [`MAX_LABEL_SETS`].
+fn overflow_name(base: &str) -> String {
+    format!("{base}{{overflow=\"true\"}}")
+}
+
+/// Counts registered series of `base` (labeled sets only).
+fn label_set_count<T>(map: &BTreeMap<String, Arc<T>>, base: &str) -> usize {
+    let prefix = format!("{base}{{");
+    map.range(prefix.clone()..).take_while(|(k, _)| k.starts_with(prefix.as_str())).count()
+}
 
 /// A monotonically increasing integer metric.
 #[derive(Debug, Default)]
@@ -218,10 +364,13 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Completed spans, oldest first (bounded by [`crate::TRACE_CAPACITY`]).
     pub trace: Vec<crate::span::TraceEvent>,
+    /// Base metric name → HELP text (see [`describe`]).
+    pub help: BTreeMap<String, String>,
 }
 
 impl Snapshot {
-    /// Whether nothing at all was recorded.
+    /// Whether nothing at all was recorded (HELP text alone is metadata,
+    /// not a recording).
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
@@ -237,46 +386,180 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
     /// Returns (registering on first use) the counter with this name.
+    /// An invalid name yields a detached counter and is counted into
+    /// `qukit_obs_invalid_metric_names_total` (see [`Self::try_counter`]).
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.try_counter(name).unwrap_or_else(|_| self.rejected_counter())
+    }
+
+    /// Fallible registration: rejects names outside the Prometheus
+    /// charset with a typed error instead of panicking or registering.
+    pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, MetricNameError> {
+        validate_series_name(name)?;
         let mut map = self.counters.lock().expect("counter map lock");
         if let Some(existing) = map.get(name) {
-            return Arc::clone(existing);
+            return Ok(Arc::clone(existing));
         }
         let created = Arc::new(Counter::default());
         map.insert(name.to_owned(), Arc::clone(&created));
-        created
+        Ok(created)
     }
 
-    /// Returns (registering on first use) the gauge with this name.
+    /// The labeled counter `base{labels…}`, subject to the cardinality
+    /// guard: past [`MAX_LABEL_SETS`] distinct sets the overflow series
+    /// is returned instead.
+    pub fn try_counter_with(
+        &self,
+        base: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Counter>, MetricNameError> {
+        let full = labeled_name(base, labels)?;
+        let mut map = self.counters.lock().expect("counter map lock");
+        if let Some(existing) = map.get(&full) {
+            return Ok(Arc::clone(existing));
+        }
+        let name = if !labels.is_empty() && label_set_count(&map, base) >= MAX_LABEL_SETS {
+            map.entry("qukit_obs_label_cardinality_limited_total".to_owned()).or_default().inc();
+            overflow_name(base)
+        } else {
+            full
+        };
+        Ok(Arc::clone(map.entry(name).or_default()))
+    }
+
+    /// Returns (registering on first use) the gauge with this name; the
+    /// same invalid-name policy as [`Self::counter`].
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.try_gauge(name).unwrap_or_else(|_| {
+            self.note_rejected_name();
+            Arc::new(Gauge::default())
+        })
+    }
+
+    /// Fallible gauge registration (typed error on a bad name).
+    pub fn try_gauge(&self, name: &str) -> Result<Arc<Gauge>, MetricNameError> {
+        validate_series_name(name)?;
         let mut map = self.gauges.lock().expect("gauge map lock");
         if let Some(existing) = map.get(name) {
-            return Arc::clone(existing);
+            return Ok(Arc::clone(existing));
         }
         let created = Arc::new(Gauge::default());
         map.insert(name.to_owned(), Arc::clone(&created));
-        created
+        Ok(created)
+    }
+
+    /// The labeled gauge `base{labels…}`, cardinality-guarded.
+    pub fn try_gauge_with(
+        &self,
+        base: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Gauge>, MetricNameError> {
+        let full = labeled_name(base, labels)?;
+        let mut map = self.gauges.lock().expect("gauge map lock");
+        if let Some(existing) = map.get(&full) {
+            return Ok(Arc::clone(existing));
+        }
+        let name = if !labels.is_empty() && label_set_count(&map, base) >= MAX_LABEL_SETS {
+            self.note_rejected_series();
+            overflow_name(base)
+        } else {
+            full
+        };
+        Ok(Arc::clone(map.entry(name).or_default()))
     }
 
     /// Returns (registering on first use) the histogram with this name.
     /// The bounds of the first registration win; later callers share it.
+    /// The same invalid-name policy as [`Self::counter`].
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.try_histogram(name, bounds).unwrap_or_else(|_| {
+            self.note_rejected_name();
+            Arc::new(Histogram::new(bounds))
+        })
+    }
+
+    /// Fallible histogram registration (typed error on a bad name).
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        bounds: &[f64],
+    ) -> Result<Arc<Histogram>, MetricNameError> {
+        validate_series_name(name)?;
+        Ok(self.histogram_unchecked(name.to_owned(), bounds))
+    }
+
+    /// The labeled histogram `base{labels…}`, cardinality-guarded.
+    pub fn try_histogram_with(
+        &self,
+        base: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Result<Arc<Histogram>, MetricNameError> {
+        let full = labeled_name(base, labels)?;
+        {
+            let map = self.histograms.lock().expect("histogram map lock");
+            if let Some(existing) = map.get(&full) {
+                return Ok(Arc::clone(existing));
+            }
+            if !labels.is_empty() && label_set_count(&map, base) >= MAX_LABEL_SETS {
+                drop(map);
+                self.note_rejected_series();
+                return Ok(self.histogram_unchecked(overflow_name(base), bounds));
+            }
+        }
+        Ok(self.histogram_unchecked(full, bounds))
+    }
+
+    fn histogram_unchecked(&self, name: String, bounds: &[f64]) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("histogram map lock");
-        if let Some(existing) = map.get(name) {
+        if let Some(existing) = map.get(&name) {
             return Arc::clone(existing);
         }
         let created = Arc::new(Histogram::new(bounds));
-        map.insert(name.to_owned(), Arc::clone(&created));
+        map.insert(name, Arc::clone(&created));
         created
     }
 
+    fn rejected_counter(&self) -> Arc<Counter> {
+        self.note_rejected_name();
+        Arc::new(Counter::default())
+    }
+
+    fn note_rejected_name(&self) {
+        self.counters
+            .lock()
+            .expect("counter map lock")
+            .entry("qukit_obs_invalid_metric_names_total".to_owned())
+            .or_default()
+            .inc();
+    }
+
+    fn note_rejected_series(&self) {
+        self.counters
+            .lock()
+            .expect("counter map lock")
+            .entry("qukit_obs_label_cardinality_limited_total".to_owned())
+            .or_default()
+            .inc();
+    }
+
+    /// Attaches Prometheus HELP text to a base metric name; rendered by
+    /// the text exporter (with escaping). Last write wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help.lock().expect("help map lock").insert(name.to_owned(), help.to_owned());
+    }
+
     /// Freezes every metric plus the trace buffer into a [`Snapshot`].
+    /// The ring buffer's eviction count is surfaced as the
+    /// `qukit_obs_trace_events_dropped_total` counter whenever any trace
+    /// activity happened, so every exporter reports trace loss.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .lock()
             .expect("counter map lock")
@@ -297,14 +580,22 @@ impl MetricsRegistry {
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
-        Snapshot { counters, gauges, histograms, trace: crate::span::snapshot_trace() }
+        let trace = crate::span::snapshot_trace();
+        let dropped = crate::span::trace_events_dropped();
+        if dropped > 0 || !trace.is_empty() {
+            counters.insert("qukit_obs_trace_events_dropped_total".to_owned(), dropped);
+        }
+        let help = self.help.lock().expect("help map lock").clone();
+        Snapshot { counters, gauges, histograms, trace, help }
     }
 
-    /// Drops every registered metric and clears the trace buffer.
+    /// Drops every registered metric (HELP text included) and clears the
+    /// trace buffer and its drop counter.
     pub fn reset(&self) {
         self.counters.lock().expect("counter map lock").clear();
         self.gauges.lock().expect("gauge map lock").clear();
         self.histograms.lock().expect("histogram map lock").clear();
+        self.help.lock().expect("help map lock").clear();
         crate::span::clear_trace();
     }
 }
@@ -320,6 +611,12 @@ pub fn counter(name: &str) -> Arc<Counter> {
     registry().counter(name)
 }
 
+/// Handle to the named, labeled global counter (cardinality-guarded;
+/// invalid names yield a detached counter, counted as rejected).
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    registry().try_counter_with(name, labels).unwrap_or_else(|_| registry().rejected_counter())
+}
+
 /// Adds `delta` to the named global counter.
 pub fn counter_add(name: &str, delta: u64) {
     if enabled() {
@@ -332,6 +629,18 @@ pub fn counter_inc(name: &str) {
     counter_add(name, 1);
 }
 
+/// Adds `delta` to the named, labeled global counter.
+pub fn counter_add_with(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if enabled() {
+        counter_with(name, labels).add(delta);
+    }
+}
+
+/// Adds one to the named, labeled global counter.
+pub fn counter_inc_with(name: &str, labels: &[(&str, &str)]) {
+    counter_add_with(name, labels, 1);
+}
+
 /// Handle to the named global gauge.
 pub fn gauge(name: &str) -> Arc<Gauge> {
     registry().gauge(name)
@@ -341,6 +650,17 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 pub fn gauge_set(name: &str, value: f64) {
     if enabled() {
         registry().gauge(name).set(value);
+    }
+}
+
+/// Sets the named, labeled global gauge.
+pub fn gauge_set_with(name: &str, labels: &[(&str, &str)], value: f64) {
+    if enabled() {
+        if let Ok(gauge) = registry().try_gauge_with(name, labels) {
+            gauge.set(value);
+        } else {
+            registry().note_rejected_name();
+        }
     }
 }
 
@@ -365,9 +685,26 @@ pub fn observe(name: &str, value: f64) {
     }
 }
 
+/// Records one observation into the named, labeled global histogram
+/// ([`DURATION_BUCKETS`] on first use, cardinality-guarded).
+pub fn observe_with(name: &str, labels: &[(&str, &str)], value: f64) {
+    if enabled() {
+        if let Ok(hist) = registry().try_histogram_with(name, labels, &DURATION_BUCKETS) {
+            hist.observe(value);
+        } else {
+            registry().note_rejected_name();
+        }
+    }
+}
+
 /// Records a duration in seconds into the named global histogram.
 pub fn observe_duration(name: &str, duration: Duration) {
     observe(name, duration.as_secs_f64());
+}
+
+/// Attaches Prometheus HELP text to a base metric name.
+pub fn describe(name: &str, help: &str) {
+    registry().describe(name, help);
 }
 
 #[cfg(test)]
@@ -485,5 +822,76 @@ mod tests {
         let hist = Histogram::new(&[4.0, 1.0, 2.0, 1.0, f64::INFINITY]);
         assert_eq!(hist.bounds(), &[1.0, 2.0, 4.0]);
         assert_eq!(hist.snapshot().buckets.len(), 4);
+    }
+
+    #[test]
+    fn metric_name_validation_is_typed_and_panic_free() {
+        assert!(validate_metric_name("qukit_core_jobs_total").is_ok());
+        assert!(validate_metric_name("_leading:colon_ok").is_ok());
+        let err = validate_metric_name("1starts_with_digit").expect_err("digit start");
+        assert_eq!(err.name, "1starts_with_digit");
+        assert!(validate_metric_name("has-dash").is_err());
+        assert!(validate_metric_name("").is_err());
+        assert!(validate_label_name("tenant").is_ok());
+        assert!(validate_label_name("bad-label").is_err());
+        assert!(validate_label_name("").is_err());
+    }
+
+    #[test]
+    fn invalid_names_register_nothing_and_are_counted() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        let registry = MetricsRegistry::default();
+        assert!(registry.try_counter("spaced name").is_err());
+        // The infallible path hands back a detached metric; only the
+        // rejection counter lands in the snapshot.
+        let detached = registry.counter("spaced name");
+        detached.add(5);
+        let snapshot = registry.snapshot();
+        assert!(!snapshot.counters.contains_key("spaced name"));
+        assert_eq!(snapshot.counters["qukit_obs_invalid_metric_names_total"], 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn labeled_names_escape_prometheus_specials() {
+        let name =
+            labeled_name("qukit_test_total", &[("tenant", "a\"b\\c\nd"), ("priority", "high")])
+                .expect("valid");
+        assert_eq!(name, "qukit_test_total{tenant=\"a\\\"b\\\\c\\nd\",priority=\"high\"}");
+        assert!(labeled_name("qukit_test_total", &[("bad-key", "v")]).is_err());
+        assert!(labeled_name("bad name", &[("k", "v")]).is_err());
+        assert_eq!(labeled_name("base_total", &[]).expect("bare"), "base_total");
+    }
+
+    #[test]
+    fn cardinality_guard_folds_into_overflow_series() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        let registry = MetricsRegistry::default();
+        for i in 0..(MAX_LABEL_SETS + 10) {
+            let value = format!("tenant-{i}");
+            let counter = registry
+                .try_counter_with("qukit_test_card_total", &[("tenant", value.as_str())])
+                .expect("valid name");
+            counter.inc();
+        }
+        let snapshot = registry.snapshot();
+        let series: Vec<&String> =
+            snapshot.counters.keys().filter(|k| k.starts_with("qukit_test_card_total{")).collect();
+        // MAX_LABEL_SETS real series plus the single overflow series.
+        assert_eq!(series.len(), MAX_LABEL_SETS + 1);
+        assert_eq!(snapshot.counters["qukit_test_card_total{overflow=\"true\"}"], 10);
+        assert_eq!(snapshot.counters["qukit_obs_label_cardinality_limited_total"], 10);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn help_text_survives_snapshot_and_reset() {
+        let registry = MetricsRegistry::default();
+        registry.describe("qukit_test_total", "what it counts");
+        assert_eq!(registry.snapshot().help["qukit_test_total"], "what it counts");
+        registry.reset();
+        assert!(registry.snapshot().help.is_empty());
     }
 }

@@ -1,14 +1,29 @@
 //! Lightweight spans: monotonic timing, parent/child nesting per thread,
-//! and a bounded ring-buffer event log.
+//! causal trace contexts, and a bounded ring-buffer event log.
+//!
+//! # Trace contexts
+//!
+//! A [`TraceContext`] names a position in a causal tree: the trace it
+//! belongs to and the span new children should attach under. Contexts are
+//! minted from a process-global SplitMix64 sequence — the same seeded-RNG
+//! discipline the simulators use — so ids are deterministic per process
+//! run and carry no wall-clock or host state. Propagation is explicit:
+//! [`TraceContext::attach`] installs a context on the current thread and
+//! restores the previous one when the guard drops, and every [`Span`]
+//! opened while a context is attached records the context's trace id and
+//! links to the innermost open span as its parent.
+//!
+//! Ids are 53-bit so they survive a JSON number roundtrip exactly.
 
 use crate::registry::{enabled, registry, DURATION_BUCKETS};
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Capacity of the global trace ring buffer; the oldest events are dropped
-/// once it is full.
+/// once it is full (counted by [`trace_events_dropped`]).
 pub const TRACE_CAPACITY: usize = 4096;
 
 /// One completed span, as stored in the trace ring buffer.
@@ -24,6 +39,35 @@ pub struct TraceEvent {
     pub start_us: u64,
     /// Wall-clock duration in microseconds.
     pub duration_us: u64,
+    /// Trace this span belongs to (0 = no trace context attached).
+    pub trace_id: u64,
+    /// This span's own id (0 only for legacy/untraced events).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 = root of its trace/thread).
+    pub parent_id: u64,
+}
+
+impl TraceEvent {
+    /// An event with zeroed ids — convenience for tests and decoding of
+    /// pre-tracing snapshots.
+    pub fn untraced(
+        name: impl Into<String>,
+        detail: impl Into<String>,
+        depth: usize,
+        start_us: u64,
+        duration_us: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            detail: detail.into(),
+            depth,
+            start_us,
+            duration_us,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+        }
+    }
 }
 
 fn trace_buffer() -> &'static Mutex<VecDeque<TraceEvent>> {
@@ -36,8 +80,117 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Pins the trace epoch to "now" if it is not set yet. Called by
+/// [`crate::set_enabled`] so timestamps taken before the first span (a
+/// job's `submitted_at`, say) cannot precede the epoch.
+pub(crate) fn init_epoch() {
+    let _ = epoch();
+}
+
+/// Events evicted from the full ring buffer since the last reset.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of trace events silently evicted from the ring buffer since the
+/// last [`crate::reset`]. Surfaced in snapshots as the
+/// `qukit_obs_trace_events_dropped_total` counter.
+pub fn trace_events_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+fn push_event(event: TraceEvent) {
+    let mut buffer = trace_buffer().lock().expect("trace buffer lock");
+    if buffer.len() == TRACE_CAPACITY {
+        buffer.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    buffer.push_back(event);
+}
+
+/// Fixed seed for the id sequence: deterministic per process run, no
+/// ambient state.
+const ID_SEED: u64 = 0x71c9_4a2f_8e5d_3b07;
+
+static ID_SEQUENCE: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints the next process-unique 53-bit id (never 0). 53 bits so an id
+/// survives a JSON `f64` number roundtrip exactly.
+pub fn next_id() -> u64 {
+    loop {
+        let n = ID_SEQUENCE.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(n.wrapping_add(ID_SEED)) >> 11;
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// (trace_id, span_id) of the innermost attached context/open span.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A causal position: the trace being recorded and the span under which
+/// new child spans attach. See the module docs for the propagation model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole tree (one per job in the executor).
+    pub trace_id: u64,
+    /// The span new children link to as their parent.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Mints a fresh trace. The root span id equals the trace id, so the
+    /// root context can be reconstructed from the trace id alone (this is
+    /// what makes journaled trace ids recovery-stable).
+    pub fn mint() -> Self {
+        let id = next_id();
+        Self { trace_id: id, span_id: id }
+    }
+
+    /// The root context of an existing trace (e.g. one replayed from a
+    /// journal): children attach directly under the trace root.
+    pub fn root_of(trace_id: u64) -> Self {
+        Self { trace_id, span_id: trace_id }
+    }
+
+    /// The context installed on the current thread, if any.
+    pub fn current() -> Option<Self> {
+        let (trace_id, span_id) = CURRENT.with(Cell::get);
+        if trace_id == 0 {
+            None
+        } else {
+            Some(Self { trace_id, span_id })
+        }
+    }
+
+    /// Installs this context on the current thread; the returned guard
+    /// restores the previous context when dropped. Attach explicitly on
+    /// every thread that continues a trace (workers, timeout helpers).
+    pub fn attach(self) -> ContextGuard {
+        let prev = CURRENT.with(|c| c.replace((self.trace_id, self.span_id)));
+        ContextGuard { prev }
+    }
+}
+
+/// RAII restore for [`TraceContext::attach`]. Not `Send`: a context is a
+/// per-thread property.
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
 }
 
 /// An RAII timing scope. Created by [`crate::span!`]; records a
@@ -58,10 +211,16 @@ struct SpanInner {
     depth: usize,
     start_us: u64,
     start: Instant,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    prev_current: (u64, u64),
 }
 
 impl Span {
-    /// Opens a span (inert while recording is disabled).
+    /// Opens a span (inert while recording is disabled). The span adopts
+    /// the thread's current [`TraceContext`] (if any) and becomes the
+    /// current parent for spans opened inside it on this thread.
     pub fn new(name: impl Into<String>, detail: impl Into<String>) -> Self {
         if !enabled() {
             return Self::inert();
@@ -71,6 +230,9 @@ impl Span {
             d.set(current + 1);
             current
         });
+        let span_id = next_id();
+        let (trace_id, parent_id) = CURRENT.with(Cell::get);
+        let prev_current = CURRENT.with(|c| c.replace((trace_id, span_id)));
         let reference = epoch();
         let start = Instant::now();
         let start_us = start.duration_since(reference).as_micros() as u64;
@@ -82,6 +244,10 @@ impl Span {
                 depth,
                 start_us,
                 start,
+                trace_id,
+                span_id,
+                parent_id,
+                prev_current,
             }),
         }
     }
@@ -101,6 +267,12 @@ impl Span {
         self
     }
 
+    /// This span's id (0 for inert spans) — use it to parent manual
+    /// events onto a live span.
+    pub fn span_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.span_id)
+    }
+
     /// Time elapsed since the span opened (zero for inert spans).
     pub fn elapsed(&self) -> Duration {
         self.inner.as_ref().map(|inner| inner.start.elapsed()).unwrap_or_default()
@@ -112,22 +284,52 @@ impl Drop for Span {
         let Some(inner) = self.inner.take() else { return };
         let duration = inner.start.elapsed();
         DEPTH.with(|d| d.set(inner.depth));
+        CURRENT.with(|c| c.set(inner.prev_current));
         if let Some(metric) = &inner.metric {
             registry().histogram(metric, &DURATION_BUCKETS).observe(duration.as_secs_f64());
         }
-        let event = TraceEvent {
+        push_event(TraceEvent {
             name: inner.name,
             detail: inner.detail,
             depth: inner.depth,
             start_us: inner.start_us,
             duration_us: duration.as_micros() as u64,
-        };
-        let mut buffer = trace_buffer().lock().expect("trace buffer lock");
-        if buffer.len() == TRACE_CAPACITY {
-            buffer.pop_front();
-        }
-        buffer.push_back(event);
+            trace_id: inner.trace_id,
+            span_id: inner.span_id,
+            parent_id: inner.parent_id,
+        });
     }
+}
+
+/// Records a completed span with explicit timing and explicit ids, for
+/// phases whose start and end happen on different threads (a job's
+/// queued-time span, the whole-job root span). A no-op while recording is
+/// disabled. `start` instants predating the trace epoch clamp to 0.
+#[allow(clippy::too_many_arguments)]
+pub fn record_span_at(
+    name: impl Into<String>,
+    detail: impl Into<String>,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    depth: usize,
+    start: Instant,
+    duration: Duration,
+) {
+    if !enabled() {
+        return;
+    }
+    let start_us = start.checked_duration_since(epoch()).unwrap_or_default().as_micros() as u64;
+    push_event(TraceEvent {
+        name: name.into(),
+        detail: detail.into(),
+        depth,
+        start_us,
+        duration_us: duration.as_micros() as u64,
+        trace_id,
+        span_id,
+        parent_id,
+    });
 }
 
 /// Copies the trace buffer, oldest event first.
@@ -142,6 +344,7 @@ pub fn drain_trace() -> Vec<TraceEvent> {
 
 pub(crate) fn clear_trace() {
     trace_buffer().lock().expect("trace buffer lock").clear();
+    DROPPED.store(0, Ordering::Relaxed);
 }
 
 /// Opens a [`Span`]: `span!("transpile.pass", pass = name)`.
@@ -190,6 +393,9 @@ mod tests {
         assert_eq!(trace[1].depth, 0);
         assert_eq!(trace[1].detail, "layer=a");
         assert!(trace[1].start_us <= trace[0].start_us);
+        // Even without an attached context, parent links connect spans.
+        assert_eq!(trace[0].parent_id, trace[1].span_id);
+        assert_eq!(trace[1].trace_id, 0);
         crate::reset();
         set_enabled(false);
     }
@@ -216,22 +422,83 @@ mod tests {
         {
             let span = crate::span!("test.disabled", ignored = 1);
             assert_eq!(span.elapsed(), Duration::ZERO);
+            assert_eq!(span.span_id(), 0);
         }
         assert!(snapshot_trace().is_empty());
     }
 
     #[test]
-    fn ring_buffer_is_bounded() {
+    fn ring_buffer_is_bounded_and_counts_drops() {
         let _guard = crate::test_lock();
         set_enabled(true);
         crate::reset();
+        assert_eq!(trace_events_dropped(), 0);
         for i in 0..(TRACE_CAPACITY + 10) {
             let _span = crate::span!("test.flood", index = i);
         }
         let trace = drain_trace();
         assert_eq!(trace.len(), TRACE_CAPACITY);
-        // The oldest events were dropped.
+        // The oldest events were dropped, and the loss is counted.
         assert_eq!(trace[0].detail, "index=10");
+        assert_eq!(trace_events_dropped(), 10);
+        crate::reset();
+        assert_eq!(trace_events_dropped(), 0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn contexts_attach_propagate_and_restore() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        assert_eq!(TraceContext::current(), None);
+        let root = TraceContext::mint();
+        assert_eq!(root.span_id, root.trace_id);
+        {
+            let _attached = root.attach();
+            assert_eq!(TraceContext::current(), Some(root));
+            {
+                let _span = crate::span!("test.ctx.child");
+                // The open span became the current parent.
+                let inner = TraceContext::current().expect("context");
+                assert_eq!(inner.trace_id, root.trace_id);
+                assert_ne!(inner.span_id, root.span_id);
+            }
+            assert_eq!(TraceContext::current(), Some(root));
+        }
+        assert_eq!(TraceContext::current(), None);
+        let trace = drain_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].trace_id, root.trace_id);
+        assert_eq!(trace[0].parent_id, root.span_id);
+        assert_ne!(trace[0].span_id, 0);
+        crate::reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn minted_ids_are_unique_nonzero_and_json_safe() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(id < (1 << 53), "id fits in an f64 mantissa");
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn record_span_at_clamps_pre_epoch_starts() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        crate::reset();
+        let early = Instant::now();
+        record_span_at("test.manual", "k=v", 7, 9, 0, 0, early, Duration::from_micros(25));
+        let trace = drain_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].trace_id, 7);
+        assert_eq!(trace[0].span_id, 9);
+        assert_eq!(trace[0].duration_us, 25);
         crate::reset();
         set_enabled(false);
     }

@@ -1,0 +1,300 @@
+//! Per-trace span trees assembled from the ring buffer, and tail-latency
+//! trace sampling.
+//!
+//! The ring buffer stores completed spans flat, in completion order, from
+//! every thread at once. [`assemble_trees`] regroups them into one tree
+//! per trace id using the explicit `span_id`/`parent_id` links (never the
+//! per-thread depth, which interleaves across threads). When a parent was
+//! evicted from the bounded buffer the orphaned subtree is promoted to an
+//! extra root and the tree is marked [`SpanTree::partial`] — a truthful
+//! partial waterfall instead of a silently mis-nested one.
+
+use crate::span::TraceEvent;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One span plus the spans it caused, sorted by start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The completed span.
+    pub event: TraceEvent,
+    /// Child spans, ascending by `start_us`.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(event: TraceEvent) -> Self {
+        Self { event, children: Vec::new() }
+    }
+
+    /// Total number of spans in this subtree (including this one).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+}
+
+/// All recorded spans of one trace, nested by causal links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// The trace these spans share (0 = spans recorded with no context).
+    pub trace_id: u64,
+    /// Top-level spans: true roots (`parent_id == 0`) plus any orphans
+    /// whose parent was evicted, ascending by `start_us`.
+    pub roots: Vec<SpanNode>,
+    /// `true` when at least one span's parent is missing from the buffer
+    /// (evicted or still open), so the tree is a truncated view.
+    pub partial: bool,
+}
+
+impl SpanTree {
+    /// Total number of spans in the tree.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(SpanNode::span_count).sum()
+    }
+
+    /// Wall-clock extent of the tree: the longest root duration.
+    pub fn duration(&self) -> Duration {
+        let longest = self.roots.iter().map(|r| r.event.duration_us).max().unwrap_or(0);
+        Duration::from_micros(longest)
+    }
+
+    /// Depth-first walk over every span in the tree.
+    pub fn walk(&self, mut visit: impl FnMut(&SpanNode, usize)) {
+        fn go(node: &SpanNode, level: usize, visit: &mut impl FnMut(&SpanNode, usize)) {
+            visit(node, level);
+            for child in &node.children {
+                go(child, level + 1, visit);
+            }
+        }
+        for root in &self.roots {
+            go(root, 0, &mut visit);
+        }
+    }
+
+    /// The first span (depth-first) whose name matches, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        fn go<'a>(node: &'a SpanNode, name: &str) -> Option<&'a SpanNode> {
+            if node.event.name == name {
+                return Some(node);
+            }
+            node.children.iter().find_map(|child| go(child, name))
+        }
+        self.roots.iter().find_map(|root| go(root, name))
+    }
+}
+
+/// Groups ring-buffer events into one [`SpanTree`] per trace id, ascending
+/// by trace id (the 0 "untraced" group first when present).
+///
+/// Events whose `span_id` is 0 (pre-tracing snapshots) cannot be linked
+/// and are reported as roots of the untraced group.
+pub fn assemble_trees(events: &[TraceEvent]) -> Vec<SpanTree> {
+    let mut by_trace: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        by_trace.entry(event.trace_id).or_default().push(event);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace_id, group)| {
+            let present: HashSet<u64> =
+                group.iter().map(|e| e.span_id).filter(|&id| id != 0).collect();
+            let mut partial = false;
+            // Children grouped under each present parent; everything else
+            // (true roots, orphans, unlinkable legacy events) is a root.
+            let mut children_of: BTreeMap<u64, Vec<SpanNode>> = BTreeMap::new();
+            let mut roots: Vec<SpanNode> = Vec::new();
+            for event in group {
+                let node = SpanNode::new(event.clone());
+                if event.parent_id != 0 && present.contains(&event.parent_id) {
+                    children_of.entry(event.parent_id).or_default().push(node);
+                } else {
+                    if event.parent_id != 0 {
+                        partial = true;
+                    }
+                    roots.push(node);
+                }
+            }
+            fn attach(node: &mut SpanNode, children_of: &mut BTreeMap<u64, Vec<SpanNode>>) {
+                if let Some(mut children) = children_of.remove(&node.event.span_id) {
+                    for child in &mut children {
+                        attach(child, children_of);
+                    }
+                    children.sort_by_key(|c| c.event.start_us);
+                    node.children = children;
+                }
+            }
+            for root in &mut roots {
+                attach(root, &mut children_of);
+            }
+            // Cycles (corrupt ids) would leave entries behind; surface
+            // them as partial roots rather than dropping spans.
+            if !children_of.is_empty() {
+                partial = true;
+                for (_, orphans) in std::mem::take(&mut children_of) {
+                    roots.extend(orphans);
+                }
+            }
+            roots.sort_by_key(|r| r.event.start_us);
+            SpanTree { trace_id, roots, partial }
+        })
+        .collect()
+}
+
+/// Tail-latency exemplar selection: keeps the full span tree of every
+/// trace slower than `threshold`, plus a deterministic 1-in-N sample of
+/// the rest. Selection state is a plain counter — no clock, no RNG — so
+/// repeated runs with the same job stream keep the same exemplars.
+#[derive(Debug)]
+pub struct TraceSampler {
+    threshold: Duration,
+    sample_every: u64,
+    seen: AtomicU64,
+}
+
+impl TraceSampler {
+    /// `threshold`: keep every trace at least this slow. `sample_every`:
+    /// additionally keep every Nth trace regardless of speed (0 disables
+    /// the 1-in-N stream).
+    pub fn new(threshold: Duration, sample_every: u64) -> Self {
+        Self { threshold, sample_every, seen: AtomicU64::new(0) }
+    }
+
+    /// Keep everything: zero threshold (every trace qualifies as slow).
+    pub fn keep_all() -> Self {
+        Self::new(Duration::ZERO, 1)
+    }
+
+    /// Whether a trace of this duration is kept. Advances the 1-in-N
+    /// counter, so call exactly once per trace.
+    pub fn should_keep(&self, duration: Duration) -> bool {
+        let nth = self.seen.fetch_add(1, Ordering::Relaxed);
+        if duration >= self.threshold {
+            return true;
+        }
+        self.sample_every > 0 && nth.is_multiple_of(self.sample_every)
+    }
+
+    /// Filters assembled trees, keeping slow traces and the 1-in-N
+    /// sample. The untraced group (trace id 0) is always kept: it holds
+    /// spans that belong to no job and has no single duration.
+    pub fn select(&self, trees: Vec<SpanTree>) -> Vec<SpanTree> {
+        trees
+            .into_iter()
+            .filter(|tree| tree.trace_id == 0 || self.should_keep(tree.duration()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(trace: u64, span: u64, parent: u64, start: u64, dur: u64, name: &str) -> TraceEvent {
+        TraceEvent {
+            name: name.to_owned(),
+            detail: String::new(),
+            depth: 0,
+            start_us: start,
+            duration_us: dur,
+            trace_id: trace,
+            span_id: span,
+            parent_id: parent,
+        }
+    }
+
+    #[test]
+    fn assembles_nested_trees_per_trace() {
+        // Two traces interleaved in completion order, children first.
+        let events = vec![
+            event(1, 11, 10, 5, 10, "a.child1"),
+            event(2, 21, 20, 7, 3, "b.child"),
+            event(1, 12, 10, 20, 4, "a.child2"),
+            event(1, 13, 12, 21, 2, "a.grandchild"),
+            event(1, 10, 0, 0, 30, "a.root"),
+            event(2, 20, 0, 6, 9, "b.root"),
+        ];
+        let trees = assemble_trees(&events);
+        assert_eq!(trees.len(), 2);
+        let a = &trees[0];
+        assert_eq!(a.trace_id, 1);
+        assert!(!a.partial);
+        assert_eq!(a.roots.len(), 1);
+        assert_eq!(a.roots[0].event.name, "a.root");
+        let kids: Vec<&str> = a.roots[0].children.iter().map(|c| c.event.name.as_str()).collect();
+        assert_eq!(kids, ["a.child1", "a.child2"], "children sorted by start");
+        assert_eq!(a.roots[0].children[1].children[0].event.name, "a.grandchild");
+        assert_eq!(a.span_count(), 4);
+        assert_eq!(a.duration(), Duration::from_micros(30));
+        assert_eq!(trees[1].trace_id, 2);
+        assert_eq!(trees[1].span_count(), 2);
+    }
+
+    #[test]
+    fn evicted_parent_yields_partial_tree_not_mis_nesting() {
+        // The parent span (id 10) was evicted from the ring buffer; the
+        // orphan must become a root with partial=true, not get grafted
+        // under some unrelated span.
+        let events = vec![
+            event(1, 11, 10, 5, 10, "orphan"),
+            event(1, 12, 11, 6, 2, "orphan.child"),
+            event(1, 13, 0, 50, 5, "late.root"),
+        ];
+        let trees = assemble_trees(&events);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert!(tree.partial, "missing parent reported");
+        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.roots[0].event.name, "orphan");
+        assert_eq!(tree.roots[0].children[0].event.name, "orphan.child");
+        assert_eq!(tree.roots[1].event.name, "late.root");
+    }
+
+    #[test]
+    fn find_and_walk_traverse_depth_first() {
+        let events = vec![
+            event(1, 10, 0, 0, 30, "root"),
+            event(1, 11, 10, 1, 5, "mid"),
+            event(1, 12, 11, 2, 1, "leaf"),
+        ];
+        let tree = &assemble_trees(&events)[0];
+        assert_eq!(tree.find("leaf").expect("leaf").event.span_id, 12);
+        assert!(tree.find("absent").is_none());
+        let mut seen = Vec::new();
+        tree.walk(|node, level| seen.push((node.event.name.clone(), level)));
+        assert_eq!(
+            seen,
+            vec![("root".to_owned(), 0), ("mid".to_owned(), 1), ("leaf".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn sampler_keeps_slow_traces_and_one_in_n() {
+        let sampler = TraceSampler::new(Duration::from_millis(10), 4);
+        let mut kept = Vec::new();
+        for i in 0..8u64 {
+            // Traces 3 and 7 are slow; the 1-in-4 stream keeps 0 and 4.
+            let duration =
+                if i % 4 == 3 { Duration::from_millis(50) } else { Duration::from_micros(10) };
+            if sampler.should_keep(duration) {
+                kept.push(i);
+            }
+        }
+        assert_eq!(kept, vec![0, 3, 4, 7]);
+        // keep_all keeps everything.
+        let all = TraceSampler::keep_all();
+        assert!(all.should_keep(Duration::ZERO));
+        assert!(all.should_keep(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn select_always_keeps_the_untraced_group() {
+        let trees =
+            assemble_trees(&[event(0, 1, 0, 0, 1, "untraced"), event(5, 5, 0, 0, 1, "fast.root")]);
+        // Threshold high, sampling off: only the untraced group survives.
+        let sampler = TraceSampler::new(Duration::from_secs(1), 0);
+        let kept = sampler.select(trees);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].trace_id, 0);
+    }
+}
