@@ -37,6 +37,7 @@ pub mod density;
 pub mod error;
 pub mod noise;
 pub mod parallel;
+pub mod simd;
 pub mod simulator;
 pub mod stabilizer;
 pub mod statevector;

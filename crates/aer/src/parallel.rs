@@ -16,6 +16,21 @@
 //!   [`qukit_terra::fusion::fuse`], which merges adjacent gates on ≤3
 //!   shared qubits into one dense (or, when possible, diagonal) unitary so
 //!   the state is swept once per group instead of once per gate.
+//! * **SIMD lanes** — the butterfly, diagonal and dense kernels walk the
+//!   state two packed amplitudes at a time through [`crate::simd::F64x4`]
+//!   lane ops that LLVM autovectorizes; the lane formulas perform exactly
+//!   the scalar IEEE-754 operations per element, so `QUKIT_SIMD=off`
+//!   (the scalar fallback, also [`ParallelConfig::simd`] = false) is
+//!   *bit-identical*, not merely close.
+//! * **Cache-blocked phases** — consecutive kernels whose qubit-bit union
+//!   fits in one chunk are applied tile-by-tile: each cache-resident tile
+//!   (a contiguous slice, or a gathered strided block when high qubit
+//!   bits are involved) receives every kernel of the phase before the
+//!   next tile is touched. A target qubit above the chunk boundary thus
+//!   becomes strided-within-tile instead of a full-state gather per gate,
+//!   and a fusion group's gates apply back-to-back from the group's gate
+//!   list without materializing a dense matrix. Tiles are disjoint, so
+//!   blocking changes neither values nor determinism.
 //! * **Batched sampling** — all shots are drawn from the terminal
 //!   distribution via a prefix-sum CDF and binary search, in fixed-size
 //!   batches with per-batch seeded RNG streams. Batch boundaries do not
@@ -24,9 +39,13 @@
 //!
 //! Observability: `qukit_aer_parallel_chunks_total` (work units
 //! processed), `qukit_aer_parallel_worker_seconds` (per-worker busy time,
-//! histogram), plus the fusion counters emitted by `qukit_terra::fusion`.
+//! histogram), per-kernel-kind dispatch counters
+//! (`qukit_aer_kernel_{oneq,controlled,diag,dense}_total`), blocking
+//! counters (`qukit_aer_blocked_{phases,tiles}_total`), plus the fusion
+//! counters emitted by `qukit_terra::fusion`.
 
 use crate::error::{AerError, Result};
+use crate::simd::{complex_mul2, neg_im_vec, simd_default, F64x4};
 use crate::simulator::GateTally;
 use crate::statevector::Statevector;
 use qukit_terra::circuit::QuantumCircuit;
@@ -36,6 +55,7 @@ use qukit_terra::instruction::{Instruction, Operation};
 use qukit_terra::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -68,6 +88,11 @@ pub struct ParallelConfig {
     pub chunk_qubits: usize,
     /// Whether the gate-fusion pre-pass runs before dispatch.
     pub fusion: bool,
+    /// Whether the SIMD lane kernels and cache-blocked phase traversal
+    /// are used (`QUKIT_SIMD`, default on). `false` selects the scalar
+    /// per-kernel sweeps, which produce bit-identical amplitudes — the
+    /// differential-testing fallback.
+    pub simd: bool,
 }
 
 impl Default for ParallelConfig {
@@ -80,17 +105,23 @@ impl ParallelConfig {
     /// Plain serial execution: one thread, no fusion. This reproduces the
     /// legacy engine behavior exactly (same kernels, same RNG stream).
     pub fn serial() -> Self {
-        Self { threads: 1, chunk_qubits: DEFAULT_CHUNK_QUBITS, fusion: false }
+        Self { threads: 1, chunk_qubits: DEFAULT_CHUNK_QUBITS, fusion: false, simd: simd_default() }
     }
 
     /// Parallel execution with `threads` workers and fusion enabled.
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), chunk_qubits: DEFAULT_CHUNK_QUBITS, fusion: true }
+        Self {
+            threads: threads.max(1),
+            chunk_qubits: DEFAULT_CHUNK_QUBITS,
+            fusion: true,
+            simd: simd_default(),
+        }
     }
 
-    /// Reads `QUKIT_THREADS` / `QUKIT_CHUNK_QUBITS` / `QUKIT_FUSION` from
-    /// the environment; unset or unparsable variables fall back to serial
-    /// defaults (fusion defaults to on when `QUKIT_THREADS` > 1).
+    /// Reads `QUKIT_THREADS` / `QUKIT_CHUNK_QUBITS` / `QUKIT_FUSION` /
+    /// `QUKIT_SIMD` from the environment; unset or unparsable variables
+    /// fall back to serial defaults (fusion defaults to on when
+    /// `QUKIT_THREADS` > 1; SIMD defaults to on).
     pub fn from_env() -> Self {
         let threads = env_usize("QUKIT_THREADS").unwrap_or(1).max(1);
         let chunk_qubits = env_usize("QUKIT_CHUNK_QUBITS").unwrap_or(DEFAULT_CHUNK_QUBITS);
@@ -98,7 +129,7 @@ impl ParallelConfig {
             Ok(value) => parse_bool_flag(&value).unwrap_or(threads > 1),
             Err(_) => threads > 1,
         };
-        Self { threads, chunk_qubits, fusion }
+        Self { threads, chunk_qubits, fusion, simd: simd_default() }
     }
 
     /// `true` when this config differs from the legacy serial engine, i.e.
@@ -167,6 +198,7 @@ pub(crate) struct ExecStats {
 /// multiplies of the general case, and Rx-type matrices (real diagonal,
 /// purely imaginary off-diagonal) likewise. Classification uses *exact*
 /// zero/one comparisons, so it never perturbs the computed amplitudes.
+#[derive(Clone)]
 enum Butterfly {
     /// X block: swap the pair, no arithmetic.
     Swap,
@@ -196,19 +228,30 @@ impl Butterfly {
     /// `expand(p) | 0` for `p` in `start..end`, with the high index one
     /// `stride` above. Dispatches once, then runs a monomorphized loop.
     ///
+    /// `run` is the guaranteed contiguity window of `expand`: within each
+    /// aligned block of `run` consecutive `p` values, `expand(p + 1) ==
+    /// expand(p) + 1` and bit `log2(stride)` of `expand(p)` stays clear.
+    /// With `simd` set and `run ≥ 2`, pairs are processed two at a time
+    /// through [`F64x4`] lanes; the lane formulas perform exactly the
+    /// scalar ops per element (products commuted, `a - b` as `a + (-b)`),
+    /// so the two paths are bit-identical.
+    ///
     /// # Safety
     ///
     /// Same contract as [`Kernel::apply_unit`]: the `(lo, hi)` index sets
     /// produced for distinct `p` are disjoint and in-bounds.
+    #[allow(clippy::too_many_arguments)]
     unsafe fn sweep(
         &self,
         amps: &RawAmps,
         start: usize,
         end: usize,
         stride: usize,
+        run: usize,
+        simd: bool,
         expand: impl Fn(usize) -> usize,
     ) {
-        unsafe fn run(
+        unsafe fn scalar(
             amps: &RawAmps,
             start: usize,
             end: usize,
@@ -226,22 +269,135 @@ impl Butterfly {
                 amps.write(hi, nb);
             }
         }
+        /// Two pairs per step over the contiguous runs of `expand`, with a
+        /// scalar head/tail inside each run for odd lengths.
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn pairs(
+            amps: &RawAmps,
+            start: usize,
+            end: usize,
+            stride: usize,
+            run: usize,
+            expand: impl Fn(usize) -> usize,
+            fv: impl Fn(F64x4, F64x4) -> (F64x4, F64x4),
+            fs: impl Fn(Complex, Complex) -> (Complex, Complex),
+        ) {
+            let mut p = start;
+            while p < end {
+                let run_end = ((p | (run - 1)) + 1).min(end);
+                let lo0 = expand(p);
+                let n = run_end - p;
+                let mut i = 0;
+                while i + 2 <= n {
+                    let lo = lo0 + i;
+                    let hi = lo | stride;
+                    let (na, nb) = fv(amps.load2(lo), amps.load2(hi));
+                    amps.store2(lo, na);
+                    amps.store2(hi, nb);
+                    i += 2;
+                }
+                while i < n {
+                    let lo = lo0 + i;
+                    let hi = lo | stride;
+                    let (na, nb) = fs(amps.read(lo), amps.read(hi));
+                    amps.write(lo, na);
+                    amps.write(hi, nb);
+                    i += 1;
+                }
+                p = run_end;
+            }
+        }
+        if !simd || run < 2 {
+            return match *self {
+                Butterfly::Swap => scalar(amps, start, end, stride, expand, |a, b| (b, a)),
+                Butterfly::Real([m0, m1, m2, m3]) => {
+                    scalar(amps, start, end, stride, expand, |a, b| {
+                        (
+                            Complex::new(m0 * a.re + m1 * b.re, m0 * a.im + m1 * b.im),
+                            Complex::new(m2 * a.re + m3 * b.re, m2 * a.im + m3 * b.im),
+                        )
+                    })
+                }
+                Butterfly::Cross { d0, o1, o2, d3 } => {
+                    scalar(amps, start, end, stride, expand, |a, b| {
+                        (
+                            Complex::new(d0 * a.re - o1 * b.im, d0 * a.im + o1 * b.re),
+                            Complex::new(d3 * b.re - o2 * a.im, d3 * b.im + o2 * a.re),
+                        )
+                    })
+                }
+                Butterfly::General([m00, m01, m10, m11]) => {
+                    scalar(amps, start, end, stride, expand, |a, b| {
+                        (m00 * a + m01 * b, m10 * a + m11 * b)
+                    })
+                }
+            };
+        }
         match *self {
-            Butterfly::Swap => run(amps, start, end, stride, expand, |a, b| (b, a)),
-            Butterfly::Real([m0, m1, m2, m3]) => run(amps, start, end, stride, expand, |a, b| {
-                (
-                    Complex::new(m0 * a.re + m1 * b.re, m0 * a.im + m1 * b.im),
-                    Complex::new(m2 * a.re + m3 * b.re, m2 * a.im + m3 * b.im),
+            // Swap is pure data movement; the scalar loop already runs at
+            // copy speed.
+            Butterfly::Swap => scalar(amps, start, end, stride, expand, |a, b| (b, a)),
+            Butterfly::Real([m0, m1, m2, m3]) => pairs(
+                amps,
+                start,
+                end,
+                stride,
+                run,
+                expand,
+                |a, b| {
+                    (
+                        a.mul(F64x4::splat(m0)).add(b.mul(F64x4::splat(m1))),
+                        a.mul(F64x4::splat(m2)).add(b.mul(F64x4::splat(m3))),
+                    )
+                },
+                |a, b| {
+                    (
+                        Complex::new(m0 * a.re + m1 * b.re, m0 * a.im + m1 * b.im),
+                        Complex::new(m2 * a.re + m3 * b.re, m2 * a.im + m3 * b.im),
+                    )
+                },
+            ),
+            Butterfly::Cross { d0, o1, o2, d3 } => {
+                let (n1, n2) = (neg_im_vec(o1), neg_im_vec(o2));
+                pairs(
+                    amps,
+                    start,
+                    end,
+                    stride,
+                    run,
+                    expand,
+                    |a, b| {
+                        (
+                            a.mul(F64x4::splat(d0)).add(b.swap_pairs().mul(n1)),
+                            b.mul(F64x4::splat(d3)).add(a.swap_pairs().mul(n2)),
+                        )
+                    },
+                    |a, b| {
+                        (
+                            Complex::new(d0 * a.re - o1 * b.im, d0 * a.im + o1 * b.re),
+                            Complex::new(d3 * b.re - o2 * a.im, d3 * b.im + o2 * a.re),
+                        )
+                    },
                 )
-            }),
-            Butterfly::Cross { d0, o1, o2, d3 } => run(amps, start, end, stride, expand, |a, b| {
-                (
-                    Complex::new(d0 * a.re - o1 * b.im, d0 * a.im + o1 * b.re),
-                    Complex::new(d3 * b.re - o2 * a.im, d3 * b.im + o2 * a.re),
-                )
-            }),
+            }
             Butterfly::General([m00, m01, m10, m11]) => {
-                run(amps, start, end, stride, expand, |a, b| (m00 * a + m01 * b, m10 * a + m11 * b))
+                let (n00, n01) = (neg_im_vec(m00.im), neg_im_vec(m01.im));
+                let (n10, n11) = (neg_im_vec(m10.im), neg_im_vec(m11.im));
+                pairs(
+                    amps,
+                    start,
+                    end,
+                    stride,
+                    run,
+                    expand,
+                    |a, b| {
+                        (
+                            complex_mul2(a, m00.re, n00).add(complex_mul2(b, m01.re, n01)),
+                            complex_mul2(a, m10.re, n10).add(complex_mul2(b, m11.re, n11)),
+                        )
+                    },
+                    |a, b| (m00 * a + m01 * b, m10 * a + m11 * b),
+                )
             }
         }
     }
@@ -249,6 +405,7 @@ impl Butterfly {
 
 /// One dispatched operation, pre-lowered from a [`FusedOp`] for the hot
 /// loop: matrices flattened, operand masks precomputed.
+#[derive(Clone)]
 enum Kernel {
     /// 2×2 on one qubit (pair update, no gather buffer).
     OneQ { b: Butterfly, q: usize },
@@ -261,7 +418,10 @@ enum Kernel {
     /// Diagonal unitary: one multiply per amplitude.
     Diag { factors: Vec<Complex>, qubits: Vec<usize> },
     /// Dense k-qubit unitary via gather/scatter over base indices.
-    Dense { mat: Vec<Complex>, sorted: Vec<usize>, offsets: Vec<usize> },
+    /// `qubits` keeps the operand order matching the matrix's bit order
+    /// (needed to re-derive `offsets` when the kernel is remapped into a
+    /// cache tile); `sorted`/`offsets` are the precomputed traversal form.
+    Dense { mat: Vec<Complex>, qubits: Vec<usize>, sorted: Vec<usize>, offsets: Vec<usize> },
 }
 
 impl Kernel {
@@ -270,6 +430,42 @@ impl Kernel {
             Kernel::OneQ { .. } | Kernel::Controlled { .. } => 2,
             Kernel::Diag { factors, .. } => factors.len(),
             Kernel::Dense { offsets, .. } => offsets.len(),
+        }
+    }
+
+    /// Bit mask of every state-index bit this kernel touches or reads.
+    fn bits(&self) -> usize {
+        match self {
+            Kernel::OneQ { q, .. } => 1usize << q,
+            Kernel::Controlled { inserts, q, .. } => {
+                inserts.iter().fold(1usize << q, |m, &(bit, _)| m | (1usize << bit))
+            }
+            Kernel::Diag { qubits, .. } | Kernel::Dense { qubits, .. } => {
+                qubits.iter().fold(0usize, |m, &q| m | (1usize << q))
+            }
+        }
+    }
+
+    /// Rewrites every qubit-bit index through `pos` (global bit → position
+    /// inside a cache tile). `pos` is strictly monotonic over the bits this
+    /// kernel uses, so sorted invariants (`inserts`, `sorted`) survive.
+    fn remap(&self, pos: &dyn Fn(usize) -> usize) -> Kernel {
+        match self {
+            Kernel::OneQ { b, q } => Kernel::OneQ { b: b.clone(), q: pos(*q) },
+            Kernel::Controlled { b, inserts, q } => Kernel::Controlled {
+                b: b.clone(),
+                inserts: inserts.iter().map(|&(bit, value)| (pos(bit), value)).collect(),
+                q: pos(*q),
+            },
+            Kernel::Diag { factors, qubits } => Kernel::Diag {
+                factors: factors.clone(),
+                qubits: qubits.iter().map(|&q| pos(q)).collect(),
+            },
+            Kernel::Dense { mat, qubits, .. } => {
+                let local: Vec<usize> = qubits.iter().map(|&q| pos(q)).collect();
+                let (sorted, offsets) = dense_layout(&local);
+                Kernel::Dense { mat: mat.clone(), qubits: local, sorted, offsets }
+            }
         }
     }
 
@@ -307,6 +503,7 @@ impl Kernel {
         len: usize,
         chunk_len: usize,
         unit: usize,
+        simd: bool,
         scratch: &mut [Complex],
     ) {
         match self {
@@ -316,8 +513,12 @@ impl Kernel {
                 let unit_len = (chunk_len >> 1).max(1);
                 let start = unit * unit_len;
                 let end = (start + unit_len).min(half);
-                // Insert a 0 bit at position q to get the low pair index.
-                b.sweep(amps, start, end, stride, |p| ((p >> q) << (q + 1)) | (p & (stride - 1)));
+                // Insert a 0 bit at position q to get the low pair index;
+                // the low `q` bits pass through, so `expand` is contiguous
+                // over aligned runs of `stride` counter values.
+                b.sweep(amps, start, end, stride, stride, simd, |p| {
+                    ((p >> q) << (q + 1)) | (p & (stride - 1))
+                });
             }
             Kernel::Controlled { b, inserts, q } => {
                 let stride = 1usize << q;
@@ -325,9 +526,12 @@ impl Kernel {
                 let unit_len = (chunk_len >> inserts.len()).max(1);
                 let start = unit * unit_len;
                 let end = (start + unit_len).min(count);
+                // Bits below the lowest inserted bit pass through, so
+                // `expand` is contiguous over runs of that length.
+                let run = 1usize << inserts[0].0;
                 // Expand the compact counter: insert the target bit as 0
                 // and every control bit as 1, lowest position first.
-                b.sweep(amps, start, end, stride, |p| {
+                b.sweep(amps, start, end, stride, run, simd, |p| {
                     let mut lo = p;
                     for &(bit, value) in inserts {
                         lo = ((lo >> bit) << (bit + 1))
@@ -340,15 +544,44 @@ impl Kernel {
             Kernel::Diag { factors, qubits } => {
                 let start = unit * chunk_len;
                 let end = (start + chunk_len).min(len);
-                for idx in start..end {
+                if !simd {
+                    for idx in start..end {
+                        let mut f = 0usize;
+                        for (t, &q) in qubits.iter().enumerate() {
+                            f |= ((idx >> q) & 1) << t;
+                        }
+                        amps.write(idx, amps.read(idx) * factors[f]);
+                    }
+                    return;
+                }
+                // The factor index only depends on bits ≥ the lowest
+                // operand qubit: hoist the factor over each aligned run
+                // and stream the run through the lanes. `amp * f` is
+                // reproduced exactly by `complex_mul2`.
+                let run = qubits.iter().min().map_or(usize::MAX, |&q| 1usize << q);
+                let mut idx = start;
+                while idx < end {
+                    let run_end =
+                        if run == usize::MAX { end } else { ((idx | (run - 1)) + 1).min(end) };
                     let mut f = 0usize;
                     for (t, &q) in qubits.iter().enumerate() {
                         f |= ((idx >> q) & 1) << t;
                     }
-                    amps.write(idx, amps.read(idx) * factors[f]);
+                    let factor = factors[f];
+                    let weights = neg_im_vec(factor.im);
+                    let mut i = idx;
+                    while i + 2 <= run_end {
+                        amps.store2(i, complex_mul2(amps.load2(i), factor.re, weights));
+                        i += 2;
+                    }
+                    while i < run_end {
+                        amps.write(i, amps.read(i) * factor);
+                        i += 1;
+                    }
+                    idx = run_end;
                 }
             }
-            Kernel::Dense { mat, sorted, offsets } => {
+            Kernel::Dense { mat, sorted, offsets, .. } => {
                 let dim = offsets.len();
                 let k = dim.trailing_zeros() as usize;
                 let bases = len >> k;
@@ -364,13 +597,35 @@ impl Kernel {
                     for (j, slot) in scratch[..dim].iter_mut().enumerate() {
                         *slot = amps.read(base | offsets[j]);
                     }
-                    for (j, &offset) in offsets.iter().enumerate() {
-                        let mut acc = Complex::ZERO;
-                        let row = &mat[j * dim..(j + 1) * dim];
-                        for (value, amp) in row.iter().zip(scratch[..dim].iter()) {
-                            acc += *value * *amp;
+                    if simd {
+                        // Two output rows share one pass over the gathered
+                        // column; per-row accumulation order matches the
+                        // scalar loop exactly (`dim` is even: k ≥ 2).
+                        let mut j = 0;
+                        while j + 2 <= dim {
+                            let r0 = &mat[j * dim..(j + 1) * dim];
+                            let r1 = &mat[(j + 1) * dim..(j + 2) * dim];
+                            let mut acc = F64x4([0.0; 4]);
+                            for (c, amp) in scratch[..dim].iter().enumerate() {
+                                let (m0, m1) = (r0[c], r1[c]);
+                                let s = F64x4([amp.re, amp.im, amp.re, amp.im]);
+                                let re = F64x4([m0.re, m0.re, m1.re, m1.re]);
+                                let im = F64x4([-m0.im, m0.im, -m1.im, m1.im]);
+                                acc = acc.add(s.mul(re).add(s.swap_pairs().mul(im)));
+                            }
+                            amps.write(base | offsets[j], Complex::new(acc.0[0], acc.0[1]));
+                            amps.write(base | offsets[j + 1], Complex::new(acc.0[2], acc.0[3]));
+                            j += 2;
                         }
-                        amps.write(base | offset, acc);
+                    } else {
+                        for (j, &offset) in offsets.iter().enumerate() {
+                            let mut acc = Complex::ZERO;
+                            let row = &mat[j * dim..(j + 1) * dim];
+                            for (value, amp) in row.iter().zip(scratch[..dim].iter()) {
+                                acc += *value * *amp;
+                            }
+                            amps.write(base | offset, acc);
+                        }
                     }
                 }
             }
@@ -400,6 +655,22 @@ impl RawAmps {
     unsafe fn write(&self, i: usize, v: Complex) {
         *self.ptr.add(i) = v;
     }
+
+    /// Loads amplitudes `i`, `i + 1` as `[re₀, im₀, re₁, im₁]` lanes.
+    /// Built from field reads — no layout assumption on `Complex`.
+    #[inline(always)]
+    unsafe fn load2(&self, i: usize) -> F64x4 {
+        let a = self.read(i);
+        let b = self.read(i + 1);
+        F64x4([a.re, a.im, b.re, b.im])
+    }
+
+    /// Stores `[re₀, im₀, re₁, im₁]` lanes back to amplitudes `i`, `i + 1`.
+    #[inline(always)]
+    unsafe fn store2(&self, i: usize, v: F64x4) {
+        self.write(i, Complex::new(v.0[0], v.0[1]));
+        self.write(i + 1, Complex::new(v.0[2], v.0[3]));
+    }
 }
 
 /// Lowers a fused program into kernels over a state whose qubit `q` lives
@@ -423,6 +694,19 @@ fn lower_program(
             }
             FusedOp::Unitary { matrix, qubits, .. } => {
                 kernels.push(gate_kernel(matrix, qubits, shift, conjugate));
+            }
+            // A fusion group kept as its member gate list: lower each
+            // member to its specialized kernel, in program order. The
+            // cache-blocked executor then applies the whole run per tile —
+            // one memory pass — without ever materializing the dense
+            // merged matrix. (For the conjugated density-matrix column
+            // side this order is still correct: applying conj(g₁), then
+            // conj(g₂), … on the column bits computes ρ·g₁†·g₂†… = ρU†.)
+            FusedOp::Group { insts, .. } => {
+                for inst in insts {
+                    let gate = inst.as_gate().expect("fusion groups hold plain gates");
+                    kernels.push(gate_kernel(&gate.matrix(), &inst.qubits, shift, conjugate));
+                }
             }
             FusedOp::Passthrough(inst) => match &inst.op {
                 Operation::Gate(g) if inst.condition.is_none() => {
@@ -477,42 +761,226 @@ fn gate_kernel(matrix: &Matrix, qubits: &[usize], shift: usize, conjugate: bool)
 
 fn dense_kernel(matrix: &Matrix, qubits: &[usize], shift: usize, conjugate: bool) -> Kernel {
     let shifted: Vec<usize> = qubits.iter().map(|&q| q + shift).collect();
-    let dim = matrix.rows();
+    let (sorted, offsets) = dense_layout(&shifted);
+    let mat = matrix.as_slice().iter().map(|&c| if conjugate { c.conj() } else { c }).collect();
+    Kernel::Dense { mat, qubits: shifted, sorted, offsets }
+}
+
+/// Precomputes the traversal form of a dense kernel over `qubits` (operand
+/// order = matrix bit order): the sorted bit list used to expand base
+/// indices, and the `2^k` index offsets of the gathered block.
+fn dense_layout(qubits: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let dim = 1usize << qubits.len();
     let mut offsets = vec![0usize; dim];
     for (j, offset) in offsets.iter_mut().enumerate() {
-        for (t, &q) in shifted.iter().enumerate() {
+        for (t, &q) in qubits.iter().enumerate() {
             if (j >> t) & 1 == 1 {
                 *offset |= 1 << q;
             }
         }
     }
-    let mut sorted = shifted.clone();
+    let mut sorted = qubits.to_vec();
     sorted.sort_unstable();
-    let mat = matrix.as_slice().iter().map(|&c| if conjugate { c.conj() } else { c }).collect();
-    Kernel::Dense { mat, sorted, offsets }
+    (sorted, offsets)
+}
+
+/// One phase of a planned kernel pass. Consecutive kernels whose qubit-bit
+/// union fits in a chunk-sized tile are applied *per tile* (every kernel of
+/// the phase runs over one cache-resident tile before the next tile is
+/// touched), turning k full-state sweeps into one. Kernels that cannot be
+/// tiled keep the legacy one-kernel-per-pass schedule.
+enum PhasePlan {
+    /// Legacy schedule: kernel `i` with its own work-unit split.
+    Direct(usize),
+    /// All union bits below the chunk boundary: tiles are the contiguous
+    /// `chunk_len` slices of the state, and the kernels' global bit
+    /// indices are valid as slice-local indices unchanged.
+    Slices { range: Range<usize> },
+    /// Union includes bits at or above the chunk boundary: each tile is
+    /// gathered into a scratch block (strided by `spread`), the bit-wise
+    /// remapped `local` kernels run on it as a miniature state, and the
+    /// block is scattered back.
+    Tiles { bits: Vec<usize>, spread: Vec<usize>, local: Vec<Kernel> },
+}
+
+impl PhasePlan {
+    /// Number of independent work units in this phase.
+    fn unit_count(&self, kernels: &[Kernel], len: usize, chunk_len: usize) -> usize {
+        match self {
+            PhasePlan::Direct(i) => kernels[*i].unit_count(len, chunk_len),
+            PhasePlan::Slices { .. } => len / chunk_len,
+            PhasePlan::Tiles { bits, .. } => len >> bits.len(),
+        }
+    }
+
+    /// Applies work unit `unit` of this phase.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Kernel::apply_unit`], lifted to phases: distinct
+    /// units touch disjoint index sets (slices and tiles partition the
+    /// state; every kernel of the phase only moves amplitude within one
+    /// tile because its bit mask is a subset of the tile bits), and all
+    /// units of one phase must complete before the next phase starts.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn apply_unit(
+        &self,
+        kernels: &[Kernel],
+        amps: &RawAmps,
+        len: usize,
+        chunk_len: usize,
+        unit: usize,
+        simd: bool,
+        scratch: &mut [Complex],
+        tile: &mut [Complex],
+    ) {
+        match self {
+            PhasePlan::Direct(i) => {
+                kernels[*i].apply_unit(amps, len, chunk_len, unit, simd, scratch);
+            }
+            PhasePlan::Slices { range } => {
+                let slice = RawAmps { ptr: amps.ptr.add(unit * chunk_len) };
+                for kernel in &kernels[range.clone()] {
+                    // One unit covers the whole slice for every kernel
+                    // shape when `len == chunk_len`.
+                    kernel.apply_unit(&slice, chunk_len, chunk_len, 0, simd, scratch);
+                }
+            }
+            PhasePlan::Tiles { bits, spread, local } => {
+                let tile_len = 1usize << bits.len();
+                // Insert a 0 at each tile bit (ascending) to get the base
+                // index of tile `unit` — the bit-insertion expansion used
+                // by the controlled kernel.
+                let mut base = unit;
+                for &b in bits {
+                    base = ((base >> b) << (b + 1)) | (base & ((1usize << b) - 1));
+                }
+                let block = &mut tile[..tile_len];
+                for (j, slot) in block.iter_mut().enumerate() {
+                    *slot = amps.read(base | spread[j]);
+                }
+                let raw = RawAmps { ptr: block.as_mut_ptr() };
+                for kernel in local {
+                    kernel.apply_unit(&raw, tile_len, tile_len, 0, simd, scratch);
+                }
+                for (j, slot) in block.iter().enumerate() {
+                    amps.write(base | spread[j], *slot);
+                }
+            }
+        }
+    }
+}
+
+/// Greedily groups consecutive kernels into cache-blocked phases: a phase
+/// grows while the union of kernel bit masks stays within `chunk_qubits`
+/// bits. Only multi-kernel groups are blocked (a lone kernel gains nothing
+/// from a tile pass), and blocking is skipped entirely for single-chunk
+/// states or with SIMD/blocking disabled — reproducing the legacy
+/// kernel-at-a-time schedule exactly.
+fn plan_phases(kernels: &[Kernel], len: usize, chunk_len: usize, simd: bool) -> Vec<PhasePlan> {
+    if !simd || len <= chunk_len {
+        return (0..kernels.len()).map(PhasePlan::Direct).collect();
+    }
+    let chunk_qubits = chunk_len.trailing_zeros() as usize;
+    let n_bits = len.trailing_zeros() as usize;
+    let mut plans = Vec::new();
+    let flush = |plans: &mut Vec<PhasePlan>, start: usize, end: usize, mask: usize| {
+        match end.saturating_sub(start) {
+            0 => {}
+            1 => plans.push(PhasePlan::Direct(start)),
+            _ if mask < chunk_len => plans.push(PhasePlan::Slices { range: start..end }),
+            _ => {
+                // Tile bits: the union mask, padded with the lowest free
+                // bits up to a full chunk so gathers read long contiguous
+                // runs and the tile amortizes its gather/scatter cost.
+                let mut bits: Vec<usize> = (0..n_bits).filter(|&b| (mask >> b) & 1 == 1).collect();
+                let mut pad = 0usize;
+                while bits.len() < chunk_qubits && pad < n_bits {
+                    if (mask >> pad) & 1 == 0 {
+                        bits.push(pad);
+                    }
+                    pad += 1;
+                }
+                bits.sort_unstable();
+                let pos =
+                    |q: usize| bits.iter().position(|&b| b == q).expect("kernel bit inside tile");
+                let local: Vec<Kernel> =
+                    kernels[start..end].iter().map(|k| k.remap(&pos)).collect();
+                let tile_len = 1usize << bits.len();
+                let mut spread = vec![0usize; tile_len];
+                for (j, s) in spread.iter_mut().enumerate() {
+                    for (t, &b) in bits.iter().enumerate() {
+                        if (j >> t) & 1 == 1 {
+                            *s |= 1usize << b;
+                        }
+                    }
+                }
+                plans.push(PhasePlan::Tiles { bits, spread, local });
+            }
+        }
+    };
+    let mut start = 0usize;
+    let mut mask = 0usize;
+    for (i, kernel) in kernels.iter().enumerate() {
+        let kmask = kernel.bits();
+        if (kmask.count_ones() as usize) > chunk_qubits {
+            // Wider than a tile (tiny test chunks): legacy schedule.
+            flush(&mut plans, start, i, mask);
+            plans.push(PhasePlan::Direct(i));
+            start = i + 1;
+            mask = 0;
+            continue;
+        }
+        if start == i || ((mask | kmask).count_ones() as usize) <= chunk_qubits {
+            mask |= kmask;
+        } else {
+            flush(&mut plans, start, i, mask);
+            start = i;
+            mask = kmask;
+        }
+    }
+    flush(&mut plans, start, kernels.len(), mask);
+    plans
 }
 
 /// Applies a kernel list to the amplitude array, serially or with a
-/// scoped barrier-synchronized worker pool.
+/// scoped barrier-synchronized worker pool, after planning the kernels
+/// into cache-blocked phases.
 fn apply_kernels(state: &mut [Complex], kernels: &[Kernel], config: &ParallelConfig) -> ExecStats {
     let len = state.len();
     let chunk_len = config.chunk_len();
     let threads = config.effective_threads(len);
+    let simd = config.simd;
     let scratch_dim = kernels.iter().map(Kernel::dim).max().unwrap_or(1);
     let mut stats = ExecStats::default();
     if kernels.is_empty() {
         return stats;
     }
+    let plans = plan_phases(kernels, len, chunk_len, simd);
+    let tile_len =
+        if plans.iter().any(|p| matches!(p, PhasePlan::Tiles { .. })) { chunk_len } else { 0 };
 
     let amps = RawAmps { ptr: state.as_mut_ptr() };
     if threads <= 1 {
         let start = Instant::now();
         let mut scratch = vec![Complex::ZERO; scratch_dim];
-        for kernel in kernels {
-            for unit in 0..kernel.unit_count(len, chunk_len) {
+        let mut tile = vec![Complex::ZERO; tile_len];
+        for plan in &plans {
+            for unit in 0..plan.unit_count(kernels, len, chunk_len) {
                 // SAFETY: single-threaded — units run one at a time over
                 // the exclusively borrowed `state`.
-                unsafe { kernel.apply_unit(&amps, len, chunk_len, unit, &mut scratch) };
+                unsafe {
+                    plan.apply_unit(
+                        kernels,
+                        &amps,
+                        len,
+                        chunk_len,
+                        unit,
+                        simd,
+                        &mut scratch,
+                        &mut tile,
+                    )
+                };
                 stats.chunks += 1;
             }
         }
@@ -521,25 +989,36 @@ fn apply_kernels(state: &mut [Complex], kernels: &[Kernel], config: &ParallelCon
         let barrier = Barrier::new(threads);
         let amps_ref = &amps;
         let barrier_ref = &barrier;
+        let plans_ref = &plans;
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
                         let start = Instant::now();
                         let mut scratch = vec![Complex::ZERO; scratch_dim];
+                        let mut tile = vec![Complex::ZERO; tile_len];
                         let mut chunks = 0u64;
-                        for kernel in kernels {
-                            let units = kernel.unit_count(len, chunk_len);
+                        for plan in plans_ref {
+                            let units = plan.unit_count(kernels, len, chunk_len);
                             let mut unit = w;
                             while unit < units {
                                 // SAFETY: workers claim units in stride
                                 // `threads` starting at distinct offsets,
                                 // so no unit is processed twice; units of
-                                // one kernel touch disjoint index sets;
-                                // the barrier below orders one kernel's
-                                // writes before the next kernel's reads.
+                                // one phase touch disjoint index sets; the
+                                // barrier below orders one phase's writes
+                                // before the next phase's reads.
                                 unsafe {
-                                    kernel.apply_unit(amps_ref, len, chunk_len, unit, &mut scratch)
+                                    plan.apply_unit(
+                                        kernels,
+                                        amps_ref,
+                                        len,
+                                        chunk_len,
+                                        unit,
+                                        simd,
+                                        &mut scratch,
+                                        &mut tile,
+                                    )
                                 };
                                 chunks += 1;
                                 unit += threads;
@@ -560,6 +1039,29 @@ fn apply_kernels(state: &mut [Complex], kernels: &[Kernel], config: &ParallelCon
                 std::time::Duration::from_secs_f64(seconds),
             );
         }
+    }
+    let mut kinds = [0u64; 4];
+    for kernel in kernels {
+        match kernel {
+            Kernel::OneQ { .. } => kinds[0] += 1,
+            Kernel::Controlled { .. } => kinds[1] += 1,
+            Kernel::Diag { .. } => kinds[2] += 1,
+            Kernel::Dense { .. } => kinds[3] += 1,
+        }
+    }
+    qukit_obs::counter_add("qukit_aer_kernel_oneq_total", kinds[0]);
+    qukit_obs::counter_add("qukit_aer_kernel_controlled_total", kinds[1]);
+    qukit_obs::counter_add("qukit_aer_kernel_diag_total", kinds[2]);
+    qukit_obs::counter_add("qukit_aer_kernel_dense_total", kinds[3]);
+    let blocked = plans.iter().filter(|plan| !matches!(plan, PhasePlan::Direct(_))).count() as u64;
+    if blocked > 0 {
+        let tiles: u64 = plans
+            .iter()
+            .filter(|plan| !matches!(plan, PhasePlan::Direct(_)))
+            .map(|plan| plan.unit_count(kernels, len, chunk_len) as u64)
+            .sum();
+        qukit_obs::counter_add("qukit_aer_blocked_phases_total", blocked);
+        qukit_obs::counter_add("qukit_aer_blocked_tiles_total", tiles);
     }
     qukit_obs::counter_add("qukit_aer_parallel_chunks_total", stats.chunks);
     stats
@@ -705,6 +1207,7 @@ impl ParallelStatevectorSimulator {
             qubits = circuit.num_qubits(),
             threads = self.config.threads,
             fusion = if self.config.fusion { "on" } else { "off" },
+            simd = if self.config.simd { "on" } else { "off" },
         );
         qukit_obs::counter_inc("qukit_aer_parallel_runs_total");
         let mut gates: Vec<Instruction> = Vec::new();
@@ -780,18 +1283,20 @@ mod tests {
             let expect = reference_state(&gates, n);
             for threads in [1usize, 2, 4] {
                 for fusion in [false, true] {
-                    // Tiny chunks force real multi-chunk scheduling even on
-                    // small states.
-                    let config = ParallelConfig { threads, chunk_qubits: 2, fusion };
-                    let mut amps = vec![Complex::ZERO; 1 << n];
-                    amps[0] = Complex::ONE;
-                    let mut tally = GateTally::default();
-                    evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
-                    for (a, e) in amps.iter().zip(&expect) {
-                        assert!(
-                            (*a - *e).norm() < 1e-10,
-                            "threads={threads} fusion={fusion}: {a:?} vs {e:?}"
-                        );
+                    for simd in [false, true] {
+                        // Tiny chunks force real multi-chunk scheduling even
+                        // on small states.
+                        let config = ParallelConfig { threads, chunk_qubits: 2, fusion, simd };
+                        let mut amps = vec![Complex::ZERO; 1 << n];
+                        amps[0] = Complex::ONE;
+                        let mut tally = GateTally::default();
+                        evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                        for (a, e) in amps.iter().zip(&expect) {
+                            assert!(
+                                (*a - *e).norm() < 1e-10,
+                                "threads={threads} fusion={fusion} simd={simd}: {a:?} vs {e:?}"
+                            );
+                        }
                     }
                 }
             }
@@ -809,7 +1314,7 @@ mod tests {
         let expect = reference_state(&gates, n);
         for threads in [1usize, 3] {
             for fusion in [false, true] {
-                let config = ParallelConfig { threads, chunk_qubits: 1, fusion };
+                let config = ParallelConfig { threads, chunk_qubits: 1, fusion, simd: true };
                 let mut amps = vec![Complex::ZERO; 1 << n];
                 amps[0] = Complex::ONE;
                 let mut tally = GateTally::default();
@@ -825,20 +1330,120 @@ mod tests {
     }
 
     #[test]
-    fn parallel_execution_is_bit_identical_across_thread_and_chunk_counts() {
+    fn parallel_execution_is_bit_identical_across_thread_chunk_and_simd_configs() {
         let n = 6;
         let gates = random_gates(5, n, 60);
-        let run = |threads, chunk_qubits| {
-            let config = ParallelConfig { threads, chunk_qubits, fusion: true };
+        let run = |threads, chunk_qubits, simd| {
+            let config = ParallelConfig { threads, chunk_qubits, fusion: true, simd };
             let mut amps = vec![Complex::ZERO; 1 << n];
             amps[0] = Complex::ONE;
             let mut tally = GateTally::default();
             evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
             amps
         };
-        let baseline = run(1, 2);
-        for (threads, chunk) in [(2, 2), (4, 3), (8, 1), (3, 4)] {
-            assert_eq!(run(threads, chunk), baseline, "threads={threads} chunk={chunk}");
+        // SIMD, scalar, blocked and unblocked schedules all perform the
+        // same IEEE operations per amplitude, so every configuration must
+        // agree bit for bit — the contract QUKIT_SIMD=off relies on.
+        let baseline = run(1, 2, false);
+        for (threads, chunk) in [(2, 2), (4, 3), (8, 1), (3, 4), (1, 3)] {
+            for simd in [false, true] {
+                assert_eq!(
+                    run(threads, chunk, simd),
+                    baseline,
+                    "threads={threads} chunk={chunk} simd={simd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn highest_index_target_matches_reference_at_every_chunk_size() {
+        // Target qubit = highest index: the butterfly stride equals half
+        // the state, the worst case for chunked scheduling and the case
+        // the tile planner must remap correctly.
+        for n in [1usize, 2, 4, 6] {
+            let mut gates = Vec::new();
+            for q in 0..n {
+                gates.push(Instruction::gate(Gate::H, vec![q]));
+            }
+            gates.push(Instruction::gate(Gate::Rx(0.37), vec![n - 1]));
+            gates.push(Instruction::gate(Gate::T, vec![n - 1]));
+            if n >= 2 {
+                gates.push(Instruction::gate(Gate::CX, vec![n - 1, 0]));
+                gates.push(Instruction::gate(Gate::Cp(0.9), vec![0, n - 1]));
+            }
+            let expect = reference_state(&gates, n);
+            for chunk_qubits in 1..=6usize {
+                for simd in [false, true] {
+                    let config = ParallelConfig { threads: 2, chunk_qubits, fusion: true, simd };
+                    let mut amps = vec![Complex::ZERO; 1 << n];
+                    amps[0] = Complex::ONE;
+                    let mut tally = GateTally::default();
+                    evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                    for (a, e) in amps.iter().zip(&expect) {
+                        assert!(
+                            (*a - *e).norm() < 1e-12,
+                            "n={n} chunk={chunk_qubits} simd={simd}: {a:?} vs {e:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_group_spanning_chunk_boundary_matches_reference() {
+        // H(0)·CX(0,4)·H(4) straddles chunk_qubits=2: the group's bit mask
+        // {0, 4} exceeds the chunk boundary, forcing the Tiles plan with
+        // gather/scatter remapping.
+        let n = 5;
+        let gates = vec![
+            Instruction::gate(Gate::H, vec![0]),
+            Instruction::gate(Gate::CX, vec![0, 4]),
+            Instruction::gate(Gate::H, vec![4]),
+            Instruction::gate(Gate::Rz(0.25), vec![4]),
+            Instruction::gate(Gate::Cp(1.3), vec![0, 4]),
+        ];
+        let expect = reference_state(&gates, n);
+        for threads in [1usize, 2] {
+            for simd in [false, true] {
+                let config = ParallelConfig { threads, chunk_qubits: 2, fusion: true, simd };
+                let mut amps = vec![Complex::ZERO; 1 << n];
+                amps[0] = Complex::ONE;
+                let mut tally = GateTally::default();
+                evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                for (a, e) in amps.iter().zip(&expect) {
+                    assert!(
+                        (*a - *e).norm() < 1e-12,
+                        "threads={threads} simd={simd}: {a:?} vs {e:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_qubit_state_runs_through_every_engine_config() {
+        let gates = vec![
+            Instruction::gate(Gate::H, vec![0]),
+            Instruction::gate(Gate::T, vec![0]),
+            Instruction::gate(Gate::Rx(0.8), vec![0]),
+        ];
+        let expect = reference_state(&gates, 1);
+        for chunk_qubits in [1usize, 2, 4] {
+            for simd in [false, true] {
+                let config = ParallelConfig { threads: 4, chunk_qubits, fusion: true, simd };
+                let mut amps = vec![Complex::ZERO; 2];
+                amps[0] = Complex::ONE;
+                let mut tally = GateTally::default();
+                evolve_fused(&mut amps, &gates, &config, &mut tally).unwrap();
+                for (a, e) in amps.iter().zip(&expect) {
+                    assert!(
+                        (*a - *e).norm() < 1e-12,
+                        "chunk={chunk_qubits} simd={simd}: {a:?} vs {e:?}"
+                    );
+                }
+            }
         }
     }
 
@@ -878,7 +1483,7 @@ mod tests {
         let dim = 1usize << n;
         let mut flat = vec![Complex::ZERO; dim * dim];
         flat[0] = Complex::ONE;
-        let config = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true };
+        let config = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true, simd: true };
         let mut tally = GateTally::default();
         evolve_fused_density(&mut flat, &gates, n, &config, &mut tally).unwrap();
         for i in 0..dim {
@@ -905,11 +1510,14 @@ mod tests {
         assert_eq!(parse_bool_flag("banana"), None);
         assert!(!ParallelConfig::serial().is_active());
         assert!(ParallelConfig::with_threads(4).is_active());
-        assert!(ParallelConfig { threads: 1, chunk_qubits: 4, fusion: true }.is_active());
+        assert!(
+            ParallelConfig { threads: 1, chunk_qubits: 4, fusion: true, simd: true }.is_active()
+        );
         // One chunk ⇒ serial execution regardless of requested threads.
         assert_eq!(ParallelConfig::with_threads(8).effective_threads(16), 1);
         assert_eq!(
-            ParallelConfig { threads: 8, chunk_qubits: 2, fusion: true }.effective_threads(64),
+            ParallelConfig { threads: 8, chunk_qubits: 2, fusion: true, simd: true }
+                .effective_threads(64),
             8
         );
     }

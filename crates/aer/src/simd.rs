@@ -1,0 +1,121 @@
+//! Portable SIMD lanes for the statevector kernels.
+//!
+//! Stable-Rust "array of lanes" vectors: [`F64x4`] is a plain `[f64; 4]`
+//! whose elementwise operations are small `#[inline(always)]` loops, which
+//! LLVM reliably autovectorizes to one 256-bit (or two 128-bit) vector
+//! instruction per op on every mainstream target. One vector holds **two
+//! packed complex amplitudes** `[re₀, im₀, re₁, im₁]`, so a single lane op
+//! advances two amplitude pairs of a butterfly at once.
+//!
+//! Two invariants make this layer safe to enable unconditionally:
+//!
+//! * **Lane safety** — vectors are built from `Complex` *field reads* and
+//!   written back through `Complex::new`; no pointer casts, so the layout
+//!   of `Complex` (which is not `repr(C)`) is never assumed.
+//! * **Bit-identity** — every vectorized kernel formula performs exactly
+//!   the same IEEE-754 operations per element as its scalar counterpart:
+//!   the same products (multiplication is commutative bit-for-bit), the
+//!   same association, with `a - b` replaced only by the exactly-equal
+//!   `a + (-b)`. The scalar fallback selected by `QUKIT_SIMD=off` must
+//!   therefore produce bit-identical amplitudes — a property the
+//!   `parallel_equivalence` suite checks on 200 random circuits.
+
+use std::sync::OnceLock;
+
+/// Four `f64` lanes; elementwise ops autovectorize on stable Rust.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; 4])
+    }
+
+    /// Lanewise addition.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        let a = self.0;
+        let b = rhs.0;
+        Self([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]])
+    }
+
+    /// Lanewise multiplication.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        let a = self.0;
+        let b = rhs.0;
+        Self([a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]])
+    }
+
+    /// Swaps the lanes of each packed complex: `[a, b, c, d] → [b, a, d, c]`.
+    ///
+    /// With the `[re₀, im₀, re₁, im₁]` packing this exchanges real and
+    /// imaginary parts, the shuffle every complex multiply needs.
+    #[inline(always)]
+    pub fn swap_pairs(self) -> Self {
+        let [a, b, c, d] = self.0;
+        Self([b, a, d, c])
+    }
+}
+
+/// Multiplies two packed amplitudes by the complex constant `(re, im)`,
+/// performing per element exactly the ops of `Complex::mul`:
+/// `(a.re·re − a.im·im, a.re·im + a.im·re)`.
+///
+/// The `im` weights are passed pre-negated in the even lanes
+/// (`[-im, im, -im, im]`) so the subtraction becomes an exactly-equal
+/// addition of a negated product.
+#[inline(always)]
+pub fn complex_mul2(v: F64x4, re: f64, neg_im_im: F64x4) -> F64x4 {
+    v.mul(F64x4::splat(re)).add(v.swap_pairs().mul(neg_im_im))
+}
+
+/// Builds the `[-im, im, -im, im]` weight vector for [`complex_mul2`].
+#[inline(always)]
+pub fn neg_im_vec(im: f64) -> F64x4 {
+    F64x4([-im, im, -im, im])
+}
+
+/// Whether the SIMD kernels are enabled by default, from `QUKIT_SIMD`
+/// (`on` unless the variable parses to false). Read once per process;
+/// explicit [`crate::parallel::ParallelConfig`] values override it.
+pub fn simd_default() -> bool {
+    static SIMD: OnceLock<bool> = OnceLock::new();
+    *SIMD.get_or_init(|| match std::env::var("QUKIT_SIMD") {
+        Ok(value) => crate::parallel::parse_bool_flag(&value).unwrap_or(true),
+        Err(_) => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ops_are_elementwise() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([0.5, 0.25, -1.0, 2.0]);
+        assert_eq!(a.add(b), F64x4([1.5, 2.25, 2.0, 6.0]));
+        assert_eq!(a.mul(b), F64x4([0.5, 0.5, -3.0, 8.0]));
+        assert_eq!(a.swap_pairs(), F64x4([2.0, 1.0, 4.0, 3.0]));
+        assert_eq!(F64x4::splat(7.0), F64x4([7.0; 4]));
+    }
+
+    #[test]
+    fn complex_mul2_matches_complex_mul_bitwise() {
+        use qukit_terra::complex::Complex;
+        let amps = [Complex::new(0.3, -0.7), Complex::new(-0.12345, 0.9999)];
+        let f = Complex::new(0.6, -0.8);
+        let v = F64x4([amps[0].re, amps[0].im, amps[1].re, amps[1].im]);
+        let out = complex_mul2(v, f.re, neg_im_vec(f.im));
+        for (k, amp) in amps.iter().enumerate() {
+            let expect = *amp * f;
+            assert_eq!(out.0[2 * k], expect.re);
+            assert_eq!(out.0[2 * k + 1], expect.im);
+        }
+    }
+}

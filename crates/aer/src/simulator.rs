@@ -177,6 +177,51 @@ impl QasmSimulator {
         }
     }
 
+    /// Executes a batch of circuits — typically the bindings of one
+    /// parameter sweep — with `shots` repetitions each, reusing the
+    /// amplitude buffer across bindings so a 64-point sweep allocates one
+    /// state instead of 64.
+    ///
+    /// For a seeded simulator the returned histograms are bit-identical
+    /// to calling [`QasmSimulator::run`] once per circuit: each binding
+    /// runs the exact same evolution and sampling code with the same
+    /// seed derivation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QasmSimulator::run`], for any circuit.
+    pub fn run_batch(&self, circuits: &[QuantumCircuit], shots: usize) -> Result<Vec<Counts>> {
+        let _span =
+            qukit_obs::span!("aer.qasm_run_batch", circuits = circuits.len(), shots = shots,);
+        qukit_obs::counter_inc("qukit_aer_batch_runs_total");
+        let mut amps: Vec<Complex> = Vec::new();
+        let mut results = Vec::with_capacity(circuits.len());
+        for circuit in circuits {
+            if circuit.num_qubits() > MAX_QUBITS {
+                return Err(AerError::TooManyQubits {
+                    requested: circuit.num_qubits(),
+                    max: MAX_QUBITS,
+                });
+            }
+            if circuit.num_clbits() > 64 {
+                return Err(AerError::TooManyClbits { requested: circuit.num_clbits() });
+            }
+            let ideal = self.noise.as_ref().is_none_or(NoiseModel::is_ideal);
+            if ideal && is_measurement_terminal(circuit) && self.parallel.is_active() {
+                qukit_obs::counter_inc("qukit_aer_qasm_runs_total");
+                qukit_obs::counter_add("qukit_aer_shots_total", shots as u64);
+                let base_seed = match self.seed {
+                    Some(seed) => seed,
+                    None => rand::thread_rng().gen(),
+                };
+                results.push(self.run_sampled_parallel_into(circuit, shots, base_seed, &mut amps)?);
+            } else {
+                results.push(self.run(circuit, shots)?);
+            }
+        }
+        Ok(results)
+    }
+
     /// Parallel fast path: fused chunked evolution, then batched CDF
     /// sampling with per-batch RNG streams. For a fixed seed the counts
     /// are identical at every thread count and chunk size.
@@ -185,6 +230,18 @@ impl QasmSimulator {
         circuit: &QuantumCircuit,
         shots: usize,
         base_seed: u64,
+    ) -> Result<Counts> {
+        self.run_sampled_parallel_into(circuit, shots, base_seed, &mut Vec::new())
+    }
+
+    /// [`QasmSimulator::run_sampled_parallel`] with a caller-provided
+    /// amplitude buffer (reused across the bindings of a batch).
+    fn run_sampled_parallel_into(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        base_seed: u64,
+        amps: &mut Vec<Complex>,
     ) -> Result<Counts> {
         let mut gates: Vec<Instruction> = Vec::new();
         let mut measures: Vec<(usize, usize)> = Vec::new();
@@ -196,14 +253,15 @@ impl QasmSimulator {
                 Operation::Reset => unreachable!("terminal circuits have no reset"),
             }
         }
-        let mut amps = vec![Complex::ZERO; 1usize << circuit.num_qubits()];
+        amps.clear();
+        amps.resize(1usize << circuit.num_qubits(), Complex::ZERO);
         amps[0] = Complex::ONE;
         let mut tally = GateTally::default();
-        parallel::evolve_fused(&mut amps, &gates, &self.parallel, &mut tally)?;
+        parallel::evolve_fused(amps, &gates, &self.parallel, &mut tally)?;
         tally.flush("qukit_aer_statevector_gates_total");
         let _sample_span = qukit_obs::span!("aer.sample", shots = shots, mode = "parallel")
             .with_metric("qukit_aer_sample_seconds");
-        let cdf = parallel::probability_cdf(&amps);
+        let cdf = parallel::probability_cdf(amps);
         let samples = parallel::sample_indices(&cdf, shots, base_seed, self.parallel.threads);
         let mut counts = Counts::new(circuit.num_clbits());
         for basis in samples {
@@ -373,19 +431,42 @@ impl QasmSimulator {
     }
 }
 
-/// Returns `true` when all measurements come after the last gate and the
-/// circuit has no reset or conditional instructions.
+/// Returns `true` when measurement is effectively terminal: no
+/// conditional or reset instructions, each measured qubit is never
+/// touched again after its measure, and no classical bit is written
+/// twice. Gates on *other* qubits may follow a measure — a measurement
+/// commutes with operations on disjoint qubits, so sampling the terminal
+/// distribution once is exact. Schedulers and device transpilers
+/// routinely interleave measures with tail gates this way; recognising
+/// the pattern keeps transpiled circuits on the evolve-once fast path
+/// instead of paying one full statevector evolution per shot.
 fn is_measurement_terminal(circuit: &QuantumCircuit) -> bool {
-    let mut seen_measure = false;
+    // Qubit and clbit counts are bounded well below 64 at every call
+    // site (MAX_QUBITS and the 64-clbit admission check), so bitmasks
+    // suffice.
+    let mut measured_qubits = 0u64;
+    let mut written_clbits = 0u64;
     for inst in circuit.instructions() {
         if inst.condition.is_some() {
             return false;
         }
         match inst.op {
-            Operation::Measure => seen_measure = true,
+            Operation::Measure => {
+                let qubit = 1u64 << inst.qubits[0];
+                let clbit = 1u64 << inst.clbits[0];
+                if measured_qubits & qubit != 0 || written_clbits & clbit != 0 {
+                    return false;
+                }
+                measured_qubits |= qubit;
+                written_clbits |= clbit;
+            }
             Operation::Reset => return false,
-            Operation::Gate(_) if seen_measure => return false,
-            _ => {}
+            Operation::Gate(_) => {
+                if inst.qubits.iter().any(|&q| measured_qubits & (1u64 << q) != 0) {
+                    return false;
+                }
+            }
+            Operation::Barrier => {}
         }
     }
     true
@@ -525,6 +606,33 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_is_bit_identical_to_per_circuit_runs() {
+        let circuits: Vec<QuantumCircuit> = (0..8)
+            .map(|i| {
+                let mut circ = QuantumCircuit::with_size(3, 3);
+                circ.ry(0.1 + 0.2 * i as f64, 0).unwrap();
+                circ.cx(0, 1).unwrap();
+                circ.ry(0.3 + 0.1 * i as f64, 2).unwrap();
+                circ.cx(1, 2).unwrap();
+                circ.measure_all();
+                circ
+            })
+            .collect();
+        let sim = QasmSimulator::new().with_seed(13).with_parallel(ParallelConfig::with_threads(2));
+        let batch = sim.run_batch(&circuits, 512).unwrap();
+        assert_eq!(batch.len(), circuits.len());
+        for (circ, counts) in circuits.iter().zip(&batch) {
+            assert_eq!(&sim.run(circ, 512).unwrap(), counts);
+        }
+        // The serial front-end also accepts batches (per-run fallback).
+        let serial = QasmSimulator::new().with_seed(13);
+        let batch = serial.run_batch(&circuits, 64).unwrap();
+        for (circ, counts) in circuits.iter().zip(&batch) {
+            assert_eq!(&serial.run(circ, 64).unwrap(), counts);
+        }
+    }
+
+    #[test]
     fn unmeasured_qubits_report_zero() {
         let mut circ = QuantumCircuit::with_size(2, 1);
         circ.x(0).unwrap();
@@ -652,6 +760,33 @@ mod tests {
         let mut with_reset = QuantumCircuit::with_size(1, 1);
         with_reset.reset(0).unwrap();
         assert!(!is_measurement_terminal(&with_reset));
+    }
+
+    #[test]
+    fn terminal_detection_commutes_measures_past_disjoint_gates() {
+        // Scheduler-style interleaving: q0 is measured while tail gates
+        // still run on q1/q2. No measured qubit is touched again, so the
+        // sampled fast path applies.
+        let mut interleaved = QuantumCircuit::with_size(3, 3);
+        interleaved.h(0).unwrap();
+        interleaved.measure(0, 0).unwrap();
+        interleaved.h(1).unwrap();
+        interleaved.measure(1, 1).unwrap();
+        interleaved.h(2).unwrap();
+        interleaved.measure(2, 2).unwrap();
+        assert!(is_measurement_terminal(&interleaved));
+
+        // A two-qubit gate touching an already-measured qubit disqualifies.
+        let mut reuse = QuantumCircuit::with_size(2, 2);
+        reuse.measure(0, 0).unwrap();
+        reuse.cx(0, 1).unwrap();
+        assert!(!is_measurement_terminal(&reuse));
+
+        // Writing the same clbit twice disqualifies (order matters).
+        let mut overwrite = QuantumCircuit::with_size(2, 1);
+        overwrite.measure(0, 0).unwrap();
+        overwrite.measure(1, 0).unwrap();
+        assert!(!is_measurement_terminal(&overwrite));
     }
 
     #[test]

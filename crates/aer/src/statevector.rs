@@ -5,6 +5,7 @@
 //! projective measurement with collapse, reset, sampling, expectation
 //! values and fidelities.
 
+use crate::simd::{complex_mul2, neg_im_vec, simd_default, F64x4};
 use qukit_terra::complex::Complex;
 use qukit_terra::matrix::Matrix;
 use rand::Rng;
@@ -97,6 +98,35 @@ impl Statevector {
         let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
         let stride = 1usize << q;
         let dim = self.amplitudes.len();
+        if simd_default() && stride >= 2 && dim >= 256 {
+            // Two amplitude pairs per lane op. Runs are stride-long and
+            // stride is a power of two ≥ 2, so there is never a tail. The
+            // lane formulas perform exactly the scalar ops below per
+            // element, keeping this path bit-identical to the fallback.
+            // States under 256 amplitudes stay on the scalar loop: they
+            // are L1-resident either way and the lane marshalling
+            // overhead outweighs any vector win at that size.
+            let (n00, n01) = (neg_im_vec(m00.im), neg_im_vec(m01.im));
+            let (n10, n11) = (neg_im_vec(m10.im), neg_im_vec(m11.im));
+            let mut base = 0usize;
+            while base < dim {
+                let (lo, hi) = self.amplitudes[base..base + (stride << 1)].split_at_mut(stride);
+                let mut i = 0usize;
+                while i + 2 <= stride {
+                    let a = F64x4([lo[i].re, lo[i].im, lo[i + 1].re, lo[i + 1].im]);
+                    let b = F64x4([hi[i].re, hi[i].im, hi[i + 1].re, hi[i + 1].im]);
+                    let ra = complex_mul2(a, m00.re, n00).add(complex_mul2(b, m01.re, n01));
+                    let rb = complex_mul2(a, m10.re, n10).add(complex_mul2(b, m11.re, n11));
+                    lo[i] = Complex::new(ra.0[0], ra.0[1]);
+                    lo[i + 1] = Complex::new(ra.0[2], ra.0[3]);
+                    hi[i] = Complex::new(rb.0[0], rb.0[1]);
+                    hi[i + 1] = Complex::new(rb.0[2], rb.0[3]);
+                    i += 2;
+                }
+                base += stride << 1;
+            }
+            return;
+        }
         let mut base = 0usize;
         while base < dim {
             for offset in base..base + stride {
@@ -390,6 +420,37 @@ mod tests {
         }
         for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
             assert!(a.approx_eq(*b));
+        }
+    }
+
+    #[test]
+    fn apply_1q_is_bit_identical_to_scalar_formula() {
+        // Whichever path apply_1q takes (SIMD lanes or the scalar loop),
+        // the result must equal the scalar butterfly formula bit for bit.
+        // 9 qubits keeps the state above the 256-amplitude floor below
+        // which apply_1q always takes the scalar loop.
+        let mut sv = Statevector::new(9);
+        for q in 0..9 {
+            sv.apply_gate(Gate::H, &[q]);
+            sv.apply_gate(Gate::T, &[q]);
+        }
+        for q in [1usize, 4, 8] {
+            let m = Gate::Rx(0.7).matrix();
+            let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+            let mut expect = sv.amplitudes().to_vec();
+            let stride = 1usize << q;
+            let mut base = 0usize;
+            while base < expect.len() {
+                for offset in base..base + stride {
+                    let a = expect[offset];
+                    let b = expect[offset + stride];
+                    expect[offset] = m00 * a + m01 * b;
+                    expect[offset + stride] = m10 * a + m11 * b;
+                }
+                base += stride << 1;
+            }
+            sv.apply_matrix(&m, &[q]);
+            assert_eq!(sv.amplitudes(), &expect[..], "qubit {q}");
         }
     }
 

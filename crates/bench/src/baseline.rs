@@ -39,11 +39,26 @@ pub struct BaselineConfig {
     /// Thread counts swept by the `parallel_statevector[t=N]` engines on
     /// the wide (12-qubit) circuits. Empty disables the parallel sweep.
     pub threads: Vec<usize>,
+    /// Also run the 22–26-qubit statevector entries (`ghz_24`, `qft_22`,
+    /// `qft_24`, `random_26x40`) on the parallel engine with SIMD on and
+    /// off. Off by default: each run sweeps a ≥64 MiB state.
+    pub large_statevector: bool,
+    /// Bindings in the parameter-sweep entries (`sweep[batch]` vs
+    /// `sweep[independent]`). 0 disables the sweep comparison.
+    pub sweep_bindings: usize,
 }
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        Self { shots: 1024, seed: 7, collect_metrics: true, repeats: 5, threads: vec![1, 2, 4, 8] }
+        Self {
+            shots: 1024,
+            seed: 7,
+            collect_metrics: true,
+            repeats: 5,
+            threads: vec![1, 2, 4, 8],
+            large_statevector: false,
+            sweep_bindings: 64,
+        }
     }
 }
 
@@ -84,8 +99,9 @@ pub struct Baseline {
 fn make_engine(name: &str, seed: u64) -> Box<dyn Backend> {
     use qukit::aer::parallel::ParallelConfig;
     use qukit::backend::{DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend};
-    if let Some(threads) = parse_parallel_engine(name) {
-        let config = ParallelConfig::with_threads(threads);
+    if let Some((threads, simd)) = parse_parallel_engine(name) {
+        let mut config = ParallelConfig::with_threads(threads);
+        config.simd = simd;
         return Box::new(QasmSimulatorBackend::new().with_seed(seed).with_parallel(config));
     }
     match name {
@@ -99,10 +115,15 @@ fn make_engine(name: &str, seed: u64) -> Box<dyn Backend> {
     }
 }
 
-/// Parses `parallel_statevector[t=N]` into `Some(N)`.
-fn parse_parallel_engine(name: &str) -> Option<usize> {
+/// Parses `parallel_statevector[t=N]` into `Some((N, true))` and
+/// `parallel_statevector[t=N,simd=off]` into `Some((N, false))`.
+fn parse_parallel_engine(name: &str) -> Option<(usize, bool)> {
     let inner = name.strip_prefix("parallel_statevector[t=")?.strip_suffix(']')?;
-    inner.parse().ok()
+    let (threads, simd) = match inner.strip_suffix(",simd=off") {
+        Some(threads) => (threads, false),
+        None => (inner, true),
+    };
+    threads.parse().ok().map(|t| (t, simd))
 }
 
 /// The fixed sweep: circuit × engines able to run it. The GHZ circuits
@@ -110,7 +131,7 @@ fn parse_parallel_engine(name: &str) -> Option<usize> {
 /// the ibmqx4 device model. The 12-qubit circuits additionally run on
 /// the parallel chunked/fused engine at every requested thread count —
 /// the speedup anchor for the parallel execution layer.
-fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
+fn sweep(threads: &[usize], large_statevector: bool) -> Vec<(String, QuantumCircuit, Vec<String>)> {
     let bell = {
         let mut circ = QuantumCircuit::new(2);
         circ.set_name("bell");
@@ -127,7 +148,7 @@ fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
     // circuits blow the diagram up) and would pollute the caches under
     // the dense-engine timings measured right after.
     wide_engines.push("dd_simulator".to_owned());
-    vec![
+    let mut suite = vec![
         (
             "ghz_8".to_owned(),
             crate::ghz(8),
@@ -154,7 +175,25 @@ fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
         // the paper's Fig. 3.
         ("ghz_24".to_owned(), crate::ghz(24), owned(&["dd_simulator"])),
         ("qft_16".to_owned(), crate::qft(16), owned(&["dd_simulator"])),
-    ]
+    ];
+    if large_statevector {
+        // Dense 22–26-qubit statevector entries (64 MiB–1 GiB states),
+        // SIMD against scalar kernels on the single-threaded parallel
+        // engine: the speedup anchor for the SIMD lane kernels and the
+        // cache-blocked traversal of high-qubit-index gates. GHZ and QFT
+        // put their heaviest gates on the top qubit indices, exactly the
+        // strided-access pattern the blocked traversal exists for. The
+        // QFT entries are the compute-bound anchor (the controlled-phase
+        // ladder keeps the lanes full); GHZ and the shallow random
+        // circuit are the honest memory-bound counterpoints where the
+        // walk is dominated by DRAM traffic and lanes gain less.
+        let dense = owned(&["parallel_statevector[t=1]", "parallel_statevector[t=1,simd=off]"]);
+        suite.push(("ghz_24".to_owned(), crate::ghz(24), dense.clone()));
+        suite.push(("qft_22".to_owned(), crate::qft(22), dense.clone()));
+        suite.push(("qft_24".to_owned(), crate::qft(24), dense.clone()));
+        suite.push(("random_26x40".to_owned(), crate::random_circuit(26, 40, 2626), dense));
+    }
+    suite
 }
 
 /// Runs the full sweep and returns the baseline.
@@ -165,7 +204,7 @@ fn sweep(threads: &[usize]) -> Vec<(String, QuantumCircuit, Vec<String>)> {
 pub fn run_baseline(config: &BaselineConfig) -> Baseline {
     let was_enabled = qukit_obs::enabled();
     let mut entries = Vec::new();
-    for (circuit_name, circuit, engines) in sweep(&config.threads) {
+    for (circuit_name, circuit, engines) in sweep(&config.threads, config.large_statevector) {
         for engine_name in engines {
             let engine = make_engine(&engine_name, config.seed);
             let measured = prepared(&circuit);
@@ -178,7 +217,7 @@ pub fn run_baseline(config: &BaselineConfig) -> Baseline {
                 }
                 let start = std::time::Instant::now();
                 let counts = engine.run(&measured, config.shots).expect("baseline run");
-                wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+                wall_seconds = wall_seconds.min(elapsed_seconds(start));
                 assert_eq!(counts.total(), config.shots, "baseline runs sample every shot");
                 if config.collect_metrics {
                     let snapshot = qukit_obs::registry().snapshot();
@@ -204,9 +243,44 @@ pub fn run_baseline(config: &BaselineConfig) -> Baseline {
             });
         }
     }
+    annotate_simd_speedups(&mut entries);
     entries.extend(transpiler_entries(config));
+    entries.extend(sweep_entries(config));
     qukit_obs::set_enabled(was_enabled);
     Baseline { entries }
+}
+
+/// Minimum-resolution wall clock: nanosecond ticks widened to f64
+/// seconds, so sub-microsecond timings (cache hits, tiny circuits)
+/// never flush to zero in the JSON document.
+fn elapsed_seconds(start: std::time::Instant) -> f64 {
+    start.elapsed().as_nanos() as f64 / 1e9
+}
+
+/// Stamps each SIMD parallel-engine entry with `simd_speedup`: the ratio
+/// of its scalar twin's wall time to its own (same circuit, same thread
+/// count, `simd=off`). This is the committed evidence for the SIMD
+/// kernel claim — `BENCH_PR10.json` carries ≥2× on the large
+/// high-qubit-index entries.
+fn annotate_simd_speedups(entries: &mut [BaselineEntry]) {
+    let scalars: Vec<(String, usize, f64)> = entries
+        .iter()
+        .filter_map(|e| match parse_parallel_engine(&e.engine) {
+            Some((threads, false)) => Some((e.circuit.clone(), threads, e.wall_seconds)),
+            _ => None,
+        })
+        .collect();
+    for entry in entries.iter_mut() {
+        let Some((threads, true)) = parse_parallel_engine(&entry.engine) else { continue };
+        let Some((_, _, scalar_wall)) = scalars.iter().find(|(circuit, scalar_threads, _)| {
+            *circuit == entry.circuit && *scalar_threads == threads
+        }) else {
+            continue;
+        };
+        entry
+            .metrics
+            .insert("simd_speedup".to_owned(), scalar_wall / entry.wall_seconds.max(1e-12));
+    }
 }
 
 /// Transpiler baseline entries: both production routers on the 12-qubit
@@ -240,7 +314,7 @@ fn transpiler_entries(config: &BaselineConfig) -> Vec<BaselineEntry> {
             for _ in 0..repeats {
                 let start = std::time::Instant::now();
                 let result = transpiler::transpile(circuit, &options).expect("baseline transpile");
-                wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+                wall_seconds = wall_seconds.min(elapsed_seconds(start));
                 if config.collect_metrics {
                     metrics.insert("swaps_inserted".to_owned(), result.num_swaps as f64);
                     metrics.insert("depth_out".to_owned(), result.circuit.depth() as f64);
@@ -274,10 +348,10 @@ fn transpiler_entries(config: &BaselineConfig) -> Vec<BaselineEntry> {
         let start = std::time::Instant::now();
         let result = transpiler::transpile(circuit, &options).expect("cold transpile");
         cache.insert(key, result);
-        cold = cold.min(start.elapsed().as_secs_f64());
+        cold = cold.min(elapsed_seconds(start));
         let start = std::time::Instant::now();
         let hit = cache.lookup(key);
-        warm = warm.min(start.elapsed().as_secs_f64());
+        warm = warm.min(elapsed_seconds(start));
         assert!(hit.is_some(), "warm lookup must hit");
     }
     let speedup = cold / warm.max(f64::MIN_POSITIVE);
@@ -299,6 +373,124 @@ fn transpiler_entries(config: &BaselineConfig) -> Vec<BaselineEntry> {
         });
     }
     entries
+}
+
+/// Parameter-sweep entries: a 2-local ansatz bound over an angle grid on
+/// a (noiseless, seeded) fake device, executed once through the batched
+/// sweep path (template transpiled once, one kernel pass over all
+/// bindings via `Backend::run_batch`) and once as independent jobs
+/// through the executor (the pre-batch traffic shape: a full device
+/// transpile, validation, queueing and state allocation for every
+/// binding). The process-wide transpile cache is cleared before each
+/// timed repeat, because a real sweep presents fresh angles the cache
+/// has never seen. Both paths run the same seeded backend, so their
+/// counts are asserted identical before the timings are recorded; the
+/// batch entry carries the `sweep_speedup` ratio.
+fn sweep_entries(config: &BaselineConfig) -> Vec<BaselineEntry> {
+    use qukit::aer::noise::NoiseModel;
+    use qukit::backend::FakeDevice;
+    use qukit::terra::parameter::ParameterizedCircuit;
+    use qukit::{ExecutorConfig, JobExecutor, Provider};
+
+    if config.sweep_bindings == 0 {
+        return Vec::new();
+    }
+    // ibmqx4-sized ansatz: at optimization level 1 the transpiler copies
+    // rotation angles verbatim, so the sweep's sentinel validation holds
+    // and the template genuinely transpiles once.
+    let num_qubits = 5;
+    // A realistic estimator sweep samples each point lightly; capping the
+    // per-point shots also keeps the entry sensitive to the per-job costs
+    // (transpile, validation, queueing) the batch path amortizes.
+    let sweep_shots = config.shots.min(256);
+    let mut ansatz = ParameterizedCircuit::new(num_qubits);
+    let params: Vec<_> = (0..2 * num_qubits).map(|i| ansatz.parameter(format!("t{i}"))).collect();
+    for (q, &param) in params.iter().take(num_qubits).enumerate() {
+        ansatz.ry(param, q).expect("valid ansatz");
+    }
+    for q in 0..num_qubits - 1 {
+        ansatz.circuit_mut().cx(q, q + 1).expect("valid ansatz");
+    }
+    for (q, &param) in params.iter().skip(num_qubits).enumerate() {
+        ansatz.ry(param, q).expect("valid ansatz");
+    }
+    let bindings: Vec<Vec<f64>> = (0..config.sweep_bindings)
+        .map(|point| {
+            (0..2 * num_qubits).map(|i| 0.1 + 0.37 * (point * 2 * num_qubits + i) as f64).collect()
+        })
+        .collect();
+
+    let device =
+        FakeDevice::ibmqx4().with_noise(NoiseModel::new()).with_seed(config.seed).with_opt_level(1);
+    let mut provider = Provider::new();
+    provider.register(Box::new(device));
+    let executor = JobExecutor::with_config(
+        provider,
+        ExecutorConfig {
+            workers: 1,
+            queue_capacity: config.sweep_bindings + 4,
+            ..Default::default()
+        },
+    );
+
+    let repeats = config.repeats.max(1);
+    let mut batch_wall = f64::INFINITY;
+    let mut batch_counts = Vec::new();
+    for _ in 0..repeats {
+        qukit::terra::transpiler::cache::global().clear();
+        let start = std::time::Instant::now();
+        let report =
+            executor.run_sweep(&ansatz, &bindings, "ibmqx4", sweep_shots).expect("sweep run");
+        batch_wall = batch_wall.min(elapsed_seconds(start));
+        assert!(
+            report.transpiled_once,
+            "sweep template must transpile once on the opt-level-1 device path"
+        );
+        batch_counts = report.counts;
+    }
+
+    let mut independent_wall = f64::INFINITY;
+    for _ in 0..repeats {
+        qukit::terra::transpiler::cache::global().clear();
+        let start = std::time::Instant::now();
+        let mut all_counts = Vec::with_capacity(bindings.len());
+        for values in &bindings {
+            let bound = ansatz.bind(values).expect("binding");
+            let job = executor.submit(&bound, "ibmqx4", sweep_shots).expect("sweep submit");
+            all_counts
+                .push(job.result(std::time::Duration::from_secs(300)).expect("sweep job result"));
+        }
+        independent_wall = independent_wall.min(elapsed_seconds(start));
+        assert_eq!(
+            all_counts, batch_counts,
+            "batched sweep must be bit-identical to independent jobs"
+        );
+    }
+
+    let speedup = independent_wall / batch_wall.max(1e-12);
+    let circuit_name = format!("two_local_{num_qubits}x{}", config.sweep_bindings);
+    let gates = ansatz.template().num_gates();
+    [("sweep[batch]", batch_wall, true), ("sweep[independent]", independent_wall, false)]
+        .into_iter()
+        .map(|(engine, wall_seconds, is_batch)| {
+            let mut metrics = BTreeMap::new();
+            if config.collect_metrics {
+                metrics.insert("bindings".to_owned(), config.sweep_bindings as f64);
+                if is_batch {
+                    metrics.insert("sweep_speedup".to_owned(), speedup);
+                }
+            }
+            BaselineEntry {
+                circuit: circuit_name.clone(),
+                engine: engine.to_owned(),
+                qubits: num_qubits,
+                gates,
+                shots: sweep_shots,
+                wall_seconds,
+                metrics,
+            }
+        })
+        .collect()
 }
 
 /// One slowdown found by [`Baseline::compare`].
@@ -450,7 +642,15 @@ impl Baseline {
             };
             let old_floored = old_entry.wall_seconds.max(min_wall);
             let new_floored = new_entry.wall_seconds.max(min_wall);
-            let ratio = new_floored / old_floored;
+            // A `min_wall` of zero (or a hand-edited baseline) can leave a
+            // zero on either side; never form 0/0 or x/0.
+            let ratio = if old_floored > 0.0 {
+                new_floored / old_floored
+            } else if new_floored > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
             if ratio > 1.0 + tolerance {
                 regressions.push(Regression {
                     circuit: old_entry.circuit.clone(),
@@ -578,10 +778,64 @@ mod tests {
 
     #[test]
     fn parallel_engine_names_parse() {
-        assert_eq!(parse_parallel_engine("parallel_statevector[t=4]"), Some(4));
-        assert_eq!(parse_parallel_engine("parallel_statevector[t=16]"), Some(16));
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=4]"), Some((4, true)));
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=16]"), Some((16, true)));
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=1,simd=off]"), Some((1, false)));
         assert_eq!(parse_parallel_engine("qasm_simulator"), None);
         assert_eq!(parse_parallel_engine("parallel_statevector[t=x]"), None);
+        assert_eq!(parse_parallel_engine("parallel_statevector[t=x,simd=off]"), None);
+    }
+
+    #[test]
+    fn large_suite_includes_simd_and_scalar_dense_entries() {
+        for circuit in ["ghz_24", "qft_22", "qft_24", "random_26x40"] {
+            for engine in ["parallel_statevector[t=1]", "parallel_statevector[t=1,simd=off]"] {
+                assert!(
+                    sweep(&[], true)
+                        .iter()
+                        .any(|(name, _, engines)| name == circuit
+                            && engines.iter().any(|e| e == engine)),
+                    "missing large entry ({circuit}, {engine})"
+                );
+            }
+        }
+        assert!(
+            !sweep(&[], false).iter().any(|(name, _, _)| name == "qft_24"),
+            "large entries must stay behind the flag"
+        );
+    }
+
+    #[test]
+    fn compare_survives_zero_wall_baselines() {
+        // min_wall 0 with hand-edited zero timings: no NaN, no panic.
+        let old = Baseline { entries: vec![entry("bell", "qasm_simulator", 0.0)] };
+        let same = Baseline { entries: vec![entry("bell", "qasm_simulator", 0.0)] };
+        assert!(old.compare(&same, 0.25, 0.0).is_empty());
+        let slower = Baseline { entries: vec![entry("bell", "qasm_simulator", 0.01)] };
+        let regressions = old.compare(&slower, 0.25, 0.0);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].ratio.is_infinite());
+    }
+
+    #[test]
+    fn sweep_entries_record_batch_speedup_and_identical_results() {
+        let _guard = lock();
+        let config = BaselineConfig {
+            shots: 64,
+            repeats: 1,
+            threads: Vec::new(),
+            sweep_bindings: 8,
+            ..Default::default()
+        };
+        let entries = sweep_entries(&config);
+        assert_eq!(entries.len(), 2);
+        let batch = entries.iter().find(|e| e.engine == "sweep[batch]").expect("batch entry");
+        let independent =
+            entries.iter().find(|e| e.engine == "sweep[independent]").expect("independent entry");
+        assert_eq!(batch.circuit, "two_local_5x8");
+        assert_eq!(batch.metrics["bindings"], 8.0);
+        assert!(batch.metrics.contains_key("sweep_speedup"));
+        assert!(batch.wall_seconds > 0.0 && independent.wall_seconds > 0.0);
     }
 
     #[test]

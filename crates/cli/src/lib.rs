@@ -86,7 +86,7 @@ const USAGE: &str = "usage:
   qukit stats --compare OLD.json NEW.json [--tolerance T]
   qukit draw <file.qasm>
   qukit run <file.qasm> [--backend NAME] [--shots N] [--seed N]
-            [--threads N] [--metrics FILE.json] [--trace]
+            [--threads N] [--sweep N] [--metrics FILE.json] [--trace]
   qukit transpile <file.qasm> [--device NAME | --coupling KIND:N]
                   [--router basic|lookahead|astar|sabre] [--opt-level 0..3]
                   [--emit]  (--mapper/--opt are accepted aliases)
@@ -104,6 +104,7 @@ const USAGE: &str = "usage:
              [--metrics FILE.json] [--trace]
   qukit bench [--json] [--out FILE.json] [--shots N] [--seed N]
               [--threads N] [--repeats N] [--no-metrics]
+              [--large] [--sweep-bindings N]
   qukit bench --load [--tenants N] [--jobs N] [--workers N]
               [--max-pending N] [--payloads N] [--shots N] [--seed N]
               [--pace-us N] [--json] [--out FILE.json] [--trace-out FILE]
@@ -119,6 +120,16 @@ default 8). `stats --compare` exits nonzero when any (circuit, engine)
 pair shared by the two baselines slowed down by more than the
 tolerance (default 0.25 = 25%); timings under the noise floor are
 never compared
+
+run --sweep N turns every rotation angle in the circuit into a
+parameter and executes an N-point sweep (angles scaled from 1/N up to
+the original values) through the batched execution path: the template
+transpiles once and all bindings run in one kernel pass with shared
+state buffers. SIMD lane kernels are on by default everywhere; set
+QUKIT_SIMD=off to force the bit-identical scalar kernels. bench
+--large adds the 22-26 qubit dense statevector entries (SIMD vs
+scalar), and bench --sweep-bindings N sizes the sweep[batch] vs
+sweep[independent] comparison (default 64, 0 disables)
 
 fuzz runs the differential conformance harness: seeded random circuits
 are executed on every simulator and checked against the metamorphic
@@ -473,6 +484,20 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
+/// Formats a wall time given in seconds down to nanosecond resolution,
+/// so sub-microsecond bench entries (cache hits) never print as `0µs`.
+fn fmt_wall(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2}µs", seconds * 1e6)
+    } else {
+        format!("{:.0}ns", seconds * 1e9)
+    }
+}
+
 /// Parses `--threads N` into a parallel kernel configuration (chunked
 /// execution, fusion enabled) for `run`/`jobs`.
 fn parallel_from_flags(
@@ -490,6 +515,108 @@ fn parallel_from_flags(
     }
 }
 
+/// Rebuilds a concrete circuit as a parameterized template, turning
+/// every rotation angle (`rx`/`ry`/`rz`/`p` and all three `u` slots)
+/// into a parameter. Returns the template and the original angles (the
+/// binding that reproduces the input circuit exactly).
+fn parameterize_rotations(
+    circ: &qukit::QuantumCircuit,
+) -> Result<(qukit::terra::parameter::ParameterizedCircuit, Vec<f64>), CliError> {
+    use qukit::terra::instruction::Operation;
+    use qukit::terra::parameter::ParameterizedCircuit;
+    let mut template = ParameterizedCircuit::with_size(circ.num_qubits(), circ.num_clbits());
+    let mut base = Vec::new();
+    for inst in circ.instructions() {
+        let rotation = match &inst.op {
+            Operation::Gate(gate) if inst.condition.is_none() => {
+                let name = gate.name();
+                if matches!(name, "rx" | "ry" | "rz" | "p" | "u") {
+                    Some((name, gate.params(), inst.qubits[0]))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match rotation {
+            Some((name, params, q)) => {
+                let mut symbols = Vec::with_capacity(params.len());
+                for angle in &params {
+                    let symbol = template.parameter(format!("p{}", base.len()));
+                    base.push(*angle);
+                    symbols.push(symbol);
+                }
+                match name {
+                    "rx" => template.rx(symbols[0], q)?,
+                    "ry" => template.ry(symbols[0], q)?,
+                    "rz" => template.rz(symbols[0], q)?,
+                    "p" => template.p(symbols[0], q)?,
+                    _ => template.u(symbols[0], symbols[1], symbols[2], q)?,
+                };
+            }
+            None => {
+                template.circuit_mut().push(inst.clone())?;
+            }
+        }
+    }
+    Ok((template, base))
+}
+
+/// `qukit run --sweep N`: every rotation angle of the circuit becomes a
+/// parameter, bound over N points scaling the original angles from 1/N
+/// up to 1 (the final point reproduces the input circuit). The whole
+/// grid executes through the batched sweep path — template transpiled
+/// once, one kernel pass over all bindings.
+fn run_sweep_points(
+    provider: &Provider,
+    circ: &qukit::QuantumCircuit,
+    backend_name: &str,
+    shots: usize,
+    points: usize,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    if points == 0 {
+        return Err(CliError::Usage("--sweep must be at least 1 point".to_owned()));
+    }
+    let (template, base) = parameterize_rotations(circ)?;
+    if base.is_empty() {
+        return Err(CliError::Usage(
+            "--sweep needs at least one rotation gate (rx/ry/rz/p/u) in the circuit".to_owned(),
+        ));
+    }
+    let bindings: Vec<Vec<f64>> = (1..=points)
+        .map(|p| base.iter().map(|angle| angle * p as f64 / points as f64).collect())
+        .collect();
+    let backend = provider.get_backend(backend_name)?;
+    let start = std::time::Instant::now();
+    let report = qukit::run_sweep(backend, &template, &bindings, shots)?;
+    let wall = start.elapsed().as_nanos() as f64 / 1e9;
+    writeln!(
+        out,
+        "sweep: {points} point(s), {} parameter(s), backend: {backend_name}, shots: {shots}",
+        base.len()
+    )?;
+    writeln!(
+        out,
+        "template transpiled once: {}",
+        if report.transpiled_once { "yes" } else { "no (per-binding fallback)" }
+    )?;
+    writeln!(out, "total wall: {}, per point: {}", fmt_wall(wall), fmt_wall(wall / points as f64))?;
+    let counts = report.counts.last().expect("at least one point");
+    writeln!(out, "final point (original angles):")?;
+    let total = counts.total() as f64;
+    for (outcome, count) in counts.iter() {
+        writeln!(
+            out,
+            "  {} {:>8} ({:.3})",
+            counts.to_bitstring(outcome),
+            count,
+            count as f64 / total
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     let obs = ObsSession::from_flags(rest)?;
     let circ = load_circuit(rest)?;
@@ -501,6 +628,12 @@ fn cmd_run(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
     let mut provider = build_provider(flag_value(rest, "--seed")?)?;
     if let Some(parallel) = parallel_from_flags(rest)? {
         provider.set_parallel(parallel);
+    }
+    if let Some(v) = flag_value(rest, "--sweep")? {
+        let points: usize = parse_number(v, "sweep point count")?;
+        run_sweep_points(&provider, &circ, backend_name, shots, points, out)?;
+        obs.finish(out)?;
+        return Ok(());
     }
     let counts = if obs.active() {
         // Instrumented path: pre-transpile for the simulator and route
@@ -895,12 +1028,18 @@ fn cmd_bench(rest: &[&String], out: &mut impl Write) -> Result<(), CliError> {
         Some(v) => parse_number(v, "repeat count")?,
         None => 3,
     };
+    let sweep_bindings: usize = match flag_value(rest, "--sweep-bindings")? {
+        Some(v) => parse_number(v, "sweep binding count")?,
+        None => BaselineConfig::default().sweep_bindings,
+    };
     let config = BaselineConfig {
         shots,
         seed,
         collect_metrics: !flag_present(rest, "--no-metrics"),
         repeats: repeats.max(1),
         threads,
+        large_statevector: flag_present(rest, "--large"),
+        sweep_bindings,
     };
     let baseline = run_baseline(&config);
     if flag_present(rest, "--json") {
@@ -1032,19 +1171,19 @@ fn write_baseline_table(
 ) -> Result<(), CliError> {
     writeln!(
         out,
-        "{:<15} {:<21} {:>6} {:>6} {:>6} {:>10} {:>8}",
+        "{:<16} {:<34} {:>6} {:>6} {:>6} {:>10} {:>8}",
         "circuit", "engine", "qubits", "gates", "shots", "wall", "metrics"
     )?;
     for entry in &baseline.entries {
         writeln!(
             out,
-            "{:<15} {:<21} {:>6} {:>6} {:>6} {:>10} {:>8}",
+            "{:<16} {:<34} {:>6} {:>6} {:>6} {:>10} {:>8}",
             entry.circuit,
             entry.engine,
             entry.qubits,
             entry.gates,
             entry.shots,
-            fmt_us((entry.wall_seconds * 1e6) as u64),
+            fmt_wall(entry.wall_seconds),
             entry.metrics.len()
         )?;
     }
@@ -1272,6 +1411,36 @@ mod tests {
         assert!(text.contains("shots: 200"));
         assert!(text.contains("00"));
         assert!(!text.contains(" 01 "), "bell must not produce 01:\n{text}");
+    }
+
+    #[test]
+    fn run_sweep_executes_angle_grid_through_batch_path() {
+        let file = tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+             ry(0.8) q[0];\ncx q[0],q[1];\nrz(1.2) q[1];\nmeasure q -> c;\n",
+        );
+        let text = run_ok(&["run", file.as_str(), "--sweep", "4", "--shots", "100", "--seed", "3"]);
+        assert!(text.contains("sweep: 4 point(s), 2 parameter(s)"), "{text}");
+        assert!(text.contains("template transpiled once: yes"), "{text}");
+        assert!(text.contains("final point (original angles):"), "{text}");
+        // The final sweep point reproduces the original circuit exactly.
+        let direct = run_ok(&["run", file.as_str(), "--shots", "100", "--seed", "3"]);
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(['0', '1']))
+                .map(str::trim)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&text), tail(&direct), "sweep:\n{text}\ndirect:\n{direct}");
+    }
+
+    #[test]
+    fn run_sweep_without_rotations_is_a_usage_error() {
+        let file = write_bell();
+        let err = run_err(&["run", file.as_str(), "--sweep", "4"]);
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("rotation"), "{err}");
     }
 
     #[test]

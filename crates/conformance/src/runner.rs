@@ -169,8 +169,10 @@ impl DifferentialRunner {
         // The parallel engine runs with threading forced on (tiny chunks so
         // even fuzz-sized circuits split across workers) and fusion enabled,
         // so the chunked kernels and the fusion pre-pass are both exercised
-        // against the naive reference on every fuzz case.
-        let parallel = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true };
+        // against the naive reference on every fuzz case. Both kernel
+        // flavours run — SIMD and scalar — and beyond matching the
+        // reference to tolerance, they must match each other bit for bit.
+        let parallel = ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true, simd: true };
         let psv = match ParallelStatevectorSimulator::with_config(parallel).run(circuit) {
             Ok(sv) => sv,
             Err(e) => return Some(engine_error("parallel_statevector", &e)),
@@ -179,6 +181,30 @@ impl DifferentialRunner {
             self.compare_amplitudes("parallel_statevector", &reference, psv.amplitudes())
         {
             return Some(m);
+        }
+
+        let scalar_config =
+            ParallelConfig { threads: 2, chunk_qubits: 2, fusion: true, simd: false };
+        let scalar = match ParallelStatevectorSimulator::with_config(scalar_config).run(circuit) {
+            Ok(sv) => sv,
+            Err(e) => return Some(engine_error("parallel_statevector_scalar", &e)),
+        };
+        if scalar.amplitudes() != psv.amplitudes() {
+            let idx = scalar
+                .amplitudes()
+                .iter()
+                .zip(psv.amplitudes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Some(Mismatch {
+                oracle: "differential".to_owned(),
+                detail: format!(
+                    "parallel_statevector SIMD kernels diverge bitwise from scalar \
+                     kernels at amplitude {idx}: {} vs {}",
+                    psv.amplitudes()[idx],
+                    scalar.amplitudes()[idx]
+                ),
+            });
         }
 
         let dd = match DdSimulator::new().run(circuit) {

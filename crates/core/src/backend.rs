@@ -43,6 +43,36 @@ pub trait Backend: Send + Sync {
     /// simulation fails.
     fn run(&self, circuit: &QuantumCircuit, shots: usize) -> Result<Counts>;
 
+    /// Executes a batch of circuits — typically the bindings of one
+    /// parameter sweep — with `shots` repetitions each.
+    ///
+    /// The default maps over [`run`](Backend::run), so results are always
+    /// identical to submitting the circuits one at a time. Backends with a
+    /// native batch path (the statevector simulator) override this to
+    /// reuse state buffers across bindings.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Backend::run), for any circuit.
+    fn run_batch(&self, circuits: &[QuantumCircuit], shots: usize) -> Result<Vec<Counts>> {
+        circuits.iter().map(|circuit| self.run(circuit, shots)).collect()
+    }
+
+    /// Transpiles a circuit exactly the way [`run`](Backend::run) would
+    /// before executing it, without running it.
+    ///
+    /// Simulator backends execute circuits as-is, so the default is the
+    /// identity. Device backends override this with their transpile
+    /// pipeline; the sweep path uses it to transpile a parameterized
+    /// template once and patch angles into the result per binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns transpilation errors for backends that transpile.
+    fn prepare_circuit(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+        Ok(circuit.clone())
+    }
+
     /// Fixes the backend's sampling seed, making subsequent [`run`]
     /// calls deterministic.
     ///
@@ -128,6 +158,17 @@ impl Backend for QasmSimulatorBackend {
             sim = sim.with_parallel(parallel);
         }
         sim.run(circuit, shots).map_err(QukitError::from)
+    }
+
+    fn run_batch(&self, circuits: &[QuantumCircuit], shots: usize) -> Result<Vec<Counts>> {
+        let mut sim = QasmSimulator::new();
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        if let Some(parallel) = self.parallel {
+            sim = sim.with_parallel(parallel);
+        }
+        sim.run_batch(circuits, shots).map_err(QukitError::from)
     }
 
     fn set_seed(&mut self, seed: u64) {
@@ -417,6 +458,42 @@ impl Backend for FakeDevice {
         sim.run(&compacted, shots).map_err(QukitError::from)
     }
 
+    fn prepare_circuit(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit> {
+        // Mirrors the condition in `run`: circuits already satisfying the
+        // device constraints are executed untouched.
+        if satisfies_coupling(circuit, &self.coupling)
+            && circuit.num_qubits() == self.coupling.num_qubits()
+        {
+            Ok(circuit.clone())
+        } else {
+            self.transpile(circuit)
+        }
+    }
+
+    fn run_batch(&self, circuits: &[QuantumCircuit], shots: usize) -> Result<Vec<Counts>> {
+        // A noiseless device can push the whole batch through the
+        // simulator's buffer-reusing batch path: one amplitude buffer
+        // shared across all prepared circuits instead of a fresh
+        // allocation per run. With noise the per-circuit qubit remap
+        // feeds distinct noise models, so fall back to per-circuit runs.
+        if !self.noise.is_ideal() {
+            return circuits.iter().map(|c| self.run(c, shots)).collect();
+        }
+        let mut compacted = Vec::with_capacity(circuits.len());
+        for circuit in circuits {
+            let prepared = self.prepare_circuit(circuit)?;
+            compacted.push(compact_idle_qubits(&prepared)?.0);
+        }
+        let mut sim = QasmSimulator::new();
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        if let Some(parallel) = self.parallel {
+            sim = sim.with_parallel(parallel);
+        }
+        sim.run_batch(&compacted, shots).map_err(QukitError::from)
+    }
+
     fn set_seed(&mut self, seed: u64) {
         self.seed = Some(seed);
     }
@@ -608,6 +685,29 @@ mod tests {
         let device = FakeDevice::ibmqx4().with_noise(NoiseModel::new()).with_seed(5);
         let counts = device.run(&bell(), 600).unwrap();
         assert_eq!(counts.get("01") + counts.get("10"), 0);
+    }
+
+    #[test]
+    fn noiseless_fake_device_batch_is_bit_identical_to_per_run() {
+        let device = FakeDevice::ibmqx4().with_noise(NoiseModel::new()).with_seed(11);
+        let mut rotated = QuantumCircuit::new(3);
+        rotated.ry(0.4, 0).unwrap();
+        rotated.cx(0, 1).unwrap();
+        rotated.ry(1.3, 2).unwrap();
+        rotated.measure_all();
+        let circuits = vec![bell(), rotated.clone(), bell(), rotated];
+        let batched = device.run_batch(&circuits, 700).unwrap();
+        let individual: Vec<_> = circuits.iter().map(|c| device.run(c, 700).unwrap()).collect();
+        assert_eq!(batched, individual, "batch path must reproduce per-run counts exactly");
+    }
+
+    #[test]
+    fn noisy_fake_device_batch_falls_back_to_per_run() {
+        let device = FakeDevice::ibmqx4().with_seed(13);
+        let circuits = vec![bell(), bell()];
+        let batched = device.run_batch(&circuits, 300).unwrap();
+        let individual: Vec<_> = circuits.iter().map(|c| device.run(c, 300).unwrap()).collect();
+        assert_eq!(batched, individual);
     }
 
     #[test]

@@ -805,6 +805,32 @@ impl JobExecutor {
         self.keyed.lock().expect("idempotency map lock").get(key).cloned()
     }
 
+    /// Runs a parameter sweep synchronously: transpiles the template
+    /// once (when safe, see [`crate::sweep`]) and executes every binding
+    /// through the backend's batch path, bypassing per-job submission
+    /// overhead (journal records, admission checks, per-binding
+    /// transpilation).
+    ///
+    /// Results are bit-identical to submitting each binding as its own
+    /// job on the same seeded backend.
+    ///
+    /// # Errors
+    ///
+    /// Unknown backend, invalid submission, binding mismatch, or
+    /// execution failure.
+    pub fn run_sweep(
+        &self,
+        template: &qukit_terra::parameter::ParameterizedCircuit,
+        bindings: &[Vec<f64>],
+        backend_name: &str,
+        shots: usize,
+    ) -> Result<crate::sweep::SweepReport> {
+        let _span =
+            qukit_obs::span!("job.run_sweep", backend = backend_name, bindings = bindings.len());
+        let backend = self.ctx.provider.get_backend(backend_name)?;
+        crate::sweep::run_sweep(backend, template, bindings, shots)
+    }
+
     /// A per-tenant session with the default [`TenantConfig`].
     pub fn session(&self, tenant: &str) -> Session<'_> {
         self.session_with(tenant, TenantConfig::default())

@@ -54,6 +54,7 @@ pub mod journal;
 pub mod provider;
 pub mod retry;
 pub mod scheduler;
+pub mod sweep;
 
 pub use backend::{
     Backend, DdSimulatorBackend, FakeDevice, QasmSimulatorBackend, StabilizerBackend,
@@ -69,6 +70,7 @@ pub use job::{
 pub use provider::Provider;
 pub use retry::RetryPolicy;
 pub use scheduler::{Priority, TenantConfig};
+pub use sweep::{run_sweep, SweepReport};
 
 // Re-export the component crates under their element names.
 pub use qukit_aer as aer;

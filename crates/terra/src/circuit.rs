@@ -189,6 +189,12 @@ impl QuantumCircuit {
         &self.instructions
     }
 
+    /// Mutable instruction access for in-crate rewriting passes (parameter
+    /// binding); callers must preserve the circuit's validation invariants.
+    pub(crate) fn instructions_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instructions
+    }
+
     /// Number of instructions (gates + measures + resets + barriers).
     pub fn size(&self) -> usize {
         self.instructions.len()

@@ -68,6 +68,11 @@ pub enum TerraError {
         /// Human-readable description.
         msg: String,
     },
+    /// Binding values to a parameterized circuit failed.
+    ParameterBinding {
+        /// Human-readable description.
+        msg: String,
+    },
 }
 
 impl fmt::Display for TerraError {
@@ -99,6 +104,9 @@ impl fmt::Display for TerraError {
             }
             TerraError::Transpile { msg } => write!(f, "transpilation failed: {msg}"),
             TerraError::CouplingMap { msg } => write!(f, "coupling map error: {msg}"),
+            TerraError::ParameterBinding { msg } => {
+                write!(f, "parameter binding failed: {msg}")
+            }
         }
     }
 }

@@ -21,6 +21,11 @@
 //! * Fused matrices whose off-diagonal entries are all zero are emitted as
 //!   [`FusedOp::Diagonal`] so engines can apply them in a single
 //!   multiply-per-amplitude sweep.
+//! * A non-diagonal group whose members are individually cheaper than the
+//!   merged dense sweep is emitted as [`FusedOp::Group`] — the member gate
+//!   list kept in program order — so engines apply the members back to back
+//!   (cache-resident under blocked traversal) instead of materializing and
+//!   applying a `2^k × 2^k` matrix.
 
 use crate::complex::Complex;
 use crate::instruction::Instruction;
@@ -52,6 +57,12 @@ pub enum FusedOp {
     Unitary { matrix: Matrix, qubits: Vec<usize>, gates_fused: usize },
     /// Diagonal unitary stored as its `2^k` diagonal factors.
     Diagonal { factors: Vec<Complex>, qubits: Vec<usize>, gates_fused: usize },
+    /// A fused group kept as its member gate list (program order): the
+    /// engines apply the members back to back in one scheduling step,
+    /// which under blocked traversal costs one pass over memory but keeps
+    /// each member on its specialized kernel instead of paying the merged
+    /// dense `2^k` matrix-vector price.
+    Group { insts: Vec<Instruction>, qubits: Vec<usize>, gates_fused: usize },
     /// Anything fusion must not touch: measurements, resets, barriers,
     /// conditioned gates, and lone non-diagonal gates (which keep the
     /// engines' specialized dispatch paths).
@@ -63,9 +74,9 @@ impl FusedOp {
     /// passthroughs, 1 for a lone gate).
     pub fn gates_fused(&self) -> usize {
         match self {
-            FusedOp::Unitary { gates_fused, .. } | FusedOp::Diagonal { gates_fused, .. } => {
-                *gates_fused
-            }
+            FusedOp::Unitary { gates_fused, .. }
+            | FusedOp::Diagonal { gates_fused, .. }
+            | FusedOp::Group { gates_fused, .. } => *gates_fused,
             FusedOp::Passthrough(inst) => usize::from(inst.op.is_gate()),
         }
     }
@@ -275,6 +286,24 @@ impl Fuser {
             return;
         }
 
+        let all_diagonal = insts
+            .iter()
+            .all(|inst| inst.as_gate().expect("pending holds plain gates").is_diagonal());
+        if !all_diagonal {
+            // Under the engines' blocked traversal the group's members run
+            // back to back on a cache-resident tile, so member sweeps cost
+            // no extra memory traffic: when the members' specialized
+            // kernels are cheaper per amplitude than one merged dense
+            // sweep, keep the gate list instead of materializing a matrix.
+            let member_cost: f64 = insts.iter().map(gate_cost).sum();
+            if member_cost < merged_cost(qubits.len(), false) {
+                self.stats.groups += 1;
+                self.stats.gates_merged += gates_fused;
+                self.ops.push(FusedOp::Group { insts, qubits, gates_fused });
+                return;
+            }
+        }
+
         let matrix = compose(&insts, &qubits);
         self.stats.groups += 1;
         self.stats.gates_merged += gates_fused;
@@ -366,6 +395,15 @@ mod tests {
                     }
                     reference::apply_gate(&mut got, &m, qubits);
                 }
+                FusedOp::Group { insts, .. } => {
+                    for inst in insts {
+                        reference::apply_gate(
+                            &mut got,
+                            &inst.as_gate().unwrap().matrix(),
+                            &inst.qubits,
+                        );
+                    }
+                }
                 FusedOp::Passthrough(inst) => {
                     reference::apply_gate(
                         &mut got,
@@ -449,7 +487,9 @@ mod tests {
         let program = fuse(circ.instructions(), &FusionConfig::default());
         for op in &program.ops {
             let width = match op {
-                FusedOp::Unitary { qubits, .. } | FusedOp::Diagonal { qubits, .. } => qubits.len(),
+                FusedOp::Unitary { qubits, .. }
+                | FusedOp::Diagonal { qubits, .. }
+                | FusedOp::Group { qubits, .. } => qubits.len(),
                 FusedOp::Passthrough(inst) => inst.qubits.len(),
             };
             assert!(width <= 3);
@@ -496,6 +536,28 @@ mod tests {
         assert!(controlled_form(&Gate::Swap.matrix()).is_none());
         // 1-qubit matrices are never reported (the butterfly path owns them).
         assert!(controlled_form(&Gate::H.matrix()).is_none());
+    }
+
+    #[test]
+    fn cheap_member_group_is_kept_as_gate_list() {
+        // Swap (dense, cost 4) + T (diagonal, cost 1) merge under the
+        // greedy rule, but the members (cost 5) beat the merged 4×4 dense
+        // sweep (cost 6) — so the group must stay a gate list.
+        let insts =
+            vec![Instruction::gate(Gate::Swap, vec![0, 1]), Instruction::gate(Gate::T, vec![0])];
+        let program = fuse(&insts, &FusionConfig::default());
+        assert_eq!(program.stats.groups, 1);
+        assert_eq!(program.stats.gates_merged, 2);
+        assert_eq!(program.ops.len(), 1);
+        match &program.ops[0] {
+            FusedOp::Group { insts: members, qubits, gates_fused } => {
+                assert_eq!(members.len(), 2);
+                assert_eq!(qubits, &[0, 1]);
+                assert_eq!(*gates_fused, 2);
+            }
+            other => panic!("expected FusedOp::Group, got {other:?}"),
+        }
+        fused_matrix_matches(&insts, 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod gate;
 pub mod instruction;
 pub mod layout;
 pub mod matrix;
+pub mod parameter;
 pub mod pulse;
 pub mod qasm;
 pub mod reference;
@@ -61,3 +62,4 @@ pub use error::TerraError;
 pub use gate::Gate;
 pub use instruction::{Instruction, Operation};
 pub use matrix::Matrix;
+pub use parameter::{Parameter, ParameterizedCircuit, SentinelSite};

@@ -1,0 +1,432 @@
+//! Parameterized circuit templates for batched sweeps.
+//!
+//! A [`ParameterizedCircuit`] is a circuit whose rotation angles
+//! (`Rx`/`Ry`/`Rz`/`Phase`/`U`) may be symbolic [`Parameter`]s bound at
+//! execute time. The template is built once; [`ParameterizedCircuit::bind`]
+//! produces a concrete [`QuantumCircuit`] per value vector, and
+//! [`ParameterizedCircuit::bind_all`] materializes a whole sweep. This is
+//! the Estimator-primitive traffic shape: one ansatz, many angle points —
+//! the execution layers transpile the template once and reuse the result
+//! for every binding.
+//!
+//! Each parameter occupies a distinct *sentinel* angle in the stored
+//! template. Sentinels let downstream passes (the transpile-once template
+//! cache in `qukit-core`) locate where each parameter landed in a
+//! transpiled instruction stream by exact `f64` equality, without any
+//! symbolic algebra: a transpile pass that copies angles verbatim keeps the
+//! sentinels recognizable; any pass that folds angles together destroys
+//! them, which the scanner detects, falling back to per-binding
+//! transpilation.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::{Result, TerraError};
+use crate::gate::Gate;
+use crate::instruction::Operation;
+
+/// A symbolic angle created by [`ParameterizedCircuit::parameter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parameter {
+    index: usize,
+}
+
+impl Parameter {
+    /// Position of this parameter in a binding value vector.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// An angle operand: either a fixed value or a symbolic parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Angle {
+    /// A literal angle, baked into the template.
+    Fixed(f64),
+    /// A symbolic angle, bound per sweep point.
+    Param(Parameter),
+}
+
+impl From<f64> for Angle {
+    fn from(value: f64) -> Self {
+        Angle::Fixed(value)
+    }
+}
+
+impl From<Parameter> for Angle {
+    fn from(param: Parameter) -> Self {
+        Angle::Param(param)
+    }
+}
+
+/// Where a parameter lives in the template: instruction `inst`, angle
+/// slot `slot` (in [`Gate::params`] order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Site {
+    inst: usize,
+    slot: usize,
+    param: usize,
+}
+
+/// The sentinel angle stored in the template for parameter `index`.
+///
+/// The values are ordinary mid-range angles (so rotation-folding passes
+/// don't drop them as near-identity), spaced so that distinct parameters
+/// never collide, and matched downstream by exact bit equality.
+pub fn sentinel(index: usize) -> f64 {
+    0.123_456_789 + 1.0e-6 * (index as f64 + 1.0)
+}
+
+/// A circuit template with symbolic rotation angles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterizedCircuit {
+    template: QuantumCircuit,
+    names: Vec<String>,
+    sites: Vec<Site>,
+}
+
+impl ParameterizedCircuit {
+    /// An empty template over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::from_circuit(QuantumCircuit::new(num_qubits))
+    }
+
+    /// An empty template over explicit quantum and classical registers.
+    pub fn with_size(num_qubits: usize, num_clbits: usize) -> Self {
+        Self::from_circuit(QuantumCircuit::with_size(num_qubits, num_clbits))
+    }
+
+    /// Wraps an existing (fully concrete) circuit as a template prefix.
+    pub fn from_circuit(circuit: QuantumCircuit) -> Self {
+        Self { template: circuit, names: Vec::new(), sites: Vec::new() }
+    }
+
+    /// Declares a fresh parameter.
+    pub fn parameter(&mut self, name: impl Into<String>) -> Parameter {
+        let index = self.names.len();
+        self.names.push(name.into());
+        Parameter { index }
+    }
+
+    /// Number of declared parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Declared parameter names, in index order.
+    pub fn parameter_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The underlying template circuit, with sentinel angles at every
+    /// parameterized site.
+    pub fn template(&self) -> &QuantumCircuit {
+        &self.template
+    }
+
+    /// Mutable access for appending *fixed* (non-parameterized)
+    /// instructions — entanglers, measurements, barriers.
+    pub fn circuit_mut(&mut self) -> &mut QuantumCircuit {
+        &mut self.template
+    }
+
+    /// Appends `Rx(angle)` on qubit `q`.
+    pub fn rx(&mut self, angle: impl Into<Angle>, q: usize) -> Result<&mut Self> {
+        self.rotation(angle.into(), q, Gate::Rx)
+    }
+
+    /// Appends `Ry(angle)` on qubit `q`.
+    pub fn ry(&mut self, angle: impl Into<Angle>, q: usize) -> Result<&mut Self> {
+        self.rotation(angle.into(), q, Gate::Ry)
+    }
+
+    /// Appends `Rz(angle)` on qubit `q`.
+    pub fn rz(&mut self, angle: impl Into<Angle>, q: usize) -> Result<&mut Self> {
+        self.rotation(angle.into(), q, Gate::Rz)
+    }
+
+    /// Appends a phase gate `P(angle)` on qubit `q`.
+    pub fn p(&mut self, angle: impl Into<Angle>, q: usize) -> Result<&mut Self> {
+        self.rotation(angle.into(), q, Gate::Phase)
+    }
+
+    /// Appends `U(θ, φ, λ)` on qubit `q`; any operand may be symbolic.
+    pub fn u(
+        &mut self,
+        theta: impl Into<Angle>,
+        phi: impl Into<Angle>,
+        lambda: impl Into<Angle>,
+        q: usize,
+    ) -> Result<&mut Self> {
+        let inst = self.template.size();
+        let angles = [theta.into(), phi.into(), lambda.into()];
+        let mut values = [0.0f64; 3];
+        for (slot, angle) in angles.into_iter().enumerate() {
+            values[slot] = self.resolve(angle, inst, slot)?;
+        }
+        match self.template.append(Gate::U(values[0], values[1], values[2]), &[q]) {
+            Ok(_) => Ok(self),
+            Err(err) => {
+                self.sites.retain(|site| site.inst != inst);
+                Err(err)
+            }
+        }
+    }
+
+    fn rotation(&mut self, angle: Angle, q: usize, make: fn(f64) -> Gate) -> Result<&mut Self> {
+        let inst = self.template.size();
+        let value = self.resolve(angle, inst, 0)?;
+        match self.template.append(make(value), &[q]) {
+            Ok(_) => Ok(self),
+            Err(err) => {
+                self.sites.retain(|site| site.inst != inst);
+                Err(err)
+            }
+        }
+    }
+
+    /// Resolves an angle operand to the concrete value stored in the
+    /// template, recording a binding site for symbolic operands.
+    fn resolve(&mut self, angle: Angle, inst: usize, slot: usize) -> Result<f64> {
+        match angle {
+            Angle::Fixed(value) => Ok(value),
+            Angle::Param(param) => {
+                if param.index >= self.names.len() {
+                    return Err(TerraError::ParameterBinding {
+                        msg: format!(
+                            "parameter index {} not declared on this template",
+                            param.index
+                        ),
+                    });
+                }
+                self.sites.push(Site { inst, slot, param: param.index });
+                Ok(sentinel(param.index))
+            }
+        }
+    }
+
+    /// Binds one value per parameter, producing a concrete circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerraError::ParameterBinding`] when `values` does not
+    /// match the declared parameter count.
+    pub fn bind(&self, values: &[f64]) -> Result<QuantumCircuit> {
+        if values.len() != self.names.len() {
+            return Err(TerraError::ParameterBinding {
+                msg: format!("expected {} value(s), got {}", self.names.len(), values.len()),
+            });
+        }
+        let mut circuit = self.template.clone();
+        let instructions = circuit.instructions_mut();
+        for site in &self.sites {
+            let inst = &mut instructions[site.inst];
+            let gate = match &inst.op {
+                Operation::Gate(gate) => gate,
+                other => {
+                    return Err(TerraError::ParameterBinding {
+                        msg: format!("site {} is not a gate ({})", site.inst, other.name()),
+                    })
+                }
+            };
+            let mut params = gate.params();
+            params[site.slot] = values[site.param];
+            let patched = Gate::from_name(gate.name(), &params).ok_or_else(|| {
+                TerraError::ParameterBinding {
+                    msg: format!("gate '{}' does not accept a bound angle", gate.name()),
+                }
+            })?;
+            inst.op = Operation::Gate(patched);
+        }
+        Ok(circuit)
+    }
+
+    /// Binds every value vector of a sweep, producing one circuit each.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParameterizedCircuit::bind`], for any row.
+    pub fn bind_all(&self, bindings: &[Vec<f64>]) -> Result<Vec<QuantumCircuit>> {
+        bindings.iter().map(|values| self.bind(values)).collect()
+    }
+}
+
+/// A parameter site recovered from a (possibly transpiled) circuit by
+/// [`scan_sentinels`]: instruction `inst` carries `sentinel(param)` in
+/// angle slot `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentinelSite {
+    /// Instruction index in the scanned circuit.
+    pub inst: usize,
+    /// Angle slot within the gate, in [`Gate::params`] order.
+    pub slot: usize,
+    /// Parameter index the sentinel encodes.
+    pub param: usize,
+}
+
+/// Finds every gate angle that bit-equals a sentinel of one of the
+/// template's `num_params` parameters.
+///
+/// Transpilation passes that copy angles verbatim (basis translation,
+/// mapping, direction fixing) keep sentinels recognizable; passes that
+/// fold angles together destroy them. Callers compare the recovered
+/// site count against expectations (or validate one binding end to end)
+/// before trusting the scan.
+pub fn scan_sentinels(circuit: &QuantumCircuit, num_params: usize) -> Vec<SentinelSite> {
+    let lookup: std::collections::HashMap<u64, usize> =
+        (0..num_params).map(|param| (sentinel(param).to_bits(), param)).collect();
+    let mut sites = Vec::new();
+    for (inst, instruction) in circuit.instructions().iter().enumerate() {
+        let Some(gate) = instruction.as_gate() else { continue };
+        for (slot, value) in gate.params().iter().enumerate() {
+            if let Some(&param) = lookup.get(&value.to_bits()) {
+                sites.push(SentinelSite { inst, slot, param });
+            }
+        }
+    }
+    sites
+}
+
+/// Replaces sentinel angles at `sites` with concrete `values`, producing
+/// a bound copy of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`TerraError::ParameterBinding`] when a site does not name a
+/// gate angle or a `param` index is out of range for `values`.
+pub fn patch_sentinels(
+    circuit: &QuantumCircuit,
+    sites: &[SentinelSite],
+    values: &[f64],
+) -> Result<QuantumCircuit> {
+    let mut bound = circuit.clone();
+    let instructions = bound.instructions_mut();
+    for site in sites {
+        let value = *values.get(site.param).ok_or_else(|| TerraError::ParameterBinding {
+            msg: format!(
+                "site references parameter {} but only {} bound",
+                site.param,
+                values.len()
+            ),
+        })?;
+        let inst = instructions.get_mut(site.inst).ok_or_else(|| TerraError::ParameterBinding {
+            msg: format!("site references instruction {} past circuit end", site.inst),
+        })?;
+        let gate = match &inst.op {
+            Operation::Gate(gate) => gate,
+            other => {
+                return Err(TerraError::ParameterBinding {
+                    msg: format!("site {} is not a gate ({})", site.inst, other.name()),
+                })
+            }
+        };
+        let mut params = gate.params();
+        params[site.slot] = value;
+        let patched =
+            Gate::from_name(gate.name(), &params).ok_or_else(|| TerraError::ParameterBinding {
+                msg: format!("gate '{}' does not accept a bound angle", gate.name()),
+            })?;
+        inst.op = Operation::Gate(patched);
+    }
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_replaces_every_parameter_site() {
+        let mut pc = ParameterizedCircuit::new(2);
+        let a = pc.parameter("a");
+        let b = pc.parameter("b");
+        pc.ry(a, 0).unwrap();
+        pc.ry(b, 1).unwrap();
+        pc.circuit_mut().cx(0, 1).unwrap();
+        pc.rz(a, 1).unwrap();
+        pc.rx(0.5, 0).unwrap();
+        assert_eq!(pc.num_parameters(), 2);
+
+        let bound = pc.bind(&[0.25, -1.5]).unwrap();
+        let gates: Vec<Gate> =
+            bound.instructions().iter().filter_map(|inst| inst.as_gate().cloned()).collect();
+        assert_eq!(
+            gates,
+            vec![Gate::Ry(0.25), Gate::Ry(-1.5), Gate::CX, Gate::Rz(0.25), Gate::Rx(0.5)]
+        );
+        // The template keeps its sentinels: bind never mutates it.
+        assert_eq!(pc.template().instructions()[0].as_gate(), Some(&Gate::Ry(sentinel(0))));
+    }
+
+    #[test]
+    fn u_gate_binds_individual_slots() {
+        let mut pc = ParameterizedCircuit::new(1);
+        let theta = pc.parameter("theta");
+        pc.u(theta, 0.1, theta, 0).unwrap();
+        let bound = pc.bind(&[2.0]).unwrap();
+        assert_eq!(bound.instructions()[0].as_gate(), Some(&Gate::U(2.0, 0.1, 2.0)));
+    }
+
+    #[test]
+    fn bind_validates_value_count() {
+        let mut pc = ParameterizedCircuit::new(1);
+        let a = pc.parameter("a");
+        pc.rx(a, 0).unwrap();
+        assert!(matches!(pc.bind(&[]), Err(TerraError::ParameterBinding { .. })));
+        assert!(matches!(pc.bind(&[1.0, 2.0]), Err(TerraError::ParameterBinding { .. })));
+        assert!(pc.bind(&[1.0]).is_ok());
+    }
+
+    #[test]
+    fn bind_all_produces_one_circuit_per_row() {
+        let mut pc = ParameterizedCircuit::new(1);
+        let a = pc.parameter("a");
+        pc.ry(a, 0).unwrap();
+        let circuits = pc.bind_all(&[vec![0.1], vec![0.2], vec![0.3]]).unwrap();
+        assert_eq!(circuits.len(), 3);
+        assert_eq!(circuits[2].instructions()[0].as_gate(), Some(&Gate::Ry(0.3)));
+    }
+
+    #[test]
+    fn scan_and_patch_round_trip_matches_bind() {
+        let mut pc = ParameterizedCircuit::new(2);
+        let a = pc.parameter("a");
+        let b = pc.parameter("b");
+        pc.ry(a, 0).unwrap();
+        pc.circuit_mut().h(1).unwrap();
+        pc.u(b, 0.25, a, 1).unwrap();
+        let sites = scan_sentinels(pc.template(), pc.num_parameters());
+        // Three symbolic slots: Ry(a), U(b, ·, a).
+        assert_eq!(sites.len(), 3);
+        let values = [0.7, -0.3];
+        let patched = patch_sentinels(pc.template(), &sites, &values).unwrap();
+        assert_eq!(patched, pc.bind(&values).unwrap());
+    }
+
+    #[test]
+    fn patch_rejects_out_of_range_sites() {
+        let circuit = QuantumCircuit::new(1);
+        let site = SentinelSite { inst: 3, slot: 0, param: 0 };
+        assert!(matches!(
+            patch_sentinels(&circuit, &[site], &[1.0]),
+            Err(TerraError::ParameterBinding { .. })
+        ));
+        let mut pc = ParameterizedCircuit::new(1);
+        let a = pc.parameter("a");
+        pc.rx(a, 0).unwrap();
+        let sites = scan_sentinels(pc.template(), 1);
+        assert_eq!(sites.len(), 1);
+        assert!(matches!(
+            patch_sentinels(pc.template(), &sites, &[]),
+            Err(TerraError::ParameterBinding { .. })
+        ));
+    }
+
+    #[test]
+    fn sentinels_are_distinct_and_mid_range() {
+        for i in 0..64 {
+            for j in (i + 1)..64 {
+                assert_ne!(sentinel(i), sentinel(j));
+            }
+            assert!(sentinel(i).abs() > 0.1, "sentinel must not look like identity");
+        }
+    }
+}

@@ -59,23 +59,25 @@ fn sampled_counts_are_identical_across_thread_and_chunk_configurations() {
     let shots = 1024;
     let reference = QasmSimulator::new()
         .with_seed(99)
-        .with_parallel(ParallelConfig { threads: 1, chunk_qubits: 13, fusion: true })
+        .with_parallel(ParallelConfig { threads: 1, chunk_qubits: 13, fusion: true, simd: false })
         .run(&circuit, shots)
         .expect("reference run");
     assert_eq!(reference.total(), shots);
     for threads in [1, 2, 4, 8] {
         for chunk_qubits in [2, 13] {
-            let config = ParallelConfig { threads, chunk_qubits, fusion: true };
-            let counts = QasmSimulator::new()
-                .with_seed(99)
-                .with_parallel(config)
-                .run(&circuit, shots)
-                .expect("parallel run");
-            assert_eq!(
-                counts_vec(&reference),
-                counts_vec(&counts),
-                "counts changed at threads {threads}, chunk_qubits {chunk_qubits}"
-            );
+            for simd in [false, true] {
+                let config = ParallelConfig { threads, chunk_qubits, fusion: true, simd };
+                let counts = QasmSimulator::new()
+                    .with_seed(99)
+                    .with_parallel(config)
+                    .run(&circuit, shots)
+                    .expect("parallel run");
+                assert_eq!(
+                    counts_vec(&reference),
+                    counts_vec(&counts),
+                    "counts changed at threads {threads}, chunk_qubits {chunk_qubits}, simd {simd}"
+                );
+            }
         }
     }
 }
@@ -89,7 +91,7 @@ fn fusion_does_not_change_the_sampled_distribution_stream() {
     let run = |fusion: bool| {
         QasmSimulator::new()
             .with_seed(1234)
-            .with_parallel(ParallelConfig { threads: 2, chunk_qubits: 4, fusion })
+            .with_parallel(ParallelConfig { threads: 2, chunk_qubits: 4, fusion, simd: true })
             .run(&circuit, 512)
             .expect("run")
     };
@@ -102,13 +104,13 @@ fn trajectory_counts_are_identical_across_thread_counts() {
     let shots = 640;
     let reference = QasmSimulator::new()
         .with_seed(5)
-        .with_parallel(ParallelConfig { threads: 2, chunk_qubits: 13, fusion: false })
+        .with_parallel(ParallelConfig { threads: 2, chunk_qubits: 13, fusion: false, simd: true })
         .run(&circuit, shots)
         .expect("reference run");
     assert_eq!(reference.total(), shots);
     for threads in [3, 4, 8] {
         for chunk_qubits in [2, 13] {
-            let config = ParallelConfig { threads, chunk_qubits, fusion: false };
+            let config = ParallelConfig { threads, chunk_qubits, fusion: false, simd: true };
             let counts = QasmSimulator::new()
                 .with_seed(5)
                 .with_parallel(config)
@@ -136,7 +138,12 @@ fn sixteen_concurrent_jobs_over_parallel_backends_are_deterministic() {
         ExecutorConfig {
             workers: 4,
             queue_capacity: 32,
-            parallel: Some(ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true }),
+            parallel: Some(ParallelConfig {
+                threads: 4,
+                chunk_qubits: 2,
+                fusion: true,
+                simd: true,
+            }),
             ..Default::default()
         },
     );

@@ -56,8 +56,8 @@ fn read_counts(name: &str) -> Vec<(String, f64)> {
 /// serial-with-fusion and fully threaded with forced-tiny chunks.
 fn parallel_configs() -> [ParallelConfig; 2] {
     [
-        ParallelConfig { threads: 1, chunk_qubits: 13, fusion: true },
-        ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true },
+        ParallelConfig { threads: 1, chunk_qubits: 13, fusion: true, simd: true },
+        ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true, simd: true },
     ]
 }
 
@@ -126,9 +126,10 @@ fn grover_2q_matches_golden_amplitudes_on_every_engine() {
     // serial and on the parallel sampled path.
     let mut measured = circuit.clone();
     measured.measure_all();
-    for config in
-        [ParallelConfig::serial(), ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true }]
-    {
+    for config in [
+        ParallelConfig::serial(),
+        ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true, simd: true },
+    ] {
         let counts = QasmSimulator::new()
             .with_seed(9)
             .with_parallel(config)
@@ -149,8 +150,8 @@ fn teleporting_one_matches_golden_counts_on_serial_and_parallel_paths() {
     let shots = 4096;
     let configs = [
         ParallelConfig::serial(),
-        ParallelConfig { threads: 2, chunk_qubits: 13, fusion: false },
-        ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true },
+        ParallelConfig { threads: 2, chunk_qubits: 13, fusion: false, simd: false },
+        ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true, simd: true },
     ];
     for (i, config) in configs.into_iter().enumerate() {
         let counts = QasmSimulator::new()

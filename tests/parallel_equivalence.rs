@@ -4,9 +4,10 @@
 //! 200 seeded random circuits from the conformance generator run on the
 //! serial statevector simulator (the legacy path, untouched by the
 //! parallel layer) and on the chunked/fused parallel engine at every
-//! combination of threads ∈ {1, 2, 4} × fusion on/off. Chunks are forced
-//! tiny (`chunk_qubits: 2`) so even 2-qubit circuits split across
-//! workers. Every amplitude must agree to 1e-10.
+//! combination of threads ∈ {1, 2, 4} × fusion on/off × SIMD on/off.
+//! Chunks are forced tiny (`chunk_qubits: 2`) so even 2-qubit circuits
+//! split across workers. Every amplitude must agree to 1e-10, and the
+//! SIMD kernels must agree with the scalar kernels bit for bit.
 
 use qukit::aer::parallel::{ParallelConfig, ParallelStatevectorSimulator};
 use qukit::aer::simulator::StatevectorSimulator;
@@ -37,13 +38,24 @@ fn parallel_and_fused_kernels_match_serial_on_200_random_circuits() {
         let serial = StatevectorSimulator::new().run(&circuit).expect("serial run");
         for threads in [1, 2, 4] {
             for fusion in [false, true] {
-                let config = ParallelConfig { threads, chunk_qubits: 2, fusion };
-                let parallel = ParallelStatevectorSimulator::with_config(config)
-                    .run(&circuit)
-                    .expect("parallel run");
-                assert_eq!(serial.num_qubits(), parallel.num_qubits());
-                for (idx, (s, p)) in
-                    serial.amplitudes().iter().zip(parallel.amplitudes()).enumerate()
+                let scalar = ParallelStatevectorSimulator::with_config(ParallelConfig {
+                    threads,
+                    chunk_qubits: 2,
+                    fusion,
+                    simd: false,
+                })
+                .run(&circuit)
+                .expect("parallel run (scalar)");
+                let simd = ParallelStatevectorSimulator::with_config(ParallelConfig {
+                    threads,
+                    chunk_qubits: 2,
+                    fusion,
+                    simd: true,
+                })
+                .run(&circuit)
+                .expect("parallel run (simd)");
+                assert_eq!(serial.num_qubits(), scalar.num_qubits());
+                for (idx, (s, p)) in serial.amplitudes().iter().zip(scalar.amplitudes()).enumerate()
                 {
                     let err = (*s - *p).norm();
                     assert!(
@@ -52,6 +64,14 @@ fn parallel_and_fused_kernels_match_serial_on_200_random_circuits() {
                          diverges by {err:.3e} ({s} vs {p})\n{circuit:?}"
                     );
                 }
+                // The SIMD kernels replicate the scalar complex arithmetic
+                // exactly, so this comparison is bitwise, not tolerance-based.
+                assert_eq!(
+                    scalar.amplitudes(),
+                    simd.amplitudes(),
+                    "case {case} (threads {threads}, fusion {fusion}): SIMD kernels \
+                     are not bit-identical to scalar kernels\n{circuit:?}"
+                );
             }
         }
     }
@@ -77,7 +97,7 @@ fn sampled_histograms_stay_faithful_under_parallel_execution() {
             .expect("serial run");
         let parallel = QasmSimulator::new()
             .with_seed(11)
-            .with_parallel(ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true })
+            .with_parallel(ParallelConfig { threads: 4, chunk_qubits: 2, fusion: true, simd: true })
             .run(&circuit, shots)
             .expect("parallel run");
         assert_eq!(parallel.total(), shots);
